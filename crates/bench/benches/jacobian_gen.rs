@@ -1,0 +1,55 @@
+//! Criterion bench — Table 1's last column: analytic CSR transposed-Jacobian
+//! generation vs the column-at-a-time VJP baseline (what "PyTorch Autograd
+//! one column at a time" does algorithmically).
+
+use bppsa_ops::{jacobian::transposed_jacobian_via_vjp, Conv2d, Conv2dConfig, MaxPool2d, Operator, Relu};
+use bppsa_tensor::init::{seeded_rng, uniform_tensor};
+use bppsa_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobian_gen");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    let mut rng = seeded_rng(5);
+
+    // Small enough that the full VJP baseline is feasible inside a bench.
+    let conv = Conv2d::<f32>::new(Conv2dConfig::vgg_style(2, 4, (10, 10)), &mut rng);
+    let xc = uniform_tensor(&mut rng, vec![2, 10, 10], 1.0);
+    let yc = conv.forward(&xc);
+    group.bench_function("conv/analytic_csr", |b| {
+        b.iter(|| conv.transposed_jacobian(std::hint::black_box(&xc), &yc))
+    });
+    group.bench_function("conv/vjp_columns", |b| {
+        b.iter(|| transposed_jacobian_via_vjp(&conv, std::hint::black_box(&xc), &yc))
+    });
+
+    let relu = Relu::new(vec![4, 10, 10]);
+    let xr: Tensor<f32> = uniform_tensor(&mut rng, vec![4, 10, 10], 1.0);
+    let yr = Operator::<f32>::forward(&relu, &xr);
+    group.bench_function("relu/analytic_csr", |b| {
+        b.iter(|| Operator::<f32>::transposed_jacobian(&relu, std::hint::black_box(&xr), &yr))
+    });
+    group.bench_function("relu/vjp_columns", |b| {
+        b.iter(|| transposed_jacobian_via_vjp(&relu, std::hint::black_box(&xr), &yr))
+    });
+
+    let pool = MaxPool2d::new(4, (2, 2), (2, 2), (10, 10));
+    let xp: Tensor<f32> = uniform_tensor(&mut rng, vec![4, 10, 10], 1.0);
+    let yp = Operator::<f32>::forward(&pool, &xp);
+    group.bench_function("maxpool/analytic_csr", |b| {
+        b.iter(|| Operator::<f32>::transposed_jacobian(&pool, std::hint::black_box(&xp), &yp))
+    });
+    group.bench_function("maxpool/vjp_columns", |b| {
+        b.iter(|| transposed_jacobian_via_vjp(&pool, std::hint::black_box(&xp), &yp))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench — whole-scan symbolic planning (the strongest form of
+//! §3.3): a generic BPPSA backward pass (symbolic + numeric SpGEMM per
+//! combine, every iteration) against a [`PlannedScan`] execution (numeric
+//! only), plus the one-time planning cost that amortizes across a training
+//! run's thousands of iterations.
+
+use bppsa_core::{bppsa_backward, BppsaOptions, JacobianChain, PlannedScan, ScanElement};
+use bppsa_models::prune::prune_operator;
+use bppsa_ops::{Conv2d, Conv2dConfig, Operator, Relu};
+use bppsa_tensor::init::{seeded_rng, uniform_tensor, uniform_vector};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// An 8-layer pruned conv/relu chain (the §4.2 retraining shape).
+fn pruned_chain() -> JacobianChain<f32> {
+    let mut rng = seeded_rng(21);
+    let (hw, ch) = (8usize, 8usize);
+    let mut elems = Vec::new();
+    let mut x = uniform_tensor(&mut rng, vec![ch, hw, hw], 1.0);
+    for _ in 0..8 {
+        let mut conv = Conv2d::<f32>::new(Conv2dConfig::vgg_style(ch, ch, (hw, hw)), &mut rng);
+        prune_operator(&mut conv, 0.9);
+        let y = conv.forward(&x);
+        elems.push(ScanElement::Sparse(conv.transposed_jacobian_pruned()));
+        let relu = Relu::new(vec![ch, hw, hw]);
+        let y_relu = Operator::<f32>::forward(&relu, &y);
+        elems.push(ScanElement::Sparse(relu.transposed_jacobian(&y, &y_relu)));
+        x = y_relu;
+    }
+    let mut chain = JacobianChain::new(uniform_vector(&mut rng, ch * hw * hw, 1.0));
+    for e in elems {
+        chain.push(e);
+    }
+    chain
+}
+
+fn bench_planned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planned_scan");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let chain = pruned_chain();
+    let opts = BppsaOptions::serial();
+
+    group.bench_function("generic_backward", |b| {
+        b.iter(|| bppsa_backward(std::hint::black_box(&chain), opts))
+    });
+
+    let plan = PlannedScan::plan(&chain, opts);
+    group.bench_function("planned_numeric_backward", |b| {
+        b.iter(|| plan.execute(std::hint::black_box(&chain)))
+    });
+
+    group.bench_function("plan_construction_once", |b| {
+        b.iter(|| PlannedScan::plan(std::hint::black_box(&chain), opts))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_planned);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! **Figure 4**: the modified Blelloch scan applied to the convolution
+//! layers of VGG-11 — prints the level-by-level schedule (which array
+//! positions combine at which level of the up- and down-sweeps).
+//!
+//! Run: `cargo run -p bppsa-bench --bin fig4_schedule`
+
+use bppsa_bench::write_csv;
+use bppsa_scan::ScanSchedule;
+
+fn main() {
+    // The Figure 4 array: the gradient vector plus the transposed Jacobians
+    // of VGG-11's 8 convolution layers → 9 scan elements.
+    let len = 9;
+    let schedule = ScanSchedule::full(len);
+    println!("Figure 4 — Blelloch scan schedule over VGG-11's conv layers");
+    println!(
+        "array: [∇x_n, J8ᵀ, J7ᵀ, J6ᵀ, J5ᵀ, J4ᵀ, J3ᵀ, J2ᵀ, J1ᵀ]  (len = {len})\n"
+    );
+
+    let mut rows = Vec::new();
+    let mut level_no = 0usize;
+    for (d, level) in schedule.up_levels().iter().enumerate() {
+        let pairs: Vec<String> = level.iter().map(|p| format!("({},{})", p.l, p.r)).collect();
+        println!("L{level_no} (up-sweep d={d}):   a[r] ← a[l] ⊙ a[r]   pairs: {}", pairs.join(" "));
+        for p in level {
+            rows.push(vec![
+                format!("L{level_no}"),
+                "up".into(),
+                p.l.to_string(),
+                p.r.to_string(),
+            ]);
+        }
+        level_no += 1;
+    }
+    println!(
+        "L{level_no} (middle):        serial exclusive scan over block roots {:?} (sets a[n] ← I)",
+        schedule.block_roots()
+    );
+    for &r in schedule.block_roots() {
+        rows.push(vec![format!("L{level_no}"), "middle".into(), r.to_string(), r.to_string()]);
+    }
+    level_no += 1;
+    let k = schedule.down_levels().len();
+    for (idx, level) in schedule.down_levels().iter().enumerate() {
+        let d = k - 1 - idx;
+        let pairs: Vec<String> = level.iter().map(|p| format!("({},{})", p.l, p.r)).collect();
+        println!(
+            "L{level_no} (down-sweep d={d}): t ← a[l]; a[l] ← a[r]; a[r] ← a[r] ⊙ t   pairs: {}",
+            pairs.join(" ")
+        );
+        for p in level {
+            rows.push(vec![
+                format!("L{level_no}"),
+                "down".into(),
+                p.l.to_string(),
+                p.r.to_string(),
+            ]);
+        }
+        level_no += 1;
+    }
+
+    println!("\ntotal combines (work): {}", schedule.combine_count());
+    println!("critical-path steps:   {}", schedule.step_count());
+    println!(
+        "vs linear scan:        {} combines over {} steps",
+        ScanSchedule::linear(len).combine_count(),
+        ScanSchedule::linear(len).step_count()
+    );
+
+    let path = write_csv("fig4_schedule.csv", &["level", "phase", "l", "r"], &rows);
+    println!("\nwrote {}", path.display());
+}

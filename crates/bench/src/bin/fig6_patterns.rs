@@ -1,0 +1,103 @@
+//! **Figure 6**: the sparsity patterns of transposed Jacobians for
+//! convolution, max-pooling, and ReLU — rendered as PGM images (and ASCII
+//! art for small instances) under `results/`.
+//!
+//! Run: `cargo run -p bppsa-bench --bin fig6_patterns`
+
+use bppsa_bench::results_dir;
+use bppsa_ops::{Conv2d, Conv2dConfig, MaxPool2d, Operator, Relu};
+use bppsa_sparse::Csr;
+use bppsa_tensor::init::{seeded_rng, uniform_tensor};
+use std::io::Write as _;
+
+/// Writes a binary-threshold PGM of the structural pattern (dark = stored).
+fn write_pgm(name: &str, m: &Csr<f32>) -> std::path::PathBuf {
+    let path = results_dir().join(name);
+    let (rows, cols) = m.shape();
+    let mut img = vec![255u8; rows * cols];
+    for i in 0..rows {
+        for &j in m.row_indices(i) {
+            img[i * cols + j as usize] = 0;
+        }
+    }
+    let mut f = std::fs::File::create(&path).expect("create pgm");
+    write!(f, "P5\n{cols} {rows}\n255\n").expect("header");
+    f.write_all(&img).expect("pixels");
+    path
+}
+
+/// ASCII-art rendering for small matrices.
+fn ascii(m: &Csr<f32>) -> String {
+    let (rows, cols) = m.shape();
+    let mut out = String::new();
+    for i in 0..rows {
+        let set: std::collections::HashSet<u32> = m.row_indices(i).iter().copied().collect();
+        for j in 0..cols as u32 {
+            out.push(if set.contains(&j) { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let mut rng = seeded_rng(0);
+    println!("Figure 6 — transposed-Jacobian sparsity patterns\n");
+
+    // (a) Convolution: 2→2 channels, 3x3 pad 1 on 8x8.
+    let conv = Conv2d::<f32>::new(Conv2dConfig::vgg_style(2, 2, (8, 8)), &mut rng);
+    let xc = uniform_tensor(&mut rng, vec![2, 8, 8], 1.0);
+    let jc = conv.transposed_jacobian(&xc, &conv.forward(&xc));
+    let pc = write_pgm("fig6_conv.pgm", &jc);
+    println!(
+        "conv     {}x{} nnz={} sparsity={:.5}  → {}",
+        jc.rows(),
+        jc.cols(),
+        jc.nnz(),
+        jc.sparsity(),
+        pc.display()
+    );
+
+    // (b) Max-pooling: 1 channel, 2x2 stride 2 on 8x8.
+    let pool = MaxPool2d::new(1, (2, 2), (2, 2), (8, 8));
+    let xp = uniform_tensor(&mut rng, vec![1, 8, 8], 1.0);
+    let jp: Csr<f32> = pool.transposed_jacobian(&xp, &Operator::<f32>::forward(&pool, &xp));
+    let pp = write_pgm("fig6_maxpool.pgm", &jp);
+    println!(
+        "maxpool  {}x{} nnz={} sparsity={:.5}  → {}",
+        jp.rows(),
+        jp.cols(),
+        jp.nnz(),
+        jp.sparsity(),
+        pp.display()
+    );
+
+    // (c) ReLU: 64-element volume → pure diagonal.
+    let relu = Relu::new(vec![1, 8, 8]);
+    let xr = uniform_tensor(&mut rng, vec![1, 8, 8], 1.0);
+    let jr: Csr<f32> = relu.transposed_jacobian(&xr, &Operator::<f32>::forward(&relu, &xr));
+    let pr = write_pgm("fig6_relu.pgm", &jr);
+    println!(
+        "relu     {}x{} nnz={} sparsity={:.5}  → {}",
+        jr.rows(),
+        jr.cols(),
+        jr.nnz(),
+        jr.sparsity(),
+        pr.display()
+    );
+
+    // Small ASCII illustrations (4x4 single-channel instances).
+    println!("\nmaxpool 2x2/2 on 1x4x4 (rows = inputs, cols = outputs):");
+    let pool_small = MaxPool2d::new(1, (2, 2), (2, 2), (4, 4));
+    let xs = uniform_tensor(&mut rng, vec![1, 4, 4], 1.0);
+    let js: Csr<f32> =
+        pool_small.transposed_jacobian(&xs, &Operator::<f32>::forward(&pool_small, &xs));
+    print!("{}", ascii(&js));
+
+    println!("\nrelu on 8 elements (diagonal):");
+    let relu_small = Relu::new(vec![8]);
+    let xr8 = uniform_tensor(&mut rng, vec![8], 1.0);
+    let jr8: Csr<f32> =
+        relu_small.transposed_jacobian(&xr8, &Operator::<f32>::forward(&relu_small, &xr8));
+    print!("{}", ascii(&jr8));
+}

@@ -1,0 +1,91 @@
+//! **§2.2 / §3.6 / Figure 3**: space complexity and utilization of BPPSA
+//! versus pipeline parallelism as the device count grows.
+//!
+//! Run: `cargo run -p bppsa-bench --bin space_complexity`
+//!
+//! Reproduces the paper's scalability argument with numbers:
+//! * GPipe's per-device memory is `Θ(L/K + K)·M_x` — it *grows* with K once
+//!   K exceeds √L, and its bubble fraction grows as `(K−1)/(M+K−1)`;
+//! * PipeDream fixes utilization but stashes `K` weight versions and incurs
+//!   staleness `K−1`, which momentum amplifies;
+//! * BPPSA's per-device memory is `Θ(max(n/p, 1))·M_Jacob` — it *shrinks*
+//!   monotonically to one Jacobian per worker.
+
+use bppsa_bench::write_csv;
+use bppsa_pipeline::{momentum_staleness_gap, GpipeConfig, PipedreamConfig};
+use bppsa_pram::memory::{bppsa_per_device_bytes, pipeline_per_device_bytes};
+
+fn main() {
+    let layers = 1000usize;
+    let activation_bytes = 64 * 1024; // M_x: one boundary activation
+    let jacob_bytes = 512 * 1024; // M_Jacob: one sparse transposed Jacobian
+
+    println!("Space complexity vs number of devices (L = {layers} layers)");
+    println!("M_x = {activation_bytes} B, M_Jacob = {jacob_bytes} B (M_Jacob >> M_x, per §3.6)\n");
+    println!(
+        "{:>6}  {:>16}  {:>16}  {:>14}  {:>10}  {:>10}",
+        "K=p", "GPipe B/dev", "BPPSA B/dev", "PipeDream B/dev", "bubble", "staleness"
+    );
+
+    let mut rows = Vec::new();
+    for k in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1000] {
+        let gpipe_mem = pipeline_per_device_bytes(layers, k, activation_bytes);
+        let bppsa_mem = bppsa_per_device_bytes(layers, k, jacob_bytes);
+        let gpipe = GpipeConfig {
+            layers,
+            devices: k,
+            micro_batches: k, // fill the pipeline (Figure 3)
+            activation_bytes,
+        }
+        .analyze();
+        let pd = PipedreamConfig {
+            layers,
+            devices: k,
+            stage_weight_bytes: 4 * 1024 * 1024 / k.max(1),
+            activation_bytes,
+        }
+        .analyze();
+        println!(
+            "{:>6}  {:>16}  {:>16}  {:>14}  {:>9.1}%  {:>10}",
+            k,
+            gpipe_mem,
+            bppsa_mem,
+            pd.per_device_bytes,
+            gpipe.bubble_fraction * 100.0,
+            pd.max_staleness
+        );
+        rows.push(vec![
+            k.to_string(),
+            gpipe_mem.to_string(),
+            bppsa_mem.to_string(),
+            pd.per_device_bytes.to_string(),
+            format!("{:.4}", gpipe.bubble_fraction),
+            pd.max_staleness.to_string(),
+        ]);
+    }
+
+    let path = write_csv(
+        "space_complexity.csv",
+        &["devices", "gpipe_bytes", "bppsa_bytes", "pipedream_bytes", "gpipe_bubble", "staleness"],
+        &rows,
+    );
+
+    println!("\nshape check:");
+    let g64 = pipeline_per_device_bytes(layers, 64, activation_bytes);
+    let g512 = pipeline_per_device_bytes(layers, 512, activation_bytes);
+    let b64 = bppsa_per_device_bytes(layers, 64, jacob_bytes);
+    let b512 = bppsa_per_device_bytes(layers, 512, jacob_bytes);
+    println!("  GPipe 64→512 devices: {g64} → {g512} B/dev (grows: {})", g512 > g64);
+    println!("  BPPSA 64→512 devices: {b64} → {b512} B/dev (shrinks: {})", b512 < b64);
+
+    println!("\nstaleness × momentum (the paper's PipeDream critique, quadratic probe):");
+    for staleness in [1usize, 2, 4, 8] {
+        let (fresh, stale) = momentum_staleness_gap(1.0, 0.1, 0.9, staleness, 200);
+        println!(
+            "  staleness {staleness}: |x*| fresh {fresh:.2e} vs stale {stale:.2e} ({}x worse)",
+            (stale / fresh.max(1e-300)) as i64
+        );
+    }
+
+    println!("\nwrote {}", path.display());
+}

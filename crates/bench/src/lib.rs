@@ -1,0 +1,106 @@
+//! # bppsa-bench — harness utilities for regenerating the paper's tables
+//! and figures
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's per-experiment index); this library holds the shared
+//! plumbing: a results directory, CSV emission, and scale selection.
+//!
+//! Conventions:
+//!
+//! * every binary prints the paper-style rows/series to stdout **and**
+//!   writes a CSV under `results/` for plotting;
+//! * binaries run a scaled-down configuration by default so the whole suite
+//!   finishes in minutes on a laptop; pass `--full` (or set `BPPSA_FULL=1`)
+//!   for paper-scale runs.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Returns (and creates) the directory results CSVs are written to:
+/// `results/` under the workspace root (or the current directory).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two levels up.
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| Path::new(&m).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let dir = base.join("results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Whether the invocation asked for the full, paper-scale configuration.
+pub fn is_full_run() -> bool {
+    std::env::args().any(|a| a == "--full")
+        || std::env::var("BPPSA_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Writes a CSV file under [`results_dir`], returning its path.
+///
+/// # Panics
+///
+/// Panics on I/O errors (harness binaries want loud failures).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    path
+}
+
+/// Prints a fixed-width table row to stdout.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Formats a float with engineering-style significant digits.
+pub fn fmt_sig(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let d = results_dir();
+        assert!(d.is_dir());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = write_csv(
+            "self_test.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let content = std::fs::read_to_string(p).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn fmt_sig_ranges() {
+        assert_eq!(fmt_sig(0.0), "0");
+        assert_eq!(fmt_sig(1234.0), "1234");
+        assert_eq!(fmt_sig(2.345), "2.35");
+        assert_eq!(fmt_sig(0.012345), "0.0123");
+    }
+}

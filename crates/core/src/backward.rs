@@ -1,0 +1,296 @@
+//! The two ways to consume a Jacobian chain: the paper's BPPSA (modified
+//! Blelloch scan, §3.2) and the "linear scan" baseline (§3.6), which emulates
+//! ordinary back-propagation by applying the transposed Jacobians to the
+//! gradient vector one at a time.
+
+use crate::chain::{gradients_from_scan_output, JacobianChain};
+use crate::element::{JacobianScanOp, ScanElement};
+use bppsa_scan::{execute_in_place, Executor, ScanSchedule};
+use bppsa_tensor::{Scalar, Vector};
+
+/// Options for a BPPSA backward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BppsaOptions {
+    /// How parallel levels are executed.
+    pub executor: Executor,
+    /// Number of up-sweep levels; `None` = full Blelloch (Algorithm 1),
+    /// `Some(k)` = the §5.2 hybrid with `k` tree levels.
+    pub up_levels: Option<usize>,
+}
+
+impl Default for BppsaOptions {
+    fn default() -> Self {
+        Self {
+            executor: Executor::Serial,
+            up_levels: None,
+        }
+    }
+}
+
+impl BppsaOptions {
+    /// Full Blelloch, executed serially.
+    pub fn serial() -> Self {
+        Self::default()
+    }
+
+    /// Full Blelloch with `threads` worker threads per level.
+    pub fn threaded(threads: usize) -> Self {
+        Self {
+            executor: Executor::Threaded(threads),
+            ..Self::default()
+        }
+    }
+
+    /// Full Blelloch on the shared persistent worker pool — the fastest CPU
+    /// executor for repeated scans (no per-level thread spawns).
+    pub fn pooled() -> Self {
+        Self {
+            executor: Executor::Pooled,
+            ..Self::default()
+        }
+    }
+
+    /// The §5.2 hybrid with `k` up-sweep levels.
+    pub fn hybrid(mut self, k: usize) -> Self {
+        self.up_levels = Some(k);
+        self
+    }
+
+    /// The schedule these options induce for a scan of length `len`.
+    pub fn schedule(&self, len: usize) -> ScanSchedule {
+        match self.up_levels {
+            None => ScanSchedule::full(len),
+            Some(k) => ScanSchedule::with_up_levels(len, k),
+        }
+    }
+}
+
+/// Result of a backward pass over a chain: activation gradients indexed by
+/// layer (`grads()[i] = ∇x_{i+1} l`).
+#[derive(Debug, Clone)]
+pub struct BackwardResult<S> {
+    grads: Vec<Vector<S>>,
+}
+
+impl<S: Scalar> BackwardResult<S> {
+    /// Assembles a result from layer-ordered gradients (used by the planned
+    /// executor, which unpacks the scan array itself).
+    pub(crate) fn from_grads(grads: Vec<Vector<S>>) -> Self {
+        Self { grads }
+    }
+
+    /// Gradients with respect to each layer output:
+    /// `grads()[i] = ∇x_{i+1} l` for `i ∈ 0..n`.
+    pub fn grads(&self) -> &[Vector<S>] {
+        &self.grads
+    }
+
+    /// The gradient flowing *into* layer `i` (1-indexed as in the paper),
+    /// i.e. `∇x_i l` — what layer `i`'s parameter gradient (Equation 2)
+    /// consumes is `grads_into(i+1)`… more precisely `∇x_i` for `i ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == 0` or `i > n` (the scan never produces `∇x_0`).
+    pub fn grad_x(&self, i: usize) -> &Vector<S> {
+        assert!(
+            i >= 1 && i <= self.grads.len(),
+            "grad_x: i must be in 1..=n (got {i}, n={})",
+            self.grads.len()
+        );
+        &self.grads[i - 1]
+    }
+
+    /// Largest absolute elementwise difference against another result — the
+    /// exactness metric of §3.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two results have different structure.
+    pub fn max_abs_diff(&self, other: &Self) -> S {
+        assert_eq!(
+            self.grads.len(),
+            other.grads.len(),
+            "max_abs_diff: results have different layer counts"
+        );
+        self.grads
+            .iter()
+            .zip(&other.grads)
+            .fold(S::ZERO, |acc, (a, b)| acc.maximum(a.max_abs_diff(b)))
+    }
+}
+
+/// Runs BPPSA: lays the chain out as the Equation 5 array, executes the
+/// (possibly hybrid) modified Blelloch scan, and unpacks `[I, ∇x_n, …, ∇x_1]`.
+///
+/// # Panics
+///
+/// Panics if the chain is structurally invalid.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_core::{bppsa_backward, linear_backward, BppsaOptions, JacobianChain, ScanElement};
+/// use bppsa_tensor::{Matrix, Vector};
+///
+/// let mut chain = JacobianChain::new(Vector::from_vec(vec![1.0_f64, -1.0]));
+/// chain.push(ScanElement::Dense(Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 2.0]])));
+/// let scan = bppsa_backward(&chain, BppsaOptions::serial());
+/// let lin = linear_backward(&chain);
+/// assert!(scan.max_abs_diff(&lin) < 1e-12);
+/// ```
+pub fn bppsa_backward<S: Scalar>(chain: &JacobianChain<S>, opts: BppsaOptions) -> BackwardResult<S> {
+    chain.validate();
+    let mut array = chain.to_scan_array();
+    let schedule = opts.schedule(array.len());
+    execute_in_place(&schedule, &JacobianScanOp, &mut array, opts.executor);
+    BackwardResult {
+        grads: gradients_from_scan_output(&array),
+    }
+}
+
+/// The linear-scan baseline: sequential `∇x_i ← J_{i+1}ᵀ · ∇x_{i+1}`
+/// (Equation 3 with explicit Jacobians), `Θ(n)` steps — same step count as
+/// classic BP.
+///
+/// # Panics
+///
+/// Panics if the chain is structurally invalid.
+pub fn linear_backward<S: Scalar>(chain: &JacobianChain<S>) -> BackwardResult<S> {
+    chain.validate();
+    let n = chain.num_layers();
+    let mut grads: Vec<Vector<S>> = Vec::with_capacity(n);
+    let mut current = chain.seed().clone();
+    // grads in layer order get filled from the back: g[n−1] = ∇x_n = seed.
+    let mut rev: Vec<Vector<S>> = Vec::with_capacity(n);
+    for jt in chain.jacobians().iter().rev() {
+        rev.push(current.clone());
+        current = match jt {
+            ScanElement::Dense(m) => m.matvec(&current),
+            ScanElement::Sparse(m) => m.spmv(&current),
+            other => panic!("linear_backward: unexpected element {other}"),
+        };
+    }
+    // `rev` holds [∇x_n, ∇x_{n−1}, …, ∇x_1]; reverse into layer order.
+    // (`current` now holds ∇x_0, which BP never needs.)
+    for g in rev.into_iter().rev() {
+        grads.push(g);
+    }
+    BackwardResult { grads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bppsa_sparse::Csr;
+    use bppsa_tensor::init::{seeded_rng, uniform_matrix, uniform_vector};
+    use bppsa_tensor::Matrix;
+
+    /// A random dense chain with varying layer widths.
+    fn random_chain(n: usize, seed: u64) -> JacobianChain<f64> {
+        let mut rng = seeded_rng(seed);
+        let dims: Vec<usize> = (0..=n).map(|i| 2 + (i * 3 + seed as usize) % 5).collect();
+        let mut chain = JacobianChain::new(uniform_vector(&mut rng, dims[n], 1.0));
+        for i in 0..n {
+            chain.push(ScanElement::Dense(uniform_matrix(
+                &mut rng,
+                dims[i],
+                dims[i + 1],
+                1.0,
+            )));
+        }
+        chain
+    }
+
+    fn to_sparse(chain: &JacobianChain<f64>) -> JacobianChain<f64> {
+        let mut out = JacobianChain::new(chain.seed().clone());
+        for jt in chain.jacobians() {
+            match jt {
+                ScanElement::Dense(m) => out.push(ScanElement::Sparse(Csr::from_dense(m))),
+                other => out.push(other.clone()),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blelloch_equals_linear_for_various_lengths() {
+        for n in [1usize, 2, 3, 4, 7, 8, 15, 16, 33] {
+            let chain = random_chain(n, n as u64);
+            let scan = bppsa_backward(&chain, BppsaOptions::serial());
+            let lin = linear_backward(&chain);
+            let diff = scan.max_abs_diff(&lin);
+            assert!(diff < 1e-9, "n={n}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn threaded_equals_serial() {
+        let chain = random_chain(21, 5);
+        let serial = bppsa_backward(&chain, BppsaOptions::serial());
+        let threaded = bppsa_backward(&chain, BppsaOptions::threaded(4));
+        assert!(serial.max_abs_diff(&threaded) < 1e-12);
+    }
+
+    #[test]
+    fn hybrid_cutoffs_all_agree() {
+        let chain = random_chain(13, 9);
+        let reference = linear_backward(&chain);
+        for k in 0..6 {
+            let hybrid = bppsa_backward(&chain, BppsaOptions::serial().hybrid(k));
+            let diff = hybrid.max_abs_diff(&reference);
+            assert!(diff < 1e-9, "k={k}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn sparse_chain_equals_dense_chain() {
+        let dense = random_chain(9, 3);
+        let sparse = to_sparse(&dense);
+        let gd = bppsa_backward(&dense, BppsaOptions::serial());
+        let gs = bppsa_backward(&sparse, BppsaOptions::serial());
+        assert!(gd.max_abs_diff(&gs) < 1e-9);
+    }
+
+    #[test]
+    fn grad_x_indexing_matches_paper_convention() {
+        let chain = random_chain(4, 2);
+        let res = linear_backward(&chain);
+        // ∇x_n is the seed itself.
+        assert!(res.grad_x(4).approx_eq(chain.seed(), 0.0));
+        // ∇x_3 = J_4^T ∇x_4.
+        let j4 = match &chain.jacobians()[3] {
+            ScanElement::Dense(m) => m.clone(),
+            _ => unreachable!(),
+        };
+        assert!(res.grad_x(3).approx_eq(&j4.matvec(chain.seed()), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "grad_x")]
+    fn grad_x_zero_is_rejected() {
+        let chain = random_chain(2, 1);
+        let res = linear_backward(&chain);
+        let _ = res.grad_x(0);
+    }
+
+    #[test]
+    fn single_layer_chain() {
+        let mut chain = JacobianChain::new(Vector::from_vec(vec![2.0f64]));
+        chain.push(ScanElement::Dense(Matrix::from_rows(&[&[3.0], &[4.0]])));
+        let res = bppsa_backward(&chain, BppsaOptions::serial());
+        assert_eq!(res.grads().len(), 1);
+        assert_eq!(res.grad_x(1).as_slice(), &[2.0]); // ∇x_1 = seed (n=1)
+    }
+
+    #[test]
+    fn default_options_are_serial_full() {
+        let o = BppsaOptions::default();
+        assert_eq!(o.executor, Executor::Serial);
+        assert_eq!(o.schedule(16), ScanSchedule::full(16));
+        assert_eq!(
+            BppsaOptions::serial().hybrid(2).schedule(16),
+            ScanSchedule::with_up_levels(16, 2)
+        );
+    }
+}

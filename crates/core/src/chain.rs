@@ -1,0 +1,256 @@
+//! The Jacobian chain: the input array of the paper's Equation 5.
+//!
+//! A [`JacobianChain`] owns the seed gradient `∇x_n l` and the transposed
+//! Jacobians `(∂x_{i+1}/∂x_i)ᵀ` in *layer order* (`J₁ᵀ … J_nᵀ`), and lays
+//! them out as the scan array `[∇x_n, J_nᵀ, …, J₁ᵀ]`.
+
+use crate::element::ScanElement;
+use bppsa_tensor::{Scalar, Vector};
+use std::fmt;
+
+/// The input of the BPPSA scan: seed gradient plus per-layer transposed
+/// Jacobians.
+///
+/// Shape discipline: a chain for layers `f₁ … f_n` with activation sizes
+/// `d₀, d₁, …, d_n` has `seed.len() == d_n` and `jacobians[i]` of shape
+/// `d_i × d_{i+1}` (it maps `∇x_{i+1} → ∇x_i`). [`JacobianChain::push`]
+/// validates this chaining as elements are added.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_core::{JacobianChain, ScanElement};
+/// use bppsa_tensor::{Matrix, Vector};
+///
+/// let mut chain = JacobianChain::new(Vector::from_vec(vec![1.0_f64, 0.0]));
+/// chain.push(ScanElement::Dense(Matrix::identity(2)));   // J₁ᵀ: d₀=2 × d₁=2
+/// assert_eq!(chain.num_layers(), 1);
+/// assert_eq!(chain.to_scan_array().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JacobianChain<S> {
+    seed: Vector<S>,
+    /// Transposed Jacobians in layer order: `jacobians[i] = (∂x_{i+1}/∂x_i)ᵀ`.
+    jacobians: Vec<ScanElement<S>>,
+}
+
+impl<S: Scalar> JacobianChain<S> {
+    /// Creates a chain from the seed gradient `∇x_n l`.
+    pub fn new(seed: Vector<S>) -> Self {
+        Self {
+            seed,
+            jacobians: Vec::new(),
+        }
+    }
+
+    /// Appends the transposed Jacobian of the **next layer toward the input**
+    /// — i.e. push `J_nᵀ` is wrong; push in layer order `J₁ᵀ, J₂ᵀ, …, J_nᵀ`.
+    /// The last pushed Jacobian must have `cols == seed.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is a vector/identity, or if its column count
+    /// does not match the rows of the previously pushed Jacobian.
+    pub fn push(&mut self, jt: ScanElement<S>) {
+        let (rows, cols) = match jt.shape() {
+            Some(s) => s,
+            None => panic!("JacobianChain::push: identity elements are not pushable"),
+        };
+        assert!(
+            !jt.is_vector(),
+            "JacobianChain::push: expected a matrix element"
+        );
+        if let Some(prev) = self.jacobians.last() {
+            let (_, prev_cols) = prev.shape().expect("stored elements are matrices");
+            assert_eq!(
+                rows, prev_cols,
+                "JacobianChain::push: J^T ({rows}x{cols}) does not chain into previous ({prev_cols} cols)"
+            );
+        }
+        self.jacobians.push(jt);
+    }
+
+    /// The seed gradient `∇x_n l`.
+    pub fn seed(&self) -> &Vector<S> {
+        &self.seed
+    }
+
+    /// The transposed Jacobians in layer order (`J₁ᵀ` first).
+    pub fn jacobians(&self) -> &[ScanElement<S>] {
+        &self.jacobians
+    }
+
+    /// Number of layers `n`.
+    pub fn num_layers(&self) -> usize {
+        self.jacobians.len()
+    }
+
+    /// Validates the complete chain: the seed must match `J_nᵀ`'s columns and
+    /// consecutive Jacobians must chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic if any link is inconsistent.
+    pub fn validate(&self) {
+        if let Some(last) = self.jacobians.last() {
+            let (_, cols) = last.shape().expect("matrix");
+            assert_eq!(
+                cols,
+                self.seed.len(),
+                "chain: J_n^T columns {cols} do not match seed length {}",
+                self.seed.len()
+            );
+        }
+        for w in self.jacobians.windows(2) {
+            let (rows_next, _) = w[1].shape().expect("matrix");
+            let (_, cols_prev) = w[0].shape().expect("matrix");
+            assert_eq!(rows_next, cols_prev, "chain: inconsistent link");
+        }
+    }
+
+    /// Builds the scan array of Equation 5:
+    /// `[∇x_n, J_nᵀ, J_{n−1}ᵀ, …, J₁ᵀ]` (length `n + 1`).
+    pub fn to_scan_array(&self) -> Vec<ScanElement<S>> {
+        let mut arr = Vec::with_capacity(self.jacobians.len() + 1);
+        arr.push(ScanElement::Vector(self.seed.clone()));
+        arr.extend(self.jacobians.iter().rev().cloned());
+        arr
+    }
+
+    /// Total payload bytes across all elements (for §3.6 accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.seed.len() * std::mem::size_of::<S>()
+            + self
+                .jacobians
+                .iter()
+                .map(ScanElement::memory_bytes)
+                .sum::<usize>()
+    }
+
+    /// The largest single-element payload, `M_Jacob` in §3.6's space bound
+    /// `M_Blelloch = Θ(max(n/p, 1)) · M_Jacob`.
+    pub fn max_element_bytes(&self) -> usize {
+        self.jacobians
+            .iter()
+            .map(ScanElement::memory_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl<S: Scalar> fmt::Display for JacobianChain<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JacobianChain(n={}, seed_len={})",
+            self.num_layers(),
+            self.seed.len()
+        )
+    }
+}
+
+/// Converts the post-scan array `[I, ∇x_n, …, ∇x_1]` into gradients indexed
+/// by layer: result `g` has `g[i] = ∇x_{i+1} l` for `i ∈ 0..n` (so `g[0]` is
+/// the gradient at the output of the first layer and `g[n−1] == ∇x_n`).
+///
+/// # Panics
+///
+/// Panics if the array does not have the expected post-scan structure
+/// (identity at position 0, vectors everywhere else).
+pub fn gradients_from_scan_output<S: Scalar>(output: &[ScanElement<S>]) -> Vec<Vector<S>> {
+    assert!(
+        matches!(output.first(), Some(ScanElement::Identity) | None),
+        "scan output must start with the identity"
+    );
+    let n = output.len().saturating_sub(1);
+    let mut grads: Vec<Vector<S>> = Vec::with_capacity(n);
+    // output[p] = ∇x_{n−p+1}; we want g[i] = ∇x_{i+1} = output[n − i].
+    for i in 0..n {
+        match &output[n - i] {
+            ScanElement::Vector(v) => grads.push(v.clone()),
+            other => panic!("scan output position {} is not a vector: {other}", n - i),
+        }
+    }
+    grads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bppsa_tensor::Matrix;
+
+    fn dense(rows: usize, cols: usize, scale: f64) -> ScanElement<f64> {
+        ScanElement::Dense(Matrix::from_fn(rows, cols, |i, j| {
+            scale * ((i + 2 * j) as f64 * 0.1 - 0.2)
+        }))
+    }
+
+    #[test]
+    fn push_validates_chaining() {
+        // Layer sizes d0=3, d1=2, d2=4 (seed length 4).
+        let mut chain = JacobianChain::new(Vector::<f64>::zeros(4));
+        chain.push(dense(3, 2, 1.0)); // J1^T: d0 x d1
+        chain.push(dense(2, 4, 1.0)); // J2^T: d1 x d2
+        chain.validate();
+        assert_eq!(chain.num_layers(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not chain")]
+    fn push_rejects_mismatched_link() {
+        let mut chain = JacobianChain::new(Vector::<f64>::zeros(4));
+        chain.push(dense(3, 2, 1.0));
+        chain.push(dense(5, 5, 1.0)); // cols 5 != prev rows 3
+    }
+
+    #[test]
+    #[should_panic(expected = "seed length")]
+    fn validate_rejects_bad_seed() {
+        let mut chain = JacobianChain::new(Vector::<f64>::zeros(3));
+        chain.push(dense(2, 4, 1.0)); // J1^T with d1=4 ≠ seed 3
+        chain.validate();
+    }
+
+    #[test]
+    fn scan_array_layout_is_equation5() {
+        let mut chain = JacobianChain::new(Vector::from_vec(vec![1.0f64, 2.0]));
+        chain.push(dense(3, 5, 1.0)); // J1^T
+        chain.push(dense(5, 2, 2.0)); // J2^T
+        chain.validate();
+        let arr = chain.to_scan_array();
+        assert_eq!(arr.len(), 3);
+        assert!(arr[0].is_vector()); // ∇x_n
+        assert_eq!(arr[1].shape(), Some((5, 2))); // J2^T (outermost layer first)
+        assert_eq!(arr[2].shape(), Some((3, 5))); // J1^T last
+    }
+
+    #[test]
+    fn gradients_from_output_reverses_positions() {
+        // Simulated post-scan array for n=2: [I, ∇x2, ∇x1].
+        let out = vec![
+            ScanElement::<f64>::Identity,
+            ScanElement::Vector(Vector::from_vec(vec![2.0])), // ∇x_2
+            ScanElement::Vector(Vector::from_vec(vec![1.0, 1.0])), // ∇x_1
+        ];
+        let grads = gradients_from_scan_output(&out);
+        assert_eq!(grads.len(), 2);
+        assert_eq!(grads[0].as_slice(), &[1.0, 1.0]); // g[0] = ∇x_1
+        assert_eq!(grads[1].as_slice(), &[2.0]); // g[1] = ∇x_2
+    }
+
+    #[test]
+    #[should_panic(expected = "start with the identity")]
+    fn gradients_require_identity_head() {
+        let out = vec![ScanElement::<f64>::Vector(Vector::zeros(1))];
+        let _ = gradients_from_scan_output(&out);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut chain = JacobianChain::new(Vector::<f32>::zeros(2));
+        chain.push(ScanElement::Dense(Matrix::<f32>::zeros(4, 2)));
+        // seed 2×4B + matrix 8×4B.
+        assert_eq!(chain.memory_bytes(), 8 + 32);
+        assert_eq!(chain.max_element_bytes(), 32);
+    }
+}

@@ -1,0 +1,287 @@
+//! Scan elements and the paper's binary operator `A ⊙ B = B·A`.
+//!
+//! §3.1 defines `⊙` as binary, associative, and **non-commutative**, with the
+//! identity matrix as its identity value, "where A can be either a matrix or
+//! a vector and B is a matrix". [`ScanElement`] realizes exactly those cases
+//! (plus the symbolic identity, which is never materialized), and
+//! [`JacobianScanOp`] implements `⊙` for the scan framework.
+//!
+//! Shape discipline (verified by construction and tests): in any exclusive
+//! scan over the array of Equation 5, the left operand of `⊙` is either the
+//! identity, the gradient-vector fold (a prefix that includes the seed), or a
+//! matrix fold; the right operand is never a vector unless it is such a
+//! prefix being distributed during the down-sweep against an identity.
+
+use bppsa_scan::ScanOp;
+use bppsa_sparse::{spgemm, Csr};
+use bppsa_tensor::{Matrix, Scalar, Vector};
+use std::fmt;
+
+/// One element of the BPPSA scan array: the symbolic identity `I`, a gradient
+/// vector, or a (transposed-Jacobian) matrix in dense or CSR representation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanElement<S> {
+    /// The symbolic identity matrix (never materialized; Figure 4's green
+    /// squares).
+    Identity,
+    /// A gradient vector — the seed `∇x_n l` or any fold that includes it.
+    Vector(Vector<S>),
+    /// A dense transposed Jacobian (or fold of several).
+    Dense(Matrix<S>),
+    /// A sparse transposed Jacobian (or fold of several) in CSR.
+    Sparse(Csr<S>),
+}
+
+impl<S: Scalar> ScanElement<S> {
+    /// Whether the element is the symbolic identity.
+    pub fn is_identity(&self) -> bool {
+        matches!(self, ScanElement::Identity)
+    }
+
+    /// Whether the element is a (gradient) vector.
+    pub fn is_vector(&self) -> bool {
+        matches!(self, ScanElement::Vector(_))
+    }
+
+    /// The `(rows, cols)` shape of a matrix element; vectors report
+    /// `(len, 1)`; the identity reports `None` (it adapts to any shape).
+    pub fn shape(&self) -> Option<(usize, usize)> {
+        match self {
+            ScanElement::Identity => None,
+            ScanElement::Vector(v) => Some((v.len(), 1)),
+            ScanElement::Dense(m) => Some(m.shape()),
+            ScanElement::Sparse(m) => Some(m.shape()),
+        }
+    }
+
+    /// Extracts the gradient vector, if this element is one.
+    pub fn as_vector(&self) -> Option<&Vector<S>> {
+        match self {
+            ScanElement::Vector(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Approximate memory footprint in bytes of the element's payload
+    /// (used by the space-complexity accounting, §3.6).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            ScanElement::Identity => 0,
+            ScanElement::Vector(v) => v.len() * std::mem::size_of::<S>(),
+            ScanElement::Dense(m) => m.numel() * std::mem::size_of::<S>(),
+            ScanElement::Sparse(m) => m.memory_bytes(),
+        }
+    }
+
+    /// Number of FLOPs `a ⊙ self` would cost with `a` as the left operand —
+    /// the per-step cost `P` of §3.6 (2 FLOPs per multiply–add; identity
+    /// short-circuits are free).
+    pub fn combine_flops(left: &Self, right: &Self) -> u64 {
+        use ScanElement::*;
+        match (left, right) {
+            (Identity, _) | (_, Identity) => 0,
+            (Vector(v), Dense(m)) => {
+                debug_assert_eq!(m.cols(), v.len());
+                2 * (m.rows() as u64) * (m.cols() as u64)
+            }
+            (Vector(v), Sparse(m)) => {
+                debug_assert_eq!(m.cols(), v.len());
+                bppsa_sparse::flops::spmv_flops(m)
+            }
+            (Dense(a), Dense(b)) => 2 * (b.rows() as u64) * (b.cols() as u64) * (a.cols() as u64),
+            (Sparse(a), Sparse(b)) => bppsa_sparse::flops::spgemm_flops(b, a),
+            // Mixed dense/sparse folds: costed as if densified (rare path).
+            (Dense(a), Sparse(b)) => 2 * (b.rows() as u64) * (b.cols() as u64) * (a.cols() as u64),
+            (Sparse(a), Dense(b)) => 2 * (b.rows() as u64) * (b.cols() as u64) * (a.cols() as u64),
+            (Vector(_), Vector(_)) | (Dense(_), Vector(_)) | (Sparse(_), Vector(_)) => {
+                panic!("combine_flops: invalid operand pair (matrix ⊙ vector)")
+            }
+        }
+    }
+}
+
+impl<S: Scalar> fmt::Display for ScanElement<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanElement::Identity => write!(f, "I"),
+            ScanElement::Vector(v) => write!(f, "vec[{}]", v.len()),
+            ScanElement::Dense(m) => write!(f, "dense[{}x{}]", m.rows(), m.cols()),
+            ScanElement::Sparse(m) => {
+                write!(f, "csr[{}x{}, nnz={}]", m.rows(), m.cols(), m.nnz())
+            }
+        }
+    }
+}
+
+/// The paper's `⊙` operator: `combine(a, b) = a ⊙ b = b · a`.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_core::{JacobianScanOp, ScanElement};
+/// use bppsa_scan::ScanOp;
+/// use bppsa_tensor::{Matrix, Vector};
+///
+/// let op = JacobianScanOp::default();
+/// let v = ScanElement::Vector(Vector::from_vec(vec![1.0_f64, 2.0]));
+/// let jt = ScanElement::Dense(Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]));
+/// // v ⊙ Jᵀ = Jᵀ·v — one step of Equation 3.
+/// match op.combine(&v, &jt) {
+///     ScanElement::Vector(g) => assert_eq!(g.as_slice(), &[1.0, 3.0]),
+///     other => panic!("expected vector, got {other}"),
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JacobianScanOp;
+
+impl<S: Scalar> ScanOp<ScanElement<S>> for JacobianScanOp {
+    fn combine(&self, a: &ScanElement<S>, b: &ScanElement<S>) -> ScanElement<S> {
+        use ScanElement::*;
+        match (a, b) {
+            (Identity, x) | (x, Identity) => x.clone(),
+            // a ⊙ b = b·a: gradient-vector folds.
+            (Vector(v), Dense(m)) => Vector(m.matvec(v)),
+            (Vector(v), Sparse(m)) => Vector(m.spmv(v)),
+            // Matrix folds: b·a in the matching representation.
+            (Dense(ma), Dense(mb)) => Dense(mb.matmul(ma)),
+            (Sparse(ma), Sparse(mb)) => Sparse(spgemm(mb, ma)),
+            // Mixed representations: densify the sparse operand (correct but
+            // slow; chains should be homogeneous).
+            (Dense(ma), Sparse(mb)) => Dense(mb.to_dense().matmul(ma)),
+            (Sparse(ma), Dense(mb)) => Dense(mb.matmul(&ma.to_dense())),
+            (Vector(_), Vector(_)) | (Dense(_), Vector(_)) | (Sparse(_), Vector(_)) => panic!(
+                "JacobianScanOp: invalid operand pair ({a} ⊙ {b}); \
+                 a vector may only appear as the left operand"
+            ),
+        }
+    }
+
+    fn identity(&self) -> ScanElement<S> {
+        ScanElement::Identity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bppsa_scan::ScanOp;
+
+    fn jt_a() -> Matrix<f64> {
+        Matrix::from_rows(&[&[1.0, 2.0], &[0.5, -1.0]])
+    }
+
+    fn jt_b() -> Matrix<f64> {
+        Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 1.0]])
+    }
+
+    #[test]
+    fn identity_short_circuits() {
+        let op = JacobianScanOp;
+        let v = ScanElement::Vector(Vector::from_vec(vec![1.0f64, 2.0]));
+        assert_eq!(op.combine(&op.identity(), &v), v);
+        assert_eq!(op.combine(&v, &op.identity()), v);
+        assert_eq!(
+            ScanElement::<f64>::combine_flops(&ScanElement::Identity, &v),
+            0
+        );
+    }
+
+    #[test]
+    fn vector_matrix_is_matvec() {
+        let op = JacobianScanOp;
+        let v = ScanElement::Vector(Vector::from_vec(vec![1.0f64, 1.0]));
+        let m = ScanElement::Dense(jt_a());
+        let out = op.combine(&v, &m);
+        assert_eq!(out.as_vector().unwrap().as_slice(), &[3.0, -0.5]);
+    }
+
+    #[test]
+    fn matrix_matrix_is_reversed_matmul() {
+        let op = JacobianScanOp;
+        let a = ScanElement::Dense(jt_a());
+        let b = ScanElement::Dense(jt_b());
+        // a ⊙ b = b·a.
+        match op.combine(&a, &b) {
+            ScanElement::Dense(m) => assert!(m.approx_eq(&jt_b().matmul(&jt_a()), 1e-12)),
+            other => panic!("expected dense, got {other}"),
+        }
+    }
+
+    #[test]
+    fn sparse_matches_dense_combine() {
+        let op = JacobianScanOp;
+        let (da, db) = (jt_a(), jt_b());
+        let sa = ScanElement::Sparse(Csr::from_dense(&da));
+        let sb = ScanElement::Sparse(Csr::from_dense(&db));
+        let dense_out = match op.combine(&ScanElement::Dense(da), &ScanElement::Dense(db)) {
+            ScanElement::Dense(m) => m,
+            _ => unreachable!(),
+        };
+        match op.combine(&sa, &sb) {
+            ScanElement::Sparse(m) => assert!(m.to_dense().approx_eq(&dense_out, 1e-12)),
+            other => panic!("expected sparse, got {other}"),
+        }
+    }
+
+    #[test]
+    fn mixed_representations_densify() {
+        let op = JacobianScanOp;
+        let a = ScanElement::Dense(jt_a());
+        let b = ScanElement::Sparse(Csr::from_dense(&jt_b()));
+        match op.combine(&a, &b) {
+            ScanElement::Dense(m) => assert!(m.approx_eq(&jt_b().matmul(&jt_a()), 1e-12)),
+            other => panic!("expected dense, got {other}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid operand pair")]
+    fn matrix_then_vector_is_rejected() {
+        let op = JacobianScanOp;
+        let m = ScanElement::Dense(jt_a());
+        let v = ScanElement::Vector(Vector::from_vec(vec![1.0f64, 1.0]));
+        let _ = op.combine(&m, &v);
+    }
+
+    #[test]
+    fn associativity_over_mixed_folds() {
+        // (v ⊙ A) ⊙ B == v ⊙ (A ⊙ B): the algebraic core of BPPSA.
+        let op = JacobianScanOp;
+        let v = ScanElement::Vector(Vector::from_vec(vec![0.5f64, -2.0]));
+        let a = ScanElement::Dense(jt_a());
+        let b = ScanElement::Dense(jt_b());
+        let left = op.combine(&op.combine(&v, &a), &b);
+        let right = op.combine(&v, &op.combine(&a, &b));
+        let (l, r) = (left.as_vector().unwrap(), right.as_vector().unwrap());
+        assert!(l.approx_eq(r, 1e-12));
+    }
+
+    #[test]
+    fn combine_flops_for_each_kind() {
+        let v = ScanElement::Vector(Vector::<f64>::zeros(2));
+        let d = ScanElement::Dense(jt_a());
+        let s = ScanElement::Sparse(Csr::from_dense(&jt_a()));
+        // GEMV: 2·2·2 = 8.
+        assert_eq!(ScanElement::combine_flops(&v, &d), 8);
+        // SpMV: 2·nnz = 8 (all four entries nonzero).
+        assert_eq!(ScanElement::combine_flops(&v, &s), 8);
+        // GEMM: 2·2·2·2 = 16.
+        assert_eq!(ScanElement::combine_flops(&d, &d), 16);
+        // SpGEMM on fully dense patterns equals GEMM.
+        assert_eq!(ScanElement::combine_flops(&s, &s), 16);
+    }
+
+    #[test]
+    fn memory_bytes_reflects_payload() {
+        let v = ScanElement::Vector(Vector::<f32>::zeros(8));
+        assert_eq!(v.memory_bytes(), 32);
+        assert_eq!(ScanElement::<f32>::Identity.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", ScanElement::<f32>::Identity), "I");
+        let v = ScanElement::Vector(Vector::<f32>::zeros(3));
+        assert_eq!(format!("{v}"), "vec[3]");
+    }
+}

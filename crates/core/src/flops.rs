@@ -1,0 +1,331 @@
+//! Per-step FLOP analysis of a BPPSA scan — the static analysis behind the
+//! paper's Figure 11.
+//!
+//! §4.2: "due to the lack of a fair implementation, we perform our
+//! experiments by calculating the FLOPs needed for each step in our method
+//! and the baseline implementation through static analysis." This module
+//! replays a schedule over a chain, recording for every `⊙` combine its
+//! sparse FLOP count, its dense `m×n×k` complexity (Figure 11's x-axis), its
+//! kind (matrix–vector vs matrix–matrix), and whether it sits on the
+//! critical path (the most expensive combine of its level).
+
+use crate::backward::BppsaOptions;
+use crate::chain::JacobianChain;
+use crate::element::{JacobianScanOp, ScanElement};
+use bppsa_scan::{PhaseKind, ScanOp};
+use bppsa_tensor::Scalar;
+
+/// Whether a combine is a matrix–vector or matrix–matrix multiplication
+/// (Figure 11's orange vs blue circles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// Matrix–vector product (a gradient fold).
+    MatVec,
+    /// Matrix–matrix product (a Jacobian fold).
+    MatMat,
+}
+
+/// The FLOP record of one `⊙` combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepFlops {
+    /// Which phase of the scan the combine belongs to.
+    pub phase: PhaseKind,
+    /// Level within the phase (0 for the middle).
+    pub level: usize,
+    /// Matrix–vector or matrix–matrix.
+    pub kind: StepKind,
+    /// Actual FLOPs with the sparse representation (2 per multiply–add).
+    pub flops: u64,
+    /// `m·n·k` of the multiplication as if dense — "the theoretical runtime
+    /// complexity of the step if the transposed Jacobian were not encoded in
+    /// a sparse format" (Figure 11 caption).
+    pub dense_mnk: u64,
+    /// Whether this combine is the most expensive of its parallel level
+    /// (and therefore on the critical path).
+    pub critical: bool,
+}
+
+fn classify<S: Scalar>(left: &ScanElement<S>, right: &ScanElement<S>) -> Option<(StepKind, u64)> {
+    // Returns (kind, dense m·n·k), or None for identity short-circuits.
+    let (lr, lc) = left.shape()?;
+    let (rr, rc) = right.shape()?;
+    // combine(a, b) = b·a: result (rr × lc), inner dim rc == lr.
+    debug_assert_eq!(rc, lr);
+    if left.is_vector() {
+        Some((StepKind::MatVec, (rr as u64) * (rc as u64)))
+    } else {
+        Some((StepKind::MatMat, (rr as u64) * (rc as u64) * (lc as u64)))
+    }
+}
+
+/// Replays the scan induced by `opts` over `chain`, returning one record per
+/// executed combine (identity short-circuits produce no record — they are
+/// the paper's "logical data movements that do not have to be performed").
+///
+/// # Panics
+///
+/// Panics if the chain is invalid.
+pub fn analyze_scan_flops<S: Scalar>(chain: &JacobianChain<S>, opts: BppsaOptions) -> Vec<StepFlops> {
+    chain.validate();
+    let op = JacobianScanOp;
+    let mut a = chain.to_scan_array();
+    let schedule = opts.schedule(a.len());
+    let mut records = Vec::new();
+
+    let record_level =
+        |records: &mut Vec<StepFlops>, level_records: &mut Vec<(usize, StepFlops)>| {
+            if level_records.is_empty() {
+                return;
+            }
+            let max_flops = level_records
+                .iter()
+                .map(|(_, r)| r.flops)
+                .max()
+                .unwrap_or(0);
+            let mut marked = false;
+            for (_, mut r) in level_records.drain(..) {
+                if !marked && r.flops == max_flops {
+                    r.critical = true;
+                    marked = true;
+                }
+                records.push(r);
+            }
+        };
+
+    // Up-sweep levels.
+    for (d, level) in schedule.up_levels().iter().enumerate() {
+        let mut level_records = Vec::new();
+        for p in level {
+            if let Some((kind, mnk)) = classify(&a[p.l], &a[p.r]) {
+                let flops = ScanElement::combine_flops(&a[p.l], &a[p.r]);
+                level_records.push((
+                    p.r,
+                    StepFlops {
+                        phase: PhaseKind::UpSweep,
+                        level: d,
+                        kind,
+                        flops,
+                        dense_mnk: mnk,
+                        critical: false,
+                    },
+                ));
+            }
+            a[p.r] = op.combine(&a[p.l], &a[p.r]);
+        }
+        record_level(&mut records, &mut level_records);
+    }
+
+    // Middle serial scan: every combine is on the critical path.
+    {
+        let mut running: ScanElement<S> = op.identity();
+        for &root in schedule.block_roots() {
+            if let Some((kind, mnk)) = classify(&running, &a[root]) {
+                records.push(StepFlops {
+                    phase: PhaseKind::Middle,
+                    level: 0,
+                    kind,
+                    flops: ScanElement::combine_flops(&running, &a[root]),
+                    dense_mnk: mnk,
+                    critical: true,
+                });
+            }
+            let next = op.combine(&running, &a[root]);
+            a[root] = std::mem::replace(&mut running, next);
+        }
+    }
+
+    // Down-sweep levels.
+    let k = schedule.down_levels().len();
+    for (idx, level) in schedule.down_levels().iter().enumerate() {
+        let mut level_records = Vec::new();
+        for p in level {
+            let t = a[p.l].clone();
+            // a[r] ⊙ t = t·a[r]: left operand is the incoming prefix a[r].
+            if let Some((kind, mnk)) = classify(&a[p.r], &t) {
+                level_records.push((
+                    p.r,
+                    StepFlops {
+                        phase: PhaseKind::DownSweep,
+                        level: k - 1 - idx,
+                        kind,
+                        flops: ScanElement::combine_flops(&a[p.r], &t),
+                        dense_mnk: mnk,
+                        critical: false,
+                    },
+                ));
+            }
+            let new_r = op.combine(&a[p.r], &t);
+            a[p.l] = std::mem::replace(&mut a[p.r], new_r);
+        }
+        record_level(&mut records, &mut level_records);
+    }
+
+    records
+}
+
+/// The baseline's per-"gradient operator" FLOPs: classic BP applies each
+/// transposed Jacobian to a gradient vector, one sequential matrix–vector
+/// product per layer (all on the critical path — Figure 11's green circles).
+pub fn analyze_baseline_flops<S: Scalar>(chain: &JacobianChain<S>) -> Vec<StepFlops> {
+    chain.validate();
+    let mut records = Vec::new();
+    let mut grad_len = chain.seed().len();
+    for jt in chain.jacobians().iter().rev() {
+        let (rows, cols) = jt.shape().expect("matrix");
+        debug_assert_eq!(cols, grad_len);
+        let flops = match jt {
+            ScanElement::Sparse(m) => bppsa_sparse::flops::spmv_flops(m),
+            ScanElement::Dense(m) => 2 * (m.rows() as u64) * (m.cols() as u64),
+            _ => unreachable!("chain holds matrices"),
+        };
+        records.push(StepFlops {
+            phase: PhaseKind::Middle,
+            level: 0,
+            kind: StepKind::MatVec,
+            flops,
+            dense_mnk: (rows as u64) * (cols as u64),
+            critical: true,
+        });
+        grad_len = rows;
+    }
+    records
+}
+
+/// Sums the FLOPs along the critical path: for each level, its most
+/// expensive combine; for serial phases, everything. This models the
+/// wall-clock cost under unbounded parallelism (§3.6's `Θ(log n)·P`).
+pub fn critical_path_flops(records: &[StepFlops]) -> u64 {
+    records.iter().filter(|r| r.critical).map(|r| r.flops).sum()
+}
+
+/// Sums all FLOPs (the work complexity `W`).
+pub fn total_flops(records: &[StepFlops]) -> u64 {
+    records.iter().map(|r| r.flops).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::JacobianChain;
+    use bppsa_sparse::Csr;
+    use bppsa_tensor::init::{seeded_rng, uniform_matrix, uniform_vector};
+    use bppsa_tensor::Vector;
+
+    fn chain(n: usize, d: usize) -> JacobianChain<f64> {
+        let mut rng = seeded_rng(42);
+        let mut c = JacobianChain::new(uniform_vector(&mut rng, d, 1.0));
+        for _ in 0..n {
+            c.push(ScanElement::Sparse(Csr::from_dense(&uniform_matrix(
+                &mut rng, d, d, 1.0,
+            ))));
+        }
+        c
+    }
+
+    #[test]
+    fn record_count_matches_executed_combines() {
+        let c = chain(7, 3);
+        let records = analyze_scan_flops(&c, BppsaOptions::serial());
+        // Some combines touch the identity (zero-cost, unrecorded), so the
+        // count is bounded by the schedule's combine count.
+        let sched = BppsaOptions::serial().schedule(8);
+        assert!(records.len() <= sched.combine_count());
+        assert!(!records.is_empty());
+    }
+
+    #[test]
+    fn every_parallel_level_has_exactly_one_critical_op() {
+        let c = chain(15, 2);
+        let records = analyze_scan_flops(&c, BppsaOptions::serial());
+        use std::collections::HashMap;
+        let mut per_level: HashMap<(u8, usize), (usize, usize)> = HashMap::new();
+        for r in &records {
+            let phase_id = match r.phase {
+                PhaseKind::UpSweep => 0u8,
+                PhaseKind::Middle => 1,
+                PhaseKind::DownSweep => 2,
+            };
+            let e = per_level.entry((phase_id, r.level)).or_insert((0, 0));
+            e.0 += 1;
+            if r.critical {
+                e.1 += 1;
+            }
+        }
+        for ((phase, level), (ops, crit)) in per_level {
+            if phase == 1 {
+                assert_eq!(ops, crit, "middle phase is fully critical");
+            } else {
+                assert_eq!(crit, 1, "phase {phase} level {level}: {ops} ops, {crit} critical");
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_records_one_matvec_per_layer() {
+        let c = chain(6, 4);
+        let records = analyze_baseline_flops(&c);
+        assert_eq!(records.len(), 6);
+        assert!(records.iter().all(|r| r.kind == StepKind::MatVec));
+        assert!(records.iter().all(|r| r.critical));
+        // Dense 4x4 Jacobians: spmv = 2·16 = 32 FLOPs each.
+        assert!(records.iter().all(|r| r.flops == 32));
+        assert_eq!(total_flops(&records), 6 * 32);
+    }
+
+    #[test]
+    fn scan_does_more_work_but_shorter_critical_path_per_step_count() {
+        // With square dense-ish Jacobians, the scan's total work exceeds the
+        // baseline's (matmuls vs matvecs), while its *step count* is O(log n)
+        // vs O(n) — the §3.6 trade-off in miniature.
+        let c = chain(31, 3);
+        let scan = analyze_scan_flops(&c, BppsaOptions::serial());
+        let base = analyze_baseline_flops(&c);
+        assert!(total_flops(&scan) > total_flops(&base));
+        let scan_steps: std::collections::HashSet<(u8, usize)> = scan
+            .iter()
+            .map(|r| {
+                (
+                    match r.phase {
+                        PhaseKind::UpSweep => 0u8,
+                        PhaseKind::Middle => 1,
+                        PhaseKind::DownSweep => 2,
+                    },
+                    r.level,
+                )
+            })
+            .collect();
+        // Middle counts as its op count (serial).
+        let middle_ops = scan
+            .iter()
+            .filter(|r| r.phase == PhaseKind::Middle)
+            .count();
+        let scan_critical_steps = scan_steps.len() - 1 + middle_ops;
+        assert!(
+            scan_critical_steps < base.len(),
+            "scan steps {scan_critical_steps} vs baseline {}",
+            base.len()
+        );
+    }
+
+    #[test]
+    fn hybrid_reduces_matmat_count() {
+        let c = chain(31, 3);
+        let full = analyze_scan_flops(&c, BppsaOptions::serial());
+        let hybrid = analyze_scan_flops(&c, BppsaOptions::serial().hybrid(2));
+        let mm = |rs: &[StepFlops]| rs.iter().filter(|r| r.kind == StepKind::MatMat).count();
+        assert!(mm(&hybrid) < mm(&full));
+    }
+
+    #[test]
+    fn dense_mnk_matches_shapes() {
+        let mut c = JacobianChain::new(Vector::from_vec(vec![1.0f64, 1.0, 1.0]));
+        c.push(ScanElement::Sparse(Csr::identity(3))); // J1^T: 3x3
+        let records = analyze_scan_flops(&c, BppsaOptions::serial());
+        // Single layer: one matvec of a 3x3: m·n·k = 9.
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].dense_mnk, 9);
+        assert_eq!(records[0].kind, StepKind::MatVec);
+        // Identity CSR stores 3 explicit ones → 6 FLOPs.
+        assert_eq!(records[0].flops, 6);
+    }
+}

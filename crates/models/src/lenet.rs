@@ -1,0 +1,120 @@
+//! LeNet-5 (LeCun et al. 1998) adapted to 32×32×3 CIFAR-style inputs — the
+//! model of the paper's §3.5 convergence experiment (Figure 7).
+
+use bppsa_core::Network;
+use bppsa_ops::{Conv2d, Conv2dConfig, Flatten, Linear, MaxPool2d, Relu};
+use bppsa_tensor::Scalar;
+use rand::rngs::StdRng;
+
+/// Builds LeNet-5 for `(3, 32, 32)` inputs and 10 classes:
+/// conv5×5(3→6) → ReLU → pool2 → conv5×5(6→16) → ReLU → pool2 →
+/// flatten(400) → fc120 → ReLU → fc84 → ReLU → fc10.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_models::lenet5;
+/// use bppsa_tensor::{init::seeded_rng, Tensor};
+///
+/// let net = lenet5::<f32>(&mut seeded_rng(0));
+/// let tape = net.forward(&Tensor::zeros(vec![3, 32, 32]));
+/// assert_eq!(tape.output().shape(), &[10]);
+/// ```
+pub fn lenet5<S: Scalar>(rng: &mut StdRng) -> Network<S> {
+    let mut net = Network::new();
+    net.push(Box::new(Conv2d::new(
+        Conv2dConfig {
+            in_channels: 3,
+            out_channels: 6,
+            kernel: (5, 5),
+            stride: (1, 1),
+            padding: (0, 0),
+            input_hw: (32, 32),
+        },
+        rng,
+    )));
+    net.push(Box::new(Relu::new(vec![6, 28, 28])));
+    net.push(Box::new(MaxPool2d::new(6, (2, 2), (2, 2), (28, 28))));
+    net.push(Box::new(Conv2d::new(
+        Conv2dConfig {
+            in_channels: 6,
+            out_channels: 16,
+            kernel: (5, 5),
+            stride: (1, 1),
+            padding: (0, 0),
+            input_hw: (14, 14),
+        },
+        rng,
+    )));
+    net.push(Box::new(Relu::new(vec![16, 10, 10])));
+    net.push(Box::new(MaxPool2d::new(16, (2, 2), (2, 2), (10, 10))));
+    net.push(Box::new(Flatten::new(vec![16, 5, 5])));
+    net.push(Box::new(Linear::new(400, 120, rng)));
+    net.push(Box::new(Relu::new(vec![120])));
+    net.push(Box::new(Linear::new(120, 84, rng)));
+    net.push(Box::new(Relu::new(vec![84])));
+    net.push(Box::new(Linear::new(84, 10, rng)));
+    net
+}
+
+/// A reduced LeNet (8×8 inputs, narrow layers) for fast tests that still
+/// exercise every operator kind.
+pub fn lenet_tiny<S: Scalar>(rng: &mut StdRng) -> Network<S> {
+    let mut net = Network::new();
+    net.push(Box::new(Conv2d::new(
+        Conv2dConfig {
+            in_channels: 3,
+            out_channels: 4,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (0, 0),
+            input_hw: (8, 8),
+        },
+        rng,
+    )));
+    net.push(Box::new(Relu::new(vec![4, 6, 6])));
+    net.push(Box::new(MaxPool2d::new(4, (2, 2), (2, 2), (6, 6))));
+    net.push(Box::new(Flatten::new(vec![4, 3, 3])));
+    net.push(Box::new(Linear::new(36, 16, rng)));
+    net.push(Box::new(Relu::new(vec![16])));
+    net.push(Box::new(Linear::new(16, 10, rng)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bppsa_core::{BppsaOptions, JacobianRepr};
+    use bppsa_tensor::init::{seeded_rng, uniform_tensor, uniform_vector};
+
+    #[test]
+    fn lenet5_shapes_flow() {
+        let net = lenet5::<f32>(&mut seeded_rng(0));
+        assert_eq!(net.num_layers(), 12);
+        let tape = net.forward(&uniform_tensor(&mut seeded_rng(1), vec![3, 32, 32], 1.0));
+        assert_eq!(tape.output().shape(), &[10]);
+    }
+
+    #[test]
+    fn lenet5_param_count_matches_formula() {
+        let net = lenet5::<f32>(&mut seeded_rng(0));
+        let expected = (6 * 3 * 25 + 6)
+            + (16 * 6 * 25 + 16)
+            + (400 * 120 + 120)
+            + (120 * 84 + 84)
+            + (84 * 10 + 10);
+        assert_eq!(net.num_params(), expected);
+    }
+
+    #[test]
+    fn tiny_lenet_bppsa_equals_bp() {
+        let net = lenet_tiny::<f64>(&mut seeded_rng(2));
+        let x = uniform_tensor(&mut seeded_rng(3), vec![3, 8, 8], 1.0);
+        let tape = net.forward(&x);
+        let g = uniform_vector(&mut seeded_rng(4), 10, 1.0);
+        let bp = net.backward_bp(&tape, &g);
+        let scan = net.backward_bppsa(&tape, &g, JacobianRepr::Sparse, BppsaOptions::serial());
+        let diff = bp.max_abs_diff(&scan);
+        assert!(diff < 1e-10, "diff {diff}");
+    }
+}

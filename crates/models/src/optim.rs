@@ -1,0 +1,183 @@
+//! First-order optimizers: SGD with momentum (the Figure 7 experiment) and
+//! Adam (the Figure 9 RNN experiment).
+//!
+//! BPPSA is "agnostic to the exact first-order optimizer being used" (§2.2)
+//! because it reconstructs the exact gradients; these optimizers consume
+//! gradients from either backward path interchangeably.
+
+use bppsa_tensor::Scalar;
+
+/// A flat-parameter optimizer: updates one parameter buffer from one
+/// gradient buffer, holding whatever state it needs.
+pub trait Optimizer<S: Scalar>: Send {
+    /// Applies one update step: `params ← params − update(grads)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != grads.len()` or if the length changes
+    /// between calls.
+    fn step(&mut self, params: &mut [S], grads: &[S]);
+
+    /// Learning rate currently in effect.
+    fn learning_rate(&self) -> f64;
+}
+
+/// Stochastic gradient descent with classical momentum (Qian 1999):
+/// `v ← μ·v + g; θ ← θ − lr·v` — PyTorch's convention, matching the
+/// paper's LeNet-5 setup (lr = 0.001, μ = 0.9).
+#[derive(Debug, Clone)]
+pub struct Sgd<S> {
+    lr: S,
+    momentum: S,
+    velocity: Vec<S>,
+}
+
+impl<S: Scalar> Sgd<S> {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f64, momentum: f64) -> Self {
+        Self {
+            lr: S::from_f64(lr),
+            momentum: S::from_f64(momentum),
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl<S: Scalar> Optimizer<S> for Sgd<S> {
+    fn step(&mut self, params: &mut [S], grads: &[S]) {
+        assert_eq!(params.len(), grads.len(), "sgd: length mismatch");
+        if self.velocity.is_empty() {
+            self.velocity = vec![S::ZERO; params.len()];
+        }
+        assert_eq!(self.velocity.len(), params.len(), "sgd: length changed");
+        for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            *v = self.momentum * *v + g;
+            *p -= self.lr * *v;
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr.to_f64()
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction — the paper's RNN optimizer
+/// (lr = 3×10⁻⁵).
+#[derive(Debug, Clone)]
+pub struct Adam<S> {
+    lr: S,
+    beta1: S,
+    beta2: S,
+    eps: S,
+    t: i32,
+    m: Vec<S>,
+    v: Vec<S>,
+}
+
+impl<S: Scalar> Adam<S> {
+    /// Creates an Adam optimizer with the standard β = (0.9, 0.999),
+    /// ε = 1e−8.
+    pub fn new(lr: f64) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates an Adam optimizer with explicit hyper-parameters.
+    pub fn with_betas(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
+        Self {
+            lr: S::from_f64(lr),
+            beta1: S::from_f64(beta1),
+            beta2: S::from_f64(beta2),
+            eps: S::from_f64(eps),
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl<S: Scalar> Optimizer<S> for Adam<S> {
+    fn step(&mut self, params: &mut [S], grads: &[S]) {
+        assert_eq!(params.len(), grads.len(), "adam: length mismatch");
+        if self.m.is_empty() {
+            self.m = vec![S::ZERO; params.len()];
+            self.v = vec![S::ZERO; params.len()];
+        }
+        assert_eq!(self.m.len(), params.len(), "adam: length changed");
+        self.t += 1;
+        let bc1 = S::ONE - self.beta1.powi(self.t);
+        let bc2 = S::ONE - self.beta2.powi(self.t);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (S::ONE - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (S::ONE - self.beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr.to_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes ½‖θ‖² and checks convergence toward zero.
+    fn drive<O: Optimizer<f64>>(mut opt: O, steps: usize) -> f64 {
+        let mut theta = vec![1.0f64, -2.0, 3.0];
+        for _ in 0..steps {
+            let grads: Vec<f64> = theta.clone();
+            opt.step(&mut theta, &grads);
+        }
+        theta.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn sgd_without_momentum_is_plain_descent() {
+        let mut opt = Sgd::<f64>::new(0.1, 0.0);
+        let mut theta = vec![1.0f64];
+        opt.step(&mut theta, &[1.0]);
+        assert!((theta[0] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates_velocity() {
+        let mut opt = Sgd::<f64>::new(0.1, 0.9);
+        let mut theta = vec![0.0f64];
+        opt.step(&mut theta, &[1.0]); // v=1, θ=-0.1
+        opt.step(&mut theta, &[1.0]); // v=1.9, θ=-0.29
+        assert!((theta[0] + 0.29).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_optimizers_converge_on_quadratic() {
+        assert!(drive(Sgd::new(0.1, 0.9), 200) < 1e-3);
+        assert!(drive(Adam::new(0.05), 500) < 1e-2);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the first Adam step is ≈ lr·sign(g).
+        let mut opt = Adam::<f64>::new(0.01);
+        let mut theta = vec![0.0f64];
+        opt.step(&mut theta, &[42.0]);
+        assert!((theta[0] + 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut opt = Sgd::<f32>::new(0.1, 0.0);
+        let mut theta = vec![0.0f32; 2];
+        opt.step(&mut theta, &[1.0]);
+    }
+
+    #[test]
+    fn learning_rate_accessor() {
+        assert_eq!(Sgd::<f32>::new(0.001, 0.9).learning_rate() as f32, 0.001);
+        assert_eq!(Adam::<f32>::new(3e-5).learning_rate() as f32, 3e-5);
+    }
+}

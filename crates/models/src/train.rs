@@ -1,0 +1,495 @@
+//! Training loops with switchable backward paths — the machinery behind the
+//! Figure 7 (convergence) and Figure 9 (loss vs wall-clock) experiments.
+//!
+//! Every loop times the backward portion separately so the harness can
+//! report backward-pass and overall speedups the way §5.1 does.
+
+use crate::datasets::{BitstreamDataset, SyntheticCifar};
+use crate::optim::Optimizer;
+use crate::rnn::{RnnGrads, VanillaRnn};
+use bppsa_core::{BppsaOptions, JacobianRepr, Network};
+use bppsa_ops::SoftmaxCrossEntropy;
+use bppsa_tensor::Scalar;
+use std::time::Instant;
+
+/// Which backward path a training loop uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackwardMethod {
+    /// Classic back-propagation (the PyTorch-Autograd/cuDNN baseline).
+    Bp,
+    /// BPPSA: transposed-Jacobian chain + modified Blelloch scan.
+    Bppsa {
+        /// Scan execution options.
+        opts: BppsaOptions,
+        /// Jacobian representation.
+        repr: JacobianRepr,
+    },
+    /// Batched BPPSA for recurrent loops: the whole mini-batch enters a
+    /// single scan over block-diagonal Jacobians
+    /// ([`VanillaRnn::backward_bppsa_batched`]). Ignored (treated as
+    /// [`BackwardMethod::Bppsa`]) by feed-forward training loops.
+    BppsaFused {
+        /// Scan execution options.
+        opts: BppsaOptions,
+    },
+}
+
+impl BackwardMethod {
+    /// BPPSA with sparse Jacobians and `threads` scan workers (spawned per
+    /// level; prefer [`BackwardMethod::bppsa_pooled`] for training loops).
+    pub fn bppsa_threaded(threads: usize) -> Self {
+        BackwardMethod::Bppsa {
+            opts: BppsaOptions::threaded(threads),
+            repr: JacobianRepr::Sparse,
+        }
+    }
+
+    /// BPPSA with sparse Jacobians on the persistent worker pool.
+    pub fn bppsa_pooled() -> Self {
+        BackwardMethod::Bppsa {
+            opts: BppsaOptions::pooled(),
+            repr: JacobianRepr::Sparse,
+        }
+    }
+
+    /// Fused batched BPPSA (RNN loops only): one block-diagonal scan per
+    /// mini-batch instead of one scan per sample.
+    pub fn bppsa_fused(opts: BppsaOptions) -> Self {
+        BackwardMethod::BppsaFused { opts }
+    }
+}
+
+/// One training iteration's record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration index (mini-batch counter across epochs).
+    pub iteration: usize,
+    /// Mean mini-batch loss.
+    pub loss: f64,
+    /// Cumulative wall-clock seconds since training started.
+    pub wall_s: f64,
+    /// Seconds spent in this iteration's backward pass.
+    pub backward_s: f64,
+}
+
+/// The full log of a training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainLog {
+    /// Per-iteration records, in order.
+    pub records: Vec<IterationRecord>,
+}
+
+impl TrainLog {
+    /// Total wall-clock seconds.
+    pub fn total_s(&self) -> f64 {
+        self.records.last().map_or(0.0, |r| r.wall_s)
+    }
+
+    /// Total seconds spent in backward passes.
+    pub fn backward_s(&self) -> f64 {
+        self.records.iter().map(|r| r.backward_s).sum()
+    }
+
+    /// Final recorded loss.
+    pub fn final_loss(&self) -> f64 {
+        self.records.last().map_or(f64::NAN, |r| r.loss)
+    }
+
+    /// Largest absolute per-iteration loss difference to another log — the
+    /// Figure 7 overlap metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logs have different lengths.
+    pub fn max_loss_gap(&self, other: &TrainLog) -> f64 {
+        assert_eq!(self.records.len(), other.records.len(), "log length mismatch");
+        self.records
+            .iter()
+            .zip(&other.records)
+            .map(|(a, b)| (a.loss - b.loss).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs one mini-batch step on a sequential network classifier: forward,
+/// softmax-CE loss, backward (per `method`), and gradient accumulation.
+/// Returns `(mean loss, per-layer param grads, backward seconds)`.
+pub fn network_batch_step<S: Scalar>(
+    net: &Network<S>,
+    images: &[(&bppsa_tensor::Tensor<S>, usize)],
+    method: BackwardMethod,
+) -> (f64, Vec<Vec<S>>, f64) {
+    assert!(!images.is_empty(), "empty batch");
+    let inv_b = S::ONE / S::from_usize(images.len());
+    let mut total_loss = S::ZERO;
+    let mut param_grads: Vec<Vec<S>> = net
+        .ops()
+        .iter()
+        .map(|op| vec![S::ZERO; op.param_len()])
+        .collect();
+    let mut backward_s = 0.0;
+
+    for &(image, label) in images {
+        let tape = net.forward(image);
+        let logits = tape.output().to_vector();
+        let (loss, grad_logits) = SoftmaxCrossEntropy::loss_and_grad(&logits, label);
+        total_loss += loss;
+        let seed = grad_logits.scaled(inv_b);
+
+        let t0 = Instant::now();
+        let grads = match method {
+            BackwardMethod::Bp => net.backward_bp(&tape, &seed),
+            BackwardMethod::Bppsa { opts, repr } => net.backward_bppsa(&tape, &seed, repr, opts),
+            BackwardMethod::BppsaFused { opts } => {
+                net.backward_bppsa(&tape, &seed, JacobianRepr::Sparse, opts)
+            }
+        };
+        backward_s += t0.elapsed().as_secs_f64();
+
+        for (acc, g) in param_grads.iter_mut().zip(&grads.param_grads) {
+            for (a, &v) in acc.iter_mut().zip(g) {
+                *a += v;
+            }
+        }
+    }
+    ((total_loss * inv_b).to_f64(), param_grads, backward_s)
+}
+
+/// Trains a network classifier on synthetic CIFAR with one optimizer per
+/// layer, recording losses and wall-clock per iteration.
+#[allow(clippy::too_many_arguments)]
+pub fn train_network_classifier<S: Scalar>(
+    net: &mut Network<S>,
+    data: &SyntheticCifar<S>,
+    optimizers: &mut [Box<dyn Optimizer<S>>],
+    method: BackwardMethod,
+    batch_size: usize,
+    epochs: usize,
+    max_iterations: Option<usize>,
+) -> TrainLog {
+    assert_eq!(
+        optimizers.len(),
+        net.num_layers(),
+        "one optimizer per layer required"
+    );
+    let mut log = TrainLog::default();
+    let start = Instant::now();
+    let mut iteration = 0usize;
+    'outer: for _epoch in 0..epochs {
+        for range in data.batches(batch_size).collect::<Vec<_>>() {
+            let batch: Vec<(&bppsa_tensor::Tensor<S>, usize)> = range
+                .clone()
+                .map(|i| {
+                    let s = data.sample(i);
+                    (&s.image, s.label)
+                })
+                .collect();
+            let (loss, grads, backward_s) = network_batch_step(net, &batch, method);
+            for ((op, opt), g) in net
+                .ops_mut()
+                .iter_mut()
+                .zip(optimizers.iter_mut())
+                .zip(&grads)
+            {
+                if op.param_len() > 0 {
+                    let mut params = op.params();
+                    opt.step(&mut params, g);
+                    op.set_params(&params);
+                }
+            }
+            log.records.push(IterationRecord {
+                iteration,
+                loss,
+                wall_s: start.elapsed().as_secs_f64(),
+                backward_s,
+            });
+            iteration += 1;
+            if let Some(max) = max_iterations {
+                if iteration >= max {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    log
+}
+
+/// Classification accuracy of a network over a dataset.
+pub fn evaluate_network<S: Scalar>(net: &Network<S>, data: &SyntheticCifar<S>) -> f64 {
+    let mut correct = 0usize;
+    for i in 0..data.len() {
+        let s = data.sample(i);
+        let tape = net.forward(&s.image);
+        if tape.output().to_vector().argmax() == Some(s.label) {
+            correct += 1;
+        }
+    }
+    correct as f64 / data.len() as f64
+}
+
+/// Runs one RNN mini-batch step. Returns `(mean loss, summed grads,
+/// backward seconds)`; seeds are pre-scaled by `1/B` so the sum is the
+/// batch-mean gradient.
+pub fn rnn_batch_step<S: Scalar>(
+    rnn: &VanillaRnn<S>,
+    data: &BitstreamDataset<S>,
+    indices: std::ops::Range<usize>,
+    method: BackwardMethod,
+) -> (f64, RnnGrads<S>, f64) {
+    assert!(!indices.is_empty(), "empty batch");
+    let inv_b = S::ONE / S::from_usize(indices.len());
+    if let BackwardMethod::BppsaFused { opts } = method {
+        // One block-diagonal scan for the whole mini-batch.
+        let mut total_loss = S::ZERO;
+        let mut prepared = Vec::with_capacity(indices.len());
+        for i in indices {
+            let sample = data.sample(i);
+            let states = rnn.forward(&sample.bits);
+            let (loss, seed, g_logits) = rnn.loss_and_seed(&states, sample.label);
+            total_loss += loss;
+            prepared.push((
+                sample.bits.as_slice(),
+                states,
+                seed.scaled(inv_b),
+                g_logits.scaled(inv_b),
+            ));
+        }
+        let batch: Vec<(&[S], &crate::RnnStates<S>, bppsa_tensor::Vector<S>, bppsa_tensor::Vector<S>)> = prepared
+            .iter()
+            .map(|(bits, states, seed, g)| (*bits, states, seed.clone(), g.clone()))
+            .collect();
+        let t0 = Instant::now();
+        let grads = rnn.backward_bppsa_batched(&batch, opts);
+        let backward_s = t0.elapsed().as_secs_f64();
+        return ((total_loss * inv_b).to_f64(), grads, backward_s);
+    }
+    let mut total_loss = S::ZERO;
+    let mut accumulated: Option<RnnGrads<S>> = None;
+    let mut backward_s = 0.0;
+
+    for i in indices {
+        let sample = data.sample(i);
+        let states = rnn.forward(&sample.bits);
+        let (loss, seed, g_logits) = rnn.loss_and_seed(&states, sample.label);
+        total_loss += loss;
+        let seed = seed.scaled(inv_b);
+        let g_logits = g_logits.scaled(inv_b);
+
+        let t0 = Instant::now();
+        let grads = match method {
+            BackwardMethod::Bp => rnn.backward_bptt(&sample.bits, &states, &seed, &g_logits),
+            BackwardMethod::Bppsa { opts, .. } => {
+                rnn.backward_bppsa(&sample.bits, &states, &seed, &g_logits, opts)
+            }
+            BackwardMethod::BppsaFused { .. } => unreachable!("handled above"),
+        };
+        backward_s += t0.elapsed().as_secs_f64();
+
+        match &mut accumulated {
+            None => accumulated = Some(grads),
+            Some(acc) => acc.accumulate(&grads),
+        }
+    }
+    (
+        (total_loss * inv_b).to_f64(),
+        accumulated.expect("nonempty batch"),
+        backward_s,
+    )
+}
+
+/// Trains the RNN on the bitstream task with a flat-parameter optimizer
+/// (Adam in the paper), recording losses and wall-clock per iteration.
+pub fn train_rnn<S: Scalar>(
+    rnn: &mut VanillaRnn<S>,
+    data: &BitstreamDataset<S>,
+    optimizer: &mut dyn Optimizer<S>,
+    method: BackwardMethod,
+    batch_size: usize,
+    epochs: usize,
+    max_iterations: Option<usize>,
+) -> TrainLog {
+    let mut log = TrainLog::default();
+    let start = Instant::now();
+    let mut iteration = 0usize;
+    'outer: for _epoch in 0..epochs {
+        for range in data.batches(batch_size).collect::<Vec<_>>() {
+            let (loss, grads, backward_s) = rnn_batch_step(rnn, data, range, method);
+            let mut params = rnn.params();
+            optimizer.step(&mut params, &grads.flat());
+            rnn.set_params(&params);
+            log.records.push(IterationRecord {
+                iteration,
+                loss,
+                wall_s: start.elapsed().as_secs_f64(),
+                backward_s,
+            });
+            iteration += 1;
+            if let Some(max) = max_iterations {
+                if iteration >= max {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    log
+}
+
+/// Classification accuracy of the RNN over a dataset.
+pub fn evaluate_rnn<S: Scalar>(rnn: &VanillaRnn<S>, data: &BitstreamDataset<S>) -> f64 {
+    let mut correct = 0usize;
+    for i in 0..data.len() {
+        let s = data.sample(i);
+        let states = rnn.forward(&s.bits);
+        let logits = rnn.logits(states.last().expect("nonempty"));
+        if logits.argmax() == Some(s.label) {
+            correct += 1;
+        }
+    }
+    correct as f64 / data.len() as f64
+}
+
+/// Seeds an optimizer per network layer (helper for
+/// [`train_network_classifier`]).
+pub fn sgd_per_layer<S: Scalar>(
+    net: &Network<S>,
+    lr: f64,
+    momentum: f64,
+) -> Vec<Box<dyn Optimizer<S>>> {
+    (0..net.num_layers())
+        .map(|_| Box::new(crate::optim::Sgd::new(lr, momentum)) as Box<dyn Optimizer<S>>)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lenet::lenet_tiny;
+    use crate::optim::Adam;
+    use bppsa_tensor::init::seeded_rng;
+
+    #[test]
+    fn tiny_lenet_loss_decreases_with_bp() {
+        let mut net = lenet_tiny::<f32>(&mut seeded_rng(0));
+        let data = SyntheticCifar::<f32>::generate(64, 8, 0.1, 1);
+        let mut opts = sgd_per_layer(&net, 0.03, 0.9);
+        let log = train_network_classifier(
+            &mut net,
+            &data,
+            &mut opts,
+            BackwardMethod::Bp,
+            16,
+            25,
+            None,
+        );
+        let first = log.records[0].loss;
+        let last = log.final_loss();
+        assert!(
+            last < first * 0.8,
+            "loss did not decrease: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn bp_and_bppsa_training_losses_overlap() {
+        // Figure 7 in miniature: identical seeds → overlapping loss curves.
+        let data = SyntheticCifar::<f32>::generate(32, 8, 0.2, 2);
+        let run = |method: BackwardMethod| {
+            let mut net = lenet_tiny::<f32>(&mut seeded_rng(3));
+            let mut opts = sgd_per_layer(&net, 0.02, 0.9);
+            train_network_classifier(&mut net, &data, &mut opts, method, 8, 3, None)
+        };
+        let bp = run(BackwardMethod::Bp);
+        let scan = run(BackwardMethod::Bppsa {
+            opts: BppsaOptions::serial(),
+            repr: JacobianRepr::Sparse,
+        });
+        let gap = bp.max_loss_gap(&scan);
+        assert!(gap < 1e-3, "loss curves diverged by {gap}");
+    }
+
+    #[test]
+    fn rnn_training_loss_decreases() {
+        let data = BitstreamDataset::<f32>::generate(64, 24, 4);
+        let mut rnn = VanillaRnn::<f32>::new(1, 12, 10, &mut seeded_rng(5));
+        let mut opt = Adam::new(0.01);
+        let log = train_rnn(
+            &mut rnn,
+            &data,
+            &mut opt,
+            BackwardMethod::Bp,
+            16,
+            12,
+            None,
+        );
+        assert!(
+            log.final_loss() < log.records[0].loss,
+            "{} → {}",
+            log.records[0].loss,
+            log.final_loss()
+        );
+    }
+
+    #[test]
+    fn rnn_bp_and_bppsa_produce_same_training_trajectory() {
+        let data = BitstreamDataset::<f32>::generate(24, 16, 6);
+        let run = |method: BackwardMethod| {
+            let mut rnn = VanillaRnn::<f32>::new(1, 8, 10, &mut seeded_rng(7));
+            let mut opt = Adam::new(0.003);
+            train_rnn(&mut rnn, &data, &mut opt, method, 8, 4, None)
+        };
+        let bp = run(BackwardMethod::Bp);
+        let scan = run(BackwardMethod::bppsa_threaded(2));
+        assert!(bp.max_loss_gap(&scan) < 1e-3);
+    }
+
+    #[test]
+    fn fused_batched_scan_training_matches_bptt() {
+        // One block-diagonal scan per mini-batch reproduces the per-sample
+        // trajectory exactly.
+        let data = BitstreamDataset::<f32>::generate(24, 12, 61);
+        let run = |method: BackwardMethod| {
+            let mut rnn = VanillaRnn::<f32>::new(1, 6, 10, &mut seeded_rng(62));
+            let mut opt = Adam::new(0.005);
+            train_rnn(&mut rnn, &data, &mut opt, method, 6, 4, None)
+        };
+        let bptt = run(BackwardMethod::Bp);
+        let fused = run(BackwardMethod::bppsa_fused(BppsaOptions::serial()));
+        assert!(bptt.max_loss_gap(&fused) < 1e-3);
+    }
+
+    #[test]
+    fn max_iterations_caps_the_run() {
+        let data = BitstreamDataset::<f32>::generate(64, 8, 8);
+        let mut rnn = VanillaRnn::<f32>::new(1, 6, 10, &mut seeded_rng(9));
+        let mut opt = Adam::new(0.01);
+        let log = train_rnn(
+            &mut rnn,
+            &data,
+            &mut opt,
+            BackwardMethod::Bp,
+            8,
+            100,
+            Some(5),
+        );
+        assert_eq!(log.records.len(), 5);
+    }
+
+    #[test]
+    fn evaluate_rnn_learns_above_chance() {
+        // Short training on an easy (long-sequence) task beats 10% chance.
+        let data = BitstreamDataset::<f32>::generate(60, 64, 10);
+        let mut rnn = VanillaRnn::<f32>::new(1, 16, 10, &mut seeded_rng(11));
+        let mut opt = Adam::new(0.01);
+        let _ = train_rnn(
+            &mut rnn,
+            &data,
+            &mut opt,
+            BackwardMethod::Bp,
+            12,
+            30,
+            None,
+        );
+        let acc = evaluate_rnn(&rnn, &data);
+        assert!(acc > 0.2, "accuracy {acc} not above chance");
+    }
+}

@@ -1,0 +1,137 @@
+//! VGG-11 (Simonyan & Zisserman 2015) adapted to 32×32 CIFAR-style inputs —
+//! the network of the paper's Table 1, Figure 4, and the pruned retraining
+//! micro-benchmark (§4.2, Figure 11).
+
+use bppsa_core::Network;
+use bppsa_ops::{Conv2d, Conv2dConfig, Flatten, Linear, MaxPool2d, Relu};
+use bppsa_tensor::Scalar;
+use rand::rngs::StdRng;
+
+/// The 8 convolution widths of VGG-11 and where max-pools fall (after convs
+/// 1, 2, 4, 6, 8) — "conv-64, pool, conv-128, pool, conv-256 ×2, pool,
+/// conv-512 ×2, pool, conv-512 ×2, pool".
+pub const VGG11_WIDTHS: [usize; 8] = [64, 128, 256, 256, 512, 512, 512, 512];
+
+const POOL_AFTER: [bool; 8] = [true, true, false, true, false, true, false, true];
+
+/// Geometry of one VGG-11 convolution on `scale`-sized inputs: returns
+/// `(in_channels, out_channels, input_hw)` per conv layer.
+pub fn vgg11_conv_geometry(scale: usize) -> Vec<(usize, usize, (usize, usize))> {
+    let mut geoms = Vec::with_capacity(8);
+    let mut channels = 3;
+    let mut hw = scale;
+    for (i, &width) in VGG11_WIDTHS.iter().enumerate() {
+        geoms.push((channels, width, (hw, hw)));
+        channels = width;
+        if POOL_AFTER[i] {
+            hw /= 2;
+        }
+    }
+    geoms
+}
+
+/// Builds the full VGG-11 feature extractor + linear classifier for
+/// `(3, scale, scale)` inputs (`scale` must be divisible by 32; the paper
+/// uses 32).
+///
+/// # Panics
+///
+/// Panics if `scale` is not a positive multiple of 32.
+pub fn vgg11<S: Scalar>(scale: usize, rng: &mut StdRng) -> Network<S> {
+    assert!(
+        scale >= 32 && scale % 32 == 0,
+        "vgg11: scale must be a positive multiple of 32 (got {scale})"
+    );
+    let mut net = Network::new();
+    let mut hw = scale;
+    let mut channels = 3usize;
+    for (i, &width) in VGG11_WIDTHS.iter().enumerate() {
+        net.push(Box::new(Conv2d::new(
+            Conv2dConfig::vgg_style(channels, width, (hw, hw)),
+            rng,
+        )));
+        net.push(Box::new(Relu::new(vec![width, hw, hw])));
+        channels = width;
+        if POOL_AFTER[i] {
+            net.push(Box::new(MaxPool2d::new(width, (2, 2), (2, 2), (hw, hw))));
+            hw /= 2;
+        }
+    }
+    net.push(Box::new(Flatten::new(vec![512, hw, hw])));
+    net.push(Box::new(Linear::new(512 * hw * hw, 10, rng)));
+    net
+}
+
+/// Builds just the convolution operators of VGG-11 (what Figures 4 and 11
+/// scan over), at an arbitrary input scale so experiments can subsample.
+///
+/// # Panics
+///
+/// Panics if `scale < 32` is not divisible by 32 — relaxed here to any
+/// multiple of 32 **or** 16/8 for scaled-down experiments (must keep all
+/// five pools valid, i.e. divisible by 32… for smaller scales the last
+/// pools are dropped).
+pub fn vgg11_convs<S: Scalar>(scale: usize, rng: &mut StdRng) -> Vec<Conv2d<S>> {
+    assert!(scale.is_power_of_two() && scale >= 8, "scale must be a power of two ≥ 8");
+    let mut convs = Vec::with_capacity(8);
+    let mut channels = 3usize;
+    let mut hw = scale;
+    for (i, &width) in VGG11_WIDTHS.iter().enumerate() {
+        convs.push(Conv2d::new(
+            Conv2dConfig::vgg_style(channels, width, (hw, hw)),
+            rng,
+        ));
+        channels = width;
+        if POOL_AFTER[i] && hw >= 2 {
+            hw /= 2;
+        }
+    }
+    convs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bppsa_ops::Operator;
+    use bppsa_tensor::init::seeded_rng;
+
+    #[test]
+    fn geometry_matches_vgg11_on_cifar() {
+        let g = vgg11_conv_geometry(32);
+        assert_eq!(g.len(), 8);
+        assert_eq!(g[0], (3, 64, (32, 32)));
+        assert_eq!(g[1], (64, 128, (16, 16)));
+        assert_eq!(g[3], (256, 256, (8, 8)));
+        assert_eq!(g[7], (512, 512, (2, 2)));
+    }
+
+    #[test]
+    fn full_network_output_is_ten_classes() {
+        // Building the network is cheap; running it is not (tested in the
+        // bench harness instead).
+        let net = vgg11::<f32>(32, &mut seeded_rng(0));
+        // 8 convs + 8 relus + 5 pools + flatten + linear.
+        assert_eq!(net.num_layers(), 8 + 8 + 5 + 2);
+        assert_eq!(net.ops().last().unwrap().output_shape(), &[10]);
+    }
+
+    #[test]
+    fn conv_stack_chains_shapewise() {
+        let convs = vgg11_convs::<f32>(32, &mut seeded_rng(1));
+        assert_eq!(convs.len(), 8);
+        assert_eq!(convs[0].input_shape(), &[3, 32, 32]);
+        assert_eq!(convs[7].output_shape(), &[512, 2, 2]);
+    }
+
+    #[test]
+    fn table1_sparsity_on_first_conv() {
+        let convs = vgg11_convs::<f32>(32, &mut seeded_rng(2));
+        assert!((convs[0].guaranteed_sparsity() - 0.99157).abs() < 5e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn bad_scale_rejected() {
+        let _ = vgg11::<f32>(20, &mut seeded_rng(0));
+    }
+}

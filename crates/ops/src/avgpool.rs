@@ -1,0 +1,218 @@
+//! The 2-D average-pooling operator (LeNet-5's original subsampling layer).
+//!
+//! Unlike max-pooling, every entry of its transposed Jacobian's guaranteed
+//! pattern is a guaranteed *constant* `1/(k_h·k_w)` — no input-dependent
+//! zeros at all, the friendliest case for the symbolic SpGEMM split.
+
+use crate::geometry::{receptive_range, span};
+use crate::operator::{check_input_shape, Operator};
+use bppsa_sparse::Csr;
+use bppsa_tensor::{Scalar, Tensor, Vector};
+
+/// Average pooling over `(c, h, w)` tensors with no padding.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_ops::{AvgPool2d, Operator};
+/// use bppsa_tensor::Tensor;
+///
+/// let pool = AvgPool2d::new(1, (2, 2), (2, 2), (2, 2));
+/// let y = pool.forward(&Tensor::from_vec(vec![1, 2, 2], vec![1.0_f32, 2.0, 3.0, 6.0]));
+/// assert_eq!(y.as_slice(), &[3.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    channels: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    input_hw: (usize, usize),
+    input_shape: Vec<usize>,
+    output_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the input.
+    pub fn new(
+        channels: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        input_hw: (usize, usize),
+    ) -> Self {
+        let (hi, wi) = input_hw;
+        let (kh, kw) = kernel;
+        assert!(
+            kh <= hi && kw <= wi,
+            "avgpool: kernel {kernel:?} larger than input {input_hw:?}"
+        );
+        let ho = (hi - kh) / stride.0 + 1;
+        let wo = (wi - kw) / stride.1 + 1;
+        Self {
+            channels,
+            kernel,
+            stride,
+            input_hw,
+            input_shape: vec![channels, hi, wi],
+            output_shape: vec![channels, ho, wo],
+        }
+    }
+
+    fn inv_window<S: Scalar>(&self) -> S {
+        S::ONE / S::from_usize(self.kernel.0 * self.kernel.1)
+    }
+}
+
+impl<S: Scalar> Operator<S> for AvgPool2d {
+    fn name(&self) -> &str {
+        "avgpool2d"
+    }
+
+    fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    fn output_shape(&self) -> &[usize] {
+        &self.output_shape
+    }
+
+    fn forward(&self, input: &Tensor<S>) -> Tensor<S> {
+        check_input_shape("avgpool2d", &self.input_shape, input);
+        let (ho, wo) = (self.output_shape[1], self.output_shape[2]);
+        let (kh, kw) = self.kernel;
+        let (sh, sw) = self.stride;
+        let inv = self.inv_window::<S>();
+        let mut out = Tensor::zeros(self.output_shape.clone());
+        for c in 0..self.channels {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut acc = S::ZERO;
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            acc += input.at(&[c, oy * sh + ky, ox * sw + kx]);
+                        }
+                    }
+                    *out.at_mut(&[c, oy, ox]) = acc * inv;
+                }
+            }
+        }
+        out
+    }
+
+    fn vjp(&self, input: &Tensor<S>, _output: &Tensor<S>, grad_output: &Vector<S>) -> Vector<S> {
+        check_input_shape("avgpool2d", &self.input_shape, input);
+        let (ho, wo) = (self.output_shape[1], self.output_shape[2]);
+        let (hi, wi) = self.input_hw;
+        let (kh, kw) = self.kernel;
+        let (sh, sw) = self.stride;
+        let inv = self.inv_window::<S>();
+        let mut gx = Vector::zeros(self.channels * hi * wi);
+        for c in 0..self.channels {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let g = grad_output[(c * ho + oy) * wo + ox] * inv;
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            gx[(c * hi + oy * sh + ky) * wi + ox * sw + kx] += g;
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn transposed_jacobian(&self, input: &Tensor<S>, _output: &Tensor<S>) -> Csr<S> {
+        check_input_shape("avgpool2d", &self.input_shape, input);
+        let (hi, wi) = self.input_hw;
+        let (ho, wo) = (self.output_shape[1], self.output_shape[2]);
+        let (kh, kw) = self.kernel;
+        let (sh, sw) = self.stride;
+        let inv = self.inv_window::<S>();
+
+        let rows = self.channels * hi * wi;
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut data: Vec<S> = Vec::new();
+        indptr.push(0);
+        for c in 0..self.channels {
+            for iy in 0..hi {
+                let ry = receptive_range(iy, 0, kh, sh, ho);
+                for ix in 0..wi {
+                    let rx = receptive_range(ix, 0, kw, sw, wo);
+                    if span(ry) > 0 && span(rx) > 0 {
+                        for oy in ry.0..=ry.1 {
+                            for ox in rx.0..=rx.1 {
+                                indices.push(((c * ho + oy) * wo + ox) as u32);
+                                data.push(inv);
+                            }
+                        }
+                    }
+                    indptr.push(indices.len());
+                }
+            }
+        }
+        Csr::from_parts_unchecked(rows, self.channels * ho * wo, indptr, indices, data)
+    }
+
+    fn guaranteed_sparsity(&self) -> f64 {
+        let (kh, kw) = self.kernel;
+        let (hi, wi) = self.input_hw;
+        let denom = (self.channels * hi * wi) as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            1.0 - (kh * kw) as f64 / denom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobian::{check_operator_consistency, numerical_transposed_jacobian};
+    use bppsa_tensor::init::{seeded_rng, uniform_tensor};
+
+    #[test]
+    fn forward_averages_window() {
+        let pool = AvgPool2d::new(1, (2, 2), (2, 2), (4, 4));
+        let x = Tensor::from_fn(vec![1, 4, 4], |i| i as f64);
+        let y = pool.forward(&x);
+        // Window [0,1,4,5] → 2.5.
+        assert_eq!(y.at(&[0, 0, 0]), 2.5);
+    }
+
+    #[test]
+    fn jacobian_matches_finite_differences() {
+        let pool = AvgPool2d::new(2, (2, 2), (2, 2), (4, 4));
+        let x = uniform_tensor(&mut seeded_rng(1), vec![2, 4, 4], 1.0);
+        let analytic = Operator::<f64>::transposed_jacobian(&pool, &x, &pool.forward(&x));
+        let numeric = numerical_transposed_jacobian(&pool, &x, 1e-6);
+        assert!(analytic.to_dense().approx_eq(&numeric, 1e-8));
+    }
+
+    #[test]
+    fn consistency_overlapping() {
+        let pool = AvgPool2d::new(1, (3, 3), (1, 1), (5, 4));
+        let x: Tensor<f64> = uniform_tensor(&mut seeded_rng(2), vec![1, 5, 4], 1.0);
+        check_operator_consistency(&pool, &x, 1e-12);
+    }
+
+    #[test]
+    fn jacobian_values_are_constant() {
+        let pool = AvgPool2d::new(1, (2, 2), (2, 2), (4, 4));
+        let x = uniform_tensor(&mut seeded_rng(3), vec![1, 4, 4], 1.0);
+        let j: Csr<f64> = pool.transposed_jacobian(&x, &pool.forward(&x));
+        assert!(j.data().iter().all(|&v| v == 0.25));
+    }
+
+    #[test]
+    fn sparsity_matches_maxpool_formula() {
+        let pool = AvgPool2d::new(16, (2, 2), (2, 2), (8, 8));
+        let s = Operator::<f32>::guaranteed_sparsity(&pool);
+        assert!((s - (1.0 - 4.0 / 1024.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Shared 1-D receptive-field geometry for convolution and pooling.
+
+/// `⌈a / b⌉` for signed `a`, positive `b`.
+pub(crate) fn ceil_div(a: i64, b: i64) -> i64 {
+    (a + b - 1).div_euclid(b)
+}
+
+/// Inclusive output-coordinate range `[o_min, o_max]` whose windows contain
+/// input coordinate `i` (1-D): all `o` with `0 ≤ i + p − o·s < k` and
+/// `0 ≤ o < out`. Returns `(1, 0)` (an empty range) when no output is hit.
+pub(crate) fn receptive_range(
+    i: usize,
+    p: usize,
+    k: usize,
+    s: usize,
+    out: usize,
+) -> (usize, usize) {
+    let ip = i as i64 + p as i64;
+    let o_min = ceil_div(ip - k as i64 + 1, s as i64).max(0);
+    let o_max = (ip.div_euclid(s as i64)).min(out as i64 - 1);
+    if o_min > o_max {
+        (1, 0)
+    } else {
+        (o_min as usize, o_max as usize)
+    }
+}
+
+/// Number of outputs in a (possibly empty) inclusive range.
+pub(crate) fn span((lo, hi): (usize, usize)) -> usize {
+    if lo > hi {
+        0
+    } else {
+        hi - lo + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_div_handles_negatives() {
+        assert_eq!(ceil_div(-2, 3), 0);
+        assert_eq!(ceil_div(-3, 3), -1);
+        assert_eq!(ceil_div(0, 3), 0);
+        assert_eq!(ceil_div(4, 3), 2);
+        assert_eq!(ceil_div(3, 3), 1);
+    }
+
+    #[test]
+    fn receptive_range_3x3_stride1_pad1() {
+        // Interior pixel of a 3-tap stride-1 pad-1 conv sees 3 outputs.
+        let out = 5; // hi=5 → ho=5
+        assert_eq!(receptive_range(2, 1, 3, 1, out), (1, 3));
+        // Border pixels see 2.
+        assert_eq!(receptive_range(0, 1, 3, 1, out), (0, 1));
+        assert_eq!(receptive_range(4, 1, 3, 1, out), (3, 4));
+    }
+
+    #[test]
+    fn receptive_range_pool_2x2_stride2() {
+        // Non-overlapping 2-pooling: each input hits exactly one output.
+        let out = 2; // hi=4
+        for i in 0..4 {
+            let r = receptive_range(i, 0, 2, 2, out);
+            assert_eq!(span(r), 1);
+            assert_eq!(r.0, i / 2);
+        }
+    }
+
+    #[test]
+    fn uncovered_input_has_empty_range() {
+        // hi=5, k=2, s=2, no padding → ho=2; input 4 is never pooled.
+        let r = receptive_range(4, 0, 2, 2, 2);
+        assert_eq!(span(r), 0);
+    }
+
+    #[test]
+    fn span_of_empty_marker_is_zero() {
+        assert_eq!(span((1, 0)), 0);
+    }
+}

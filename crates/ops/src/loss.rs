@@ -1,0 +1,183 @@
+//! Loss functions: the objective `l(·)` of the paper's problem formulation.
+//!
+//! The losses produce both the scalar loss and the gradient `∇x_n l` — the
+//! yellow vector that seeds the scan's input array (Equation 5).
+
+use bppsa_tensor::{Scalar, Vector};
+
+/// Numerically-stable log-sum-exp of a slice.
+fn log_sum_exp<S: Scalar>(xs: &[S]) -> S {
+    let m = xs.iter().fold(S::NEG_INFINITY, |a, &b| a.maximum(b));
+    if !m.is_finite() {
+        return m;
+    }
+    let sum: S = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + sum.ln()
+}
+
+/// Softmax cross-entropy loss against an integer class label.
+///
+/// `loss = −log softmax(logits)[target]`, with the classic gradient
+/// `softmax(logits) − one_hot(target)`.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_ops::SoftmaxCrossEntropy;
+/// use bppsa_tensor::Vector;
+///
+/// let logits = Vector::from_vec(vec![2.0_f64, 0.0, -1.0]);
+/// let (loss, grad) = SoftmaxCrossEntropy::loss_and_grad(&logits, 0);
+/// assert!(loss > 0.0);
+/// assert!(grad[0] < 0.0); // pushes the correct logit up
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Computes the softmax probabilities of `logits`.
+    pub fn softmax<S: Scalar>(logits: &Vector<S>) -> Vector<S> {
+        let lse = log_sum_exp(logits.as_slice());
+        logits.map(|x| (x - lse).exp())
+    }
+
+    /// Computes `(loss, ∇logits)` for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target >= logits.len()`.
+    pub fn loss_and_grad<S: Scalar>(logits: &Vector<S>, target: usize) -> (S, Vector<S>) {
+        assert!(
+            target < logits.len(),
+            "target {target} out of range for {} logits",
+            logits.len()
+        );
+        let lse = log_sum_exp(logits.as_slice());
+        let loss = lse - logits[target];
+        let mut grad = logits.map(|x| (x - lse).exp());
+        grad[target] -= S::ONE;
+        (loss, grad)
+    }
+
+    /// Mean loss and per-sample gradients over a mini-batch, averaging the
+    /// gradient by `1/B` as PyTorch's `reduction="mean"` does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or lengths are inconsistent.
+    pub fn batch_loss_and_grads<S: Scalar>(
+        logits: &[Vector<S>],
+        targets: &[usize],
+    ) -> (S, Vec<Vector<S>>) {
+        assert!(!logits.is_empty(), "empty batch");
+        assert_eq!(logits.len(), targets.len(), "batch size mismatch");
+        let inv_b = S::ONE / S::from_usize(logits.len());
+        let mut total = S::ZERO;
+        let mut grads = Vec::with_capacity(logits.len());
+        for (l, &t) in logits.iter().zip(targets) {
+            let (loss, grad) = Self::loss_and_grad(l, t);
+            total += loss;
+            grads.push(grad.scaled(inv_b));
+        }
+        (total * inv_b, grads)
+    }
+}
+
+/// Mean-squared-error loss `½‖y − target‖²` (gradient `y − target`), used by
+/// small gradient-checking tests where a quadratic objective is convenient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MseLoss;
+
+impl MseLoss {
+    /// Computes `(loss, ∇y)` for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn loss_and_grad<S: Scalar>(y: &Vector<S>, target: &Vector<S>) -> (S, Vector<S>) {
+        assert_eq!(y.len(), target.len(), "mse: length mismatch");
+        let diff = y.sub(target);
+        let loss = diff.dot(&diff) * S::from_f64(0.5);
+        (loss, diff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = SoftmaxCrossEntropy::softmax(&Vector::from_vec(vec![1.0f64, 2.0, 3.0]));
+        assert!((p.sum() - 1.0).abs() < 1e-12);
+        assert!(p.as_slice().iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn loss_is_nll_of_target() {
+        let logits = Vector::from_vec(vec![0.0f64, 0.0]);
+        let (loss, _) = SoftmaxCrossEntropy::loss_and_grad(&logits, 1);
+        assert!((loss - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let logits = Vector::from_vec(vec![1.0f64, -2.0, 0.5, 3.0]);
+        let (_, grad) = SoftmaxCrossEntropy::loss_and_grad(&logits, 2);
+        assert!(grad.sum().abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Vector::from_vec(vec![0.3f64, -1.1, 0.7]);
+        let target = 1;
+        let (_, grad) = SoftmaxCrossEntropy::loss_and_grad(&logits, target);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut plus = logits.clone();
+            plus[i] += eps;
+            let mut minus = logits.clone();
+            minus[i] -= eps;
+            let (lp, _) = SoftmaxCrossEntropy::loss_and_grad(&plus, target);
+            let (lm, _) = SoftmaxCrossEntropy::loss_and_grad(&minus, target);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((grad[i] - numeric).abs() < 1e-8, "dim {i}");
+        }
+    }
+
+    #[test]
+    fn stable_under_large_logits() {
+        let logits = Vector::from_vec(vec![1000.0f64, 0.0]);
+        let (loss, grad) = SoftmaxCrossEntropy::loss_and_grad(&logits, 0);
+        assert!(loss.abs() < 1e-9);
+        assert!(grad.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn batch_averages() {
+        let logits = vec![
+            Vector::from_vec(vec![1.0f64, 0.0]),
+            Vector::from_vec(vec![0.0f64, 1.0]),
+        ];
+        let (mean_loss, grads) = SoftmaxCrossEntropy::batch_loss_and_grads(&logits, &[0, 1]);
+        let (l0, g0) = SoftmaxCrossEntropy::loss_and_grad(&logits[0], 0);
+        let (l1, _) = SoftmaxCrossEntropy::loss_and_grad(&logits[1], 1);
+        assert!((mean_loss - 0.5 * (l0 + l1)).abs() < 1e-12);
+        assert!(grads[0].approx_eq(&g0.scaled(0.5), 1e-12));
+    }
+
+    #[test]
+    fn mse_gradient_is_residual() {
+        let y = Vector::from_vec(vec![2.0f64, -1.0]);
+        let t = Vector::from_vec(vec![1.0f64, 1.0]);
+        let (loss, grad) = MseLoss::loss_and_grad(&y, &t);
+        assert!((loss - 2.5).abs() < 1e-12);
+        assert_eq!(grad.as_slice(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        let _ = SoftmaxCrossEntropy::loss_and_grad(&Vector::from_vec(vec![1.0f64]), 3);
+    }
+}

@@ -1,0 +1,309 @@
+//! The 2-D max-pooling operator.
+//!
+//! Its transposed Jacobian is a *selection* matrix: within each pooling
+//! window, the argmax input gets 1 and everything else 0. The guaranteed-
+//! nonzero pattern — every (window member, output) pair of the same channel —
+//! is deterministic (Table 1: sparsity `1 − h_f·w_f / (c_i·h_i·w_i)`), while
+//! which member is the argmax is an input-dependent "possible zero" kept
+//! explicitly (§3.3).
+
+use crate::geometry::{receptive_range, span};
+use crate::operator::{check_input_shape, Operator};
+use bppsa_sparse::Csr;
+use bppsa_tensor::{Scalar, Tensor, Vector};
+
+/// Max pooling over `(c, h, w)` tensors with no padding.
+///
+/// Ties are broken toward the first element in row-major window order —
+/// deterministically, so `vjp` and `transposed_jacobian` always agree.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_ops::{MaxPool2d, Operator};
+/// use bppsa_tensor::Tensor;
+///
+/// let pool = MaxPool2d::new(1, (2, 2), (2, 2), (4, 4));
+/// let x = Tensor::from_fn(vec![1, 4, 4], |i| i as f32);
+/// let y = pool.forward(&x);
+/// assert_eq!(y.shape(), &[1, 2, 2]);
+/// assert_eq!(y.at(&[0, 1, 1]), 15.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    channels: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    input_hw: (usize, usize),
+    input_shape: Vec<usize>,
+    output_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the input.
+    pub fn new(
+        channels: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        input_hw: (usize, usize),
+    ) -> Self {
+        let (hi, wi) = input_hw;
+        let (kh, kw) = kernel;
+        assert!(
+            kh <= hi && kw <= wi,
+            "maxpool: kernel {kernel:?} larger than input {input_hw:?}"
+        );
+        let ho = (hi - kh) / stride.0 + 1;
+        let wo = (wi - kw) / stride.1 + 1;
+        Self {
+            channels,
+            kernel,
+            stride,
+            input_hw,
+            input_shape: vec![channels, hi, wi],
+            output_shape: vec![channels, ho, wo],
+        }
+    }
+
+    /// Output spatial size `(h_o, w_o)`.
+    pub fn output_hw(&self) -> (usize, usize) {
+        (self.output_shape[1], self.output_shape[2])
+    }
+
+    /// Row-major argmax position `(iy, ix)` of the window of output
+    /// `(c, oy, ox)` — first occurrence wins ties.
+    fn argmax<S: Scalar>(&self, x: &Tensor<S>, c: usize, oy: usize, ox: usize) -> (usize, usize) {
+        let (kh, kw) = self.kernel;
+        let (sh, sw) = self.stride;
+        let mut best = (oy * sh, ox * sw);
+        let mut best_v = x.at(&[c, best.0, best.1]);
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let (iy, ix) = (oy * sh + ky, ox * sw + kx);
+                let v = x.at(&[c, iy, ix]);
+                if v > best_v {
+                    best_v = v;
+                    best = (iy, ix);
+                }
+            }
+        }
+        best
+    }
+}
+
+impl<S: Scalar> Operator<S> for MaxPool2d {
+    fn name(&self) -> &str {
+        "maxpool2d"
+    }
+
+    fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    fn output_shape(&self) -> &[usize] {
+        &self.output_shape
+    }
+
+    fn forward(&self, input: &Tensor<S>) -> Tensor<S> {
+        check_input_shape("maxpool2d", &self.input_shape, input);
+        let (ho, wo) = self.output_hw();
+        let (kh, kw) = self.kernel;
+        let (sh, sw) = self.stride;
+        let mut out = Tensor::zeros(self.output_shape.clone());
+        for c in 0..self.channels {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut m = S::NEG_INFINITY;
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            m = m.maximum(input.at(&[c, oy * sh + ky, ox * sw + kx]));
+                        }
+                    }
+                    *out.at_mut(&[c, oy, ox]) = m;
+                }
+            }
+        }
+        out
+    }
+
+    fn vjp(&self, input: &Tensor<S>, _output: &Tensor<S>, grad_output: &Vector<S>) -> Vector<S> {
+        check_input_shape("maxpool2d", &self.input_shape, input);
+        let (ho, wo) = self.output_hw();
+        let (hi, wi) = self.input_hw;
+        let mut gx = Vector::zeros(self.channels * hi * wi);
+        for c in 0..self.channels {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let g = grad_output[(c * ho + oy) * wo + ox];
+                    let (iy, ix) = self.argmax(input, c, oy, ox);
+                    gx[(c * hi + iy) * wi + ix] += g;
+                }
+            }
+        }
+        gx
+    }
+
+    fn transposed_jacobian(&self, input: &Tensor<S>, _output: &Tensor<S>) -> Csr<S> {
+        check_input_shape("maxpool2d", &self.input_shape, input);
+        let (hi, wi) = self.input_hw;
+        let (ho, wo) = self.output_hw();
+        let (kh, kw) = self.kernel;
+        let (sh, sw) = self.stride;
+
+        // Precompute argmaxes once per output.
+        let mut argmaxes = vec![(0usize, 0usize); self.channels * ho * wo];
+        for c in 0..self.channels {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    argmaxes[(c * ho + oy) * wo + ox] = self.argmax(input, c, oy, ox);
+                }
+            }
+        }
+
+        let rows = self.channels * hi * wi;
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut data: Vec<S> = Vec::new();
+        indptr.push(0);
+        for c in 0..self.channels {
+            for iy in 0..hi {
+                let ry = receptive_range(iy, 0, kh, sh, ho);
+                for ix in 0..wi {
+                    let rx = receptive_range(ix, 0, kw, sw, wo);
+                    if span(ry) > 0 && span(rx) > 0 {
+                        for oy in ry.0..=ry.1 {
+                            for ox in rx.0..=rx.1 {
+                                let col = (c * ho + oy) * wo + ox;
+                                indices.push(col as u32);
+                                let v = if argmaxes[col] == (iy, ix) {
+                                    S::ONE
+                                } else {
+                                    S::ZERO
+                                };
+                                data.push(v);
+                            }
+                        }
+                    }
+                    indptr.push(indices.len());
+                }
+            }
+        }
+        Csr::from_parts_unchecked(rows, self.channels * ho * wo, indptr, indices, data)
+    }
+
+    fn guaranteed_sparsity(&self) -> f64 {
+        // Exact: nnz = c·h_o·w_o·k_h·k_w over (c·h_i·w_i)·(c·h_o·w_o).
+        let (kh, kw) = self.kernel;
+        let (hi, wi) = self.input_hw;
+        let denom = (self.channels * hi * wi) as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            1.0 - (kh * kw) as f64 / denom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobian::{check_operator_consistency, transposed_jacobian_via_vjp};
+    use bppsa_tensor::init::{seeded_rng, uniform_tensor};
+
+    #[test]
+    fn forward_picks_window_max() {
+        let pool = MaxPool2d::new(1, (2, 2), (2, 2), (4, 4));
+        let x = Tensor::from_vec(
+            vec![1, 4, 4],
+            vec![
+                1.0f64, 2.0, 0.0, 0.0, //
+                3.0, 4.0, 0.0, 5.0, //
+                -1.0, -2.0, -3.0, -4.0, //
+                -5.0, -6.0, -7.0, -8.0,
+            ],
+        );
+        let y = pool.forward(&x);
+        assert_eq!(y.as_slice(), &[4.0, 5.0, -1.0, -3.0]);
+    }
+
+    #[test]
+    fn vjp_routes_gradient_to_argmax() {
+        let pool = MaxPool2d::new(1, (2, 2), (2, 2), (2, 2));
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![1.0f64, 9.0, 3.0, 4.0]);
+        let y = pool.forward(&x);
+        let g = pool.vjp(&x, &y, &Vector::from_vec(vec![2.5]));
+        assert_eq!(g.as_slice(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ties_break_to_first_in_row_major_order() {
+        let pool = MaxPool2d::new(1, (2, 2), (2, 2), (2, 2));
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![7.0f64, 7.0, 7.0, 7.0]);
+        let y = pool.forward(&x);
+        let g = pool.vjp(&x, &y, &Vector::from_vec(vec![1.0]));
+        assert_eq!(g.as_slice(), &[1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn jacobian_matches_vjp_columns() {
+        let pool = MaxPool2d::new(2, (2, 2), (2, 2), (4, 6));
+        let x = uniform_tensor(&mut seeded_rng(1), vec![2, 4, 6], 1.0);
+        let y = pool.forward(&x);
+        let analytic = pool.transposed_jacobian(&x, &y);
+        assert_eq!(analytic.validate(), Ok(()));
+        let oracle = transposed_jacobian_via_vjp(&pool, &x, &y);
+        assert!(analytic.to_dense().approx_eq(&oracle, 0.0));
+    }
+
+    #[test]
+    fn overlapping_windows_supported() {
+        // 3x3 kernel stride 1: inputs participate in several windows.
+        let pool = MaxPool2d::new(1, (3, 3), (1, 1), (5, 5));
+        let x: Tensor<f64> = uniform_tensor(&mut seeded_rng(2), vec![1, 5, 5], 1.0);
+        check_operator_consistency(&pool, &x, 0.0);
+    }
+
+    #[test]
+    fn consistency_checks() {
+        let pool = MaxPool2d::new(3, (2, 2), (2, 2), (6, 6));
+        let x: Tensor<f64> = uniform_tensor(&mut seeded_rng(3), vec![3, 6, 6], 1.0);
+        check_operator_consistency(&pool, &x, 0.0);
+    }
+
+    #[test]
+    fn table1_first_vgg_maxpool_sparsity() {
+        // Table 1 example: max-pool after the first VGG conv block:
+        // 64×32×32 input, 2×2 kernel → 1 − 4/65536 ≈ 0.99994.
+        let pool = MaxPool2d::new(64, (2, 2), (2, 2), (32, 32));
+        let s = Operator::<f32>::guaranteed_sparsity(&pool);
+        assert!((s - (1.0 - 4.0 / 65536.0)).abs() < 1e-9);
+        assert!(s > 0.99993 && s < 0.99995);
+    }
+
+    #[test]
+    fn pattern_is_input_independent() {
+        let pool = MaxPool2d::new(1, (2, 2), (2, 2), (4, 4));
+        let x1 = uniform_tensor(&mut seeded_rng(4), vec![1, 4, 4], 1.0);
+        let x2 = uniform_tensor(&mut seeded_rng(5), vec![1, 4, 4], 1.0);
+        let j1: Csr<f64> = pool.transposed_jacobian(&x1, &pool.forward(&x1));
+        let j2: Csr<f64> = pool.transposed_jacobian(&x2, &pool.forward(&x2));
+        assert!(j1.same_pattern(&j2));
+        // But values (argmax selections) may differ.
+        assert_eq!(j1.nnz(), 16);
+    }
+
+    #[test]
+    fn uncovered_inputs_have_empty_rows() {
+        // 5-wide input, 2x2 stride-2 pool: last row/col never pooled.
+        let pool = MaxPool2d::new(1, (2, 2), (2, 2), (5, 5));
+        let x = uniform_tensor(&mut seeded_rng(6), vec![1, 5, 5], 1.0);
+        let j: Csr<f64> = pool.transposed_jacobian(&x, &pool.forward(&x));
+        assert_eq!(j.validate(), Ok(()));
+        // Input (4,4) flat index 24 participates in no window.
+        assert_eq!(j.row_nnz(24), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! The logistic-sigmoid operator (the activation of LeCun-era networks; the
+//! original LeNet-5 used squashing nonlinearities rather than ReLU). Its
+//! transposed Jacobian is the dense diagonal `diag(y·(1 − y))`.
+
+use crate::operator::{check_input_shape, Operator};
+use bppsa_sparse::Csr;
+use bppsa_tensor::{Scalar, Tensor, Vector};
+
+/// Elementwise logistic sigmoid `y = 1 / (1 + e^{−x})`.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_ops::{Operator, Sigmoid};
+/// use bppsa_tensor::Tensor;
+///
+/// let s = Sigmoid::new(vec![2]);
+/// let y = s.forward(&Tensor::from_vec(vec![2], vec![0.0_f64, 100.0]));
+/// assert!((y.at(&[0]) - 0.5).abs() < 1e-12);
+/// assert!((y.at(&[1]) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sigmoid {
+    shape: Vec<usize>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid over tensors of the given shape.
+    pub fn new(shape: impl Into<Vec<usize>>) -> Self {
+        Self {
+            shape: shape.into(),
+        }
+    }
+}
+
+fn sigmoid<S: Scalar>(x: S) -> S {
+    // Numerically-stable split on the sign.
+    if x >= S::ZERO {
+        S::ONE / (S::ONE + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (S::ONE + e)
+    }
+}
+
+impl<S: Scalar> Operator<S> for Sigmoid {
+    fn name(&self) -> &str {
+        "sigmoid"
+    }
+
+    fn input_shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    fn output_shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    fn forward(&self, input: &Tensor<S>) -> Tensor<S> {
+        check_input_shape("sigmoid", &self.shape, input);
+        input.map(sigmoid)
+    }
+
+    fn vjp(&self, _input: &Tensor<S>, output: &Tensor<S>, grad_output: &Vector<S>) -> Vector<S> {
+        let ys = output.as_slice();
+        Vector::from_fn(grad_output.len(), |i| {
+            ys[i] * (S::ONE - ys[i]) * grad_output[i]
+        })
+    }
+
+    fn transposed_jacobian(&self, _input: &Tensor<S>, output: &Tensor<S>) -> Csr<S> {
+        let diag: Vec<S> = output
+            .as_slice()
+            .iter()
+            .map(|&y| y * (S::ONE - y))
+            .collect();
+        Csr::from_diagonal(&diag)
+    }
+
+    fn guaranteed_sparsity(&self) -> f64 {
+        let n: usize = self.shape.iter().product();
+        if n == 0 {
+            0.0
+        } else {
+            1.0 - 1.0 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobian::{check_operator_consistency, numerical_transposed_jacobian};
+
+    #[test]
+    fn forward_is_bounded_and_monotone() {
+        let s = Sigmoid::new(vec![5]);
+        let x = Tensor::from_vec(vec![5], vec![-10.0f64, -1.0, 0.0, 1.0, 10.0]);
+        let y = s.forward(&x);
+        let ys = y.as_slice();
+        assert!(ys.windows(2).all(|w| w[0] < w[1]));
+        assert!(ys.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!((ys[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_at_extreme_inputs() {
+        let s = Sigmoid::new(vec![2]);
+        let x = Tensor::from_vec(vec![2], vec![-700.0f64, 700.0]);
+        let y = s.forward(&x);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        assert!(y.at(&[0]) >= 0.0 && y.at(&[1]) <= 1.0);
+    }
+
+    #[test]
+    fn jacobian_matches_finite_differences() {
+        let s = Sigmoid::new(vec![4]);
+        let x = Tensor::from_vec(vec![4], vec![0.2, -0.9, 1.7, 0.0]);
+        let y = s.forward(&x);
+        let analytic = s.transposed_jacobian(&x, &y).to_dense();
+        let numeric = numerical_transposed_jacobian(&s, &x, 1e-6);
+        assert!(analytic.approx_eq(&numeric, 1e-6));
+    }
+
+    #[test]
+    fn consistency() {
+        let s = Sigmoid::new(vec![2, 3]);
+        let x = Tensor::from_fn(vec![2, 3], |i| (i as f64) * 0.4 - 1.0);
+        check_operator_consistency(&s, &x, 1e-12);
+    }
+
+    #[test]
+    fn derivative_peaks_at_quarter() {
+        let s = Sigmoid::new(vec![1]);
+        let x = Tensor::from_vec(vec![1], vec![0.0f64]);
+        let y = s.forward(&x);
+        let j = s.transposed_jacobian(&x, &y);
+        assert!((j.get(0, 0) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! The tanh operator — the activation of the paper's vanilla RNN
+//! (Equation 9). Its transposed Jacobian is the dense diagonal
+//! `diag(1 − y²)`.
+
+use crate::operator::{check_input_shape, Operator};
+use bppsa_sparse::Csr;
+use bppsa_tensor::{Scalar, Tensor, Vector};
+
+/// Elementwise hyperbolic tangent `y = tanh(x)`.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_ops::{Operator, Tanh};
+/// use bppsa_tensor::Tensor;
+///
+/// let tanh = Tanh::new(vec![2]);
+/// let y = tanh.forward(&Tensor::from_vec(vec![2], vec![0.0_f64, 100.0]));
+/// assert!((y.at(&[0]) - 0.0).abs() < 1e-12);
+/// assert!((y.at(&[1]) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tanh {
+    shape: Vec<usize>,
+}
+
+impl Tanh {
+    /// Creates a tanh over tensors of the given shape.
+    pub fn new(shape: impl Into<Vec<usize>>) -> Self {
+        Self {
+            shape: shape.into(),
+        }
+    }
+}
+
+impl<S: Scalar> Operator<S> for Tanh {
+    fn name(&self) -> &str {
+        "tanh"
+    }
+
+    fn input_shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    fn output_shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    fn forward(&self, input: &Tensor<S>) -> Tensor<S> {
+        check_input_shape("tanh", &self.shape, input);
+        input.map(|v| v.tanh())
+    }
+
+    fn vjp(&self, _input: &Tensor<S>, output: &Tensor<S>, grad_output: &Vector<S>) -> Vector<S> {
+        let ys = output.as_slice();
+        Vector::from_fn(grad_output.len(), |i| {
+            (S::ONE - ys[i] * ys[i]) * grad_output[i]
+        })
+    }
+
+    fn transposed_jacobian(&self, _input: &Tensor<S>, output: &Tensor<S>) -> Csr<S> {
+        let diag: Vec<S> = output
+            .as_slice()
+            .iter()
+            .map(|&y| S::ONE - y * y)
+            .collect();
+        Csr::from_diagonal(&diag)
+    }
+
+    fn guaranteed_sparsity(&self) -> f64 {
+        let n: usize = self.shape.iter().product();
+        if n == 0 {
+            0.0
+        } else {
+            1.0 - 1.0 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobian::{check_operator_consistency, numerical_transposed_jacobian};
+
+    #[test]
+    fn jacobian_matches_finite_differences() {
+        let tanh = Tanh::new(vec![4]);
+        let x = Tensor::from_vec(vec![4], vec![0.1, -0.7, 1.3, 0.0]);
+        let y = tanh.forward(&x);
+        let analytic = tanh.transposed_jacobian(&x, &y).to_dense();
+        let numeric = numerical_transposed_jacobian(&tanh, &x, 1e-6);
+        assert!(
+            analytic.approx_eq(&numeric, 1e-6),
+            "diff {}",
+            analytic.max_abs_diff(&numeric)
+        );
+    }
+
+    #[test]
+    fn consistency_vjp_vs_jacobian() {
+        let tanh = Tanh::new(vec![3]);
+        let x = Tensor::from_vec(vec![3], vec![0.5, -1.5, 2.0]);
+        check_operator_consistency(&tanh, &x, 1e-10);
+    }
+
+    #[test]
+    fn saturation_kills_gradient() {
+        let tanh = Tanh::new(vec![1]);
+        let x = Tensor::from_vec(vec![1], vec![50.0f64]);
+        let y = tanh.forward(&x);
+        let j = tanh.transposed_jacobian(&x, &y);
+        assert!(j.get(0, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rnn_hidden_jacobian_diagonal_shape() {
+        // h dimension 20 as in the paper's RNN: diag(1 - h²) is 20x20 with 20 nnz.
+        let tanh = Tanh::new(vec![20]);
+        let x = Tensor::from_fn(vec![20], |i| (i as f64) / 20.0 - 0.5);
+        let y = tanh.forward(&x);
+        let j = tanh.transposed_jacobian(&x, &y);
+        assert_eq!(j.shape(), (20, 20));
+        assert_eq!(j.nnz(), 20);
+        assert!((Operator::<f64>::guaranteed_sparsity(&tanh) - 0.95).abs() < 1e-12);
+    }
+}

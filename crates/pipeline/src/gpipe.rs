@@ -1,0 +1,164 @@
+//! GPipe-style synchronous pipeline parallelism (Huang et al. 2018), as
+//! described in the paper's §2.2 and Figure 3.
+//!
+//! The model partitions `L` layers over `K` devices and pushes `M`
+//! micro-batches through. Synchronous updates flush the pipeline every
+//! mini-batch, so each device idles during fill and drain — the "bubble".
+//! To keep the pipeline full, `M` must be at least `K`, and each device must
+//! hold boundary activations for all in-flight micro-batches: the memory
+//! term that caps scalability (Θ(L/K + K) per device, §2.2).
+
+use std::fmt;
+
+/// Configuration of a synchronous (GPipe-style) pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpipeConfig {
+    /// Total network layers `L`.
+    pub layers: usize,
+    /// Pipeline devices (stages) `K`.
+    pub devices: usize,
+    /// Micro-batches per mini-batch `M`.
+    pub micro_batches: usize,
+    /// Bytes of one sample's boundary activation (`M_x`).
+    pub activation_bytes: usize,
+}
+
+/// Analytic results for one GPipe mini-batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpipeReport {
+    /// Total pipeline time slots for forward + backward.
+    pub total_slots: usize,
+    /// Slots actually performing useful work, summed over devices.
+    pub busy_device_slots: usize,
+    /// Fraction of device-slots wasted in the fill/drain bubble.
+    pub bubble_fraction: f64,
+    /// Average device utilization (`1 − bubble_fraction`).
+    pub utilization: f64,
+    /// Per-device activation memory in bytes (`Θ(L/K + K)·M_x`).
+    pub per_device_activation_bytes: usize,
+}
+
+impl GpipeConfig {
+    /// Validates and analyzes the pipeline schedule.
+    ///
+    /// The timeline (Figure 3): forward takes `M + K − 1` slots, backward
+    /// (symmetric) another `M + K − 1`; useful work is `2·M·K` device-slots
+    /// out of `2·K·(M + K − 1)` available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or `devices > layers`.
+    pub fn analyze(&self) -> GpipeReport {
+        assert!(
+            self.layers > 0 && self.devices > 0 && self.micro_batches > 0,
+            "gpipe: counts must be positive"
+        );
+        assert!(
+            self.devices <= self.layers,
+            "gpipe: more devices ({}) than layers ({})",
+            self.devices,
+            self.layers
+        );
+        let (k, m) = (self.devices, self.micro_batches);
+        let span = m + k - 1;
+        let total_slots = 2 * span;
+        let busy = 2 * m * k;
+        let available = 2 * k * span;
+        let bubble = 1.0 - busy as f64 / available as f64;
+        // Re-materialization: Θ(L/K) recompute slots per sample, plus one
+        // boundary activation per in-flight micro-batch (≥ K to fill).
+        let in_flight = m.min(span);
+        let per_device = (self.layers.div_ceil(k) + in_flight) * self.activation_bytes;
+        GpipeReport {
+            total_slots,
+            busy_device_slots: busy,
+            bubble_fraction: bubble,
+            utilization: 1.0 - bubble,
+            per_device_activation_bytes: per_device,
+        }
+    }
+
+    /// The classic bubble-fraction formula `(K − 1)/(M + K − 1)`.
+    pub fn bubble_formula(&self) -> f64 {
+        let (k, m) = (self.devices as f64, self.micro_batches as f64);
+        (k - 1.0) / (m + k - 1.0)
+    }
+}
+
+impl fmt::Display for GpipeConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GPipe(L={}, K={}, M={})",
+            self.layers, self.devices, self.micro_batches
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(layers: usize, devices: usize, micro: usize) -> GpipeConfig {
+        GpipeConfig {
+            layers,
+            devices,
+            micro_batches: micro,
+            activation_bytes: 1024,
+        }
+    }
+
+    #[test]
+    fn bubble_matches_formula() {
+        for (k, m) in [(2usize, 2usize), (4, 4), (8, 4), (4, 16)] {
+            let c = cfg(64, k, m);
+            let r = c.analyze();
+            assert!(
+                (r.bubble_fraction - c.bubble_formula()).abs() < 1e-12,
+                "K={k} M={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_device_has_no_bubble() {
+        let r = cfg(8, 1, 4).analyze();
+        assert_eq!(r.bubble_fraction, 0.0);
+        assert_eq!(r.utilization, 1.0);
+    }
+
+    #[test]
+    fn utilization_decays_with_devices_at_fixed_micro_batches() {
+        // The paper: "the bubble of idleness increases linearly with the
+        // length of the pipeline".
+        let m = 4;
+        let u: Vec<f64> = [2usize, 4, 8, 16]
+            .iter()
+            .map(|&k| cfg(64, k, m).analyze().utilization)
+            .collect();
+        assert!(u.windows(2).all(|w| w[1] < w[0]), "{u:?}");
+    }
+
+    #[test]
+    fn more_micro_batches_amortize_the_bubble_but_cost_memory() {
+        let small = cfg(64, 8, 8).analyze();
+        let big = cfg(64, 8, 64).analyze();
+        assert!(big.utilization > small.utilization);
+        assert!(big.per_device_activation_bytes > small.per_device_activation_bytes);
+    }
+
+    #[test]
+    fn memory_grows_linearly_with_devices_when_filled() {
+        // M = K (pipeline exactly filled, the paper's Figure 3 setting):
+        // per-device memory is Θ(L/K + K).
+        let at = |k: usize| cfg(256, k, k).analyze().per_device_activation_bytes;
+        assert!(at(16) < at(64));
+        assert!(at(64) < at(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "more devices")]
+    fn too_many_devices_rejected() {
+        let _ = cfg(4, 8, 8).analyze();
+    }
+}

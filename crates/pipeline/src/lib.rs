@@ -1,0 +1,46 @@
+//! # bppsa-pipeline — pipeline-parallelism baselines
+//!
+//! Analytic models of the two prior-work systems the BPPSA paper positions
+//! itself against in §2.2:
+//!
+//! * [`GpipeConfig`] — synchronous pipelining (GPipe): no staleness, but a
+//!   fill/drain bubble growing linearly with the pipeline length and
+//!   `Θ(L/K + K)` per-device activation memory (Figure 3's dashed box).
+//! * [`PipedreamConfig`] — asynchronous pipelining (PipeDream): full
+//!   steady-state utilization, but gradient staleness growing with the
+//!   device count and weight-version stashing multiplying memory.
+//!
+//! Together with `bppsa_pram::memory`, these reproduce the paper's
+//! space-complexity comparison (the `space_complexity` harness binary) and
+//! back the §2.2 claims with checkable numbers — including a miniature
+//! demonstration that momentum amplifies staleness error
+//! ([`momentum_staleness_gap`]).
+//!
+//! ```
+//! use bppsa_pipeline::GpipeConfig;
+//!
+//! let report = GpipeConfig { layers: 64, devices: 8, micro_batches: 8, activation_bytes: 4096 }
+//!     .analyze();
+//! // K−1 / (M+K−1) = 7/15 of device time is bubble.
+//! assert!((report.bubble_fraction - 7.0 / 15.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+mod gpipe;
+mod pipedream;
+
+pub use gpipe::{GpipeConfig, GpipeReport};
+pub use pipedream::{momentum_staleness_gap, PipedreamConfig, PipedreamReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GpipeConfig>();
+        assert_send_sync::<PipedreamConfig>();
+    }
+}

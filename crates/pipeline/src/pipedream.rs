@@ -1,0 +1,172 @@
+//! PipeDream-style asynchronous pipeline parallelism (Narayanan et al.
+//! 2019), per the paper's §2.2 critique.
+//!
+//! Async pipelining removes the fill/drain bubble by overlapping
+//! mini-batches, at the price of *staleness*: a device computes gradients
+//! against weights that have since been updated. The paper's point is that
+//! "such an argument would be invalid when combined with other techniques
+//! commonly used in first-order optimizers (e.g. momentum in Adam)", and
+//! that weight stashing multiplies memory by the number of in-flight
+//! versions.
+
+use std::fmt;
+
+/// Configuration of an asynchronous (PipeDream-style) pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipedreamConfig {
+    /// Total network layers `L`.
+    pub layers: usize,
+    /// Pipeline devices `K`.
+    pub devices: usize,
+    /// Bytes of one stage's weights.
+    pub stage_weight_bytes: usize,
+    /// Bytes of one boundary activation.
+    pub activation_bytes: usize,
+}
+
+/// Analytic results for steady-state PipeDream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipedreamReport {
+    /// Steady-state utilization (no bubble once the pipeline is warm).
+    pub utilization: f64,
+    /// Maximum gradient staleness in update steps: how many optimizer steps
+    /// elapse between a stage's forward pass and the corresponding update.
+    pub max_staleness: usize,
+    /// Number of weight versions stage 0 must stash.
+    pub weight_versions: usize,
+    /// Per-device memory: stashed weights + in-flight activations.
+    pub per_device_bytes: usize,
+}
+
+impl PipedreamConfig {
+    /// Analyzes the steady-state behaviour (1F1B schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts are zero or `devices > layers`.
+    pub fn analyze(&self) -> PipedreamReport {
+        assert!(
+            self.layers > 0 && self.devices > 0,
+            "pipedream: counts must be positive"
+        );
+        assert!(
+            self.devices <= self.layers,
+            "pipedream: more devices ({}) than layers ({})",
+            self.devices,
+            self.layers
+        );
+        let k = self.devices;
+        // 1F1B steady state keeps every device busy.
+        let utilization = 1.0;
+        // Stage s sees staleness K − s; stage 0 is worst with K − 1
+        // in-flight mini-batches between its forward and its update.
+        let max_staleness = k - 1;
+        let weight_versions = k;
+        let per_device = self.stage_weight_bytes * weight_versions
+            + self.activation_bytes * k
+            + self.layers.div_ceil(k) * self.activation_bytes;
+        PipedreamReport {
+            utilization,
+            max_staleness,
+            weight_versions,
+            per_device_bytes: per_device,
+        }
+    }
+}
+
+impl fmt::Display for PipedreamConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PipeDream(L={}, K={})", self.layers, self.devices)
+    }
+}
+
+/// Models the gradient error introduced by staleness on a quadratic
+/// objective with momentum — a miniature of the paper's momentum argument.
+///
+/// Runs plain momentum-SGD on `f(x) = ½λx²` for `steps` iterations, once
+/// with fresh gradients and once with gradients delayed by `staleness`
+/// steps, and returns the two final distances from the optimum `|x|`.
+pub fn momentum_staleness_gap(
+    lambda: f64,
+    lr: f64,
+    momentum: f64,
+    staleness: usize,
+    steps: usize,
+) -> (f64, f64) {
+    let grad = |x: f64| lambda * x;
+    // Fresh.
+    let (mut x, mut v) = (1.0f64, 0.0f64);
+    for _ in 0..steps {
+        v = momentum * v + grad(x);
+        x -= lr * v;
+    }
+    let fresh = x.abs();
+    // Stale: gradient computed on the value from `staleness` steps ago.
+    let (mut x, mut v) = (1.0f64, 0.0f64);
+    let mut history = std::collections::VecDeque::from(vec![1.0f64; staleness + 1]);
+    for _ in 0..steps {
+        let stale_x = history.pop_front().expect("nonempty");
+        v = momentum * v + grad(stale_x);
+        x -= lr * v;
+        history.push_back(x);
+    }
+    (fresh, x.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(layers: usize, devices: usize) -> PipedreamConfig {
+        PipedreamConfig {
+            layers,
+            devices,
+            stage_weight_bytes: 1 << 16,
+            activation_bytes: 1 << 10,
+        }
+    }
+
+    #[test]
+    fn steady_state_has_full_utilization() {
+        assert_eq!(cfg(32, 4).analyze().utilization, 1.0);
+    }
+
+    #[test]
+    fn staleness_grows_with_devices() {
+        assert_eq!(cfg(32, 2).analyze().max_staleness, 1);
+        assert_eq!(cfg(32, 8).analyze().max_staleness, 7);
+        assert!(cfg(32, 8).analyze().weight_versions > cfg(32, 2).analyze().weight_versions);
+    }
+
+    #[test]
+    fn memory_grows_with_devices() {
+        let m: Vec<usize> = [2usize, 4, 8, 16]
+            .iter()
+            .map(|&k| cfg(64, k).analyze().per_device_bytes)
+            .collect();
+        assert!(m.windows(2).all(|w| w[1] > w[0]), "{m:?}");
+    }
+
+    #[test]
+    fn momentum_amplifies_staleness_error() {
+        // With momentum, stale gradients overshoot: the stale trajectory
+        // ends farther from the optimum than the fresh one — the paper's
+        // argument against PipeDream's "staleness is harmless" claim.
+        let (fresh, stale) = momentum_staleness_gap(1.0, 0.1, 0.9, 4, 200);
+        assert!(
+            stale > fresh,
+            "stale {stale} should trail fresh {fresh} with momentum"
+        );
+        // Without momentum and a mild learning rate, staleness hurts less.
+        let (fresh0, stale0) = momentum_staleness_gap(1.0, 0.1, 0.0, 4, 200);
+        let with_m = stale / fresh.max(1e-300);
+        let without_m = stale0 / fresh0.max(1e-300);
+        assert!(with_m > without_m);
+    }
+
+    #[test]
+    #[should_panic(expected = "more devices")]
+    fn too_many_devices_rejected() {
+        let _ = cfg(2, 4).analyze();
+    }
+}

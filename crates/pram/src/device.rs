@@ -1,0 +1,173 @@
+//! Device profiles for the PRAM cost model.
+//!
+//! §3.6 assumes "the system can be conceptualized as a parallel random-access
+//! machine (PRAM)". A [`DeviceProfile`] instantiates that abstraction with
+//! the constants that matter for the paper's figures: how many `⊙` combines
+//! can run concurrently (`p`, the worker count), how fast each runs, and the
+//! fixed cost of one level-synchronous step (a CUDA kernel launch in the
+//! paper's implementation).
+//!
+//! The two profiles mirror the paper's Table 2 GPUs: RTX 2070 (36 SMs) and
+//! RTX 2080 Ti (68 SMs). Per-slot throughput and overheads are calibrated so
+//! the T = 1000, B = 16 RNN workload lands near the paper's measured
+//! speedups (see EXPERIMENTS.md); all *shape* conclusions are insensitive to
+//! the exact constants.
+
+use std::fmt;
+
+/// A PRAM device profile: the machine abstraction the simulator prices
+/// schedules against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable name (e.g. `"RTX 2070"`).
+    pub name: String,
+    /// Number of streaming multiprocessors (Table 2: 36 / 68).
+    pub sms: usize,
+    /// Concurrent worker slots per SM; one slot executes one `⊙` combine
+    /// (one thread block in the paper's CUDA implementation).
+    pub slots_per_sm: usize,
+    /// Sustained FLOP/s of a single worker slot.
+    pub flops_per_slot: f64,
+    /// Fixed cost of one level-synchronous parallel step (kernel launch +
+    /// synchronization), in seconds.
+    pub level_overhead_s: f64,
+    /// Fixed cost of one step of a *sequential* dependency chain (the
+    /// baseline's per-timestep cost floor; cuDNN's fused RNN steps make this
+    /// much smaller than a full launch), in seconds.
+    pub serial_step_s: f64,
+}
+
+impl DeviceProfile {
+    /// The RTX 2070 profile (36 SMs) from the paper's Table 2.
+    ///
+    /// `flops_per_slot` reflects the *effective* throughput of one thread
+    /// block executing a tiny (20×20) matrix multiply out of global memory —
+    /// a small fraction of peak FP32, which is what makes the measured
+    /// saturation speedups land where the paper's do.
+    pub fn rtx_2070() -> Self {
+        Self {
+            name: "RTX 2070".to_string(),
+            sms: 36,
+            slots_per_sm: 16,
+            flops_per_slot: 1.85e9,
+            level_overhead_s: 2.0e-6,
+            serial_step_s: 1.2e-6,
+        }
+    }
+
+    /// The RTX 2080 Ti profile (68 SMs) from the paper's Table 2.
+    pub fn rtx_2080ti() -> Self {
+        Self {
+            name: "RTX 2080 Ti".to_string(),
+            sms: 68,
+            slots_per_sm: 16,
+            flops_per_slot: 2.6e9,
+            level_overhead_s: 2.0e-6,
+            serial_step_s: 0.9e-6,
+        }
+    }
+
+    /// Total worker slots `p = SMs × slots_per_sm` — the paper's "total
+    /// number of CUDA threads that can be executed concurrently in all SMs"
+    /// at combine granularity.
+    pub fn workers(&self) -> usize {
+        self.sms * self.slots_per_sm
+    }
+
+    /// Time for one worker slot to execute `flops` FLOPs.
+    pub fn slot_time(&self, flops: u64) -> f64 {
+        flops as f64 / self.flops_per_slot
+    }
+
+    /// Time for one *parallel level* of `ops` identical combines of `flops`
+    /// FLOPs each: `⌈ops/p⌉` sequential waves of slot time plus the level
+    /// overhead.
+    pub fn level_time(&self, ops: usize, flops: u64) -> f64 {
+        if ops == 0 {
+            return 0.0;
+        }
+        let waves = ops.div_ceil(self.workers());
+        waves as f64 * self.slot_time(flops) + self.level_overhead_s
+    }
+
+    /// Time for `steps` steps of a sequential dependency chain where each
+    /// step also performs `ops` parallel combines of `flops` FLOPs (the
+    /// baseline BP/linear-scan shape: `Θ(n)` steps of batched matvecs).
+    pub fn serial_chain_time(&self, steps: usize, ops: usize, flops: u64) -> f64 {
+        if steps == 0 {
+            return 0.0;
+        }
+        let waves = ops.div_ceil(self.workers()).max(1);
+        steps as f64 * (waves as f64 * self.slot_time(flops) + self.serial_step_s)
+    }
+
+    /// Time for one parallel level of *heterogeneous* combines (each entry
+    /// one op's FLOPs): the classic work/span bound
+    /// `max(span, work / (p·F))` plus the level overhead. Used to price
+    /// Figure 11-style chains whose step costs vary wildly.
+    pub fn heterogeneous_level_time(&self, op_flops: &[u64]) -> f64 {
+        if op_flops.is_empty() {
+            return 0.0;
+        }
+        let span = self.slot_time(op_flops.iter().copied().max().unwrap_or(0));
+        let work: u64 = op_flops.iter().sum();
+        let throughput = work as f64 / (self.workers() as f64 * self.flops_per_slot);
+        span.max(throughput) + self.level_overhead_s
+    }
+}
+
+impl fmt::Display for DeviceProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} SMs, {} workers, {:.1} GFLOP/s per slot)",
+            self.name,
+            self.sms,
+            self.workers(),
+            self.flops_per_slot / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_table2_sm_counts() {
+        assert_eq!(DeviceProfile::rtx_2070().sms, 36);
+        assert_eq!(DeviceProfile::rtx_2080ti().sms, 68);
+        assert!(DeviceProfile::rtx_2080ti().workers() > DeviceProfile::rtx_2070().workers());
+    }
+
+    #[test]
+    fn level_time_scales_with_waves() {
+        let d = DeviceProfile::rtx_2070();
+        let p = d.workers();
+        let one_wave = d.level_time(p, 1000);
+        let two_waves = d.level_time(p + 1, 1000);
+        assert!(two_waves > one_wave);
+        // Exactly one extra slot-time.
+        assert!((two_waves - one_wave - d.slot_time(1000)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_level_is_free() {
+        let d = DeviceProfile::rtx_2070();
+        assert_eq!(d.level_time(0, 1000), 0.0);
+    }
+
+    #[test]
+    fn serial_chain_time_is_linear_in_steps() {
+        let d = DeviceProfile::rtx_2080ti();
+        let t1 = d.serial_chain_time(100, 16, 800);
+        let t2 = d.serial_chain_time(200, 16, 800);
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_workers() {
+        let d = DeviceProfile::rtx_2070();
+        assert!(format!("{d}").contains("576 workers"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # bppsa-pram — PRAM machine-model simulator
+//!
+//! The hardware substitute for the paper's GPU experiments. §3.6 analyzes
+//! BPPSA "assuming the system can be conceptualized as a parallel
+//! random-access machine (PRAM)"; this crate makes that machine concrete:
+//! [`DeviceProfile`]s carry worker counts (from the paper's Table 2 SM
+//! counts), per-slot throughput, and per-level launch overheads, and the
+//! simulation functions price scan schedules and the sequential baseline
+//! against them.
+//!
+//! This is a documented substitution (see DESIGN.md §6): the real paper
+//! measures wall-clock on RTX 2070/2080 Ti; we reproduce the *shape* of
+//! those figures — speedup rising with sequence length until bounded by the
+//! worker count, falling with batch size, higher/later saturation on the
+//! bigger GPU — from first principles, and validate the scan math itself
+//! with real threaded execution in `bppsa-core`.
+//!
+//! ```
+//! use bppsa_pram::{simulate_speedups, DeviceProfile, RnnWorkload};
+//!
+//! let speedup = simulate_speedups(&RnnWorkload::paper_default(), &DeviceProfile::rtx_2070());
+//! // The paper measures 4.53× backward / 2.17× overall for this config.
+//! assert!(speedup.backward > 1.0);
+//! assert!(speedup.overall > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod device;
+mod simulate;
+
+pub mod memory;
+
+pub use device::DeviceProfile;
+pub use simulate::{
+    simulate_baseline, simulate_bppsa, simulate_speedups, simulate_step_groups, speedups,
+    RnnWorkload, SimBreakdown, Speedups, StepGroup,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceProfile>();
+        assert_send_sync::<RnnWorkload>();
+        assert_send_sync::<SimBreakdown>();
+    }
+}

@@ -1,0 +1,87 @@
+//! Space-complexity accounting (§3.6 and §2.2).
+//!
+//! The paper's scalability argument against pipeline parallelism is a memory
+//! argument: GPipe-style pipelining needs `Θ(L/K + K)·M_x` per device
+//! (activations for every in-flight micro-batch), growing linearly in the
+//! device count `K`, while BPPSA needs `Θ(max(n/p, 1))·M_Jacob`, *shrinking*
+//! as `p` grows until it bottoms out at one Jacobian per worker.
+
+/// Per-device memory of BPPSA with `n` scan elements over `p` workers, each
+/// element at most `jacob_bytes`: `max(⌈n/p⌉, 1) · M_Jacob`.
+pub fn bppsa_per_device_bytes(n: usize, p: usize, jacob_bytes: usize) -> usize {
+    let p = p.max(1);
+    n.div_ceil(p).max(1) * jacob_bytes
+}
+
+/// Per-device memory of GPipe-style pipeline parallelism with `layers`
+/// network layers over `devices` pipeline stages and activations of
+/// `activation_bytes` per sample per boundary: `Θ(L/K + K)·M_x`
+/// (re-materialization keeps `L/K` per-sample activation slots for
+/// recompute, plus `K` boundary activations for the in-flight micro-batches
+/// needed to fill the pipeline — Figure 3).
+pub fn pipeline_per_device_bytes(layers: usize, devices: usize, activation_bytes: usize) -> usize {
+    let k = devices.max(1);
+    (layers.div_ceil(k) + k) * activation_bytes
+}
+
+/// The device count at which pipeline memory starts growing: beyond
+/// `K ≈ √L` the `+K` term dominates and adding devices *costs* memory.
+pub fn pipeline_memory_minimum(layers: usize) -> usize {
+    ((layers as f64).sqrt().round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bppsa_memory_shrinks_with_workers() {
+        let n = 1024;
+        let j = 1 << 20; // 1 MiB per Jacobian
+        let m1 = bppsa_per_device_bytes(n, 1, j);
+        let m16 = bppsa_per_device_bytes(n, 16, j);
+        let m_huge = bppsa_per_device_bytes(n, 1 << 20, j);
+        assert!(m1 > m16);
+        assert!(m16 > m_huge);
+        // Floor: one Jacobian per worker.
+        assert_eq!(m_huge, j);
+    }
+
+    #[test]
+    fn pipeline_memory_grows_with_devices_eventually() {
+        let layers = 64;
+        let act = 1 << 10;
+        let at = |k| pipeline_per_device_bytes(layers, k, act);
+        // Early on, splitting layers helps …
+        assert!(at(2) < at(1));
+        // … but at large K the +K term dominates (the paper's limit).
+        assert!(at(64) > at(8));
+        assert!(at(128) > at(64));
+    }
+
+    #[test]
+    fn pipeline_minimum_near_sqrt_layers() {
+        assert_eq!(pipeline_memory_minimum(64), 8);
+        assert_eq!(pipeline_memory_minimum(100), 10);
+        assert_eq!(pipeline_memory_minimum(1), 1);
+    }
+
+    #[test]
+    fn zero_workers_clamped() {
+        assert_eq!(bppsa_per_device_bytes(8, 0, 100), 800);
+        assert_eq!(pipeline_per_device_bytes(8, 0, 100), 900);
+    }
+
+    #[test]
+    fn crossover_exists_for_large_k() {
+        // For big enough K, BPPSA per-device memory < pipeline per-device
+        // memory even with much larger Jacobian elements.
+        let layers = 1000;
+        let jacob = 50 * (1 << 10);
+        let act = 1 << 10;
+        let k = 512;
+        assert!(
+            bppsa_per_device_bytes(layers, k, jacob) < pipeline_per_device_bytes(layers, k, act)
+        );
+    }
+}

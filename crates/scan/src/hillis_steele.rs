@@ -1,0 +1,130 @@
+//! The Hillis–Steele scan (Hillis & Steele 1986), included as the classic
+//! alternative parallel-scan algorithm the paper cites alongside Blelloch.
+//!
+//! Hillis–Steele is step-optimal (`⌈log₂ n⌉` levels, no down-sweep) but
+//! work-inefficient (`Θ(n log n)` combines vs. Blelloch's `Θ(n)`), which is
+//! why the paper builds on Blelloch: with Jacobian-sized elements, the extra
+//! work means extra matrix–matrix products.
+
+use crate::ScanOp;
+
+/// In-place inclusive Hillis–Steele scan: `a[i] ← a₀ ⊕ … ⊕ a_i`.
+///
+/// Uses double buffering, so it allocates one scratch copy of the input.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_scan::{hillis_steele_inclusive, ScanOp};
+///
+/// struct Add;
+/// impl ScanOp<i64> for Add {
+///     fn combine(&self, a: &i64, b: &i64) -> i64 { a + b }
+///     fn identity(&self) -> i64 { 0 }
+/// }
+///
+/// let mut a = vec![1, 2, 3, 4];
+/// hillis_steele_inclusive(&Add, &mut a);
+/// assert_eq!(a, vec![1, 3, 6, 10]);
+/// ```
+pub fn hillis_steele_inclusive<T: Clone, Op: ScanOp<T>>(op: &Op, a: &mut [T]) {
+    let n = a.len();
+    if n <= 1 {
+        return;
+    }
+    let mut src: Vec<T> = a.to_vec();
+    let mut dst: Vec<T> = a.to_vec();
+    let mut d = 1usize;
+    while d < n {
+        for i in 0..n {
+            if i >= d {
+                dst[i] = op.combine(&src[i - d], &src[i]);
+            } else {
+                dst[i] = src[i].clone();
+            }
+        }
+        std::mem::swap(&mut src, &mut dst);
+        d <<= 1;
+    }
+    a.clone_from_slice(&src);
+}
+
+/// In-place exclusive Hillis–Steele scan: the inclusive scan shifted right
+/// by one with the identity in front.
+pub fn hillis_steele_exclusive<T: Clone, Op: ScanOp<T>>(op: &Op, a: &mut [T]) {
+    let n = a.len();
+    if n == 0 {
+        return;
+    }
+    hillis_steele_inclusive(op, a);
+    for i in (1..n).rev() {
+        a[i] = a[i - 1].clone();
+    }
+    a[0] = op.identity();
+}
+
+/// Number of combines Hillis–Steele performs on `n` elements:
+/// `Σ_{d=1,2,4,…<n} (n − d)` — the `Θ(n log n)` work bound.
+pub fn hillis_steele_work(n: usize) -> usize {
+    let mut work = 0usize;
+    let mut d = 1usize;
+    while d < n {
+        work += n - d;
+        d <<= 1;
+    }
+    work
+}
+
+/// Number of levels (steps with unbounded workers): `⌈log₂ n⌉`.
+pub fn hillis_steele_steps(n: usize) -> usize {
+    crate::ceil_log2(n) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execute::{serial_exclusive_scan, serial_inclusive_scan};
+    use crate::op::test_ops::{Add, Concat};
+
+    #[test]
+    fn inclusive_matches_oracle_across_sizes() {
+        for n in 0..40usize {
+            let items: Vec<String> = (0..n).map(|i| format!("<{i}>")).collect();
+            let mut a = items.clone();
+            hillis_steele_inclusive(&Concat, &mut a);
+            assert_eq!(a, serial_inclusive_scan(&Concat, &items), "n={n}");
+        }
+    }
+
+    #[test]
+    fn exclusive_matches_oracle_across_sizes() {
+        for n in 0..40usize {
+            let items: Vec<String> = (0..n).map(|i| format!("<{i}>")).collect();
+            let mut a = items.clone();
+            hillis_steele_exclusive(&Concat, &mut a);
+            assert_eq!(a, serial_exclusive_scan(&Concat, &items), "n={n}");
+        }
+    }
+
+    #[test]
+    fn work_is_superlinear() {
+        // n log n vs Blelloch's ~2n: at n=1024 Hillis-Steele does ~9x the work.
+        let hs = hillis_steele_work(1024);
+        let blelloch = crate::ScanSchedule::full(1024).combine_count();
+        assert!(hs > 4 * blelloch, "hs={hs} blelloch={blelloch}");
+    }
+
+    #[test]
+    fn steps_are_logarithmic() {
+        assert_eq!(hillis_steele_steps(1), 0);
+        assert_eq!(hillis_steele_steps(2), 1);
+        assert_eq!(hillis_steele_steps(1024), 10);
+    }
+
+    #[test]
+    fn numeric_inclusive_small() {
+        let mut a = vec![5i64];
+        hillis_steele_inclusive(&Add, &mut a);
+        assert_eq!(a, vec![5]);
+    }
+}

@@ -1,0 +1,126 @@
+//! The scan-operator abstraction.
+
+/// A binary, associative (not necessarily commutative) operator with an
+/// identity element, in the sense of the paper's §2.3.
+///
+/// `combine(a, b)` computes `a ⊕ b`. Implementations must satisfy, up to
+/// floating-point rounding:
+///
+/// * associativity: `combine(&combine(a, b), c) == combine(a, &combine(b, c))`
+/// * identity: `combine(&identity(), a) == a == combine(a, &identity())`
+///
+/// Commutativity is *not* required — BPPSA's operator `A ⊙ B = B·A` is
+/// non-commutative, which is why Algorithm 1 reverses the operand order in
+/// the down-sweep.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_scan::ScanOp;
+///
+/// struct Add;
+/// impl ScanOp<i64> for Add {
+///     fn combine(&self, a: &i64, b: &i64) -> i64 { a + b }
+///     fn identity(&self) -> i64 { 0 }
+/// }
+/// assert_eq!(Add.combine(&2, &3), 5);
+/// ```
+pub trait ScanOp<T> {
+    /// Computes `a ⊕ b`.
+    fn combine(&self, a: &T, b: &T) -> T;
+    /// The identity element of `⊕`.
+    fn identity(&self) -> T;
+}
+
+/// Blanket implementation so `&Op` can be passed wherever `Op` is expected.
+impl<T, Op: ScanOp<T> + ?Sized> ScanOp<T> for &Op {
+    fn combine(&self, a: &T, b: &T) -> T {
+        (**self).combine(a, b)
+    }
+    fn identity(&self) -> T {
+        (**self).identity()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_ops {
+    use super::ScanOp;
+
+    /// Integer addition (commutative; the classic prefix-sum).
+    pub struct Add;
+    impl ScanOp<i64> for Add {
+        fn combine(&self, a: &i64, b: &i64) -> i64 {
+            a.wrapping_add(*b)
+        }
+        fn identity(&self) -> i64 {
+            0
+        }
+    }
+
+    /// String concatenation (associative, non-commutative) — the canonical
+    /// witness that operand ordering in the down-sweep is correct.
+    pub struct Concat;
+    impl ScanOp<String> for Concat {
+        fn combine(&self, a: &String, b: &String) -> String {
+            let mut s = a.clone();
+            s.push_str(b);
+            s
+        }
+        fn identity(&self) -> String {
+            String::new()
+        }
+    }
+
+    /// Affine-map composition: `(a, b)` represents `x ↦ a·x + b` over
+    /// wrapping i64, composed left-to-right (apply the left map first).
+    /// Associative and non-commutative, with exact integer arithmetic.
+    pub struct Affine;
+    impl ScanOp<(i64, i64)> for Affine {
+        fn combine(&self, f: &(i64, i64), g: &(i64, i64)) -> (i64, i64) {
+            // (f then g)(x) = g(f(x)) = g.0*(f.0*x + f.1) + g.1
+            (
+                g.0.wrapping_mul(f.0),
+                g.0.wrapping_mul(f.1).wrapping_add(g.1),
+            )
+        }
+        fn identity(&self) -> (i64, i64) {
+            (1, 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_ops::*;
+    use super::*;
+
+    #[test]
+    fn add_identity_laws() {
+        assert_eq!(Add.combine(&Add.identity(), &7), 7);
+        assert_eq!(Add.combine(&7, &Add.identity()), 7);
+    }
+
+    #[test]
+    fn concat_is_noncommutative() {
+        let (a, b) = ("ab".to_string(), "cd".to_string());
+        assert_ne!(Concat.combine(&a, &b), Concat.combine(&b, &a));
+    }
+
+    #[test]
+    fn affine_associativity() {
+        let f = (2, 3);
+        let g = (5, 7);
+        let h = (11, 13);
+        let left = Affine.combine(&Affine.combine(&f, &g), &h);
+        let right = Affine.combine(&f, &Affine.combine(&g, &h));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn reference_to_op_also_implements() {
+        fn scan_with<T, Op: ScanOp<T>>(op: Op, a: &T, b: &T) -> T {
+            op.combine(a, b)
+        }
+        assert_eq!(scan_with(&Add, &1, &2), 3);
+    }
+}

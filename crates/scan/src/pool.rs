@@ -1,0 +1,368 @@
+//! A persistent worker pool for level-synchronous execution.
+//!
+//! [`Executor::Threaded`](crate::Executor::Threaded) spawns OS threads per
+//! level — simple but expensive when a level's combines are microseconds of
+//! work (a 20×20 matmul). The paper's CUDA kernels don't pay that cost: SMs
+//! persist across kernel launches. [`WorkerPool`] is the CPU analogue — a
+//! fixed set of threads that stay parked between levels.
+//!
+//! Design: one condvar broadcast publishes a *batch* (a `Fn(usize)` task and
+//! an index count); workers claim indices from a shared atomic counter until
+//! the batch drains; the caller participates too and the last finisher
+//! signals completion. Per-batch overhead is two futex transitions, not one
+//! per job, and the steady state performs **zero allocations per level**.
+
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+/// Raw pointer to the current batch's task closure. Valid for the batch's
+/// lifetime only; stale workers can never call through it because every
+/// claimable index is consumed before the batch completes.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// One published batch: a task, its index range, and drain-tracking state.
+struct ActiveBatch {
+    task: TaskPtr,
+    count: usize,
+    next: AtomicUsize,
+    remaining: AtomicUsize,
+}
+
+impl ActiveBatch {
+    /// Claims and runs indices until none remain. Returns whether any job
+    /// panicked. Safe for stale batches: all claims fail once drained.
+    fn drain(&self, poisoned: &AtomicBool) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.count {
+                return;
+            }
+            // SAFETY: the publishing `run_indexed` call does not return
+            // until `remaining` hits zero, which requires every claimed
+            // index (including this one) to finish first — so the task
+            // reference outlives this call.
+            let task = unsafe { &*self.task.0 };
+            if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+                poisoned.store(true, Ordering::SeqCst);
+            }
+            self.remaining.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+struct Shared {
+    slot: Mutex<BatchSlot>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    poisoned: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+struct BatchSlot {
+    generation: u64,
+    batch: Option<Arc<ActiveBatch>>,
+}
+
+/// A fixed-size pool of persistent worker threads executing index-parallel
+/// batches with a completion barrier — the level-synchronous primitive the
+/// scan executor needs.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_scan::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = WorkerPool::new(4);
+/// let counter = AtomicUsize::new(0);
+/// pool.run_indexed(32, &|_i| {
+///     counter.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(counter.load(Ordering::Relaxed), 32);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let size = threads.max(1);
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(BatchSlot {
+                generation: 0,
+                batch: None,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..size)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bppsa-scan-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn scan worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            size,
+        }
+    }
+
+    /// Number of worker threads (the caller participates too, so up to
+    /// `size() + 1` indices run concurrently).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `task(0..count)` across the pool (and the calling thread),
+    /// blocking until every index completed. The task may borrow from the
+    /// caller's stack — the barrier guarantees the borrows outlive all use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task invocation panicked.
+    pub fn run_indexed<'scope>(&self, count: usize, task: &(dyn Fn(usize) + Sync + 'scope)) {
+        if count == 0 {
+            return;
+        }
+        // SAFETY: only erases the `'scope` lifetime; the barrier below keeps
+        // the reference alive for exactly as long as workers may call it.
+        let task: &(dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let batch = Arc::new(ActiveBatch {
+            task: TaskPtr(task as *const _),
+            count,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(count),
+        });
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.generation += 1;
+            slot.batch = Some(Arc::clone(&batch));
+            self.shared.work_cv.notify_all();
+        }
+        // The caller works too — for small batches it often drains
+        // everything before a worker even wakes.
+        batch.drain(&self.shared.poisoned);
+        if batch.remaining.load(Ordering::Acquire) > 0 {
+            let mut slot = self.shared.slot.lock();
+            while batch.remaining.load(Ordering::Acquire) > 0 {
+                self.shared.done_cv.wait(&mut slot);
+            }
+        }
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.batch = None;
+        }
+        if self.shared.poisoned.swap(false, Ordering::SeqCst) {
+            panic!("a scan worker job panicked");
+        }
+    }
+
+    /// Convenience wrapper: runs a vector of one-shot closures as a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job panicked.
+    pub fn run_batch<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let slots: Vec<Mutex<Option<Box<dyn FnOnce() + Send + 'scope>>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        self.run_indexed(slots.len(), &|i| {
+            if let Some(job) = slots[i].lock().take() {
+                job();
+            }
+        });
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_generation = 0u64;
+    loop {
+        let batch = {
+            let mut slot = shared.slot.lock();
+            while slot.generation == seen_generation && !shared.shutdown.load(Ordering::SeqCst) {
+                shared.work_cv.wait(&mut slot);
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            seen_generation = slot.generation;
+            slot.batch.clone()
+        };
+        if let Some(batch) = batch {
+            batch.drain(&shared.poisoned);
+            // Whoever observes the drained batch wakes the publisher; the
+            // lock round-trip avoids a missed-wakeup race with `done_cv`.
+            if batch.remaining.load(Ordering::Acquire) == 0 {
+                let _guard = shared.slot.lock();
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let _guard = self.shared.slot.lock();
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            self.shared.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WorkerPool(size={})", self.size)
+    }
+}
+
+/// The process-wide shared pool (sized to the available parallelism),
+/// created lazily on first use — what [`crate::Executor::Pooled`] runs on.
+pub fn global_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+        WorkerPool::new(threads)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn run_indexed_covers_every_index_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_indexed(500, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn batch_runs_all_jobs() {
+        let pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..100)
+            .map(|_| {
+                let c = &counter;
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_batch(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn sequential_batches_form_barriers() {
+        // Writes from batch 1 must be visible to batch 2 (level sync).
+        let pool = WorkerPool::new(4);
+        let data: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_indexed(64, &|i| {
+            data[i].store(1, Ordering::Release);
+        });
+        pool.run_indexed(64, &|i| {
+            let v = data[i].load(Ordering::Acquire);
+            assert_eq!(v, 1, "batch 1 write not visible");
+            data[i].store(v + 1, Ordering::Release);
+        });
+        assert!(data.iter().all(|x| x.load(Ordering::Relaxed) == 2));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let pool = WorkerPool::new(2);
+        pool.run_indexed(0, &|_| unreachable!());
+        pool.run_batch(Vec::new());
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..500 {
+            pool.run_indexed(3, &|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1500);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker job panicked")]
+    fn job_panic_propagates() {
+        let pool = WorkerPool::new(2);
+        pool.run_indexed(4, &|i| {
+            if i == 2 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn pool_is_usable_after_a_panic() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(1, &|_| panic!("first"));
+        }));
+        assert!(result.is_err());
+        let counter = AtomicUsize::new(0);
+        pool.run_indexed(8, &|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = global_pool() as *const _;
+        let b = global_pool() as *const _;
+        assert_eq!(a, b);
+        assert!(global_pool().size() >= 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(WorkerPool::new(0).size(), 1);
+    }
+
+    #[test]
+    fn heavy_contention_smoke() {
+        // Many small batches from the caller thread; exercises the
+        // generation/stale-batch logic.
+        let pool = WorkerPool::new(8);
+        let total = AtomicUsize::new(0);
+        for round in 0..200 {
+            let count = 1 + round % 17;
+            pool.run_indexed(count, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let expect: usize = (0..200).map(|r| 1 + r % 17).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expect);
+    }
+}

@@ -1,0 +1,191 @@
+//! Coordinate-format (triplet) builder for incremental sparse-matrix
+//! construction.
+
+use crate::Csr;
+use bppsa_tensor::Scalar;
+
+/// A coordinate-format sparse-matrix builder.
+///
+/// Entries may be pushed in any order; duplicates are summed when converting
+/// to CSR. This is the convenient construction path when an analytic
+/// generator is unavailable.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_sparse::Coo;
+///
+/// let mut coo = Coo::<f64>::new(2, 2);
+/// coo.push(0, 0, 1.0);
+/// coo.push(1, 1, 2.0);
+/// coo.push(0, 0, 3.0); // duplicate: summed
+/// let csr = coo.to_csr();
+/// assert_eq!(csr.get(0, 0), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo<S> {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, S)>,
+}
+
+impl<S: Scalar> Coo<S> {
+    /// Creates an empty builder for a `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension exceeds `u32::MAX`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "Coo: dimensions exceed u32 index range"
+        );
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of pushed triplets (before duplicate summing).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`. Duplicates are summed by [`Coo::to_csr`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of range.
+    pub fn push(&mut self, row: usize, col: usize, value: S) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "Coo::push({row},{col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row as u32, col as u32, value));
+    }
+
+    /// Converts to CSR, sorting entries and summing duplicates. Entries that
+    /// sum to exactly zero are *kept* (deterministic patterns matter more
+    /// than minimal storage here; call [`Csr::pruned`] to drop them).
+    pub fn to_csr(&self) -> Csr<S> {
+        let mut entries = self.entries.clone();
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices: Vec<u32> = Vec::with_capacity(entries.len());
+        let mut data: Vec<S> = Vec::with_capacity(entries.len());
+        indptr.push(0);
+        let mut current_row = 0usize;
+        let mut last: Option<(u32, u32)> = None;
+        for (r, c, v) in entries {
+            if last == Some((r, c)) {
+                let i = data.len() - 1;
+                data[i] += v;
+                continue;
+            }
+            while current_row < r as usize {
+                indptr.push(indices.len());
+                current_row += 1;
+            }
+            indices.push(c);
+            data.push(v);
+            last = Some((r, c));
+        }
+        while current_row < self.rows {
+            indptr.push(indices.len());
+            current_row += 1;
+        }
+        Csr::from_parts_unchecked(self.rows, self.cols, indptr, indices, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder_gives_zero_matrix() {
+        let coo = Coo::<f32>::new(3, 4);
+        let csr = coo.to_csr();
+        assert_eq!(csr.shape(), (3, 4));
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.validate(), Ok(()));
+    }
+
+    #[test]
+    fn unsorted_pushes_produce_sorted_csr() {
+        let mut coo = Coo::<f64>::new(2, 3);
+        coo.push(1, 2, 5.0);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 0, 3.0);
+        coo.push(0, 0, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.validate(), Ok(()));
+        assert_eq!(csr.row_indices(0), &[0, 1]);
+        assert_eq!(csr.row_indices(1), &[0, 2]);
+        assert_eq!(csr.get(1, 2), 5.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = Coo::<f64>::new(1, 2);
+        coo.push(0, 1, 1.5);
+        coo.push(0, 1, 2.5);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(0, 1), 4.0);
+    }
+
+    #[test]
+    fn zero_sum_duplicates_are_kept_until_pruned() {
+        let mut coo = Coo::<f64>::new(1, 1);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, -1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.pruned().nnz(), 0);
+    }
+
+    #[test]
+    fn trailing_empty_rows_have_indptr_entries() {
+        let mut coo = Coo::<f32>::new(4, 2);
+        coo.push(0, 0, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.indptr(), &[0, 1, 1, 1, 1]);
+        assert_eq!(csr.validate(), Ok(()));
+    }
+
+    #[test]
+    fn leading_empty_rows_are_handled() {
+        let mut coo = Coo::<f32>::new(3, 2);
+        coo.push(2, 1, 4.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.indptr(), &[0, 0, 0, 1]);
+        assert_eq!(csr.get(2, 1), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut coo = Coo::<f32>::new(1, 1);
+        coo.push(1, 0, 1.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types for sparse-matrix construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error describing why a CSR structure is malformed.
+///
+/// Returned by [`crate::Csr::validate`] and the fallible constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrError {
+    /// `indptr` must have exactly `rows + 1` entries.
+    IndptrLength {
+        /// Expected length (`rows + 1`).
+        expected: usize,
+        /// Actual length found.
+        actual: usize,
+    },
+    /// `indptr` must start at 0.
+    IndptrStart,
+    /// `indptr` must be non-decreasing.
+    IndptrMonotonicity {
+        /// First row at which `indptr` decreases.
+        row: usize,
+    },
+    /// The final `indptr` entry must equal `indices.len()`.
+    IndptrEnd {
+        /// `indptr[rows]`.
+        expected: usize,
+        /// `indices.len()`.
+        actual: usize,
+    },
+    /// `indices` and `data` must have equal lengths.
+    DataLength {
+        /// `indices.len()`.
+        indices: usize,
+        /// `data.len()`.
+        data: usize,
+    },
+    /// A column index is out of range.
+    ColumnOutOfRange {
+        /// Row containing the bad index.
+        row: usize,
+        /// The offending column index.
+        col: usize,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
+    /// Column indices within a row must be strictly increasing.
+    UnsortedRow {
+        /// First row that is not strictly sorted.
+        row: usize,
+    },
+}
+
+impl fmt::Display for CsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrError::IndptrLength { expected, actual } => {
+                write!(f, "indptr length {actual} does not match rows+1 = {expected}")
+            }
+            CsrError::IndptrStart => write!(f, "indptr does not start at 0"),
+            CsrError::IndptrMonotonicity { row } => {
+                write!(f, "indptr decreases at row {row}")
+            }
+            CsrError::IndptrEnd { expected, actual } => {
+                write!(f, "indptr end {expected} does not match indices length {actual}")
+            }
+            CsrError::DataLength { indices, data } => {
+                write!(f, "indices length {indices} does not match data length {data}")
+            }
+            CsrError::ColumnOutOfRange { row, col, cols } => {
+                write!(f, "column index {col} out of range {cols} in row {row}")
+            }
+            CsrError::UnsortedRow { row } => {
+                write!(f, "column indices not strictly increasing in row {row}")
+            }
+        }
+    }
+}
+
+impl Error for CsrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CsrError::ColumnOutOfRange {
+            row: 3,
+            col: 9,
+            cols: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('9') && s.contains('5'));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(CsrError::IndptrStart);
+    }
+}

@@ -1,0 +1,149 @@
+//! FLOP estimators for sparse and dense kernels.
+//!
+//! Figure 11 of the paper is produced by *static analysis*: "due to the lack
+//! of a fair implementation, we perform our experiments by calculating the
+//! FLOPs needed for each step in our method and the baseline". These
+//! functions are that static analysis. A multiply–add counts as 2 FLOPs.
+
+use crate::{Csr, SparsityPattern};
+use bppsa_tensor::Scalar;
+
+/// FLOPs of a sparse matrix–vector product `A · x`: `2 · nnz(A)`.
+pub fn spmv_flops<S: Scalar>(a: &Csr<S>) -> u64 {
+    2 * a.nnz() as u64
+}
+
+/// FLOPs of a sparse matrix–vector product given only the pattern.
+pub fn spmv_flops_pattern(a: &SparsityPattern) -> u64 {
+    2 * a.nnz() as u64
+}
+
+/// FLOPs of the sparse product `A · B`:
+/// `2 · Σ_i Σ_{k ∈ row_i(A)} nnz(row_k(B))`.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions differ.
+pub fn spgemm_flops<S: Scalar>(a: &Csr<S>, b: &Csr<S>) -> u64 {
+    spgemm_flops_pattern(&a.pattern(), &b.pattern())
+}
+
+/// Pattern-only variant of [`spgemm_flops`].
+///
+/// # Panics
+///
+/// Panics if the inner dimensions differ.
+pub fn spgemm_flops_pattern(a: &SparsityPattern, b: &SparsityPattern) -> u64 {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "spgemm_flops: inner dimensions differ"
+    );
+    let mut macs = 0u64;
+    for i in 0..a.rows() {
+        for &k in a.row_indices(i) {
+            macs += b.row_nnz(k as usize) as u64;
+        }
+    }
+    2 * macs
+}
+
+/// FLOPs of a dense GEMM `(m × k) · (k × n)`: `2mkn`.
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
+
+/// FLOPs of a dense GEMV `(m × n) · n`: `2mn`.
+pub fn gemv_flops(m: usize, n: usize) -> u64 {
+    2 * (m as u64) * (n as u64)
+}
+
+/// Computes the *structural* output pattern size of `A · B` without building
+/// the product (upper bound on the true nnz; exact when no cancellation).
+///
+/// # Panics
+///
+/// Panics if the inner dimensions differ.
+pub fn spgemm_out_nnz(a: &SparsityPattern, b: &SparsityPattern) -> usize {
+    assert_eq!(a.cols(), b.rows(), "spgemm_out_nnz: inner dimensions differ");
+    let n = b.cols();
+    let mut marker = vec![usize::MAX; n];
+    let mut nnz = 0usize;
+    for i in 0..a.rows() {
+        for &k in a.row_indices(i) {
+            for &j in b.row_indices(k as usize) {
+                if marker[j as usize] != i {
+                    marker[j as usize] = i;
+                    nnz += 1;
+                }
+            }
+        }
+    }
+    nnz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spgemm;
+    use bppsa_tensor::Matrix;
+
+    #[test]
+    fn spmv_flops_is_twice_nnz() {
+        let a = Csr::from_diagonal(&[1.0f32, 2.0, 3.0]);
+        assert_eq!(spmv_flops(&a), 6);
+    }
+
+    #[test]
+    fn spgemm_flops_diagonal_times_diagonal() {
+        let a = Csr::from_diagonal(&[1.0f64; 4]);
+        let b = Csr::from_diagonal(&[2.0f64; 4]);
+        // Each of the 4 rows does exactly 1 MAC.
+        assert_eq!(spgemm_flops(&a, &b), 8);
+    }
+
+    #[test]
+    fn spgemm_flops_matches_symbolic_plan() {
+        let a = Csr::from_dense(&Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0],
+            &[0.0, 3.0, 0.0],
+        ]));
+        let b = Csr::from_dense(&Matrix::from_rows(&[
+            &[0.0, 1.0],
+            &[4.0, 0.0],
+            &[0.0, 5.0],
+        ]));
+        let plan = crate::SymbolicProduct::plan(&a.pattern(), &b.pattern());
+        assert_eq!(spgemm_flops(&a, &b), plan.flops());
+    }
+
+    #[test]
+    fn dense_flop_formulas() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+        assert_eq!(gemv_flops(20, 20), 800);
+    }
+
+    #[test]
+    fn dense_csr_spgemm_flops_equals_gemm_flops() {
+        // Fully dense CSR operands should count exactly the dense GEMM FLOPs.
+        let a = Csr::from_dense(&Matrix::from_fn(3, 4, |i, j| (i + j + 1) as f64));
+        let b = Csr::from_dense(&Matrix::from_fn(4, 5, |i, j| (i * j + 1) as f64));
+        assert_eq!(spgemm_flops(&a, &b), gemm_flops(3, 4, 5));
+    }
+
+    #[test]
+    fn out_nnz_matches_actual_product_without_cancellation() {
+        let a = Csr::from_dense(&Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0],
+            &[0.0, 3.0, 0.0],
+        ]));
+        let b = Csr::from_dense(&Matrix::from_rows(&[
+            &[0.0, 1.0],
+            &[4.0, 0.0],
+            &[0.0, 5.0],
+        ]));
+        let predicted = spgemm_out_nnz(&a.pattern(), &b.pattern());
+        let actual = spgemm(&a, &b).nnz();
+        assert_eq!(predicted, actual);
+    }
+}

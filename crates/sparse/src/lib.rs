@@ -1,0 +1,58 @@
+//! # bppsa-sparse — sparse linear algebra for deterministic Jacobian patterns
+//!
+//! CSR/COO sparse matrices, SpMV, and SpGEMM for the BPPSA reproduction.
+//!
+//! The paper's §3.3 observes that the Jacobians of convolution, ReLU, and
+//! max-pooling are extremely sparse *and* that their guaranteed-zero
+//! positions are deterministic, known before training starts. That enables an
+//! optimization generic libraries (cuSPARSE) cannot apply: running SpGEMM's
+//! symbolic phase once ahead of time and re-executing only the numeric phase
+//! every iteration. [`SymbolicProduct`] implements exactly that split;
+//! [`spgemm`] is the generic baseline it is ablated against.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use bppsa_sparse::{spgemm, Csr, SymbolicProduct};
+//!
+//! let a = Csr::from_diagonal(&[1.0_f32, 2.0]);
+//! let b = Csr::from_diagonal(&[3.0_f32, 4.0]);
+//!
+//! // Generic path: symbolic + numeric every call.
+//! let c = spgemm(&a, &b);
+//!
+//! // Paper's path: plan once, execute numerics many times.
+//! let plan = SymbolicProduct::plan(&a.pattern(), &b.pattern());
+//! assert_eq!(plan.execute(&a, &b), c);
+//! ```
+
+#![warn(missing_docs)]
+
+mod coo;
+mod csr;
+mod error;
+mod pattern;
+mod spgemm;
+
+pub mod flops;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use error::CsrError;
+pub use pattern::SparsityPattern;
+pub use spgemm::{spgemm, SymbolicProduct};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Csr<f32>>();
+        assert_send_sync::<Coo<f32>>();
+        assert_send_sync::<SparsityPattern>();
+        assert_send_sync::<SymbolicProduct>();
+        assert_send_sync::<CsrError>();
+    }
+}

@@ -1,0 +1,172 @@
+//! Sparsity patterns: CSR structure without values.
+//!
+//! §3.3 of the paper: "the positions of guaranteed zeros in the Jacobian is
+//! deterministic with the model architecture and known ahead of time", which
+//! lets index merging be hoisted out of the training loop. This type is what
+//! gets hoisted.
+
+use std::fmt;
+
+/// The structure (indptr + column indices) of a CSR matrix, without values.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_sparse::{Csr, SparsityPattern};
+///
+/// let m = Csr::from_diagonal(&[1.0_f32, 2.0]);
+/// let p: SparsityPattern = m.pattern();
+/// assert_eq!(p.nnz(), 2);
+/// assert_eq!(p.shape(), (2, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsityPattern {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+}
+
+impl SparsityPattern {
+    /// Creates a pattern from raw structure arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indptr.len() != rows + 1` or the final `indptr` entry does
+    /// not match `indices.len()`.
+    pub fn new(rows: usize, cols: usize, indptr: Vec<usize>, indices: Vec<u32>) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "pattern: bad indptr length");
+        assert_eq!(
+            *indptr.last().unwrap_or(&0),
+            indices.len(),
+            "pattern: indptr end does not match indices length"
+        );
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of structurally non-zero positions.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Fraction of structurally-zero entries — the "sparsity of guaranteed
+    /// zeros" of Table 1.
+    pub fn sparsity(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / total as f64
+    }
+
+    /// The `indptr` array.
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// The concatenated column-index array.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Column indices of row `i`.
+    #[inline]
+    pub fn row_indices(&self, i: usize) -> &[u32] {
+        &self.indices[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Number of structural entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// Whether position `(i, j)` is structurally non-zero.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.row_indices(i).binary_search(&(j as u32)).is_ok()
+    }
+}
+
+impl fmt::Display for SparsityPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SparsityPattern[{}x{}, nnz={}, sparsity={:.5}]",
+            self.rows,
+            self.cols,
+            self.nnz(),
+            self.sparsity()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Csr;
+
+    #[test]
+    fn pattern_reflects_structure() {
+        let m = Csr::try_from_parts(
+            2,
+            3,
+            vec![0, 2, 3],
+            vec![0, 2, 1],
+            vec![1.0f32, 2.0, 3.0],
+        )
+        .unwrap();
+        let p = m.pattern();
+        assert_eq!(p.shape(), (2, 3));
+        assert_eq!(p.nnz(), 3);
+        assert!(p.contains(0, 2));
+        assert!(!p.contains(0, 1));
+        assert_eq!(p.row_nnz(1), 1);
+    }
+
+    #[test]
+    fn sparsity_of_empty_and_full() {
+        let empty = SparsityPattern::new(2, 2, vec![0, 0, 0], vec![]);
+        assert_eq!(empty.sparsity(), 1.0);
+        let full = SparsityPattern::new(1, 2, vec![0, 2], vec![0, 1]);
+        assert_eq!(full.sparsity(), 0.0);
+    }
+
+    #[test]
+    fn zero_sized_pattern_sparsity_is_zero() {
+        let p = SparsityPattern::new(0, 0, vec![0], vec![]);
+        assert_eq!(p.sparsity(), 0.0);
+        assert_eq!(p.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad indptr length")]
+    fn new_rejects_bad_indptr() {
+        let _ = SparsityPattern::new(2, 2, vec![0, 1], vec![0]);
+    }
+
+    #[test]
+    fn display_includes_sparsity() {
+        let p = SparsityPattern::new(1, 2, vec![0, 1], vec![0]);
+        assert!(format!("{p}").contains("sparsity=0.5"));
+    }
+}

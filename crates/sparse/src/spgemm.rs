@@ -1,0 +1,327 @@
+//! Sparse general matrix–matrix multiplication (SpGEMM).
+//!
+//! Two entry points:
+//!
+//! * [`spgemm`] — the *generic* path: a Gustavson-style row-by-row product
+//!   that performs both the symbolic work (discovering the output pattern,
+//!   sorting indices) and the numeric work on every call. This models what
+//!   cuSPARSE does each time (§4.2 of the paper).
+//! * [`SymbolicProduct`] — the paper's optimization: because the sparsity
+//!   patterns of transposed Jacobians are deterministic (§3.3), the symbolic
+//!   phase can run **once, ahead of training**, and every later call performs
+//!   only the FLOPs. `spgemm_symbolic` in the bench crate ablates the two.
+
+use crate::{Csr, SparsityPattern};
+use bppsa_tensor::Scalar;
+
+/// Computes `C = A · B` with a Gustavson sparse accumulator, performing
+/// symbolic and numeric work together (the generic baseline).
+///
+/// Output rows are sorted; entries that sum to exactly zero are kept so the
+/// result's pattern equals the *structural* product pattern.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn spgemm<S: Scalar>(a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "spgemm: inner dimensions differ ({}x{} · {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let n = b.cols();
+    let mut values = vec![S::ZERO; n];
+    let mut present = vec![false; n];
+    let mut touched: Vec<u32> = Vec::new();
+
+    let mut indptr = Vec::with_capacity(a.rows() + 1);
+    let mut indices: Vec<u32> = Vec::new();
+    let mut data: Vec<S> = Vec::new();
+    indptr.push(0);
+
+    for i in 0..a.rows() {
+        touched.clear();
+        for (&k, &av) in a.row_indices(i).iter().zip(a.row_data(i)) {
+            let k = k as usize;
+            for (&j, &bv) in b.row_indices(k).iter().zip(b.row_data(k)) {
+                let ju = j as usize;
+                if !present[ju] {
+                    present[ju] = true;
+                    touched.push(j);
+                    values[ju] = av * bv;
+                } else {
+                    values[ju] += av * bv;
+                }
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            indices.push(j);
+            data.push(values[j as usize]);
+            present[j as usize] = false;
+        }
+        indptr.push(indices.len());
+    }
+    Csr::from_parts_unchecked(a.rows(), n, indptr, indices, data)
+}
+
+/// A precomputed symbolic SpGEMM plan: the output pattern of `A · B` for
+/// fixed input patterns, enabling numeric-only execution.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_sparse::{Csr, SymbolicProduct};
+///
+/// let a = Csr::from_diagonal(&[2.0_f64, 3.0]);
+/// let b = Csr::from_diagonal(&[4.0_f64, 5.0]);
+/// let plan = SymbolicProduct::plan(&a.pattern(), &b.pattern());
+/// let c = plan.execute(&a, &b);
+/// assert_eq!(c.get(0, 0), 8.0);
+/// assert_eq!(c.get(1, 1), 15.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymbolicProduct {
+    a_pattern: SparsityPattern,
+    b_pattern: SparsityPattern,
+    out_pattern: SparsityPattern,
+    /// Dense-accumulator scatter positions: for each output row, for each
+    /// structural (k, j) product contribution, the slot in the row's output
+    /// segment. Stored flat; rows delimited by `gather_ptr`.
+    gather: Vec<(u32, u32, u32)>,
+    gather_ptr: Vec<usize>,
+    flops: u64,
+}
+
+impl SymbolicProduct {
+    /// Runs the symbolic phase once for the given input patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions differ.
+    pub fn plan(a: &SparsityPattern, b: &SparsityPattern) -> Self {
+        assert_eq!(
+            a.cols(),
+            b.rows(),
+            "SymbolicProduct::plan: inner dimensions differ"
+        );
+        let n = b.cols();
+        let mut slot_of = vec![u32::MAX; n];
+        let mut touched: Vec<u32> = Vec::new();
+
+        let mut indptr = Vec::with_capacity(a.rows() + 1);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut gather: Vec<(u32, u32, u32)> = Vec::new();
+        let mut gather_ptr = Vec::with_capacity(a.rows() + 1);
+        let mut flops = 0u64;
+        indptr.push(0);
+        gather_ptr.push(0);
+
+        for i in 0..a.rows() {
+            touched.clear();
+            // Discover the output row's column set.
+            for &k in a.row_indices(i) {
+                for &j in b.row_indices(k as usize) {
+                    if slot_of[j as usize] == u32::MAX {
+                        slot_of[j as usize] = 0; // mark
+                        touched.push(j);
+                    }
+                }
+            }
+            touched.sort_unstable();
+            for (slot, &j) in touched.iter().enumerate() {
+                slot_of[j as usize] = slot as u32;
+                indices.push(j);
+            }
+            // Record the multiply-accumulate program for this row.
+            for (apos, &k) in a.row_indices(i).iter().enumerate() {
+                let a_off = (a.indptr()[i] + apos) as u32;
+                let k = k as usize;
+                for bpos in 0..b.row_nnz(k) {
+                    let b_off = (b.indptr()[k] + bpos) as u32;
+                    let j = b.row_indices(k)[bpos];
+                    gather.push((a_off, b_off, slot_of[j as usize]));
+                    flops += 2;
+                }
+            }
+            for &j in &touched {
+                slot_of[j as usize] = u32::MAX;
+            }
+            indptr.push(indices.len());
+            gather_ptr.push(gather.len());
+        }
+
+        Self {
+            a_pattern: a.clone(),
+            b_pattern: b.clone(),
+            out_pattern: SparsityPattern::new(a.rows(), n, indptr, indices),
+            gather,
+            gather_ptr,
+            flops,
+        }
+    }
+
+    /// The output pattern of the product.
+    pub fn out_pattern(&self) -> &SparsityPattern {
+        &self.out_pattern
+    }
+
+    /// Total multiply–add FLOPs (counting 2 per multiply–add) a numeric
+    /// execution performs.
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// Executes the numeric phase: computes `A · B` assuming `a` and `b`
+    /// have exactly the patterns this plan was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand patterns do not match the planned patterns.
+    pub fn execute<S: Scalar>(&self, a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
+        assert!(
+            a.pattern() == self.a_pattern && b.pattern() == self.b_pattern,
+            "SymbolicProduct::execute: operand patterns do not match the plan"
+        );
+        self.execute_unchecked(a, b)
+    }
+
+    /// Numeric phase without the pattern equality check (debug-checked).
+    /// This is the hot path measured by the `spgemm_symbolic` ablation.
+    pub fn execute_unchecked<S: Scalar>(&self, a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
+        debug_assert!(a.pattern() == self.a_pattern && b.pattern() == self.b_pattern);
+        let ad = a.data();
+        let bd = b.data();
+        let mut data = vec![S::ZERO; self.out_pattern.nnz()];
+        for i in 0..self.out_pattern.rows() {
+            let out_base = self.out_pattern.indptr()[i];
+            for &(a_off, b_off, slot) in &self.gather[self.gather_ptr[i]..self.gather_ptr[i + 1]]
+            {
+                data[out_base + slot as usize] += ad[a_off as usize] * bd[b_off as usize];
+            }
+        }
+        Csr::from_parts_unchecked(
+            self.out_pattern.rows(),
+            self.out_pattern.cols(),
+            self.out_pattern.indptr().to_vec(),
+            self.out_pattern.indices().to_vec(),
+            data,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bppsa_tensor::Matrix;
+
+    fn dense_ref(a: &Csr<f64>, b: &Csr<f64>) -> Matrix<f64> {
+        a.to_dense().matmul(&b.to_dense())
+    }
+
+    fn sample_a() -> Csr<f64> {
+        Csr::from_dense(&Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0],
+            &[0.0, 3.0, 0.0],
+        ]))
+    }
+
+    fn sample_b() -> Csr<f64> {
+        Csr::from_dense(&Matrix::from_rows(&[
+            &[0.0, 1.0],
+            &[4.0, 0.0],
+            &[0.0, 5.0],
+        ]))
+    }
+
+    #[test]
+    fn spgemm_matches_dense() {
+        let c = spgemm(&sample_a(), &sample_b());
+        assert_eq!(c.validate(), Ok(()));
+        assert!(c.to_dense().approx_eq(&dense_ref(&sample_a(), &sample_b()), 1e-12));
+    }
+
+    #[test]
+    fn spgemm_identity_is_noop() {
+        let a = sample_a();
+        let i3 = Csr::identity(3);
+        let i2 = Csr::identity(2);
+        assert!(spgemm(&a, &i3).to_dense().approx_eq(&a.to_dense(), 0.0));
+        assert!(spgemm(&i2, &a).to_dense().approx_eq(&a.to_dense(), 0.0));
+    }
+
+    #[test]
+    fn spgemm_keeps_structural_zeros() {
+        // [1, -1] · [1; 1] = 0 but the position is structurally non-zero.
+        let a = Csr::from_dense(&Matrix::from_rows(&[&[1.0, -1.0]]));
+        let b = Csr::from_dense(&Matrix::from_rows(&[&[1.0], &[1.0]]));
+        let c = spgemm(&a, &b);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn spgemm_shape_mismatch_panics() {
+        let _ = spgemm(&sample_a(), &sample_a());
+    }
+
+    #[test]
+    fn symbolic_plan_matches_generic() {
+        let a = sample_a();
+        let b = sample_b();
+        let plan = SymbolicProduct::plan(&a.pattern(), &b.pattern());
+        let via_plan = plan.execute(&a, &b);
+        let generic = spgemm(&a, &b);
+        assert_eq!(via_plan, generic);
+    }
+
+    #[test]
+    fn plan_is_reusable_across_values() {
+        let a = sample_a();
+        let b = sample_b();
+        let plan = SymbolicProduct::plan(&a.pattern(), &b.pattern());
+        // Same patterns, different values.
+        let a2 = a.map_values(|v| v * 10.0);
+        let b2 = b.map_values(|v| v - 1.0);
+        let c2 = plan.execute(&a2, &b2);
+        assert!(c2.to_dense().approx_eq(&dense_ref(&a2, &b2), 1e-12));
+    }
+
+    #[test]
+    fn plan_flops_counts_structural_products() {
+        let a = sample_a();
+        let b = sample_b();
+        let plan = SymbolicProduct::plan(&a.pattern(), &b.pattern());
+        // Row 0 of A hits rows 0 (1 entry) and 2 (1 entry) of B → 2 products;
+        // row 1 hits row 1 (1 entry) → 1 product. Total 3 MACs = 6 FLOPs.
+        assert_eq!(plan.flops(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "patterns do not match")]
+    fn execute_rejects_wrong_pattern() {
+        let a = sample_a();
+        let b = sample_b();
+        let plan = SymbolicProduct::plan(&a.pattern(), &b.pattern());
+        let wrong = Csr::identity(3);
+        let _ = plan.execute(&wrong, &b);
+    }
+
+    #[test]
+    fn chained_products_stay_valid() {
+        // Products of products (as in the scan's up-sweep) remain valid CSR.
+        let a = sample_a();
+        let b = sample_b();
+        let c = spgemm(&a, &b); // 2x2
+        let d = spgemm(&c, &c);
+        assert_eq!(d.validate(), Ok(()));
+        assert!(d
+            .to_dense()
+            .approx_eq(&c.to_dense().matmul(&c.to_dense()), 1e-12));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests pinning the sparse kernels to dense references.
+
+use bppsa_sparse::{flops, spgemm, Coo, Csr, SymbolicProduct};
+use bppsa_tensor::{Matrix, Vector};
+use proptest::prelude::*;
+
+const DIM: std::ops::Range<usize> = 1..8;
+
+/// A random matrix with ~`density` fraction of non-zeros.
+fn sparse_dense_pair(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
+    proptest::collection::vec((any::<bool>(), -5.0..5.0f64), rows * cols).prop_map(
+        move |cells| {
+            Matrix::from_vec(
+                rows,
+                cols,
+                cells
+                    .into_iter()
+                    .map(|(keep, v)| if keep && v != 0.0 { v } else { 0.0 })
+                    .collect(),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_roundtrips_dense(d in (DIM, DIM).prop_flat_map(|(m, n)| sparse_dense_pair(m, n))) {
+        let csr = Csr::from_dense(&d);
+        prop_assert_eq!(csr.validate(), Ok(()));
+        prop_assert!(csr.to_dense().approx_eq(&d, 0.0));
+        prop_assert_eq!(csr.nnz(), d.count_nonzeros());
+    }
+
+    #[test]
+    fn spmv_matches_dense_matvec((d, x) in (DIM, DIM).prop_flat_map(|(m, n)| {
+        (sparse_dense_pair(m, n), proptest::collection::vec(-5.0..5.0f64, n))
+    })) {
+        let csr = Csr::from_dense(&d);
+        let x = Vector::from_vec(x);
+        prop_assert!(csr.spmv(&x).approx_eq(&d.matvec(&x), 1e-10));
+    }
+
+    #[test]
+    fn spgemm_matches_dense_matmul((a, b) in (DIM, DIM, DIM).prop_flat_map(|(m, k, n)| {
+        (sparse_dense_pair(m, k), sparse_dense_pair(k, n))
+    })) {
+        let sa = Csr::from_dense(&a);
+        let sb = Csr::from_dense(&b);
+        let c = spgemm(&sa, &sb);
+        prop_assert_eq!(c.validate(), Ok(()));
+        prop_assert!(c.to_dense().approx_eq(&a.matmul(&b), 1e-9));
+    }
+
+    #[test]
+    fn symbolic_plan_equals_generic_spgemm((a, b) in (DIM, DIM, DIM).prop_flat_map(|(m, k, n)| {
+        (sparse_dense_pair(m, k), sparse_dense_pair(k, n))
+    })) {
+        let sa = Csr::from_dense(&a);
+        let sb = Csr::from_dense(&b);
+        let plan = SymbolicProduct::plan(&sa.pattern(), &sb.pattern());
+        prop_assert_eq!(plan.execute(&sa, &sb), spgemm(&sa, &sb));
+        // And the plan's FLOP count matches the static estimator.
+        prop_assert_eq!(plan.flops(), flops::spgemm_flops(&sa, &sb));
+    }
+
+    #[test]
+    fn transpose_matches_dense(d in (DIM, DIM).prop_flat_map(|(m, n)| sparse_dense_pair(m, n))) {
+        let csr = Csr::from_dense(&d);
+        let t = csr.transposed();
+        prop_assert_eq!(t.validate(), Ok(()));
+        prop_assert!(t.to_dense().approx_eq(&d.transposed(), 0.0));
+        prop_assert_eq!(t.transposed(), csr);
+    }
+
+    #[test]
+    fn coo_with_duplicates_matches_dense_accumulation(
+        (rows, cols, triplets) in (DIM, DIM).prop_flat_map(|(m, n)| {
+            let trip = proptest::collection::vec((0..m, 0..n, -3.0..3.0f64), 0..20);
+            (Just(m), Just(n), trip)
+        })
+    ) {
+        let mut coo = Coo::<f64>::new(rows, cols);
+        let mut dense = Matrix::<f64>::zeros(rows, cols);
+        for &(i, j, v) in &triplets {
+            coo.push(i, j, v);
+            dense.set(i, j, dense.get(i, j) + v);
+        }
+        let csr = coo.to_csr();
+        prop_assert_eq!(csr.validate(), Ok(()));
+        prop_assert!(csr.to_dense().approx_eq(&dense, 1e-10));
+    }
+
+    #[test]
+    fn out_nnz_bounds_actual_nnz((a, b) in (DIM, DIM, DIM).prop_flat_map(|(m, k, n)| {
+        (sparse_dense_pair(m, k), sparse_dense_pair(k, n))
+    })) {
+        let sa = Csr::from_dense(&a);
+        let sb = Csr::from_dense(&b);
+        let structural = flops::spgemm_out_nnz(&sa.pattern(), &sb.pattern());
+        let actual = spgemm(&sa, &sb);
+        // Structural count is exact for the kept-zeros convention.
+        prop_assert_eq!(structural, actual.nnz());
+        // Pruning can only shrink.
+        prop_assert!(actual.pruned().nnz() <= structural);
+    }
+
+    #[test]
+    fn spgemm_associativity((a, b, c) in (DIM, DIM, DIM, DIM).prop_flat_map(|(m, k, n, p)| {
+        (sparse_dense_pair(m, k), sparse_dense_pair(k, n), sparse_dense_pair(n, p))
+    })) {
+        let (sa, sb, sc) = (Csr::from_dense(&a), Csr::from_dense(&b), Csr::from_dense(&c));
+        let left = spgemm(&spgemm(&sa, &sb), &sc);
+        let right = spgemm(&sa, &spgemm(&sb, &sc));
+        prop_assert!(left.to_dense().approx_eq(&right.to_dense(), 1e-8));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types shared by the dense linear-algebra substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when the shape of an operand does not match what an
+/// operation requires (e.g. a matrix–vector product with mismatched inner
+/// dimensions, or constructing a matrix from a buffer of the wrong length).
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_tensor::{Matrix, ShapeError};
+///
+/// let err: ShapeError = Matrix::<f32>::try_from_vec(2, 2, vec![1.0; 3]).unwrap_err();
+/// assert!(err.to_string().contains("expected"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    context: &'static str,
+    expected: String,
+    actual: String,
+}
+
+impl ShapeError {
+    /// Creates a new shape error with a short operation context and the
+    /// expected/actual shapes rendered as strings.
+    pub fn new(context: &'static str, expected: impl fmt::Debug, actual: impl fmt::Debug) -> Self {
+        Self {
+            context,
+            expected: format!("{expected:?}"),
+            actual: format!("{actual:?}"),
+        }
+    }
+
+    /// The operation that rejected the operands (e.g. `"matmul"`).
+    pub fn context(&self) -> &str {
+        self.context
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: expected {}, got {}",
+            self.context, self.expected, self.actual
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context_and_shapes() {
+        let e = ShapeError::new("matmul", (2usize, 3usize), (4usize, 5usize));
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("(2, 3)"));
+        assert!(s.contains("(4, 5)"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: std::error::Error>(_e: E) {}
+        takes_err(ShapeError::new("t", 1usize, 2usize));
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic random initialization helpers.
+//!
+//! Every experiment in the paper is "seeded with the same constant"; this
+//! module funnels all randomness through seeded [`rand::rngs::StdRng`]
+//! instances so baseline-vs-BPPSA comparisons start from bit-identical
+//! parameters.
+
+use crate::{Matrix, Scalar, Tensor, Vector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit seed.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_tensor::init::seeded_rng;
+/// use rand::Rng;
+///
+/// let mut a = seeded_rng(42);
+/// let mut b = seeded_rng(42);
+/// assert_eq!(a.random::<u64>(), b.random::<u64>());
+/// ```
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Fills a slice with uniform values in `[-bound, bound)`.
+pub fn fill_uniform<S: Scalar>(rng: &mut StdRng, out: &mut [S], bound: f64) {
+    for x in out {
+        *x = S::from_f64(rng.random_range(-bound..bound));
+    }
+}
+
+/// Samples a vector with uniform entries in `[-bound, bound)`.
+pub fn uniform_vector<S: Scalar>(rng: &mut StdRng, len: usize, bound: f64) -> Vector<S> {
+    let mut v = Vector::zeros(len);
+    fill_uniform(rng, v.as_mut_slice(), bound);
+    v
+}
+
+/// Samples a matrix with uniform entries in `[-bound, bound)`.
+pub fn uniform_matrix<S: Scalar>(
+    rng: &mut StdRng,
+    rows: usize,
+    cols: usize,
+    bound: f64,
+) -> Matrix<S> {
+    let mut m = Matrix::zeros(rows, cols);
+    fill_uniform(rng, m.as_mut_slice(), bound);
+    m
+}
+
+/// Samples a tensor with uniform entries in `[-bound, bound)`.
+pub fn uniform_tensor<S: Scalar>(
+    rng: &mut StdRng,
+    shape: impl Into<Vec<usize>>,
+    bound: f64,
+) -> Tensor<S> {
+    let mut t = Tensor::zeros(shape);
+    fill_uniform(rng, t.as_mut_slice(), bound);
+    t
+}
+
+/// Kaiming/He-style uniform bound for a layer with the given fan-in:
+/// `1 / sqrt(fan_in)` (the PyTorch default for `Linear`/`Conv2d`).
+pub fn kaiming_bound(fan_in: usize) -> f64 {
+    if fan_in == 0 {
+        0.0
+    } else {
+        1.0 / (fan_in as f64).sqrt()
+    }
+}
+
+/// Samples a `rows × cols` weight matrix with the Kaiming-uniform bound
+/// derived from `cols` (the fan-in of a dense layer).
+pub fn kaiming_matrix<S: Scalar>(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix<S> {
+    uniform_matrix(rng, rows, cols, kaiming_bound(cols))
+}
+
+/// Samples standard-normal values via the Box–Muller transform (avoids
+/// depending on `rand_distr`).
+pub fn normal<S: Scalar>(rng: &mut StdRng) -> S {
+    // Box–Muller needs u1 in (0, 1]; clamp away from zero.
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    S::from_f64((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos())
+}
+
+/// Fills a slice with `mean + std · N(0, 1)` samples.
+pub fn fill_normal<S: Scalar>(rng: &mut StdRng, out: &mut [S], mean: f64, std: f64) {
+    for x in out {
+        *x = S::from_f64(mean + std * normal::<f64>(rng));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a: Vector<f32> = uniform_vector(&mut seeded_rng(7), 16, 1.0);
+        let b: Vector<f32> = uniform_vector(&mut seeded_rng(7), 16, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vector<f64> = uniform_vector(&mut seeded_rng(1), 32, 1.0);
+        let b: Vector<f64> = uniform_vector(&mut seeded_rng(2), 32, 1.0);
+        assert!(a.max_abs_diff(&b) > 0.0);
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let m: Matrix<f64> = uniform_matrix(&mut seeded_rng(3), 10, 10, 0.25);
+        assert!(m.as_slice().iter().all(|&x| (-0.25..0.25).contains(&x)));
+    }
+
+    #[test]
+    fn kaiming_bound_formula() {
+        assert!((kaiming_bound(4) - 0.5).abs() < 1e-12);
+        assert_eq!(kaiming_bound(0), 0.0);
+    }
+
+    #[test]
+    fn normal_mean_and_variance_are_plausible() {
+        let mut rng = seeded_rng(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn uniform_tensor_shape() {
+        let t: Tensor<f32> = uniform_tensor(&mut seeded_rng(5), vec![2, 3, 4], 1.0);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+    }
+}

@@ -1,0 +1,536 @@
+//! Dense row-major matrices with the GEMM/GEMV kernels used throughout the
+//! workspace.
+//!
+//! The transposed Jacobians of the paper's Equation 5 are represented either
+//! densely (this type) or sparsely ([`bppsa-sparse`]'s CSR); the scan operator
+//! `A ⊙ B = B·A` bottoms out in [`Matrix::matmul`] / [`Matrix::matvec`] for
+//! the dense case.
+
+use crate::{Scalar, ShapeError, Vector};
+use std::fmt;
+
+/// A dense row-major matrix.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_tensor::{Matrix, Vector};
+///
+/// let a = Matrix::from_rows(&[&[1.0_f64, 2.0], &[3.0, 4.0]]);
+/// let x = Vector::from_vec(vec![1.0, 1.0]);
+/// assert_eq!(a.matvec(&x).as_slice(), &[3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<S> {
+    rows: usize,
+    cols: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> Matrix<S> {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![S::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, S::ONE);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<S>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Fallible variant of [`Matrix::from_vec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<S>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new("from_vec", rows * cols, data.len()));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at each position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices (all rows must have equal length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[S]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &[S]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.set(i, i, d);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> S {
+        debug_assert!(i < self.rows && j < self.cols, "get({i},{j}) out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
+        debug_assert!(i < self.rows && j < self.cols, "set({i},{j}) out of bounds");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[S] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [S] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    pub fn column(&self, j: usize) -> Vector<S> {
+        Vector::from_fn(self.rows, |i| self.get(i, j))
+    }
+
+    /// Immutable view of the full row-major buffer.
+    pub fn as_slice(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Mutable view of the full row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major buffer.
+    pub fn into_vec(self) -> Vec<S> {
+        self.data
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transposed(&self) -> Self {
+        let mut t = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product `self · other` (GEMM, ikj loop order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dimensions differ ({}x{} · {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Self::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            // Split borrows: write into the i-th output row directly.
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == S::ZERO {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · x` (GEMV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != x.len()`.
+    pub fn matvec(&self, x: &Vector<S>) -> Vector<S> {
+        assert_eq!(
+            self.cols,
+            x.len(),
+            "matvec: dimensions differ ({}x{} · len {})",
+            self.rows,
+            self.cols,
+            x.len()
+        );
+        let xs = x.as_slice();
+        Vector::from_fn(self.rows, |i| {
+            self.row(i).iter().zip(xs).map(|(&a, &b)| a * b).sum()
+        })
+    }
+
+    /// Transposed matrix–vector product `selfᵀ · x` without materializing the
+    /// transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != x.len()`.
+    pub fn matvec_transposed(&self, x: &Vector<S>) -> Vector<S> {
+        assert_eq!(
+            self.rows,
+            x.len(),
+            "matvec_transposed: dimensions differ ({}x{})ᵀ · len {}",
+            self.rows,
+            self.cols,
+            x.len()
+        );
+        let mut out = Vector::zeros(self.cols);
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == S::ZERO {
+                continue;
+            }
+            let row = self.row(i);
+            let os = out.as_mut_slice();
+            for (o, &a) in os.iter_mut().zip(row) {
+                *o += a * xi;
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum, allocating a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!(self.shape(), other.shape(), "add: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Elementwise difference, allocating a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert_eq!(self.shape(), other.shape(), "sub: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a - b)
+            .collect();
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// In-place `self += alpha · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, alpha: S, other: &Self) {
+        assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Returns `self` scaled by `alpha`.
+    pub fn scaled(&self, alpha: S) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| x * alpha).collect(),
+        }
+    }
+
+    /// Scales in place by `alpha`.
+    pub fn scale_in_place(&mut self, alpha: S) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Applies `f` elementwise, allocating a new matrix.
+    pub fn map(&self, mut f: impl FnMut(S) -> S) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> S {
+        self.data
+            .iter()
+            .map(|&x| x * x)
+            .sum::<S>()
+            .sqrt()
+    }
+
+    /// Number of exactly-zero entries.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|&&x| x == S::ZERO).count()
+    }
+
+    /// Number of non-zero entries.
+    pub fn count_nonzeros(&self) -> usize {
+        self.numel() - self.count_zeros()
+    }
+
+    /// Fraction of zero entries (the paper's "sparsity", Table 1).
+    pub fn sparsity(&self) -> f64 {
+        if self.numel() == 0 {
+            return 0.0;
+        }
+        self.count_zeros() as f64 / self.numel() as f64
+    }
+
+    /// Largest absolute elementwise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> S {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(S::ZERO, |acc, (&a, &b)| acc.maximum((a - b).abs()))
+    }
+
+    /// Whether all elements are within `tol` of `other`'s.
+    pub fn approx_eq(&self, other: &Self, tol: S) -> bool {
+        self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+}
+
+impl<S: Scalar> fmt::Display for Matrix<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}x{}]", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.get(i, j))?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat2x2() -> Matrix<f64> {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])
+    }
+
+    #[test]
+    fn identity_times_anything_is_identity_map() {
+        let a = mat2x2();
+        let i = Matrix::identity(2);
+        assert_eq!(i.matmul(&a), a);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = mat2x2();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_rectangular_shapes() {
+        let a = Matrix::<f32>::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+        let b = Matrix::<f32>::from_fn(3, 4, |i, j| (i + j) as f32);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 4));
+        // c[0][0] = 0*0 + 1*1 + 2*2 = 5
+        assert_eq!(c.get(0, 0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::<f32>::zeros(2, 3);
+        let b = Matrix::<f32>::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matvec_and_transposed_agree_with_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let x = Vector::from_vec(vec![1.0, -1.0]);
+        let via_t = a.transposed().matvec(&x);
+        let direct = a.matvec_transposed(&x);
+        assert_eq!(via_t, direct);
+        assert_eq!(direct.as_slice(), &[-3.0, -3.0, -3.0]);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = Matrix::<f64>::from_fn(3, 5, |i, j| (i * 31 + j * 7) as f64);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn from_diagonal_sparsity() {
+        let d = Matrix::from_diagonal(&[1.0f32, 2.0, 3.0, 0.0]);
+        assert_eq!(d.shape(), (4, 4));
+        // 16 entries, 3 non-zero.
+        assert_eq!(d.count_nonzeros(), 3);
+        assert!((d.sparsity() - 13.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_from_vec_rejects_bad_length() {
+        assert!(Matrix::<f32>::try_from_vec(2, 2, vec![0.0; 4]).is_ok());
+        assert!(Matrix::<f32>::try_from_vec(2, 2, vec![0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::identity(2);
+        let b = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        a.axpy(2.0, &b);
+        assert_eq!(a, Matrix::from_rows(&[&[3.0, 2.0], &[2.0, 3.0]]));
+        a.scale_in_place(0.5);
+        assert_eq!(a.get(0, 0), 1.5);
+    }
+
+    #[test]
+    fn column_extracts_values() {
+        let a = mat2x2();
+        assert_eq!(a.column(1).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        let i = Matrix::<f64>::identity(4);
+        assert!((i.frobenius_norm() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_associativity_small() {
+        let a = Matrix::<f64>::from_fn(2, 3, |i, j| (i + j) as f64);
+        let b = Matrix::<f64>::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let c = Matrix::<f64>::from_fn(2, 2, |i, j| (i as f64) - (j as f64));
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        assert!(left.approx_eq(&right, 1e-12));
+    }
+
+    #[test]
+    fn display_contains_dims() {
+        let a = mat2x2();
+        assert!(format!("{a}").contains("[2x2]"));
+    }
+}

@@ -1,0 +1,238 @@
+//! The [`Scalar`] abstraction over floating-point element types.
+//!
+//! All linear algebra in this workspace is generic over `Scalar` so that
+//! models can train in `f32` (matching GPU practice in the paper) while test
+//! oracles (finite differences, exactness bounds) run in `f64`.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A floating-point scalar type usable as the element of vectors, matrices,
+/// and tensors throughout the BPPSA workspace.
+///
+/// This trait is implemented for [`f32`] and [`f64`]; it is sealed in spirit
+/// (implementing it for other types is unsupported) but left open so that
+/// downstream experiments with custom numeric types remain possible.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_tensor::Scalar;
+///
+/// fn double<S: Scalar>(x: S) -> S {
+///     x + x
+/// }
+/// assert_eq!(double(2.0_f32), 4.0);
+/// assert_eq!(double(2.0_f64), 4.0);
+/// ```
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Negative infinity (used by max-pooling as the fold seed).
+    const NEG_INFINITY: Self;
+
+    /// Converts from `f64`, rounding to the nearest representable value.
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64` exactly (both supported types embed into `f64`).
+    fn to_f64(self) -> f64;
+    /// Converts from `usize` (used for averaging and normalization factors).
+    fn from_usize(v: usize) -> Self {
+        Self::from_f64(v as f64)
+    }
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Hyperbolic tangent (the RNN activation in the paper's Equation 9).
+    fn tanh(self) -> Self;
+    /// Integer power.
+    fn powi(self, n: i32) -> Self;
+    /// The larger of `self` and `other` (NaN-propagating comparisons avoided).
+    fn maximum(self, other: Self) -> Self;
+    /// The smaller of `self` and `other`.
+    fn minimum(self, other: Self) -> Self;
+    /// Whether the value is finite (not NaN or infinite).
+    fn is_finite(self) -> bool;
+    /// Machine epsilon for the type.
+    fn epsilon() -> Self;
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NEG_INFINITY: Self = f32::NEG_INFINITY;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn exp(self) -> Self {
+        f32::exp(self)
+    }
+    #[inline]
+    fn ln(self) -> Self {
+        f32::ln(self)
+    }
+    #[inline]
+    fn tanh(self) -> Self {
+        f32::tanh(self)
+    }
+    #[inline]
+    fn powi(self, n: i32) -> Self {
+        f32::powi(self, n)
+    }
+    #[inline]
+    fn maximum(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+    #[inline]
+    fn minimum(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    #[inline]
+    fn epsilon() -> Self {
+        f32::EPSILON
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NEG_INFINITY: Self = f64::NEG_INFINITY;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn exp(self) -> Self {
+        f64::exp(self)
+    }
+    #[inline]
+    fn ln(self) -> Self {
+        f64::ln(self)
+    }
+    #[inline]
+    fn tanh(self) -> Self {
+        f64::tanh(self)
+    }
+    #[inline]
+    fn powi(self, n: i32) -> Self {
+        f64::powi(self, n)
+    }
+    #[inline]
+    fn maximum(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+    #[inline]
+    fn minimum(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    #[inline]
+    fn epsilon() -> Self {
+        f64::EPSILON
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<S: Scalar>() {
+        assert_eq!(S::ZERO + S::ONE, S::ONE);
+        assert_eq!(S::ONE * S::ONE, S::ONE);
+        assert_eq!(S::from_f64(2.0).to_f64(), 2.0);
+        assert_eq!(S::from_usize(3).to_f64(), 3.0);
+        assert_eq!(S::from_f64(-2.0).abs().to_f64(), 2.0);
+        assert!((S::from_f64(4.0).sqrt().to_f64() - 2.0).abs() < 1e-6);
+        assert!((S::from_f64(0.0).exp().to_f64() - 1.0).abs() < 1e-6);
+        assert!((S::from_f64(1.0).ln().to_f64()).abs() < 1e-6);
+        assert!((S::from_f64(0.0).tanh().to_f64()).abs() < 1e-12);
+        assert_eq!(S::from_f64(2.0).powi(3).to_f64(), 8.0);
+        assert_eq!(S::from_f64(1.0).maximum(S::from_f64(2.0)).to_f64(), 2.0);
+        assert_eq!(S::from_f64(1.0).minimum(S::from_f64(2.0)).to_f64(), 1.0);
+        assert!(S::ONE.is_finite());
+        assert!(!S::NEG_INFINITY.is_finite());
+        assert!(S::NEG_INFINITY < S::from_f64(-1e30));
+        assert!(S::epsilon() > S::ZERO);
+    }
+
+    #[test]
+    fn f32_satisfies_contract() {
+        exercise::<f32>();
+    }
+
+    #[test]
+    fn f64_satisfies_contract() {
+        exercise::<f64>();
+    }
+
+    #[test]
+    fn sum_folds_over_iterator() {
+        let xs = [1.0f32, 2.0, 3.0];
+        let s: f32 = xs.iter().copied().sum();
+        assert_eq!(s, 6.0);
+    }
+}

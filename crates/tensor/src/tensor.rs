@@ -1,0 +1,360 @@
+//! Dense N-dimensional tensors (row-major / C order).
+//!
+//! Convolutional activations in the paper are `(channels, height, width)`
+//! volumes; batches add a leading dimension. This type keeps indexing simple
+//! and explicit rather than generic over dimensionality.
+
+use crate::{Scalar, ShapeError, Vector};
+use std::fmt;
+
+/// A dense N-dimensional tensor in row-major (C) order.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![2, 3], vec![0.0_f32, 1.0, 2.0, 3.0, 4.0, 5.0]);
+/// assert_eq!(t.at(&[1, 2]), 5.0);
+/// assert_eq!(t.numel(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor<S> {
+    shape: Vec<usize>,
+    strides: Vec<usize>,
+    data: Vec<S>,
+}
+
+fn compute_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+impl<S: Scalar> Tensor<S> {
+    /// Creates a zero tensor with the given shape.
+    pub fn zeros(shape: impl Into<Vec<usize>>) -> Self {
+        let shape = shape.into();
+        let numel = shape.iter().product();
+        let strides = compute_strides(&shape);
+        Self {
+            shape,
+            strides,
+            data: vec![S::ZERO; numel],
+        }
+    }
+
+    /// Creates a tensor from a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length does not equal the product of `shape`.
+    pub fn from_vec(shape: impl Into<Vec<usize>>, data: Vec<S>) -> Self {
+        let shape = shape.into();
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            numel,
+            "from_vec: buffer length {} does not match shape {shape:?}",
+            data.len()
+        );
+        let strides = compute_strides(&shape);
+        Self {
+            shape,
+            strides,
+            data,
+        }
+    }
+
+    /// Fallible variant of [`Tensor::from_vec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if the buffer length does not match `shape`.
+    pub fn try_from_vec(
+        shape: impl Into<Vec<usize>>,
+        data: Vec<S>,
+    ) -> Result<Self, ShapeError> {
+        let shape = shape.into();
+        let numel: usize = shape.iter().product();
+        if data.len() != numel {
+            return Err(ShapeError::new("tensor_from_vec", numel, data.len()));
+        }
+        let strides = compute_strides(&shape);
+        Ok(Self {
+            shape,
+            strides,
+            data,
+        })
+    }
+
+    /// Creates a tensor by evaluating `f` at each flat (row-major) index.
+    pub fn from_fn(shape: impl Into<Vec<usize>>, mut f: impl FnMut(usize) -> S) -> Self {
+        let shape = shape.into();
+        let numel: usize = shape.iter().product();
+        let strides = compute_strides(&shape);
+        Self {
+            shape,
+            strides,
+            data: (0..numel).map(&mut f).collect(),
+        }
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The row-major strides.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the underlying buffer.
+    pub fn as_slice(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the buffer.
+    pub fn into_vec(self) -> Vec<S> {
+        self.data
+    }
+
+    /// Converts a multi-index to the flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() != self.ndim()` or any coordinate is out of range.
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.ndim(), "offset: wrong number of indices");
+        let mut off = 0;
+        for (d, (&i, &s)) in idx.iter().zip(&self.strides).enumerate() {
+            assert!(
+                i < self.shape[d],
+                "offset: index {i} out of range for dim {d} (size {})",
+                self.shape[d]
+            );
+            off += i * s;
+        }
+        off
+    }
+
+    /// Element at the multi-index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[inline]
+    pub fn at(&self, idx: &[usize]) -> S {
+        self.data[self.offset(idx)]
+    }
+
+    /// Mutable reference to the element at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[inline]
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut S {
+        let off = self.offset(idx);
+        &mut self.data[off]
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshaped(&self, shape: impl Into<Vec<usize>>) -> Self {
+        let shape = shape.into();
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            numel,
+            self.numel(),
+            "reshaped: cannot reshape {:?} into {shape:?}",
+            self.shape
+        );
+        Self::from_vec(shape, self.data.clone())
+    }
+
+    /// Flattens into a [`Vector`], cloning the buffer.
+    pub fn to_vector(&self) -> Vector<S> {
+        Vector::from_vec(self.data.clone())
+    }
+
+    /// Creates a 1-D tensor from a vector.
+    pub fn from_vector(v: &Vector<S>) -> Self {
+        Self::from_vec(vec![v.len()], v.as_slice().to_vec())
+    }
+
+    /// Applies `f` elementwise, allocating a new tensor.
+    pub fn map(&self, mut f: impl FnMut(S) -> S) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            strides: self.strides.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise sum, allocating a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!(self.shape, other.shape, "add: shape mismatch");
+        Self {
+            shape: self.shape.clone(),
+            strides: self.strides.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// In-place `self += alpha · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, alpha: S, other: &Self) {
+        assert_eq!(self.shape, other.shape, "axpy: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Largest absolute elementwise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> S {
+        assert_eq!(self.shape, other.shape, "max_abs_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(S::ZERO, |acc, (&a, &b)| acc.maximum((a - b).abs()))
+    }
+
+    /// Whether all elements are within `tol` of `other`'s.
+    pub fn approx_eq(&self, other: &Self, tol: S) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other) <= tol
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> S {
+        self.data.iter().copied().sum()
+    }
+}
+
+impl<S: Scalar> fmt::Display for Tensor<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} ({} elements)", self.shape, self.numel())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let t = Tensor::<f32>::zeros(vec![2, 3, 4]);
+        assert_eq!(t.strides(), &[12, 4, 1]);
+    }
+
+    #[test]
+    fn at_reads_row_major_order() {
+        let t = Tensor::from_fn(vec![2, 3], |i| i as f64);
+        assert_eq!(t.at(&[0, 0]), 0.0);
+        assert_eq!(t.at(&[0, 2]), 2.0);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    fn at_mut_writes() {
+        let mut t = Tensor::<f32>::zeros(vec![2, 2]);
+        *t.at_mut(&[1, 1]) = 7.0;
+        assert_eq!(t.at(&[1, 1]), 7.0);
+        assert_eq!(t.sum(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let t = Tensor::<f32>::zeros(vec![2, 2]);
+        let _ = t.at(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of indices")]
+    fn wrong_rank_index_panics() {
+        let t = Tensor::<f32>::zeros(vec![2, 2]);
+        let _ = t.at(&[0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_fn(vec![2, 6], |i| i as f32);
+        let r = t.reshaped(vec![3, 4]);
+        assert_eq!(r.shape(), &[3, 4]);
+        assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn try_from_vec_validates() {
+        assert!(Tensor::<f32>::try_from_vec(vec![2, 2], vec![0.0; 4]).is_ok());
+        assert!(Tensor::<f32>::try_from_vec(vec![2, 2], vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn vector_round_trip() {
+        let t = Tensor::from_fn(vec![2, 2], |i| i as f64);
+        let v = t.to_vector();
+        let t2 = Tensor::from_vector(&v).reshaped(vec![2, 2]);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn scalar_shape_tensor() {
+        let t = Tensor::<f32>::zeros(Vec::<usize>::new());
+        assert_eq!(t.numel(), 1);
+        assert_eq!(t.at(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_fn(vec![3], |i| i as f32);
+        let b = Tensor::from_fn(vec![3], |_| 1.0f32);
+        a.axpy(2.0, &b);
+        assert_eq!(a.as_slice(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn display_shows_shape() {
+        let t = Tensor::<f32>::zeros(vec![2, 3]);
+        assert!(format!("{t}").contains("[2, 3]"));
+    }
+}

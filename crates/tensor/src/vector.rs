@@ -1,0 +1,415 @@
+//! Dense column vectors.
+//!
+//! In the BPPSA formulation the gradient `∇x_n l` seeding the scan is a
+//! column vector; every `∇x_i l` produced by the scan is one as well.
+
+use crate::{Matrix, Scalar, ShapeError};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense column vector of scalars.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_tensor::Vector;
+///
+/// let v = Vector::from_vec(vec![1.0_f32, 2.0, 3.0]);
+/// assert_eq!(v.len(), 3);
+/// assert_eq!(v.dot(&v), 14.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vector<S> {
+    data: Vec<S>,
+}
+
+impl<S: Scalar> Vector<S> {
+    /// Creates a zero vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            data: vec![S::ZERO; len],
+        }
+    }
+
+    /// Creates a vector filled with `value`.
+    pub fn filled(len: usize, value: S) -> Self {
+        Self {
+            data: vec![value; len],
+        }
+    }
+
+    /// Wraps an existing buffer.
+    pub fn from_vec(data: Vec<S>) -> Self {
+        Self { data }
+    }
+
+    /// Creates a vector by evaluating `f` at each index.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> S) -> Self {
+        Self {
+            data: (0..len).map(&mut f).collect(),
+        }
+    }
+
+    /// Creates the `i`-th standard basis vector of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn one_hot(len: usize, i: usize) -> Self {
+        assert!(i < len, "one_hot index {i} out of range for length {len}");
+        let mut v = Self::zeros(len);
+        v.data[i] = S::ONE;
+        v
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying buffer.
+    pub fn as_slice(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<S> {
+        self.data
+    }
+
+    /// Iterates over elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, S> {
+        self.data.iter()
+    }
+
+    /// Dot product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &Self) -> S {
+        assert_eq!(self.len(), other.len(), "dot: length mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// Elementwise sum `self + other`, allocating a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!(self.len(), other.len(), "add: length mismatch");
+        Self::from_fn(self.len(), |i| self.data[i] + other.data[i])
+    }
+
+    /// Elementwise difference `self - other`, allocating a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert_eq!(self.len(), other.len(), "sub: length mismatch");
+        Self::from_fn(self.len(), |i| self.data[i] - other.data[i])
+    }
+
+    /// In-place `self += alpha * other` (the BLAS `axpy`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn axpy(&mut self, alpha: S, other: &Self) {
+        assert_eq!(self.len(), other.len(), "axpy: length mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Returns `self` scaled by `alpha`.
+    pub fn scaled(&self, alpha: S) -> Self {
+        Self::from_fn(self.len(), |i| self.data[i] * alpha)
+    }
+
+    /// Scales in place by `alpha`.
+    pub fn scale_in_place(&mut self, alpha: S) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Applies `f` elementwise, allocating a new vector.
+    pub fn map(&self, mut f: impl FnMut(S) -> S) -> Self {
+        Self {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> S {
+        self.dot(self).sqrt()
+    }
+
+    /// Largest absolute element, or zero for an empty vector.
+    pub fn max_abs(&self) -> S {
+        self.data
+            .iter()
+            .fold(S::ZERO, |acc, &x| acc.maximum(x.abs()))
+    }
+
+    /// Largest absolute elementwise difference to `other`
+    /// (the `‖a − b‖∞` used by exactness tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn max_abs_diff(&self, other: &Self) -> S {
+        assert_eq!(self.len(), other.len(), "max_abs_diff: length mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(S::ZERO, |acc, (&a, &b)| acc.maximum((a - b).abs()))
+    }
+
+    /// Whether all elements are within `tol` of `other`'s.
+    pub fn approx_eq(&self, other: &Self, tol: S) -> bool {
+        self.len() == other.len() && self.max_abs_diff(other) <= tol
+    }
+
+    /// Index of the largest element (first occurrence). Returns `None` for an
+    /// empty vector.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for i in 1..self.data.len() {
+            if self.data[i] > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> S {
+        self.data.iter().copied().sum()
+    }
+
+    /// Outer product `self ⊗ other`, producing a `self.len() × other.len()`
+    /// matrix. Used for parameter gradients such as `∇W = δ ⊗ x`.
+    pub fn outer(&self, other: &Self) -> Matrix<S> {
+        let mut m = Matrix::zeros(self.len(), other.len());
+        for i in 0..self.len() {
+            let si = self.data[i];
+            let row = m.row_mut(i);
+            for (j, r) in row.iter_mut().enumerate() {
+                *r = si * other.data[j];
+            }
+        }
+        m
+    }
+
+    /// Reinterprets the vector as an `len × 1` column matrix.
+    pub fn to_column_matrix(&self) -> Matrix<S> {
+        Matrix::from_vec(self.len(), 1, self.data.clone())
+    }
+
+    /// Concatenates several vectors into one (batching helper).
+    pub fn concat(parts: &[&Vector<S>]) -> Self {
+        let mut data = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for p in parts {
+            data.extend_from_slice(p.as_slice());
+        }
+        Self { data }
+    }
+
+    /// Splits into `n` equal consecutive chunks (inverse of a same-sized
+    /// [`Vector::concat`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not divisible by `n`.
+    pub fn split_even(&self, n: usize) -> Vec<Vector<S>> {
+        assert!(n > 0 && self.len() % n == 0, "split_even: {} % {n} != 0", self.len());
+        let chunk = self.len() / n;
+        self.data
+            .chunks(chunk)
+            .map(|c| Vector::from_vec(c.to_vec()))
+            .collect()
+    }
+
+    /// Checks that the length equals `expected`, for fallible call sites.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if the length differs from `expected`.
+    pub fn expect_len(&self, expected: usize, context: &'static str) -> Result<(), ShapeError> {
+        if self.len() == expected {
+            Ok(())
+        } else {
+            Err(ShapeError::new(context, expected, self.len()))
+        }
+    }
+}
+
+impl<S: Scalar> Index<usize> for Vector<S> {
+    type Output = S;
+    fn index(&self, i: usize) -> &S {
+        &self.data[i]
+    }
+}
+
+impl<S: Scalar> IndexMut<usize> for Vector<S> {
+    fn index_mut(&mut self, i: usize) -> &mut S {
+        &mut self.data[i]
+    }
+}
+
+impl<S: Scalar> From<Vec<S>> for Vector<S> {
+    fn from(data: Vec<S>) -> Self {
+        Self::from_vec(data)
+    }
+}
+
+impl<S: Scalar> FromIterator<S> for Vector<S> {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        Self {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a, S: Scalar> IntoIterator for &'a Vector<S> {
+    type Item = &'a S;
+    type IntoIter = std::slice::Iter<'a, S>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl<S: Scalar> fmt::Display for Vector<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let v = Vector::<f32>::zeros(4);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn one_hot_has_single_one() {
+        let v = Vector::<f64>::one_hot(5, 2);
+        assert_eq!(v.sum(), 1.0);
+        assert_eq!(v[2], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one_hot index")]
+    fn one_hot_out_of_range_panics() {
+        let _ = Vector::<f32>::one_hot(3, 3);
+    }
+
+    #[test]
+    fn dot_matches_manual() {
+        let a = Vector::from_vec(vec![1.0f64, 2.0, 3.0]);
+        let b = Vector::from_vec(vec![4.0f64, 5.0, 6.0]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Vector::from_vec(vec![1.0f32, 1.0]);
+        let b = Vector::from_vec(vec![2.0f32, 3.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.as_slice(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn outer_product_shape_and_values() {
+        let a = Vector::from_vec(vec![1.0f64, 2.0]);
+        let b = Vector::from_vec(vec![3.0f64, 4.0, 5.0]);
+        let m = a.outer(&b);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert_eq!(m.get(1, 2), 10.0);
+    }
+
+    #[test]
+    fn argmax_first_occurrence() {
+        let v = Vector::from_vec(vec![1.0f32, 3.0, 3.0, 2.0]);
+        assert_eq!(v.argmax(), Some(1));
+        assert_eq!(Vector::<f32>::zeros(0).argmax(), None);
+    }
+
+    #[test]
+    fn max_abs_diff_is_infinity_norm() {
+        let a = Vector::from_vec(vec![1.0f64, -5.0]);
+        let b = Vector::from_vec(vec![1.5f64, -4.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+        assert!(a.approx_eq(&b, 1.0));
+        assert!(!a.approx_eq(&b, 0.5));
+    }
+
+    #[test]
+    fn expect_len_errors_on_mismatch() {
+        let v = Vector::<f32>::zeros(3);
+        assert!(v.expect_len(3, "t").is_ok());
+        assert!(v.expect_len(4, "t").is_err());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let v = Vector::from_vec(vec![1.0f32, 2.0]);
+        assert_eq!(format!("{v}"), "[1, 2]");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: Vector<f64> = (0..3).map(|i| i as f64).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn concat_and_split_round_trip() {
+        let a = Vector::from_vec(vec![1.0f64, 2.0]);
+        let b = Vector::from_vec(vec![3.0f64, 4.0]);
+        let c = Vector::concat(&[&a, &b]);
+        assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        let parts = c.split_even(2);
+        assert_eq!(parts, vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "split_even")]
+    fn split_even_rejects_indivisible() {
+        let _ = Vector::from_vec(vec![1.0f32, 2.0, 3.0]).split_even(2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the dense linear-algebra substrate.
+//!
+//! These are the algebraic identities BPPSA's correctness argument rests on:
+//! associativity of matrix multiplication (so the scan may re-associate the
+//! Jacobian chain), transpose identities, and linearity.
+
+use bppsa_tensor::{Matrix, Vector};
+use proptest::prelude::*;
+
+const DIM: std::ops::Range<usize> = 1..6;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
+    proptest::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn vector(len: usize) -> impl Strategy<Value = Vector<f64>> {
+    proptest::collection::vec(-10.0..10.0f64, len).prop_map(Vector::from_vec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative((a, b, c) in (DIM, DIM, DIM, DIM).prop_flat_map(|(m, k, n, p)| {
+        (matrix(m, k), matrix(k, n), matrix(n, p))
+    })) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.approx_eq(&right, 1e-9),
+            "associativity violated: diff {}", left.max_abs_diff(&right));
+    }
+
+    #[test]
+    fn transpose_reverses_products((a, b) in (DIM, DIM, DIM).prop_flat_map(|(m, k, n)| {
+        (matrix(m, k), matrix(k, n))
+    })) {
+        let lhs = a.matmul(&b).transposed();
+        let rhs = b.transposed().matmul(&a.transposed());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn matvec_agrees_with_matmul_on_column((a, x) in (DIM, DIM).prop_flat_map(|(m, n)| {
+        (matrix(m, n), vector(n))
+    })) {
+        let via_vec = a.matvec(&x);
+        let via_mat = a.matmul(&x.to_column_matrix());
+        prop_assert_eq!(via_mat.shape(), (a.rows(), 1));
+        for i in 0..via_vec.len() {
+            prop_assert!((via_vec[i] - via_mat.get(i, 0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matvec_transposed_matches_explicit_transpose((a, x) in (DIM, DIM).prop_flat_map(|(m, n)| {
+        (matrix(m, n), vector(m))
+    })) {
+        let direct = a.matvec_transposed(&x);
+        let explicit = a.transposed().matvec(&x);
+        prop_assert!(direct.approx_eq(&explicit, 1e-9));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition((a, b, c) in (DIM, DIM, DIM).prop_flat_map(|(m, k, n)| {
+        (matrix(m, k), matrix(k, n), matrix(k, n))
+    })) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit(a in DIM.prop_flat_map(|m| (matrix(m, m), Just(m)))) {
+        let (a, m) = a;
+        let i = Matrix::identity(m);
+        prop_assert!(a.matmul(&i).approx_eq(&a, 0.0));
+        prop_assert!(i.matmul(&a).approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn transpose_is_involution(a in (DIM, DIM).prop_flat_map(|(m, n)| matrix(m, n))) {
+        prop_assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn outer_product_rank_one(x in DIM.prop_flat_map(vector), y in DIM.prop_flat_map(vector)) {
+        let m = x.outer(&y);
+        // Every 2x2 minor of a rank-1 matrix vanishes.
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                for i2 in (i + 1)..m.rows() {
+                    for j2 in (j + 1)..m.cols() {
+                        let det = m.get(i, j) * m.get(i2, j2) - m.get(i, j2) * m.get(i2, j);
+                        prop_assert!(det.abs() < 1e-8);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_bilinear((x, y, alpha) in DIM.prop_flat_map(|n| {
+        (vector(n), vector(n), -3.0..3.0f64)
+    })) {
+        prop_assert!((x.dot(&y) - y.dot(&x)).abs() < 1e-9);
+        prop_assert!((x.scaled(alpha).dot(&y) - alpha * x.dot(&y)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn sparsity_in_unit_interval(a in (DIM, DIM).prop_flat_map(|(m, n)| matrix(m, n))) {
+        let s = a.sparsity();
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(a.count_zeros() + a.count_nonzeros(), a.numel());
+    }
+}

@@ -1,0 +1,82 @@
+//! # bppsa — Scaling Back-propagation by Parallel Scan Algorithm
+//!
+//! A full Rust reproduction of *"BPPSA: Scaling Back-propagation by Parallel
+//! Scan Algorithm"* (Wang, Bai & Pekhimenko, MLSys 2020): back-propagation
+//! reformulated as an exclusive scan over transposed Jacobians and scaled by
+//! a modified Blelloch scan, together with every substrate the paper depends
+//! on — dense/sparse linear algebra, an NN operator library with analytic
+//! CSR Jacobian generation, a generic scan framework, a PRAM cost-model
+//! simulator with the paper's GPU profiles, pipeline-parallelism baselines,
+//! and the paper's models, datasets, and training loops.
+//!
+//! This crate is a facade: it re-exports the workspace crates and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). See the README for the architecture map and EXPERIMENTS.md
+//! for paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bppsa::prelude::*;
+//!
+//! // Build a model (Equation 1: f = f1 ∘ … ∘ fn).
+//! let mut rng = seeded_rng(0);
+//! let mut net = Network::<f64>::new();
+//! net.push(Box::new(Linear::new(8, 32, &mut rng)));
+//! net.push(Box::new(Relu::new(vec![32])));
+//! net.push(Box::new(Linear::new(32, 4, &mut rng)));
+//!
+//! // Forward, then backward both ways.
+//! let tape = net.forward(&Tensor::from_vec(vec![8], vec![0.1; 8]));
+//! let seed = Vector::from_vec(vec![1.0, -0.5, 0.25, 0.0]);
+//! let baseline = net.backward_bp(&tape, &seed);
+//! let scanned = net.backward_bppsa(&tape, &seed, JacobianRepr::Sparse, BppsaOptions::threaded(4));
+//!
+//! // §3.5: BPPSA reconstructs BP exactly (up to fp reassociation).
+//! assert!(baseline.max_abs_diff(&scanned) < 1e-10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use bppsa_core as core;
+pub use bppsa_models as models;
+pub use bppsa_ops as ops;
+pub use bppsa_pipeline as pipeline;
+pub use bppsa_pram as pram;
+pub use bppsa_scan as scan;
+pub use bppsa_sparse as sparse;
+pub use bppsa_tensor as tensor;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use bppsa_core::{
+        bppsa_backward, linear_backward, BackwardResult, BppsaOptions, Gradients, JacobianChain,
+        JacobianRepr, JacobianScanOp, Network, PlannedScan, ScanElement, Tape,
+    };
+    pub use bppsa_models::{
+        lenet5, lenet_tiny, vgg11, vgg11_convs, Adam, BitstreamDataset, Gru, Optimizer, RnnGrads,
+        Sgd, SyntheticCifar, VanillaRnn,
+    };
+    pub use bppsa_ops::{
+        AvgPool2d, Conv2d, Conv2dConfig, Flatten, Linear, MaxPool2d, MseLoss, Operator, Relu,
+        Sigmoid, SoftmaxCrossEntropy, Tanh,
+    };
+    pub use bppsa_pram::{simulate_speedups, DeviceProfile, RnnWorkload};
+    pub use bppsa_scan::{
+        execute_in_place, global_pool, serial_exclusive_scan, Executor, ScanOp, ScanSchedule,
+        WorkerPool,
+    };
+    pub use bppsa_sparse::{spgemm, Coo, Csr, SparsityPattern, SymbolicProduct};
+    pub use bppsa_tensor::init::seeded_rng;
+    pub use bppsa_tensor::{Matrix, Scalar, Tensor, Vector};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_links() {
+        use crate::prelude::*;
+        let m = Matrix::<f32>::identity(2);
+        assert_eq!(m.get(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Integration tests pinning the *shapes* of the paper's figures: the
+//! qualitative claims each plot makes must hold in our reproduction.
+
+use bppsa::pipeline::{GpipeConfig, PipedreamConfig};
+use bppsa::pram::memory::{bppsa_per_device_bytes, pipeline_per_device_bytes};
+use bppsa::prelude::*;
+
+fn backward_speedup(t: usize, b: usize, d: &DeviceProfile) -> f64 {
+    simulate_speedups(
+        &RnnWorkload {
+            seq_len: t,
+            batch: b,
+            hidden: 20,
+        },
+        d,
+    )
+    .backward
+}
+
+fn overall_speedup(t: usize, b: usize, d: &DeviceProfile) -> f64 {
+    simulate_speedups(
+        &RnnWorkload {
+            seq_len: t,
+            batch: b,
+            hidden: 20,
+        },
+        d,
+    )
+    .overall
+}
+
+#[test]
+fn fig10a_speedup_rises_with_t_then_saturates() {
+    let d = DeviceProfile::rtx_2070();
+    let sweep: Vec<f64> = [10, 30, 100, 300, 1000, 3000, 10000, 30000]
+        .iter()
+        .map(|&t| backward_speedup(t, 16, &d))
+        .collect();
+    // Monotone rise over the sweep …
+    assert!(sweep.windows(2).all(|w| w[1] >= w[0] * 0.95), "{sweep:?}");
+    // … crossing 1× somewhere in the low hundreds …
+    assert!(sweep[1] < 1.0 && sweep[3] > 1.0, "{sweep:?}");
+    // … and saturating: last two points within 10%.
+    assert!(sweep[7] / sweep[6] < 1.1, "{sweep:?}");
+}
+
+#[test]
+fn fig10_headline_numbers_in_band() {
+    // Paper §5.1 at T=1000, B=16, RTX 2070: 4.53× backward, 2.17× overall.
+    let d = DeviceProfile::rtx_2070();
+    let bwd = backward_speedup(1000, 16, &d);
+    let ovr = overall_speedup(1000, 16, &d);
+    assert!((3.0..7.0).contains(&bwd), "backward {bwd} not in band");
+    assert!((1.5..3.5).contains(&ovr), "overall {ovr} not in band");
+    assert!(ovr < bwd);
+}
+
+#[test]
+fn fig10c_speedup_monotone_decreasing_in_batch() {
+    for d in [DeviceProfile::rtx_2070(), DeviceProfile::rtx_2080ti()] {
+        let sweep: Vec<f64> = [256, 128, 64, 32, 16, 8, 4, 2]
+            .iter()
+            .map(|&b| backward_speedup(1000, b, &d))
+            .collect();
+        assert!(
+            sweep.windows(2).all(|w| w[1] > w[0]),
+            "{}: {sweep:?}",
+            d.name
+        );
+    }
+}
+
+#[test]
+fn fig10_bigger_gpu_wins_at_scale() {
+    // §5.1's cross-device observations.
+    let small = DeviceProfile::rtx_2070();
+    let big = DeviceProfile::rtx_2080ti();
+    // At large T the 2080 Ti sustains a higher speedup …
+    assert!(backward_speedup(30000, 16, &big) > backward_speedup(30000, 16, &small));
+    // … and as B grows its speedup decays slower (higher at B = 128).
+    assert!(backward_speedup(1000, 128, &big) > backward_speedup(1000, 128, &small));
+}
+
+#[test]
+fn abstract_maxima_are_reachable() {
+    // "up to 2.75× overall and 8.8× backward" — our model must reach at
+    // least those factors somewhere on the paper's sweep lines (T varies at
+    // B = 16; B varies at T = 1000) and not be wildly beyond (<20×).
+    let mut best_bwd: f64 = 0.0;
+    let mut best_ovr: f64 = 0.0;
+    for d in [DeviceProfile::rtx_2070(), DeviceProfile::rtx_2080ti()] {
+        for &t in &[10usize, 30, 100, 300, 1000, 3000, 10000, 30000] {
+            best_bwd = best_bwd.max(backward_speedup(t, 16, &d));
+            best_ovr = best_ovr.max(overall_speedup(t, 16, &d));
+        }
+        for &b in &[256usize, 128, 64, 32, 16, 8, 4, 2] {
+            best_bwd = best_bwd.max(backward_speedup(1000, b, &d));
+            best_ovr = best_ovr.max(overall_speedup(1000, b, &d));
+        }
+    }
+    assert!(best_bwd >= 8.8, "max backward {best_bwd}");
+    assert!(best_bwd < 20.0, "max backward {best_bwd} implausible");
+    assert!(best_ovr >= 2.75, "max overall {best_ovr}");
+    assert!(best_ovr < 5.0, "max overall {best_ovr} implausible");
+}
+
+#[test]
+fn fig3_pipeline_memory_grows_but_bppsa_shrinks() {
+    // §2.2/§3.6: GPipe per-device memory has a +K term; BPPSA shrinks to a
+    // single-Jacobian floor.
+    let layers = 1000;
+    let gpipe: Vec<usize> = [8usize, 64, 512]
+        .iter()
+        .map(|&k| pipeline_per_device_bytes(layers, k, 1 << 16))
+        .collect();
+    assert!(gpipe[2] > gpipe[1], "{gpipe:?}");
+    let ours: Vec<usize> = [8usize, 64, 512, 4096]
+        .iter()
+        .map(|&p| bppsa_per_device_bytes(layers, p, 1 << 19))
+        .collect();
+    assert!(ours.windows(2).all(|w| w[1] <= w[0]), "{ours:?}");
+    assert_eq!(ours[3], 1 << 19, "floor is one Jacobian");
+}
+
+#[test]
+fn gpipe_bubble_grows_linearly_with_pipeline_length() {
+    let fractions: Vec<f64> = [2usize, 4, 8, 16, 32]
+        .iter()
+        .map(|&k| {
+            GpipeConfig {
+                layers: 64,
+                devices: k,
+                micro_batches: 4,
+                activation_bytes: 1,
+            }
+            .analyze()
+            .bubble_fraction
+        })
+        .collect();
+    assert!(fractions.windows(2).all(|w| w[1] > w[0]), "{fractions:?}");
+}
+
+#[test]
+fn pipedream_staleness_grows_with_devices() {
+    let st: Vec<usize> = [2usize, 4, 8, 16]
+        .iter()
+        .map(|&k| {
+            PipedreamConfig {
+                layers: 64,
+                devices: k,
+                stage_weight_bytes: 1,
+                activation_bytes: 1,
+            }
+            .analyze()
+            .max_staleness
+        })
+        .collect();
+    assert_eq!(st, vec![1, 3, 7, 15]);
+}
+
+#[test]
+fn blelloch_step_complexity_is_logarithmic() {
+    // Equation 6 at the scales of Figure 10's sweep.
+    for &t in &[1000usize, 3000, 10000, 30000] {
+        let s = ScanSchedule::full(t + 1);
+        let log2 = (t as f64).log2().ceil() as usize;
+        assert!(
+            s.step_count() <= 2 * log2 + 2,
+            "T={t}: {} steps vs 2·log₂ = {}",
+            s.step_count(),
+            2 * log2
+        );
+        // Work stays linear (Equation 7).
+        assert!(s.combine_count() <= 2 * (t + 1));
+    }
+}
