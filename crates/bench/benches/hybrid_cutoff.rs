@@ -45,7 +45,12 @@ fn bench_hybrid(c: &mut Criterion) {
     let chain = pruned_chain();
     for k in [0usize, 1, 2, 3, 4] {
         group.bench_with_input(BenchmarkId::new("up_levels", k), &k, |b, &k| {
-            b.iter(|| bppsa_backward(std::hint::black_box(&chain), BppsaOptions::serial().hybrid(k)))
+            b.iter(|| {
+                bppsa_backward(
+                    std::hint::black_box(&chain),
+                    BppsaOptions::serial().hybrid(k),
+                )
+            })
         });
     }
     group.finish();

@@ -2,7 +2,9 @@
 //! generation vs the column-at-a-time VJP baseline (what "PyTorch Autograd
 //! one column at a time" does algorithmically).
 
-use bppsa_ops::{jacobian::transposed_jacobian_via_vjp, Conv2d, Conv2dConfig, MaxPool2d, Operator, Relu};
+use bppsa_ops::{
+    jacobian::transposed_jacobian_via_vjp, Conv2d, Conv2dConfig, MaxPool2d, Operator, Relu,
+};
 use bppsa_tensor::init::{seeded_rng, uniform_tensor};
 use bppsa_tensor::Tensor;
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -1,14 +1,25 @@
 //! Criterion bench — whole-scan symbolic planning (the strongest form of
 //! §3.3): a generic BPPSA backward pass (symbolic + numeric SpGEMM per
 //! combine, every iteration) against a [`PlannedScan`] execution (numeric
-//! only), plus the one-time planning cost that amortizes across a training
-//! run's thousands of iterations.
+//! only), the zero-allocation workspace-backed variant
+//! ([`PlannedScan::execute_with`]), and the one-time planning cost that
+//! amortizes across a training run's thousands of iterations. A second
+//! group ablates the row-parallel numeric SpGEMM against single-thread
+//! numeric on a large product.
+//!
+//! Set `CRITERION_JSON_DIR=<dir>` to emit `planned_scan.json` /
+//! `spgemm_row_parallel.json` baselines (committed as
+//! `BENCH_planned_scan.json` at the workspace root).
 
 use bppsa_core::{bppsa_backward, BppsaOptions, JacobianChain, PlannedScan, ScanElement};
 use bppsa_models::prune::prune_operator;
 use bppsa_ops::{Conv2d, Conv2dConfig, Operator, Relu};
+use bppsa_sparse::{Csr, SymbolicProduct};
 use bppsa_tensor::init::{seeded_rng, uniform_tensor, uniform_vector};
+use bppsa_tensor::Matrix;
 use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::Rng;
 use std::time::Duration;
 
 /// An 8-layer pruned conv/relu chain (the §4.2 retraining shape).
@@ -34,6 +45,31 @@ fn pruned_chain() -> JacobianChain<f32> {
     chain
 }
 
+/// The large-chain config the workspace reuse targets: many timesteps of
+/// small Jacobians (the RNN / Fig. 9 shape), where each combine is
+/// microseconds of FLOPs and the allocating path's per-combine buffer
+/// churn is a first-order cost.
+fn large_random_chain() -> JacobianChain<f64> {
+    let mut rng = seeded_rng(33);
+    let n = 512usize;
+    let width = 16usize;
+    let mut chain = JacobianChain::new(uniform_vector(&mut rng, width, 1.0));
+    for _ in 0..n {
+        chain.push(ScanElement::Sparse(random_csr(&mut rng, width, width, 0.3)));
+    }
+    chain
+}
+
+fn random_csr(rng: &mut StdRng, rows: usize, cols: usize, density: f64) -> Csr<f64> {
+    Csr::from_dense(&Matrix::from_fn(rows, cols, |_, _| {
+        if rng.random_range(0.0..1.0) < density {
+            rng.random_range(-1.0..1.0)
+        } else {
+            0.0
+        }
+    }))
+}
+
 fn bench_planned(c: &mut Criterion) {
     let mut group = c.benchmark_group("planned_scan");
     group
@@ -53,12 +89,75 @@ fn bench_planned(c: &mut Criterion) {
         b.iter(|| plan.execute(std::hint::black_box(&chain)))
     });
 
+    let mut ws = plan.workspace::<f32>();
+    let _ = plan.execute_with(&chain, &mut ws); // warm the buffers
+    group.bench_function("planned_workspace_backward", |b| {
+        b.iter(|| {
+            plan.execute_with(std::hint::black_box(&chain), &mut ws)
+                .grads()
+                .len()
+        })
+    });
+
     group.bench_function("plan_construction_once", |b| {
         b.iter(|| PlannedScan::plan(std::hint::black_box(&chain), opts))
+    });
+
+    // The large-chain config of the acceptance bar: workspace-backed planned
+    // execution vs the allocating planned path vs generic spgemm.
+    let big = large_random_chain();
+    let big_plan = PlannedScan::plan(&big, opts);
+    group.bench_function("large/generic_backward", |b| {
+        b.iter(|| bppsa_backward(std::hint::black_box(&big), opts))
+    });
+    group.bench_function("large/planned_numeric_backward", |b| {
+        b.iter(|| big_plan.execute(std::hint::black_box(&big)))
+    });
+    let mut big_ws = big_plan.workspace::<f64>();
+    let _ = big_plan.execute_with(&big, &mut big_ws);
+    group.bench_function("large/planned_workspace_backward", |b| {
+        b.iter(|| {
+            big_plan
+                .execute_with(std::hint::black_box(&big), &mut big_ws)
+                .grads()
+                .len()
+        })
     });
 
     group.finish();
 }
 
-criterion_group!(benches, bench_planned);
+fn bench_row_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spgemm_row_parallel");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // A large product: 1k × 1k at 8% density (≈ the densified mid-sweep
+    // products of a deep chain — compute-heavy enough that row chunks
+    // amortize the pool barrier).
+    let mut rng = seeded_rng(55);
+    let n = 1024usize;
+    let a = random_csr(&mut rng, n, n, 0.08);
+    let b = random_csr(&mut rng, n, n, 0.08);
+    let plan = SymbolicProduct::plan(&a.pattern(), &b.pattern());
+    println!(
+        "bench spgemm_row_parallel: {} planned MFLOPs, out nnz {}",
+        plan.flops() / 1_000_000,
+        plan.out_pattern().nnz()
+    );
+
+    let mut out = Csr::from_pattern(plan.out_pattern().clone());
+    group.bench_function("numeric_single_thread", |bch| {
+        bch.iter(|| plan.execute_into(std::hint::black_box(&a), &b, &mut out))
+    });
+    let pool = bppsa_scan::global_pool();
+    group.bench_function("numeric_row_parallel", |bch| {
+        bch.iter(|| plan.execute_into_parallel(std::hint::black_box(&a), &b, &mut out, pool))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planned, bench_row_parallel);
 criterion_main!(benches);

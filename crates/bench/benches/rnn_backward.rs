@@ -27,7 +27,13 @@ fn bench_rnn_backward(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("bppsa_serial", t), &t, |b, _| {
             b.iter(|| {
-                rnn.backward_bppsa(&sample.bits, &states, &seed, &g_logits, BppsaOptions::serial())
+                rnn.backward_bppsa(
+                    &sample.bits,
+                    &states,
+                    &seed,
+                    &g_logits,
+                    BppsaOptions::serial(),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("bppsa_threaded4", t), &t, |b, _| {

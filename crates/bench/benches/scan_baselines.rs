@@ -59,15 +59,21 @@ fn bench_scans(c: &mut Criterion) {
         // Hillis–Steele over raw matrices (work-inefficient comparison).
         let mats: Vec<Matrix<f32>> = {
             let mut rng = seeded_rng(9);
-            (0..t).map(|_| uniform_matrix(&mut rng, 8, 8, 0.5)).collect()
+            (0..t)
+                .map(|_| uniform_matrix(&mut rng, 8, 8, 0.5))
+                .collect()
         };
-        group.bench_with_input(BenchmarkId::new("hillis_steele_8x8", t), &mats, |b, mats| {
-            b.iter(|| {
-                let mut m = mats.clone();
-                hillis_steele_exclusive(&MatMulOp, &mut m);
-                m
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hillis_steele_8x8", t),
+            &mats,
+            |b, mats| {
+                b.iter(|| {
+                    let mut m = mats.clone();
+                    hillis_steele_exclusive(&MatMulOp, &mut m);
+                    m
+                })
+            },
+        );
     }
     group.finish();
 }

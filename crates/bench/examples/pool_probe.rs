@@ -21,23 +21,45 @@ fn main() {
                 .collect();
             pool.run_batch(jobs);
         }
-        println!("{jobs_per_batch:>4} empty jobs/batch: {:.1} µs/batch", t0.elapsed().as_secs_f64() / reps as f64 * 1e6);
+        println!(
+            "{jobs_per_batch:>4} empty jobs/batch: {:.1} µs/batch",
+            t0.elapsed().as_secs_f64() / reps as f64 * 1e6
+        );
     }
     // Matmul throughput scaling.
-    use bppsa_tensor::{init::{seeded_rng, uniform_matrix}, Matrix};
+    use bppsa_tensor::{
+        init::{seeded_rng, uniform_matrix},
+        Matrix,
+    };
     let mut rng = seeded_rng(0);
-    let mats: Vec<Matrix<f32>> = (0..48).map(|_| uniform_matrix(&mut rng, 64, 64, 0.2)).collect();
+    let mats: Vec<Matrix<f32>> = (0..48)
+        .map(|_| uniform_matrix(&mut rng, 64, 64, 0.2))
+        .collect();
     let t0 = Instant::now();
-    for _ in 0..20 { for i in 0..24 { std::hint::black_box(mats[i].matmul(&mats[i+24])); } }
+    for _ in 0..20 {
+        for i in 0..24 {
+            std::hint::black_box(mats[i].matmul(&mats[i + 24]));
+        }
+    }
     let serial = t0.elapsed().as_secs_f64() / 20.0;
     let t0 = Instant::now();
     for _ in 0..20 {
-        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..24).map(|i| {
-            let a = &mats[i]; let b = &mats[i+24];
-            Box::new(move || { std::hint::black_box(a.matmul(b)); }) as Box<dyn FnOnce() + Send + '_>
-        }).collect();
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..24)
+            .map(|i| {
+                let a = &mats[i];
+                let b = &mats[i + 24];
+                Box::new(move || {
+                    std::hint::black_box(a.matmul(b));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
         pool.run_batch(jobs);
     }
     let pooled = t0.elapsed().as_secs_f64() / 20.0;
-    println!("24x 64x64 matmuls: serial {:.1} µs vs pooled {:.1} µs ({:.1}x)", serial*1e6, pooled*1e6, serial/pooled);
+    println!(
+        "24x 64x64 matmuls: serial {:.1} µs vs pooled {:.1} µs ({:.1}x)",
+        serial * 1e6,
+        pooled * 1e6,
+        serial / pooled
+    );
 }

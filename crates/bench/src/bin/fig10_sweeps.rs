@@ -22,9 +22,16 @@ fn main() {
     let mut rows = Vec::new();
 
     println!("Figure 10a/10b — speedup vs sequence length T (B = 16)");
-    println!("{:>8}  {:>16} {:>10}  {:>16} {:>10}", "T", "2070 bwd", "overall", "2080Ti bwd", "overall");
+    println!(
+        "{:>8}  {:>16} {:>10}  {:>16} {:>10}",
+        "T", "2070 bwd", "overall", "2080Ti bwd", "overall"
+    );
     for &t in &T_SWEEP {
-        let w = RnnWorkload { seq_len: t, batch: 16, hidden: 20 };
+        let w = RnnWorkload {
+            seq_len: t,
+            batch: 16,
+            hidden: 20,
+        };
         let s: Vec<_> = devices.iter().map(|d| simulate_speedups(&w, d)).collect();
         println!(
             "{:>8}  {:>15.2}x {:>9.2}x  {:>15.2}x {:>9.2}x",
@@ -45,9 +52,16 @@ fn main() {
     println!("       2070 peaks ≈4.5–5.5x bwd / ≈2.2x overall; 2080Ti higher and later.\n");
 
     println!("Figure 10c/10d — speedup vs batch size B (T = 1000)");
-    println!("{:>8}  {:>16} {:>10}  {:>16} {:>10}", "B", "2070 bwd", "overall", "2080Ti bwd", "overall");
+    println!(
+        "{:>8}  {:>16} {:>10}  {:>16} {:>10}",
+        "B", "2070 bwd", "overall", "2080Ti bwd", "overall"
+    );
     for &b in &B_SWEEP {
-        let w = RnnWorkload { seq_len: 1000, batch: b, hidden: 20 };
+        let w = RnnWorkload {
+            seq_len: 1000,
+            batch: b,
+            hidden: 20,
+        };
         let s: Vec<_> = devices.iter().map(|d| simulate_speedups(&w, d)).collect();
         println!(
             "{:>8}  {:>15.2}x {:>9.2}x  {:>15.2}x {:>9.2}x",
@@ -69,7 +83,14 @@ fn main() {
 
     let path = write_csv(
         "fig10_sweeps.csv",
-        &["sweep", "device", "seq_len", "batch", "backward_speedup", "overall_speedup"],
+        &[
+            "sweep",
+            "device",
+            "seq_len",
+            "batch",
+            "backward_speedup",
+            "overall_speedup",
+        ],
         &rows,
     );
     println!("wrote {}", path.display());
@@ -79,11 +100,14 @@ fn main() {
     // synchronization — the p-vs-per-step-cost trade-off of §3.6 on a CPU.
     println!("\nreal-execution validation (serial vs persistent worker pool):");
     let mut timings = Vec::new();
-    for (label, h, t) in [("RNN-sized (h=20, T=512)", 20usize, 512usize), ("wide (h=64, T=256)", 64, 256)] {
+    for (label, h, t) in [
+        ("RNN-sized (h=20, T=512)", 20usize, 512usize),
+        ("wide (h=64, T=256)", 64, 256),
+    ] {
         let mut rng = seeded_rng(3);
-        let mut chain = bppsa_core::JacobianChain::new(
-            bppsa_tensor::init::uniform_vector::<f32>(&mut rng, h, 1.0),
-        );
+        let mut chain = bppsa_core::JacobianChain::new(bppsa_tensor::init::uniform_vector::<f32>(
+            &mut rng, h, 1.0,
+        ));
         for _ in 0..t {
             chain.push(bppsa_core::ScanElement::Dense(
                 bppsa_tensor::init::uniform_matrix(&mut rng, h, h, 0.2),

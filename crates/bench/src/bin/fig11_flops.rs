@@ -98,7 +98,10 @@ fn main() {
 
     println!("\nbaseline BP gradient operators (all critical):");
     for (i, s) in baseline.iter().enumerate() {
-        println!("  layer {:>2}  mv  mnk={:<14} flops={}", i, s.dense_mnk, s.flops);
+        println!(
+            "  layer {:>2}  mv  mnk={:<14} flops={}",
+            i, s.dense_mnk, s.flops
+        );
     }
 
     let max_scan = steps.iter().map(|s| s.flops).max().unwrap_or(0);
@@ -155,7 +158,10 @@ fn main() {
             if !order.iter().any(|&(p, l, _)| p == phase_id && l == r.level) {
                 order.push((phase_id, r.level, phase_id != 1));
             }
-            by_level.entry((phase_id, r.level)).or_default().push(r.flops);
+            by_level
+                .entry((phase_id, r.level))
+                .or_default()
+                .push(r.flops);
         }
         order
             .into_iter()
@@ -165,7 +171,10 @@ fn main() {
             })
             .collect()
     };
-    for dev in [bppsa_pram::DeviceProfile::rtx_2070(), bppsa_pram::DeviceProfile::rtx_2080ti()] {
+    for dev in [
+        bppsa_pram::DeviceProfile::rtx_2070(),
+        bppsa_pram::DeviceProfile::rtx_2080ti(),
+    ] {
         let t_scan = bppsa_pram::simulate_step_groups(&to_groups(&steps, false), &dev);
         let t_base = bppsa_pram::simulate_step_groups(&to_groups(&baseline, true), &dev);
         println!(
@@ -176,7 +185,10 @@ fn main() {
             t_base / t_scan
         );
     }
-    println!("at n = {} chain elements the scan's extra matrix–matrix work is not yet repaid —", chain.num_layers());
+    println!(
+        "at n = {} chain elements the scan's extra matrix–matrix work is not yet repaid —",
+        chain.num_layers()
+    );
     println!("consistent with the paper, whose VGG-11 claim is per-step cost parity (so that");
     println!("scalability in n is \"guaranteed algorithmically\"), not a wall-clock win at n≈21;");
     println!("the wall-clock wins appear in the deep-chain RNN regime (Figures 9–10).");
@@ -208,7 +220,15 @@ fn main() {
     }));
     let path = write_csv(
         "fig11_flops.csv",
-        &["method", "phase", "level", "kind", "dense_mnk", "flops", "critical"],
+        &[
+            "method",
+            "phase",
+            "level",
+            "kind",
+            "dense_mnk",
+            "flops",
+            "critical",
+        ],
         &rows,
     );
     println!("\nwrote {}", path.display());

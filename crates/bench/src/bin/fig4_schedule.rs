@@ -13,15 +13,16 @@ fn main() {
     let len = 9;
     let schedule = ScanSchedule::full(len);
     println!("Figure 4 — Blelloch scan schedule over VGG-11's conv layers");
-    println!(
-        "array: [∇x_n, J8ᵀ, J7ᵀ, J6ᵀ, J5ᵀ, J4ᵀ, J3ᵀ, J2ᵀ, J1ᵀ]  (len = {len})\n"
-    );
+    println!("array: [∇x_n, J8ᵀ, J7ᵀ, J6ᵀ, J5ᵀ, J4ᵀ, J3ᵀ, J2ᵀ, J1ᵀ]  (len = {len})\n");
 
     let mut rows = Vec::new();
     let mut level_no = 0usize;
     for (d, level) in schedule.up_levels().iter().enumerate() {
         let pairs: Vec<String> = level.iter().map(|p| format!("({},{})", p.l, p.r)).collect();
-        println!("L{level_no} (up-sweep d={d}):   a[r] ← a[l] ⊙ a[r]   pairs: {}", pairs.join(" "));
+        println!(
+            "L{level_no} (up-sweep d={d}):   a[r] ← a[l] ⊙ a[r]   pairs: {}",
+            pairs.join(" ")
+        );
         for p in level {
             rows.push(vec![
                 format!("L{level_no}"),
@@ -37,7 +38,12 @@ fn main() {
         schedule.block_roots()
     );
     for &r in schedule.block_roots() {
-        rows.push(vec![format!("L{level_no}"), "middle".into(), r.to_string(), r.to_string()]);
+        rows.push(vec![
+            format!("L{level_no}"),
+            "middle".into(),
+            r.to_string(),
+            r.to_string(),
+        ]);
     }
     level_no += 1;
     let k = schedule.down_levels().len();

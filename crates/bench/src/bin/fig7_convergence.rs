@@ -12,13 +12,16 @@
 
 use bppsa_bench::{is_full_run, write_csv};
 use bppsa_core::{BppsaOptions, JacobianRepr};
-use bppsa_models::train::{
-    evaluate_network, train_network_classifier, BackwardMethod, TrainLog,
-};
+use bppsa_models::train::{evaluate_network, train_network_classifier, BackwardMethod, TrainLog};
 use bppsa_models::{lenet5, SyntheticCifar};
 use bppsa_tensor::init::seeded_rng;
 
-fn run(method: BackwardMethod, data: &SyntheticCifar<f32>, batch: usize, iters: usize) -> (TrainLog, f64) {
+fn run(
+    method: BackwardMethod,
+    data: &SyntheticCifar<f32>,
+    batch: usize,
+    iters: usize,
+) -> (TrainLog, f64) {
     let mut net = lenet5::<f32>(&mut seeded_rng(1234));
     let mut opts = bppsa_models::train::sgd_per_layer(&net, 0.001, 0.9);
     let log = train_network_classifier(
@@ -36,7 +39,11 @@ fn run(method: BackwardMethod, data: &SyntheticCifar<f32>, batch: usize, iters: 
 
 fn main() {
     let full = is_full_run();
-    let (n_samples, batch, iters) = if full { (2048, 256, 200) } else { (256, 32, 60) };
+    let (n_samples, batch, iters) = if full {
+        (2048, 256, 200)
+    } else {
+        (256, 32, 60)
+    };
     println!("Figure 7 — LeNet-5 convergence: baseline BP vs BPPSA (identical seeds)");
     println!("synthetic CIFAR substitution; {n_samples} samples, B={batch}, {iters} iterations\n");
 
@@ -89,7 +96,11 @@ fn main() {
             ]
         })
         .collect();
-    let path = write_csv("fig7_convergence.csv", &["iteration", "loss_bp", "loss_bppsa"], &rows);
+    let path = write_csv(
+        "fig7_convergence.csv",
+        &["iteration", "loss_bp", "loss_bppsa"],
+        &rows,
+    );
     println!("\nwrote {}", path.display());
 
     assert!(gap < 5e-3, "BPPSA diverged from BP: gap {gap}");

@@ -25,7 +25,11 @@ use bppsa_tensor::init::seeded_rng;
 fn main() {
     let full = is_full_run();
     // Real-execution scale (paper: T=1000, B=16, 32000 samples, 50 epochs).
-    let (t, b, n, epochs) = if full { (1000, 16, 320, 3) } else { (100, 8, 64, 3) };
+    let (t, b, n, epochs) = if full {
+        (1000, 16, 320, 3)
+    } else {
+        (100, 8, 64, 3)
+    };
 
     println!("Figure 9 — RNN training loss vs wall-clock (BPPSA vs BPTT baseline)");
     println!("part 1: real execution at T={t}, B={b}, {n} samples, {epochs} epochs\n");
@@ -74,7 +78,13 @@ fn main() {
         .collect();
     write_csv(
         "fig9_real.csv",
-        &["iteration", "loss_bptt", "wall_bptt_s", "loss_bppsa", "wall_bppsa_s"],
+        &[
+            "iteration",
+            "loss_bptt",
+            "wall_bptt_s",
+            "loss_bppsa",
+            "wall_bppsa_s",
+        ],
         &rows,
     );
 
@@ -118,7 +128,12 @@ fn main() {
     ]];
     let path = write_csv(
         "fig9_simulated.csv",
-        &["baseline_iter_s", "bppsa_iter_s", "overall_speedup", "backward_speedup"],
+        &[
+            "baseline_iter_s",
+            "bppsa_iter_s",
+            "overall_speedup",
+            "backward_speedup",
+        ],
         &sim_rows,
     );
     println!("\nwrote {}", path.display());

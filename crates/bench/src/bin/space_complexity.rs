@@ -66,7 +66,14 @@ fn main() {
 
     let path = write_csv(
         "space_complexity.csv",
-        &["devices", "gpipe_bytes", "bppsa_bytes", "pipedream_bytes", "gpipe_bubble", "staleness"],
+        &[
+            "devices",
+            "gpipe_bytes",
+            "bppsa_bytes",
+            "pipedream_bytes",
+            "gpipe_bubble",
+            "staleness",
+        ],
         &rows,
     );
 
@@ -75,8 +82,14 @@ fn main() {
     let g512 = pipeline_per_device_bytes(layers, 512, activation_bytes);
     let b64 = bppsa_per_device_bytes(layers, 64, jacob_bytes);
     let b512 = bppsa_per_device_bytes(layers, 512, jacob_bytes);
-    println!("  GPipe 64→512 devices: {g64} → {g512} B/dev (grows: {})", g512 > g64);
-    println!("  BPPSA 64→512 devices: {b64} → {b512} B/dev (shrinks: {})", b512 < b64);
+    println!(
+        "  GPipe 64→512 devices: {g64} → {g512} B/dev (grows: {})",
+        g512 > g64
+    );
+    println!(
+        "  BPPSA 64→512 devices: {b64} → {b512} B/dev (shrinks: {})",
+        b512 < b64
+    );
 
     println!("\nstaleness × momentum (the paper's PipeDream critique, quadratic probe):");
     for staleness in [1usize, 2, 4, 8] {

@@ -34,7 +34,9 @@ pub fn results_dir() -> PathBuf {
 /// Whether the invocation asked for the full, paper-scale configuration.
 pub fn is_full_run() -> bool {
     std::env::args().any(|a| a == "--full")
-        || std::env::var("BPPSA_FULL").map(|v| v == "1").unwrap_or(false)
+        || std::env::var("BPPSA_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
 }
 
 /// Writes a CSV file under [`results_dir`], returning its path.

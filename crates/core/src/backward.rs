@@ -85,6 +85,12 @@ impl<S: Scalar> BackwardResult<S> {
         &self.grads
     }
 
+    /// Mutable access for the planned executor, which refreshes a
+    /// workspace-owned result in place instead of allocating a new one.
+    pub(crate) fn grads_mut(&mut self) -> &mut [Vector<S>] {
+        &mut self.grads
+    }
+
     /// The gradient flowing *into* layer `i` (1-indexed as in the paper),
     /// i.e. `∇x_i l` — what layer `i`'s parameter gradient (Equation 2)
     /// consumes is `grads_into(i+1)`… more precisely `∇x_i` for `i ≥ 1`.
@@ -139,7 +145,10 @@ impl<S: Scalar> BackwardResult<S> {
 /// let lin = linear_backward(&chain);
 /// assert!(scan.max_abs_diff(&lin) < 1e-12);
 /// ```
-pub fn bppsa_backward<S: Scalar>(chain: &JacobianChain<S>, opts: BppsaOptions) -> BackwardResult<S> {
+pub fn bppsa_backward<S: Scalar>(
+    chain: &JacobianChain<S>,
+    opts: BppsaOptions,
+) -> BackwardResult<S> {
     chain.validate();
     let mut array = chain.to_scan_array();
     let schedule = opts.schedule(array.len());

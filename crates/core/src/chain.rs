@@ -80,6 +80,21 @@ impl<S: Scalar> JacobianChain<S> {
         &self.jacobians
     }
 
+    /// Mutable access to the seed gradient, for in-place value refresh
+    /// between iterations. The length must not change (checked by
+    /// [`JacobianChain::validate`] and by every consumer).
+    pub fn seed_mut(&mut self) -> &mut Vector<S> {
+        &mut self.seed
+    }
+
+    /// Mutable access to the Jacobians for in-place *value* refresh between
+    /// iterations — the allocation-free way to feed a reused chain into
+    /// `PlannedScan::execute_with`. Shapes and sparsity patterns must be
+    /// preserved; [`JacobianChain::validate`] still checks the chaining.
+    pub fn jacobians_mut(&mut self) -> &mut [ScanElement<S>] {
+        &mut self.jacobians
+    }
+
     /// Number of layers `n`.
     pub fn num_layers(&self) -> usize {
         self.jacobians.len()

@@ -65,32 +65,35 @@ fn classify<S: Scalar>(left: &ScanElement<S>, right: &ScanElement<S>) -> Option<
 /// # Panics
 ///
 /// Panics if the chain is invalid.
-pub fn analyze_scan_flops<S: Scalar>(chain: &JacobianChain<S>, opts: BppsaOptions) -> Vec<StepFlops> {
+pub fn analyze_scan_flops<S: Scalar>(
+    chain: &JacobianChain<S>,
+    opts: BppsaOptions,
+) -> Vec<StepFlops> {
     chain.validate();
     let op = JacobianScanOp;
     let mut a = chain.to_scan_array();
     let schedule = opts.schedule(a.len());
     let mut records = Vec::new();
 
-    let record_level =
-        |records: &mut Vec<StepFlops>, level_records: &mut Vec<(usize, StepFlops)>| {
-            if level_records.is_empty() {
-                return;
+    let record_level = |records: &mut Vec<StepFlops>,
+                        level_records: &mut Vec<(usize, StepFlops)>| {
+        if level_records.is_empty() {
+            return;
+        }
+        let max_flops = level_records
+            .iter()
+            .map(|(_, r)| r.flops)
+            .max()
+            .unwrap_or(0);
+        let mut marked = false;
+        for (_, mut r) in level_records.drain(..) {
+            if !marked && r.flops == max_flops {
+                r.critical = true;
+                marked = true;
             }
-            let max_flops = level_records
-                .iter()
-                .map(|(_, r)| r.flops)
-                .max()
-                .unwrap_or(0);
-            let mut marked = false;
-            for (_, mut r) in level_records.drain(..) {
-                if !marked && r.flops == max_flops {
-                    r.critical = true;
-                    marked = true;
-                }
-                records.push(r);
-            }
-        };
+            records.push(r);
+        }
+    };
 
     // Up-sweep levels.
     for (d, level) in schedule.up_levels().iter().enumerate() {
@@ -255,7 +258,10 @@ mod tests {
             if phase == 1 {
                 assert_eq!(ops, crit, "middle phase is fully critical");
             } else {
-                assert_eq!(crit, 1, "phase {phase} level {level}: {ops} ops, {crit} critical");
+                assert_eq!(
+                    crit, 1,
+                    "phase {phase} level {level}: {ops} ops, {crit} critical"
+                );
             }
         }
     }
@@ -295,10 +301,7 @@ mod tests {
             })
             .collect();
         // Middle counts as its op count (serial).
-        let middle_ops = scan
-            .iter()
-            .filter(|r| r.phase == PhaseKind::Middle)
-            .count();
+        let middle_ops = scan.iter().filter(|r| r.phase == PhaseKind::Middle).count();
         let scan_critical_steps = scan_steps.len() - 1 + middle_ops;
         assert!(
             scan_critical_steps < base.len(),

@@ -55,7 +55,7 @@ pub use backward::{bppsa_backward, linear_backward, BackwardResult, BppsaOptions
 pub use chain::{gradients_from_scan_output, JacobianChain};
 pub use element::{JacobianScanOp, ScanElement};
 pub use network::{Gradients, JacobianRepr, Network, Tape};
-pub use planned::PlannedScan;
+pub use planned::{Mru, PlannedBackwardCache, PlannedScan, ScanWorkspace, PLAN_CACHE_CAPACITY};
 
 #[cfg(test)]
 mod tests {

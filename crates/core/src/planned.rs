@@ -6,43 +6,142 @@
 //! to training and removed from a generic sparse matrix multiplication
 //! routine". [`SymbolicProduct`](bppsa_sparse::SymbolicProduct) hoists one
 //! product's symbolic phase; [`PlannedScan`] hoists **the entire backward
-//! pass**: it simulates the scan schedule once over sparsity patterns,
-//! precomputing a plan for every matrix–matrix combine the up-sweep will
-//! ever perform. Each subsequent training iteration then executes
-//! numeric-only kernels end to end.
+//! pass**: it simulates the scan schedule once over sparsity patterns and
+//! compiles it into a straight-line program of numeric-only kernels over a
+//! fixed set of buffers.
+//!
+//! # Plan once, execute many
+//!
+//! The intended steady-state training-loop lifecycle is:
+//!
+//! 1. **Plan** (once, before training): [`PlannedScan::plan`] simulates the
+//!    schedule over the chain's patterns. Every up-sweep matrix–matrix
+//!    combine becomes a numeric-only [`SymbolicProduct`]; every SpMV's
+//!    output length is recorded; identity combines are resolved at plan time
+//!    and vanish from the program entirely. Each instruction writes a fresh
+//!    single-assignment buffer whose exact size/pattern is known now.
+//! 2. **Allocate** (once): [`PlannedScan::workspace`] materializes every
+//!    buffer the program will ever touch — intermediate matrices (sharing
+//!    the plan's `Arc` patterns), staging vectors for the middle/down
+//!    sweeps, and the gradient output vectors.
+//! 3. **Execute** (every iteration): [`PlannedScan::execute_with`] runs the
+//!    compiled program over a chain with the same patterns and the reused
+//!    workspace. The steady state performs **zero heap allocations** with
+//!    the serial executor, and only the worker pool's one batch header per
+//!    parallel level otherwise.
+//!
+//! ```
+//! use bppsa_core::{BppsaOptions, JacobianChain, PlannedScan, ScanElement};
+//! use bppsa_sparse::Csr;
+//! use bppsa_tensor::Vector;
+//!
+//! let mut chain = JacobianChain::new(Vector::from_vec(vec![1.0_f64, 2.0]));
+//! chain.push(ScanElement::Sparse(Csr::from_diagonal(&[3.0, 4.0])));
+//! chain.push(ScanElement::Sparse(Csr::from_diagonal(&[5.0, 6.0])));
+//!
+//! let plan = PlannedScan::plan(&chain, BppsaOptions::serial());
+//! let mut ws = plan.workspace::<f64>();
+//! for _ in 0..3 {
+//!     // … forward pass refreshes the chain's Jacobian *values* …
+//!     let grads = plan.execute_with(&chain, &mut ws);
+//!     assert_eq!(grads.grads().len(), 2);
+//! }
+//! ```
 //!
 //! Valid because the paper's premise holds by construction here: operators
 //! generate Jacobians with input-independent *guaranteed* patterns (explicit
 //! zeros kept), so the pattern of every intermediate product is the same at
 //! every iteration.
+//!
+//! # Cost-aware parallelism
+//!
+//! Instead of a hardcoded pairs-per-level cutoff, the executor prices each
+//! compiled stage with its planned FLOPs: a stage fans its instructions out
+//! across the shared [`WorkerPool`](bppsa_scan::WorkerPool) only when the
+//! stage is heavy enough to amortize a pool wakeup *and* each task gets a
+//! meaningful slice; a single heavy SpGEMM instead runs **row-chunk
+//! parallel** through
+//! [`SymbolicProduct::execute_into_parallel`](bppsa_sparse::SymbolicProduct::execute_into_parallel).
 
 use crate::backward::{BackwardResult, BppsaOptions};
-use crate::chain::{gradients_from_scan_output, JacobianChain};
+use crate::chain::JacobianChain;
 use crate::element::ScanElement;
-use bppsa_scan::{global_pool, Executor, Pair, ScanSchedule};
+use bppsa_scan::{global_pool, Executor, Pair, PhaseKind, ScanSchedule, SendPtr};
 use bppsa_sparse::{Csr, SparsityPattern, SymbolicProduct};
-use bppsa_tensor::Scalar;
-#[cfg(test)]
-use bppsa_tensor::Vector;
+use bppsa_tensor::{Scalar, Vector};
+use std::sync::Arc;
 
-/// What one up-sweep combine does, with its symbolic work precomputed.
-#[derive(Debug, Clone)]
-enum PlannedCombine {
-    /// `vector ⊙ matrix` — an SpMV; needs no plan (output is dense).
-    Spmv,
-    /// `matrix ⊙ matrix` — numeric-only SpGEMM through a precomputed plan.
-    Spgemm(Box<SymbolicProduct>),
+/// Minimum planned FLOPs before a stage is worth a pool wakeup at all.
+const STAGE_PARALLEL_MIN_FLOPS: u64 = 32_768;
+/// Minimum planned FLOPs per pool task; below this, fan-out overhead wins.
+const TASK_MIN_FLOPS: u64 = 8_192;
+/// Minimum planned FLOPs before a single SpGEMM runs row-chunk parallel.
+const ROW_PARALLEL_MIN_FLOPS: u64 = 32_768;
+
+/// Where a value lives during compiled execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// The chain's seed gradient `∇x_n l`.
+    Seed,
+    /// The chain's `jacobians()[i]` (layer order).
+    Jacobian(usize),
+    /// Workspace buffer `i`.
+    Buf(usize),
 }
 
-/// Pattern-level element used while simulating the schedule.
+/// Shape of one single-assignment workspace buffer, fixed at plan time.
 #[derive(Debug, Clone)]
-enum PatternElement {
+enum BufferSpec {
+    /// A gradient-vector intermediate of the given length.
     Vector(usize),
-    Matrix(SparsityPattern),
+    /// A matrix-fold intermediate with the given (shared) pattern.
+    Matrix(Arc<SparsityPattern>),
+}
+
+/// One numeric instruction of the compiled program.
+#[derive(Debug, Clone)]
+enum Instr {
+    /// `buf[dst] ← mat · vec` (numeric SpMV).
+    Spmv { mat: Loc, vec: Loc, dst: usize },
+    /// `buf[dst] ← lhs · rhs` through `spgemm_plans[plan]` (numeric-only).
+    Spgemm {
+        plan: usize,
+        lhs: Loc,
+        rhs: Loc,
+        dst: usize,
+    },
+}
+
+/// A group of instructions with a shared synchronization barrier (one scan
+/// level, or the serial middle phase).
+#[derive(Debug, Clone)]
+struct Stage {
+    instrs: Vec<Instr>,
+    /// Whether the schedule permits running the instructions concurrently.
+    parallel: bool,
+    /// Total planned FLOPs of the stage (drives the parallelization choice).
+    flops: u64,
+    /// Planned FLOPs of the single heaviest instruction: a stage dominated
+    /// by one combine is better served by row-parallelism inside that
+    /// combine than by fanning the instruction list out.
+    max_instr_flops: u64,
+    /// Which scan phase the stage came from (for accounting/debugging).
+    #[allow(dead_code)]
+    phase: PhaseKind,
+}
+
+/// Pattern-level value tracked while simulating the schedule.
+#[derive(Debug, Clone)]
+enum Sim {
+    Identity,
+    Vec { len: usize, loc: Loc },
+    Mat { pat: Arc<SparsityPattern>, loc: Loc },
 }
 
 /// A fully-planned BPPSA backward pass for one chain *shape*: reusable
 /// across iterations as long as every Jacobian keeps its guaranteed pattern.
+///
+/// See the [module docs](self) for the plan/workspace/execute lifecycle.
 ///
 /// # Examples
 ///
@@ -63,17 +162,45 @@ enum PatternElement {
 #[derive(Debug, Clone)]
 pub struct PlannedScan {
     schedule: ScanSchedule,
-    /// One entry per up-sweep pair, level-major (parallel to
-    /// `schedule.up_levels()`).
-    up_plans: Vec<Vec<PlannedCombine>>,
+    /// Expected operand patterns, layer order (`jacobians()[i]`).
+    input_patterns: Vec<Arc<SparsityPattern>>,
+    seed_len: usize,
+    /// Single-assignment buffer shapes, indexed by `Loc::Buf`.
+    buffers: Vec<BufferSpec>,
+    /// Hoisted symbolic products, referenced by `Instr::Spgemm::plan`.
+    spgemm_plans: Vec<SymbolicProduct>,
+    /// The compiled program: up levels, middle, down levels, in order.
+    stages: Vec<Stage>,
+    /// Gradient sources: `outputs[i]` holds `∇x_{i+1}` after execution.
+    outputs: Vec<Loc>,
     parallel: bool,
     /// FLOPs of all planned matrix–matrix combines (numeric phase).
     spgemm_flops: u64,
+    /// Identity token tying workspaces to the plan they were built from.
+    token: Arc<()>,
+}
+
+/// Caller-owned buffers for [`PlannedScan::execute_with`]: every
+/// intermediate the compiled program writes, pre-sized at plan time, plus
+/// the gradient output vectors. Reusing one workspace across iterations
+/// makes the steady-state backward pass allocation-free.
+#[derive(Debug)]
+pub struct ScanWorkspace<S> {
+    bufs: Vec<WorkBuf<S>>,
+    result: BackwardResult<S>,
+    token: Arc<()>,
+}
+
+#[derive(Debug)]
+enum WorkBuf<S> {
+    Vec(Vector<S>),
+    Mat(Csr<S>),
 }
 
 impl PlannedScan {
     /// Runs the symbolic phase for the whole scan induced by `opts` over the
-    /// chain's patterns.
+    /// chain's patterns, compiling every combine the schedule will ever
+    /// perform into a numeric-only instruction.
     ///
     /// # Panics
     ///
@@ -81,49 +208,92 @@ impl PlannedScan {
     /// chains have no symbolic work to hoist).
     pub fn plan<S: Scalar>(chain: &JacobianChain<S>, opts: BppsaOptions) -> Self {
         chain.validate();
-        let mut patterns: Vec<PatternElement> = Vec::with_capacity(chain.num_layers() + 1);
-        patterns.push(PatternElement::Vector(chain.seed().len()));
-        for jt in chain.jacobians().iter().rev() {
-            match jt {
-                ScanElement::Sparse(m) => patterns.push(PatternElement::Matrix(m.pattern())),
+        let n = chain.num_layers();
+        let input_patterns: Vec<Arc<SparsityPattern>> = chain
+            .jacobians()
+            .iter()
+            .map(|jt| match jt {
+                ScanElement::Sparse(m) => m.pattern(),
                 other => panic!("PlannedScan: chain must be all-CSR, found {other}"),
-            }
+            })
+            .collect();
+        let seed_len = chain.seed().len();
+
+        // Scan-array layout (Equation 5): [seed, J_n^T, …, J_1^T].
+        let mut slots: Vec<Sim> = Vec::with_capacity(n + 1);
+        slots.push(Sim::Vec {
+            len: seed_len,
+            loc: Loc::Seed,
+        });
+        for p in (0..n).rev() {
+            slots.push(Sim::Mat {
+                pat: Arc::clone(&input_patterns[p]),
+                loc: Loc::Jacobian(p),
+            });
         }
 
-        let schedule = opts.schedule(patterns.len());
-        let mut up_plans = Vec::with_capacity(schedule.up_levels().len());
-        let mut spgemm_flops = 0u64;
+        let schedule = opts.schedule(n + 1);
+        let mut compiler = Compiler::default();
+
+        // Up-sweep: a[r] ← a[l] ⊙ a[r] = a[r] · a[l].
         for level in schedule.up_levels() {
-            let mut level_plans = Vec::with_capacity(level.len());
+            let mut stage = compiler.open_stage(true, PhaseKind::UpSweep);
             for &Pair { l, r } in level {
-                let combine = match (&patterns[l], &patterns[r]) {
-                    (PatternElement::Vector(len), PatternElement::Matrix(m)) => {
-                        assert_eq!(m.cols(), *len, "plan: spmv dimension mismatch");
-                        patterns[r] = PatternElement::Vector(m.rows());
-                        PlannedCombine::Spmv
-                    }
-                    (PatternElement::Matrix(a), PatternElement::Matrix(b)) => {
-                        // combine(a, b) = b·a → spgemm(b, a).
-                        let plan = SymbolicProduct::plan(b, a);
-                        spgemm_flops += plan.flops();
-                        patterns[r] = PatternElement::Matrix(plan.out_pattern().clone());
-                        PlannedCombine::Spgemm(Box::new(plan))
-                    }
-                    (PatternElement::Matrix(_), PatternElement::Vector(_))
-                    | (PatternElement::Vector(_), PatternElement::Vector(_)) => {
-                        unreachable!("up-sweep right operands are never vectors")
-                    }
-                };
-                level_plans.push(combine);
+                let folded = compiler.combine(&mut stage, &slots[l], &slots[r]);
+                slots[r] = folded;
             }
-            up_plans.push(level_plans);
+            compiler.push_stage(stage);
         }
+
+        // Middle: serial exclusive scan over block roots.
+        {
+            let mut stage = compiler.open_stage(false, PhaseKind::Middle);
+            let mut running = Sim::Identity;
+            for &root in schedule.block_roots() {
+                let old = std::mem::replace(&mut slots[root], Sim::Identity);
+                let next = compiler.combine(&mut stage, &running, &old);
+                slots[root] = std::mem::replace(&mut running, next);
+            }
+            compiler.push_stage(stage);
+        }
+
+        // Down-sweep: t ← a[l]; a[l] ← a[r]; a[r] ← a[r] ⊙ t.
+        for level in schedule.down_levels() {
+            let mut stage = compiler.open_stage(true, PhaseKind::DownSweep);
+            for &Pair { l, r } in level {
+                let t = std::mem::replace(&mut slots[l], Sim::Identity);
+                let r_val = std::mem::replace(&mut slots[r], Sim::Identity);
+                let folded = compiler.combine(&mut stage, &r_val, &t);
+                slots[l] = r_val;
+                slots[r] = folded;
+            }
+            compiler.push_stage(stage);
+        }
+
+        // Post-scan array must be [I, ∇x_n, …, ∇x_1]; record where each
+        // gradient ended up: g[i] = slot[n − i].
+        assert!(
+            matches!(slots.first(), Some(Sim::Identity) | None),
+            "planned scan must leave the identity at position 0"
+        );
+        let outputs: Vec<Loc> = (0..n)
+            .map(|i| match &slots[n - i] {
+                Sim::Vec { loc, .. } => *loc,
+                other => panic!("planned scan slot {} is not a vector: {other:?}", n - i),
+            })
+            .collect();
 
         Self {
             schedule,
-            up_plans,
+            input_patterns,
+            seed_len,
+            buffers: compiler.buffers,
+            spgemm_plans: compiler.plans,
+            stages: compiler.stages,
+            outputs,
             parallel: !matches!(opts.executor, Executor::Serial),
-            spgemm_flops,
+            spgemm_flops: compiler.spgemm_flops,
+            token: Arc::new(()),
         }
     }
 
@@ -139,130 +309,556 @@ impl PlannedScan {
 
     /// Number of matrix–matrix combines that were symbolically planned.
     pub fn planned_products(&self) -> usize {
-        self.up_plans
+        self.spgemm_plans.len()
+    }
+
+    /// Number of planned SpMV combines.
+    pub fn planned_spmvs(&self) -> usize {
+        self.stages
             .iter()
-            .flatten()
-            .filter(|p| matches!(p, PlannedCombine::Spgemm(_)))
+            .flat_map(|s| &s.instrs)
+            .filter(|i| matches!(i, Instr::Spmv { .. }))
             .count()
     }
 
+    /// Total bytes of workspace buffer payload an execution reuses.
+    pub fn workspace_bytes<S: Scalar>(&self) -> usize {
+        self.buffers
+            .iter()
+            .map(|spec| match spec {
+                BufferSpec::Vector(len) => len * std::mem::size_of::<S>(),
+                BufferSpec::Matrix(pat) => pat.nnz() * std::mem::size_of::<S>(),
+            })
+            .sum()
+    }
+
+    /// Allocates the workspace this plan's program executes over: every
+    /// intermediate buffer plus the gradient outputs, fully pre-sized.
+    pub fn workspace<S: Scalar>(&self) -> ScanWorkspace<S> {
+        let bufs = self
+            .buffers
+            .iter()
+            .map(|spec| match spec {
+                BufferSpec::Vector(len) => WorkBuf::Vec(Vector::zeros(*len)),
+                BufferSpec::Matrix(pat) => WorkBuf::Mat(Csr::from_pattern(Arc::clone(pat))),
+            })
+            .collect();
+        let grads = self
+            .outputs
+            .iter()
+            .map(|loc| match loc {
+                Loc::Seed => Vector::zeros(self.seed_len),
+                Loc::Buf(j) => match &self.buffers[*j] {
+                    BufferSpec::Vector(len) => Vector::zeros(*len),
+                    BufferSpec::Matrix(_) => unreachable!("gradient output is a matrix buffer"),
+                },
+                Loc::Jacobian(_) => unreachable!("gradient output is a Jacobian"),
+            })
+            .collect();
+        ScanWorkspace {
+            bufs,
+            result: BackwardResult::from_grads(grads),
+            token: Arc::clone(&self.token),
+        }
+    }
+
     /// Executes the numeric-only backward pass over a chain with the same
-    /// patterns this plan was built from.
+    /// patterns this plan was built from (convenience wrapper that allocates
+    /// a throwaway workspace; training loops should reuse one via
+    /// [`PlannedScan::execute_with`]).
     ///
     /// # Panics
     ///
-    /// Panics if the chain's structure does not match the plan (length or,
-    /// in debug builds, any operand pattern).
+    /// As [`PlannedScan::execute_with`].
     pub fn execute<S: Scalar>(&self, chain: &JacobianChain<S>) -> BackwardResult<S> {
+        let mut ws = self.workspace();
+        self.execute_with(chain, &mut ws).clone()
+    }
+
+    /// Executes the compiled numeric program over `chain` using the reused
+    /// `workspace`, returning the gradients stored in the workspace.
+    ///
+    /// After the first call warms the buffers, subsequent calls perform zero
+    /// heap allocations under the serial executor (and only the worker
+    /// pool's per-level batch header otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain's length or any operand's shape does not match
+    /// the plan, if the workspace was built from a different plan, or (in
+    /// debug builds) if any operand's *pattern* deviates from the planned
+    /// pattern.
+    pub fn execute_with<'w, S: Scalar>(
+        &self,
+        chain: &JacobianChain<S>,
+        workspace: &'w mut ScanWorkspace<S>,
+    ) -> &'w BackwardResult<S> {
+        self.check_chain(chain);
+        assert!(
+            Arc::ptr_eq(&self.token, &workspace.token),
+            "PlannedScan: workspace was built from a different plan"
+        );
+
+        let bufs: *mut WorkBuf<S> = workspace.bufs.as_mut_ptr();
+        for stage in &self.stages {
+            self.run_stage(stage, chain, bufs, workspace.bufs.len());
+        }
+
+        // Copy gradients into the workspace-owned result buffers.
+        for (i, loc) in self.outputs.iter().enumerate() {
+            let src: &Vector<S> = match loc {
+                Loc::Seed => chain.seed(),
+                Loc::Buf(j) => match &workspace.bufs[*j] {
+                    WorkBuf::Vec(v) => v,
+                    WorkBuf::Mat(_) => unreachable!("output buffer is a matrix"),
+                },
+                Loc::Jacobian(_) => unreachable!("output is a Jacobian"),
+            };
+            workspace.result.grads_mut()[i]
+                .as_mut_slice()
+                .copy_from_slice(src.as_slice());
+        }
+        &workspace.result
+    }
+
+    /// Whether `chain` has exactly the structure this plan was built from:
+    /// same length, seed width, and per-layer sparsity patterns (`Arc`
+    /// pointer fast path, content compare otherwise). Allocation-free.
+    pub fn matches<S: Scalar>(&self, chain: &JacobianChain<S>) -> bool {
+        chain.num_layers() + 1 == self.schedule.len()
+            && chain.seed().len() == self.seed_len
+            && chain
+                .jacobians()
+                .iter()
+                .zip(&self.input_patterns)
+                .all(|(jt, expected)| match jt {
+                    ScanElement::Sparse(m) => {
+                        Arc::ptr_eq(m.pattern_ref(), expected) || *m.pattern_ref() == *expected
+                    }
+                    _ => false,
+                })
+    }
+
+    /// Validates chain length and operand shapes against the plan; debug
+    /// builds compare the full patterns (with an `Arc` pointer fast path),
+    /// so a wrong-pattern operand of the right shape cannot slip through.
+    fn check_chain<S: Scalar>(&self, chain: &JacobianChain<S>) {
         assert_eq!(
             chain.num_layers() + 1,
             self.schedule.len(),
             "PlannedScan: chain length does not match the plan"
         );
-        let mut a = chain.to_scan_array();
-
-        // Up-sweep: planned combines.
-        for (level, plans) in self.schedule.up_levels().iter().zip(&self.up_plans) {
-            if self.parallel && level.len() >= 4 {
-                self.run_up_level_pooled(&mut a, level, plans);
-            } else {
-                for (&Pair { l, r }, plan) in level.iter().zip(plans) {
-                    a[r] = apply_planned(plan, &a[l], &a[r]);
+        assert_eq!(
+            chain.seed().len(),
+            self.seed_len,
+            "PlannedScan: seed length does not match the plan"
+        );
+        for (i, jt) in chain.jacobians().iter().enumerate() {
+            let expected = &self.input_patterns[i];
+            match jt {
+                ScanElement::Sparse(m) => {
+                    assert_eq!(
+                        m.shape(),
+                        expected.shape(),
+                        "PlannedScan: Jacobian {i} shape does not match the plan"
+                    );
+                    debug_assert!(
+                        Arc::ptr_eq(m.pattern_ref(), expected) || *m.pattern_ref() == *expected,
+                        "PlannedScan: Jacobian {i} pattern does not match the plan"
+                    );
                 }
+                other => panic!("PlannedScan: chain must be all-CSR, found {other}"),
             }
         }
-
-        // Middle + down-sweep: vector-only work, identical to the generic
-        // path (no symbolic content to hoist).
-        let op = crate::element::JacobianScanOp;
-        {
-            use bppsa_scan::ScanOp;
-            let mut running: ScanElement<S> = op.identity();
-            for &root in self.schedule.block_roots() {
-                let old = std::mem::replace(&mut a[root], op.identity());
-                let next = op.combine(&running, &old);
-                a[root] = std::mem::replace(&mut running, next);
-            }
-            for level in self.schedule.down_levels() {
-                for &Pair { l, r } in level {
-                    let t = std::mem::replace(&mut a[l], op.identity());
-                    let new_r = op.combine(&a[r], &t);
-                    a[l] = std::mem::replace(&mut a[r], new_r);
-                }
-            }
-        }
-
-        BackwardResult::from_grads(gradients_from_scan_output(&a))
     }
 
-    /// Parallel up-sweep level: compute results into a staging vector on the
-    /// shared pool, then commit (combines within a level are independent).
-    fn run_up_level_pooled<S: Scalar>(
+    /// Runs one stage, choosing serial / instruction-parallel / row-parallel
+    /// execution from the stage's planned FLOPs.
+    fn run_stage<S: Scalar>(
         &self,
-        a: &mut [ScanElement<S>],
-        level: &[Pair],
-        plans: &[PlannedCombine],
+        stage: &Stage,
+        chain: &JacobianChain<S>,
+        bufs: *mut WorkBuf<S>,
+        bufs_len: usize,
     ) {
-        let staged: Vec<parking_lot_free::Slot<ScanElement<S>>> =
-            (0..level.len()).map(|_| parking_lot_free::Slot::new()).collect();
-        let a_ref: &[ScanElement<S>] = a;
-        global_pool().run_indexed(level.len(), &|i| {
-            let Pair { l, r } = level[i];
-            staged[i].set(apply_planned(&plans[i], &a_ref[l], &a_ref[r]));
-        });
-        for (i, &Pair { r, .. }) in level.iter().enumerate() {
-            a[r] = staged[i].take();
+        // A stage dominated by one heavy combine gains more from
+        // row-parallelism inside that combine (the serial branch below)
+        // than from a 2-way instruction fan-out that strands the heavy
+        // product on a single worker.
+        let skewed = stage.max_instr_flops >= ROW_PARALLEL_MIN_FLOPS
+            && 2 * stage.max_instr_flops >= stage.flops;
+        let instr_parallel = self.parallel
+            && stage.parallel
+            && !skewed
+            && stage.instrs.len() >= 2
+            && stage.flops >= STAGE_PARALLEL_MIN_FLOPS
+            && stage.flops / stage.instrs.len() as u64 >= TASK_MIN_FLOPS;
+        if instr_parallel {
+            let bufs = SendPtr(bufs);
+            global_pool().run_indexed(stage.instrs.len(), &|i| {
+                let bufs: SendPtr<WorkBuf<S>> = bufs;
+                // SAFETY: instructions within a stage write pairwise-distinct
+                // single-assignment buffers and read only buffers written in
+                // earlier stages (schedule disjointness + SSA construction),
+                // so no two tasks alias a destination; the pool barrier
+                // orders the writes against later stages.
+                unsafe { self.exec_instr(&stage.instrs[i], chain, bufs.0, bufs_len, false) };
+            });
+        } else {
+            for instr in &stage.instrs {
+                // SAFETY: single-threaded here; aliasing argument as above.
+                unsafe { self.exec_instr(instr, chain, bufs, bufs_len, self.parallel) };
+            }
+        }
+    }
+
+    /// Executes one instruction. `row_parallel` permits a heavy SpGEMM to
+    /// fan its numeric phase out across the pool by row chunks.
+    ///
+    /// # Safety
+    ///
+    /// `bufs` must point to `bufs_len` initialized buffers matching the
+    /// plan's specs, the instruction's `dst` must not be concurrently
+    /// accessed, and its source buffers must not be concurrently written.
+    unsafe fn exec_instr<S: Scalar>(
+        &self,
+        instr: &Instr,
+        chain: &JacobianChain<S>,
+        bufs: *mut WorkBuf<S>,
+        bufs_len: usize,
+        row_parallel: bool,
+    ) {
+        match instr {
+            Instr::Spmv { mat, vec, dst } => {
+                let m = resolve_mat(*mat, chain, bufs, bufs_len);
+                let v = resolve_vec(*vec, chain, bufs, bufs_len);
+                debug_assert!(*dst < bufs_len);
+                match &mut *bufs.add(*dst) {
+                    WorkBuf::Vec(out) => m.spmv_into(v, out),
+                    WorkBuf::Mat(_) => unreachable!("spmv destination is a matrix buffer"),
+                }
+            }
+            Instr::Spgemm {
+                plan,
+                lhs,
+                rhs,
+                dst,
+            } => {
+                let p = &self.spgemm_plans[*plan];
+                let a = resolve_mat(*lhs, chain, bufs, bufs_len);
+                let b = resolve_mat(*rhs, chain, bufs, bufs_len);
+                debug_assert!(*dst < bufs_len);
+                let out = match &mut *bufs.add(*dst) {
+                    WorkBuf::Mat(out) => out,
+                    WorkBuf::Vec(_) => unreachable!("spgemm destination is a vector buffer"),
+                };
+                if row_parallel && p.flops() >= ROW_PARALLEL_MIN_FLOPS {
+                    p.execute_into_parallel(a, b, out, global_pool());
+                } else {
+                    p.execute_into(a, b, out);
+                }
+            }
         }
     }
 }
 
-/// Applies one planned combine: `a[l] ⊙ a[r]` with hoisted symbolic work.
-fn apply_planned<S: Scalar>(
-    plan: &PlannedCombine,
-    left: &ScanElement<S>,
-    right: &ScanElement<S>,
-) -> ScanElement<S> {
-    match (plan, left, right) {
-        (PlannedCombine::Spmv, ScanElement::Vector(v), ScanElement::Sparse(m)) => {
-            ScanElement::Vector(m.spmv(v))
+/// A self-managing plan/workspace pair for training loops: call
+/// [`PlannedBackwardCache::backward`] every iteration and it re-plans only
+/// when the chain's structure actually changes (first call, shape change,
+/// pruning that alters a pattern, different options). In the steady state it
+/// is a zero-allocation [`PlannedScan::execute_with`].
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_core::{BppsaOptions, JacobianChain, PlannedBackwardCache, ScanElement};
+/// use bppsa_sparse::Csr;
+/// use bppsa_tensor::Vector;
+///
+/// let mut cache = PlannedBackwardCache::<f64>::new();
+/// for step in 0..3 {
+///     let mut chain = JacobianChain::new(Vector::from_vec(vec![1.0, step as f64]));
+///     chain.push(ScanElement::Sparse(Csr::from_diagonal(&[2.0, 0.5 * step as f64])));
+///     let grads = cache.backward(&chain, BppsaOptions::serial());
+///     assert_eq!(grads.grads().len(), 1);
+/// }
+/// assert_eq!(cache.plans_built(), 1); // same structure → planned once
+/// ```
+#[derive(Debug, Default)]
+pub struct PlannedBackwardCache<S> {
+    entries: Mru<CacheEntry<S>>,
+    plans_built: usize,
+}
+
+/// How many distinct chain structures the plan cache (and the chain cache
+/// layered on it, e.g. `FusedPlannedState` in `bppsa-models`) retain.
+/// Training loops see at most a handful of shapes (the full mini-batch
+/// shape plus the epoch-end remainder); the least recently used entry is
+/// evicted beyond this.
+pub const PLAN_CACHE_CAPACITY: usize = 8;
+
+/// A tiny bounded most-recently-used store: linear predicate lookup, hit
+/// moves the entry to the back, miss inserts (evicting the front when
+/// full). Shared by [`PlannedBackwardCache`] and the chain cache in
+/// `bppsa-models` so the recency/eviction behavior of plan and chain
+/// entries cannot drift apart.
+#[derive(Debug)]
+pub struct Mru<T> {
+    entries: Vec<T>,
+    capacity: usize,
+}
+
+impl<T> Mru<T> {
+    /// An empty store evicting beyond `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "Mru: capacity must be non-zero");
+        Self {
+            entries: Vec::new(),
+            capacity,
         }
-        (PlannedCombine::Spgemm(p), ScanElement::Sparse(ma), ScanElement::Sparse(mb)) => {
-            // combine(a, b) = b·a.
-            debug_assert!(pattern_matches(p, mb, ma));
-            ScanElement::Sparse(p.execute_unchecked(mb, ma))
-        }
-        (plan, l, r) => panic!("PlannedScan: plan/operand mismatch ({plan:?} on {l} ⊙ {r})"),
+    }
+
+    /// Finds the entry matching `pred` (moving it to the back) or inserts
+    /// `make()` (evicting the least recently used entry when full).
+    /// Returns the entry and whether it was just inserted.
+    pub fn find_or_insert_with(
+        &mut self,
+        pred: impl Fn(&T) -> bool,
+        make: impl FnOnce() -> T,
+    ) -> (&mut T, bool) {
+        let inserted = match self.entries.iter().position(&pred) {
+            Some(hit) => {
+                let entry = self.entries.remove(hit);
+                self.entries.push(entry);
+                false
+            }
+            None => {
+                if self.entries.len() >= self.capacity {
+                    self.entries.remove(0);
+                }
+                self.entries.push(make());
+                true
+            }
+        };
+        (self.entries.last_mut().expect("entry present"), inserted)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The most recently used entry, if any.
+    pub fn last(&self) -> Option<&T> {
+        self.entries.last()
     }
 }
 
-fn pattern_matches<S: Scalar>(plan: &SymbolicProduct, b: &Csr<S>, a: &Csr<S>) -> bool {
-    let (rows, cols) = (b.rows(), a.cols());
-    plan.out_pattern().shape() == (rows, cols)
+impl<T> Default for Mru<T> {
+    fn default() -> Self {
+        Self::new(PLAN_CACHE_CAPACITY)
+    }
 }
 
-/// A minimal single-writer slot used by the pooled up-sweep staging (avoids
-/// `Mutex<Option<T>>` overhead; each index is written exactly once).
-mod parking_lot_free {
-    use std::cell::UnsafeCell;
+#[derive(Debug)]
+struct CacheEntry<S> {
+    opts: BppsaOptions,
+    plan: PlannedScan,
+    workspace: ScanWorkspace<S>,
+}
 
-    pub struct Slot<T>(UnsafeCell<Option<T>>);
-    // SAFETY: each slot is written by exactly one pool task (unique index)
-    // and read only after the pool barrier.
-    unsafe impl<T: Send> Sync for Slot<T> {}
+impl<S: Scalar> PlannedBackwardCache<S> {
+    /// An empty cache (plans on first use).
+    pub fn new() -> Self {
+        Self {
+            entries: Mru::new(PLAN_CACHE_CAPACITY),
+            plans_built: 0,
+        }
+    }
 
-    impl<T> Slot<T> {
-        pub fn new() -> Self {
-            Slot(UnsafeCell::new(None))
+    /// Runs the planned backward pass for `chain`, re-planning first if no
+    /// cached plan matches the chain's structure and options.
+    ///
+    /// Up to [`PLAN_CACHE_CAPACITY`] distinct structures are retained, so a
+    /// training loop that alternates shapes — e.g. full mini-batches plus a
+    /// smaller epoch-end remainder batch — still plans each shape exactly
+    /// once instead of thrashing.
+    pub fn backward(&mut self, chain: &JacobianChain<S>, opts: BppsaOptions) -> &BackwardResult<S> {
+        let (entry, inserted) = self.entries.find_or_insert_with(
+            |e| e.opts == opts && e.plan.matches(chain),
+            || {
+                let plan = PlannedScan::plan(chain, opts);
+                let workspace = plan.workspace();
+                CacheEntry {
+                    opts,
+                    plan,
+                    workspace,
+                }
+            },
+        );
+        if inserted {
+            self.plans_built += 1;
         }
-        pub fn set(&self, value: T) {
-            // SAFETY: unique writer per slot (pool index disjointness).
-            unsafe { *self.0.get() = Some(value) }
+        let CacheEntry {
+            plan, workspace, ..
+        } = entry;
+        plan.execute_with(chain, workspace)
+    }
+
+    /// How many times a plan has been built — the number of distinct chain
+    /// structures seen (modulo eviction), not the iteration count.
+    pub fn plans_built(&self) -> usize {
+        self.plans_built
+    }
+
+    /// Number of currently cached plan/workspace pairs.
+    pub fn cached_plans(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The most recently used plan, if any (for FLOP/workspace accounting).
+    pub fn plan(&self) -> Option<&PlannedScan> {
+        self.entries.last().map(|e| &e.plan)
+    }
+}
+
+/// Plan-time program builder state.
+#[derive(Default)]
+struct Compiler {
+    buffers: Vec<BufferSpec>,
+    plans: Vec<SymbolicProduct>,
+    stages: Vec<Stage>,
+    spgemm_flops: u64,
+}
+
+impl Compiler {
+    fn open_stage(&self, parallel: bool, phase: PhaseKind) -> Stage {
+        Stage {
+            instrs: Vec::new(),
+            parallel,
+            flops: 0,
+            max_instr_flops: 0,
+            phase,
         }
-        #[allow(clippy::mut_from_ref)]
-        pub fn take(&self) -> T {
-            // SAFETY: called single-threaded after the barrier.
-            unsafe { (*self.0.get()).take().expect("slot written") }
+    }
+
+    fn push_stage(&mut self, stage: Stage) {
+        if !stage.instrs.is_empty() {
+            self.stages.push(stage);
         }
+    }
+
+    fn alloc(&mut self, spec: BufferSpec) -> usize {
+        self.buffers.push(spec);
+        self.buffers.len() - 1
+    }
+
+    /// Simulates `a ⊙ b = b·a` at the pattern level, emitting the numeric
+    /// instruction (if any) into `stage` and returning the folded value.
+    fn combine(&mut self, stage: &mut Stage, a: &Sim, b: &Sim) -> Sim {
+        match (a, b) {
+            // Identity short-circuits are resolved now and cost nothing at
+            // run time.
+            (Sim::Identity, x) | (x, Sim::Identity) => x.clone(),
+            // Gradient-vector fold: ⊙ = SpMV through the matrix.
+            (Sim::Vec { len, loc: vec_loc }, Sim::Mat { pat, loc: mat_loc }) => {
+                assert_eq!(pat.cols(), *len, "plan: spmv dimension mismatch");
+                let dst = self.alloc(BufferSpec::Vector(pat.rows()));
+                let flops = 2 * pat.nnz() as u64;
+                stage.flops += flops;
+                stage.max_instr_flops = stage.max_instr_flops.max(flops);
+                stage.instrs.push(Instr::Spmv {
+                    mat: *mat_loc,
+                    vec: *vec_loc,
+                    dst,
+                });
+                Sim::Vec {
+                    len: pat.rows(),
+                    loc: Loc::Buf(dst),
+                }
+            }
+            // Matrix fold: a ⊙ b = b·a through a hoisted symbolic product.
+            (Sim::Mat { pat: pa, loc: la }, Sim::Mat { pat: pb, loc: lb }) => {
+                let product = SymbolicProduct::plan(pb, pa);
+                let out_pat = Arc::clone(product.out_pattern());
+                let flops = product.flops();
+                self.spgemm_flops += flops;
+                stage.flops += flops;
+                stage.max_instr_flops = stage.max_instr_flops.max(flops);
+                let plan = self.plans.len();
+                self.plans.push(product);
+                let dst = self.alloc(BufferSpec::Matrix(Arc::clone(&out_pat)));
+                stage.instrs.push(Instr::Spgemm {
+                    plan,
+                    lhs: *lb,
+                    rhs: *la,
+                    dst,
+                });
+                Sim::Mat {
+                    pat: out_pat,
+                    loc: Loc::Buf(dst),
+                }
+            }
+            (Sim::Mat { .. }, Sim::Vec { .. }) | (Sim::Vec { .. }, Sim::Vec { .. }) => {
+                unreachable!("plan: a vector may only appear as the left operand of ⊙")
+            }
+        }
+    }
+}
+
+/// Resolves a matrix operand location.
+///
+/// # Safety
+///
+/// `bufs` validity and non-aliasing as in `exec_instr`.
+unsafe fn resolve_mat<S: Scalar>(
+    loc: Loc,
+    chain: &JacobianChain<S>,
+    bufs: *const WorkBuf<S>,
+    bufs_len: usize,
+) -> &Csr<S> {
+    match loc {
+        Loc::Jacobian(i) => match &chain.jacobians()[i] {
+            ScanElement::Sparse(m) => m,
+            other => unreachable!("planned matrix operand is {other}"),
+        },
+        Loc::Buf(j) => {
+            debug_assert!(j < bufs_len);
+            match &*bufs.add(j) {
+                WorkBuf::Mat(m) => m,
+                WorkBuf::Vec(_) => unreachable!("matrix operand resolves to a vector buffer"),
+            }
+        }
+        Loc::Seed => unreachable!("matrix operand resolves to the seed"),
+    }
+}
+
+/// Resolves a vector operand location.
+///
+/// # Safety
+///
+/// `bufs` validity and non-aliasing as in `exec_instr`.
+unsafe fn resolve_vec<S: Scalar>(
+    loc: Loc,
+    chain: &JacobianChain<S>,
+    bufs: *const WorkBuf<S>,
+    bufs_len: usize,
+) -> &Vector<S> {
+    match loc {
+        Loc::Seed => chain.seed(),
+        Loc::Buf(j) => {
+            debug_assert!(j < bufs_len);
+            match &*bufs.add(j) {
+                WorkBuf::Vec(v) => v,
+                WorkBuf::Mat(_) => unreachable!("vector operand resolves to a matrix buffer"),
+            }
+        }
+        Loc::Jacobian(_) => unreachable!("vector operand resolves to a Jacobian"),
     }
 }
 
@@ -315,17 +911,32 @@ mod tests {
     }
 
     #[test]
-    fn plan_reuses_across_value_changes() {
-        // The whole point: same patterns, new values, no re-planning.
+    fn workspace_reuse_matches_fresh_execution() {
+        let chain = sparse_chain(17, 23);
+        let plan = PlannedScan::plan(&chain, BppsaOptions::serial());
+        let mut ws = plan.workspace::<f64>();
+        let reference = bppsa_backward(&chain, BppsaOptions::serial());
+        for round in 0..4 {
+            let out = plan.execute_with(&chain, &mut ws);
+            let diff = out.max_abs_diff(&reference);
+            assert!(diff < 1e-12, "round {round}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_tracks_value_changes() {
+        // The whole point: same patterns, new values, same plan + workspace.
         let chain = sparse_chain(12, 9);
         let plan = PlannedScan::plan(&chain, BppsaOptions::serial());
+        let mut ws = plan.workspace::<f64>();
+        let _ = plan.execute_with(&chain, &mut ws);
         let mut chain2 = JacobianChain::new(chain.seed().scaled(2.0));
         for jt in chain.jacobians() {
             if let ScanElement::Sparse(m) = jt {
                 chain2.push(ScanElement::Sparse(m.map_values(|v| v * 0.5 - 0.1)));
             }
         }
-        let planned = plan.execute(&chain2);
+        let planned = plan.execute_with(&chain2, &mut ws).clone();
         let reference = bppsa_backward(&chain2, BppsaOptions::serial());
         assert!(planned.max_abs_diff(&reference) < 1e-12);
     }
@@ -345,20 +956,50 @@ mod tests {
     fn plan_accounting_is_consistent() {
         let chain = sparse_chain(15, 13);
         let plan = PlannedScan::plan(&chain, BppsaOptions::serial());
-        // 16-element array: up-sweep has 8+4+2 = 14 combines; the leftmost
-        // pair of level 0 is an SpMV, deeper leftmost pairs fold the vector.
         let schedule = plan.schedule();
+        // Up-sweep: exactly one instruction per schedule pair (identities
+        // never appear there), and matrix products occur *only* there.
         let up_pairs: usize = schedule.up_levels().iter().map(Vec::len).sum();
-        assert_eq!(plan.planned_products() + count_spmv(&plan), up_pairs);
+        let up_instrs: usize = plan
+            .stages
+            .iter()
+            .filter(|st| matches!(st.phase, PhaseKind::UpSweep))
+            .map(|st| st.instrs.len())
+            .sum();
+        assert_eq!(up_instrs, up_pairs);
+        let up_products: usize = plan
+            .stages
+            .iter()
+            .filter(|st| matches!(st.phase, PhaseKind::UpSweep))
+            .flat_map(|st| &st.instrs)
+            .filter(|i| matches!(i, Instr::Spgemm { .. }))
+            .count();
+        assert_eq!(up_products, plan.planned_products());
+        // Every instruction writes exactly one fresh buffer (SSA).
+        let total_instrs: usize = plan.stages.iter().map(|st| st.instrs.len()).sum();
+        assert_eq!(total_instrs, plan.buffers.len());
+        assert_eq!(total_instrs, plan.planned_products() + plan.planned_spmvs());
         assert!(plan.spgemm_flops() > 0);
+        assert!(plan.workspace_bytes::<f64>() > 0);
     }
 
-    fn count_spmv(plan: &PlannedScan) -> usize {
-        plan.up_plans
-            .iter()
-            .flatten()
-            .filter(|p| matches!(p, PlannedCombine::Spmv))
-            .count()
+    #[test]
+    fn cache_retains_alternating_shapes() {
+        // The epoch-end remainder-batch pattern: full shape, small shape,
+        // full shape, … must plan each shape once, not thrash.
+        let full = sparse_chain(12, 21);
+        let remainder = sparse_chain(7, 22);
+        let mut cache = PlannedBackwardCache::<f64>::new();
+        for _ in 0..3 {
+            let _ = cache.backward(&full, BppsaOptions::serial());
+            let _ = cache.backward(&remainder, BppsaOptions::serial());
+        }
+        assert_eq!(cache.plans_built(), 2);
+        assert_eq!(cache.cached_plans(), 2);
+        // Results stay correct for both shapes.
+        let out = cache.backward(&full, BppsaOptions::serial()).clone();
+        let reference = bppsa_backward(&full, BppsaOptions::serial());
+        assert!(out.max_abs_diff(&reference) < 1e-12);
     }
 
     #[test]
@@ -376,5 +1017,44 @@ mod tests {
         let plan = PlannedScan::plan(&chain, BppsaOptions::serial());
         let other = sparse_chain(9, 18);
         let _ = plan.execute(&other);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "pattern does not match the plan")]
+    fn wrong_pattern_same_shape_chain_is_rejected_in_debug() {
+        // Same shapes, different sparsity pattern: the shape-only check of
+        // the old `pattern_matches` used to accept this silently.
+        let mut chain = JacobianChain::new(Vector::from_vec(vec![1.0f64, 2.0]));
+        chain.push(ScanElement::Sparse(Csr::from_dense(
+            &bppsa_tensor::Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]),
+        )));
+        let plan = PlannedScan::plan(&chain, BppsaOptions::serial());
+        let mut other = JacobianChain::new(Vector::from_vec(vec![1.0f64, 2.0]));
+        other.push(ScanElement::Sparse(Csr::from_dense(
+            &bppsa_tensor::Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]),
+        )));
+        let _ = plan.execute(&other);
+    }
+
+    #[test]
+    #[should_panic(expected = "different plan")]
+    fn workspace_from_another_plan_is_rejected() {
+        let chain = sparse_chain(6, 31);
+        let plan_a = PlannedScan::plan(&chain, BppsaOptions::serial());
+        let plan_b = PlannedScan::plan(&chain, BppsaOptions::serial());
+        let mut ws = plan_b.workspace::<f64>();
+        let _ = plan_a.execute_with(&chain, &mut ws);
+    }
+
+    #[test]
+    fn single_layer_chain_returns_seed() {
+        let mut chain = JacobianChain::new(Vector::from_vec(vec![2.0f64, -1.0]));
+        chain.push(ScanElement::Sparse(Csr::from_diagonal(&[3.0, 4.0])));
+        let plan = PlannedScan::plan(&chain, BppsaOptions::serial());
+        let mut ws = plan.workspace::<f64>();
+        let out = plan.execute_with(&chain, &mut ws);
+        assert_eq!(out.grads().len(), 1);
+        assert_eq!(out.grad_x(1).as_slice(), &[2.0, -1.0]);
     }
 }

@@ -1,0 +1,137 @@
+//! Tier-1 allocation-behavior test: the steady-state planned backward pass
+//! must be **zero-allocation**.
+//!
+//! A counting global allocator wraps `System`; after warm-up, a serial
+//! [`PlannedScan::execute_with`] over a reused [`ScanWorkspace`] must
+//! perform 0 allocations and 0 deallocations. The pooled executor is
+//! allowed exactly its documented overhead: one batch-header allocation
+//! per parallel fan-out (and nothing proportional to chain size or nnz).
+//!
+//! This file intentionally contains a single `#[test]` so no concurrent
+//! test thread can pollute the process-wide counters.
+
+use bppsa_core::{BppsaOptions, JacobianChain, PlannedScan, ScanElement};
+use bppsa_sparse::Csr;
+use bppsa_tensor::init::{seeded_rng, uniform_vector};
+use bppsa_tensor::Matrix;
+use rand::Rng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static TRACKING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if TRACKING.load(Ordering::Relaxed) {
+            DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` with counting enabled, returning `(allocs, deallocs)`.
+fn counted(f: impl FnOnce()) -> (u64, u64) {
+    ALLOCS.store(0, Ordering::SeqCst);
+    DEALLOCS.store(0, Ordering::SeqCst);
+    TRACKING.store(true, Ordering::SeqCst);
+    f();
+    TRACKING.store(false, Ordering::SeqCst);
+    (
+        ALLOCS.load(Ordering::SeqCst),
+        DEALLOCS.load(Ordering::SeqCst),
+    )
+}
+
+fn sparse_chain(n: usize, width: usize, seed: u64) -> JacobianChain<f64> {
+    let mut rng = seeded_rng(seed);
+    let mut chain = JacobianChain::new(uniform_vector(&mut rng, width, 1.0));
+    for _ in 0..n {
+        let dense = Matrix::from_fn(width, width, |_, _| {
+            if rng.random_range(0.0..1.0) < 0.3 {
+                rng.random_range(-1.0..1.0)
+            } else {
+                0.0
+            }
+        });
+        chain.push(ScanElement::Sparse(Csr::from_dense(&dense)));
+    }
+    chain
+}
+
+#[test]
+fn steady_state_planned_backward_is_allocation_free() {
+    let chain = sparse_chain(24, 12, 7);
+
+    // --- Serial executor: strictly zero heap traffic in the steady state.
+    let plan = PlannedScan::plan(&chain, BppsaOptions::serial());
+    let mut ws = plan.workspace::<f64>();
+    // Warm-up: first calls may grow buffers to steady-state capacity.
+    let reference = plan.execute_with(&chain, &mut ws).clone();
+    let _ = plan.execute_with(&chain, &mut ws);
+
+    let (allocs, deallocs) = counted(|| {
+        let _ = plan.execute_with(&chain, &mut ws);
+    });
+    assert_eq!(
+        (allocs, deallocs),
+        (0, 0),
+        "steady-state serial execute_with must not touch the heap"
+    );
+
+    // Still correct after the counted run.
+    let diff = plan.execute_with(&chain, &mut ws).max_abs_diff(&reference);
+    assert!(diff < 1e-12, "diff {diff}");
+
+    // --- Pooled executor: only the worker pool's per-fan-out batch header
+    // is permitted — a small constant per stage, nothing proportional to
+    // the chain length or matrix sizes.
+    let pooled = PlannedScan::plan(&chain, BppsaOptions::pooled());
+    let mut pws = pooled.workspace::<f64>();
+    let _ = pooled.execute_with(&chain, &mut pws); // spawns/warms the pool
+    let _ = pooled.execute_with(&chain, &mut pws);
+
+    let stages = 2 * pooled.schedule().up_levels().len() + 2;
+    let (pallocs, _pdeallocs) = counted(|| {
+        let _ = pooled.execute_with(&chain, &mut pws);
+    });
+    let budget = 4 * stages as u64;
+    assert!(
+        pallocs <= budget,
+        "pooled execute_with allocated {pallocs} times (budget {budget})"
+    );
+    let diff = pooled
+        .execute_with(&chain, &mut pws)
+        .max_abs_diff(&reference);
+    assert!(diff < 1e-12, "pooled diff {diff}");
+
+    // --- Contrast: the allocating execute() path heap-allocates every call
+    // (that is exactly what the workspace API removes).
+    let (legacy_allocs, _) = counted(|| {
+        let _ = plan.execute(&chain);
+    });
+    assert!(
+        legacy_allocs > 0,
+        "sanity: the non-workspace path should allocate"
+    );
+}

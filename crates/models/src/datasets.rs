@@ -137,9 +137,9 @@ impl<S: Scalar> SyntheticCifar<S> {
             .map(|k| {
                 let label = k % Self::NUM_CLASSES;
                 let mut data = Vec::with_capacity(numel);
-                for j in 0..numel {
+                for &mean in &means[label] {
                     let noise: f64 = bppsa_tensor::init::normal(&mut rng);
-                    data.push(S::from_f64(means[label][j] + noise_std * noise));
+                    data.push(S::from_f64(mean + noise_std * noise));
                 }
                 ImageSample {
                     image: Tensor::from_vec(vec![3, size, size], data),
@@ -162,8 +162,7 @@ impl<S: Scalar> SyntheticCifar<S> {
                 for y in 0..size {
                     for x in 0..size {
                         let v = amp
-                            * ((fx * x as f64 / size as f64
-                                + fy * y as f64 / size as f64)
+                            * ((fx * x as f64 / size as f64 + fy * y as f64 / size as f64)
                                 * std::f64::consts::TAU
                                 + phase)
                                 .cos();

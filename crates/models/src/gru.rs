@@ -22,7 +22,7 @@
 //!
 //! validated against finite differences, BPTT, and the scan in the tests.
 
-use bppsa_core::{bppsa_backward, BppsaOptions, JacobianChain, ScanElement};
+use bppsa_core::{bppsa_backward, BppsaOptions, JacobianChain, PlannedBackwardCache, ScanElement};
 use bppsa_ops::SoftmaxCrossEntropy;
 use bppsa_tensor::{init, Matrix, Scalar, Vector};
 use rand::rngs::StdRng;
@@ -131,9 +131,7 @@ impl<S: Scalar> Gru<S> {
         let ns = Vector::from_fn(h_dim, |i| {
             (self.wn[i] * x + self.bnx[i] + rs[i] * un_h[i]).tanh()
         });
-        let h = Vector::from_fn(h_dim, |i| {
-            (S::ONE - zs[i]) * ns[i] + zs[i] * h_prev[i]
-        });
+        let h = Vector::from_fn(h_dim, |i| (S::ONE - zs[i]) * ns[i] + zs[i] * h_prev[i]);
         GruStep {
             z: zs,
             r: rs,
@@ -183,9 +181,7 @@ impl<S: Scalar> Gru<S> {
         let dn_scale = Vector::from_fn(h_dim, |j| {
             (S::ONE - step.z[j]) * (S::ONE - step.n[j] * step.n[j])
         });
-        let dr = Vector::from_fn(h_dim, |j| {
-            step.un_h[j] * step.r[j] * (S::ONE - step.r[j])
-        });
+        let dr = Vector::from_fn(h_dim, |j| step.un_h[j] * step.r[j] * (S::ONE - step.r[j]));
         // J[j][i] = ∂h_t[j]/∂h_prev[i]; we emit Jᵀ[i][j] directly.
         Matrix::from_fn(h_dim, h_dim, |i, j| {
             let mut v = dz[j] * self.uz.get(j, i)
@@ -221,17 +217,57 @@ impl<S: Scalar> Gru<S> {
         seed: &Vector<S>,
         opts: BppsaOptions,
     ) -> Vec<Vector<S>> {
-        let h_dim = self.hidden_size();
-        let zero = Vector::zeros(h_dim);
-        let mut chain = JacobianChain::new(seed.clone());
-        for (t, step) in steps.iter().enumerate() {
-            let h_prev = if t == 0 { &zero } else { &steps[t - 1].h };
-            chain.push(ScanElement::Dense(self.hidden_jacobian_t(step, h_prev)));
-        }
+        let chain = self.build_hidden_chain(steps, seed, false);
         let result = bppsa_backward(&chain, opts);
         (0..steps.len())
             .map(|t| result.grad_x(t + 1).clone())
             .collect()
+    }
+
+    /// [`Gru::hidden_grads_bppsa`] through a plan/workspace cache: the chain
+    /// enters the scan as CSR with the (dense, hence trivially
+    /// deterministic) full pattern, so the whole backward pass re-executes
+    /// as a numeric-only program over reused buffers every iteration.
+    ///
+    /// Unlike the RNN's `FusedPlannedState` path, the chain itself is still
+    /// rebuilt (allocated) per call here, and the cache's match check falls
+    /// back to a structural pattern compare; hoisting the GRU chain the
+    /// same way is future work.
+    pub fn hidden_grads_bppsa_planned(
+        &self,
+        steps: &[GruStep<S>],
+        seed: &Vector<S>,
+        opts: BppsaOptions,
+        cache: &mut PlannedBackwardCache<S>,
+    ) -> Vec<Vector<S>> {
+        let chain = self.build_hidden_chain(steps, seed, true);
+        let result = cache.backward(&chain, opts);
+        (0..steps.len())
+            .map(|t| result.grad_x(t + 1).clone())
+            .collect()
+    }
+
+    /// Builds the Equation-5 chain over the per-step hidden Jacobians
+    /// (`h_{-1} = 0`), as dense elements or as full-pattern CSR (the
+    /// plannable representation).
+    fn build_hidden_chain(
+        &self,
+        steps: &[GruStep<S>],
+        seed: &Vector<S>,
+        sparse: bool,
+    ) -> JacobianChain<S> {
+        let zero = Vector::zeros(self.hidden_size());
+        let mut chain = JacobianChain::new(seed.clone());
+        for (t, step) in steps.iter().enumerate() {
+            let h_prev = if t == 0 { &zero } else { &steps[t - 1].h };
+            let jt = self.hidden_jacobian_t(step, h_prev);
+            chain.push(if sparse {
+                ScanElement::Sparse(bppsa_sparse::Csr::from_dense_pattern(&jt))
+            } else {
+                ScanElement::Dense(jt)
+            });
+        }
+        chain
     }
 }
 
@@ -248,6 +284,25 @@ mod tests {
     fn xs(t: usize, seed: u64) -> Vec<f64> {
         let mut rng = seeded_rng(seed);
         (0..t).map(|_| rng.random_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn planned_hidden_grads_match_bptt() {
+        let g = gru(21);
+        let x = xs(40, 22);
+        let steps = g.forward(&x);
+        let (_, seed) = g.loss_and_seed(&steps, 1);
+        let bptt = g.hidden_grads_bptt(&steps, &seed);
+        let mut cache = PlannedBackwardCache::new();
+        for round in 0..3 {
+            let planned =
+                g.hidden_grads_bppsa_planned(&steps, &seed, BppsaOptions::serial(), &mut cache);
+            for (t, (a, b)) in bptt.iter().zip(&planned).enumerate() {
+                let diff = a.max_abs_diff(b);
+                assert!(diff < 1e-9, "round {round} t={t}: diff {diff}");
+            }
+        }
+        assert_eq!(cache.plans_built(), 1);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! [`VanillaRnn::backward_bppsa`] (chain → modified Blelloch scan →
 //! Equation 2 parameter accumulation, which has no sequential dependency).
 
-use bppsa_core::{bppsa_backward, BppsaOptions, JacobianChain, ScanElement};
+use bppsa_core::{
+    bppsa_backward, BppsaOptions, JacobianChain, Mru, PlannedBackwardCache, ScanElement,
+};
 use bppsa_ops::SoftmaxCrossEntropy;
 use bppsa_tensor::{init, Matrix, Scalar, Vector};
 use rand::rngs::StdRng;
@@ -45,6 +47,10 @@ pub struct VanillaRnn<S> {
 
 /// The recorded hidden states `h_0 … h_{T−1}` of one forward pass.
 pub type RnnStates<S> = Vec<Vector<S>>;
+
+/// One prepared sample of a fused mini-batch backward:
+/// `(bits, states, seed, ∇logits)` with the seeds pre-scaled by `1/B`.
+pub type RnnBatchSample<'a, S> = (&'a [S], &'a RnnStates<S>, Vector<S>, Vector<S>);
 
 /// Gradients of all RNN parameters, in [`VanillaRnn::params`] layout.
 #[derive(Debug, Clone)]
@@ -103,6 +109,42 @@ impl<S: Scalar> RnnGrads<S> {
         a.iter()
             .zip(&b)
             .fold(S::ZERO, |acc, (&x, &y)| acc.maximum((x - y).abs()))
+    }
+}
+
+/// Persistent state for the fused planned backward: the reusable
+/// block-diagonal chain (patterns shared across iterations) plus the
+/// plan/workspace cache. One per training loop; see
+/// [`VanillaRnn::backward_bppsa_batched_planned`].
+#[derive(Debug, Default)]
+pub struct FusedPlannedState<S> {
+    /// Reusable chains keyed by `(batch, timesteps, hidden)` — one per
+    /// mini-batch shape (e.g. the full shape plus the epoch-end remainder),
+    /// so alternating shapes refresh values instead of rebuilding. Shares
+    /// the plan cache's MRU policy and capacity, so a shape's chain and its
+    /// plan/workspace are retained and evicted together.
+    chains: Mru<((usize, usize, usize), JacobianChain<S>)>,
+    cache: PlannedBackwardCache<S>,
+}
+
+impl<S: Scalar> FusedPlannedState<S> {
+    /// An empty state (builds chain and plan on first use).
+    pub fn new() -> Self {
+        Self {
+            chains: Mru::default(),
+            cache: PlannedBackwardCache::new(),
+        }
+    }
+
+    /// How many plans have been built — the number of distinct batch
+    /// shapes seen.
+    pub fn plans_built(&self) -> usize {
+        self.cache.plans_built()
+    }
+
+    /// Number of currently cached plan/workspace pairs.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.cached_plans()
     }
 }
 
@@ -216,6 +258,23 @@ impl<S: Scalar> VanillaRnn<S> {
         })
     }
 
+    /// Writes [`VanillaRnn::hidden_jacobian_t`]'s values row-major into a
+    /// caller-owned slice — the allocation-free refresh used when a fused
+    /// chain's block values are rewritten in place between iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != hidden² `.
+    pub fn fill_hidden_jacobian_values(&self, h_t: &Vector<S>, out: &mut [S]) {
+        let h_dim = self.hidden_size();
+        assert_eq!(out.len(), h_dim * h_dim, "fill_hidden_jacobian_values");
+        for i in 0..h_dim {
+            for (j, o) in out[i * h_dim..(i + 1) * h_dim].iter_mut().enumerate() {
+                *o = self.whh.get(j, i) * (S::ONE - h_t[j] * h_t[j]);
+            }
+        }
+    }
+
     /// Builds the Equation 5 chain for the hidden-state recurrence: seed
     /// `∇h_{T−1}` plus `T` Jacobians (`t = 0 … T−1`; the `t = 0` element
     /// only pads the array — exclusive scans never emit `∇h_{−1}`).
@@ -277,17 +336,101 @@ impl<S: Scalar> VanillaRnn<S> {
     /// Panics if the batch is empty or sequences have unequal lengths.
     pub fn backward_bppsa_batched(
         &self,
-        batch: &[(&[S], &RnnStates<S>, Vector<S>, Vector<S>)],
+        batch: &[RnnBatchSample<'_, S>],
         opts: BppsaOptions,
     ) -> RnnGrads<S> {
+        let chain = self.build_batched_chain(batch);
+        let result = bppsa_backward(&chain, opts);
+        self.accumulate_batched_grads(batch, &result)
+    }
+
+    /// [`VanillaRnn::backward_bppsa_batched`] through persistent
+    /// [`FusedPlannedState`]: the symbolic phase of every scan combine runs
+    /// once (on the first mini-batch of each shape) and each subsequent
+    /// iteration refreshes the reused chain's *values* in place and
+    /// executes the numeric-only program over reused buffers — the paper's
+    /// §3.3 hoisting applied to the whole training loop, with no
+    /// per-iteration chain reconstruction.
+    pub fn backward_bppsa_batched_planned(
+        &self,
+        batch: &[RnnBatchSample<'_, S>],
+        opts: BppsaOptions,
+        state: &mut FusedPlannedState<S>,
+    ) -> RnnGrads<S> {
+        let result = self.fused_planned_scan(batch, opts, state);
+        self.accumulate_batched_grads(batch, result)
+    }
+
+    /// The scan half of [`VanillaRnn::backward_bppsa_batched_planned`]:
+    /// refresh (or build) the fused chain and run the planned backward.
+    /// Allocation-free in the steady state — the chain, its patterns, the
+    /// plan, and the workspace all persist inside `state`.
+    pub fn fused_planned_scan<'s>(
+        &self,
+        batch: &[RnnBatchSample<'_, S>],
+        opts: BppsaOptions,
+        state: &'s mut FusedPlannedState<S>,
+    ) -> &'s bppsa_core::BackwardResult<S> {
         assert!(!batch.is_empty(), "batched backward: empty batch");
         let t_len = batch[0].1.len();
         assert!(
-            batch.iter().all(|(bits, states, _, _)| states.len() == t_len
-                && bits.len() == t_len),
+            batch
+                .iter()
+                .all(|(bits, states, _, _)| states.len() == t_len && bits.len() == t_len),
             "batched backward: unequal sequence lengths"
         );
         let h_dim = self.hidden_size();
+        let shape = (batch.len(), t_len, h_dim);
+
+        let FusedPlannedState { chains, cache } = state;
+        let ((_, chain), inserted) = chains.find_or_insert_with(
+            |(sh, _)| *sh == shape,
+            || (shape, self.build_batched_chain(batch)),
+        );
+        if !inserted {
+            // Same structure: rewrite seed and block values in place. The
+            // chain's Arc patterns stay identical across iterations, so the
+            // plan cache's match check is pointer equality.
+            let seed = chain.seed_mut().as_mut_slice();
+            for (k, (_, _, sample_seed, _)) in batch.iter().enumerate() {
+                seed[k * h_dim..(k + 1) * h_dim].copy_from_slice(sample_seed.as_slice());
+            }
+            let block = h_dim * h_dim;
+            for (t, element) in chain.jacobians_mut().iter_mut().enumerate() {
+                let ScanElement::Sparse(m) = element else {
+                    unreachable!("fused chain elements are CSR")
+                };
+                let data = m.data_mut();
+                for (k, (_, states, _, _)) in batch.iter().enumerate() {
+                    self.fill_hidden_jacobian_values(
+                        &states[t],
+                        &mut data[k * block..(k + 1) * block],
+                    );
+                }
+            }
+        }
+
+        cache.backward(chain, opts)
+    }
+
+    /// Builds the fused mini-batch chain: concatenated seeds plus one
+    /// block-diagonal CSR element per timestep. The per-sample blocks use
+    /// [`Csr::from_dense_pattern`](bppsa_sparse::Csr::from_dense_pattern),
+    /// so the pattern depends only on `(B, T, hidden)` — deterministic
+    /// across iterations, which is what makes the chain plannable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or sequences have unequal lengths.
+    pub fn build_batched_chain(&self, batch: &[RnnBatchSample<'_, S>]) -> JacobianChain<S> {
+        assert!(!batch.is_empty(), "batched backward: empty batch");
+        let t_len = batch[0].1.len();
+        assert!(
+            batch
+                .iter()
+                .all(|(bits, states, _, _)| states.len() == t_len && bits.len() == t_len),
+            "batched backward: unequal sequence lengths"
+        );
 
         // Seed: concatenation of per-sample seeds.
         let seeds: Vec<&Vector<S>> = batch.iter().map(|(_, _, s, _)| s).collect();
@@ -303,11 +446,23 @@ impl<S: Scalar> VanillaRnn<S> {
             let refs: Vec<&bppsa_sparse::Csr<S>> = blocks.iter().collect();
             chain.push(ScanElement::Sparse(bppsa_sparse::Csr::block_diag(&refs)));
         }
+        chain
+    }
 
-        let result = bppsa_backward(&chain, opts);
+    /// Accumulates parameter gradients across the batch from the fused
+    /// scan's per-timestep hidden-state gradients (Equation 2).
+    fn accumulate_batched_grads(
+        &self,
+        batch: &[RnnBatchSample<'_, S>],
+        result: &bppsa_core::BackwardResult<S>,
+    ) -> RnnGrads<S> {
+        let t_len = batch[0].1.len();
+        let h_dim = self.hidden_size();
         let mut grads = RnnGrads::zeros(self.input_dim, h_dim, self.num_classes());
         for (k, (bits, states, _, g_logits)) in batch.iter().enumerate() {
-            grads.d_wout.axpy(S::ONE, &g_logits.outer(states.last().expect("nonempty")));
+            grads
+                .d_wout
+                .axpy(S::ONE, &g_logits.outer(states.last().expect("nonempty")));
             grads.d_bout.axpy(S::ONE, g_logits);
             for t in 0..t_len {
                 let h_t = &states[t];
@@ -388,7 +543,13 @@ mod tests {
         let mut rng = seeded_rng(seed);
         use rand::Rng;
         (0..t)
-            .map(|_| if rng.random_range(0.0..1.0) < 0.4 { 1.0 } else { 0.0 })
+            .map(|_| {
+                if rng.random_range(0.0..1.0) < 0.4 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 
@@ -518,8 +679,20 @@ mod tests {
             batch.push((xs.as_slice(), states, seed.clone(), g_logits.clone()));
         }
         let batched = rnn.backward_bppsa_batched(&batch, BppsaOptions::serial());
-        let diff = batched.max_abs_diff(&expected.unwrap());
+        let expected = expected.unwrap();
+        let diff = batched.max_abs_diff(&expected);
         assert!(diff < 1e-10, "diff {diff}");
+
+        // The planned/workspace-backed path agrees too, and plans once
+        // across repeated executions.
+        let mut state = FusedPlannedState::new();
+        for round in 0..3 {
+            let planned =
+                rnn.backward_bppsa_batched_planned(&batch, BppsaOptions::serial(), &mut state);
+            let diff = planned.max_abs_diff(&expected);
+            assert!(diff < 1e-10, "round {round}: diff {diff}");
+        }
+        assert_eq!(state.plans_built(), 1);
     }
 
     #[test]

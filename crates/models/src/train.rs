@@ -6,7 +6,7 @@
 
 use crate::datasets::{BitstreamDataset, SyntheticCifar};
 use crate::optim::Optimizer;
-use crate::rnn::{RnnGrads, VanillaRnn};
+use crate::rnn::{FusedPlannedState, RnnGrads, VanillaRnn};
 use bppsa_core::{BppsaOptions, JacobianRepr, Network};
 use bppsa_ops::SoftmaxCrossEntropy;
 use bppsa_tensor::Scalar;
@@ -29,6 +29,17 @@ pub enum BackwardMethod {
     /// ([`VanillaRnn::backward_bppsa_batched`]). Ignored (treated as
     /// [`BackwardMethod::Bppsa`]) by feed-forward training loops.
     BppsaFused {
+        /// Scan execution options.
+        opts: BppsaOptions,
+    },
+    /// Batched BPPSA through persistent [`FusedPlannedState`]: the fused
+    /// mini-batch scan is symbolically planned once per batch shape (§3.3
+    /// hoisting over the whole training run) and every iteration refreshes
+    /// the reused chain in place and re-executes the numeric-only program
+    /// over a reused, allocation-free workspace
+    /// ([`VanillaRnn::backward_bppsa_batched_planned`]). Ignored (treated
+    /// as [`BackwardMethod::Bppsa`]) by feed-forward training loops.
+    BppsaFusedPlanned {
         /// Scan execution options.
         opts: BppsaOptions,
     },
@@ -56,6 +67,12 @@ impl BackwardMethod {
     /// mini-batch instead of one scan per sample.
     pub fn bppsa_fused(opts: BppsaOptions) -> Self {
         BackwardMethod::BppsaFused { opts }
+    }
+
+    /// Fused batched BPPSA with plan-once/execute-many workspace reuse (RNN
+    /// loops only) — the steady-state fast path for training.
+    pub fn bppsa_fused_planned(opts: BppsaOptions) -> Self {
+        BackwardMethod::BppsaFusedPlanned { opts }
     }
 }
 
@@ -102,7 +119,11 @@ impl TrainLog {
     ///
     /// Panics if the logs have different lengths.
     pub fn max_loss_gap(&self, other: &TrainLog) -> f64 {
-        assert_eq!(self.records.len(), other.records.len(), "log length mismatch");
+        assert_eq!(
+            self.records.len(),
+            other.records.len(),
+            "log length mismatch"
+        );
         self.records
             .iter()
             .zip(&other.records)
@@ -140,7 +161,7 @@ pub fn network_batch_step<S: Scalar>(
         let grads = match method {
             BackwardMethod::Bp => net.backward_bp(&tape, &seed),
             BackwardMethod::Bppsa { opts, repr } => net.backward_bppsa(&tape, &seed, repr, opts),
-            BackwardMethod::BppsaFused { opts } => {
+            BackwardMethod::BppsaFused { opts } | BackwardMethod::BppsaFusedPlanned { opts } => {
                 net.backward_bppsa(&tape, &seed, JacobianRepr::Sparse, opts)
             }
         };
@@ -230,15 +251,34 @@ pub fn evaluate_network<S: Scalar>(net: &Network<S>, data: &SyntheticCifar<S>) -
 /// Runs one RNN mini-batch step. Returns `(mean loss, summed grads,
 /// backward seconds)`; seeds are pre-scaled by `1/B` so the sum is the
 /// batch-mean gradient.
+///
+/// For [`BackwardMethod::BppsaFusedPlanned`] the plan/workspace state lives
+/// only for this call; training loops should use
+/// [`rnn_batch_step_cached`] so the plan amortizes across iterations.
 pub fn rnn_batch_step<S: Scalar>(
     rnn: &VanillaRnn<S>,
     data: &BitstreamDataset<S>,
     indices: std::ops::Range<usize>,
     method: BackwardMethod,
 ) -> (f64, RnnGrads<S>, f64) {
+    let mut state = FusedPlannedState::new();
+    rnn_batch_step_cached(rnn, data, indices, method, &mut state)
+}
+
+/// [`rnn_batch_step`] with caller-owned [`FusedPlannedState`], so the
+/// fused-planned backward re-plans (and re-builds its chain) only when the
+/// mini-batch shape changes.
+pub fn rnn_batch_step_cached<S: Scalar>(
+    rnn: &VanillaRnn<S>,
+    data: &BitstreamDataset<S>,
+    indices: std::ops::Range<usize>,
+    method: BackwardMethod,
+    state: &mut FusedPlannedState<S>,
+) -> (f64, RnnGrads<S>, f64) {
     assert!(!indices.is_empty(), "empty batch");
     let inv_b = S::ONE / S::from_usize(indices.len());
-    if let BackwardMethod::BppsaFused { opts } = method {
+    if let BackwardMethod::BppsaFused { opts } | BackwardMethod::BppsaFusedPlanned { opts } = method
+    {
         // One block-diagonal scan for the whole mini-batch.
         let mut total_loss = S::ZERO;
         let mut prepared = Vec::with_capacity(indices.len());
@@ -254,12 +294,16 @@ pub fn rnn_batch_step<S: Scalar>(
                 g_logits.scaled(inv_b),
             ));
         }
-        let batch: Vec<(&[S], &crate::RnnStates<S>, bppsa_tensor::Vector<S>, bppsa_tensor::Vector<S>)> = prepared
+        let batch: Vec<crate::rnn::RnnBatchSample<'_, S>> = prepared
             .iter()
             .map(|(bits, states, seed, g)| (*bits, states, seed.clone(), g.clone()))
             .collect();
         let t0 = Instant::now();
-        let grads = rnn.backward_bppsa_batched(&batch, opts);
+        let grads = if matches!(method, BackwardMethod::BppsaFusedPlanned { .. }) {
+            rnn.backward_bppsa_batched_planned(&batch, opts, state)
+        } else {
+            rnn.backward_bppsa_batched(&batch, opts)
+        };
         let backward_s = t0.elapsed().as_secs_f64();
         return ((total_loss * inv_b).to_f64(), grads, backward_s);
     }
@@ -281,7 +325,9 @@ pub fn rnn_batch_step<S: Scalar>(
             BackwardMethod::Bppsa { opts, .. } => {
                 rnn.backward_bppsa(&sample.bits, &states, &seed, &g_logits, opts)
             }
-            BackwardMethod::BppsaFused { .. } => unreachable!("handled above"),
+            BackwardMethod::BppsaFused { .. } | BackwardMethod::BppsaFusedPlanned { .. } => {
+                unreachable!("handled above")
+            }
         };
         backward_s += t0.elapsed().as_secs_f64();
 
@@ -311,9 +357,13 @@ pub fn train_rnn<S: Scalar>(
     let mut log = TrainLog::default();
     let start = Instant::now();
     let mut iteration = 0usize;
+    // One chain/plan/workspace state for the whole run: the fused-planned
+    // path performs its symbolic work once per mini-batch shape.
+    let mut state = FusedPlannedState::new();
     'outer: for _epoch in 0..epochs {
         for range in data.batches(batch_size).collect::<Vec<_>>() {
-            let (loss, grads, backward_s) = rnn_batch_step(rnn, data, range, method);
+            let (loss, grads, backward_s) =
+                rnn_batch_step_cached(rnn, data, range, method, &mut state);
             let mut params = rnn.params();
             optimizer.step(&mut params, &grads.flat());
             rnn.set_params(&params);
@@ -372,15 +422,8 @@ mod tests {
         let mut net = lenet_tiny::<f32>(&mut seeded_rng(0));
         let data = SyntheticCifar::<f32>::generate(64, 8, 0.1, 1);
         let mut opts = sgd_per_layer(&net, 0.03, 0.9);
-        let log = train_network_classifier(
-            &mut net,
-            &data,
-            &mut opts,
-            BackwardMethod::Bp,
-            16,
-            25,
-            None,
-        );
+        let log =
+            train_network_classifier(&mut net, &data, &mut opts, BackwardMethod::Bp, 16, 25, None);
         let first = log.records[0].loss;
         let last = log.final_loss();
         assert!(
@@ -412,15 +455,7 @@ mod tests {
         let data = BitstreamDataset::<f32>::generate(64, 24, 4);
         let mut rnn = VanillaRnn::<f32>::new(1, 12, 10, &mut seeded_rng(5));
         let mut opt = Adam::new(0.01);
-        let log = train_rnn(
-            &mut rnn,
-            &data,
-            &mut opt,
-            BackwardMethod::Bp,
-            16,
-            12,
-            None,
-        );
+        let log = train_rnn(&mut rnn, &data, &mut opt, BackwardMethod::Bp, 16, 12, None);
         assert!(
             log.final_loss() < log.records[0].loss,
             "{} → {}",
@@ -458,6 +493,54 @@ mod tests {
     }
 
     #[test]
+    fn fused_planned_training_matches_bptt_and_plans_once() {
+        // The workspace-backed steady-state path (Fig. 9 shape): identical
+        // trajectory to BPTT, with the symbolic phase hoisted out of the
+        // whole run.
+        let data = BitstreamDataset::<f32>::generate(24, 12, 77);
+        let run = |method: BackwardMethod| {
+            let mut rnn = VanillaRnn::<f32>::new(1, 6, 10, &mut seeded_rng(78));
+            let mut opt = Adam::new(0.005);
+            train_rnn(&mut rnn, &data, &mut opt, method, 6, 4, None)
+        };
+        let bptt = run(BackwardMethod::Bp);
+        let planned = run(BackwardMethod::bppsa_fused_planned(BppsaOptions::serial()));
+        assert!(bptt.max_loss_gap(&planned) < 1e-3);
+
+        // And the plan really is built once across a steady-shape run.
+        let rnn = VanillaRnn::<f32>::new(1, 6, 10, &mut seeded_rng(79));
+        let mut state = FusedPlannedState::<f32>::new();
+        for _ in 0..3 {
+            let _ = rnn_batch_step_cached(
+                &rnn,
+                &data,
+                0..6,
+                BackwardMethod::bppsa_fused_planned(BppsaOptions::serial()),
+                &mut state,
+            );
+        }
+        assert_eq!(state.plans_built(), 1);
+    }
+
+    #[test]
+    fn fused_planned_remainder_batches_plan_each_shape_once() {
+        // 20 samples at batch 6 → per-epoch batches of 6, 6, 6, 2: the
+        // full and remainder shapes must each plan once, with no
+        // re-planning across epochs.
+        let data = BitstreamDataset::<f32>::generate(20, 10, 81);
+        let rnn = VanillaRnn::<f32>::new(1, 5, 10, &mut seeded_rng(82));
+        let mut state = FusedPlannedState::<f32>::new();
+        let method = BackwardMethod::bppsa_fused_planned(BppsaOptions::serial());
+        for _epoch in 0..3 {
+            for range in data.batches(6).collect::<Vec<_>>() {
+                let _ = rnn_batch_step_cached(&rnn, &data, range, method, &mut state);
+            }
+        }
+        assert_eq!(state.plans_built(), 2);
+        assert_eq!(state.cached_plans(), 2);
+    }
+
+    #[test]
     fn max_iterations_caps_the_run() {
         let data = BitstreamDataset::<f32>::generate(64, 8, 8);
         let mut rnn = VanillaRnn::<f32>::new(1, 6, 10, &mut seeded_rng(9));
@@ -480,15 +563,7 @@ mod tests {
         let data = BitstreamDataset::<f32>::generate(60, 64, 10);
         let mut rnn = VanillaRnn::<f32>::new(1, 16, 10, &mut seeded_rng(11));
         let mut opt = Adam::new(0.01);
-        let _ = train_rnn(
-            &mut rnn,
-            &data,
-            &mut opt,
-            BackwardMethod::Bp,
-            12,
-            30,
-            None,
-        );
+        let _ = train_rnn(&mut rnn, &data, &mut opt, BackwardMethod::Bp, 12, 30, None);
         let acc = evaluate_rnn(&rnn, &data);
         assert!(acc > 0.2, "accuracy {acc} not above chance");
     }

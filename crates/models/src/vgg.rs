@@ -39,7 +39,7 @@ pub fn vgg11_conv_geometry(scale: usize) -> Vec<(usize, usize, (usize, usize))> 
 /// Panics if `scale` is not a positive multiple of 32.
 pub fn vgg11<S: Scalar>(scale: usize, rng: &mut StdRng) -> Network<S> {
     assert!(
-        scale >= 32 && scale % 32 == 0,
+        scale >= 32 && scale.is_multiple_of(32),
         "vgg11: scale must be a positive multiple of 32 (got {scale})"
     );
     let mut net = Network::new();
@@ -72,7 +72,10 @@ pub fn vgg11<S: Scalar>(scale: usize, rng: &mut StdRng) -> Network<S> {
 /// five pools valid, i.e. divisible by 32… for smaller scales the last
 /// pools are dropped).
 pub fn vgg11_convs<S: Scalar>(scale: usize, rng: &mut StdRng) -> Vec<Conv2d<S>> {
-    assert!(scale.is_power_of_two() && scale >= 8, "scale must be a power of two ≥ 8");
+    assert!(
+        scale.is_power_of_two() && scale >= 8,
+        "scale must be a power of two ≥ 8"
+    );
     let mut convs = Vec::with_capacity(8);
     let mut channels = 3usize;
     let mut hw = scale;

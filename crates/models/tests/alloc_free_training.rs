@@ -1,0 +1,83 @@
+//! Tier-1 allocation-behavior test for the *training* hot path: after
+//! warm-up, the fused planned backward's chain refresh + scan
+//! (`VanillaRnn::fused_planned_scan`) must be allocation-free — not just
+//! the scan kernels, but the per-iteration chain handling too.
+//!
+//! Single `#[test]` so no concurrent test thread pollutes the process-wide
+//! counters.
+
+use bppsa_core::BppsaOptions;
+use bppsa_models::{BitstreamDataset, FusedPlannedState, RnnBatchSample, VanillaRnn};
+use bppsa_tensor::init::seeded_rng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static TRACKING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_fused_planned_scan_is_allocation_free() {
+    let data = BitstreamDataset::<f64>::generate(12, 24, 3);
+    let rnn = VanillaRnn::<f64>::new(1, 10, 10, &mut seeded_rng(4));
+
+    // Prepare one mini-batch outside the counted region (forward passes and
+    // seed scaling allocate by design).
+    let prepared: Vec<_> = (0..6)
+        .map(|i| {
+            let sample = data.sample(i);
+            let states = rnn.forward(&sample.bits);
+            let (_, seed, g_logits) = rnn.loss_and_seed(&states, sample.label);
+            (sample.bits.clone(), states, seed, g_logits)
+        })
+        .collect();
+    let batch: Vec<RnnBatchSample<'_, f64>> = prepared
+        .iter()
+        .map(|(bits, states, seed, g)| (bits.as_slice(), states, seed.clone(), g.clone()))
+        .collect();
+
+    let mut state = FusedPlannedState::<f64>::new();
+    let opts = BppsaOptions::serial();
+    // Warm-up: builds the chain, the plan, and the workspace.
+    let reference = rnn.fused_planned_scan(&batch, opts, &mut state).clone();
+    let _ = rnn.fused_planned_scan(&batch, opts, &mut state);
+    assert_eq!(state.plans_built(), 1);
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    TRACKING.store(true, Ordering::SeqCst);
+    let _ = rnn.fused_planned_scan(&batch, opts, &mut state);
+    TRACKING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "steady-state fused_planned_scan (chain refresh + scan) must not allocate"
+    );
+
+    // Still correct after the counted run.
+    let out = rnn.fused_planned_scan(&batch, opts, &mut state);
+    assert!(out.max_abs_diff(&reference) < 1e-12);
+}

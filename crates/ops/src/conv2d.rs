@@ -163,13 +163,15 @@ impl<S: Scalar> Conv2d<S> {
         let sum_h: usize = (0..hi)
             .map(|iy| {
                 let (lo, hi_) = receptive_range(iy, ph, kh, sh, ho);
-                hi_.saturating_sub(lo).saturating_add(if lo <= hi_ { 1 } else { 0 })
+                hi_.saturating_sub(lo)
+                    .saturating_add(if lo <= hi_ { 1 } else { 0 })
             })
             .sum();
         let sum_w: usize = (0..wi)
             .map(|ix| {
                 let (lo, hi_) = receptive_range(ix, pw, kw, sw, wo);
-                hi_.saturating_sub(lo).saturating_add(if lo <= hi_ { 1 } else { 0 })
+                hi_.saturating_sub(lo)
+                    .saturating_add(if lo <= hi_ { 1 } else { 0 })
             })
             .sum();
         self.cfg.in_channels * self.cfg.out_channels * sum_h * sum_w
@@ -182,6 +184,7 @@ impl<S: Scalar> Conv2d<S> {
     ///
     /// Equivalent to `self.transposed_jacobian(..).pruned()` (tested), but
     /// generated directly in one sweep.
+    #[allow(clippy::needless_range_loop)] // iy/ix also feed the ky/kx arithmetic
     pub fn transposed_jacobian_pruned(&self) -> Csr<S> {
         let (ci, co) = (self.cfg.in_channels, self.cfg.out_channels);
         let (hi, wi) = self.cfg.input_hw;
@@ -338,6 +341,7 @@ impl<S: Scalar> Operator<S> for Conv2d<S> {
         gx
     }
 
+    #[allow(clippy::needless_range_loop)] // iy/ix also feed the ky/kx arithmetic
     fn transposed_jacobian(&self, input: &Tensor<S>, _output: &Tensor<S>) -> Csr<S> {
         check_input_shape("conv2d", &self.input_shape, input);
         let (ci, co) = (self.cfg.in_channels, self.cfg.out_channels);

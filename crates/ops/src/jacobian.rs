@@ -141,11 +141,7 @@ pub fn check_operator_consistency<S: Scalar>(op: &dyn Operator<S>, input: &Tenso
     let via_vjp = op.vjp(input, &output, &g);
     let via_jac = jt_analytic.spmv(&g);
     let diff = via_vjp.max_abs_diff(&via_jac);
-    assert!(
-        diff <= tol,
-        "{}: vjp vs J^T·g differ by {diff}",
-        op.name()
-    );
+    assert!(diff <= tol, "{}: vjp vs J^T·g differ by {diff}", op.name());
 }
 
 #[cfg(test)]

@@ -158,9 +158,7 @@ mod tests {
 
     #[test]
     fn defaults_report_no_params() {
-        let op = Double {
-            shape: vec![2, 2],
-        };
+        let op = Double { shape: vec![2, 2] };
         assert_eq!(op.param_len(), 0);
         assert!(op.params().is_empty());
         assert!(op
@@ -174,9 +172,7 @@ mod tests {
 
     #[test]
     fn vjp_matches_jacobian_product() {
-        let op = Double {
-            shape: vec![3],
-        };
+        let op = Double { shape: vec![3] };
         let x = Tensor::from_vec(vec![3], vec![1.0, -2.0, 0.5]);
         let y = op.forward(&x);
         let g = Vector::from_vec(vec![1.0, 2.0, 3.0]);
@@ -188,17 +184,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "no parameters")]
     fn set_params_on_stateless_panics() {
-        let mut op = Double {
-            shape: vec![2],
-        };
+        let mut op = Double { shape: vec![2] };
         op.set_params(&[1.0]);
     }
 
     #[test]
     fn operators_are_object_safe() {
-        let op: Box<dyn Operator<f64>> = Box::new(Double {
-            shape: vec![2],
-        });
+        let op: Box<dyn Operator<f64>> = Box::new(Double { shape: vec![2] });
         assert_eq!(op.name(), "double");
         assert_eq!(op.input_len(), 2);
     }

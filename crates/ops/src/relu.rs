@@ -148,6 +148,9 @@ mod tests {
         let x2 = Tensor::from_vec(vec![4], vec![-9.0, 3.0, 0.0, 7.0]);
         let j1 = relu.transposed_jacobian(&x1, &relu.forward(&x1));
         let j2 = relu.transposed_jacobian(&x2, &relu.forward(&x2));
-        assert!(j1.same_pattern(&j2), "deterministic pattern required (§3.3)");
+        assert!(
+            j1.same_pattern(&j2),
+            "deterministic pattern required (§3.3)"
+        );
     }
 }

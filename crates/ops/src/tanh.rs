@@ -59,11 +59,7 @@ impl<S: Scalar> Operator<S> for Tanh {
     }
 
     fn transposed_jacobian(&self, _input: &Tensor<S>, output: &Tensor<S>) -> Csr<S> {
-        let diag: Vec<S> = output
-            .as_slice()
-            .iter()
-            .map(|&y| S::ONE - y * y)
-            .collect();
+        let diag: Vec<S> = output.as_slice().iter().map(|&y| S::ONE - y * y).collect();
         Csr::from_diagonal(&diag)
     }
 

@@ -13,31 +13,34 @@ use proptest::prelude::*;
 
 fn arb_conv_config() -> impl Strategy<Value = Conv2dConfig> {
     (
-        1usize..3,  // in_channels
-        1usize..4,  // out_channels
-        1usize..4,  // kh
-        1usize..4,  // kw
-        1usize..3,  // sh
-        1usize..3,  // sw
-        0usize..2,  // ph
-        0usize..2,  // pw
-        3usize..7,  // hi
-        3usize..7,  // wi
+        1usize..3, // in_channels
+        1usize..4, // out_channels
+        1usize..4, // kh
+        1usize..4, // kw
+        1usize..3, // sh
+        1usize..3, // sw
+        0usize..2, // ph
+        0usize..2, // pw
+        3usize..7, // hi
+        3usize..7, // wi
     )
-        .prop_filter_map("kernel must fit padded input", |(ci, co, kh, kw, sh, sw, ph, pw, hi, wi)| {
-            if hi + 2 * ph >= kh && wi + 2 * pw >= kw {
-                Some(Conv2dConfig {
-                    in_channels: ci,
-                    out_channels: co,
-                    kernel: (kh, kw),
-                    stride: (sh, sw),
-                    padding: (ph, pw),
-                    input_hw: (hi, wi),
-                })
-            } else {
-                None
-            }
-        })
+        .prop_filter_map(
+            "kernel must fit padded input",
+            |(ci, co, kh, kw, sh, sw, ph, pw, hi, wi)| {
+                if hi + 2 * ph >= kh && wi + 2 * pw >= kw {
+                    Some(Conv2dConfig {
+                        in_channels: ci,
+                        out_channels: co,
+                        kernel: (kh, kw),
+                        stride: (sh, sw),
+                        padding: (ph, pw),
+                        input_hw: (hi, wi),
+                    })
+                } else {
+                    None
+                }
+            },
+        )
 }
 
 proptest! {

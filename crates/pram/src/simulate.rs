@@ -102,7 +102,11 @@ pub fn simulate_baseline(w: &RnnWorkload, d: &DeviceProfile) -> SimBreakdown {
 }
 
 /// Simulates BPPSA under the given schedule cutoff (`None` = full Blelloch).
-pub fn simulate_bppsa(w: &RnnWorkload, d: &DeviceProfile, up_levels: Option<usize>) -> SimBreakdown {
+pub fn simulate_bppsa(
+    w: &RnnWorkload,
+    d: &DeviceProfile,
+    up_levels: Option<usize>,
+) -> SimBreakdown {
     let len = w.seq_len + 1;
     let schedule = match up_levels {
         None => ScanSchedule::full(len),
@@ -285,7 +289,11 @@ mod tests {
 
     #[test]
     fn total_is_sum_of_parts() {
-        let b = simulate_bppsa(&RnnWorkload::paper_default(), &DeviceProfile::rtx_2070(), None);
+        let b = simulate_bppsa(
+            &RnnWorkload::paper_default(),
+            &DeviceProfile::rtx_2070(),
+            None,
+        );
         assert!((b.total_s() - (b.forward_s + b.backward_s + b.prep_s)).abs() < 1e-18);
     }
 

@@ -7,6 +7,7 @@
 //! levels". Here each level is one crossbeam scope (the join is the level
 //! barrier) and each thread handles a contiguous chunk of the level's pairs.
 
+use crate::pool::SendPtr;
 use crate::{Pair, ScanOp, ScanSchedule};
 
 /// How a schedule's parallel levels are executed.
@@ -25,21 +26,6 @@ pub enum Executor {
     /// one-kernel-per-level CUDA execution on persistent SMs.
     Pooled,
 }
-
-/// Raw-pointer wrapper so chunks of disjoint pair updates can cross thread
-/// boundaries. Safety rests on the schedule's per-level disjointness
-/// invariant ([`ScanSchedule::assert_levels_disjoint`]).
-struct SendPtr<T>(*mut T);
-unsafe impl<T: Send> Send for SendPtr<T> {}
-// SAFETY: shared across workers only under the per-level disjointness
-// invariant — no two tasks ever dereference the same index.
-unsafe impl<T: Send> Sync for SendPtr<T> {}
-impl<T> Clone for SendPtr<T> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-impl<T> Copy for SendPtr<T> {}
 
 /// Up-sweep combine at one pair: `a[r] ← a[l] ⊕ a[r]` (Algorithm 1 line 4).
 ///
@@ -202,7 +188,11 @@ fn run_level_pooled<T: Send, Op: ScanOp<T> + Sync>(
     pool: &crate::WorkerPool,
 ) {
     // Small levels (the deep portion of the tree) are cheaper on the caller
-    // thread than a pool wakeup.
+    // thread than a pool wakeup. Width is the only signal available here:
+    // the generic executor knows nothing about element sizes, so a
+    // FLOP-based decision is impossible at this layer — PlannedScan in
+    // bppsa-core, which does know each combine's planned FLOPs, prices its
+    // levels instead of using this heuristic.
     if pairs.len() < 4 {
         run_level_serial(a, op, pairs, down);
         return;
@@ -309,8 +299,7 @@ mod tests {
     #[test]
     fn threaded_matches_serial_for_noncommutative_op() {
         for m in [5usize, 64, 127, 128, 1000] {
-            let items: Vec<(i64, i64)> =
-                (0..m as i64).map(|i| (2 * i + 1, 3 * i - 7)).collect();
+            let items: Vec<(i64, i64)> = (0..m as i64).map(|i| (2 * i + 1, 3 * i - 7)).collect();
             let expect = serial_exclusive_scan(&Affine, &items);
             for threads in [2usize, 4, 8] {
                 let mut a = items.clone();
@@ -362,8 +351,7 @@ mod tests {
     #[test]
     fn pooled_matches_serial_for_noncommutative_op() {
         for m in [5usize, 64, 127, 1000] {
-            let items: Vec<(i64, i64)> =
-                (0..m as i64).map(|i| (3 * i - 1, 2 * i + 5)).collect();
+            let items: Vec<(i64, i64)> = (0..m as i64).map(|i| (3 * i - 1, 2 * i + 5)).collect();
             let expect = serial_exclusive_scan(&Affine, &items);
             let mut a = items.clone();
             execute_in_place(&ScanSchedule::full(m), &Affine, &mut a, Executor::Pooled);

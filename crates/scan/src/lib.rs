@@ -55,11 +55,11 @@ mod pool;
 mod schedule;
 
 pub use execute::{execute_in_place, serial_exclusive_scan, serial_inclusive_scan, Executor};
-pub use pool::{global_pool, WorkerPool};
 pub use hillis_steele::{
     hillis_steele_exclusive, hillis_steele_inclusive, hillis_steele_steps, hillis_steele_work,
 };
 pub use op::ScanOp;
+pub use pool::{global_pool, SendPtr, Slot, WorkerPool};
 pub use schedule::{ceil_log2, Pair, PhaseInfo, PhaseKind, ScanSchedule};
 
 #[cfg(test)]

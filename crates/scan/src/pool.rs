@@ -13,6 +13,7 @@
 //! per job, and the steady state performs **zero allocations per level**.
 
 use parking_lot::{Condvar, Mutex};
+use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -181,13 +182,144 @@ impl WorkerPool {
         if jobs.is_empty() {
             return;
         }
-        let slots: Vec<Mutex<Option<Box<dyn FnOnce() + Send + 'scope>>>> =
-            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let slots: Vec<Slot<Box<dyn FnOnce() + Send + 'scope>>> =
+            jobs.into_iter().map(Slot::with).collect();
         self.run_indexed(slots.len(), &|i| {
-            if let Some(job) = slots[i].lock().take() {
-                job();
-            }
+            // SAFETY: run_indexed hands index `i` to exactly one task, so
+            // this is slot i's unique accessor; the fill above
+            // happens-before via the batch publication.
+            unsafe { slots[i].take()() };
         });
+    }
+}
+
+/// A lock-free single-writer, single-taker slot for index-parallel staging.
+///
+/// The shared utility behind [`WorkerPool::run_indexed`]-style fan-outs:
+/// allocate one slot per index, let the task that claims index `i` be the
+/// only one to [`Slot::set`] or [`Slot::take`] slot `i`, and rely on the
+/// batch barrier for publication. Avoids `Mutex<Option<T>>` overhead where
+/// the index-disjointness invariant already rules out contention.
+///
+/// (Previously duplicated as a private type inside `bppsa-core`'s planned
+/// executor; it lives here so every crate staging per-index results on the
+/// pool shares one audited implementation.)
+///
+/// All accessors are `unsafe fn`: the exclusion invariant below cannot be
+/// checked by this type, so the proof obligation sits with each call site.
+///
+/// # Safety contract
+///
+/// For each slot, at most one thread may call [`Slot::set`] / [`Slot::take`]
+/// / [`Slot::is_set`] at a time, and calls must be ordered by an external
+/// synchronization edge (the pool's batch barrier, a join, …). The pool's
+/// index disjointness — every index claimed by exactly one task — provides
+/// this for the one-slot-per-index pattern.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_scan::{Slot, WorkerPool};
+///
+/// let pool = WorkerPool::new(2);
+/// let staged: Vec<Slot<usize>> = (0..8).map(|_| Slot::new()).collect();
+/// // SAFETY: run_indexed hands each index to exactly one task, and its
+/// // barrier orders every set before the takes below.
+/// pool.run_indexed(8, &|i| unsafe { staged[i].set(i * i) });
+/// assert_eq!(unsafe { staged[3].take() }, 9);
+/// ```
+pub struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: per the safety contract, each slot is accessed by at most one
+// thread at a time with accesses ordered by external synchronization.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+impl<T> Slot<T> {
+    /// An empty slot.
+    pub fn new() -> Self {
+        Slot(UnsafeCell::new(None))
+    }
+
+    /// A slot pre-filled with `value`.
+    pub fn with(value: T) -> Self {
+        Slot(UnsafeCell::new(Some(value)))
+    }
+
+    /// Stores `value`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the slot's unique accessor for the duration of
+    /// the call (see the type-level safety contract).
+    pub unsafe fn set(&self, value: T) {
+        *self.0.get() = Some(value)
+    }
+
+    /// Removes and returns the stored value.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the slot's unique accessor for the duration of
+    /// the call (see the type-level safety contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub unsafe fn take(&self) -> T {
+        (*self.0.get()).take().expect("Slot::take: slot is empty")
+    }
+
+    /// Whether a value is currently stored.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the slot's unique accessor for the duration of
+    /// the call (see the type-level safety contract).
+    pub unsafe fn is_set(&self) -> bool {
+        (*self.0.get()).is_some()
+    }
+}
+
+impl<T> Default for Slot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A `Send + Sync` wrapper for a raw mutable pointer, for fanning writes to
+/// pairwise-disjoint regions across pool tasks.
+///
+/// Shared by the scan executors, the row-parallel numeric SpGEMM, and the
+/// planned-scan instruction executor (one audited definition instead of one
+/// per crate). The wrapper itself is sound to share — dereferencing the
+/// pointer still requires `unsafe`, where the call site must prove its
+/// disjointness invariant (no two tasks touch the same element) and that a
+/// barrier orders the writes against later reads.
+pub struct SendPtr<T>(pub *mut T);
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: sharing the *pointer value* is harmless; all dereferences are
+// `unsafe` and carry their own aliasing proof at the call site.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> std::fmt::Debug for SendPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SendPtr({:p})", self.0)
+    }
+}
+
+impl<T> std::fmt::Debug for Slot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Deliberately does not peek inside: Debug must stay callable
+        // without the unique-accessor guarantee.
+        write!(f, "Slot<{}>", std::any::type_name::<T>())
     }
 }
 
@@ -348,6 +480,30 @@ mod tests {
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(WorkerPool::new(0).size(), 1);
+    }
+
+    #[test]
+    fn slot_stages_per_index_results_across_the_barrier() {
+        let pool = WorkerPool::new(3);
+        let staged: Vec<Slot<usize>> = (0..64).map(|_| Slot::new()).collect();
+        // SAFETY: unique index per task; barrier orders sets before takes.
+        pool.run_indexed(64, &|i| unsafe { staged[i].set(i + 100) });
+        for (i, s) in staged.iter().enumerate() {
+            // SAFETY: single-threaded after the barrier.
+            unsafe {
+                assert!(s.is_set());
+                assert_eq!(s.take(), i + 100);
+                assert!(!s.is_set());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slot is empty")]
+    fn slot_take_of_empty_panics() {
+        let s: Slot<i32> = Slot::default();
+        // SAFETY: this thread is trivially the unique accessor.
+        let _ = unsafe { s.take() };
     }
 
     #[test]

@@ -300,7 +300,10 @@ mod tests {
             vec![Pair { l: 0, r: 1 }, Pair { l: 2, r: 3 }]
         );
         assert_eq!(s.block_roots(), &[1, 3]);
-        assert_eq!(s.down_levels()[0], vec![Pair { l: 0, r: 1 }, Pair { l: 2, r: 3 }]);
+        assert_eq!(
+            s.down_levels()[0],
+            vec![Pair { l: 0, r: 1 }, Pair { l: 2, r: 3 }]
+        );
     }
 
     #[test]

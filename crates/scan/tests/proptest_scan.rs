@@ -40,10 +40,14 @@ impl ScanOp<M2> for MatMul {
     fn combine(&self, a: &M2, b: &M2) -> M2 {
         let (x, y) = (&a.0, &b.0);
         M2([
-            x[0].wrapping_mul(y[0]).wrapping_add(x[1].wrapping_mul(y[2])),
-            x[0].wrapping_mul(y[1]).wrapping_add(x[1].wrapping_mul(y[3])),
-            x[2].wrapping_mul(y[0]).wrapping_add(x[3].wrapping_mul(y[2])),
-            x[2].wrapping_mul(y[1]).wrapping_add(x[3].wrapping_mul(y[3])),
+            x[0].wrapping_mul(y[0])
+                .wrapping_add(x[1].wrapping_mul(y[2])),
+            x[0].wrapping_mul(y[1])
+                .wrapping_add(x[1].wrapping_mul(y[3])),
+            x[2].wrapping_mul(y[0])
+                .wrapping_add(x[3].wrapping_mul(y[2])),
+            x[2].wrapping_mul(y[1])
+                .wrapping_add(x[3].wrapping_mul(y[3])),
         ])
     }
     fn identity(&self) -> M2 {

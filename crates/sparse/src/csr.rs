@@ -4,10 +4,18 @@
 //! first VGG-11 convolution's Jacobian shrinks from 768 MB dense to 6.5 MB in
 //! CSR. Column indices are `u32` (the paper's matrices have at most ~10⁵
 //! columns), halving index memory relative to `usize`.
+//!
+//! Structure and values are stored separately: a [`Csr`] holds its
+//! [`SparsityPattern`] behind an [`Arc`] plus a flat value array. Because the
+//! paper's Jacobian patterns are deterministic (§3.3), the same pattern is
+//! shared — by refcount bump, never by deep copy — across every iteration's
+//! Jacobian, every [`SymbolicProduct`](crate::SymbolicProduct) plan, and
+//! every workspace buffer derived from it.
 
 use crate::{CsrError, SparsityPattern};
 use bppsa_tensor::{Matrix, Scalar, Vector};
 use std::fmt;
+use std::sync::Arc;
 
 /// A sparse matrix in Compressed Sparse Row format.
 ///
@@ -15,6 +23,10 @@ use std::fmt;
 /// `indptr.len() == rows + 1`, `indptr` is non-decreasing and starts at 0,
 /// `indices.len() == data.len() == indptr[rows]`, column indices are in range
 /// and strictly increasing within each row.
+///
+/// The pattern is [`Arc`]-shared: [`Csr::pattern`] and value-preserving
+/// transforms ([`Csr::scaled`], [`Csr::map_values`], [`Csr::clone`]) never
+/// copy the index arrays.
 ///
 /// # Examples
 ///
@@ -30,10 +42,7 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Csr<S> {
-    rows: usize,
-    cols: usize,
-    indptr: Vec<usize>,
-    indices: Vec<u32>,
+    pattern: Arc<SparsityPattern>,
     data: Vec<S>,
 }
 
@@ -41,10 +50,12 @@ impl<S: Scalar> Csr<S> {
     /// Creates an empty (all-zero) matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {
-            rows,
-            cols,
-            indptr: vec![0; rows + 1],
-            indices: Vec::new(),
+            pattern: Arc::new(SparsityPattern::new(
+                rows,
+                cols,
+                vec![0; rows + 1],
+                Vec::new(),
+            )),
             data: Vec::new(),
         }
     }
@@ -52,10 +63,12 @@ impl<S: Scalar> Csr<S> {
     /// Creates the `n × n` identity matrix.
     pub fn identity(n: usize) -> Self {
         Self {
-            rows: n,
-            cols: n,
-            indptr: (0..=n).collect(),
-            indices: (0..n as u32).collect(),
+            pattern: Arc::new(SparsityPattern::new(
+                n,
+                n,
+                (0..=n).collect(),
+                (0..n as u32).collect(),
+            )),
             data: vec![S::ONE; n],
         }
     }
@@ -69,11 +82,55 @@ impl<S: Scalar> Csr<S> {
     pub fn from_diagonal(diag: &[S]) -> Self {
         let n = diag.len();
         Self {
-            rows: n,
-            cols: n,
-            indptr: (0..=n).collect(),
-            indices: (0..n as u32).collect(),
+            pattern: Arc::new(SparsityPattern::new(
+                n,
+                n,
+                (0..=n).collect(),
+                (0..n as u32).collect(),
+            )),
             data: diag.to_vec(),
+        }
+    }
+
+    /// Creates an all-structural-zeros matrix sharing `pattern` (the buffer
+    /// shape workspace slots are pre-allocated in: the pattern is a refcount
+    /// bump, only the value array is owned).
+    pub fn from_pattern(pattern: Arc<SparsityPattern>) -> Self {
+        let nnz = pattern.nnz();
+        Self {
+            pattern,
+            data: vec![S::ZERO; nnz],
+        }
+    }
+
+    /// Builds a CSR matrix from an existing (trusted) pattern and values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != pattern.nnz()`.
+    pub fn from_pattern_and_values(pattern: Arc<SparsityPattern>, data: Vec<S>) -> Self {
+        assert_eq!(
+            data.len(),
+            pattern.nnz(),
+            "from_pattern_and_values: value count does not match pattern nnz"
+        );
+        Self { pattern, data }
+    }
+
+    /// Raw constructor without any validation (used by tests that need to
+    /// build *invalid* matrices, and internally after validation).
+    pub(crate) fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        data: Vec<S>,
+    ) -> Self {
+        Self {
+            pattern: Arc::new(SparsityPattern::new_unvalidated(
+                rows, cols, indptr, indices,
+            )),
+            data,
         }
     }
 
@@ -89,13 +146,7 @@ impl<S: Scalar> Csr<S> {
         indices: Vec<u32>,
         data: Vec<S>,
     ) -> Result<Self, CsrError> {
-        let m = Self {
-            rows,
-            cols,
-            indptr,
-            indices,
-            data,
-        };
+        let m = Self::from_raw_parts(rows, cols, indptr, indices, data);
         m.validate()?;
         Ok(m)
     }
@@ -116,13 +167,7 @@ impl<S: Scalar> Csr<S> {
         indices: Vec<u32>,
         data: Vec<S>,
     ) -> Self {
-        let m = Self {
-            rows,
-            cols,
-            indptr,
-            indices,
-            data,
-        };
+        let m = Self::from_raw_parts(rows, cols, indptr, indices, data);
         debug_assert_eq!(m.validate(), Ok(()));
         m
     }
@@ -134,16 +179,8 @@ impl<S: Scalar> Csr<S> {
     pub fn from_dense_pattern(dense: &Matrix<S>) -> Self {
         let (rows, cols) = dense.shape();
         let indptr = (0..=rows).map(|i| i * cols).collect();
-        let indices = (0..rows)
-            .flat_map(|_| 0..cols as u32)
-            .collect();
-        Self {
-            rows,
-            cols,
-            indptr,
-            indices,
-            data: dense.as_slice().to_vec(),
-        }
+        let indices = (0..rows).flat_map(|_| 0..cols as u32).collect();
+        Self::from_raw_parts(rows, cols, indptr, indices, dense.as_slice().to_vec())
     }
 
     /// Converts a dense matrix, keeping exactly the non-zero entries.
@@ -162,19 +199,13 @@ impl<S: Scalar> Csr<S> {
             }
             indptr.push(indices.len());
         }
-        Self {
-            rows,
-            cols,
-            indptr,
-            indices,
-            data,
-        }
+        Self::from_raw_parts(rows, cols, indptr, indices, data)
     }
 
     /// Converts to a dense matrix.
     pub fn to_dense(&self) -> Matrix<S> {
-        let mut m = Matrix::zeros(self.rows, self.cols);
-        for i in 0..self.rows {
+        let mut m = Matrix::zeros(self.rows(), self.cols());
+        for i in 0..self.rows() {
             for (&j, &v) in self.row_indices(i).iter().zip(self.row_data(i)) {
                 m.set(i, j as usize, v);
             }
@@ -188,40 +219,43 @@ impl<S: Scalar> Csr<S> {
     ///
     /// Returns a [`CsrError`] describing the first violated invariant.
     pub fn validate(&self) -> Result<(), CsrError> {
-        if self.indptr.len() != self.rows + 1 {
+        let (rows, cols) = self.pattern.shape();
+        let indptr = self.pattern.indptr();
+        let indices = self.pattern.indices();
+        if indptr.len() != rows + 1 {
             return Err(CsrError::IndptrLength {
-                expected: self.rows + 1,
-                actual: self.indptr.len(),
+                expected: rows + 1,
+                actual: indptr.len(),
             });
         }
-        if self.indptr[0] != 0 {
+        if indptr[0] != 0 {
             return Err(CsrError::IndptrStart);
         }
-        for i in 0..self.rows {
-            if self.indptr[i + 1] < self.indptr[i] {
+        for i in 0..rows {
+            if indptr[i + 1] < indptr[i] {
                 return Err(CsrError::IndptrMonotonicity { row: i });
             }
         }
-        if self.indptr[self.rows] != self.indices.len() {
+        if indptr[rows] != indices.len() {
             return Err(CsrError::IndptrEnd {
-                expected: self.indptr[self.rows],
-                actual: self.indices.len(),
+                expected: indptr[rows],
+                actual: indices.len(),
             });
         }
-        if self.indices.len() != self.data.len() {
+        if indices.len() != self.data.len() {
             return Err(CsrError::DataLength {
-                indices: self.indices.len(),
+                indices: indices.len(),
                 data: self.data.len(),
             });
         }
-        for i in 0..self.rows {
-            let row = &self.indices[self.indptr[i]..self.indptr[i + 1]];
+        for i in 0..rows {
+            let row = &indices[indptr[i]..indptr[i + 1]];
             for (k, &j) in row.iter().enumerate() {
-                if j as usize >= self.cols {
+                if j as usize >= cols {
                     return Err(CsrError::ColumnOutOfRange {
                         row: i,
                         col: j as usize,
-                        cols: self.cols,
+                        cols,
                     });
                 }
                 if k > 0 && row[k - 1] >= j {
@@ -234,43 +268,39 @@ impl<S: Scalar> Csr<S> {
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        self.rows
+        self.pattern.rows()
     }
 
     /// Number of columns.
     pub fn cols(&self) -> usize {
-        self.cols
+        self.pattern.cols()
     }
 
     /// `(rows, cols)` pair.
     pub fn shape(&self) -> (usize, usize) {
-        (self.rows, self.cols)
+        self.pattern.shape()
     }
 
     /// Number of stored entries (including explicit zeros).
     pub fn nnz(&self) -> usize {
-        self.indices.len()
+        self.pattern.nnz()
     }
 
     /// Fraction of *unstored* entries over all entries — the "sparsity of
     /// guaranteed zeros" from Table 1 when the pattern stores exactly the
     /// guaranteed-nonzero positions.
     pub fn sparsity(&self) -> f64 {
-        let total = self.rows * self.cols;
-        if total == 0 {
-            return 0.0;
-        }
-        1.0 - self.nnz() as f64 / total as f64
+        self.pattern.sparsity()
     }
 
     /// The `indptr` array (length `rows + 1`).
     pub fn indptr(&self) -> &[usize] {
-        &self.indptr
+        self.pattern.indptr()
     }
 
     /// The concatenated column-index array.
     pub fn indices(&self) -> &[u32] {
-        &self.indices
+        self.pattern.indices()
     }
 
     /// The concatenated value array.
@@ -283,22 +313,48 @@ impl<S: Scalar> Csr<S> {
         &mut self.data
     }
 
+    /// Copies the values of `other` into `self` without touching patterns.
+    ///
+    /// The allocation-free way to refresh a workspace buffer with a new
+    /// iteration's Jacobian values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two matrices do not share the same pattern.
+    pub fn copy_values_from(&mut self, other: &Self) {
+        assert!(
+            self.same_pattern(other),
+            "copy_values_from: pattern mismatch"
+        );
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Replaces this buffer's pattern (refcount bump) and resizes the value
+    /// array to match, zero-filled. Performs no heap allocation once the
+    /// value array's capacity has grown to its steady-state maximum.
+    pub fn reset_to_pattern(&mut self, pattern: &Arc<SparsityPattern>) {
+        self.pattern = Arc::clone(pattern);
+        self.data.clear();
+        self.data.resize(pattern.nnz(), S::ZERO);
+    }
+
     /// Column indices of row `i`.
     #[inline]
     pub fn row_indices(&self, i: usize) -> &[u32] {
-        &self.indices[self.indptr[i]..self.indptr[i + 1]]
+        self.pattern.row_indices(i)
     }
 
     /// Values of row `i`.
     #[inline]
     pub fn row_data(&self, i: usize) -> &[S] {
-        &self.data[self.indptr[i]..self.indptr[i + 1]]
+        let indptr = self.pattern.indptr();
+        &self.data[indptr[i]..indptr[i + 1]]
     }
 
     /// Number of stored entries in row `i`.
     #[inline]
     pub fn row_nnz(&self, i: usize) -> usize {
-        self.indptr[i + 1] - self.indptr[i]
+        self.pattern.row_nnz(i)
     }
 
     /// Value at `(i, j)`, or zero if the entry is not stored.
@@ -307,7 +363,10 @@ impl<S: Scalar> Csr<S> {
     ///
     /// Panics if `i >= rows` or `j >= cols`.
     pub fn get(&self, i: usize, j: usize) -> S {
-        assert!(i < self.rows && j < self.cols, "get({i},{j}) out of bounds");
+        assert!(
+            i < self.rows() && j < self.cols(),
+            "get({i},{j}) out of bounds"
+        );
         let row = self.row_indices(i);
         match row.binary_search(&(j as u32)) {
             Ok(k) => self.row_data(i)[k],
@@ -315,22 +374,21 @@ impl<S: Scalar> Csr<S> {
         }
     }
 
-    /// The sparsity pattern (structure without values).
-    pub fn pattern(&self) -> SparsityPattern {
-        SparsityPattern::new(
-            self.rows,
-            self.cols,
-            self.indptr.clone(),
-            self.indices.clone(),
-        )
+    /// The sparsity pattern, shared by refcount bump (never deep-copied).
+    pub fn pattern(&self) -> Arc<SparsityPattern> {
+        Arc::clone(&self.pattern)
     }
 
-    /// Whether `self` and `other` share the exact same pattern.
+    /// Borrow of the shared pattern handle (no refcount traffic; useful for
+    /// `Arc::ptr_eq` fast paths).
+    pub fn pattern_ref(&self) -> &Arc<SparsityPattern> {
+        &self.pattern
+    }
+
+    /// Whether `self` and `other` share the exact same pattern. Pointer
+    /// equality of the shared pattern short-circuits the structural compare.
     pub fn same_pattern(&self, other: &Self) -> bool {
-        self.rows == other.rows
-            && self.cols == other.cols
-            && self.indptr == other.indptr
-            && self.indices == other.indices
+        Arc::ptr_eq(&self.pattern, &other.pattern) || self.pattern == other.pattern
     }
 
     /// Sparse matrix–vector product `self · x`.
@@ -341,13 +399,13 @@ impl<S: Scalar> Csr<S> {
     pub fn spmv(&self, x: &Vector<S>) -> Vector<S> {
         assert_eq!(
             x.len(),
-            self.cols,
+            self.cols(),
             "spmv: vector length {} does not match cols {}",
             x.len(),
-            self.cols
+            self.cols()
         );
         let xs = x.as_slice();
-        Vector::from_fn(self.rows, |i| {
+        Vector::from_fn(self.rows(), |i| {
             self.row_indices(i)
                 .iter()
                 .zip(self.row_data(i))
@@ -356,21 +414,56 @@ impl<S: Scalar> Csr<S> {
         })
     }
 
+    /// Sparse matrix–vector product into a caller-owned output vector
+    /// (allocation-free; the workspace executor's SpMV kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn spmv_into(&self, x: &Vector<S>, out: &mut Vector<S>) {
+        assert_eq!(
+            x.len(),
+            self.cols(),
+            "spmv_into: vector length {} does not match cols {}",
+            x.len(),
+            self.cols()
+        );
+        assert_eq!(
+            out.len(),
+            self.rows(),
+            "spmv_into: output length {} does not match rows {}",
+            out.len(),
+            self.rows()
+        );
+        let xs = x.as_slice();
+        let indptr = self.pattern.indptr();
+        let indices = self.pattern.indices();
+        for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
+            let mut acc = S::ZERO;
+            for k in indptr[i]..indptr[i + 1] {
+                acc += self.data[k] * xs[indices[k] as usize];
+            }
+            *o = acc;
+        }
+    }
+
     /// Returns the transpose as a new CSR matrix (two-pass counting sort,
     /// producing sorted rows).
     pub fn transposed(&self) -> Self {
-        let mut counts = vec![0usize; self.cols + 1];
-        for &j in &self.indices {
+        let rows = self.rows();
+        let cols = self.cols();
+        let mut counts = vec![0usize; cols + 1];
+        for &j in self.indices() {
             counts[j as usize + 1] += 1;
         }
-        for j in 0..self.cols {
+        for j in 0..cols {
             counts[j + 1] += counts[j];
         }
         let indptr = counts.clone();
         let mut indices = vec![0u32; self.nnz()];
         let mut data = vec![S::ZERO; self.nnz()];
         let mut next = counts;
-        for i in 0..self.rows {
+        for i in 0..rows {
             for (&j, &v) in self.row_indices(i).iter().zip(self.row_data(i)) {
                 let dst = next[j as usize];
                 indices[dst] = i as u32;
@@ -378,17 +471,11 @@ impl<S: Scalar> Csr<S> {
                 next[j as usize] += 1;
             }
         }
-        Self {
-            rows: self.cols,
-            cols: self.rows,
-            indptr,
-            indices,
-            data,
-        }
+        Self::from_raw_parts(cols, rows, indptr, indices, data)
     }
 
     /// Returns `self` with every stored value scaled by `alpha` (pattern
-    /// unchanged, even if `alpha == 0`).
+    /// unchanged — and *shared*, even if `alpha == 0`).
     pub fn scaled(&self, alpha: S) -> Self {
         let mut out = self.clone();
         for v in &mut out.data {
@@ -397,7 +484,7 @@ impl<S: Scalar> Csr<S> {
         out
     }
 
-    /// Applies `f` to every stored value, keeping the pattern.
+    /// Applies `f` to every stored value, keeping (and sharing) the pattern.
     pub fn map_values(&self, mut f: impl FnMut(S) -> S) -> Self {
         let mut out = self.clone();
         for v in &mut out.data {
@@ -408,11 +495,12 @@ impl<S: Scalar> Csr<S> {
 
     /// Drops stored entries with value exactly zero, shrinking the pattern.
     pub fn pruned(&self) -> Self {
-        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let rows = self.rows();
+        let mut indptr = Vec::with_capacity(rows + 1);
         let mut indices = Vec::new();
         let mut data = Vec::new();
         indptr.push(0);
-        for i in 0..self.rows {
+        for i in 0..rows {
             for (&j, &v) in self.row_indices(i).iter().zip(self.row_data(i)) {
                 if v != S::ZERO {
                     indices.push(j);
@@ -421,13 +509,7 @@ impl<S: Scalar> Csr<S> {
             }
             indptr.push(indices.len());
         }
-        Self {
-            rows: self.rows,
-            cols: self.cols,
-            indptr,
-            indices,
-            data,
-        }
+        Self::from_raw_parts(rows, self.cols(), indptr, indices, data)
     }
 
     /// Builds the block-diagonal matrix `diag(blocks…)`.
@@ -467,8 +549,8 @@ impl<S: Scalar> Csr<S> {
     /// Memory footprint in bytes of the three CSR arrays (the paper's
     /// 768 MB → 6.5 MB comparison for the first VGG-11 convolution).
     pub fn memory_bytes(&self) -> usize {
-        self.indptr.len() * std::mem::size_of::<usize>()
-            + self.indices.len() * std::mem::size_of::<u32>()
+        std::mem::size_of_val(self.indptr())
+            + std::mem::size_of_val(self.indices())
             + self.data.len() * std::mem::size_of::<S>()
     }
 
@@ -488,8 +570,8 @@ impl<S: Scalar> fmt::Display for Csr<S> {
         write!(
             f,
             "Csr[{}x{}, nnz={} ({:.4}% dense)]",
-            self.rows,
-            self.cols,
+            self.rows(),
+            self.cols(),
             self.nnz(),
             100.0 * (1.0 - self.sparsity())
         )
@@ -542,6 +624,15 @@ mod tests {
     }
 
     #[test]
+    fn spmv_into_matches_spmv() {
+        let m = sample();
+        let x = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        let mut out = Vector::zeros(3);
+        m.spmv_into(&x, &mut out);
+        assert_eq!(out, m.spmv(&x));
+    }
+
+    #[test]
     fn transpose_matches_dense_transpose() {
         let m = sample();
         let t = m.transposed();
@@ -571,37 +662,19 @@ mod tests {
 
     #[test]
     fn validate_catches_bad_indptr() {
-        let bad = Csr::<f32> {
-            rows: 2,
-            cols: 2,
-            indptr: vec![0, 2],
-            indices: vec![0, 1],
-            data: vec![1.0, 1.0],
-        };
+        let bad = Csr::<f32>::from_raw_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]);
         assert!(matches!(bad.validate(), Err(CsrError::IndptrLength { .. })));
     }
 
     #[test]
     fn validate_catches_unsorted_row() {
-        let bad = Csr::<f32> {
-            rows: 1,
-            cols: 3,
-            indptr: vec![0, 2],
-            indices: vec![2, 0],
-            data: vec![1.0, 1.0],
-        };
+        let bad = Csr::<f32>::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
         assert!(matches!(bad.validate(), Err(CsrError::UnsortedRow { .. })));
     }
 
     #[test]
     fn validate_catches_column_out_of_range() {
-        let bad = Csr::<f32> {
-            rows: 1,
-            cols: 2,
-            indptr: vec![0, 1],
-            indices: vec![5],
-            data: vec![1.0],
-        };
+        let bad = Csr::<f32>::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
         assert!(matches!(
             bad.validate(),
             Err(CsrError::ColumnOutOfRange { .. })
@@ -630,6 +703,45 @@ mod tests {
         let z = m.map_values(|_| 0.0);
         assert!(z.same_pattern(&m));
         assert_eq!(z.nnz(), 4);
+    }
+
+    #[test]
+    fn clone_and_transforms_share_the_pattern_allocation() {
+        // The Arc-sharing contract: clones and value-only transforms bump a
+        // refcount instead of copying indptr/indices.
+        let m = sample();
+        let c = m.clone();
+        assert!(Arc::ptr_eq(m.pattern_ref(), c.pattern_ref()));
+        let s = m.scaled(0.5);
+        assert!(Arc::ptr_eq(m.pattern_ref(), s.pattern_ref()));
+        let f = m.map_values(|v| v + 1.0);
+        assert!(Arc::ptr_eq(m.pattern_ref(), f.pattern_ref()));
+        assert!(Arc::ptr_eq(&m.pattern(), m.pattern_ref()));
+    }
+
+    #[test]
+    fn copy_values_from_requires_same_pattern() {
+        let m = sample();
+        let mut dst = Csr::from_pattern(m.pattern());
+        dst.copy_values_from(&m);
+        assert_eq!(dst, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern mismatch")]
+    fn copy_values_from_rejects_other_pattern() {
+        let m = sample();
+        let mut dst = Csr::<f64>::identity(3);
+        dst.copy_values_from(&m);
+    }
+
+    #[test]
+    fn reset_to_pattern_rebinds_buffer() {
+        let m = sample();
+        let mut buf = Csr::<f64>::identity(2);
+        buf.reset_to_pattern(m.pattern_ref());
+        assert!(buf.same_pattern(&m));
+        assert!(buf.data().iter().all(|&v| v == 0.0));
     }
 
     #[test]

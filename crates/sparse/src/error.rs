@@ -56,17 +56,26 @@ impl fmt::Display for CsrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsrError::IndptrLength { expected, actual } => {
-                write!(f, "indptr length {actual} does not match rows+1 = {expected}")
+                write!(
+                    f,
+                    "indptr length {actual} does not match rows+1 = {expected}"
+                )
             }
             CsrError::IndptrStart => write!(f, "indptr does not start at 0"),
             CsrError::IndptrMonotonicity { row } => {
                 write!(f, "indptr decreases at row {row}")
             }
             CsrError::IndptrEnd { expected, actual } => {
-                write!(f, "indptr end {expected} does not match indices length {actual}")
+                write!(
+                    f,
+                    "indptr end {expected} does not match indices length {actual}"
+                )
             }
             CsrError::DataLength { indices, data } => {
-                write!(f, "indices length {indices} does not match data length {data}")
+                write!(
+                    f,
+                    "indices length {indices} does not match data length {data}"
+                )
             }
             CsrError::ColumnOutOfRange { row, col, cols } => {
                 write!(f, "column index {col} out of range {cols} in row {row}")

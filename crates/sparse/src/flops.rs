@@ -34,11 +34,7 @@ pub fn spgemm_flops<S: Scalar>(a: &Csr<S>, b: &Csr<S>) -> u64 {
 ///
 /// Panics if the inner dimensions differ.
 pub fn spgemm_flops_pattern(a: &SparsityPattern, b: &SparsityPattern) -> u64 {
-    assert_eq!(
-        a.cols(),
-        b.rows(),
-        "spgemm_flops: inner dimensions differ"
-    );
+    assert_eq!(a.cols(), b.rows(), "spgemm_flops: inner dimensions differ");
     let mut macs = 0u64;
     for i in 0..a.rows() {
         for &k in a.row_indices(i) {
@@ -65,7 +61,11 @@ pub fn gemv_flops(m: usize, n: usize) -> u64 {
 ///
 /// Panics if the inner dimensions differ.
 pub fn spgemm_out_nnz(a: &SparsityPattern, b: &SparsityPattern) -> usize {
-    assert_eq!(a.cols(), b.rows(), "spgemm_out_nnz: inner dimensions differ");
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "spgemm_out_nnz: inner dimensions differ"
+    );
     let n = b.cols();
     let mut marker = vec![usize::MAX; n];
     let mut nnz = 0usize;
@@ -104,15 +104,8 @@ mod tests {
 
     #[test]
     fn spgemm_flops_matches_symbolic_plan() {
-        let a = Csr::from_dense(&Matrix::from_rows(&[
-            &[1.0, 0.0, 2.0],
-            &[0.0, 3.0, 0.0],
-        ]));
-        let b = Csr::from_dense(&Matrix::from_rows(&[
-            &[0.0, 1.0],
-            &[4.0, 0.0],
-            &[0.0, 5.0],
-        ]));
+        let a = Csr::from_dense(&Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0]]));
+        let b = Csr::from_dense(&Matrix::from_rows(&[&[0.0, 1.0], &[4.0, 0.0], &[0.0, 5.0]]));
         let plan = crate::SymbolicProduct::plan(&a.pattern(), &b.pattern());
         assert_eq!(spgemm_flops(&a, &b), plan.flops());
     }
@@ -133,15 +126,8 @@ mod tests {
 
     #[test]
     fn out_nnz_matches_actual_product_without_cancellation() {
-        let a = Csr::from_dense(&Matrix::from_rows(&[
-            &[1.0, 0.0, 2.0],
-            &[0.0, 3.0, 0.0],
-        ]));
-        let b = Csr::from_dense(&Matrix::from_rows(&[
-            &[0.0, 1.0],
-            &[4.0, 0.0],
-            &[0.0, 5.0],
-        ]));
+        let a = Csr::from_dense(&Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0]]));
+        let b = Csr::from_dense(&Matrix::from_rows(&[&[0.0, 1.0], &[4.0, 0.0], &[0.0, 5.0]]));
         let predicted = spgemm_out_nnz(&a.pattern(), &b.pattern());
         let actual = spgemm(&a, &b).nnz();
         assert_eq!(predicted, actual);

@@ -11,11 +11,15 @@ use std::fmt;
 ///
 /// # Examples
 ///
+/// Patterns are deterministic (known before training), so they are shared
+/// behind `Arc`s: `Csr::pattern()` is a refcount bump, never a deep copy.
+///
 /// ```
 /// use bppsa_sparse::{Csr, SparsityPattern};
+/// use std::sync::Arc;
 ///
 /// let m = Csr::from_diagonal(&[1.0_f32, 2.0]);
-/// let p: SparsityPattern = m.pattern();
+/// let p: Arc<SparsityPattern> = m.pattern();
 /// assert_eq!(p.nnz(), 2);
 /// assert_eq!(p.shape(), (2, 2));
 /// ```
@@ -41,6 +45,23 @@ impl SparsityPattern {
             indices.len(),
             "pattern: indptr end does not match indices length"
         );
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+        }
+    }
+
+    /// Crate-internal constructor that skips the structural asserts, for
+    /// callers that validate separately (`Csr::try_from_parts`) or
+    /// intentionally build invalid structures in tests.
+    pub(crate) fn new_unvalidated(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+    ) -> Self {
         Self {
             rows,
             cols,
@@ -127,14 +148,8 @@ mod tests {
 
     #[test]
     fn pattern_reflects_structure() {
-        let m = Csr::try_from_parts(
-            2,
-            3,
-            vec![0, 2, 3],
-            vec![0, 2, 1],
-            vec![1.0f32, 2.0, 3.0],
-        )
-        .unwrap();
+        let m = Csr::try_from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0f32, 2.0, 3.0])
+            .unwrap();
         let p = m.pattern();
         assert_eq!(p.shape(), (2, 3));
         assert_eq!(p.nnz(), 3);

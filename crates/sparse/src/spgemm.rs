@@ -10,9 +10,18 @@
 //!   patterns of transposed Jacobians are deterministic (§3.3), the symbolic
 //!   phase can run **once, ahead of training**, and every later call performs
 //!   only the FLOPs. `spgemm_symbolic` in the bench crate ablates the two.
+//!
+//! The numeric phase comes in three flavors, all sharing the same gather
+//! program: [`SymbolicProduct::execute`] (allocates a fresh output),
+//! [`SymbolicProduct::execute_into`] (writes a caller-owned buffer —
+//! allocation-free in the steady state), and
+//! [`SymbolicProduct::execute_into_parallel`] (row-chunk parallel over a
+//! [`WorkerPool`], chunks balanced by per-row FLOPs).
 
 use crate::{Csr, SparsityPattern};
+use bppsa_scan::{SendPtr, WorkerPool};
 use bppsa_tensor::Scalar;
+use std::sync::Arc;
 
 /// Computes `C = A · B` with a Gustavson sparse accumulator, performing
 /// symbolic and numeric work together (the generic baseline).
@@ -72,6 +81,10 @@ pub fn spgemm<S: Scalar>(a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
 /// A precomputed symbolic SpGEMM plan: the output pattern of `A · B` for
 /// fixed input patterns, enabling numeric-only execution.
 ///
+/// All three patterns (both operands' and the output's) are held behind
+/// [`Arc`]s, so distributing them into per-combine plans and workspace
+/// buffers is refcount traffic, not copying.
+///
 /// # Examples
 ///
 /// ```
@@ -83,27 +96,36 @@ pub fn spgemm<S: Scalar>(a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
 /// let c = plan.execute(&a, &b);
 /// assert_eq!(c.get(0, 0), 8.0);
 /// assert_eq!(c.get(1, 1), 15.0);
+///
+/// // Steady-state path: numeric phase into a reusable buffer.
+/// let mut out = Csr::from_pattern(plan.out_pattern().clone());
+/// plan.execute_into(&a, &b, &mut out);
+/// assert_eq!(out, c);
 /// ```
 #[derive(Debug, Clone)]
 pub struct SymbolicProduct {
-    a_pattern: SparsityPattern,
-    b_pattern: SparsityPattern,
-    out_pattern: SparsityPattern,
+    a_pattern: Arc<SparsityPattern>,
+    b_pattern: Arc<SparsityPattern>,
+    out_pattern: Arc<SparsityPattern>,
     /// Dense-accumulator scatter positions: for each output row, for each
     /// structural (k, j) product contribution, the slot in the row's output
     /// segment. Stored flat; rows delimited by `gather_ptr`.
     gather: Vec<(u32, u32, u32)>,
+    /// Per-row delimiters into `gather` (length `rows + 1`). Doubles as the
+    /// prefix-FLOP table the row-parallel executor balances chunks with
+    /// (each gather entry is one multiply–add).
     gather_ptr: Vec<usize>,
     flops: u64,
 }
 
 impl SymbolicProduct {
-    /// Runs the symbolic phase once for the given input patterns.
+    /// Runs the symbolic phase once for the given input patterns. The
+    /// pattern handles are retained (refcount bump) for operand checking.
     ///
     /// # Panics
     ///
     /// Panics if the inner dimensions differ.
-    pub fn plan(a: &SparsityPattern, b: &SparsityPattern) -> Self {
+    pub fn plan(a: &Arc<SparsityPattern>, b: &Arc<SparsityPattern>) -> Self {
         assert_eq!(
             a.cols(),
             b.rows(),
@@ -156,24 +178,40 @@ impl SymbolicProduct {
         }
 
         Self {
-            a_pattern: a.clone(),
-            b_pattern: b.clone(),
-            out_pattern: SparsityPattern::new(a.rows(), n, indptr, indices),
+            a_pattern: Arc::clone(a),
+            b_pattern: Arc::clone(b),
+            out_pattern: Arc::new(SparsityPattern::new(a.rows(), n, indptr, indices)),
             gather,
             gather_ptr,
             flops,
         }
     }
 
-    /// The output pattern of the product.
-    pub fn out_pattern(&self) -> &SparsityPattern {
+    /// The output pattern of the product (shared handle).
+    pub fn out_pattern(&self) -> &Arc<SparsityPattern> {
         &self.out_pattern
+    }
+
+    /// The planned left-operand pattern (shared handle).
+    pub fn a_pattern(&self) -> &Arc<SparsityPattern> {
+        &self.a_pattern
+    }
+
+    /// The planned right-operand pattern (shared handle).
+    pub fn b_pattern(&self) -> &Arc<SparsityPattern> {
+        &self.b_pattern
     }
 
     /// Total multiply–add FLOPs (counting 2 per multiply–add) a numeric
     /// execution performs.
     pub fn flops(&self) -> u64 {
         self.flops
+    }
+
+    /// Whether `a` and `b` carry exactly the patterns this plan was built
+    /// from. Shared-`Arc` operands short-circuit to pointer comparisons.
+    pub fn operands_match<S: Scalar>(&self, a: &Csr<S>, b: &Csr<S>) -> bool {
+        pattern_eq(a.pattern_ref(), &self.a_pattern) && pattern_eq(b.pattern_ref(), &self.b_pattern)
     }
 
     /// Executes the numeric phase: computes `A · B` assuming `a` and `b`
@@ -184,34 +222,130 @@ impl SymbolicProduct {
     /// Panics if the operand patterns do not match the planned patterns.
     pub fn execute<S: Scalar>(&self, a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
         assert!(
-            a.pattern() == self.a_pattern && b.pattern() == self.b_pattern,
+            self.operands_match(a, b),
             "SymbolicProduct::execute: operand patterns do not match the plan"
         );
         self.execute_unchecked(a, b)
     }
 
     /// Numeric phase without the pattern equality check (debug-checked).
-    /// This is the hot path measured by the `spgemm_symbolic` ablation.
+    /// This is the hot path measured by the `spgemm_symbolic` ablation. The
+    /// returned matrix *shares* the plan's output pattern — the only heap
+    /// allocation is the value array.
     pub fn execute_unchecked<S: Scalar>(&self, a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
-        debug_assert!(a.pattern() == self.a_pattern && b.pattern() == self.b_pattern);
+        debug_assert!(self.operands_match(a, b));
+        let mut data = vec![S::ZERO; self.out_pattern.nnz()];
+        self.numeric_rows(a.data(), b.data(), &mut data, 0..self.out_pattern.rows());
+        Csr::from_pattern_and_values(Arc::clone(&self.out_pattern), data)
+    }
+
+    /// Numeric phase into a caller-owned output buffer. Rebinds `out` to the
+    /// plan's output pattern (refcount bump) and overwrites its values:
+    /// performs **zero heap allocations** once `out`'s value buffer has
+    /// reached steady-state capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the operand patterns do not match.
+    pub fn execute_into<S: Scalar>(&self, a: &Csr<S>, b: &Csr<S>, out: &mut Csr<S>) {
+        debug_assert!(self.operands_match(a, b));
+        out.reset_to_pattern(&self.out_pattern);
+        self.numeric_rows(
+            a.data(),
+            b.data(),
+            out.data_mut(),
+            0..self.out_pattern.rows(),
+        );
+    }
+
+    /// Row-chunk-parallel numeric phase into a caller-owned buffer: output
+    /// rows are split into `pool.size() + 1` chunks of approximately equal
+    /// planned FLOPs (via the prefix-FLOP table) and executed on the shared
+    /// worker pool. Allocation-free in the steady state, like
+    /// [`SymbolicProduct::execute_into`].
+    ///
+    /// Worth the pool wakeup only when [`SymbolicProduct::flops`] is large;
+    /// callers decide (see `PlannedScan`'s cost model in `bppsa-core`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the operand patterns do not match.
+    pub fn execute_into_parallel<S: Scalar>(
+        &self,
+        a: &Csr<S>,
+        b: &Csr<S>,
+        out: &mut Csr<S>,
+        pool: &WorkerPool,
+    ) {
+        debug_assert!(self.operands_match(a, b));
+        out.reset_to_pattern(&self.out_pattern);
+        let rows = self.out_pattern.rows();
+        let chunks = (pool.size() + 1).min(rows.max(1));
+        if chunks <= 1 {
+            self.numeric_rows(a.data(), b.data(), out.data_mut(), 0..rows);
+            return;
+        }
         let ad = a.data();
         let bd = b.data();
-        let mut data = vec![S::ZERO; self.out_pattern.nnz()];
-        for i in 0..self.out_pattern.rows() {
+        let out_data = SendPtr(out.data_mut().as_mut_ptr());
+        let total = self.gather.len();
+        pool.run_indexed(chunks, &|c| {
+            let out_data: SendPtr<S> = out_data;
+            let r0 = self.chunk_boundary_row(c, chunks, total, rows);
+            let r1 = self.chunk_boundary_row(c + 1, chunks, total, rows);
+            for i in r0..r1 {
+                let out_base = self.out_pattern.indptr()[i];
+                for &(a_off, b_off, slot) in
+                    &self.gather[self.gather_ptr[i]..self.gather_ptr[i + 1]]
+                {
+                    // SAFETY: chunk row ranges partition 0..rows, and each
+                    // row's output segment [indptr[i], indptr[i+1]) is
+                    // disjoint from every other row's — no two pool tasks
+                    // write the same element, and the pool's barrier orders
+                    // all writes before `run_indexed` returns.
+                    unsafe {
+                        let dst = out_data.0.add(out_base + slot as usize);
+                        *dst += ad[a_off as usize] * bd[b_off as usize];
+                    }
+                }
+            }
+        });
+    }
+
+    /// First row of chunk `c` when `0..rows` is split into `chunks` pieces
+    /// of roughly `total / chunks` gather entries each.
+    fn chunk_boundary_row(&self, c: usize, chunks: usize, total: usize, rows: usize) -> usize {
+        if c == 0 {
+            return 0;
+        }
+        if c >= chunks {
+            return rows;
+        }
+        let target = c * total / chunks;
+        // First row whose gather range starts at or past the target.
+        self.gather_ptr.partition_point(|&g| g < target).min(rows)
+    }
+
+    /// The shared serial gather kernel over a row range.
+    fn numeric_rows<S: Scalar>(
+        &self,
+        ad: &[S],
+        bd: &[S],
+        out: &mut [S],
+        rows: std::ops::Range<usize>,
+    ) {
+        for i in rows {
             let out_base = self.out_pattern.indptr()[i];
-            for &(a_off, b_off, slot) in &self.gather[self.gather_ptr[i]..self.gather_ptr[i + 1]]
-            {
-                data[out_base + slot as usize] += ad[a_off as usize] * bd[b_off as usize];
+            for &(a_off, b_off, slot) in &self.gather[self.gather_ptr[i]..self.gather_ptr[i + 1]] {
+                out[out_base + slot as usize] += ad[a_off as usize] * bd[b_off as usize];
             }
         }
-        Csr::from_parts_unchecked(
-            self.out_pattern.rows(),
-            self.out_pattern.cols(),
-            self.out_pattern.indptr().to_vec(),
-            self.out_pattern.indices().to_vec(),
-            data,
-        )
     }
+}
+
+/// Content equality with an `Arc` pointer fast path.
+fn pattern_eq(a: &Arc<SparsityPattern>, b: &Arc<SparsityPattern>) -> bool {
+    Arc::ptr_eq(a, b) || a == b
 }
 
 #[cfg(test)]
@@ -224,25 +358,20 @@ mod tests {
     }
 
     fn sample_a() -> Csr<f64> {
-        Csr::from_dense(&Matrix::from_rows(&[
-            &[1.0, 0.0, 2.0],
-            &[0.0, 3.0, 0.0],
-        ]))
+        Csr::from_dense(&Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0]]))
     }
 
     fn sample_b() -> Csr<f64> {
-        Csr::from_dense(&Matrix::from_rows(&[
-            &[0.0, 1.0],
-            &[4.0, 0.0],
-            &[0.0, 5.0],
-        ]))
+        Csr::from_dense(&Matrix::from_rows(&[&[0.0, 1.0], &[4.0, 0.0], &[0.0, 5.0]]))
     }
 
     #[test]
     fn spgemm_matches_dense() {
         let c = spgemm(&sample_a(), &sample_b());
         assert_eq!(c.validate(), Ok(()));
-        assert!(c.to_dense().approx_eq(&dense_ref(&sample_a(), &sample_b()), 1e-12));
+        assert!(c
+            .to_dense()
+            .approx_eq(&dense_ref(&sample_a(), &sample_b()), 1e-12));
     }
 
     #[test]
@@ -278,6 +407,67 @@ mod tests {
         let via_plan = plan.execute(&a, &b);
         let generic = spgemm(&a, &b);
         assert_eq!(via_plan, generic);
+    }
+
+    #[test]
+    fn executed_output_shares_plan_pattern() {
+        let a = sample_a();
+        let b = sample_b();
+        let plan = SymbolicProduct::plan(&a.pattern(), &b.pattern());
+        let c = plan.execute(&a, &b);
+        assert!(Arc::ptr_eq(c.pattern_ref(), plan.out_pattern()));
+        // Operand handles were retained, so matching is pointer equality.
+        assert!(Arc::ptr_eq(plan.a_pattern(), a.pattern_ref()));
+        assert!(plan.operands_match(&a, &b));
+    }
+
+    #[test]
+    fn execute_into_matches_execute() {
+        let a = sample_a();
+        let b = sample_b();
+        let plan = SymbolicProduct::plan(&a.pattern(), &b.pattern());
+        let reference = plan.execute(&a, &b);
+        // Start from a buffer with a completely different shape: the first
+        // call rebinds it.
+        let mut out = Csr::<f64>::identity(7);
+        plan.execute_into(&a, &b, &mut out);
+        assert_eq!(out, reference);
+        // Steady state: same buffer again.
+        plan.execute_into(&a, &b, &mut out);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn execute_into_parallel_matches_serial() {
+        let pool = bppsa_scan::WorkerPool::new(3);
+        let mut rng_state = 0x1234_5678_u64;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        // A moderately large random product so chunking is non-trivial.
+        let (m, k, n) = (37, 29, 31);
+        let a = Csr::from_dense(&Matrix::from_fn(m, k, |_, _| {
+            let v = next();
+            if v > -0.2 {
+                v
+            } else {
+                0.0
+            }
+        }));
+        let b = Csr::from_dense(&Matrix::from_fn(k, n, |_, _| {
+            let v = next();
+            if v > -0.1 {
+                v
+            } else {
+                0.0
+            }
+        }));
+        let plan = SymbolicProduct::plan(&a.pattern(), &b.pattern());
+        let reference = plan.execute(&a, &b);
+        let mut out = Csr::from_pattern(plan.out_pattern().clone());
+        plan.execute_into_parallel(&a, &b, &mut out, &pool);
+        assert_eq!(out, reference);
     }
 
     #[test]

@@ -8,18 +8,16 @@ const DIM: std::ops::Range<usize> = 1..8;
 
 /// A random matrix with ~`density` fraction of non-zeros.
 fn sparse_dense_pair(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
-    proptest::collection::vec((any::<bool>(), -5.0..5.0f64), rows * cols).prop_map(
-        move |cells| {
-            Matrix::from_vec(
-                rows,
-                cols,
-                cells
-                    .into_iter()
-                    .map(|(keep, v)| if keep && v != 0.0 { v } else { 0.0 })
-                    .collect(),
-            )
-        },
-    )
+    proptest::collection::vec((any::<bool>(), -5.0..5.0f64), rows * cols).prop_map(move |cells| {
+        Matrix::from_vec(
+            rows,
+            cols,
+            cells
+                .into_iter()
+                .map(|(keep, v)| if keep && v != 0.0 { v } else { 0.0 })
+                .collect(),
+        )
+    })
 }
 
 proptest! {
@@ -114,5 +112,46 @@ proptest! {
         let left = spgemm(&spgemm(&sa, &sb), &sc);
         let right = spgemm(&sa, &spgemm(&sb, &sc));
         prop_assert!(left.to_dense().approx_eq(&right.to_dense(), 1e-8));
+    }
+
+    #[test]
+    fn execute_into_agrees_with_spgemm((a, b) in (DIM, DIM, DIM).prop_flat_map(|(m, k, n)| {
+        (sparse_dense_pair(m, k), sparse_dense_pair(k, n))
+    })) {
+        let sa = Csr::from_dense(&a);
+        let sb = Csr::from_dense(&b);
+        let plan = SymbolicProduct::plan(&sa.pattern(), &sb.pattern());
+        let reference = spgemm(&sa, &sb);
+        // Buffer starts with an unrelated shape; execute_into must rebind it
+        // and reuse it across calls without drifting.
+        let mut out = Csr::<f64>::identity(1);
+        plan.execute_into(&sa, &sb, &mut out);
+        prop_assert_eq!(&out, &reference);
+        plan.execute_into(&sa, &sb, &mut out);
+        prop_assert_eq!(&out, &reference);
+    }
+
+    #[test]
+    fn row_parallel_numeric_agrees_with_spgemm((a, b) in (DIM, DIM, DIM).prop_flat_map(|(m, k, n)| {
+        (sparse_dense_pair(m, k), sparse_dense_pair(k, n))
+    })) {
+        let sa = Csr::from_dense(&a);
+        let sb = Csr::from_dense(&b);
+        let plan = SymbolicProduct::plan(&sa.pattern(), &sb.pattern());
+        let reference = spgemm(&sa, &sb);
+        let mut out = Csr::from_pattern(plan.out_pattern().clone());
+        plan.execute_into_parallel(&sa, &sb, &mut out, bppsa_scan::global_pool());
+        prop_assert_eq!(&out, &reference);
+    }
+
+    #[test]
+    fn spmv_into_agrees_with_spmv((d, x) in (DIM, DIM).prop_flat_map(|(m, n)| {
+        (sparse_dense_pair(m, n), proptest::collection::vec(-5.0..5.0f64, n))
+    })) {
+        let csr = Csr::from_dense(&d);
+        let x = Vector::from_vec(x);
+        let mut out = Vector::zeros(csr.rows());
+        csr.spmv_into(&x, &mut out);
+        prop_assert!(out.approx_eq(&csr.spmv(&x), 0.0));
     }
 }

@@ -362,11 +362,7 @@ impl<S: Scalar> Matrix<S> {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> S {
-        self.data
-            .iter()
-            .map(|&x| x * x)
-            .sum::<S>()
-            .sqrt()
+        self.data.iter().map(|&x| x * x).sum::<S>().sqrt()
     }
 
     /// Number of exactly-zero entries.

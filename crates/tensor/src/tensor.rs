@@ -73,10 +73,7 @@ impl<S: Scalar> Tensor<S> {
     /// # Errors
     ///
     /// Returns a [`ShapeError`] if the buffer length does not match `shape`.
-    pub fn try_from_vec(
-        shape: impl Into<Vec<usize>>,
-        data: Vec<S>,
-    ) -> Result<Self, ShapeError> {
+    pub fn try_from_vec(shape: impl Into<Vec<usize>>, data: Vec<S>) -> Result<Self, ShapeError> {
         let shape = shape.into();
         let numel: usize = shape.iter().product();
         if data.len() != numel {

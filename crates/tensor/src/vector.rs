@@ -243,7 +243,11 @@ impl<S: Scalar> Vector<S> {
     ///
     /// Panics if the length is not divisible by `n`.
     pub fn split_even(&self, n: usize) -> Vec<Vector<S>> {
-        assert!(n > 0 && self.len() % n == 0, "split_even: {} % {n} != 0", self.len());
+        assert!(
+            n > 0 && self.len().is_multiple_of(n),
+            "split_even: {} % {n} != 0",
+            self.len()
+        );
         let chunk = self.len() / n;
         self.data
             .chunks(chunk)

@@ -31,7 +31,11 @@ fn main() {
     for op in net.ops_mut() {
         if op.prunable_len() > 0 {
             prune_operator(op.as_mut(), 0.97);
-            println!("  {}: weight sparsity {:.3}", op.name(), weight_sparsity(op.as_ref()));
+            println!(
+                "  {}: weight sparsity {:.3}",
+                op.name(),
+                weight_sparsity(op.as_ref())
+            );
         }
     }
 

@@ -20,7 +20,11 @@ fn main() {
     net.push(Box::new(MaxPool2d::new(4, (2, 2), (2, 2), (8, 8))));
     net.push(Box::new(Flatten::new(vec![4, 4, 4])));
     net.push(Box::new(Linear::new(64, 10, &mut rng)));
-    println!("network: {} layers, {} parameters", net.num_layers(), net.num_params());
+    println!(
+        "network: {} layers, {} parameters",
+        net.num_layers(),
+        net.num_params()
+    );
 
     // 2. Forward pass, recording the tape of activations x0 … xn.
     let image = bppsa::tensor::init::uniform_tensor(&mut rng, vec![1, 8, 8], 1.0);

@@ -33,12 +33,22 @@ fn main() {
 
     let bptt = run("BPTT", BackwardMethod::Bp);
     let bppsa = run("BPPSA", BackwardMethod::bppsa_pooled());
+    // The steady-state fast path: one fused block-diagonal scan per
+    // mini-batch, symbolically planned once, then executed numeric-only
+    // over a reused zero-allocation workspace every iteration.
+    let planned = run(
+        "PLANNED",
+        BackwardMethod::bppsa_fused_planned(BppsaOptions::serial()),
+    );
 
     // The training trajectories are identical — BPPSA changes *how*
     // gradients are computed, not what they are.
     let gap = bptt.max_loss_gap(&bppsa);
-    println!("max per-iteration loss gap: {gap:.2e}");
+    println!("max per-iteration loss gap (BPTT vs BPPSA): {gap:.2e}");
     assert!(gap < 1e-3);
+    let gap_planned = bptt.max_loss_gap(&planned);
+    println!("max per-iteration loss gap (BPTT vs planned): {gap_planned:.2e}");
+    assert!(gap_planned < 1e-3);
 
     // At GPU scale the time axis compresses; the PRAM model shows by how much.
     let speedup = simulate_speedups(&RnnWorkload::paper_default(), &DeviceProfile::rtx_2070());

@@ -1,0 +1,341 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset this workspace's benches use — `criterion_group!`
+//! / `criterion_main!`, benchmark groups with `sample_size` / `warm_up_time` /
+//! `measurement_time`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! and `Bencher::iter` — over a plain wall-clock measurement loop
+//! (`std::time::Instant`, median-of-samples reporting, no statistics engine).
+//!
+//! Results print to stdout. When the `CRITERION_JSON_DIR` environment
+//! variable names a directory, each group additionally writes
+//! `<dir>/<group>.json` with `{name, median_ns, mean_ns, samples}` records so
+//! perf baselines can be committed and diffed across PRs.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies a parameterized benchmark (`name/param`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Builds a bare parameter id.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            full: param.to_string(),
+        }
+    }
+}
+
+/// Measurement state handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back invocations of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One benchmark's recorded samples (per-iteration nanoseconds).
+struct BenchResult {
+    name: String,
+    samples_ns: Vec<f64>,
+}
+
+impl BenchResult {
+    fn median_ns(&self) -> f64 {
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let n = s.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        if n % 2 == 1 {
+            s[n / 2]
+        } else {
+            0.5 * (s[n / 2 - 1] + s[n / 2])
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return f64::NAN;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+}
+
+/// The top-level harness context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored; the shim
+    /// has no CLI).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+            results: Vec::new(),
+            finished: false,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration; prints (and optionally
+/// writes JSON) on [`BenchmarkGroup::finish`] / drop.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    results: Vec<BenchResult>,
+    finished: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total sampling budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        mut f: F,
+    ) -> &mut Self {
+        let name = id.into_benchmark_name();
+        let samples = run_bench(
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        let result = BenchResult {
+            name: format!("{}/{}", self.name, name),
+            samples_ns: samples,
+        };
+        println!(
+            "bench {:<56} median {:>12}  mean {:>12}",
+            result.name,
+            fmt_ns(result.median_ns()),
+            fmt_ns(result.mean_ns()),
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Reports the group (stdout + optional JSON) — also runs on drop.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if let Ok(dir) = std::env::var("CRITERION_JSON_DIR") {
+            let dir = std::path::Path::new(&dir);
+            let _ = std::fs::create_dir_all(dir);
+            let mut out = String::from("[\n");
+            for (i, r) in self.results.iter().enumerate() {
+                let sep = if i + 1 == self.results.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}{}\n",
+                    r.name,
+                    r.median_ns(),
+                    r.mean_ns(),
+                    r.samples_ns.len(),
+                    sep
+                ));
+            }
+            out.push_str("]\n");
+            let path = dir.join(format!("{}.json", self.name));
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("criterion shim: failed to write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Benchmark-name conversion for `bench_function`'s flexible id argument.
+pub trait IntoBenchmarkName {
+    /// The display name.
+    fn into_benchmark_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_benchmark_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_benchmark_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_benchmark_name(self) -> String {
+        self.full
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut F,
+) -> Vec<f64> {
+    // Warm-up and iteration-count calibration: run single iterations until
+    // the warm-up budget is spent, tracking the observed per-call time.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut per_call = Duration::from_nanos(1);
+    let mut calls = 0u64;
+    while warm_start.elapsed() < warm_up || calls == 0 {
+        f(&mut b);
+        per_call = b.elapsed.max(Duration::from_nanos(1));
+        calls += 1;
+    }
+    // Choose iters so each sample takes ~ measurement / sample_size.
+    let per_sample = measurement.as_nanos() as u64 / sample_size.max(1) as u64;
+    let iters = (per_sample / per_call.as_nanos().max(1) as u64).clamp(1, 1_000_000_000);
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        return "n/a".into();
+    }
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke_records_samples() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("shim_smoke");
+            g.sample_size(3)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(5));
+            g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            assert_eq!(g.results.len(), 2);
+            assert!(g.results[0].median_ns() >= 0.0);
+            g.finish();
+        }
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", 3).full, "a/3");
+        assert_eq!(BenchmarkId::from_parameter(7).full, "7");
+    }
+}

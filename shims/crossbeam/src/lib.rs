@@ -1,0 +1,68 @@
+//! Offline stand-in for `crossbeam`: scoped threads built on
+//! `std::thread::scope` (stable since Rust 1.63), exposing the
+//! `crossbeam::thread::scope(|s| { s.spawn(|_| …); })` call shape this
+//! workspace uses.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Dummy handle passed to spawned closures (crossbeam passes the scope
+    /// itself; the workspace's closures ignore the argument).
+    pub struct SpawnHandle(());
+
+    /// A scope in which borrowing threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives a placeholder
+        /// argument mirroring crossbeam's `|scope|` parameter.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&SpawnHandle) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&SpawnHandle(())))
+        }
+    }
+
+    /// Runs `f` with a scope handle, joining all spawned threads before
+    /// returning. Returns `Err` if any spawned thread (or `f`) panicked —
+    /// matching crossbeam's result-based panic reporting.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+                }
+            })
+            .expect("no panics");
+            assert_eq!(counter.load(Ordering::Relaxed), 4);
+        }
+
+        #[test]
+        fn panicking_thread_reports_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

@@ -1,0 +1,661 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! deterministic randomized-testing harness exposing the `proptest` API
+//! subset its test suites use: the [`proptest!`] macro, range/tuple/`Just`/
+//! collection/array strategies, `prop_map`/`prop_flat_map`/`prop_filter`/
+//! `prop_filter_map`, `any::<T>()`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: sampling is plain Monte Carlo (no
+//! shrinking — a failure reports the concrete case that produced it), and
+//! string strategies support only simple `[class]{m,n}` patterns. Runs are
+//! deterministic: the seed derives from the test name (override with
+//! `PROPTEST_SEED`).
+
+use std::ops::Range;
+
+/// The deterministic generator threaded through strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be non-zero.
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A value generator (no shrinking).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then samples from the strategy `f` returns.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Retains only values satisfying `pred` (resamples otherwise).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            reason,
+        }
+    }
+
+    /// Maps through `f`, resampling whenever `f` returns `None`.
+    fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap {
+            inner: self,
+            f,
+            reason,
+        }
+    }
+
+    /// Boxes the strategy (API-compat helper).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// How many resamples a filter performs before giving up.
+const MAX_REJECTS: usize = 10_000;
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_REJECTS {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter: too many rejects ({})", self.reason);
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        for _ in 0..MAX_REJECTS {
+            if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map: too many rejects ({})", self.reason);
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn StrategyObj<Value = T>>);
+
+trait StrategyObj {
+    type Value;
+    fn sample_obj(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> StrategyObj for S {
+    type Value = S::Value;
+    fn sample_obj(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample_obj(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($t:ty) => {
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+    };
+}
+int_range_strategy!(usize);
+int_range_strategy!(u64);
+int_range_strategy!(u32);
+int_range_strategy!(u16);
+int_range_strategy!(u8);
+int_range_strategy!(i64);
+int_range_strategy!(i32);
+int_range_strategy!(i16);
+int_range_strategy!(i8);
+
+macro_rules! float_range_strategy {
+    ($t:ty) => {
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+    };
+}
+float_range_strategy!(f64);
+float_range_strategy!(f32);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+/// Simple pattern strategy: `&str` of the form `[class]{m,n}` (or a literal
+/// with no metacharacters) generates matching `String`s.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        match parse_simple_pattern(self) {
+            None => (*self).to_string(), // literal pattern
+            Some((chars, min, max)) => {
+                let len = min + rng.index(max - min + 1);
+                (0..len).map(|_| chars[rng.index(chars.len())]).collect()
+            }
+        }
+    }
+}
+
+/// Parses `[a-cx]{m,n}` / `[a-c]{m}` / `[a-c]` patterns; `None` = literal.
+fn parse_simple_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let bytes: Vec<char> = pat.chars().collect();
+    if bytes.first() != Some(&'[') {
+        assert!(
+            !pat.contains(['[', ']', '{', '}', '*', '+', '?', '.', '\\', '|', '(', ')']),
+            "string strategy shim supports only `[class]{{m,n}}` or literal patterns, got {pat:?}"
+        );
+        return None;
+    }
+    let close = bytes
+        .iter()
+        .position(|&c| c == ']')
+        .unwrap_or_else(|| panic!("unterminated char class in {pat:?}"));
+    let mut chars = Vec::new();
+    let mut i = 1;
+    while i < close {
+        if i + 2 < close && bytes[i + 1] == '-' {
+            let (a, b) = (bytes[i], bytes[i + 2]);
+            assert!(a <= b, "bad range {a}-{b} in {pat:?}");
+            for c in a..=b {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(bytes[i]);
+            i += 1;
+        }
+    }
+    assert!(!chars.is_empty(), "empty char class in {pat:?}");
+    let rest: String = bytes[close + 1..].iter().collect();
+    if rest.is_empty() {
+        return Some((chars, 1, 1));
+    }
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported quantifier {rest:?} in {pat:?}"));
+    let (min, max) = match inner.split_once(',') {
+        Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+        None => {
+            let n = inner.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    assert!(min <= max, "bad quantifier in {pat:?}");
+    Some((chars, min, max))
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    /// The `any::<T>()` strategy for this type.
+    fn arbitrary() -> AnyStrategy<Self>;
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_uniform {
+    ($t:ty, $sample:expr) => {
+        impl Arbitrary for $t {
+            fn arbitrary() -> AnyStrategy<$t> {
+                AnyStrategy(std::marker::PhantomData)
+            }
+        }
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let f: fn(&mut TestRng) -> $t = $sample;
+                f(rng)
+            }
+        }
+    };
+}
+arbitrary_uniform!(bool, |r| r.next_u64() & 1 == 1);
+arbitrary_uniform!(u8, |r| r.next_u64() as u8);
+arbitrary_uniform!(u16, |r| r.next_u64() as u16);
+arbitrary_uniform!(u32, |r| r.next_u64() as u32);
+arbitrary_uniform!(u64, |r| r.next_u64());
+arbitrary_uniform!(usize, |r| r.next_u64() as usize);
+arbitrary_uniform!(i32, |r| r.next_u64() as i32);
+arbitrary_uniform!(i64, |r| r.next_u64() as i64);
+arbitrary_uniform!(f64, |r| f64::from_bits(r.next_u64() >> 2));
+arbitrary_uniform!(f32, |r| f32::from_bits((r.next_u64() >> 34) as u32));
+
+/// Uniform full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    T::arbitrary()
+}
+
+/// Numeric `ANY` constants (`proptest::num::u64::ANY` style).
+pub mod num {
+    /// `u64` strategies.
+    pub mod u64 {
+        /// Full-domain `u64`.
+        pub const ANY: super::super::AnyStrategy<u64> =
+            super::super::AnyStrategy(std::marker::PhantomData);
+    }
+    /// `u32` strategies.
+    pub mod u32 {
+        /// Full-domain `u32`.
+        pub const ANY: super::super::AnyStrategy<u32> =
+            super::super::AnyStrategy(std::marker::PhantomData);
+    }
+    /// `i64` strategies.
+    pub mod i64 {
+        /// Full-domain `i64`.
+        pub const ANY: super::super::AnyStrategy<i64> =
+            super::super::AnyStrategy(std::marker::PhantomData);
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.min + rng.index(self.size.max - self.size.min + 1);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Array strategies.
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    macro_rules! uniform_array {
+        ($fn_name:ident, $ty_name:ident, $n:expr) => {
+            /// Strategy for fixed-size arrays with a shared element strategy.
+            pub struct $ty_name<S>(S);
+
+            /// Generates `[T; N]` with every element drawn from `element`.
+            pub fn $fn_name<S: Strategy>(element: S) -> $ty_name<S> {
+                $ty_name(element)
+            }
+
+            impl<S: Strategy> Strategy for $ty_name<S> {
+                type Value = [S::Value; $n];
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    std::array::from_fn(|_| self.0.sample(rng))
+                }
+            }
+        };
+    }
+    uniform_array!(uniform2, ArrayStrategy2, 2);
+    uniform_array!(uniform3, ArrayStrategy3, 3);
+    uniform_array!(uniform4, ArrayStrategy4, 4);
+    uniform_array!(uniform8, ArrayStrategy8, 8);
+}
+
+/// Runner configuration.
+pub mod test_runner {
+    /// Number-of-cases configuration (`ProptestConfig` subset).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// How many random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Derives the deterministic base seed for a named test.
+pub fn base_seed(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            return v;
+        }
+    }
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The common imports.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, proptest, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
+}
+
+/// Defines deterministic randomized tests (proptest's macro, minus
+/// shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (
+        $(#[test] fn $name:ident ( $($args:tt)* ) $body:block)*
+    ) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default())
+            $(#[test] fn $name ( $($args)* ) $body)*);
+    };
+    (@with_config ($cfg:expr)
+        $(#[test] fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::TestRng::new($crate::base_seed(concat!(
+                    module_path!(), "::", stringify!($name)
+                )));
+                for _case in 0..config.cases {
+                    // A closure so `prop_assume!` can skip the case via
+                    // early return. `mut` stays for bodies that mutate
+                    // captured state.
+                    #[allow(unused_mut)]
+                    let mut one_case = |rng: &mut $crate::TestRng| {
+                        $(let $pat = $crate::Strategy::sample(&($strat), rng);)+
+                        $body
+                    };
+                    one_case(&mut rng);
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let x = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&x));
+            let f = (-1.0f64..1.0).sample(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::new(2);
+        let s = (1usize..5)
+            .prop_flat_map(|n| collection::vec(0.0f64..1.0, n))
+            .prop_map(|v| v.len())
+            .prop_filter("nonzero", |&n| n > 0);
+        for _ in 0..100 {
+            let n = s.sample(&mut rng);
+            assert!((1..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn string_pattern_strategy() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = "[a-c]{0,2}".sample(&mut rng);
+            assert!(s.len() <= 2);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_smoke((a, b) in (0usize..10, 0usize..10), c in any::<bool>()) {
+            prop_assume!(a + b < 18);
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(c as usize * 2 % 2, 0);
+        }
+    }
+}

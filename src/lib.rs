@@ -35,6 +35,32 @@
 //! // §3.5: BPPSA reconstructs BP exactly (up to fp reassociation).
 //! assert!(baseline.max_abs_diff(&scanned) < 1e-10);
 //! ```
+//!
+//! ## Steady-state training: plan once, execute many
+//!
+//! Because the Jacobians' guaranteed-zero patterns are deterministic (§3.3),
+//! the *entire* backward pass can be compiled ahead of training into a
+//! numeric-only program over pre-sized buffers. [`PlannedScan`] is the
+//! compiler, [`ScanWorkspace`](core::ScanWorkspace) the reusable buffers,
+//! and the per-iteration [`PlannedScan::execute_with`](core::PlannedScan::execute_with)
+//! performs **zero heap allocations** in the steady state (asserted by a
+//! counting-allocator test). [`PlannedBackwardCache`](core::PlannedBackwardCache)
+//! packages the lifecycle for training loops:
+//!
+//! ```
+//! use bppsa::prelude::*;
+//! use bppsa::sparse::Csr;
+//!
+//! let mut cache = PlannedBackwardCache::<f64>::new();
+//! for step in 0..4 {
+//!     // Every iteration: same patterns, fresh values.
+//!     let mut chain = JacobianChain::new(Vector::from_vec(vec![1.0, step as f64]));
+//!     chain.push(ScanElement::Sparse(Csr::from_diagonal(&[0.5, 1.0 + step as f64])));
+//!     let grads = cache.backward(&chain, BppsaOptions::serial());
+//!     assert_eq!(grads.grads().len(), 1);
+//! }
+//! assert_eq!(cache.plans_built(), 1); // symbolic work ran exactly once
+//! ```
 
 #![warn(missing_docs)]
 
@@ -51,7 +77,8 @@ pub use bppsa_tensor as tensor;
 pub mod prelude {
     pub use bppsa_core::{
         bppsa_backward, linear_backward, BackwardResult, BppsaOptions, Gradients, JacobianChain,
-        JacobianRepr, JacobianScanOp, Network, PlannedScan, ScanElement, Tape,
+        JacobianRepr, JacobianScanOp, Network, PlannedBackwardCache, PlannedScan, ScanElement,
+        ScanWorkspace, Tape,
     };
     pub use bppsa_models::{
         lenet5, lenet_tiny, vgg11, vgg11_convs, Adam, BitstreamDataset, Gru, Optimizer, RnnGrads,

@@ -56,15 +56,7 @@ fn rnn_learns_the_bitstream_task() {
     let data = BitstreamDataset::<f32>::generate(80, 96, 25);
     let mut rnn = VanillaRnn::<f32>::new(1, 20, 10, &mut seeded_rng(26));
     let mut opt = Adam::new(5e-3);
-    let log = train_rnn(
-        &mut rnn,
-        &data,
-        &mut opt,
-        BackwardMethod::Bp,
-        16,
-        40,
-        None,
-    );
+    let log = train_rnn(&mut rnn, &data, &mut opt, BackwardMethod::Bp, 16, 40, None);
     let acc = evaluate_rnn(&rnn, &data);
     assert!(
         acc > 0.3,

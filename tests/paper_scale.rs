@@ -10,10 +10,14 @@ struct M2Mul;
 impl ScanOp<[i64; 4]> for M2Mul {
     fn combine(&self, a: &[i64; 4], b: &[i64; 4]) -> [i64; 4] {
         [
-            a[0].wrapping_mul(b[0]).wrapping_add(a[1].wrapping_mul(b[2])),
-            a[0].wrapping_mul(b[1]).wrapping_add(a[1].wrapping_mul(b[3])),
-            a[2].wrapping_mul(b[0]).wrapping_add(a[3].wrapping_mul(b[2])),
-            a[2].wrapping_mul(b[1]).wrapping_add(a[3].wrapping_mul(b[3])),
+            a[0].wrapping_mul(b[0])
+                .wrapping_add(a[1].wrapping_mul(b[2])),
+            a[0].wrapping_mul(b[1])
+                .wrapping_add(a[1].wrapping_mul(b[3])),
+            a[2].wrapping_mul(b[0])
+                .wrapping_add(a[3].wrapping_mul(b[2])),
+            a[2].wrapping_mul(b[1])
+                .wrapping_add(a[3].wrapping_mul(b[3])),
         ]
     }
     fn identity(&self) -> [i64; 4] {
@@ -52,9 +56,7 @@ fn pooled_scan_is_exact_at_t30000() {
 
 #[test]
 fn hybrid_cutoffs_exact_at_scale() {
-    let items: Vec<[i64; 4]> = (0..4097i64)
-        .map(|i| [1, i % 9 - 4, 0, 1])
-        .collect();
+    let items: Vec<[i64; 4]> = (0..4097i64).map(|i| [1, i % 9 - 4, 0, 1]).collect();
     let expect = serial_exclusive_scan(&M2Mul, &items);
     for k in [0usize, 3, 7, 12] {
         let mut a = items.clone();
@@ -133,7 +135,9 @@ fn planned_scan_matches_generic_on_conv_chain() {
 fn gru_scan_agrees_with_bptt_at_depth() {
     // The GRU extension at a nontrivial depth, pooled executor.
     let g = Gru::<f64>::new(6, 4, &mut seeded_rng(5));
-    let xs: Vec<f64> = (0..500).map(|i| ((i * 7) % 13) as f64 / 13.0 - 0.5).collect();
+    let xs: Vec<f64> = (0..500)
+        .map(|i| ((i * 7) % 13) as f64 / 13.0 - 0.5)
+        .collect();
     let steps = g.forward(&xs);
     let (_, seed) = g.loss_and_seed(&steps, 2);
     let bptt = g.hidden_grads_bptt(&steps, &seed);

@@ -17,9 +17,8 @@ fn arb_chain() -> impl Strategy<Value = JacobianChain<f64>> {
             let mut dims = vec![3usize];
             dims.extend(dims_tail);
             let n = dims.len() - 1;
-            let mut chain = JacobianChain::new(bppsa::tensor::init::uniform_vector(
-                &mut rng, dims[n], 1.0,
-            ));
+            let mut chain =
+                JacobianChain::new(bppsa::tensor::init::uniform_vector(&mut rng, dims[n], 1.0));
             for i in 0..n {
                 chain.push(ScanElement::Dense(bppsa::tensor::init::uniform_matrix(
                     &mut rng,
