@@ -7,11 +7,20 @@
 //! group ablates the row-parallel numeric SpGEMM against single-thread
 //! numeric on a large product.
 //!
+//! A third group measures [`BatchedBackward`] throughput — 8 same-shape
+//! mini-batches fanned over a [`WorkspacePool`](bppsa_core::WorkspacePool)
+//! — as a function of the pool's workspace capacity (1/2/4/8). On
+//! multi-core hardware throughput should rise with capacity until it
+//! saturates the worker count; in a 1-core container the curve is flat and
+//! only measures pool overhead.
+//!
 //! Set `CRITERION_JSON_DIR=<dir>` to emit `planned_scan.json` /
-//! `spgemm_row_parallel.json` baselines (committed as
-//! `BENCH_planned_scan.json` at the workspace root).
+//! `spgemm_row_parallel.json` / `workspace_pool.json` baselines (committed
+//! as `BENCH_planned_scan.json` at the workspace root).
 
-use bppsa_core::{bppsa_backward, BppsaOptions, JacobianChain, PlannedScan, ScanElement};
+use bppsa_core::{
+    bppsa_backward, BatchedBackward, BppsaOptions, JacobianChain, PlannedScan, ScanElement,
+};
 use bppsa_models::prune::prune_operator;
 use bppsa_ops::{Conv2d, Conv2dConfig, Operator, Relu};
 use bppsa_sparse::{Csr, SymbolicProduct};
@@ -159,5 +168,76 @@ fn bench_row_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_planned, bench_row_parallel);
+fn bench_workspace_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workspace_pool");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // 8 mini-batches of the RNN shape (many small Jacobians), same
+    // structure with distinct values — the serving-shard workload: one
+    // compiled plan, one workspace per in-flight batch.
+    let mut rng = seeded_rng(77);
+    let (n, width, batches) = (192usize, 16usize, 8usize);
+    let template = {
+        let mut chain = JacobianChain::new(uniform_vector(&mut rng, width, 1.0));
+        for _ in 0..n {
+            chain.push(ScanElement::Sparse(random_csr(&mut rng, width, width, 0.3)));
+        }
+        chain
+    };
+    let chains: Vec<JacobianChain<f64>> = (0..batches)
+        .map(|_| {
+            let mut chain = JacobianChain::new(uniform_vector(&mut rng, width, 1.0));
+            for jt in template.jacobians() {
+                let ScanElement::Sparse(m) = jt else {
+                    unreachable!()
+                };
+                chain.push(ScanElement::Sparse(
+                    m.map_values(|_| rng.random_range(-1.0..1.0)),
+                ));
+            }
+            chain
+        })
+        .collect();
+    let plan = std::sync::Arc::new(PlannedScan::plan(&template, BppsaOptions::serial()));
+
+    for capacity in [1usize, 2, 4, 8] {
+        let batched = BatchedBackward::with_capacity(std::sync::Arc::clone(&plan), capacity);
+        batched.prewarm(batches);
+        let sink = std::sync::atomic::AtomicUsize::new(0);
+        // Warm the worker pool before measuring.
+        batched.execute(&chains, &|_, r| {
+            sink.fetch_add(r.grads().len(), std::sync::atomic::Ordering::Relaxed);
+        });
+        group.bench_function(format!("batched_8_chains/capacity_{capacity}"), |b| {
+            b.iter(|| {
+                batched.execute(std::hint::black_box(&chains), &|_, r| {
+                    sink.fetch_add(r.grads().len(), std::sync::atomic::Ordering::Relaxed);
+                })
+            })
+        });
+    }
+
+    // Baseline: the same 8 chains through one workspace, serially.
+    let mut ws = plan.workspace::<f64>();
+    let _ = plan.execute_with(&chains[0], &mut ws);
+    group.bench_function("serial_8_chains/single_workspace", |b| {
+        b.iter(|| {
+            for chain in &chains {
+                let _ = plan.execute_with(std::hint::black_box(chain), &mut ws);
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_planned,
+    bench_row_parallel,
+    bench_workspace_pool
+);
 criterion_main!(benches);

@@ -12,6 +12,15 @@
 //! * binaries run a scaled-down configuration by default so the whole suite
 //!   finishes in minutes on a laptop; pass `--full` (or set `BPPSA_FULL=1`)
 //!   for paper-scale runs.
+//!
+//! ```
+//! use bppsa_bench::fmt_sig;
+//!
+//! // The shared number formatting every harness table uses.
+//! assert_eq!(fmt_sig(1234.0), "1234");
+//! assert_eq!(fmt_sig(2.345), "2.35");
+//! assert_eq!(fmt_sig(0.012345), "0.0123");
+//! ```
 
 #![warn(missing_docs)]
 

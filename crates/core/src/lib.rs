@@ -18,6 +18,12 @@
 //! 4. **Integration.** [`Network`] ties operators into the Equation 1
 //!    composition with both backward paths, and [`flops`] reproduces the
 //!    Figure 11 static analysis.
+//! 5. **Steady state & scale-out.** [`PlannedScan`] compiles the whole
+//!    backward pass into a numeric-only program (§3.3 hoisted over the
+//!    training run); one reused [`ScanWorkspace`] makes an iteration
+//!    allocation-free, and [`WorkspacePool`] / [`BatchedBackward`] fan many
+//!    mini-batches of the same compiled plan across the worker pool
+//!    concurrently — the serving-shard layer (see `ARCHITECTURE.md`).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +54,7 @@ mod chain;
 mod element;
 mod network;
 mod planned;
+mod pool;
 
 pub mod flops;
 
@@ -56,6 +63,7 @@ pub use chain::{gradients_from_scan_output, JacobianChain};
 pub use element::{JacobianScanOp, ScanElement};
 pub use network::{Gradients, JacobianRepr, Network, Tape};
 pub use planned::{Mru, PlannedBackwardCache, PlannedScan, ScanWorkspace, PLAN_CACHE_CAPACITY};
+pub use pool::{BatchedBackward, PooledWorkspace, WorkspacePool};
 
 #[cfg(test)]
 mod tests {

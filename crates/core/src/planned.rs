@@ -141,7 +141,7 @@ enum Sim {
 /// A fully-planned BPPSA backward pass for one chain *shape*: reusable
 /// across iterations as long as every Jacobian keeps its guaranteed pattern.
 ///
-/// See the [module docs](self) for the plan/workspace/execute lifecycle.
+/// See the source module's docs for the plan/workspace/execute lifecycle.
 ///
 /// # Examples
 ///

@@ -22,6 +22,7 @@
 //!
 //! validated against finite differences, BPTT, and the scan in the tests.
 
+use crate::pooled::PooledChainSet;
 use bppsa_core::{bppsa_backward, BppsaOptions, JacobianChain, PlannedBackwardCache, ScanElement};
 use bppsa_ops::SoftmaxCrossEntropy;
 use bppsa_tensor::{init, Matrix, Scalar, Vector};
@@ -174,23 +175,98 @@ impl<S: Scalar> Gru<S> {
     /// recorded step.
     pub fn hidden_jacobian_t(&self, step: &GruStep<S>, h_prev: &Vector<S>) -> Matrix<S> {
         let h_dim = self.hidden_size();
-        // Row-scaling vectors.
-        let dz = Vector::from_fn(h_dim, |j| {
-            (h_prev[j] - step.n[j]) * step.z[j] * (S::ONE - step.z[j])
-        });
-        let dn_scale = Vector::from_fn(h_dim, |j| {
-            (S::ONE - step.z[j]) * (S::ONE - step.n[j] * step.n[j])
-        });
-        let dr = Vector::from_fn(h_dim, |j| step.un_h[j] * step.r[j] * (S::ONE - step.r[j]));
+        let mut out = Matrix::zeros(h_dim, h_dim);
+        self.fill_hidden_jacobian_values(step, h_prev, out.as_mut_slice());
+        out
+    }
+
+    /// Writes [`Gru::hidden_jacobian_t`]'s values row-major into a
+    /// caller-owned slice — the allocation-free refresh used when a pooled
+    /// chain's element values are rewritten in place between iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != hidden²`.
+    pub fn fill_hidden_jacobian_values(
+        &self,
+        step: &GruStep<S>,
+        h_prev: &Vector<S>,
+        out: &mut [S],
+    ) {
+        let h_dim = self.hidden_size();
+        assert_eq!(out.len(), h_dim * h_dim, "fill_hidden_jacobian_values");
         // J[j][i] = ∂h_t[j]/∂h_prev[i]; we emit Jᵀ[i][j] directly.
-        Matrix::from_fn(h_dim, h_dim, |i, j| {
-            let mut v = dz[j] * self.uz.get(j, i)
-                + dn_scale[j] * (step.r[j] * self.un.get(j, i) + dr[j] * self.ur.get(j, i));
-            if i == j {
-                v += step.z[j];
+        for j in 0..h_dim {
+            let dz = (h_prev[j] - step.n[j]) * step.z[j] * (S::ONE - step.z[j]);
+            let dn_scale = (S::ONE - step.z[j]) * (S::ONE - step.n[j] * step.n[j]);
+            let dr = step.un_h[j] * step.r[j] * (S::ONE - step.r[j]);
+            for i in 0..h_dim {
+                let mut v = dz * self.uz.get(j, i)
+                    + dn_scale * (step.r[j] * self.un.get(j, i) + dr * self.ur.get(j, i));
+                if i == j {
+                    v += step.z[j];
+                }
+                out[i * h_dim + j] = v;
             }
-            v
-        })
+        }
+    }
+
+    /// Per-sample `∇h_t` sequences for a whole mini-batch via
+    /// [`BatchedBackward`](bppsa_core::BatchedBackward): each sample's
+    /// chain executes the same compiled plan concurrently on its own pooled
+    /// workspace, with chain values refreshed in place between iterations.
+    /// Gradient-equivalent to calling [`Gru::hidden_grads_bppsa`] per
+    /// sample; the batch fan-out (not per-level splitting) supplies the
+    /// parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or sequences have unequal lengths.
+    pub fn hidden_grads_bppsa_pooled(
+        &self,
+        batch: &[(&[GruStep<S>], Vector<S>)],
+        opts: BppsaOptions,
+        state: &mut PooledChainSet<S>,
+    ) -> Vec<Vec<Vector<S>>> {
+        assert!(!batch.is_empty(), "pooled backward: empty batch");
+        let t_len = batch[0].0.len();
+        assert!(
+            batch.iter().all(|(steps, _)| steps.len() == t_len),
+            "pooled backward: unequal sequence lengths"
+        );
+        let h_dim = self.hidden_size();
+        state.ensure((t_len, h_dim), batch.len(), opts, || {
+            self.build_hidden_chain(batch[0].0, &batch[0].1, true)
+        });
+        let zero = Vector::zeros(h_dim);
+        for (k, chain) in state.chains_mut(batch.len()).iter_mut().enumerate() {
+            let (steps, seed) = &batch[k];
+            chain
+                .seed_mut()
+                .as_mut_slice()
+                .copy_from_slice(seed.as_slice());
+            for (t, element) in chain.jacobians_mut().iter_mut().enumerate() {
+                let h_prev = if t == 0 { &zero } else { &steps[t - 1].h };
+                let ScanElement::Sparse(m) = element else {
+                    unreachable!("pooled chain elements are CSR")
+                };
+                self.fill_hidden_jacobian_values(&steps[t], h_prev, m.data_mut());
+            }
+        }
+        let out: Vec<std::sync::Mutex<Vec<Vector<S>>>> =
+            batch.iter().map(|_| Default::default()).collect();
+        state.execute(batch.len(), &|k, result| {
+            *out[k]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) =
+                (0..t_len).map(|t| result.grad_x(t + 1).clone()).collect();
+        });
+        out.into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            })
+            .collect()
     }
 
     /// The `∇h_t` sequence via classic BPTT (sequential — Equation 3's
@@ -303,6 +379,52 @@ mod tests {
             }
         }
         assert_eq!(cache.plans_built(), 1);
+    }
+
+    #[test]
+    fn pooled_hidden_grads_match_bptt_and_plan_once() {
+        let g = gru(31);
+        let prepared: Vec<(Vec<GruStep<f64>>, Vector<f64>)> = (0..4)
+            .map(|k| {
+                let steps = g.forward(&xs(18, 32 + k));
+                let (_, seed) = g.loss_and_seed(&steps, (k % 3) as usize);
+                (steps, seed)
+            })
+            .collect();
+        let batch: Vec<(&[GruStep<f64>], Vector<f64>)> = prepared
+            .iter()
+            .map(|(steps, seed)| (steps.as_slice(), seed.clone()))
+            .collect();
+        let mut state = PooledChainSet::new();
+        for round in 0..3 {
+            let pooled = g.hidden_grads_bppsa_pooled(&batch, BppsaOptions::serial(), &mut state);
+            for (k, (steps, seed)) in prepared.iter().enumerate() {
+                let bptt = g.hidden_grads_bptt(steps, seed);
+                for (t, (a, b)) in bptt.iter().zip(&pooled[k]).enumerate() {
+                    let diff = a.max_abs_diff(b);
+                    assert!(diff < 1e-9, "round {round} k={k} t={t}: diff {diff}");
+                }
+            }
+        }
+        assert_eq!(state.plans_built(), 1);
+        // Smaller batch: same per-sample shape, same plan.
+        let _ = g.hidden_grads_bppsa_pooled(&batch[..2], BppsaOptions::serial(), &mut state);
+        assert_eq!(state.plans_built(), 1);
+    }
+
+    #[test]
+    fn fill_hidden_jacobian_values_matches_matrix_form() {
+        let g = gru(41);
+        let h_prev = Vector::from_vec(vec![0.2, -0.1, 0.4, 0.0, -0.3]);
+        let step = g.step(0.3, &h_prev);
+        let jt = g.hidden_jacobian_t(&step, &h_prev);
+        let mut out = vec![0.0; 25];
+        g.fill_hidden_jacobian_values(&step, &h_prev, &mut out);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(out[i * 5 + j], jt.get(i, j), "({i},{j})");
+            }
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod datasets;
 mod gru;
 mod lenet;
 mod optim;
+mod pooled;
 mod rnn;
 mod vgg;
 
@@ -45,6 +46,7 @@ pub use datasets::{BitstreamDataset, BitstreamSample, ImageSample, SyntheticCifa
 pub use gru::{Gru, GruStep};
 pub use lenet::{lenet5, lenet_tiny};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use pooled::PooledChainSet;
 pub use rnn::{FusedPlannedState, RnnBatchSample, RnnGrads, RnnStates, VanillaRnn};
 pub use vgg::{vgg11, vgg11_conv_geometry, vgg11_convs, VGG11_WIDTHS};
 

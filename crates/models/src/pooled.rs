@@ -1,0 +1,139 @@
+//! Shared plumbing for routing recurrent models through
+//! [`BatchedBackward`]: a reusable set of same-shape per-sample chains plus
+//! the pooled executor they fan out on.
+//!
+//! The fused path (`FusedPlannedState`) merges a mini-batch into **one**
+//! block-diagonal scan; this module implements the complementary strategy —
+//! one *per-sample* chain each, all matching a single compiled
+//! [`PlannedScan`](bppsa_core::PlannedScan), executed concurrently over a
+//! [`WorkspacePool`](bppsa_core::WorkspacePool). Because the per-sample
+//! chain shape is independent of the batch size, a remainder batch at epoch
+//! end reuses the same plan instead of planning a second shape.
+//!
+//! The accumulation of per-sample parameter gradients into one update is
+//! what makes this valid: the paper's optimizers consume the batch *sum*
+//! (§2.2 — BPPSA is "agnostic to the exact first-order optimizer"), and a
+//! sum is insensitive to which workspace computed which sample.
+
+use bppsa_core::{BackwardResult, BatchedBackward, BppsaOptions, JacobianChain, PlannedScan};
+use bppsa_tensor::Scalar;
+use std::sync::Arc;
+
+/// A lazily-built set of structurally-identical per-sample chains and the
+/// [`BatchedBackward`] executor that fans them over pooled workspaces.
+///
+/// Owned by a training loop (e.g. inside `FusedPlannedState`); models call
+/// [`PooledChainSet::ensure`] with their chain shape each iteration, refresh
+/// the chains' *values* in place via [`PooledChainSet::chains_mut`], and fan
+/// out with [`PooledChainSet::execute`]. Planning happens only when the
+/// shape (or options) actually change; the steady state is numeric-only
+/// over reused chains, one compiled plan, and pooled workspaces.
+#[derive(Debug, Default)]
+pub struct PooledChainSet<S> {
+    entry: Option<Entry<S>>,
+    plans_built: usize,
+}
+
+#[derive(Debug)]
+struct Entry<S> {
+    /// `(chain length, element width)` of the per-sample chains.
+    key: (usize, usize),
+    /// The only plan-relevant part of the caller's options: the schedule
+    /// shape. Executor choices must not force a re-plan.
+    up_levels: Option<usize>,
+    /// One refreshable chain per batch slot; all clones of `chains[0]`, so
+    /// every chain shares the template's `Arc` sparsity patterns and the
+    /// plan's structural match is pointer equality.
+    chains: Vec<JacobianChain<S>>,
+    batched: BatchedBackward<S>,
+}
+
+impl<S: Scalar> PooledChainSet<S> {
+    /// An empty set (plans on first [`PooledChainSet::ensure`]).
+    pub fn new() -> Self {
+        Self {
+            entry: None,
+            plans_built: 0,
+        }
+    }
+
+    /// Ensures `n` chains of shape `key` exist, building the template chain
+    /// with `build` and planning it when the shape or options changed since
+    /// the last call. The plan itself always uses the serial executor —
+    /// parallelism comes from fanning whole samples across the pool, not
+    /// from splitting one sample's levels — while `opts` still selects the
+    /// schedule (full Blelloch vs. §5.2 hybrid).
+    pub fn ensure(
+        &mut self,
+        key: (usize, usize),
+        n: usize,
+        opts: BppsaOptions,
+        build: impl FnOnce() -> JacobianChain<S>,
+    ) {
+        // Only the schedule shape is plan-relevant: re-planning on executor
+        // changes would silently defeat the cache.
+        let rebuild = match &self.entry {
+            Some(e) => e.key != key || e.up_levels != opts.up_levels,
+            None => true,
+        };
+        if rebuild {
+            let template = build();
+            let mut plan_opts = BppsaOptions::serial();
+            plan_opts.up_levels = opts.up_levels;
+            let plan = Arc::new(PlannedScan::plan(&template, plan_opts));
+            let batched = BatchedBackward::new(plan);
+            let mut chains = Vec::with_capacity(n);
+            chains.push(template);
+            self.entry = Some(Entry {
+                key,
+                up_levels: opts.up_levels,
+                chains,
+                batched,
+            });
+            self.plans_built += 1;
+        }
+        let entry = self.entry.as_mut().expect("entry just ensured");
+        while entry.chains.len() < n {
+            let clone = entry.chains[0].clone();
+            entry.chains.push(clone);
+        }
+        // Re-prewarm on growth too, so a later, larger batch of the same
+        // shape stays on the allocation-free path.
+        entry.batched.prewarm(n);
+    }
+
+    /// The first `n` chains, for in-place value refresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`PooledChainSet::ensure`] has not provided `n` chains.
+    pub fn chains_mut(&mut self, n: usize) -> &mut [JacobianChain<S>] {
+        &mut self.entry.as_mut().expect("ensure() not called").chains[..n]
+    }
+
+    /// Fans the first `n` chains across the worker pool (each sample on its
+    /// own pooled workspace) and streams every result to `consume(k,
+    /// result)` — concurrently, exactly once per index, while the workspace
+    /// is held. See [`BatchedBackward::execute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`PooledChainSet::ensure`] has not provided `n` chains.
+    pub fn execute(&self, n: usize, consume: &(dyn Fn(usize, &BackwardResult<S>) + Sync)) {
+        let entry = self.entry.as_ref().expect("ensure() not called");
+        entry.batched.execute(&entry.chains[..n], consume);
+    }
+
+    /// How many times a plan was built — the number of distinct `(shape,
+    /// options)` pairs seen, not the iteration count. Remainder batches
+    /// share the full batch's plan (per-sample shape is batch-size
+    /// independent), so a steady training run reads `1`.
+    pub fn plans_built(&self) -> usize {
+        self.plans_built
+    }
+
+    /// The current plan, if any (for FLOP/workspace accounting).
+    pub fn plan(&self) -> Option<&Arc<PlannedScan>> {
+        self.entry.as_ref().map(|e| e.batched.plan())
+    }
+}

@@ -12,6 +12,7 @@
 //! [`VanillaRnn::backward_bppsa`] (chain → modified Blelloch scan →
 //! Equation 2 parameter accumulation, which has no sequential dependency).
 
+use crate::pooled::PooledChainSet;
 use bppsa_core::{
     bppsa_backward, BppsaOptions, JacobianChain, Mru, PlannedBackwardCache, ScanElement,
 };
@@ -112,10 +113,17 @@ impl<S: Scalar> RnnGrads<S> {
     }
 }
 
-/// Persistent state for the fused planned backward: the reusable
-/// block-diagonal chain (patterns shared across iterations) plus the
-/// plan/workspace cache. One per training loop; see
-/// [`VanillaRnn::backward_bppsa_batched_planned`].
+/// Persistent planned-backward state for one RNN training loop, covering
+/// both batched strategies:
+///
+/// * **fused** ([`VanillaRnn::backward_bppsa_batched_planned`]): the whole
+///   mini-batch enters one block-diagonal scan; this state holds the
+///   reusable chain (patterns shared across iterations) plus the
+///   plan/workspace cache;
+/// * **pooled** ([`VanillaRnn::backward_bppsa_pooled`]): one per-sample
+///   chain each, fanned concurrently over a
+///   [`WorkspacePool`](bppsa_core::WorkspacePool) sharing a single compiled
+///   plan; this state owns the [`PooledChainSet`].
 #[derive(Debug, Default)]
 pub struct FusedPlannedState<S> {
     /// Reusable chains keyed by `(batch, timesteps, hidden)` — one per
@@ -125,6 +133,7 @@ pub struct FusedPlannedState<S> {
     /// plan/workspace are retained and evicted together.
     chains: Mru<((usize, usize, usize), JacobianChain<S>)>,
     cache: PlannedBackwardCache<S>,
+    pooled: PooledChainSet<S>,
 }
 
 impl<S: Scalar> FusedPlannedState<S> {
@@ -133,18 +142,32 @@ impl<S: Scalar> FusedPlannedState<S> {
         Self {
             chains: Mru::default(),
             cache: PlannedBackwardCache::new(),
+            pooled: PooledChainSet::new(),
         }
     }
 
-    /// How many plans have been built — the number of distinct batch
+    /// How many fused plans have been built — the number of distinct batch
     /// shapes seen.
     pub fn plans_built(&self) -> usize {
         self.cache.plans_built()
     }
 
-    /// Number of currently cached plan/workspace pairs.
+    /// Number of currently cached fused plan/workspace pairs.
     pub fn cached_plans(&self) -> usize {
         self.cache.cached_plans()
+    }
+
+    /// The pooled per-sample chain set (the
+    /// [`VanillaRnn::backward_bppsa_pooled`] state).
+    pub fn pooled_mut(&mut self) -> &mut PooledChainSet<S> {
+        &mut self.pooled
+    }
+
+    /// How many pooled plans have been built — stays at `1` for a whole
+    /// run including remainder batches, since the per-sample chain shape is
+    /// batch-size independent.
+    pub fn pooled_plans_built(&self) -> usize {
+        self.pooled.plans_built()
     }
 }
 
@@ -361,6 +384,72 @@ impl<S: Scalar> VanillaRnn<S> {
         self.accumulate_batched_grads(batch, result)
     }
 
+    /// Pooled batched BPPSA: one **per-sample** chain each, all matching a
+    /// single compiled plan, fanned concurrently across the scan worker
+    /// pool with each sample on its own pooled workspace
+    /// ([`BatchedBackward`](bppsa_core::BatchedBackward)) — the concurrent
+    /// complement of the fused block-diagonal strategy.
+    ///
+    /// Valid whenever the optimizer consumes the batch-*accumulated*
+    /// gradient (all of this crate's optimizers do): per-sample gradients
+    /// are summed as results arrive, so the result equals summing
+    /// [`VanillaRnn::backward_bppsa`] over the batch up to floating-point
+    /// reassociation of that sum. Unlike the fused path, the plan is
+    /// batch-size independent: an epoch-end remainder batch reuses the full
+    /// batch's plan instead of planning a second shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or sequences have unequal lengths.
+    pub fn backward_bppsa_pooled(
+        &self,
+        batch: &[RnnBatchSample<'_, S>],
+        opts: BppsaOptions,
+        state: &mut PooledChainSet<S>,
+    ) -> RnnGrads<S> {
+        assert!(!batch.is_empty(), "batched backward: empty batch");
+        let t_len = batch[0].1.len();
+        assert!(
+            batch
+                .iter()
+                .all(|(bits, states, _, _)| states.len() == t_len && bits.len() == t_len),
+            "batched backward: unequal sequence lengths"
+        );
+        let h_dim = self.hidden_size();
+        state.ensure((t_len, h_dim), batch.len(), opts, || {
+            self.build_batched_chain(&batch[..1])
+        });
+        // Refresh every sample's chain values in place (patterns are fixed).
+        for (k, chain) in state.chains_mut(batch.len()).iter_mut().enumerate() {
+            let (_, states, seed, _) = &batch[k];
+            chain
+                .seed_mut()
+                .as_mut_slice()
+                .copy_from_slice(seed.as_slice());
+            for (t, element) in chain.jacobians_mut().iter_mut().enumerate() {
+                let ScanElement::Sparse(m) = element else {
+                    unreachable!("pooled chain elements are CSR")
+                };
+                self.fill_hidden_jacobian_values(&states[t], m.data_mut());
+            }
+        }
+        // Fan out; sum per-sample parameter gradients as results stream in.
+        let grads =
+            std::sync::Mutex::new(RnnGrads::zeros(self.input_dim, h_dim, self.num_classes()));
+        state.execute(batch.len(), &|k, result| {
+            let (bits, states, _, g_logits) = &batch[k];
+            let mut partial = RnnGrads::zeros(self.input_dim, h_dim, self.num_classes());
+            self.accumulate_sample_grads(bits, states, g_logits, result, 0, &mut partial);
+            grads
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .accumulate(&partial);
+        });
+        grads
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// The scan half of [`VanillaRnn::backward_bppsa_batched_planned`]:
     /// refresh (or build) the fused chain and run the planned backward.
     /// Allocation-free in the steady state — the chain, its patterns, the
@@ -382,7 +471,7 @@ impl<S: Scalar> VanillaRnn<S> {
         let h_dim = self.hidden_size();
         let shape = (batch.len(), t_len, h_dim);
 
-        let FusedPlannedState { chains, cache } = state;
+        let FusedPlannedState { chains, cache, .. } = state;
         let ((_, chain), inserted) = chains.find_or_insert_with(
             |(sh, _)| *sh == shape,
             || (shape, self.build_batched_chain(batch)),
@@ -456,32 +545,46 @@ impl<S: Scalar> VanillaRnn<S> {
         batch: &[RnnBatchSample<'_, S>],
         result: &bppsa_core::BackwardResult<S>,
     ) -> RnnGrads<S> {
-        let t_len = batch[0].1.len();
-        let h_dim = self.hidden_size();
-        let mut grads = RnnGrads::zeros(self.input_dim, h_dim, self.num_classes());
+        let mut grads = RnnGrads::zeros(self.input_dim, self.hidden_size(), self.num_classes());
         for (k, (bits, states, _, g_logits)) in batch.iter().enumerate() {
-            grads
-                .d_wout
-                .axpy(S::ONE, &g_logits.outer(states.last().expect("nonempty")));
-            grads.d_bout.axpy(S::ONE, g_logits);
-            for t in 0..t_len {
-                let h_t = &states[t];
-                // ∇h_t for sample k is block k of the concatenated gradient.
-                let g_all = result.grad_x(t + 1);
-                let g_h = &g_all.as_slice()[k * h_dim..(k + 1) * h_dim];
-                let g_z = Vector::from_fn(h_dim, |i| (S::ONE - h_t[i] * h_t[i]) * g_h[i]);
-                for i in 0..h_dim {
-                    let v = grads.d_wih.get(i, 0) + g_z[i] * bits[t];
-                    grads.d_wih.set(i, 0, v);
-                }
-                grads.d_bih.axpy(S::ONE, &g_z);
-                grads.d_bhh.axpy(S::ONE, &g_z);
-                if t > 0 {
-                    grads.d_whh.axpy(S::ONE, &g_z.outer(&states[t - 1]));
-                }
-            }
+            // ∇h_t for sample k is block k of the concatenated gradient.
+            self.accumulate_sample_grads(bits, states, g_logits, result, k, &mut grads);
         }
         grads
+    }
+
+    /// Adds one sample's parameter gradients (Equation 2) into `grads`,
+    /// reading `∇h_t` from block `block` of `result`'s (possibly
+    /// concatenated) per-timestep gradients — block `k` of a fused
+    /// mini-batch result, block `0` of a per-sample result.
+    fn accumulate_sample_grads(
+        &self,
+        bits: &[S],
+        states: &RnnStates<S>,
+        g_logits: &Vector<S>,
+        result: &bppsa_core::BackwardResult<S>,
+        block: usize,
+        grads: &mut RnnGrads<S>,
+    ) {
+        let h_dim = self.hidden_size();
+        grads
+            .d_wout
+            .axpy(S::ONE, &g_logits.outer(states.last().expect("nonempty")));
+        grads.d_bout.axpy(S::ONE, g_logits);
+        for (t, h_t) in states.iter().enumerate() {
+            let g_all = result.grad_x(t + 1);
+            let g_h = &g_all.as_slice()[block * h_dim..(block + 1) * h_dim];
+            let g_z = Vector::from_fn(h_dim, |i| (S::ONE - h_t[i] * h_t[i]) * g_h[i]);
+            for i in 0..h_dim {
+                let v = grads.d_wih.get(i, 0) + g_z[i] * bits[t];
+                grads.d_wih.set(i, 0, v);
+            }
+            grads.d_bih.axpy(S::ONE, &g_z);
+            grads.d_bhh.axpy(S::ONE, &g_z);
+            if t > 0 {
+                grads.d_whh.axpy(S::ONE, &g_z.outer(&states[t - 1]));
+            }
+        }
     }
 
     /// Flattened parameters: `W_ih, W_hh, b_ih, b_hh, W_out, b_out`.
@@ -693,6 +796,58 @@ mod tests {
             assert!(diff < 1e-10, "round {round}: diff {diff}");
         }
         assert_eq!(state.plans_built(), 1);
+    }
+
+    #[test]
+    fn pooled_batched_equals_per_sample_sum_and_plans_once() {
+        let rnn = tiny_rnn(51);
+        let t = 11;
+        let all_bits: Vec<Vec<f64>> = (0..5).map(|k| bits(t, 52 + k)).collect();
+        let mut expected = None::<RnnGrads<f64>>;
+        let mut stored = Vec::new();
+        for (k, xs) in all_bits.iter().enumerate() {
+            let states = rnn.forward(xs);
+            let (_, seed, g_logits) = rnn.loss_and_seed(&states, k % 3);
+            let per = rnn.backward_bppsa(xs, &states, &seed, &g_logits, BppsaOptions::serial());
+            match &mut expected {
+                None => expected = Some(per),
+                Some(acc) => acc.accumulate(&per),
+            }
+            stored.push((states, seed, g_logits));
+        }
+        let batch: Vec<RnnBatchSample<'_, f64>> = all_bits
+            .iter()
+            .zip(&stored)
+            .map(|(xs, (states, seed, g))| (xs.as_slice(), states, seed.clone(), g.clone()))
+            .collect();
+        let expected = expected.unwrap();
+        let mut state = PooledChainSet::new();
+        for round in 0..3 {
+            let pooled = rnn.backward_bppsa_pooled(&batch, BppsaOptions::serial(), &mut state);
+            let diff = pooled.max_abs_diff(&expected);
+            assert!(diff < 1e-10, "round {round}: diff {diff}");
+        }
+        assert_eq!(state.plans_built(), 1);
+
+        // A smaller "remainder" batch reuses the same plan (same per-sample
+        // shape) — the pooled path's advantage over the fused one.
+        let remainder = rnn.backward_bppsa_pooled(&batch[..2], BppsaOptions::serial(), &mut state);
+        assert_eq!(state.plans_built(), 1);
+        let mut expected2 = rnn.backward_bppsa(
+            &all_bits[0],
+            &stored[0].0,
+            &stored[0].1,
+            &stored[0].2,
+            BppsaOptions::serial(),
+        );
+        expected2.accumulate(&rnn.backward_bppsa(
+            &all_bits[1],
+            &stored[1].0,
+            &stored[1].1,
+            &stored[1].2,
+            BppsaOptions::serial(),
+        ));
+        assert!(remainder.max_abs_diff(&expected2) < 1e-10);
     }
 
     #[test]

@@ -43,6 +43,17 @@ pub enum BackwardMethod {
         /// Scan execution options.
         opts: BppsaOptions,
     },
+    /// Pooled batched BPPSA for recurrent loops: one **per-sample** chain
+    /// each, all executing a single compiled plan concurrently over a
+    /// workspace pool ([`VanillaRnn::backward_bppsa_pooled`]); per-sample
+    /// gradients are accumulated into the batch update. Valid because the
+    /// optimizer consumes the batch sum. Ignored (treated as
+    /// [`BackwardMethod::Bppsa`]) by feed-forward training loops.
+    BppsaPooled {
+        /// Scan schedule options (the executor is always the batch
+        /// fan-out; `opts.up_levels` still selects full vs. hybrid).
+        opts: BppsaOptions,
+    },
 }
 
 impl BackwardMethod {
@@ -73,6 +84,12 @@ impl BackwardMethod {
     /// loops only) — the steady-state fast path for training.
     pub fn bppsa_fused_planned(opts: BppsaOptions) -> Self {
         BackwardMethod::BppsaFusedPlanned { opts }
+    }
+
+    /// Pooled batched BPPSA (RNN loops only): per-sample scans of one
+    /// compiled plan, fanned concurrently over pooled workspaces.
+    pub fn bppsa_pooled_batched(opts: BppsaOptions) -> Self {
+        BackwardMethod::BppsaPooled { opts }
     }
 }
 
@@ -161,7 +178,9 @@ pub fn network_batch_step<S: Scalar>(
         let grads = match method {
             BackwardMethod::Bp => net.backward_bp(&tape, &seed),
             BackwardMethod::Bppsa { opts, repr } => net.backward_bppsa(&tape, &seed, repr, opts),
-            BackwardMethod::BppsaFused { opts } | BackwardMethod::BppsaFusedPlanned { opts } => {
+            BackwardMethod::BppsaFused { opts }
+            | BackwardMethod::BppsaFusedPlanned { opts }
+            | BackwardMethod::BppsaPooled { opts } => {
                 net.backward_bppsa(&tape, &seed, JacobianRepr::Sparse, opts)
             }
         };
@@ -277,9 +296,12 @@ pub fn rnn_batch_step_cached<S: Scalar>(
 ) -> (f64, RnnGrads<S>, f64) {
     assert!(!indices.is_empty(), "empty batch");
     let inv_b = S::ONE / S::from_usize(indices.len());
-    if let BackwardMethod::BppsaFused { opts } | BackwardMethod::BppsaFusedPlanned { opts } = method
+    if let BackwardMethod::BppsaFused { opts }
+    | BackwardMethod::BppsaFusedPlanned { opts }
+    | BackwardMethod::BppsaPooled { opts } = method
     {
-        // One block-diagonal scan for the whole mini-batch.
+        // One scan pass for the whole mini-batch: fused block-diagonal, or
+        // per-sample chains fanned over pooled workspaces.
         let mut total_loss = S::ZERO;
         let mut prepared = Vec::with_capacity(indices.len());
         for i in indices {
@@ -299,10 +321,14 @@ pub fn rnn_batch_step_cached<S: Scalar>(
             .map(|(bits, states, seed, g)| (*bits, states, seed.clone(), g.clone()))
             .collect();
         let t0 = Instant::now();
-        let grads = if matches!(method, BackwardMethod::BppsaFusedPlanned { .. }) {
-            rnn.backward_bppsa_batched_planned(&batch, opts, state)
-        } else {
-            rnn.backward_bppsa_batched(&batch, opts)
+        let grads = match method {
+            BackwardMethod::BppsaFusedPlanned { .. } => {
+                rnn.backward_bppsa_batched_planned(&batch, opts, state)
+            }
+            BackwardMethod::BppsaPooled { .. } => {
+                rnn.backward_bppsa_pooled(&batch, opts, state.pooled_mut())
+            }
+            _ => rnn.backward_bppsa_batched(&batch, opts),
         };
         let backward_s = t0.elapsed().as_secs_f64();
         return ((total_loss * inv_b).to_f64(), grads, backward_s);
@@ -325,7 +351,9 @@ pub fn rnn_batch_step_cached<S: Scalar>(
             BackwardMethod::Bppsa { opts, .. } => {
                 rnn.backward_bppsa(&sample.bits, &states, &seed, &g_logits, opts)
             }
-            BackwardMethod::BppsaFused { .. } | BackwardMethod::BppsaFusedPlanned { .. } => {
+            BackwardMethod::BppsaFused { .. }
+            | BackwardMethod::BppsaFusedPlanned { .. }
+            | BackwardMethod::BppsaPooled { .. } => {
                 unreachable!("handled above")
             }
         };
@@ -520,6 +548,32 @@ mod tests {
             );
         }
         assert_eq!(state.plans_built(), 1);
+    }
+
+    #[test]
+    fn pooled_batched_training_matches_bptt_and_plans_once_with_remainder() {
+        // 20 samples at batch 6 → per-epoch batches of 6, 6, 6, 2. The
+        // pooled path's per-sample plan is batch-size independent, so the
+        // remainder batch reuses the full batch's plan: one plan total.
+        let data = BitstreamDataset::<f32>::generate(20, 12, 91);
+        let run = |method: BackwardMethod| {
+            let mut rnn = VanillaRnn::<f32>::new(1, 6, 10, &mut seeded_rng(92));
+            let mut opt = Adam::new(0.005);
+            train_rnn(&mut rnn, &data, &mut opt, method, 6, 3, None)
+        };
+        let bptt = run(BackwardMethod::Bp);
+        let pooled = run(BackwardMethod::bppsa_pooled_batched(BppsaOptions::serial()));
+        assert!(bptt.max_loss_gap(&pooled) < 1e-3);
+
+        let rnn = VanillaRnn::<f32>::new(1, 6, 10, &mut seeded_rng(93));
+        let mut state = FusedPlannedState::<f32>::new();
+        let method = BackwardMethod::bppsa_pooled_batched(BppsaOptions::serial());
+        for _epoch in 0..3 {
+            for range in data.batches(6).collect::<Vec<_>>() {
+                let _ = rnn_batch_step_cached(&rnn, &data, range, method, &mut state);
+            }
+        }
+        assert_eq!(state.pooled_plans_built(), 1);
     }
 
     #[test]

@@ -21,9 +21,13 @@
 //!
 //! Execution is split from scheduling: a [`ScanSchedule`] is a pure
 //! description of level-synchronous pair updates, executed by
-//! [`execute_in_place`] either serially or with threads per level (the
-//! in-process stand-in for the paper's one-CUDA-kernel-per-level structure),
-//! or *priced* — without executing — by the `bppsa-pram` simulator.
+//! [`execute_in_place`] either serially, with threads per level, or on the
+//! persistent [`WorkerPool`] (the in-process stand-in for the paper's
+//! one-CUDA-kernel-per-level structure on persistent SMs; its
+//! [`WorkerPool::run_indexed`] publishes batches into a reused
+//! generation-stamped header, so steady-state fan-outs allocate nothing).
+//! A schedule can also be *priced* — without executing — by the
+//! `bppsa-pram` simulator.
 //!
 //! ## Example: exclusive scan with a non-commutative operator
 //!

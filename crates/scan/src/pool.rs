@@ -7,54 +7,63 @@
 //! fixed set of threads that stay parked between levels.
 //!
 //! Design: one condvar broadcast publishes a *batch* (a `Fn(usize)` task and
-//! an index count); workers claim indices from a shared atomic counter until
-//! the batch drains; the caller participates too and the last finisher
-//! signals completion. Per-batch overhead is two futex transitions, not one
-//! per job, and the steady state performs **zero allocations per level**.
+//! an index count) into a **reused, generation-stamped header**; workers
+//! claim indices from a shared atomic counter until the batch drains; the
+//! caller participates too and the last finisher signals completion.
+//! Per-batch overhead is two futex transitions, not one per job, and the
+//! steady state performs **zero heap allocations per level** — the header is
+//! pool-owned state, not a per-call `Arc`.
+//!
+//! # The stale-worker story
+//!
+//! Reusing one header means a slow worker can wake up holding state from a
+//! batch that already completed, while the header has been republished for a
+//! newer batch. Two defenses make that safe:
+//!
+//! 1. **Generation-validated claims.** The claim counter packs
+//!    `(generation, next index)` into a single atomic word, and indices are
+//!    claimed by compare-and-swap. A stale worker's CAS carries the old
+//!    generation and can never claim (or skip) an index of a newer batch; it
+//!    observes the mismatch and goes back to sleep.
+//! 2. **Barrier-bounded task lifetime.** A successful claim of index `i`
+//!    proves batch `remaining > 0` at the claim instant, which pins the
+//!    publishing `run_indexed` call (and therefore the task borrow) until
+//!    the claimer finishes `task(i)` and decrements `remaining`.
+//!
+//! A header is only republished by the thread that owns the `busy` flag, and
+//! only after it observed `remaining == 0` — so `remaining` decrements can
+//! never cross generations either. Nested or concurrent `run_indexed` calls
+//! (the flag is already taken) fall back to inline serial execution, which
+//! keeps the pool deadlock-free when a pooled task itself fans out.
 
 use parking_lot::{Condvar, Mutex};
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 /// Raw pointer to the current batch's task closure. Valid for the batch's
-/// lifetime only; stale workers can never call through it because every
-/// claimable index is consumed before the batch completes.
+/// lifetime only; stale workers can never call through it because claims
+/// are generation-validated (see the module docs).
 #[derive(Clone, Copy)]
 struct TaskPtr(*const (dyn Fn(usize) + Sync));
 unsafe impl Send for TaskPtr {}
 unsafe impl Sync for TaskPtr {}
 
-/// One published batch: a task, its index range, and drain-tracking state.
-struct ActiveBatch {
-    task: TaskPtr,
-    count: usize,
-    next: AtomicUsize,
-    remaining: AtomicUsize,
+/// Packs a batch generation and a claim index into one atomic word.
+///
+/// 32 bits each: a stale worker would have to sleep across 2^32 batch
+/// publications *while holding a loaded claim word* for the generation tag
+/// to alias (the classic ABA window) — not reachable in practice.
+#[inline]
+fn pack(generation: u32, index: u32) -> u64 {
+    (u64::from(generation) << 32) | u64::from(index)
 }
 
-impl ActiveBatch {
-    /// Claims and runs indices until none remain. Returns whether any job
-    /// panicked. Safe for stale batches: all claims fail once drained.
-    fn drain(&self, poisoned: &AtomicBool) {
-        loop {
-            let i = self.next.fetch_add(1, Ordering::Relaxed);
-            if i >= self.count {
-                return;
-            }
-            // SAFETY: the publishing `run_indexed` call does not return
-            // until `remaining` hits zero, which requires every claimed
-            // index (including this one) to finish first — so the task
-            // reference outlives this call.
-            let task = unsafe { &*self.task.0 };
-            if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
-                poisoned.store(true, Ordering::SeqCst);
-            }
-            self.remaining.fetch_sub(1, Ordering::AcqRel);
-        }
-    }
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
 }
 
 struct Shared {
@@ -63,11 +72,59 @@ struct Shared {
     done_cv: Condvar,
     poisoned: AtomicBool,
     shutdown: AtomicBool,
+    /// Exclusive right to publish into the reused header. Taken for the
+    /// whole duration of a pooled `run_indexed`; contenders run inline.
+    busy: AtomicBool,
+    /// `(generation, next claim index)` — the generation-validated claim
+    /// counter of the current batch (see module docs).
+    next: AtomicU64,
+    /// Unfinished jobs of the current batch. Never crosses generations:
+    /// republication requires observing zero first.
+    remaining: AtomicUsize,
 }
 
+/// Mutex-guarded half of the reused batch header: what a worker must read
+/// consistently with the generation it wakes up for.
 struct BatchSlot {
-    generation: u64,
-    batch: Option<Arc<ActiveBatch>>,
+    generation: u32,
+    task: Option<TaskPtr>,
+    count: usize,
+}
+
+/// Claims and runs indices of batch `generation` until none remain (or the
+/// header moved on to a newer batch). Safe for stale callers: every claim
+/// re-validates the generation via CAS.
+fn drain(shared: &Shared, generation: u32, task: TaskPtr, count: usize) {
+    loop {
+        let word = shared.next.load(Ordering::Relaxed);
+        let (gen, index) = unpack(word);
+        if gen != generation || index as usize >= count {
+            return;
+        }
+        // Acquire on success pairs with the publisher's release store of
+        // `next`, making the task/count/remaining writes visible.
+        if shared
+            .next
+            .compare_exchange_weak(
+                word,
+                pack(generation, index + 1),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            continue;
+        }
+        // SAFETY: the successful generation-validated claim above proves
+        // `remaining > 0` for this batch until we decrement it below, which
+        // pins the publishing `run_indexed` frame — so the task reference
+        // is alive for the duration of this call.
+        let task_ref = unsafe { &*task.0 };
+        if catch_unwind(AssertUnwindSafe(|| task_ref(index as usize))).is_err() {
+            shared.poisoned.store(true, Ordering::SeqCst);
+        }
+        shared.remaining.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// A fixed-size pool of persistent worker threads executing index-parallel
@@ -100,12 +157,16 @@ impl WorkerPool {
         let shared = Arc::new(Shared {
             slot: Mutex::new(BatchSlot {
                 generation: 0,
-                batch: None,
+                task: None,
+                count: 0,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             poisoned: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
+            busy: AtomicBool::new(false),
+            next: AtomicU64::new(0),
+            remaining: AtomicUsize::new(0),
         });
         let workers = (0..size)
             .map(|i| {
@@ -133,6 +194,15 @@ impl WorkerPool {
     /// blocking until every index completed. The task may borrow from the
     /// caller's stack — the barrier guarantees the borrows outlive all use.
     ///
+    /// Allocation-free: the batch is published into a reused
+    /// generation-stamped header owned by the pool, so the steady state of
+    /// a planned scan performs **zero** heap allocations per level.
+    ///
+    /// Single-index batches, nested calls (a pooled task fanning out
+    /// again), and calls racing another thread's in-flight batch run the
+    /// task inline on the calling thread instead — same semantics, no
+    /// deadlock, no corrupted header.
+    ///
     /// # Panics
     ///
     /// Panics if any task invocation panicked.
@@ -140,34 +210,51 @@ impl WorkerPool {
         if count == 0 {
             return;
         }
+        assert!(count <= u32::MAX as usize, "run_indexed: batch too large");
         // SAFETY: only erases the `'scope` lifetime; the barrier below keeps
         // the reference alive for exactly as long as workers may call it.
         let task: &(dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
-        let batch = Arc::new(ActiveBatch {
-            task: TaskPtr(task as *const _),
-            count,
-            next: AtomicUsize::new(0),
-            remaining: AtomicUsize::new(count),
-        });
+        if count == 1
+            || self
+                .shared
+                .busy
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
         {
-            let mut slot = self.shared.slot.lock();
-            slot.generation += 1;
-            slot.batch = Some(Arc::clone(&batch));
-            self.shared.work_cv.notify_all();
+            // Trivial, nested, or concurrent batch: run inline. Panics
+            // propagate directly from the job.
+            for i in 0..count {
+                task(i);
+            }
+            return;
         }
+        let generation = {
+            let mut slot = self.shared.slot.lock();
+            let generation = slot.generation.wrapping_add(1);
+            slot.generation = generation;
+            slot.task = Some(TaskPtr(task as *const _));
+            slot.count = count;
+            // `remaining` before `next`: the release store of `next` (and
+            // the mutex) publish both to claimers.
+            self.shared.remaining.store(count, Ordering::Relaxed);
+            self.shared
+                .next
+                .store(pack(generation, 0), Ordering::Release);
+            self.shared.work_cv.notify_all();
+            generation
+        };
         // The caller works too — for small batches it often drains
         // everything before a worker even wakes.
-        batch.drain(&self.shared.poisoned);
-        if batch.remaining.load(Ordering::Acquire) > 0 {
+        drain(&self.shared, generation, TaskPtr(task as *const _), count);
+        if self.shared.remaining.load(Ordering::Acquire) > 0 {
             let mut slot = self.shared.slot.lock();
-            while batch.remaining.load(Ordering::Acquire) > 0 {
+            while self.shared.remaining.load(Ordering::Acquire) > 0 {
                 self.shared.done_cv.wait(&mut slot);
             }
         }
-        {
-            let mut slot = self.shared.slot.lock();
-            slot.batch = None;
-        }
+        // Release the header only after `remaining == 0`: no stale claim or
+        // cross-generation decrement is possible past this point.
+        self.shared.busy.store(false, Ordering::Release);
         if self.shared.poisoned.swap(false, Ordering::SeqCst) {
             panic!("a scan worker job panicked");
         }
@@ -324,9 +411,9 @@ impl<T> std::fmt::Debug for Slot<T> {
 }
 
 fn worker_loop(shared: &Shared) {
-    let mut seen_generation = 0u64;
+    let mut seen_generation = 0u32;
     loop {
-        let batch = {
+        let (generation, task, count) = {
             let mut slot = shared.slot.lock();
             while slot.generation == seen_generation && !shared.shutdown.load(Ordering::SeqCst) {
                 shared.work_cv.wait(&mut slot);
@@ -335,13 +422,16 @@ fn worker_loop(shared: &Shared) {
                 return;
             }
             seen_generation = slot.generation;
-            slot.batch.clone()
+            (slot.generation, slot.task, slot.count)
         };
-        if let Some(batch) = batch {
-            batch.drain(&shared.poisoned);
+        if let Some(task) = task {
+            drain(shared, generation, task, count);
             // Whoever observes the drained batch wakes the publisher; the
             // lock round-trip avoids a missed-wakeup race with `done_cv`.
-            if batch.remaining.load(Ordering::Acquire) == 0 {
+            // If the header was already republished, `remaining` belongs to
+            // the newer batch — then this batch's publisher has long
+            // returned and needs no wakeup.
+            if shared.remaining.load(Ordering::Acquire) == 0 {
                 let _guard = shared.slot.lock();
                 shared.done_cv.notify_all();
             }
@@ -504,6 +594,46 @@ mod tests {
         let s: Slot<i32> = Slot::default();
         // SAFETY: this thread is trivially the unique accessor.
         let _ = unsafe { s.take() };
+    }
+
+    #[test]
+    fn nested_run_indexed_falls_back_inline() {
+        // A pooled task fanning out again must not deadlock on the reused
+        // header: the inner call detects the busy header and runs inline.
+        let pool = WorkerPool::new(3);
+        let total = AtomicUsize::new(0);
+        pool.run_indexed(4, &|_| {
+            pool.run_indexed(8, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn concurrent_run_indexed_from_many_threads_is_exact() {
+        // Racing publishers: one wins the header, the rest run inline —
+        // every index of every batch still runs exactly once.
+        let pool = WorkerPool::new(4);
+        let hits: Vec<Vec<AtomicUsize>> = (0..8)
+            .map(|_| (0..100).map(|_| AtomicUsize::new(0)).collect())
+            .collect();
+        std::thread::scope(|s| {
+            for caller in 0..8 {
+                let pool = &pool;
+                let hits = &hits;
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        pool.run_indexed(100, &|i| {
+                            hits[caller][i].fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        for row in &hits {
+            assert!(row.iter().all(|h| h.load(Ordering::Relaxed) == 20));
+        }
     }
 
     #[test]

@@ -406,7 +406,7 @@ pub mod num {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`vec()`](fn@vec).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
@@ -438,7 +438,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

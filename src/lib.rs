@@ -40,12 +40,15 @@
 //!
 //! Because the Jacobians' guaranteed-zero patterns are deterministic (§3.3),
 //! the *entire* backward pass can be compiled ahead of training into a
-//! numeric-only program over pre-sized buffers. [`PlannedScan`] is the
-//! compiler, [`ScanWorkspace`](core::ScanWorkspace) the reusable buffers,
+//! numeric-only program over pre-sized buffers. [`PlannedScan`](core::PlannedScan)
+//! is the compiler, [`ScanWorkspace`](core::ScanWorkspace) the reusable buffers,
 //! and the per-iteration [`PlannedScan::execute_with`](core::PlannedScan::execute_with)
 //! performs **zero heap allocations** in the steady state (asserted by a
 //! counting-allocator test). [`PlannedBackwardCache`](core::PlannedBackwardCache)
-//! packages the lifecycle for training loops:
+//! packages the lifecycle for training loops; for *concurrent* mini-batches
+//! of the same compiled plan, [`WorkspacePool`](core::WorkspacePool) and
+//! [`BatchedBackward`](core::BatchedBackward) add the pooled scale-out layer
+//! (see `ARCHITECTURE.md`):
 //!
 //! ```
 //! use bppsa::prelude::*;
@@ -76,9 +79,9 @@ pub use bppsa_tensor as tensor;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use bppsa_core::{
-        bppsa_backward, linear_backward, BackwardResult, BppsaOptions, Gradients, JacobianChain,
-        JacobianRepr, JacobianScanOp, Network, PlannedBackwardCache, PlannedScan, ScanElement,
-        ScanWorkspace, Tape,
+        bppsa_backward, linear_backward, BackwardResult, BatchedBackward, BppsaOptions, Gradients,
+        JacobianChain, JacobianRepr, JacobianScanOp, Network, PlannedBackwardCache, PlannedScan,
+        ScanElement, ScanWorkspace, Tape, WorkspacePool,
     };
     pub use bppsa_models::{
         lenet5, lenet_tiny, vgg11, vgg11_convs, Adam, BitstreamDataset, Gru, Optimizer, RnnGrads,
