@@ -1,0 +1,114 @@
+//! Criterion bench — `serve_throughput`: round-trip cost of routing
+//! backward requests through the `bppsa-serve` front door, as a function of
+//! **lane count** (how many distinct chain shapes the traffic mixes) ×
+//! **deadline budget** (how long a below-`max_batch` lane waits for
+//! co-traffic).
+//!
+//! Each measured iteration pushes a fixed wave of requests (round-robin
+//! over the shapes) through one persistent service and waits for all of
+//! them, reusing tickets and chains — i.e. the steady-state serving loop;
+//! requests/sec is `WAVE / (median_ns · 1e-9)`. With a zero deadline every
+//! flush is as narrow as the dispatcher's wake latency allows; with a
+//! budget, requests coalesce into wider planned-scan fan-outs.
+//!
+//! In a 1-core container the curve only measures front-door overhead
+//! (routing, queueing, condvar round-trips) over the serial scan cost — on
+//! multi-core hardware throughput should rise with coalescing until the
+//! worker pool saturates. The committed baseline records the host's
+//! `available_parallelism` alongside the numbers (shim criterion's
+//! `environment` record) so the two regimes cannot be confused.
+
+use bppsa_core::{JacobianChain, ScanElement};
+use bppsa_serve::{BppsaService, ServeConfig, Ticket};
+use bppsa_sparse::Csr;
+use bppsa_tensor::init::{seeded_rng, uniform_vector};
+use bppsa_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::Duration;
+
+/// Requests per measured wave.
+const WAVE: usize = 24;
+
+fn random_csr(rng: &mut StdRng, rows: usize, cols: usize, density: f64) -> Csr<f64> {
+    Csr::from_dense(&Matrix::from_fn(rows, cols, |_, _| {
+        if rng.random_range(0.0..1.0) < density {
+            rng.random_range(-1.0..1.0)
+        } else {
+            0.0
+        }
+    }))
+}
+
+/// An RNN-shaped chain: `n` timesteps of small square Jacobians.
+fn chain(n: usize, width: usize, rng: &mut StdRng) -> JacobianChain<f64> {
+    let mut chain = JacobianChain::new(uniform_vector(rng, width, 1.0));
+    for _ in 0..n {
+        chain.push(ScanElement::Sparse(random_csr(rng, width, width, 0.3)));
+    }
+    chain
+}
+
+/// Same patterns as `template`, fresh values.
+fn revalue(template: &JacobianChain<f64>, rng: &mut StdRng) -> JacobianChain<f64> {
+    let mut out = JacobianChain::new(uniform_vector(rng, template.seed().len(), 1.0));
+    for jt in template.jacobians() {
+        let ScanElement::Sparse(m) = jt else {
+            unreachable!()
+        };
+        out.push(ScanElement::Sparse(
+            m.map_values(|_| rng.random_range(-1.0..1.0)),
+        ));
+    }
+    out
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let mut rng = seeded_rng(101);
+    for lanes in [1usize, 2, 4] {
+        // Distinct shapes: different sequence lengths of one width.
+        let templates: Vec<JacobianChain<f64>> = (0..lanes)
+            .map(|s| chain(48 + 16 * s, 12, &mut rng))
+            .collect();
+        for delay_us in [0u64, 200] {
+            let service = BppsaService::<f64>::new(ServeConfig {
+                max_batch: 8,
+                max_delay: Duration::from_micros(delay_us),
+                queue_cap: 2 * WAVE,
+                max_lanes: lanes.max(2),
+                workspaces_per_lane: 0,
+            });
+            let tickets: Vec<Ticket<f64>> = (0..WAVE).map(|_| Ticket::new()).collect();
+            let mut slots: Vec<Option<JacobianChain<f64>>> = (0..WAVE)
+                .map(|k| Some(revalue(&templates[k % lanes], &mut rng)))
+                .collect();
+            // One steady-state wave: submit all, wait all, reclaim chains.
+            let mut wave = || {
+                for (slot, ticket) in slots.iter_mut().zip(&tickets) {
+                    let chain = slot.take().expect("reclaimed");
+                    service.submit(chain, ticket).expect("service accepting");
+                }
+                for (slot, ticket) in slots.iter_mut().zip(&tickets) {
+                    ticket.wait().expect("request served");
+                    *slot = Some(ticket.take_chain());
+                }
+            };
+            wave(); // warm: lanes planned, workspaces and tickets sized
+            group.bench_function(
+                format!("lanes_{lanes}/delay_us_{delay_us}/wave_{WAVE}"),
+                |b| b.iter(&mut wave),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

@@ -52,15 +52,32 @@ pub fn is_full_run() -> bool {
 ///
 /// # Panics
 ///
-/// Panics on I/O errors (harness binaries want loud failures).
+/// Panics on I/O errors, naming the offending path (harness binaries want
+/// loud *and diagnosable* failures).
 pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
     let path = results_dir().join(name);
-    let mut f = fs::File::create(&path).expect("create csv");
-    writeln!(f, "{}", header.join(",")).expect("write header");
+    let mut f = fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("bppsa-bench: create {}: {e}", path.display()));
+    writeln!(f, "{}", header.join(","))
+        .unwrap_or_else(|e| panic!("bppsa-bench: write header to {}: {e}", path.display()));
     for row in rows {
-        writeln!(f, "{}", row.join(",")).expect("write row");
+        writeln!(f, "{}", row.join(","))
+            .unwrap_or_else(|e| panic!("bppsa-bench: write row to {}: {e}", path.display()));
     }
     path
+}
+
+/// Reads a text file (e.g. a results CSV or committed baseline), panicking
+/// with the offending path on failure — a bare
+/// `read_to_string(p).unwrap()` reports only the `io::Error`, leaving the
+/// failing binary undiagnosable.
+///
+/// # Panics
+///
+/// Panics on I/O errors, naming the path.
+pub fn read_text(path: impl AsRef<Path>) -> String {
+    let p = path.as_ref();
+    fs::read_to_string(p).unwrap_or_else(|e| panic!("bppsa-bench: read {}: {e}", p.display()))
 }
 
 /// Prints a fixed-width table row to stdout.
@@ -103,8 +120,14 @@ mod tests {
             &["a", "b"],
             &[vec!["1".into(), "2".into()]],
         );
-        let content = std::fs::read_to_string(p).unwrap();
+        let content = read_text(p);
         assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "bppsa-bench: read")]
+    fn read_text_names_the_missing_path() {
+        let _ = read_text("results/this-file-does-not-exist.csv");
     }
 
     #[test]

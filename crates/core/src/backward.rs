@@ -73,9 +73,11 @@ pub struct BackwardResult<S> {
 }
 
 impl<S: Scalar> BackwardResult<S> {
-    /// Assembles a result from layer-ordered gradients (used by the planned
-    /// executor, which unpacks the scan array itself).
-    pub(crate) fn from_grads(grads: Vec<Vector<S>>) -> Self {
+    /// Assembles a result from layer-ordered gradients
+    /// (`grads[i] = ∇x_{i+1} l`) — for executors that unpack a scan array
+    /// themselves, and for result buffers refreshed in place (the planned
+    /// workspaces, `bppsa-serve`'s reusable tickets).
+    pub fn from_grads(grads: Vec<Vector<S>>) -> Self {
         Self { grads }
     }
 
@@ -85,9 +87,10 @@ impl<S: Scalar> BackwardResult<S> {
         &self.grads
     }
 
-    /// Mutable access for the planned executor, which refreshes a
-    /// workspace-owned result in place instead of allocating a new one.
-    pub(crate) fn grads_mut(&mut self) -> &mut [Vector<S>] {
+    /// Mutable access for executors and result sinks that refresh an owned
+    /// result in place instead of allocating a new one (the planned
+    /// workspace steady state, `bppsa-serve`'s ticket buffers).
+    pub fn grads_mut(&mut self) -> &mut [Vector<S>] {
         &mut self.grads
     }
 

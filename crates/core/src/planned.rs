@@ -626,21 +626,59 @@ impl<T> Mru<T> {
         pred: impl Fn(&T) -> bool,
         make: impl FnOnce() -> T,
     ) -> (&mut T, bool) {
-        let inserted = match self.entries.iter().position(&pred) {
+        let (entry, inserted, _evicted) = self.find_or_insert_with_evicted(pred, make);
+        (entry, inserted)
+    }
+
+    /// [`Mru::find_or_insert_with`] that additionally hands back the entry
+    /// evicted to make room (`None` on a hit, or when still under
+    /// capacity), so callers owning live resources — threads, queues,
+    /// serving lanes — can shut the evicted entry down instead of silently
+    /// dropping it.
+    pub fn find_or_insert_with_evicted(
+        &mut self,
+        pred: impl Fn(&T) -> bool,
+        make: impl FnOnce() -> T,
+    ) -> (&mut T, bool, Option<T>) {
+        let (inserted, evicted) = match self.entries.iter().position(&pred) {
             Some(hit) => {
                 let entry = self.entries.remove(hit);
                 self.entries.push(entry);
-                false
+                (false, None)
             }
             None => {
-                if self.entries.len() >= self.capacity {
-                    self.entries.remove(0);
-                }
+                let evicted = if self.entries.len() >= self.capacity {
+                    Some(self.entries.remove(0))
+                } else {
+                    None
+                };
                 self.entries.push(make());
-                true
+                (true, evicted)
             }
         };
-        (self.entries.last_mut().expect("entry present"), inserted)
+        (
+            self.entries.last_mut().expect("entry present"),
+            inserted,
+            evicted,
+        )
+    }
+
+    /// Finds the entry matching `pred`, moving it to the back (most
+    /// recently used) — a hit-only [`Mru::find_or_insert_with`], for
+    /// callers whose insertion path must run (fallible or panicky
+    /// construction) *before* any entry is evicted.
+    pub fn find(&mut self, pred: impl Fn(&T) -> bool) -> Option<&mut T> {
+        let hit = self.entries.iter().position(pred)?;
+        let entry = self.entries.remove(hit);
+        self.entries.push(entry);
+        self.entries.last_mut()
+    }
+
+    /// Removes and yields every entry, least recently used first (for
+    /// owners that must shut stored resources down, e.g. at service
+    /// shutdown).
+    pub fn drain(&mut self) -> std::vec::Drain<'_, T> {
+        self.entries.drain(..)
     }
 
     /// Number of stored entries.

@@ -123,7 +123,12 @@ impl<S: Scalar> RnnGrads<S> {
 /// * **pooled** ([`VanillaRnn::backward_bppsa_pooled`]): one per-sample
 ///   chain each, fanned concurrently over a
 ///   [`WorkspacePool`](bppsa_core::WorkspacePool) sharing a single compiled
-///   plan; this state owns the [`PooledChainSet`].
+///   plan; this state owns the [`PooledChainSet`];
+/// * **served** ([`VanillaRnn::backward_bppsa_served`]): the pooled
+///   strategy routed through the `bppsa-serve` front door — per-sample
+///   chains submitted as independent requests and coalesced by the
+///   service's deadline micro-batcher; this state owns the
+///   [`ServedChainSet`](crate::ServedChainSet).
 #[derive(Debug, Default)]
 pub struct FusedPlannedState<S> {
     /// Reusable chains keyed by `(batch, timesteps, hidden)` — one per
@@ -134,6 +139,7 @@ pub struct FusedPlannedState<S> {
     chains: Mru<((usize, usize, usize), JacobianChain<S>)>,
     cache: PlannedBackwardCache<S>,
     pooled: PooledChainSet<S>,
+    served: crate::ServedChainSet<S>,
 }
 
 impl<S: Scalar> FusedPlannedState<S> {
@@ -143,6 +149,7 @@ impl<S: Scalar> FusedPlannedState<S> {
             chains: Mru::default(),
             cache: PlannedBackwardCache::new(),
             pooled: PooledChainSet::new(),
+            served: crate::ServedChainSet::new(),
         }
     }
 
@@ -168,6 +175,19 @@ impl<S: Scalar> FusedPlannedState<S> {
     /// batch-size independent.
     pub fn pooled_plans_built(&self) -> usize {
         self.pooled.plans_built()
+    }
+
+    /// The served per-sample chain set (the
+    /// [`VanillaRnn::backward_bppsa_served`] state).
+    pub fn served_mut(&mut self) -> &mut crate::ServedChainSet<S> {
+        &mut self.served
+    }
+
+    /// How many service lanes the served path has built — stays at `1` for
+    /// a whole run including remainder batches (same batch-size-independent
+    /// shape argument as [`FusedPlannedState::pooled_plans_built`]).
+    pub fn served_lanes_built(&self) -> usize {
+        self.served.lanes_built()
     }
 }
 
@@ -448,6 +468,109 @@ impl<S: Scalar> VanillaRnn<S> {
         grads
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Served batched BPPSA: the pooled per-sample strategy routed through
+    /// the `bppsa-serve` front door — each sample's chain is submitted as
+    /// an **independent request** to a [`BppsaService`](bppsa_serve::BppsaService),
+    /// whose deadline micro-batcher coalesces them (and any other traffic
+    /// sharing the service) into batched planned-scan fan-outs.
+    ///
+    /// Gradient-equivalent to [`VanillaRnn::backward_bppsa_pooled`] (the
+    /// optimizer consumes the batch sum; the service executes the same
+    /// compiled per-sample plan over pooled workspaces), with the same
+    /// batch-size-independent shape economy: remainder batches reuse the
+    /// full batch's lane, so a steady run builds exactly one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or sequences have unequal lengths.
+    pub fn backward_bppsa_served(
+        &self,
+        batch: &[RnnBatchSample<'_, S>],
+        state: &mut crate::ServedChainSet<S>,
+    ) -> RnnGrads<S> {
+        assert!(!batch.is_empty(), "batched backward: empty batch");
+        let t_len = batch[0].1.len();
+        assert!(
+            batch
+                .iter()
+                .all(|(bits, states, _, _)| states.len() == t_len && bits.len() == t_len),
+            "batched backward: unequal sequence lengths"
+        );
+        let h_dim = self.hidden_size();
+        state.ensure((t_len, h_dim), batch.len(), || {
+            self.build_batched_chain(&batch[..1])
+        });
+        // Refresh every sample's chain values in place (patterns are fixed).
+        state.for_each_chain_mut(batch.len(), |k, chain| {
+            let (_, states, seed, _) = &batch[k];
+            chain
+                .seed_mut()
+                .as_mut_slice()
+                .copy_from_slice(seed.as_slice());
+            for (t, element) in chain.jacobians_mut().iter_mut().enumerate() {
+                let ScanElement::Sparse(m) = element else {
+                    unreachable!("served chain elements are CSR")
+                };
+                self.fill_hidden_jacobian_values(&states[t], m.data_mut());
+            }
+        });
+        // Submit all, wait all; results are consumed sequentially on this
+        // thread, so the sum accumulates without a lock.
+        let mut grads = RnnGrads::zeros(self.input_dim, h_dim, self.num_classes());
+        state.execute(batch.len(), &mut |k, result| {
+            let (bits, states, _, g_logits) = &batch[k];
+            self.accumulate_sample_grads(bits, states, g_logits, result, 0, &mut grads);
+        });
+        grads
+    }
+
+    /// Mixed-shape inference-gradient serving: independent per-sample
+    /// requests with **heterogeneous sequence lengths**, all submitted to
+    /// one shared [`BppsaService`](bppsa_serve::BppsaService) — the
+    /// serving-shard scenario where users' sequences differ and the router
+    /// coalesces same-length requests into shared per-shape lanes.
+    ///
+    /// Returns each request's full parameter gradients, equal (up to the
+    /// planned executor's deterministic rounding) to running
+    /// [`VanillaRnn::backward_bppsa`] per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request's sequence is empty, or if the service is
+    /// shutting down.
+    pub fn serve_sample_gradients(
+        &self,
+        service: &bppsa_serve::BppsaService<S>,
+        requests: &[RnnBatchSample<'_, S>],
+    ) -> Vec<RnnGrads<S>> {
+        let tickets: Vec<bppsa_serve::Ticket<S>> = requests
+            .iter()
+            .map(|_| bppsa_serve::Ticket::new())
+            .collect();
+        for (k, ticket) in tickets.iter().enumerate() {
+            let chain = self.build_batched_chain(&requests[k..k + 1]);
+            service
+                .submit(chain, ticket)
+                .unwrap_or_else(|e| panic!("serve_sample_gradients: submit refused: {e}"));
+        }
+        requests
+            .iter()
+            .zip(&tickets)
+            .enumerate()
+            .map(|(k, ((bits, states, _, g_logits), ticket))| {
+                ticket
+                    .wait()
+                    .unwrap_or_else(|e| panic!("serve_sample_gradients: request {k} failed: {e}"));
+                let mut grads =
+                    RnnGrads::zeros(self.input_dim, self.hidden_size(), self.num_classes());
+                ticket.with_result(|r| {
+                    self.accumulate_sample_grads(bits, states, g_logits, r, 0, &mut grads);
+                });
+                grads
+            })
+            .collect()
     }
 
     /// The scan half of [`VanillaRnn::backward_bppsa_batched_planned`]:
@@ -796,6 +919,58 @@ mod tests {
             assert!(diff < 1e-10, "round {round}: diff {diff}");
         }
         assert_eq!(state.plans_built(), 1);
+    }
+
+    #[test]
+    fn served_mixed_length_inference_gradients_match_per_sample_backward() {
+        // The serving-shard scenario: independent requests with three
+        // *different* sequence lengths, all submitted to one shared
+        // service. The router coalesces same-length requests into shared
+        // lanes, and every request's gradients match the per-sample BPPSA
+        // backward.
+        let rnn = tiny_rnn(61);
+        let lengths = [5usize, 9, 13, 9, 5, 13, 9, 5];
+        let all_bits: Vec<Vec<f64>> = lengths
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| bits(t, 62 + k as u64))
+            .collect();
+        let mut stored = Vec::new();
+        let mut expected = Vec::new();
+        for (k, xs) in all_bits.iter().enumerate() {
+            let states = rnn.forward(xs);
+            let (_, seed, g_logits) = rnn.loss_and_seed(&states, k % 3);
+            expected.push(rnn.backward_bppsa(
+                xs,
+                &states,
+                &seed,
+                &g_logits,
+                BppsaOptions::serial(),
+            ));
+            stored.push((states, seed, g_logits));
+        }
+        let requests: Vec<RnnBatchSample<'_, f64>> = all_bits
+            .iter()
+            .zip(&stored)
+            .map(|(xs, (states, seed, g))| (xs.as_slice(), states, seed.clone(), g.clone()))
+            .collect();
+
+        let service = bppsa_serve::BppsaService::<f64>::new(bppsa_serve::ServeConfig {
+            max_batch: 3,
+            max_delay: std::time::Duration::from_micros(300),
+            ..bppsa_serve::ServeConfig::default()
+        });
+        for round in 0..2 {
+            let served = rnn.serve_sample_gradients(&service, &requests);
+            assert_eq!(served.len(), requests.len());
+            for (k, (got, expect)) in served.iter().zip(&expected).enumerate() {
+                let diff = got.max_abs_diff(expect);
+                assert!(diff < 1e-10, "round {round} request {k}: diff {diff}");
+            }
+        }
+        // One lane per distinct sequence length, planned once each.
+        assert_eq!(service.lanes(), 3);
+        assert_eq!(service.lanes_created(), 3);
     }
 
     #[test]

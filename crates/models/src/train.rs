@@ -54,6 +54,15 @@ pub enum BackwardMethod {
         /// fan-out; `opts.up_levels` still selects full vs. hybrid).
         opts: BppsaOptions,
     },
+    /// The pooled strategy routed through the `bppsa-serve` front door:
+    /// per-sample chains submitted as independent requests to a
+    /// [`BppsaService`](bppsa_serve::BppsaService) and coalesced by its
+    /// deadline micro-batcher ([`VanillaRnn::backward_bppsa_served`]) —
+    /// training traffic exercising exactly the serving path. The front door
+    /// always compiles the full serial-schedule plan per lane. Ignored
+    /// (treated as serial [`BackwardMethod::Bppsa`]) by feed-forward
+    /// training loops.
+    BppsaServed,
 }
 
 impl BackwardMethod {
@@ -90,6 +99,12 @@ impl BackwardMethod {
     /// compiled plan, fanned concurrently over pooled workspaces.
     pub fn bppsa_pooled_batched(opts: BppsaOptions) -> Self {
         BackwardMethod::BppsaPooled { opts }
+    }
+
+    /// Served batched BPPSA (RNN loops only): per-sample requests routed
+    /// through the `bppsa-serve` deadline micro-batching front door.
+    pub fn bppsa_served() -> Self {
+        BackwardMethod::BppsaServed
     }
 }
 
@@ -182,6 +197,9 @@ pub fn network_batch_step<S: Scalar>(
             | BackwardMethod::BppsaFusedPlanned { opts }
             | BackwardMethod::BppsaPooled { opts } => {
                 net.backward_bppsa(&tape, &seed, JacobianRepr::Sparse, opts)
+            }
+            BackwardMethod::BppsaServed => {
+                net.backward_bppsa(&tape, &seed, JacobianRepr::Sparse, BppsaOptions::serial())
             }
         };
         backward_s += t0.elapsed().as_secs_f64();
@@ -296,10 +314,13 @@ pub fn rnn_batch_step_cached<S: Scalar>(
 ) -> (f64, RnnGrads<S>, f64) {
     assert!(!indices.is_empty(), "empty batch");
     let inv_b = S::ONE / S::from_usize(indices.len());
-    if let BackwardMethod::BppsaFused { opts }
-    | BackwardMethod::BppsaFusedPlanned { opts }
-    | BackwardMethod::BppsaPooled { opts } = method
-    {
+    if matches!(
+        method,
+        BackwardMethod::BppsaFused { .. }
+            | BackwardMethod::BppsaFusedPlanned { .. }
+            | BackwardMethod::BppsaPooled { .. }
+            | BackwardMethod::BppsaServed
+    ) {
         // One scan pass for the whole mini-batch: fused block-diagonal, or
         // per-sample chains fanned over pooled workspaces.
         let mut total_loss = S::ZERO;
@@ -322,13 +343,15 @@ pub fn rnn_batch_step_cached<S: Scalar>(
             .collect();
         let t0 = Instant::now();
         let grads = match method {
-            BackwardMethod::BppsaFusedPlanned { .. } => {
+            BackwardMethod::BppsaFusedPlanned { opts } => {
                 rnn.backward_bppsa_batched_planned(&batch, opts, state)
             }
-            BackwardMethod::BppsaPooled { .. } => {
+            BackwardMethod::BppsaPooled { opts } => {
                 rnn.backward_bppsa_pooled(&batch, opts, state.pooled_mut())
             }
-            _ => rnn.backward_bppsa_batched(&batch, opts),
+            BackwardMethod::BppsaServed => rnn.backward_bppsa_served(&batch, state.served_mut()),
+            BackwardMethod::BppsaFused { opts } => rnn.backward_bppsa_batched(&batch, opts),
+            _ => unreachable!("guarded by the matches! above"),
         };
         let backward_s = t0.elapsed().as_secs_f64();
         return ((total_loss * inv_b).to_f64(), grads, backward_s);
@@ -353,7 +376,8 @@ pub fn rnn_batch_step_cached<S: Scalar>(
             }
             BackwardMethod::BppsaFused { .. }
             | BackwardMethod::BppsaFusedPlanned { .. }
-            | BackwardMethod::BppsaPooled { .. } => {
+            | BackwardMethod::BppsaPooled { .. }
+            | BackwardMethod::BppsaServed => {
                 unreachable!("handled above")
             }
         };
@@ -574,6 +598,67 @@ mod tests {
             }
         }
         assert_eq!(state.pooled_plans_built(), 1);
+    }
+
+    #[test]
+    fn served_training_matches_bptt_and_builds_one_lane_with_remainder() {
+        // The pooled strategy routed through the bppsa-serve front door:
+        // identical trajectory (the optimizer consumes the batch sum, and
+        // the service executes the same compiled per-sample plan), and the
+        // whole run — 20 samples at batch 6 → per-epoch batches of
+        // 6, 6, 6, 2 — builds exactly one service lane, because the
+        // per-sample shape is batch-size independent.
+        let data = BitstreamDataset::<f32>::generate(20, 12, 95);
+        let run = |method: BackwardMethod| {
+            let mut rnn = VanillaRnn::<f32>::new(1, 6, 10, &mut seeded_rng(96));
+            let mut opt = Adam::new(0.005);
+            train_rnn(&mut rnn, &data, &mut opt, method, 6, 3, None)
+        };
+        let bptt = run(BackwardMethod::Bp);
+        let served = run(BackwardMethod::bppsa_served());
+        assert!(bptt.max_loss_gap(&served) < 1e-3);
+
+        let rnn = VanillaRnn::<f32>::new(1, 6, 10, &mut seeded_rng(97));
+        let mut state = FusedPlannedState::<f32>::new();
+        for _epoch in 0..3 {
+            for range in data.batches(6).collect::<Vec<_>>() {
+                let _ = rnn_batch_step_cached(
+                    &rnn,
+                    &data,
+                    range,
+                    BackwardMethod::bppsa_served(),
+                    &mut state,
+                );
+            }
+        }
+        assert_eq!(state.served_lanes_built(), 1);
+    }
+
+    #[test]
+    fn served_and_pooled_batch_steps_agree() {
+        // Same per-sample plans, same summation order (sequential consume
+        // vs locked accumulate — both in index order on this data): the
+        // served step reproduces the pooled step's gradients to fp noise.
+        let data = BitstreamDataset::<f32>::generate(12, 10, 98);
+        let rnn = VanillaRnn::<f32>::new(1, 6, 10, &mut seeded_rng(99));
+        let mut pooled_state = FusedPlannedState::<f32>::new();
+        let mut served_state = FusedPlannedState::<f32>::new();
+        let (pooled_loss, pooled_grads, _) = rnn_batch_step_cached(
+            &rnn,
+            &data,
+            0..6,
+            BackwardMethod::bppsa_pooled_batched(BppsaOptions::serial()),
+            &mut pooled_state,
+        );
+        let (served_loss, served_grads, _) = rnn_batch_step_cached(
+            &rnn,
+            &data,
+            0..6,
+            BackwardMethod::bppsa_served(),
+            &mut served_state,
+        );
+        assert_eq!(pooled_loss, served_loss);
+        assert!(pooled_grads.max_abs_diff(&served_grads) < 1e-5);
     }
 
     #[test]

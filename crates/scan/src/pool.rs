@@ -35,6 +35,13 @@
 //! never cross generations either. Nested or concurrent `run_indexed` calls
 //! (the flag is already taken) fall back to inline serial execution, which
 //! keeps the pool deadlock-free when a pooled task itself fans out.
+//!
+//! Panic signals follow the same discipline: a job panic is recorded as a
+//! **generation-tagged** poison word, and the publisher consumes (and
+//! re-raises) only a poison carrying its own batch's generation, *before*
+//! releasing the header. An unscoped flag checked after the release used to
+//! let a subsequent publisher's batch consume the previous batch's panic —
+//! repanicking the wrong caller and losing the original signal.
 
 use parking_lot::{Condvar, Mutex};
 use std::cell::UnsafeCell;
@@ -70,7 +77,12 @@ struct Shared {
     slot: Mutex<BatchSlot>,
     work_cv: Condvar,
     done_cv: Condvar,
-    poisoned: AtomicBool,
+    /// Panic signal of the *current published batch*, scoped to its
+    /// generation: `0` when clean, else `pack(generation, 1)` of the batch
+    /// whose job panicked. Generation scoping (plus the publisher clearing
+    /// it *before* releasing `busy`) ensures one batch's panic can never be
+    /// consumed by — or re-raised at — a different batch's caller.
+    poisoned: AtomicU64,
     shutdown: AtomicBool,
     /// Exclusive right to publish into the reused header. Taken for the
     /// whole duration of a pooled `run_indexed`; contenders run inline.
@@ -121,7 +133,12 @@ fn drain(shared: &Shared, generation: u32, task: TaskPtr, count: usize) {
         // is alive for the duration of this call.
         let task_ref = unsafe { &*task.0 };
         if catch_unwind(AssertUnwindSafe(|| task_ref(index as usize))).is_err() {
-            shared.poisoned.store(true, Ordering::SeqCst);
+            // Tag the poison with this batch's generation. The store happens
+            // before our `remaining` decrement, so the publisher (which only
+            // reads the flag after observing `remaining == 0`) is guaranteed
+            // to see it — and a claim of a *newer* batch can never have run
+            // this line for an older generation.
+            shared.poisoned.store(pack(generation, 1), Ordering::SeqCst);
         }
         shared.remaining.fetch_sub(1, Ordering::AcqRel);
     }
@@ -162,7 +179,7 @@ impl WorkerPool {
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            poisoned: AtomicBool::new(false),
+            poisoned: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             busy: AtomicBool::new(false),
             next: AtomicU64::new(0),
@@ -252,10 +269,22 @@ impl WorkerPool {
                 self.shared.done_cv.wait(&mut slot);
             }
         }
+        // Consume this batch's panic signal *before* releasing the header:
+        // once `busy` drops, another publisher may start (and finish) a new
+        // batch, and an unscoped flag read after that point could consume
+        // the newer batch's signal — repanicking the wrong caller or losing
+        // the panic entirely. The compare-exchange only clears a poison
+        // carrying *our* generation, so even a reordered reader could never
+        // eat another batch's mark.
+        let poisoned = self
+            .shared
+            .poisoned
+            .compare_exchange(pack(generation, 1), 0, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
         // Release the header only after `remaining == 0`: no stale claim or
         // cross-generation decrement is possible past this point.
         self.shared.busy.store(false, Ordering::Release);
-        if self.shared.poisoned.swap(false, Ordering::SeqCst) {
+        if poisoned {
             panic!("a scan worker job panicked");
         }
     }
@@ -557,6 +586,55 @@ mod tests {
             counter.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn concurrent_batches_attribute_panics_to_the_right_caller() {
+        // Regression test for the cross-batch poisoning bug: the panic flag
+        // used to be a single batch-global bool checked *after* the header
+        // was released, so a concurrent caller's clean batch could consume
+        // a panicking batch's signal — panicking the wrong caller and
+        // silently absolving the right one. With generation-scoped
+        // poisoning, across many racing rounds the panicking caller must
+        // observe its panic every single time and the clean caller never.
+        let pool = WorkerPool::new(2);
+        let rounds = 300;
+        std::thread::scope(|s| {
+            let panicking = s.spawn(|| {
+                for round in 0..rounds {
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        pool.run_indexed(4, &|i| {
+                            if i == 2 {
+                                panic!("poisoned job, round {round}");
+                            }
+                        });
+                    }));
+                    assert!(
+                        result.is_err(),
+                        "round {round}: the panicking batch's panic was lost"
+                    );
+                }
+            });
+            let clean = s.spawn(|| {
+                let counter = AtomicUsize::new(0);
+                for round in 0..rounds {
+                    // A clean batch must never observe another batch's
+                    // panic, whether it wins the header or runs inline.
+                    pool.run_indexed(4, &|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                    assert_eq!(counter.load(Ordering::Relaxed), (round + 1) * 4);
+                }
+            });
+            panicking.join().expect("panicking caller misattributed");
+            clean.join().expect("clean caller caught a foreign panic");
+        });
+        // The pool stays fully usable afterwards.
+        let counter = AtomicUsize::new(0);
+        pool.run_indexed(16, &|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! # bppsa-serve — a deadline micro-batching front door for the planned
+//! backward pass
+//!
+//! The library below this crate executes *caller-provided* batches:
+//! [`BatchedBackward`](bppsa_core::BatchedBackward) fans a slice of
+//! same-shape chains over pooled workspaces of one compiled
+//! [`PlannedScan`](bppsa_core::PlannedScan). A serving shard, however,
+//! receives **independently-arriving, heterogeneously-shaped** requests.
+//! This crate turns the library into that shard: [`BppsaService`] accepts
+//! single backward requests ([`JacobianChain`](bppsa_core::JacobianChain) +
+//! [`Ticket`] completion handle), routes each by shape to a per-plan lane,
+//! and coalesces every lane's queue into wide batched fan-outs under a
+//! deadline policy — flush at [`ServeConfig::max_batch`], or when the
+//! earliest pending request's delay budget expires.
+//!
+//! Coalescing is how the paper's formulation keeps paying off under
+//! traffic: BPPSA's parallel scan (Wang, Bai & Pekhimenko, MLSys 2020)
+//! shortens one request's critical path to `O(log n)`, and trading a small,
+//! bounded delay for cross-request batch width keeps that critical path
+//! *fed* — the same delay-for-parallelism trade Decoupled Parallel
+//! Backpropagation makes across layers, made here across requests.
+//!
+//! Everything is std threads and condvars (the workspace is offline;
+//! see `ARCHITECTURE.md`'s shims/no-network constraint), and the
+//! steady-state request loop — refresh a reclaimed chain in place,
+//! resubmit, wait, read — performs **zero heap allocations** end to end,
+//! like every other hot path in this workspace.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bppsa_core::{JacobianChain, ScanElement};
+//! use bppsa_serve::{BppsaService, ServeConfig, Ticket};
+//! use bppsa_sparse::Csr;
+//! use bppsa_tensor::Vector;
+//!
+//! let service = BppsaService::<f64>::new(ServeConfig::default());
+//!
+//! // Independently submitted requests of one shape coalesce into a lane.
+//! let tickets: Vec<Ticket<f64>> = (0..3).map(|_| Ticket::new()).collect();
+//! for (k, ticket) in tickets.iter().enumerate() {
+//!     let mut chain = JacobianChain::new(Vector::from_vec(vec![1.0 + k as f64, -1.0]));
+//!     chain.push(ScanElement::Sparse(Csr::from_diagonal(&[2.0, 0.5])));
+//!     service.submit(chain, ticket).expect("service accepting");
+//! }
+//! for ticket in &tickets {
+//!     ticket.wait().expect("request served");
+//!     ticket.with_result(|r| assert_eq!(r.grads().len(), 1));
+//! }
+//! assert_eq!(service.lanes(), 1);
+//! ```
+//!
+//! See the [`service`](BppsaService) docs for the lane lifecycle, deadline
+//! policy, backpressure, panic attribution, and shutdown semantics.
+
+#![warn(missing_docs)]
+
+mod service;
+mod ticket;
+
+pub use service::{BppsaService, ServeConfig, SubmitError};
+pub use ticket::{ServeError, Ticket};

@@ -1,0 +1,999 @@
+//! The front door: shape-routed lanes, deadline micro-batching dispatchers,
+//! bounded-queue backpressure, and graceful shutdown.
+//!
+//! # Lane lifecycle
+//!
+//! A **lane** is the unit of coalescing: one compiled
+//! [`PlannedScan`](bppsa_core::PlannedScan) (planned from the first chain of
+//! its shape), one [`BatchedBackward`] (workspace pool) and one dispatcher
+//! thread. [`BppsaService::submit`] routes each request to the lane whose
+//! plan [`matches`](bppsa_core::PlannedScan::matches) the chain — an MRU
+//! store capped at [`ServeConfig::max_lanes`], so a new shape beyond the cap
+//! evicts the least recently used lane. An evicted lane is *closed*, not
+//! killed: its dispatcher drains every pending request, completes the
+//! tickets, and exits; submitters racing the eviction observe the closed
+//! queue and transparently re-route (which re-creates the lane).
+//!
+//! # Deadline policy
+//!
+//! Each lane's dispatcher coalesces its queue into
+//! [`BatchedBackward::execute`] fan-outs: it flushes as soon as
+//! [`ServeConfig::max_batch`] requests are pending, or when the **earliest**
+//! pending deadline (a request's submit time + its delay budget — arrival
+//! order does not order deadlines) expires, whichever comes first. A single
+//! request therefore never waits longer
+//! than its own delay budget, and a full batch never waits at all. This is
+//! the trade the paper's parallel-scan backward wants: a bounded, tunable
+//! latency cost buys wide batches that keep the `O(log n)` critical path
+//! fed with per-request parallelism.
+//!
+//! # Backpressure and shutdown
+//!
+//! Every lane queue is bounded by [`ServeConfig::queue_cap`]:
+//! [`BppsaService::submit`] blocks until the dispatcher drains room (memory
+//! stays bounded by `queue_cap` chains + the workspace pool), while
+//! [`BppsaService::try_submit`] returns [`SubmitError::Backpressure`]
+//! instead. [`BppsaService::shutdown`] (also run on drop) closes the router
+//! and every lane, then joins the dispatchers — each drains its pending
+//! requests first, so every accepted request completes and every waiter
+//! wakes; only *new* submissions are refused with
+//! [`SubmitError::Shutdown`], handing the chain back.
+
+use crate::ticket::{Ticket, TicketShared};
+use bppsa_core::{BatchedBackward, BppsaOptions, JacobianChain, Mru, PlannedScan};
+use bppsa_scan::global_pool;
+use bppsa_tensor::Scalar;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`BppsaService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Flush a lane as soon as this many requests are pending (also the
+    /// upper bound on one fan-out's width). Must be non-zero.
+    pub max_batch: usize,
+    /// Default per-request delay budget for [`BppsaService::submit`]: the
+    /// longest a request waits for co-batchable traffic before its lane
+    /// flushes below `max_batch`.
+    pub max_delay: Duration,
+    /// Per-lane pending-request bound; submissions beyond it block (or
+    /// return [`SubmitError::Backpressure`] from
+    /// [`BppsaService::try_submit`]). Must be non-zero.
+    pub queue_cap: usize,
+    /// Most-recently-used cap on concurrently live lanes (distinct chain
+    /// shapes); the least recently used lane beyond it is drained and
+    /// retired. Must be non-zero.
+    pub max_lanes: usize,
+    /// Workspace-pool capacity per lane; `0` sizes to the shared scan
+    /// pool's worker count + 1 (every worker plus the dispatcher can hold a
+    /// workspace without blocking).
+    pub workspaces_per_lane: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            max_delay: Duration::from_millis(1),
+            queue_cap: 64,
+            max_lanes: bppsa_core::PLAN_CACHE_CAPACITY,
+            workspaces_per_lane: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) {
+        assert!(self.max_batch >= 1, "ServeConfig: max_batch must be >= 1");
+        assert!(self.queue_cap >= 1, "ServeConfig: queue_cap must be >= 1");
+        assert!(self.max_lanes >= 1, "ServeConfig: max_lanes must be >= 1");
+    }
+
+    fn workspace_capacity(&self) -> usize {
+        if self.workspaces_per_lane == 0 {
+            global_pool().size() + 1
+        } else {
+            self.workspaces_per_lane
+        }
+    }
+}
+
+/// Why a submission was refused; the chain is always handed back for retry
+/// or disposal.
+#[derive(Debug)]
+pub enum SubmitError<S> {
+    /// The service is shutting down (or already shut down).
+    Shutdown(JacobianChain<S>),
+    /// [`BppsaService::try_submit`] only: the target lane's queue is full.
+    Backpressure(JacobianChain<S>),
+    /// The ticket already has a request in flight — one flight per ticket
+    /// at a time.
+    TicketInFlight(JacobianChain<S>),
+}
+
+impl<S> SubmitError<S> {
+    /// Reclaims the refused chain.
+    pub fn into_chain(self) -> JacobianChain<S> {
+        match self {
+            SubmitError::Shutdown(c)
+            | SubmitError::Backpressure(c)
+            | SubmitError::TicketInFlight(c) => c,
+        }
+    }
+}
+
+impl<S> std::fmt::Display for SubmitError<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Shutdown(_) => write!(f, "service is shutting down"),
+            SubmitError::Backpressure(_) => write!(f, "lane queue is full"),
+            SubmitError::TicketInFlight(_) => {
+                write!(f, "ticket already has a request in flight")
+            }
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Queue and router state are value-only; a panicking holder leaves them
+    // consistent (panics inside a flush are caught before this layer).
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct PendingRequest<S> {
+    chain: JacobianChain<S>,
+    deadline: Instant,
+    ticket: Arc<TicketShared<S>>,
+}
+
+struct LaneQueue<S> {
+    pending: VecDeque<PendingRequest<S>>,
+    /// `false` once the lane is evicted or the service shuts down: the
+    /// dispatcher drains what is queued, completes it, and exits; new
+    /// pushes are refused.
+    open: bool,
+}
+
+/// Why a [`Lane::push`] was refused.
+enum PushRefusal {
+    /// Lane closed (evicted or shutting down) — re-route.
+    Closed,
+    /// Queue full and the caller asked not to block.
+    Full,
+}
+
+struct Lane<S> {
+    batched: BatchedBackward<S>,
+    queue: Mutex<LaneQueue<S>>,
+    /// Dispatcher wakeup: request arrived or lane closed.
+    submitted: Condvar,
+    /// Submitter wakeup: the dispatcher drained queue room.
+    space: Condvar,
+    max_batch: usize,
+    queue_cap: usize,
+}
+
+impl<S: Scalar> Lane<S> {
+    /// Plans the lane's compiled scan from the first chain of its shape and
+    /// prewarms enough workspaces for a full batch.
+    fn new(chain: &JacobianChain<S>, config: &ServeConfig) -> Self {
+        let plan = Arc::new(PlannedScan::plan(chain, BppsaOptions::serial()));
+        let capacity = config.workspace_capacity();
+        let batched = BatchedBackward::with_capacity(plan, capacity);
+        batched.prewarm(config.max_batch.min(capacity));
+        Self {
+            batched,
+            queue: Mutex::new(LaneQueue {
+                pending: VecDeque::with_capacity(config.queue_cap),
+                open: true,
+            }),
+            submitted: Condvar::new(),
+            space: Condvar::new(),
+            max_batch: config.max_batch,
+            queue_cap: config.queue_cap,
+        }
+    }
+}
+
+impl<S> Lane<S> {
+    /// Enqueues a request, blocking on a full queue when `block` (the
+    /// bounded-queue backpressure). Refusals hand the chain back.
+    fn push(
+        &self,
+        chain: JacobianChain<S>,
+        deadline: Instant,
+        ticket: Arc<TicketShared<S>>,
+        block: bool,
+    ) -> Result<(), (JacobianChain<S>, PushRefusal)> {
+        let mut q = lock(&self.queue);
+        loop {
+            if !q.open {
+                return Err((chain, PushRefusal::Closed));
+            }
+            if q.pending.len() < self.queue_cap {
+                break;
+            }
+            if !block {
+                return Err((chain, PushRefusal::Full));
+            }
+            q = self.space.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+        q.pending.push_back(PendingRequest {
+            chain,
+            deadline,
+            ticket,
+        });
+        drop(q);
+        self.submitted.notify_one();
+        Ok(())
+    }
+
+    /// Closes the lane: the dispatcher drains the remaining queue (every
+    /// accepted request still completes) and exits; new pushes re-route.
+    fn close(&self) {
+        let mut q = lock(&self.queue);
+        q.open = false;
+        drop(q);
+        self.submitted.notify_all();
+        self.space.notify_all();
+    }
+}
+
+/// One lane's dispatcher: wait for work, coalesce under the deadline
+/// policy, flush, repeat — exiting only once the lane is closed *and*
+/// drained. The batch scratch vectors are reused across flushes, so the
+/// dispatcher's steady state allocates nothing.
+fn dispatcher_loop<S: Scalar>(lane: &Lane<S>) {
+    let max_batch = lane.max_batch;
+    let mut chains: Vec<JacobianChain<S>> = Vec::with_capacity(max_batch);
+    let mut tickets: Vec<Arc<TicketShared<S>>> = Vec::with_capacity(max_batch);
+    loop {
+        {
+            let mut q = lock(&lane.queue);
+            loop {
+                if q.pending.len() >= max_batch {
+                    break; // a full batch never waits
+                }
+                if q.pending.is_empty() {
+                    if !q.open {
+                        return; // closed and drained: retire
+                    }
+                    q = lane
+                        .submitted
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    continue;
+                }
+                if !q.open {
+                    break; // draining: flush the remainder immediately
+                }
+                // Earliest-deadline flush. Deadlines are submit-time +
+                // per-request budget, so arrival order does not order them:
+                // a short-budget request queued behind long-budget ones
+                // must still flush within *its own* budget. O(pending) per
+                // wake, bounded by queue_cap, allocation-free.
+                let deadline = q
+                    .pending
+                    .iter()
+                    .map(|r| r.deadline)
+                    .min()
+                    .expect("nonempty");
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                q = lane
+                    .submitted
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+            for _ in 0..q.pending.len().min(max_batch) {
+                let req = q.pending.pop_front().expect("counted above");
+                chains.push(req.chain);
+                tickets.push(req.ticket);
+            }
+        }
+        lane.space.notify_all();
+        flush(&lane.batched, &mut chains, &mut tickets);
+    }
+}
+
+/// Executes one coalesced batch and completes every ticket, attributing a
+/// batch panic per request: members whose execution finished (their result
+/// was staged) complete successfully; the panicking member fails with
+/// [`crate::ServeError::BatchPanicked`]. The panic never crosses to other
+/// batches — the worker pool's poison signal is generation-scoped (see
+/// `bppsa-scan`'s pool docs), and it is caught here before the dispatcher
+/// touches the next batch.
+fn flush<S: Scalar>(
+    batched: &BatchedBackward<S>,
+    chains: &mut Vec<JacobianChain<S>>,
+    tickets: &mut Vec<Arc<TicketShared<S>>>,
+) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        batched.execute(chains, &|i, result| tickets[i].stage(result));
+    }));
+    let batch_panicked = outcome.is_err();
+    for (chain, ticket) in chains.drain(..).zip(tickets.drain(..)) {
+        ticket.finish(chain, batch_panicked);
+    }
+}
+
+struct Router<S> {
+    lanes: Mru<Arc<Lane<S>>>,
+    /// Every dispatcher ever spawned (including retired lanes'), joined at
+    /// shutdown.
+    handles: Vec<JoinHandle<()>>,
+    open: bool,
+    lanes_created: usize,
+}
+
+struct ServiceShared<S> {
+    config: ServeConfig,
+    router: Mutex<Router<S>>,
+}
+
+/// A deadline micro-batching front door over [`BatchedBackward`]: accepts
+/// independently submitted backward requests, routes them by chain shape to
+/// per-plan lanes, and coalesces each lane's queue into wide planned-scan
+/// fan-outs.
+///
+/// See the crate-level docs and `ARCHITECTURE.md`'s "serving layer"
+/// section for the lane lifecycle, deadline policy, backpressure, and
+/// shutdown story, and [`Ticket`] for the client side.
+///
+/// # Examples
+///
+/// Mixed shapes route to separate lanes and still all complete:
+///
+/// ```
+/// use bppsa_core::{JacobianChain, ScanElement};
+/// use bppsa_serve::{BppsaService, ServeConfig, Ticket};
+/// use bppsa_sparse::Csr;
+/// use bppsa_tensor::Vector;
+/// use std::time::Duration;
+///
+/// let service = BppsaService::<f64>::new(ServeConfig {
+///     max_batch: 4,
+///     max_delay: Duration::from_micros(200),
+///     ..ServeConfig::default()
+/// });
+///
+/// // Two different chain shapes (1 layer vs 2 layers).
+/// let tickets: Vec<Ticket<f64>> = (0..4).map(|_| Ticket::new()).collect();
+/// for (k, ticket) in tickets.iter().enumerate() {
+///     let mut chain = JacobianChain::new(Vector::from_vec(vec![1.0 + k as f64, -1.0]));
+///     chain.push(ScanElement::Sparse(Csr::from_diagonal(&[2.0, 0.5])));
+///     if k % 2 == 1 {
+///         chain.push(ScanElement::Sparse(Csr::from_diagonal(&[1.5, 3.0])));
+///     }
+///     service.submit(chain, ticket).expect("accepting");
+/// }
+/// for ticket in &tickets {
+///     ticket.wait().expect("served");
+/// }
+/// assert_eq!(service.lanes(), 2);
+/// ```
+pub struct BppsaService<S> {
+    shared: Arc<ServiceShared<S>>,
+}
+
+impl<S> BppsaService<S> {
+    /// A service with no lanes yet; lanes (plan + workspace pool +
+    /// dispatcher thread) materialize per shape on first submission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` has a zero `max_batch`, `queue_cap`, or
+    /// `max_lanes`.
+    pub fn new(config: ServeConfig) -> Self {
+        config.validate();
+        Self {
+            shared: Arc::new(ServiceShared {
+                config,
+                router: Mutex::new(Router {
+                    lanes: Mru::new(config.max_lanes),
+                    handles: Vec::new(),
+                    open: true,
+                    lanes_created: 0,
+                }),
+            }),
+        }
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.shared.config
+    }
+
+    /// Number of currently live lanes (distinct shapes being served).
+    pub fn lanes(&self) -> usize {
+        lock(&self.shared.router).lanes.len()
+    }
+
+    /// Total lanes ever created — exceeds [`BppsaService::lanes`] once MRU
+    /// eviction has retired shapes (or a closed lane was re-created).
+    pub fn lanes_created(&self) -> usize {
+        lock(&self.shared.router).lanes_created
+    }
+
+    /// Gracefully shuts the service down: refuses new submissions, closes
+    /// every lane, and joins the dispatchers — each drains its pending
+    /// queue first, so **every accepted request completes** and every
+    /// waiting ticket wakes. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        let (lanes, handles) = {
+            let mut router = lock(&self.shared.router);
+            router.open = false;
+            let lanes: Vec<Arc<Lane<S>>> = router.lanes.drain().collect();
+            (lanes, std::mem::take(&mut router.handles))
+        };
+        for lane in &lanes {
+            lane.close();
+        }
+        for handle in handles {
+            // A dispatcher can only terminate by draining; a panic would be
+            // a bug, but shutdown must still reap the remaining threads.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<S: Scalar> BppsaService<S> {
+    /// Submits a backward request with the configured
+    /// [`ServeConfig::max_delay`] budget. See
+    /// [`BppsaService::submit_with_delay`].
+    ///
+    /// # Errors
+    ///
+    /// As [`BppsaService::submit_with_delay`].
+    pub fn submit(
+        &self,
+        chain: JacobianChain<S>,
+        ticket: &Ticket<S>,
+    ) -> Result<(), SubmitError<S>> {
+        self.submit_with_delay(chain, self.shared.config.max_delay, ticket)
+    }
+
+    /// Submits a backward request with an explicit delay budget: the
+    /// request's lane flushes no later than `delay` from now, even if the
+    /// batch is not full. Blocks while the lane's queue is at capacity
+    /// (backpressure). Completion is observed through the `ticket`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Shutdown`] when the service is shutting down,
+    /// [`SubmitError::TicketInFlight`] when `ticket` already has a pending
+    /// request; both hand the chain back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is invalid for planning (must be all-CSR, see
+    /// [`PlannedScan::plan`]).
+    pub fn submit_with_delay(
+        &self,
+        chain: JacobianChain<S>,
+        delay: Duration,
+        ticket: &Ticket<S>,
+    ) -> Result<(), SubmitError<S>> {
+        self.submit_inner(chain, delay, ticket, true)
+            .map_err(|e| match e {
+                SubmitError::Backpressure(_) => unreachable!("blocking submit never refuses room"),
+                other => other,
+            })
+    }
+
+    /// Non-blocking [`BppsaService::submit`]: a full lane queue returns
+    /// [`SubmitError::Backpressure`] (with the chain) instead of waiting.
+    ///
+    /// # Errors
+    ///
+    /// As [`BppsaService::submit_with_delay`], plus
+    /// [`SubmitError::Backpressure`].
+    pub fn try_submit(
+        &self,
+        chain: JacobianChain<S>,
+        ticket: &Ticket<S>,
+    ) -> Result<(), SubmitError<S>> {
+        self.submit_inner(chain, self.shared.config.max_delay, ticket, false)
+    }
+
+    fn submit_inner(
+        &self,
+        chain: JacobianChain<S>,
+        delay: Duration,
+        ticket: &Ticket<S>,
+        block: bool,
+    ) -> Result<(), SubmitError<S>> {
+        let shared = ticket.shared();
+        let deadline = Instant::now() + delay;
+        let mut chain = chain;
+        // The ticket is marked in flight only after the first successful
+        // route: a routing panic (invalid chain) must leave the ticket
+        // idle, while the mark must still precede the enqueue so a racing
+        // completion cannot be lost.
+        let mut in_flight = false;
+        loop {
+            let Some(lane) = self.route(&chain) else {
+                if in_flight {
+                    shared.abort_flight();
+                }
+                return Err(SubmitError::Shutdown(chain));
+            };
+            if !in_flight {
+                if !shared.begin_flight() {
+                    return Err(SubmitError::TicketInFlight(chain));
+                }
+                in_flight = true;
+            }
+            match lane.push(chain, deadline, Arc::clone(&shared), block) {
+                Ok(()) => return Ok(()),
+                Err((c, PushRefusal::Closed)) => {
+                    // Lane evicted between routing and push: re-route (the
+                    // lane is re-created if its shape is still wanted).
+                    chain = c;
+                }
+                Err((c, PushRefusal::Full)) => {
+                    shared.abort_flight();
+                    return Err(SubmitError::Backpressure(c));
+                }
+            }
+        }
+    }
+
+    /// Finds (MRU) or creates the lane whose compiled plan matches `chain`;
+    /// `None` when the router is closed. Lane creation runs the symbolic
+    /// planner under the router lock — amortized across the lane's
+    /// lifetime, like every other §3.3 hoist.
+    fn route(&self, chain: &JacobianChain<S>) -> Option<Arc<Lane<S>>> {
+        let config = self.shared.config;
+        let mut router = lock(&self.shared.router);
+        if !router.open {
+            return None;
+        }
+        if let Some(lane) = router.lanes.find(|lane| lane.batched.plan().matches(chain)) {
+            return Some(Arc::clone(lane));
+        }
+        // Miss: plan the new lane *before* touching the MRU store — a
+        // planner panic (invalid chain) must not evict (and orphan, with a
+        // forever-parked dispatcher) an existing lane.
+        let lane = Arc::new(Lane::new(chain, &config));
+        let (_, inserted, evicted) = router
+            .lanes
+            .find_or_insert_with_evicted(|_| false, || Arc::clone(&lane));
+        debug_assert!(inserted, "fresh lane always inserts");
+        {
+            let id = router.lanes_created;
+            router.lanes_created += 1;
+            let worker = Arc::clone(&lane);
+            let handle = std::thread::Builder::new()
+                .name(format!("bppsa-serve-lane-{id}"))
+                .spawn(move || dispatcher_loop(&worker))
+                .expect("spawn serve lane dispatcher");
+            router.handles.push(handle);
+        }
+        drop(router);
+        if let Some(evicted) = evicted {
+            // Outside the router lock: the evicted lane drains its pending
+            // requests in the background and its dispatcher retires.
+            evicted.close();
+        }
+        Some(lane)
+    }
+}
+
+impl<S> Drop for BppsaService<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<S> std::fmt::Debug for BppsaService<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let router = lock(&self.shared.router);
+        f.debug_struct("BppsaService")
+            .field("config", &self.shared.config)
+            .field("lanes", &router.lanes.len())
+            .field("lanes_created", &router.lanes_created)
+            .field("open", &router.open)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeError;
+    use bppsa_core::{bppsa_backward, ScanElement};
+    use bppsa_sparse::Csr;
+    use bppsa_tensor::init::{seeded_rng, uniform_vector};
+    use bppsa_tensor::Matrix;
+    use rand::Rng;
+
+    fn sparse_chain(n: usize, width: usize, seed: u64) -> JacobianChain<f64> {
+        let mut rng = seeded_rng(seed);
+        let mut chain = JacobianChain::new(uniform_vector(&mut rng, width, 1.0));
+        for _ in 0..n {
+            let dense = Matrix::from_fn(width, width, |_, _| {
+                if rng.random_range(0.0..1.0) < 0.4 {
+                    rng.random_range(-1.0..1.0)
+                } else {
+                    0.0
+                }
+            });
+            chain.push(ScanElement::Sparse(Csr::from_dense(&dense)));
+        }
+        chain
+    }
+
+    /// Same sparsity patterns as `template` (so the request routes to the
+    /// template's lane), fresh values.
+    fn revalue(template: &JacobianChain<f64>, seed: u64) -> JacobianChain<f64> {
+        let mut rng = seeded_rng(seed);
+        let mut chain = JacobianChain::new(uniform_vector(&mut rng, template.seed().len(), 1.0));
+        for jt in template.jacobians() {
+            let ScanElement::Sparse(m) = jt else {
+                unreachable!()
+            };
+            chain.push(ScanElement::Sparse(
+                m.map_values(|_| rng.random_range(-1.0..1.0)),
+            ));
+        }
+        chain
+    }
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            max_batch: 4,
+            max_delay: Duration::from_micros(500),
+            queue_cap: 16,
+            max_lanes: 4,
+            workspaces_per_lane: 0,
+        }
+    }
+
+    #[test]
+    fn single_request_flushes_by_deadline_without_further_traffic() {
+        // max_batch is 4 but only one request arrives: the deadline policy
+        // alone must flush it — no co-traffic, no nudge.
+        let service = BppsaService::<f64>::new(quick_config());
+        let chain = sparse_chain(6, 8, 1);
+        let reference = bppsa_backward(&chain, BppsaOptions::serial());
+        let ticket = Ticket::new();
+        service.submit(chain, &ticket).expect("accepting");
+        ticket.wait().expect("deadline flush completes the request");
+        ticket.with_result(|r| assert!(r.max_abs_diff(&reference) < 1e-12));
+        assert_eq!(service.lanes(), 1);
+    }
+
+    #[test]
+    fn coalesced_batch_matches_serial_bit_for_bit() {
+        let service = BppsaService::<f64>::new(quick_config());
+        let template = sparse_chain(10, 8, 2);
+        let plan = PlannedScan::plan(&template, BppsaOptions::serial());
+        let chains: Vec<JacobianChain<f64>> = (0..8)
+            .map(|k| {
+                let mut rng = seeded_rng(100 + k);
+                let mut chain =
+                    JacobianChain::new(uniform_vector(&mut rng, template.seed().len(), 1.0));
+                for jt in template.jacobians() {
+                    let ScanElement::Sparse(m) = jt else {
+                        unreachable!()
+                    };
+                    chain.push(ScanElement::Sparse(
+                        m.map_values(|_| rng.random_range(-1.0..1.0)),
+                    ));
+                }
+                chain
+            })
+            .collect();
+        let references: Vec<Vec<Vec<f64>>> = chains
+            .iter()
+            .map(|chain| {
+                let mut ws = plan.workspace::<f64>();
+                plan.execute_with(chain, &mut ws)
+                    .grads()
+                    .iter()
+                    .map(|g| g.as_slice().to_vec())
+                    .collect()
+            })
+            .collect();
+        let tickets: Vec<Ticket<f64>> = chains.iter().map(|_| Ticket::new()).collect();
+        for (chain, ticket) in chains.into_iter().zip(&tickets) {
+            service.submit(chain, ticket).expect("accepting");
+        }
+        for (k, ticket) in tickets.iter().enumerate() {
+            ticket.wait().expect("served");
+            ticket.with_result(|r| {
+                for (g, expect) in r.grads().iter().zip(&references[k]) {
+                    // Same compiled program, same rounding: exact equality.
+                    assert_eq!(g.as_slice(), expect.as_slice());
+                }
+            });
+        }
+        assert_eq!(service.lanes(), 1, "one shape, one lane");
+    }
+
+    #[test]
+    fn short_budget_request_flushes_within_its_own_deadline() {
+        // Regression test: the dispatcher used to arm its timer on the
+        // *front* request's deadline only, so a short-budget request queued
+        // behind a long-budget one waited out the long budget. The flush
+        // timer must follow the earliest pending deadline.
+        let service = BppsaService::<f64>::new(ServeConfig {
+            max_batch: 8, // never reached: the deadline must do the work
+            max_delay: Duration::from_millis(400),
+            queue_cap: 16,
+            max_lanes: 2,
+            workspaces_per_lane: 0,
+        });
+        let template = sparse_chain(5, 6, 45);
+        let long = Ticket::new();
+        service
+            .submit_with_delay(revalue(&template, 46), Duration::from_millis(400), &long)
+            .expect("accepting");
+        let short = Ticket::new();
+        let t0 = Instant::now();
+        service
+            .submit_with_delay(revalue(&template, 47), Duration::from_millis(2), &short)
+            .expect("accepting");
+        short.wait().expect("served");
+        let waited = t0.elapsed();
+        assert!(
+            waited < Duration::from_millis(200),
+            "short-budget request waited {waited:?} — the long co-request's budget leaked onto it"
+        );
+        // The whole prefix flushes together, so the long request rides along.
+        long.wait().expect("served in the same flush");
+    }
+
+    #[test]
+    fn planner_panic_does_not_orphan_existing_lanes() {
+        // Regression test: at lane capacity, a panic while planning a new
+        // shape used to strike *inside* the MRU make-closure, after the LRU
+        // lane had already been evicted — leaking a never-closed lane whose
+        // dispatcher parked forever and hung shutdown. Planning now happens
+        // before any eviction, and the submitting ticket stays idle.
+        let mut config = quick_config();
+        config.max_lanes = 1;
+        let service = BppsaService::<f64>::new(config);
+        let template = sparse_chain(4, 6, 48);
+        let ticket = Ticket::new();
+        service
+            .submit(revalue(&template, 49), &ticket)
+            .expect("accepting");
+        ticket.wait().expect("served");
+
+        // An un-plannable chain (dense element) panics inside submit.
+        let mut bad = JacobianChain::new(bppsa_tensor::Vector::from_vec(vec![1.0, 2.0]));
+        bad.push(ScanElement::Dense(bppsa_tensor::Matrix::identity(2)));
+        let bad_ticket = Ticket::new();
+        let panicked = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = service.submit(bad, &bad_ticket);
+        }));
+        assert!(panicked.is_err(), "dense chain must be rejected loudly");
+
+        // The existing lane is intact, the panicking ticket reusable, and
+        // shutdown (via drop at the end of this test) must not hang.
+        service
+            .submit(revalue(&template, 50), &bad_ticket)
+            .expect("ticket left idle by the failed submit");
+        bad_ticket.wait().expect("served on the surviving lane");
+        assert_eq!(service.lanes(), 1);
+        assert_eq!(service.lanes_created(), 1, "no lane was evicted or leaked");
+        service.shutdown();
+    }
+
+    #[test]
+    fn mru_eviction_drains_and_recreates_lanes() {
+        let mut config = quick_config();
+        config.max_lanes = 2;
+        let service = BppsaService::<f64>::new(config);
+        // Three shapes through a 2-lane router: the first lane is evicted…
+        for (n, seed) in [(3usize, 10u64), (5, 11), (7, 12)] {
+            let ticket = Ticket::new();
+            service
+                .submit(sparse_chain(n, 6, seed), &ticket)
+                .expect("accepting");
+            ticket.wait().expect("served");
+        }
+        assert_eq!(service.lanes(), 2);
+        assert_eq!(service.lanes_created(), 3);
+        // …and transparently re-created when its shape returns.
+        let ticket = Ticket::new();
+        service
+            .submit(sparse_chain(3, 6, 13), &ticket)
+            .expect("accepting");
+        ticket.wait().expect("served");
+        assert_eq!(service.lanes(), 2);
+        assert_eq!(service.lanes_created(), 4);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_and_returns_the_chain() {
+        let service = BppsaService::<f64>::new(quick_config());
+        let ticket = Ticket::new();
+        service
+            .submit(sparse_chain(4, 6, 20), &ticket)
+            .expect("accepting");
+        service.shutdown();
+        // The accepted request completed during the drain.
+        ticket.wait().expect("drained before retiring");
+        let refused = service.submit(sparse_chain(4, 6, 21), &Ticket::new());
+        let chain = match refused {
+            Err(SubmitError::Shutdown(chain)) => chain,
+            other => panic!("expected Shutdown, got {other:?}"),
+        };
+        assert_eq!(chain.num_layers(), 4, "chain handed back intact");
+    }
+
+    #[test]
+    fn ticket_in_flight_is_refused() {
+        let mut config = quick_config();
+        config.max_delay = Duration::from_millis(50); // keep it pending
+        let service = BppsaService::<f64>::new(config);
+        let ticket = Ticket::new();
+        service
+            .submit(sparse_chain(4, 6, 30), &ticket)
+            .expect("accepting");
+        let second = service.submit(sparse_chain(4, 6, 31), &ticket);
+        assert!(matches!(second, Err(SubmitError::TicketInFlight(_))));
+        ticket.wait().expect("first request still completes");
+    }
+
+    #[test]
+    fn try_submit_backpressure_hands_the_chain_back() {
+        // A lane whose dispatcher is stuck behind a long deadline with
+        // queue_cap 1: the second try_submit must refuse with the chain.
+        let config = ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(200),
+            queue_cap: 1,
+            max_lanes: 2,
+            workspaces_per_lane: 1,
+        };
+        let service = BppsaService::<f64>::new(config);
+        let template = sparse_chain(4, 6, 40);
+        let t1 = Ticket::new();
+        service
+            .submit(revalue(&template, 41), &t1)
+            .expect("accepting");
+        let t2 = Ticket::new();
+        let refused = service.try_submit(revalue(&template, 42), &t2);
+        assert!(matches!(refused, Err(SubmitError::Backpressure(_))));
+        t1.wait().expect("queued request still served");
+        // The refused ticket is reusable immediately.
+        service
+            .submit(revalue(&template, 43), &t2)
+            .expect("accepting after refusal");
+        t2.wait().expect("served");
+    }
+
+    #[test]
+    fn panicking_request_poisons_only_its_own_batch() {
+        // End-to-end panic containment across *concurrently flushing*
+        // lanes, directly exercising the worker pool's generation-scoped
+        // poisoning: lane A's batch carries one request that panics inside
+        // `PlannedScan::execute_with` (its chain matches the lane plan's
+        // shapes but not its length — reachable here by pushing past the
+        // router on a hand-built lane), while lane B flushes clean batches
+        // the whole time. The panicking request must fail, its innocent
+        // co-members and every lane-B request must succeed.
+        let config = quick_config();
+        let good_template = sparse_chain(6, 8, 50);
+        let lane_a = Arc::new(Lane::new(&good_template, &config));
+        // Wrong *length* for lane A's plan: `execute_with`'s chain check
+        // panics deterministically inside the batch job. (Unreachable via
+        // `submit` — routing always matches — hence the hand-built lane.)
+        let bad_chain = sparse_chain(9, 8, 51);
+        let service_b = BppsaService::<f64>::new(quick_config());
+        let b_template = sparse_chain(5, 6, 52);
+
+        // All assertions run *after* the dispatcher is retired, so a
+        // failure reports instead of hanging the scope join.
+        let (good_outcomes, bad_outcome, bad_layers, after_outcome, b_outcomes) =
+            std::thread::scope(|s| {
+                let lane = Arc::clone(&lane_a);
+                let dispatcher = s.spawn(move || dispatcher_loop(&lane));
+
+                // Lane A: 3 good requests + 1 poisoned, one coalesced batch.
+                let good_tickets: Vec<Ticket<f64>> = (0..3).map(|_| Ticket::new()).collect();
+                let bad_ticket = Ticket::new();
+                let deadline = Instant::now() + Duration::from_millis(5);
+                for (k, ticket) in good_tickets.iter().enumerate() {
+                    assert!(ticket.shared().begin_flight());
+                    lane_a
+                        .push(
+                            revalue(&good_template, 60 + k as u64),
+                            deadline,
+                            ticket.shared(),
+                            true,
+                        )
+                        .unwrap_or_else(|_| panic!("open lane refused"));
+                }
+                assert!(bad_ticket.shared().begin_flight());
+                lane_a
+                    .push(bad_chain, deadline, bad_ticket.shared(), true)
+                    .unwrap_or_else(|_| panic!("open lane refused"));
+
+                // Lane B (separate service): concurrent clean traffic racing
+                // lane A's poisoned flush on the shared worker pool.
+                let b_outcomes: Vec<Result<(), ServeError>> = (0..20)
+                    .map(|round| {
+                        let ticket = Ticket::new();
+                        service_b
+                            .submit(revalue(&b_template, 80 + round), &ticket)
+                            .expect("accepting");
+                        ticket.wait()
+                    })
+                    .collect();
+
+                let good_outcomes: Vec<Result<(), ServeError>> = good_tickets
+                    .iter()
+                    .map(|t| {
+                        let outcome = t.wait();
+                        if outcome.is_ok() {
+                            t.with_result(|r| assert_eq!(r.grads().len(), 6));
+                        }
+                        outcome
+                    })
+                    .collect();
+                let bad_outcome = bad_ticket.wait();
+                let bad_layers = bad_ticket.take_chain().num_layers();
+
+                // The lane survives its poisoned batch: a fresh request
+                // flushes cleanly before the dispatcher retires.
+                let after = Ticket::new();
+                assert!(after.shared().begin_flight());
+                lane_a
+                    .push(
+                        revalue(&good_template, 70),
+                        Instant::now() + Duration::from_millis(2),
+                        after.shared(),
+                        true,
+                    )
+                    .unwrap_or_else(|_| panic!("open lane refused"));
+                let after_outcome = after.wait();
+
+                lane_a.close();
+                dispatcher.join().expect("dispatcher retired cleanly");
+                (
+                    good_outcomes,
+                    bad_outcome,
+                    bad_layers,
+                    after_outcome,
+                    b_outcomes,
+                )
+            });
+
+        for (k, outcome) in good_outcomes.iter().enumerate() {
+            assert_eq!(
+                *outcome,
+                Ok(()),
+                "innocent co-member {k} must still complete"
+            );
+        }
+        assert_eq!(bad_outcome, Err(ServeError::BatchPanicked));
+        assert_eq!(bad_layers, 9, "the panicking request's chain comes back");
+        assert_eq!(after_outcome, Ok(()), "lane survives its poisoned batch");
+        for (round, outcome) in b_outcomes.iter().enumerate() {
+            assert_eq!(
+                *outcome,
+                Ok(()),
+                "concurrent clean lane caught a foreign panic (round {round})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch must be >= 1")]
+    fn zero_max_batch_is_rejected() {
+        let mut config = quick_config();
+        config.max_batch = 0;
+        let _ = BppsaService::<f64>::new(config);
+    }
+}

@@ -1,0 +1,354 @@
+//! Client-side completion handles for served backward requests.
+//!
+//! A [`Ticket`] is the reusable rendezvous between one submitter and the
+//! service: `submit` moves a [`JacobianChain`] in, the lane dispatcher
+//! executes it inside a coalesced batch, and completion hands the chain
+//! *back* into the ticket together with the gradients — so a steady-state
+//! client loop (refresh values in place, resubmit, wait, read) performs
+//! **zero heap allocations** after its first round trip. The gradient copy
+//! reuses the ticket's buffer whenever the shapes match, and waiting is a
+//! plain condvar park.
+
+use bppsa_core::{BackwardResult, JacobianChain};
+use bppsa_tensor::Scalar;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Why a served request failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// A job in this request's coalesced batch panicked and this request's
+    /// own execution did not complete. Requests of the same batch whose
+    /// execution finished before the panic still complete successfully —
+    /// the panic is attributed per request, and other batches (other lanes,
+    /// other flushes) are never affected.
+    BatchPanicked,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BatchPanicked => {
+                write!(f, "a job in this request's coalesced batch panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Where a ticket currently is in its request lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// No request submitted yet (or the last flight was aborted).
+    Idle,
+    /// A request is in flight; `wait` blocks.
+    Pending,
+    /// The last request completed; `outcome` says how.
+    Done,
+}
+
+pub(crate) struct TicketShared<S> {
+    inner: Mutex<TicketInner<S>>,
+    done: Condvar,
+}
+
+struct TicketInner<S> {
+    phase: Phase,
+    /// `Some` exactly when `phase == Done`.
+    outcome: Option<Result<(), ServeError>>,
+    /// Whether the in-flight request's execution completed (its result was
+    /// staged) — distinguishes the panicking member of a poisoned batch
+    /// from its innocent co-members.
+    staged: bool,
+    /// The last completed flight's gradients; reused across flights.
+    result: Option<BackwardResult<S>>,
+    /// The request chain, handed back on completion for in-place refresh.
+    chain: Option<JacobianChain<S>>,
+}
+
+impl<S> TicketShared<S> {
+    fn lock(&self) -> MutexGuard<'_, TicketInner<S>> {
+        // Ticket state carries no invariant a panicking holder could break
+        // mid-update that a waiter must not see (single writer per phase).
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Marks the ticket in flight. `false` if a request is already pending.
+    pub(crate) fn begin_flight(&self) -> bool {
+        let mut inner = self.lock();
+        if inner.phase == Phase::Pending {
+            return false;
+        }
+        inner.phase = Phase::Pending;
+        inner.outcome = None;
+        inner.staged = false;
+        true
+    }
+
+    /// Rolls a [`TicketShared::begin_flight`] back after a refused submit.
+    pub(crate) fn abort_flight(&self) {
+        let mut inner = self.lock();
+        debug_assert_eq!(inner.phase, Phase::Pending);
+        inner.phase = Phase::Idle;
+    }
+
+    /// Completes the flight: hands the chain back and wakes waiters. With
+    /// `batch_panicked`, requests whose execution finished (staged) still
+    /// complete successfully; only the unexecuted ones fail.
+    pub(crate) fn finish(&self, chain: JacobianChain<S>, batch_panicked: bool) {
+        let mut inner = self.lock();
+        debug_assert_eq!(inner.phase, Phase::Pending);
+        inner.outcome = Some(if !batch_panicked || inner.staged {
+            Ok(())
+        } else {
+            Err(ServeError::BatchPanicked)
+        });
+        inner.chain = Some(chain);
+        inner.phase = Phase::Done;
+        drop(inner);
+        self.done.notify_all();
+    }
+}
+
+impl<S: Scalar> TicketShared<S> {
+    /// Stages the request's gradients (called from the batch fan-out while
+    /// the executing workspace is still checked out). Reuses the ticket's
+    /// result buffer when shapes match — allocation-free in the steady
+    /// state.
+    pub(crate) fn stage(&self, result: &BackwardResult<S>) {
+        let mut inner = self.lock();
+        match &mut inner.result {
+            Some(dst)
+                if dst.grads().len() == result.grads().len()
+                    && dst
+                        .grads()
+                        .iter()
+                        .zip(result.grads())
+                        .all(|(d, s)| d.len() == s.len()) =>
+            {
+                for (dst, src) in dst.grads_mut().iter_mut().zip(result.grads()) {
+                    dst.as_mut_slice().copy_from_slice(src.as_slice());
+                }
+            }
+            slot => *slot = Some(result.clone()),
+        }
+        inner.staged = true;
+    }
+}
+
+/// A reusable completion handle: one in-flight request at a time, chain and
+/// gradient buffers recycled across flights.
+///
+/// The steady-state client loop — take the chain back, refresh its values
+/// in place, resubmit, wait, read — performs **zero heap allocations**
+/// after the first completed round trip (asserted by
+/// `crates/serve/tests/alloc_free_serve.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_core::{JacobianChain, ScanElement};
+/// use bppsa_serve::{BppsaService, ServeConfig, Ticket};
+/// use bppsa_sparse::Csr;
+/// use bppsa_tensor::Vector;
+///
+/// let service = BppsaService::<f64>::new(ServeConfig::default());
+/// let ticket = Ticket::new();
+///
+/// let mut chain = JacobianChain::new(Vector::from_vec(vec![1.0, -2.0]));
+/// chain.push(ScanElement::Sparse(Csr::from_diagonal(&[3.0, 0.5])));
+/// service.submit(chain, &ticket).expect("service accepting");
+///
+/// ticket.wait().expect("request served");
+/// let grad = ticket.with_result(|r| r.grad_x(1).as_slice().to_vec());
+/// assert_eq!(grad, vec![1.0, -2.0]); // ∇x_n = seed
+///
+/// // Reuse: reclaim the chain, refresh values in place, go again.
+/// let chain = ticket.take_chain();
+/// service.submit(chain, &ticket).expect("service accepting");
+/// ticket.wait().expect("request served");
+/// ```
+pub struct Ticket<S> {
+    shared: Arc<TicketShared<S>>,
+}
+
+impl<S> Ticket<S> {
+    /// A fresh, idle ticket.
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(TicketShared {
+                inner: Mutex::new(TicketInner {
+                    phase: Phase::Idle,
+                    outcome: None,
+                    staged: false,
+                    result: None,
+                    chain: None,
+                }),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    pub(crate) fn shared(&self) -> Arc<TicketShared<S>> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Blocks until the in-flight request completes; repeated calls after
+    /// completion return the same outcome until the next submit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no request was ever submitted on this ticket.
+    pub fn wait(&self) -> Result<(), ServeError> {
+        let mut inner = self.shared.lock();
+        loop {
+            match inner.phase {
+                Phase::Done => return inner.outcome.expect("Done implies outcome"),
+                Phase::Idle => panic!("Ticket::wait: no request in flight"),
+                Phase::Pending => {
+                    inner = self
+                        .shared
+                        .done
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Whether the last submitted request has completed (never blocks).
+    pub fn is_done(&self) -> bool {
+        self.shared.lock().phase == Phase::Done
+    }
+
+    /// Reads the completed gradients under the ticket lock (no copy; copy
+    /// out what must outlive the call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last request did not complete successfully (or none
+    /// was submitted) — check [`Ticket::wait`] first.
+    pub fn with_result<R>(&self, f: impl FnOnce(&BackwardResult<S>) -> R) -> R {
+        let inner = self.shared.lock();
+        assert_eq!(
+            (inner.phase, inner.outcome),
+            (Phase::Done, Some(Ok(()))),
+            "Ticket::with_result: last request did not complete successfully"
+        );
+        f(inner.result.as_ref().expect("successful flight staged"))
+    }
+
+    /// Reclaims the chain of the last completed request for in-place value
+    /// refresh and resubmission (the allocation-free client loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics while a request is in flight, or if there is no chain to take
+    /// (none submitted yet, or already taken).
+    pub fn take_chain(&self) -> JacobianChain<S> {
+        let mut inner = self.shared.lock();
+        assert_ne!(
+            inner.phase,
+            Phase::Pending,
+            "Ticket::take_chain: request still in flight"
+        );
+        inner
+            .chain
+            .take()
+            .expect("Ticket::take_chain: no chain held")
+    }
+}
+
+impl<S> Default for Ticket<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> std::fmt::Debug for Ticket<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.shared.lock();
+        f.debug_struct("Ticket")
+            .field("phase", &inner.phase)
+            .field("outcome", &inner.outcome)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bppsa_sparse::Csr;
+    use bppsa_tensor::Vector;
+
+    fn tiny_chain(scale: f64) -> JacobianChain<f64> {
+        let mut chain = JacobianChain::new(Vector::from_vec(vec![scale, -scale]));
+        chain.push(bppsa_core::ScanElement::Sparse(Csr::from_diagonal(&[
+            2.0, 3.0,
+        ])));
+        chain
+    }
+
+    #[test]
+    fn begin_stage_finish_roundtrip() {
+        let ticket = Ticket::<f64>::new();
+        let shared = ticket.shared();
+        assert!(shared.begin_flight());
+        assert!(!shared.begin_flight(), "double begin must be refused");
+        let result = BackwardResult::from_grads(vec![Vector::from_vec(vec![1.0, 2.0])]);
+        shared.stage(&result);
+        shared.finish(tiny_chain(1.0), false);
+        assert_eq!(ticket.wait(), Ok(()));
+        assert_eq!(
+            ticket.with_result(|r| r.grad_x(1).as_slice().to_vec()),
+            vec![1.0, 2.0]
+        );
+        let chain = ticket.take_chain();
+        assert_eq!(chain.seed().as_slice(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn panicked_batch_fails_only_unstaged_members() {
+        let staged = Ticket::<f64>::new();
+        let unstaged = Ticket::<f64>::new();
+        for t in [&staged, &unstaged] {
+            assert!(t.shared().begin_flight());
+        }
+        staged
+            .shared()
+            .stage(&BackwardResult::from_grads(vec![Vector::from_vec(vec![
+                5.0,
+            ])]));
+        staged.shared().finish(tiny_chain(1.0), true);
+        unstaged.shared().finish(tiny_chain(2.0), true);
+        assert_eq!(staged.wait(), Ok(()));
+        assert_eq!(unstaged.wait(), Err(ServeError::BatchPanicked));
+        // Both get their chains back regardless of outcome.
+        assert_eq!(staged.take_chain().seed().as_slice(), &[1.0, -1.0]);
+        assert_eq!(unstaged.take_chain().seed().as_slice(), &[2.0, -2.0]);
+    }
+
+    #[test]
+    fn abort_flight_returns_to_idle() {
+        let ticket = Ticket::<f64>::new();
+        assert!(ticket.shared().begin_flight());
+        ticket.shared().abort_flight();
+        assert!(ticket.shared().begin_flight(), "idle again after abort");
+    }
+
+    #[test]
+    #[should_panic(expected = "no request in flight")]
+    fn wait_without_submit_panics() {
+        let _ = Ticket::<f64>::new().wait();
+    }
+
+    #[test]
+    #[should_panic(expected = "did not complete successfully")]
+    fn with_result_after_failure_panics() {
+        let ticket = Ticket::<f64>::new();
+        ticket.shared().begin_flight();
+        ticket.shared().finish(tiny_chain(1.0), true);
+        assert_eq!(ticket.wait(), Err(ServeError::BatchPanicked));
+        ticket.with_result(|_| ());
+    }
+}

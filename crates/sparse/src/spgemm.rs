@@ -314,16 +314,35 @@ impl SymbolicProduct {
 
     /// First row of chunk `c` when `0..rows` is split into `chunks` pieces
     /// of roughly `total / chunks` gather entries each.
+    ///
+    /// Boundaries are **strictly monotone** for `chunks <= rows`: every
+    /// chunk owns at least one row, `boundary(0) == 0`, and
+    /// `boundary(chunks) == rows`, so the per-chunk row ranges partition
+    /// `0..rows` exactly with no empty chunks. The raw FLOP-balanced
+    /// targets alone do not guarantee that — leading rows with empty gather
+    /// ranges or one row dominating `total` collapse several targets onto
+    /// the same row — so the raw boundaries are repaired by the strictly
+    /// increasing envelope `max_k≤c (raw(k) + (c − k))`, clamped so every
+    /// later chunk keeps a row too.
     fn chunk_boundary_row(&self, c: usize, chunks: usize, total: usize, rows: usize) -> usize {
+        debug_assert!(chunks >= 1 && chunks <= rows);
         if c == 0 {
             return 0;
         }
         if c >= chunks {
             return rows;
         }
-        let target = c * total / chunks;
-        // First row whose gather range starts at or past the target.
-        self.gather_ptr.partition_point(|&g| g < target).min(rows)
+        // Strictly increasing lower envelope over the raw boundaries. O(c)
+        // partition_points per call — chunks is pool-sized (tiny next to
+        // the numeric work this is only used to split).
+        let mut repaired = c; // k == 0 term: raw(0) == 0, shifted by c.
+        for k in 1..=c {
+            let target = k * total / chunks;
+            let raw = self.gather_ptr.partition_point(|&g| g < target).min(rows);
+            repaired = repaired.max(raw + (c - k));
+        }
+        // Leave at least one row for each of the `chunks - c` later chunks.
+        repaired.min(rows - (chunks - c))
     }
 
     /// The shared serial gather kernel over a row range.
@@ -500,6 +519,87 @@ mod tests {
         let plan = SymbolicProduct::plan(&a.pattern(), &b.pattern());
         let wrong = Csr::identity(3);
         let _ = plan.execute(&wrong, &b);
+    }
+
+    /// A dense matrix whose row-occupancy is deliberately skewed: a run of
+    /// leading all-zero rows, one dominating dense row, and a sparse tail —
+    /// the shapes that used to collapse several raw chunk boundaries onto
+    /// one row.
+    fn skewed_dense(
+        rows: usize,
+        cols: usize,
+        empty_lead: usize,
+        heavy_row: usize,
+        tail_density: f64,
+        cells: &[f64],
+    ) -> Matrix<f64> {
+        let mut idx = 0usize;
+        Matrix::from_fn(rows, cols, |i, _| {
+            let v = cells[idx % cells.len()];
+            idx += 1;
+            if i < empty_lead.min(rows) {
+                0.0
+            } else if i == heavy_row % rows {
+                if v == 0.0 {
+                    1.0
+                } else {
+                    v
+                }
+            } else if v.abs() < tail_density * 5.0 {
+                v
+            } else {
+                0.0
+            }
+        })
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(64))]
+
+        #[test]
+        fn chunk_boundaries_partition_rows_exactly(
+            (rows, k, cols, empty_lead, heavy_row, tail_density) in (
+                2usize..24,
+                1usize..12,
+                1usize..12,
+                0usize..20,
+                0usize..24,
+                0.0f64..1.0,
+            ),
+            cells in proptest::collection::vec(-5.0f64..5.0, 64),
+        ) {
+            let a = Csr::from_dense(&skewed_dense(
+                rows, k, empty_lead, heavy_row, tail_density, &cells,
+            ));
+            let b = Csr::from_dense(&skewed_dense(k, cols, 0, heavy_row, 0.6, &cells));
+            let plan = SymbolicProduct::plan(&a.pattern(), &b.pattern());
+            let total = plan.gather.len();
+            for chunks in 2..=rows.min(9) {
+                let boundaries: Vec<usize> = (0..=chunks)
+                    .map(|c| plan.chunk_boundary_row(c, chunks, total, rows))
+                    .collect();
+                proptest::prop_assert_eq!(boundaries[0], 0);
+                proptest::prop_assert_eq!(boundaries[chunks], rows);
+                for c in 0..chunks {
+                    // Strictly monotone: no empty and no duplicate chunks,
+                    // so the ranges partition 0..rows exactly.
+                    proptest::prop_assert!(
+                        boundaries[c] < boundaries[c + 1],
+                        "chunks={} boundaries={:?} (gather_ptr={:?})",
+                        chunks,
+                        &boundaries,
+                        &plan.gather_ptr
+                    );
+                }
+            }
+            // And the row-parallel executor built on those boundaries stays
+            // numerically identical to the serial gather.
+            let reference = plan.execute(&a, &b);
+            let pool = WorkerPool::new(3);
+            let mut out = Csr::from_pattern(plan.out_pattern().clone());
+            plan.execute_into_parallel(&a, &b, &mut out, &pool);
+            proptest::prop_assert_eq!(out, reference);
+        }
     }
 
     #[test]

@@ -8,8 +8,12 @@
 //!
 //! Results print to stdout. When the `CRITERION_JSON_DIR` environment
 //! variable names a directory, each group additionally writes
-//! `<dir>/<group>.json` with `{name, median_ns, mean_ns, samples}` records so
-//! perf baselines can be committed and diffed across PRs.
+//! `<dir>/<group>.json` containing an `environment` record (the host's
+//! `available_parallelism`, i.e. usable core count — parallel-path numbers
+//! are meaningless without it) and a `results` array of
+//! `{name, median_ns, mean_ns, samples}` records, so perf baselines can be
+//! committed and diffed across PRs *with* the hardware context that
+//! produced them.
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
@@ -189,11 +193,21 @@ impl BenchmarkGroup<'_> {
         if let Ok(dir) = std::env::var("CRITERION_JSON_DIR") {
             let dir = std::path::Path::new(&dir);
             let _ = std::fs::create_dir_all(dir);
-            let mut out = String::from("[\n");
+            // Parallel-path timings are uninterpretable without the
+            // parallelism that produced them (see the workspace's 1-core
+            // re-baseline caveat), so every baseline records it.
+            // `available_parallelism` (cgroup/affinity aware), not a
+            // physical core count the process may not actually have.
+            let cores = std::thread::available_parallelism().map_or(0, |p| p.get());
+            let mut out = String::from("{\n");
+            out.push_str(&format!(
+                "  \"environment\": {{\"available_parallelism\": {cores}}},\n"
+            ));
+            out.push_str("  \"results\": [\n");
             for (i, r) in self.results.iter().enumerate() {
                 let sep = if i + 1 == self.results.len() { "" } else { "," };
                 out.push_str(&format!(
-                    "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}{}\n",
+                    "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}{}\n",
                     r.name,
                     r.median_ns(),
                     r.mean_ns(),
@@ -201,7 +215,7 @@ impl BenchmarkGroup<'_> {
                     sep
                 ));
             }
-            out.push_str("]\n");
+            out.push_str("  ]\n}\n");
             let path = dir.join(format!("{}.json", self.name));
             if let Err(e) = std::fs::write(&path, out) {
                 eprintln!("criterion shim: failed to write {}: {e}", path.display());

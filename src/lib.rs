@@ -7,7 +7,10 @@
 //! on — dense/sparse linear algebra, an NN operator library with analytic
 //! CSR Jacobian generation, a generic scan framework, a PRAM cost-model
 //! simulator with the paper's GPU profiles, pipeline-parallelism baselines,
-//! and the paper's models, datasets, and training loops.
+//! the paper's models, datasets, and training loops, and a deadline
+//! micro-batching serving front door ([`serve`]) that coalesces
+//! independently-arriving backward requests into batched planned-scan
+//! executions.
 //!
 //! This crate is a facade: it re-exports the workspace crates and hosts the
 //! runnable examples (`examples/`) and cross-crate integration tests
@@ -73,6 +76,7 @@ pub use bppsa_ops as ops;
 pub use bppsa_pipeline as pipeline;
 pub use bppsa_pram as pram;
 pub use bppsa_scan as scan;
+pub use bppsa_serve as serve;
 pub use bppsa_sparse as sparse;
 pub use bppsa_tensor as tensor;
 
@@ -96,6 +100,7 @@ pub mod prelude {
         execute_in_place, global_pool, serial_exclusive_scan, Executor, ScanOp, ScanSchedule,
         WorkerPool,
     };
+    pub use bppsa_serve::{BppsaService, ServeConfig, Ticket};
     pub use bppsa_sparse::{spgemm, Coo, Csr, SparsityPattern, SymbolicProduct};
     pub use bppsa_tensor::init::seeded_rng;
     pub use bppsa_tensor::{Matrix, Scalar, Tensor, Vector};
