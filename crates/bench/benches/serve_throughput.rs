@@ -19,7 +19,7 @@
 //! `environment` record) so the two regimes cannot be confused.
 
 use bppsa_core::{JacobianChain, ScanElement};
-use bppsa_serve::{BppsaService, ServeConfig, Ticket};
+use bppsa_serve::{BppsaService, ServeConfig, ShedPolicy, SubmitError, Ticket};
 use bppsa_sparse::Csr;
 use bppsa_tensor::init::{seeded_rng, uniform_vector};
 use bppsa_tensor::Matrix;
@@ -84,6 +84,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
                 queue_cap: 2 * WAVE,
                 max_lanes: lanes.max(2),
                 workspaces_per_lane: 0,
+                shed: ShedPolicy::disabled(),
             });
             let tickets: Vec<Ticket<f64>> = (0..WAVE).map(|_| Ticket::new()).collect();
             let mut slots: Vec<Option<JacobianChain<f64>>> = (0..WAVE)
@@ -110,5 +111,124 @@ fn bench_serve_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve_throughput);
+/// Cold-shape storm: a fresh service hit by `shapes` never-seen shapes
+/// back-to-back. Each iteration pays `shapes` full lane bring-ups (symbolic
+/// planning + workspace-pool construction + dispatcher spawn) — but since
+/// the placeholder rework, the submits themselves only enqueue: planning
+/// runs on the per-lane dispatcher threads, so on multi-core hardware the
+/// bring-ups overlap instead of serializing under the router lock (in a
+/// 1-core container they still time-slice; the group records
+/// `available_parallelism` for that reason).
+fn bench_cold_shape_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_cold_storm");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    let mut rng = seeded_rng(303);
+    for shapes in [2usize, 4, 8] {
+        // Distinct, moderately-expensive-to-plan shapes.
+        let templates: Vec<JacobianChain<f64>> = (0..shapes)
+            .map(|s| chain(24 + 8 * s, 10, &mut rng))
+            .collect();
+        group.bench_function(format!("shapes_{shapes}"), |b| {
+            b.iter(|| {
+                let service = BppsaService::<f64>::new(ServeConfig {
+                    max_batch: 4,
+                    max_delay: Duration::from_micros(100),
+                    queue_cap: 16,
+                    max_lanes: shapes.max(2),
+                    workspaces_per_lane: 1,
+                    shed: ShedPolicy::disabled(),
+                });
+                let tickets: Vec<Ticket<f64>> = (0..shapes).map(|_| Ticket::new()).collect();
+                for (template, ticket) in templates.iter().zip(&tickets) {
+                    service
+                        .submit(template.clone(), ticket)
+                        .expect("service accepting");
+                }
+                for ticket in &tickets {
+                    ticket.wait().expect("request served");
+                }
+                service.shutdown();
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Shed-rate scenario: one persistent overloaded lane (tiny queue + shed
+/// threshold). Each iteration drives a wave of submits; requests beyond the
+/// queue-depth threshold are refused at submit instead of blocking, so the
+/// measured cost is the overload path itself — cheap synchronous sheds plus
+/// the flushes of what was admitted. The post-run lane metrics (printed
+/// once per config) report the realized shed rate.
+fn bench_shed_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_shed_rate");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    let mut rng = seeded_rng(404);
+    let template = chain(48, 12, &mut rng);
+    for depth in [2usize, 8] {
+        let service = BppsaService::<f64>::new(ServeConfig {
+            max_batch: 4,
+            max_delay: Duration::from_micros(50),
+            queue_cap: 16,
+            max_lanes: 2,
+            workspaces_per_lane: 0,
+            shed: ShedPolicy {
+                max_queue_depth: Some(depth),
+                min_warming_delay: None,
+            },
+        });
+        let tickets: Vec<Ticket<f64>> = (0..WAVE).map(|_| Ticket::new()).collect();
+        let mut slots: Vec<Option<JacobianChain<f64>>> = (0..WAVE)
+            .map(|_| Some(revalue(&template, &mut rng)))
+            .collect();
+        // In-flight marker per slot, reused across waves.
+        let mut accepted: Vec<bool> = vec![false; WAVE];
+        let mut wave = || {
+            for ((slot, ticket), accepted) in slots.iter_mut().zip(&tickets).zip(&mut accepted) {
+                let chain = slot.take().expect("reclaimed");
+                match service.submit(chain, ticket) {
+                    Ok(()) => *accepted = true,
+                    Err(SubmitError::Shed(chain)) => {
+                        *accepted = false;
+                        *slot = Some(chain);
+                    }
+                    Err(other) => panic!("unexpected refusal: {other}"),
+                }
+            }
+            for ((slot, ticket), accepted) in slots.iter_mut().zip(&tickets).zip(&accepted) {
+                if *accepted {
+                    ticket.wait().expect("accepted request served");
+                    *slot = Some(ticket.take_chain());
+                }
+            }
+        };
+        wave(); // warm: lane planned, workspaces and tickets sized
+        group.bench_function(format!("shed_depth_{depth}/wave_{WAVE}"), |b| {
+            b.iter(&mut wave)
+        });
+        let lane = &service.metrics()[0];
+        println!(
+            "serve_shed_rate/shed_depth_{depth}: submitted {} shed {} ({:.1}% shed)",
+            lane.submitted,
+            lane.shed,
+            100.0 * lane.shed as f64 / (lane.submitted + lane.shed).max(1) as f64,
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_serve_throughput,
+    bench_cold_shape_storm,
+    bench_shed_rate
+);
 criterion_main!(benches);

@@ -62,7 +62,9 @@ pub use backward::{bppsa_backward, linear_backward, BackwardResult, BppsaOptions
 pub use chain::{gradients_from_scan_output, JacobianChain};
 pub use element::{JacobianScanOp, ScanElement};
 pub use network::{Gradients, JacobianRepr, Network, Tape};
-pub use planned::{Mru, PlannedBackwardCache, PlannedScan, ScanWorkspace, PLAN_CACHE_CAPACITY};
+pub use planned::{
+    chain_matches_shape, Mru, PlannedBackwardCache, PlannedScan, ScanWorkspace, PLAN_CACHE_CAPACITY,
+};
 pub use pool::{BatchedBackward, PooledWorkspace, WorkspacePool};
 
 #[cfg(test)]

@@ -70,6 +70,7 @@ use bppsa_scan::{global_pool, Executor, Pair, PhaseKind, ScanSchedule, SendPtr};
 use bppsa_sparse::{Csr, SparsityPattern, SymbolicProduct};
 use bppsa_tensor::{Scalar, Vector};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Minimum planned FLOPs before a stage is worth a pool wakeup at all.
 const STAGE_PARALLEL_MIN_FLOPS: u64 = 32_768;
@@ -176,6 +177,9 @@ pub struct PlannedScan {
     parallel: bool,
     /// FLOPs of all planned matrix–matrix combines (numeric phase).
     spgemm_flops: u64,
+    /// Wall-clock cost of the symbolic phase that built this plan — the
+    /// observability hook serving-layer lane bring-up reports.
+    build_time: Duration,
     /// Identity token tying workspaces to the plan they were built from.
     token: Arc<()>,
 }
@@ -207,6 +211,7 @@ impl PlannedScan {
     /// Panics if the chain is invalid or contains non-CSR elements (dense
     /// chains have no symbolic work to hoist).
     pub fn plan<S: Scalar>(chain: &JacobianChain<S>, opts: BppsaOptions) -> Self {
+        let build_start = Instant::now();
         chain.validate();
         let n = chain.num_layers();
         let input_patterns: Vec<Arc<SparsityPattern>> = chain
@@ -293,8 +298,19 @@ impl PlannedScan {
             outputs,
             parallel: !matches!(opts.executor, Executor::Serial),
             spgemm_flops: compiler.spgemm_flops,
+            build_time: build_start.elapsed(),
             token: Arc::new(()),
         }
+    }
+
+    /// Wall-clock time the symbolic phase took to build this plan.
+    ///
+    /// Planning is the one expensive, allocation-heavy step of the
+    /// plan→workspace→execute lifecycle; callers that build plans on demand
+    /// (the `bppsa-serve` lane bring-up, the [`PlannedBackwardCache`]) report
+    /// it for cold-start observability.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
     }
 
     /// The schedule this plan executes.
@@ -425,18 +441,7 @@ impl PlannedScan {
     /// same length, seed width, and per-layer sparsity patterns (`Arc`
     /// pointer fast path, content compare otherwise). Allocation-free.
     pub fn matches<S: Scalar>(&self, chain: &JacobianChain<S>) -> bool {
-        chain.num_layers() + 1 == self.schedule.len()
-            && chain.seed().len() == self.seed_len
-            && chain
-                .jacobians()
-                .iter()
-                .zip(&self.input_patterns)
-                .all(|(jt, expected)| match jt {
-                    ScanElement::Sparse(m) => {
-                        Arc::ptr_eq(m.pattern_ref(), expected) || *m.pattern_ref() == *expected
-                    }
-                    _ => false,
-                })
+        chain_matches_shape(chain, self.seed_len, &self.input_patterns)
     }
 
     /// Validates chain length and operand shapes against the plan; debug
@@ -562,6 +567,32 @@ impl PlannedScan {
     }
 }
 
+/// Whether `chain` has exactly the given structure: a `seed_len`-wide seed
+/// gradient and one all-CSR layer per entry of `patterns`, in layer order
+/// (`Arc`-pointer fast path, content compare otherwise). Allocation-free.
+///
+/// This is *the* shape predicate of the workspace: [`PlannedScan::matches`]
+/// and the `bppsa-serve` router's lane shape keys both delegate here, so
+/// plan compatibility and request routing cannot drift apart.
+pub fn chain_matches_shape<S: Scalar>(
+    chain: &JacobianChain<S>,
+    seed_len: usize,
+    patterns: &[Arc<SparsityPattern>],
+) -> bool {
+    chain.num_layers() == patterns.len()
+        && chain.seed().len() == seed_len
+        && chain
+            .jacobians()
+            .iter()
+            .zip(patterns)
+            .all(|(jt, expected)| match jt {
+                ScanElement::Sparse(m) => {
+                    Arc::ptr_eq(m.pattern_ref(), expected) || *m.pattern_ref() == *expected
+                }
+                _ => false,
+            })
+}
+
 /// A self-managing plan/workspace pair for training loops: call
 /// [`PlannedBackwardCache::backward`] every iteration and it re-plans only
 /// when the chain's structure actually changes (first call, shape change,
@@ -679,6 +710,25 @@ impl<T> Mru<T> {
     /// shutdown).
     pub fn drain(&mut self) -> std::vec::Drain<'_, T> {
         self.entries.drain(..)
+    }
+
+    /// Removes and returns every entry matching `pred` (LRU order among
+    /// the removed; recency order of the survivors preserved). Returns an
+    /// empty, non-allocated `Vec` when nothing matches, so callers may run
+    /// it on hot paths as a guard against dead entries (e.g. a serving
+    /// lane whose background warm-up failed and that must not keep
+    /// matching requests).
+    pub fn extract(&mut self, pred: impl Fn(&T) -> bool) -> Vec<T> {
+        let mut removed = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if pred(&self.entries[i]) {
+                removed.push(self.entries.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        removed
     }
 
     /// Number of stored entries.
@@ -1019,6 +1069,10 @@ mod tests {
         assert_eq!(total_instrs, plan.planned_products() + plan.planned_spmvs());
         assert!(plan.spgemm_flops() > 0);
         assert!(plan.workspace_bytes::<f64>() > 0);
+        assert!(
+            plan.build_time() > Duration::ZERO,
+            "symbolic planning must report its wall-clock cost"
+        );
     }
 
     #[test]
@@ -1038,6 +1092,21 @@ mod tests {
         let out = cache.backward(&full, BppsaOptions::serial()).clone();
         let reference = bppsa_backward(&full, BppsaOptions::serial());
         assert!(out.max_abs_diff(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn mru_extract_removes_matching_entries_preserving_order() {
+        let mut mru: Mru<u32> = Mru::new(4);
+        for v in [1u32, 2, 3, 4] {
+            let _ = mru.find_or_insert_with(|e| *e == v, || v);
+        }
+        let removed = mru.extract(|v| v % 2 == 0);
+        assert_eq!(removed, vec![2, 4], "matching entries, LRU order");
+        assert_eq!(mru.len(), 2);
+        assert_eq!(mru.drain().collect::<Vec<_>>(), vec![1, 3]);
+
+        let mut empty: Mru<u32> = Mru::new(2);
+        assert!(empty.extract(|_| true).is_empty());
     }
 
     #[test]

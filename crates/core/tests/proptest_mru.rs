@@ -1,0 +1,161 @@
+//! Property-based tests for the [`Mru`] store's eviction contract.
+//!
+//! The serving layer hangs live resources (lane dispatcher threads, bounded
+//! queues, workspace pools) off `Mru` entries, so the store's bookkeeping
+//! is load-bearing: a duplicated eviction would shut a lane down twice, a
+//! *lost* eviction would leak a dispatcher that parks forever and hangs
+//! shutdown. Against a naive recency-list model these tests pin:
+//!
+//! 1. **Capacity** — the store never holds more than `capacity` entries.
+//! 2. **LRU order** — the evicted entry is always the least recently
+//!    used one (insertions and hits both refresh recency; `find` hits
+//!    refresh it too).
+//! 3. **Conservation** — every value ever inserted is, at the end, either
+//!    still live (yielded exactly once by `drain`, in LRU order) or was
+//!    yielded exactly once to the eviction side-channel of
+//!    [`Mru::find_or_insert_with_evicted`]. Nothing is dropped silently,
+//!    nothing is handed out twice.
+
+use bppsa_core::Mru;
+use proptest::prelude::*;
+
+/// One scripted operation against the store.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `find_or_insert_with_evicted` keyed by `key`.
+    FindOrInsert { key: u8 },
+    /// Hit-only `find` keyed by `key` (refreshes recency on a hit).
+    Find { key: u8 },
+}
+
+/// A stored entry: routing key plus a unique birth id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    key: u8,
+    id: usize,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0..10u8, 0..8u8).prop_map(|(key, kind)| {
+        if kind < 6 {
+            Op::FindOrInsert { key }
+        } else {
+            Op::Find { key }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mru_eviction_contract(
+        capacity in 1..6usize,
+        ops in proptest::collection::vec(op_strategy(), 0..80),
+    ) {
+        let mut mru: Mru<Entry> = Mru::new(capacity);
+        // Reference model: keys in recency order, least recent first.
+        let mut model: Vec<u8> = Vec::new();
+        let mut next_id = 0usize;
+        // Conservation ledger: how each id left the store (or None while
+        // live). `Some(n)` counts eviction/drain yields — must end at 1.
+        let mut yielded: Vec<usize> = Vec::new();
+        let mut live_ids: Vec<Option<usize>> = Vec::new(); // per id: live?
+
+        for op in ops {
+            match op {
+                Op::FindOrInsert { key } => {
+                    let was_hit = model.contains(&key);
+                    let expect_evicted_key = if !was_hit && model.len() == capacity {
+                        Some(model[0])
+                    } else {
+                        None
+                    };
+                    let id = next_id;
+                    let (entry, inserted, evicted) = mru.find_or_insert_with_evicted(
+                        |e| e.key == key,
+                        || Entry { key, id },
+                    );
+                    prop_assert_eq!(entry.key, key);
+                    prop_assert_eq!(inserted, !was_hit, "hit/miss must match the model");
+                    if inserted {
+                        next_id += 1;
+                        yielded.push(0);
+                        live_ids.push(Some(id));
+                    }
+                    match (evicted, expect_evicted_key) {
+                        (None, None) => {}
+                        (Some(out), Some(expect_key)) => {
+                            prop_assert_eq!(out.key, expect_key, "evicted entry must be the LRU");
+                            prop_assert_eq!(
+                                live_ids[out.id].take(),
+                                Some(out.id),
+                                "evicted value must have been live exactly once"
+                            );
+                            yielded[out.id] += 1;
+                        }
+                        (got, want) => panic!(
+                            "eviction mismatch: got {:?}, wanted key {:?}",
+                            got.map(|e| e.key),
+                            want
+                        ),
+                    }
+                    // Model recency update: hit or insert moves to back.
+                    model.retain(|k| *k != key);
+                    if expect_evicted_key.is_some() {
+                        model.remove(0);
+                    }
+                    model.push(key);
+                }
+                Op::Find { key } => {
+                    let was_hit = model.contains(&key);
+                    let found = mru.find(|e| e.key == key);
+                    prop_assert_eq!(found.is_some(), was_hit, "find hit must match the model");
+                    if let Some(entry) = found {
+                        prop_assert_eq!(entry.key, key);
+                        // A find hit refreshes recency.
+                        model.retain(|k| *k != key);
+                        model.push(key);
+                    }
+                }
+            }
+            prop_assert!(mru.len() <= capacity, "capacity exceeded");
+            prop_assert_eq!(mru.len(), model.len(), "live count must match the model");
+            prop_assert_eq!(mru.is_empty(), model.is_empty());
+            if let Some(last) = mru.last() {
+                prop_assert_eq!(
+                    last.key,
+                    *model.last().expect("nonempty together"),
+                    "most recently used entry must match the model"
+                );
+            }
+        }
+
+        // Drain yields every live entry exactly once, LRU first.
+        let drained: Vec<Entry> = mru.drain().collect();
+        let drained_keys: Vec<u8> = drained.iter().map(|e| e.key).collect();
+        prop_assert_eq!(drained_keys, model, "drain must yield in LRU order");
+        prop_assert!(mru.is_empty(), "drain must empty the store");
+        for entry in &drained {
+            prop_assert_eq!(
+                live_ids[entry.id].take(),
+                Some(entry.id),
+                "drained value must have been live exactly once"
+            );
+            yielded[entry.id] += 1;
+        }
+
+        // Conservation: every id ever inserted left the store exactly once
+        // (eviction or drain), never twice, never silently.
+        for (id, count) in yielded.iter().enumerate() {
+            prop_assert_eq!(
+                *count,
+                1,
+                "value {} must be yielded exactly once (got {})",
+                id,
+                count
+            );
+            prop_assert!(live_ids[id].is_none(), "value {} still marked live", id);
+        }
+    }
+}

@@ -551,9 +551,10 @@ impl<S: Scalar> VanillaRnn<S> {
             .collect();
         for (k, ticket) in tickets.iter().enumerate() {
             let chain = self.build_batched_chain(&requests[k..k + 1]);
-            service
-                .submit(chain, ticket)
-                .unwrap_or_else(|e| panic!("serve_sample_gradients: submit refused: {e}"));
+            // A shared service may transiently refuse (load shedding, and
+            // defensively lane warming); time-bounded retry instead of
+            // failing the whole batch.
+            crate::served::submit_with_retry(service, chain, ticket, "serve_sample_gradients");
         }
         requests
             .iter()

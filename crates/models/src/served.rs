@@ -19,9 +19,56 @@
 //! run — remainder batches included — routes through **one** service lane.
 
 use bppsa_core::{BackwardResult, JacobianChain};
-use bppsa_serve::{BppsaService, ServeConfig, Ticket};
+use bppsa_serve::{BppsaService, ServeConfig, SubmitError, Ticket};
 use bppsa_tensor::Scalar;
 use std::time::Duration;
+
+/// How long [`submit_with_retry`] keeps retrying transient refusals. The
+/// bound is time-based, not attempt-based: an overloaded lane's queue
+/// drains one *flush* at a time, so the retry window must comfortably
+/// cover many flush durations — a fixed spin count can elapse inside a
+/// single flush and refuse spuriously.
+const SUBMIT_RETRY_BUDGET: Duration = Duration::from_secs(5);
+/// Backoff between retry attempts: well below a lane's deadline budget,
+/// far above a busy spin.
+const SUBMIT_RETRY_BACKOFF: Duration = Duration::from_micros(100);
+
+/// Submits through a (possibly shared) service, absorbing the transient
+/// refusals a serving front door is allowed to answer with: a
+/// [`SubmitError::Shed`] (load shedding) hands the chain back, so the
+/// training/inference path retries — sleeping briefly between attempts —
+/// until [`SUBMIT_RETRY_BUDGET`] elapses, then treats the refusal as
+/// fatal. Lane warm-up needs no retry here at all: the blocking `submit`
+/// *queues* behind a warming lane (only `try_submit` answers
+/// [`SubmitError::LaneWarming`]), so tolerance of cold shapes is by
+/// construction; the `LaneWarming` match arm below exists for pattern
+/// completeness only and is unreachable today. Shutdown and
+/// in-flight-ticket refusals are programming errors here and panic
+/// immediately.
+pub(crate) fn submit_with_retry<S: Scalar>(
+    service: &BppsaService<S>,
+    chain: JacobianChain<S>,
+    ticket: &Ticket<S>,
+    what: &str,
+) {
+    let mut chain = chain;
+    let start = std::time::Instant::now();
+    loop {
+        match service.submit(chain, ticket) {
+            Ok(()) => return,
+            Err(SubmitError::LaneWarming(c)) | Err(SubmitError::Shed(c)) => {
+                assert!(
+                    start.elapsed() < SUBMIT_RETRY_BUDGET,
+                    "{what}: submit refused for {SUBMIT_RETRY_BUDGET:?} \
+                     (lane warming or load shedding never cleared)"
+                );
+                chain = c;
+                std::thread::sleep(SUBMIT_RETRY_BACKOFF);
+            }
+            Err(e) => panic!("{what}: submit refused: {e}"),
+        }
+    }
+}
 
 /// A lazily-built set of structurally-identical per-sample chains plus the
 /// [`BppsaService`] front door they are submitted through — the served
@@ -157,9 +204,7 @@ impl<S: Scalar> ServedChainSet<S> {
         let service = self.service.as_ref().expect("service created by ensure");
         for (slot, ticket) in entry.chains[..n].iter_mut().zip(&entry.tickets) {
             let chain = slot.take().expect("chain at rest");
-            service
-                .submit(chain, ticket)
-                .unwrap_or_else(|e| panic!("served backward: submit refused: {e}"));
+            submit_with_retry(service, chain, ticket, "served backward");
         }
         for (k, (slot, ticket)) in entry.chains[..n].iter_mut().zip(&entry.tickets).enumerate() {
             ticket

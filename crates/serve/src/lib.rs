@@ -50,13 +50,50 @@
 //! assert_eq!(service.lanes(), 1);
 //! ```
 //!
+//! ## Observability and load shedding
+//!
+//! Lane bring-up is **non-blocking**: a cold shape inserts only a
+//! placeholder under the router lock, and the symbolic planner runs on the
+//! new lane's dispatcher thread (`Warming → Live → Draining → Retired`,
+//! see [`LaneState`]). Every lane keeps lock-free counters readable via
+//! [`BppsaService::metrics`], and a [`ShedPolicy`] can turn doomed
+//! requests away at submit time instead of letting them queue:
+//!
+//! ```
+//! use bppsa_core::{JacobianChain, ScanElement};
+//! use bppsa_serve::{BppsaService, FlushCause, LaneState, ServeConfig, Ticket};
+//! use bppsa_sparse::Csr;
+//! use bppsa_tensor::Vector;
+//!
+//! let service = BppsaService::<f64>::new(ServeConfig::default());
+//! let ticket = Ticket::new();
+//! let mut chain = JacobianChain::new(Vector::from_vec(vec![1.0, -2.0]));
+//! chain.push(ScanElement::Sparse(Csr::from_diagonal(&[3.0, 0.5])));
+//! service.submit(chain, &ticket).expect("service accepting");
+//! ticket.wait().expect("request served");
+//!
+//! // One snapshot per lane ever created, in creation order.
+//! let lanes = service.metrics();
+//! assert_eq!(lanes.len(), 1);
+//! let lane = &lanes[0];
+//! assert_eq!(lane.state, LaneState::Live);
+//! assert_eq!(lane.submitted, 1);
+//! assert_eq!(lane.flushes(), 1);
+//! assert_eq!(lane.flushes_of(FlushCause::Deadline), 1);
+//! assert_eq!(lane.requests_flushed(), 1);
+//! assert!(lane.warmup_time >= lane.plan_time);
+//! ```
+//!
 //! See the [`service`](BppsaService) docs for the lane lifecycle, deadline
-//! policy, backpressure, panic attribution, and shutdown semantics.
+//! policy, backpressure/shedding, panic attribution, and shutdown
+//! semantics.
 
 #![warn(missing_docs)]
 
+mod metrics;
 mod service;
 mod ticket;
 
-pub use service::{BppsaService, ServeConfig, SubmitError};
+pub use metrics::{FlushCause, LaneMetricsSnapshot, LaneState};
+pub use service::{BppsaService, ServeConfig, ShedPolicy, SubmitError};
 pub use ticket::{ServeError, Ticket};

@@ -1,0 +1,338 @@
+//! Per-lane observability: lock-free counters updated on the serving hot
+//! path, read through point-in-time snapshots.
+//!
+//! Every lane owns a [`LaneMetrics`] (shared with the service's metrics
+//! registry via `Arc`, so a lane stays observable after it is evicted,
+//! drained, and retired). All updates are relaxed atomic operations — the
+//! steady-state request loop stays strictly zero-alloc and the counters
+//! never take the lane's queue lock on the read side. Reads go through
+//! [`BppsaService::metrics`](crate::BppsaService::metrics), which
+//! materializes one [`LaneMetricsSnapshot`] per lane ever created.
+//!
+//! The counters are the substrate for load shedding
+//! ([`ShedPolicy`](crate::ShedPolicy)): queue depth and lane state are what
+//! the submit-side shed checks read, and the shed counter records every
+//! refusal so an operator can see *where* doomed traffic is being turned
+//! away.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Where a lane is in its lifecycle. The full state machine is
+/// `Warming → Live → Draining → Retired` (a lane evicted or shut down
+/// before its plan finished skips `Live`):
+///
+/// * **Warming** — the placeholder lane exists (shape key + bounded queue)
+///   and its dispatcher is building the compiled plan and workspace pool.
+///   Requests queue up; non-blocking submits are refused with
+///   [`SubmitError::LaneWarming`](crate::SubmitError::LaneWarming).
+/// * **Live** — the plan is built; the dispatcher coalesces and flushes
+///   under the deadline policy.
+/// * **Draining** — the lane was evicted or the service is shutting down:
+///   no new requests are accepted, everything already queued still flushes.
+/// * **Retired** — the dispatcher has exited; the lane's counters remain
+///   readable through the service's metrics registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneState {
+    /// Placeholder inserted; the dispatcher is planning off the router lock.
+    Warming,
+    /// Plan built; serving under the deadline policy.
+    Live,
+    /// Evicted or shutting down; flushing the remaining queue.
+    Draining,
+    /// Dispatcher exited; counters remain readable.
+    Retired,
+}
+
+/// Why a lane's dispatcher flushed a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushCause {
+    /// `max_batch` requests were pending — a full batch never waits.
+    MaxBatch,
+    /// The earliest pending request's delay budget expired.
+    Deadline,
+    /// The lane is draining (evicted or shutting down) and flushed its
+    /// remainder immediately.
+    Drain,
+}
+
+const CAUSES: usize = 3;
+
+fn cause_index(cause: FlushCause) -> usize {
+    match cause {
+        FlushCause::MaxBatch => 0,
+        FlushCause::Deadline => 1,
+        FlushCause::Drain => 2,
+    }
+}
+
+/// The per-lane atomic counters (crate-internal; read via
+/// [`LaneMetricsSnapshot`]).
+#[derive(Debug)]
+pub(crate) struct LaneMetrics {
+    lane_id: usize,
+    layers: usize,
+    seed_len: usize,
+    state: AtomicU8,
+    submitted: AtomicU64,
+    shed: AtomicU64,
+    queue_depth: AtomicUsize,
+    flushes: [AtomicU64; CAUSES],
+    /// `batch_sizes[k]` counts flushes of exactly `k + 1` requests
+    /// (`len == max_batch`; a flush is never empty or wider than
+    /// `max_batch`).
+    batch_sizes: Vec<AtomicU64>,
+    plan_nanos: AtomicU64,
+    warmup_nanos: AtomicU64,
+}
+
+impl LaneMetrics {
+    pub(crate) fn new(lane_id: usize, layers: usize, seed_len: usize, max_batch: usize) -> Self {
+        Self {
+            lane_id,
+            layers,
+            seed_len,
+            state: AtomicU8::new(LaneState::Warming as u8),
+            submitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            flushes: [const { AtomicU64::new(0) }; CAUSES],
+            batch_sizes: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
+            plan_nanos: AtomicU64::new(0),
+            warmup_nanos: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn state(&self) -> LaneState {
+        match self.state.load(Ordering::Acquire) {
+            s if s == LaneState::Warming as u8 => LaneState::Warming,
+            s if s == LaneState::Live as u8 => LaneState::Live,
+            s if s == LaneState::Draining as u8 => LaneState::Draining,
+            _ => LaneState::Retired,
+        }
+    }
+
+    /// `Warming → Live`; loses to a concurrent `Draining` transition (an
+    /// eviction racing the end of planning), which must win so the drain is
+    /// observable.
+    pub(crate) fn mark_live(&self) {
+        let _ = self.state.compare_exchange(
+            LaneState::Warming as u8,
+            LaneState::Live as u8,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// `Warming | Live → Draining` (idempotent; never resurrects Retired).
+    pub(crate) fn mark_draining(&self) {
+        let _ = self
+            .state
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |s| {
+                (s == LaneState::Warming as u8 || s == LaneState::Live as u8)
+                    .then_some(LaneState::Draining as u8)
+            });
+    }
+
+    /// Terminal: the dispatcher exited.
+    pub(crate) fn mark_retired(&self) {
+        self.state
+            .store(LaneState::Retired as u8, Ordering::Release);
+    }
+
+    /// One request accepted into the queue, which now holds `depth` entries.
+    pub(crate) fn record_submit(&self, depth: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// One request refused by the shed policy.
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One batch of `size` requests flushed for `cause`, leaving `depth`
+    /// entries queued.
+    pub(crate) fn record_flush(&self, cause: FlushCause, size: usize, depth: usize) {
+        self.flushes[cause_index(cause)].fetch_add(1, Ordering::Relaxed);
+        debug_assert!(size >= 1 && size <= self.batch_sizes.len());
+        self.batch_sizes[size - 1].fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// The warm-up failed and the queue was drained *unserved*: reset the
+    /// depth gauge. The drained requests stay counted in `submitted` but
+    /// never reach the flush histogram — the one case where a retired
+    /// lane's `requests_flushed()` is below its `submitted`.
+    pub(crate) fn record_failed_drain(&self) {
+        self.queue_depth.store(0, Ordering::Relaxed);
+    }
+
+    /// Records the cold-start cost: `plan` is the symbolic phase alone (from
+    /// [`PlannedScan::build_time`](bppsa_core::PlannedScan::build_time)),
+    /// `warmup` the whole bring-up (plan + workspace-pool construction and
+    /// prewarm).
+    pub(crate) fn record_warmup(&self, plan: Duration, warmup: Duration) {
+        self.plan_nanos
+            .store(plan.as_nanos() as u64, Ordering::Relaxed);
+        self.warmup_nanos
+            .store(warmup.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> LaneMetricsSnapshot {
+        LaneMetricsSnapshot {
+            lane_id: self.lane_id,
+            layers: self.layers,
+            seed_len: self.seed_len,
+            state: self.state(),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_batch_flushes: self.flushes[cause_index(FlushCause::MaxBatch)]
+                .load(Ordering::Relaxed),
+            deadline_flushes: self.flushes[cause_index(FlushCause::Deadline)]
+                .load(Ordering::Relaxed),
+            drain_flushes: self.flushes[cause_index(FlushCause::Drain)].load(Ordering::Relaxed),
+            batch_size_counts: self
+                .batch_sizes
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            plan_time: Duration::from_nanos(self.plan_nanos.load(Ordering::Relaxed)),
+            warmup_time: Duration::from_nanos(self.warmup_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of one lane's counters, from
+/// [`BppsaService::metrics`](crate::BppsaService::metrics).
+///
+/// Snapshots cover every lane ever created — including evicted/retired
+/// lanes — ordered by [`LaneMetricsSnapshot::lane_id`] (creation order).
+/// Counter reads are relaxed: a snapshot taken while traffic is in flight
+/// is internally consistent only up to the usual torn-read caveats; once a
+/// lane is quiescent (all tickets waited on, or the service shut down) the
+/// counts are exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneMetricsSnapshot {
+    /// Creation-ordered lane identity (`0..lanes_created`), matching the
+    /// dispatcher thread name `bppsa-serve-lane-{lane_id}`.
+    pub lane_id: usize,
+    /// Chain length (layers) of the shape this lane serves.
+    pub layers: usize,
+    /// Seed-gradient width of the shape this lane serves.
+    pub seed_len: usize,
+    /// Where the lane is in `Warming → Live → Draining → Retired`.
+    pub state: LaneState,
+    /// Requests accepted into the lane's queue.
+    pub submitted: u64,
+    /// Requests refused by the [`ShedPolicy`](crate::ShedPolicy).
+    pub shed: u64,
+    /// Requests queued at the last queue transition (gauge, not a counter).
+    pub queue_depth: usize,
+    /// Flushes triggered by a full batch ([`FlushCause::MaxBatch`]).
+    pub max_batch_flushes: u64,
+    /// Flushes triggered by an expired delay budget
+    /// ([`FlushCause::Deadline`]).
+    pub deadline_flushes: u64,
+    /// Flushes triggered by eviction/shutdown drain ([`FlushCause::Drain`]).
+    pub drain_flushes: u64,
+    /// `batch_size_counts[k]` = flushes that carried exactly `k + 1`
+    /// requests (length = the lane's `max_batch`).
+    pub batch_size_counts: Vec<u64>,
+    /// Wall-clock cost of the symbolic planning phase alone.
+    pub plan_time: Duration,
+    /// Whole bring-up cost: planning plus workspace-pool construction and
+    /// prewarm. Zero until the warm-up finishes; it is recorded just
+    /// *before* the lane's `Warming → Live` transition, so a racing
+    /// snapshot may briefly observe a nonzero `warmup_time` while `state`
+    /// still reads [`LaneState::Warming`] — key "still warming" off
+    /// `state`, not off this field.
+    pub warmup_time: Duration,
+}
+
+impl LaneMetricsSnapshot {
+    /// Flushes attributed to `cause`.
+    pub fn flushes_of(&self, cause: FlushCause) -> u64 {
+        match cause {
+            FlushCause::MaxBatch => self.max_batch_flushes,
+            FlushCause::Deadline => self.deadline_flushes,
+            FlushCause::Drain => self.drain_flushes,
+        }
+    }
+
+    /// Total flushes across all causes (equals the sum of
+    /// [`LaneMetricsSnapshot::batch_size_counts`]).
+    pub fn flushes(&self) -> u64 {
+        self.max_batch_flushes + self.deadline_flushes + self.drain_flushes
+    }
+
+    /// Requests that have left through a flush: `Σ (k+1) ·
+    /// batch_size_counts[k]`. On a quiescent lane this equals
+    /// [`LaneMetricsSnapshot::submitted`] minus what is still queued —
+    /// except after a warm-up plan panic, where accepted requests were
+    /// drained unserved (failed with
+    /// [`ServeError::PlanPanicked`](crate::ServeError::PlanPanicked)) and
+    /// never reach the histogram.
+    pub fn requests_flushed(&self) -> u64 {
+        self.batch_size_counts
+            .iter()
+            .enumerate()
+            .map(|(k, count)| (k as u64 + 1) * count)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_machine_transitions() {
+        let m = LaneMetrics::new(0, 3, 4, 8);
+        assert_eq!(m.state(), LaneState::Warming);
+        m.mark_live();
+        assert_eq!(m.state(), LaneState::Live);
+        m.mark_draining();
+        assert_eq!(m.state(), LaneState::Draining);
+        m.mark_live(); // stale CAS loses: draining is sticky
+        assert_eq!(m.state(), LaneState::Draining);
+        m.mark_retired();
+        assert_eq!(m.state(), LaneState::Retired);
+        m.mark_draining(); // never resurrects a retired lane
+        assert_eq!(m.state(), LaneState::Retired);
+    }
+
+    #[test]
+    fn eviction_while_warming_skips_live() {
+        let m = LaneMetrics::new(1, 3, 4, 8);
+        m.mark_draining();
+        assert_eq!(m.state(), LaneState::Draining);
+        m.mark_live(); // the dispatcher finishing its plan after the evict
+        assert_eq!(m.state(), LaneState::Draining);
+    }
+
+    #[test]
+    fn snapshot_reflects_counts_and_histogram() {
+        let m = LaneMetrics::new(2, 5, 6, 4);
+        for depth in 1..=6 {
+            m.record_submit(depth.min(4));
+        }
+        m.record_flush(FlushCause::MaxBatch, 4, 2);
+        m.record_flush(FlushCause::Deadline, 2, 0);
+        m.record_shed();
+        m.record_warmup(Duration::from_micros(3), Duration::from_micros(9));
+        let snap = m.snapshot();
+        assert_eq!(snap.submitted, 6);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.flushes(), 2);
+        assert_eq!(snap.flushes_of(FlushCause::MaxBatch), 1);
+        assert_eq!(snap.flushes_of(FlushCause::Deadline), 1);
+        assert_eq!(snap.flushes_of(FlushCause::Drain), 0);
+        assert_eq!(snap.batch_size_counts, vec![0, 1, 0, 1]);
+        assert_eq!(snap.requests_flushed(), 6);
+        assert_eq!(snap.plan_time, Duration::from_micros(3));
+        assert_eq!(snap.warmup_time, Duration::from_micros(9));
+    }
+}

@@ -1,5 +1,5 @@
 //! The front door: shape-routed lanes, deadline micro-batching dispatchers,
-//! bounded-queue backpressure, and graceful shutdown.
+//! bounded-queue backpressure, load shedding, and graceful shutdown.
 //!
 //! # Lane lifecycle
 //!
@@ -7,12 +7,24 @@
 //! [`PlannedScan`](bppsa_core::PlannedScan) (planned from the first chain of
 //! its shape), one [`BatchedBackward`] (workspace pool) and one dispatcher
 //! thread. [`BppsaService::submit`] routes each request to the lane whose
-//! plan [`matches`](bppsa_core::PlannedScan::matches) the chain — an MRU
-//! store capped at [`ServeConfig::max_lanes`], so a new shape beyond the cap
-//! evicts the least recently used lane. An evicted lane is *closed*, not
-//! killed: its dispatcher drains every pending request, completes the
-//! tickets, and exits; submitters racing the eviction observe the closed
-//! queue and transparently re-route (which re-creates the lane).
+//! shape key matches the chain — an MRU store capped at
+//! [`ServeConfig::max_lanes`], so a new shape beyond the cap evicts the
+//! least recently used lane. An evicted lane is *closed*, not killed: its
+//! dispatcher drains every pending request, completes the tickets, and
+//! exits; submitters racing the eviction observe the closed queue and
+//! transparently re-route (which re-creates the lane).
+//!
+//! Lane **bring-up is non-blocking**: a never-seen shape inserts only a
+//! *placeholder* (shape key + bounded queue + metrics) under the router
+//! lock; the expensive part — symbolic planning and workspace-pool
+//! construction — runs on the new lane's own dispatcher thread, so
+//! submitters of *other* shapes route untouched while the cold lane warms.
+//! While a lane is [`Warming`](LaneState::Warming), blocking submits queue
+//! as usual (parking on the lane's condvar only when the bounded queue
+//! fills), and [`BppsaService::try_submit`] refuses with
+//! [`SubmitError::LaneWarming`] so non-blocking callers can route traffic
+//! elsewhere. The full per-lane state machine is `Warming → Live →
+//! Draining → Retired` (see [`LaneState`]).
 //!
 //! # Deadline policy
 //!
@@ -25,29 +37,88 @@
 //! than its own delay budget, and a full batch never waits at all. This is
 //! the trade the paper's parallel-scan backward wants: a bounded, tunable
 //! latency cost buys wide batches that keep the `O(log n)` critical path
-//! fed with per-request parallelism.
+//! fed with per-request parallelism. Every flush is attributed to a
+//! [`FlushCause`] in the lane's metrics.
 //!
-//! # Backpressure and shutdown
+//! # Backpressure, shedding, and shutdown
 //!
 //! Every lane queue is bounded by [`ServeConfig::queue_cap`]:
 //! [`BppsaService::submit`] blocks until the dispatcher drains room (memory
 //! stays bounded by `queue_cap` chains + the workspace pool), while
 //! [`BppsaService::try_submit`] returns [`SubmitError::Backpressure`]
-//! instead. [`BppsaService::shutdown`] (also run on drop) closes the router
-//! and every lane, then joins the dispatchers — each drains its pending
-//! requests first, so every accepted request completes and every waiter
-//! wakes; only *new* submissions are refused with
-//! [`SubmitError::Shutdown`], handing the chain back.
+//! instead. A [`ShedPolicy`] turns blocking into refusal for requests that
+//! are doomed anyway: beyond a queue-depth threshold, or with a delay
+//! budget the lane's warm-up would consume before the first flush, submit
+//! returns [`SubmitError::Shed`] immediately (the chain handed back) and
+//! the lane's shed counter records it. [`BppsaService::shutdown`] (also run
+//! on drop) closes the router and every lane, then joins the dispatchers —
+//! each drains its pending requests first, so every accepted request
+//! completes and every waiter wakes; only *new* submissions are refused
+//! with [`SubmitError::Shutdown`], handing the chain back.
+//!
+//! # Observability
+//!
+//! [`BppsaService::metrics`] snapshots every lane ever created (retired
+//! lanes included): submit/shed/flush counts, flush causes, batch-size
+//! histogram, queue depth, and plan/warm-up time. See
+//! [`LaneMetricsSnapshot`].
 
-use crate::ticket::{Ticket, TicketShared};
-use bppsa_core::{BatchedBackward, BppsaOptions, JacobianChain, Mru, PlannedScan};
+use crate::metrics::{FlushCause, LaneMetrics, LaneMetricsSnapshot, LaneState};
+use crate::ticket::{ServeError, Ticket, TicketShared};
+use bppsa_core::{
+    chain_matches_shape, BatchedBackward, BppsaOptions, JacobianChain, Mru, PlannedScan,
+    ScanElement,
+};
 use bppsa_scan::global_pool;
+use bppsa_sparse::SparsityPattern;
 use bppsa_tensor::Scalar;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// When to refuse a request at submit time instead of queueing it — load
+/// shedding for requests that are overwhelmingly likely to miss their
+/// deadline anyway. Disabled by default.
+///
+/// Shedding is per lane and synchronous: a shed request never enters the
+/// queue, its chain is handed back in [`SubmitError::Shed`], and the lane's
+/// shed counter ([`LaneMetricsSnapshot::shed`]) records the refusal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShedPolicy {
+    /// Refuse when the target lane already has this many requests queued.
+    /// Must be non-zero when set. Values above [`ServeConfig::queue_cap`]
+    /// are inert (the queue can never get that deep); at exactly
+    /// `queue_cap`, a full queue *sheds* non-seeding requests where
+    /// blocking backpressure would otherwise have parked them — an armed
+    /// policy prefers refusal over waiting.
+    pub max_queue_depth: Option<usize>,
+    /// Deadline feasibility during bring-up: refuse a request whose delay
+    /// budget is below this while its lane is still
+    /// [`Warming`](LaneState::Warming) — the warm-up (symbolic planning +
+    /// workspace construction) would consume the budget before the first
+    /// flush could run. The request that *seeds* a lane's warm-up is
+    /// exempt (it is the template the plan is built from). Applies to
+    /// blocking submits only: non-blocking submits to a warming lane are
+    /// refused earlier with [`SubmitError::LaneWarming`], which is not
+    /// counted as a shed.
+    pub min_warming_delay: Option<Duration>,
+}
+
+impl ShedPolicy {
+    /// Never shed (the default): requests queue or block under plain
+    /// backpressure.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    fn validate(&self) {
+        if let Some(depth) = self.max_queue_depth {
+            assert!(depth >= 1, "ShedPolicy: max_queue_depth must be >= 1");
+        }
+    }
+}
 
 /// Tuning knobs of a [`BppsaService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +142,8 @@ pub struct ServeConfig {
     /// pool's worker count + 1 (every worker plus the dispatcher can hold a
     /// workspace without blocking).
     pub workspaces_per_lane: usize,
+    /// Load-shedding thresholds (disabled by default).
+    pub shed: ShedPolicy,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +154,7 @@ impl Default for ServeConfig {
             queue_cap: 64,
             max_lanes: bppsa_core::PLAN_CACHE_CAPACITY,
             workspaces_per_lane: 0,
+            shed: ShedPolicy::disabled(),
         }
     }
 }
@@ -90,6 +164,7 @@ impl ServeConfig {
         assert!(self.max_batch >= 1, "ServeConfig: max_batch must be >= 1");
         assert!(self.queue_cap >= 1, "ServeConfig: queue_cap must be >= 1");
         assert!(self.max_lanes >= 1, "ServeConfig: max_lanes must be >= 1");
+        self.shed.validate();
     }
 
     fn workspace_capacity(&self) -> usize {
@@ -112,6 +187,14 @@ pub enum SubmitError<S> {
     /// The ticket already has a request in flight — one flight per ticket
     /// at a time.
     TicketInFlight(JacobianChain<S>),
+    /// [`BppsaService::try_submit`] only: the target lane is still
+    /// [`Warming`](LaneState::Warming) (its plan is being built on the
+    /// dispatcher thread). Retry, block via [`BppsaService::submit`], or
+    /// route elsewhere.
+    LaneWarming(JacobianChain<S>),
+    /// The [`ShedPolicy`] refused the request (queue too deep, or the delay
+    /// budget is infeasible while the lane warms).
+    Shed(JacobianChain<S>),
 }
 
 impl<S> SubmitError<S> {
@@ -120,7 +203,9 @@ impl<S> SubmitError<S> {
         match self {
             SubmitError::Shutdown(c)
             | SubmitError::Backpressure(c)
-            | SubmitError::TicketInFlight(c) => c,
+            | SubmitError::TicketInFlight(c)
+            | SubmitError::LaneWarming(c)
+            | SubmitError::Shed(c) => c,
         }
     }
 }
@@ -133,6 +218,10 @@ impl<S> std::fmt::Display for SubmitError<S> {
             SubmitError::TicketInFlight(_) => {
                 write!(f, "ticket already has a request in flight")
             }
+            SubmitError::LaneWarming(_) => {
+                write!(f, "lane is still warming (plan being built)")
+            }
+            SubmitError::Shed(_) => write!(f, "request shed by load-shedding policy"),
         }
     }
 }
@@ -141,6 +230,64 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     // Queue and router state are value-only; a panicking holder leaves them
     // consistent (panics inside a flush are caught before this layer).
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Reverts a `begin_flight` when routing panics: an invalid chain fails
+/// [`LaneShape::of`]'s validation on the router-miss path — after the
+/// ticket was marked in flight — and the ticket must come back *idle*
+/// (reusable), not stranded `Pending`. Forgotten on the non-panicking
+/// path. Validation itself lives only on the miss path because a chain
+/// that matches an existing lane's shape key is valid by construction
+/// (the key pins seed width and every per-layer pattern, and the lane's
+/// template was validated at creation) — the steady-state submit pays no
+/// extra chain walk.
+struct FlightGuard<'a, S>(&'a TicketShared<S>);
+
+impl<S> Drop for FlightGuard<'_, S> {
+    fn drop(&mut self) {
+        self.0.abort_flight();
+    }
+}
+
+/// The routing identity of a lane, extractable without planning: seed width
+/// plus the per-layer sparsity patterns. Matching delegates to the same
+/// [`chain_matches_shape`] predicate as
+/// [`PlannedScan::matches`](bppsa_core::PlannedScan::matches)
+/// (allocation-free, `Arc`-pointer fast path) — a warming lane (no plan
+/// yet) routes identically to a live one, and routing cannot drift from
+/// plan compatibility.
+struct LaneShape {
+    seed_len: usize,
+    patterns: Vec<Arc<SparsityPattern>>,
+}
+
+impl LaneShape {
+    /// Extracts the shape key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is structurally invalid or not all-CSR — *before*
+    /// any router state is touched, so a bad submit can never evict or
+    /// orphan an existing lane.
+    fn of<S: Scalar>(chain: &JacobianChain<S>) -> Self {
+        chain.validate();
+        let patterns = chain
+            .jacobians()
+            .iter()
+            .map(|jt| match jt {
+                ScanElement::Sparse(m) => m.pattern(),
+                other => panic!("BppsaService: chain must be all-CSR, found {other}"),
+            })
+            .collect();
+        Self {
+            seed_len: chain.seed().len(),
+            patterns,
+        }
+    }
+
+    fn matches<S: Scalar>(&self, chain: &JacobianChain<S>) -> bool {
+        chain_matches_shape(chain, self.seed_len, &self.patterns)
+    }
 }
 
 struct PendingRequest<S> {
@@ -163,10 +310,17 @@ enum PushRefusal {
     Closed,
     /// Queue full and the caller asked not to block.
     Full,
+    /// Lane still planning and the caller asked not to block.
+    Warming,
+    /// The shed policy refused the request.
+    Shed,
 }
 
 struct Lane<S> {
-    batched: BatchedBackward<S>,
+    shape: LaneShape,
+    /// Set by the dispatcher once planning + workspace construction finish
+    /// (the lane's `Warming → Live` transition). Submitters never touch it.
+    batched: OnceLock<BatchedBackward<S>>,
     queue: Mutex<LaneQueue<S>>,
     /// Dispatcher wakeup: request arrived or lane closed.
     submitted: Condvar,
@@ -174,18 +328,25 @@ struct Lane<S> {
     space: Condvar,
     max_batch: usize,
     queue_cap: usize,
+    shed: ShedPolicy,
+    metrics: Arc<LaneMetrics>,
 }
 
 impl<S: Scalar> Lane<S> {
-    /// Plans the lane's compiled scan from the first chain of its shape and
-    /// prewarms enough workspaces for a full batch.
-    fn new(chain: &JacobianChain<S>, config: &ServeConfig) -> Self {
-        let plan = Arc::new(PlannedScan::plan(chain, BppsaOptions::serial()));
-        let capacity = config.workspace_capacity();
-        let batched = BatchedBackward::with_capacity(plan, capacity);
-        batched.prewarm(config.max_batch.min(capacity));
+    /// A placeholder lane: shape key, bounded queue, metrics — everything a
+    /// submitter needs to route and enqueue, and nothing that requires
+    /// planning. Cheap enough to build under the router lock; the plan and
+    /// workspace pool are late-bound by the dispatcher ([`warm_up`]).
+    fn placeholder(shape: LaneShape, config: &ServeConfig, lane_id: usize) -> Self {
+        let metrics = Arc::new(LaneMetrics::new(
+            lane_id,
+            shape.patterns.len(),
+            shape.seed_len,
+            config.max_batch,
+        ));
         Self {
-            batched,
+            shape,
+            batched: OnceLock::new(),
             queue: Mutex::new(LaneQueue {
                 pending: VecDeque::with_capacity(config.queue_cap),
                 open: true,
@@ -194,24 +355,66 @@ impl<S: Scalar> Lane<S> {
             space: Condvar::new(),
             max_batch: config.max_batch,
             queue_cap: config.queue_cap,
+            shed: config.shed,
+            metrics,
         }
     }
 }
 
 impl<S> Lane<S> {
     /// Enqueues a request, blocking on a full queue when `block` (the
-    /// bounded-queue backpressure). Refusals hand the chain back.
+    /// bounded-queue backpressure). `seed` marks the request that created
+    /// the lane — it is the template the plan will be built from, so the
+    /// warming refusal/shed checks never apply to it. Refusals hand the
+    /// chain back.
     fn push(
         &self,
         chain: JacobianChain<S>,
         deadline: Instant,
+        delay: Duration,
         ticket: Arc<TicketShared<S>>,
         block: bool,
+        seed: bool,
     ) -> Result<(), (JacobianChain<S>, PushRefusal)> {
         let mut q = lock(&self.queue);
         loop {
             if !q.open {
                 return Err((chain, PushRefusal::Closed));
+            }
+            // The request that seeds the warm-up is exempt from every
+            // shed/warming check: the lane-creating request by definition,
+            // but also *any* request reaching a warming lane whose queue is
+            // still empty — the creator may never have pushed (e.g. a
+            // `TicketInFlight` refusal after `route()` created the lane),
+            // and the dispatcher plans from the first queued chain,
+            // whoever's it is. Refusing it would starve the lane: it
+            // would sit in `Warming` refusing non-blocking traffic forever.
+            let warming = self.metrics.state() == LaneState::Warming;
+            let seeds_warmup = seed || (warming && q.pending.is_empty());
+            if !seeds_warmup {
+                if let Some(depth) = self.shed.max_queue_depth {
+                    if q.pending.len() >= depth {
+                        self.metrics.record_shed();
+                        return Err((chain, PushRefusal::Shed));
+                    }
+                }
+                if warming {
+                    // The plan is still being built on the dispatcher
+                    // thread. Non-blocking callers are told so (they can
+                    // route traffic elsewhere); a blocking request whose
+                    // delay budget the warm-up would consume anyway is shed
+                    // if the policy says so; everyone else queues (or parks
+                    // below on a full warming queue).
+                    if !block {
+                        return Err((chain, PushRefusal::Warming));
+                    }
+                    if let Some(min) = self.shed.min_warming_delay {
+                        if delay < min {
+                            self.metrics.record_shed();
+                            return Err((chain, PushRefusal::Shed));
+                        }
+                    }
+                }
             }
             if q.pending.len() < self.queue_cap {
                 break;
@@ -226,6 +429,7 @@ impl<S> Lane<S> {
             deadline,
             ticket,
         });
+        self.metrics.record_submit(q.pending.len());
         drop(q);
         self.submitted.notify_one();
         Ok(())
@@ -234,6 +438,7 @@ impl<S> Lane<S> {
     /// Closes the lane: the dispatcher drains the remaining queue (every
     /// accepted request still completes) and exits; new pushes re-route.
     fn close(&self) {
+        self.metrics.mark_draining();
         let mut q = lock(&self.queue);
         q.open = false;
         drop(q);
@@ -242,23 +447,88 @@ impl<S> Lane<S> {
     }
 }
 
-/// One lane's dispatcher: wait for work, coalesce under the deadline
-/// policy, flush, repeat — exiting only once the lane is closed *and*
-/// drained. The batch scratch vectors are reused across flushes, so the
-/// dispatcher's steady state allocates nothing.
-fn dispatcher_loop<S: Scalar>(lane: &Lane<S>) {
+/// The warming phase of a lane's dispatcher: wait for the lane's first
+/// request, build the compiled plan and workspace pool from it **off the
+/// router lock**, and publish them (`Warming → Live`). Returns `false` when
+/// the lane should retire without serving: closed before any request
+/// arrived, or planning panicked (every accepted request is then failed
+/// with [`ServeError::PlanPanicked`] instead of hanging its ticket).
+fn warm_up<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) -> bool {
+    let template = {
+        let mut q = lock(&lane.queue);
+        loop {
+            if let Some(front) = q.pending.front() {
+                // Clone the template under the lock (cold path, once per
+                // lane); planning reads only its patterns and shapes.
+                break front.chain.clone();
+            }
+            if !q.open {
+                return false; // closed empty: retire without a plan
+            }
+            q = lane
+                .submitted
+                .wait(q)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    };
+    let warm_start = Instant::now();
+    let built = catch_unwind(AssertUnwindSafe(|| {
+        let plan = Arc::new(PlannedScan::plan(&template, BppsaOptions::serial()));
+        let capacity = config.workspace_capacity();
+        let batched = BatchedBackward::with_capacity(plan, capacity);
+        batched.prewarm(config.max_batch.min(capacity));
+        batched
+    }));
+    match built {
+        Ok(batched) => {
+            lane.metrics
+                .record_warmup(batched.plan().build_time(), warm_start.elapsed());
+            let stored = lane.batched.set(batched);
+            debug_assert!(stored.is_ok(), "warm-up runs exactly once per lane");
+            lane.metrics.mark_live();
+            true
+        }
+        Err(_) => {
+            // Shape validity was checked at submit, so a planner panic here
+            // is an internal bug — but it must not hang tickets. Close the
+            // lane and fail everything it accepted.
+            lane.close();
+            let mut q = lock(&lane.queue);
+            while let Some(req) = q.pending.pop_front() {
+                req.ticket.finish(req.chain, Some(ServeError::PlanPanicked));
+            }
+            drop(q);
+            lane.metrics.record_failed_drain();
+            lane.space.notify_all();
+            false
+        }
+    }
+}
+
+/// One lane's dispatcher: warm the lane up (plan + workspaces, off the
+/// router lock), then wait for work, coalesce under the deadline policy,
+/// flush, repeat — exiting only once the lane is closed *and* drained. The
+/// batch scratch vectors are reused across flushes, so the dispatcher's
+/// steady state allocates nothing.
+fn dispatcher_loop<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) {
+    if !warm_up(lane, config) {
+        lane.metrics.mark_retired();
+        return;
+    }
+    let batched = lane.batched.get().expect("warm-up published the executor");
     let max_batch = lane.max_batch;
     let mut chains: Vec<JacobianChain<S>> = Vec::with_capacity(max_batch);
     let mut tickets: Vec<Arc<TicketShared<S>>> = Vec::with_capacity(max_batch);
     loop {
         {
             let mut q = lock(&lane.queue);
-            loop {
+            let cause = loop {
                 if q.pending.len() >= max_batch {
-                    break; // a full batch never waits
+                    break FlushCause::MaxBatch; // a full batch never waits
                 }
                 if q.pending.is_empty() {
                     if !q.open {
+                        lane.metrics.mark_retired();
                         return; // closed and drained: retire
                     }
                     q = lane
@@ -268,7 +538,7 @@ fn dispatcher_loop<S: Scalar>(lane: &Lane<S>) {
                     continue;
                 }
                 if !q.open {
-                    break; // draining: flush the remainder immediately
+                    break FlushCause::Drain; // flush the remainder immediately
                 }
                 // Earliest-deadline flush. Deadlines are submit-time +
                 // per-request budget, so arrival order does not order them:
@@ -283,22 +553,24 @@ fn dispatcher_loop<S: Scalar>(lane: &Lane<S>) {
                     .expect("nonempty");
                 let now = Instant::now();
                 if now >= deadline {
-                    break;
+                    break FlushCause::Deadline;
                 }
                 q = lane
                     .submitted
                     .wait_timeout(q, deadline - now)
                     .unwrap_or_else(PoisonError::into_inner)
                     .0;
-            }
+            };
             for _ in 0..q.pending.len().min(max_batch) {
                 let req = q.pending.pop_front().expect("counted above");
                 chains.push(req.chain);
                 tickets.push(req.ticket);
             }
+            lane.metrics
+                .record_flush(cause, chains.len(), q.pending.len());
         }
         lane.space.notify_all();
-        flush(&lane.batched, &mut chains, &mut tickets);
+        flush(batched, &mut chains, &mut tickets);
     }
 }
 
@@ -317,9 +589,9 @@ fn flush<S: Scalar>(
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         batched.execute(chains, &|i, result| tickets[i].stage(result));
     }));
-    let batch_panicked = outcome.is_err();
+    let failure = outcome.is_err().then_some(ServeError::BatchPanicked);
     for (chain, ticket) in chains.drain(..).zip(tickets.drain(..)) {
-        ticket.finish(chain, batch_panicked);
+        ticket.finish(chain, failure);
     }
 }
 
@@ -328,6 +600,12 @@ struct Router<S> {
     /// Every dispatcher ever spawned (including retired lanes'), joined at
     /// shutdown.
     handles: Vec<JoinHandle<()>>,
+    /// Metrics of every lane ever created, in creation (`lane_id`) order —
+    /// retained past eviction/retirement so [`BppsaService::metrics`] can
+    /// report drained lanes. A `LaneMetrics` is a fixed set of atomics, so
+    /// the registry's footprint is negligible next to a live lane's
+    /// workspaces.
+    metrics: Vec<Arc<LaneMetrics>>,
     open: bool,
     lanes_created: usize,
 }
@@ -343,8 +621,9 @@ struct ServiceShared<S> {
 /// fan-outs.
 ///
 /// See the crate-level docs and `ARCHITECTURE.md`'s "serving layer"
-/// section for the lane lifecycle, deadline policy, backpressure, and
-/// shutdown story, and [`Ticket`] for the client side.
+/// section for the lane lifecycle, deadline policy, backpressure/shedding,
+/// and shutdown story, [`Ticket`] for the client side, and
+/// [`BppsaService::metrics`] for per-lane observability.
 ///
 /// # Examples
 ///
@@ -383,13 +662,14 @@ pub struct BppsaService<S> {
 }
 
 impl<S> BppsaService<S> {
-    /// A service with no lanes yet; lanes (plan + workspace pool +
-    /// dispatcher thread) materialize per shape on first submission.
+    /// A service with no lanes yet; lanes (shape key + queue immediately,
+    /// plan + workspace pool + dispatcher warm-up in the background)
+    /// materialize per shape on first submission.
     ///
     /// # Panics
     ///
     /// Panics if `config` has a zero `max_batch`, `queue_cap`, or
-    /// `max_lanes`.
+    /// `max_lanes`, or a zero shed `max_queue_depth`.
     pub fn new(config: ServeConfig) -> Self {
         config.validate();
         Self {
@@ -398,6 +678,7 @@ impl<S> BppsaService<S> {
                 router: Mutex::new(Router {
                     lanes: Mru::new(config.max_lanes),
                     handles: Vec::new(),
+                    metrics: Vec::new(),
                     open: true,
                     lanes_created: 0,
                 }),
@@ -410,7 +691,8 @@ impl<S> BppsaService<S> {
         self.shared.config
     }
 
-    /// Number of currently live lanes (distinct shapes being served).
+    /// Number of currently live lanes (distinct shapes being served,
+    /// warming lanes included).
     pub fn lanes(&self) -> usize {
         lock(&self.shared.router).lanes.len()
     }
@@ -419,6 +701,18 @@ impl<S> BppsaService<S> {
     /// eviction has retired shapes (or a closed lane was re-created).
     pub fn lanes_created(&self) -> usize {
         lock(&self.shared.router).lanes_created
+    }
+
+    /// Point-in-time metrics for every lane ever created (evicted and
+    /// retired lanes included), in creation order — so
+    /// `metrics()[k].lane_id == k`. See [`LaneMetricsSnapshot`] for the
+    /// fields and their consistency caveats.
+    pub fn metrics(&self) -> Vec<LaneMetricsSnapshot> {
+        // Only the registry clone (a memcpy of `Arc`s) happens under the
+        // router lock; the per-lane atomic loads and histogram copies run
+        // lock-free, so a polling monitor never serializes request routing.
+        let lanes: Vec<Arc<LaneMetrics>> = lock(&self.shared.router).metrics.clone();
+        lanes.iter().map(|m| m.snapshot()).collect()
     }
 
     /// Gracefully shuts the service down: refuses new submissions, closes
@@ -468,12 +762,13 @@ impl<S: Scalar> BppsaService<S> {
     ///
     /// [`SubmitError::Shutdown`] when the service is shutting down,
     /// [`SubmitError::TicketInFlight`] when `ticket` already has a pending
-    /// request; both hand the chain back.
+    /// request, [`SubmitError::Shed`] when the configured [`ShedPolicy`]
+    /// refuses the request; all hand the chain back.
     ///
     /// # Panics
     ///
-    /// Panics if the chain is invalid for planning (must be all-CSR, see
-    /// [`PlannedScan::plan`]).
+    /// Panics if the chain is invalid for planning (must be structurally
+    /// valid and all-CSR, see [`PlannedScan::plan`]).
     pub fn submit_with_delay(
         &self,
         chain: JacobianChain<S>,
@@ -482,18 +777,22 @@ impl<S: Scalar> BppsaService<S> {
     ) -> Result<(), SubmitError<S>> {
         self.submit_inner(chain, delay, ticket, true)
             .map_err(|e| match e {
-                SubmitError::Backpressure(_) => unreachable!("blocking submit never refuses room"),
+                SubmitError::Backpressure(_) | SubmitError::LaneWarming(_) => {
+                    unreachable!("blocking submit queues instead of refusing room/warm-up")
+                }
                 other => other,
             })
     }
 
     /// Non-blocking [`BppsaService::submit`]: a full lane queue returns
-    /// [`SubmitError::Backpressure`] (with the chain) instead of waiting.
+    /// [`SubmitError::Backpressure`] (with the chain) instead of waiting,
+    /// and a still-warming lane returns [`SubmitError::LaneWarming`] unless
+    /// this very request is the one that created it.
     ///
     /// # Errors
     ///
     /// As [`BppsaService::submit_with_delay`], plus
-    /// [`SubmitError::Backpressure`].
+    /// [`SubmitError::Backpressure`] and [`SubmitError::LaneWarming`].
     pub fn try_submit(
         &self,
         chain: JacobianChain<S>,
@@ -511,26 +810,30 @@ impl<S: Scalar> BppsaService<S> {
     ) -> Result<(), SubmitError<S>> {
         let shared = ticket.shared();
         let deadline = Instant::now() + delay;
+        // Refusal order: the ticket is marked in flight *before* the
+        // router is touched — a TicketInFlight refusal must not create a
+        // placeholder lane (or, at `max_lanes` capacity, evict a healthy
+        // serving lane) for a request it then refuses — and the mark
+        // precedes the enqueue, so a racing completion cannot be lost. An
+        // invalid chain panics inside `route` (shape extraction on the
+        // miss path); [`FlightGuard`] returns the ticket to idle across
+        // that unwind.
+        if !shared.begin_flight() {
+            return Err(SubmitError::TicketInFlight(chain));
+        }
         let mut chain = chain;
-        // The ticket is marked in flight only after the first successful
-        // route: a routing panic (invalid chain) must leave the ticket
-        // idle, while the mark must still precede the enqueue so a racing
-        // completion cannot be lost.
-        let mut in_flight = false;
         loop {
-            let Some(lane) = self.route(&chain) else {
-                if in_flight {
-                    shared.abort_flight();
-                }
+            let routed = {
+                let guard = FlightGuard(&shared);
+                let routed = self.route(&chain);
+                std::mem::forget(guard);
+                routed
+            };
+            let Some((lane, created)) = routed else {
+                shared.abort_flight();
                 return Err(SubmitError::Shutdown(chain));
             };
-            if !in_flight {
-                if !shared.begin_flight() {
-                    return Err(SubmitError::TicketInFlight(chain));
-                }
-                in_flight = true;
-            }
-            match lane.push(chain, deadline, Arc::clone(&shared), block) {
+            match lane.push(chain, deadline, delay, Arc::clone(&shared), block, created) {
                 Ok(()) => return Ok(()),
                 Err((c, PushRefusal::Closed)) => {
                     // Lane evicted between routing and push: re-route (the
@@ -541,38 +844,68 @@ impl<S: Scalar> BppsaService<S> {
                     shared.abort_flight();
                     return Err(SubmitError::Backpressure(c));
                 }
+                Err((c, PushRefusal::Warming)) => {
+                    shared.abort_flight();
+                    return Err(SubmitError::LaneWarming(c));
+                }
+                Err((c, PushRefusal::Shed)) => {
+                    shared.abort_flight();
+                    return Err(SubmitError::Shed(c));
+                }
             }
         }
     }
 
-    /// Finds (MRU) or creates the lane whose compiled plan matches `chain`;
-    /// `None` when the router is closed. Lane creation runs the symbolic
-    /// planner under the router lock — amortized across the lane's
-    /// lifetime, like every other §3.3 hoist.
-    fn route(&self, chain: &JacobianChain<S>) -> Option<Arc<Lane<S>>> {
+    /// Finds (MRU) or creates the lane whose shape key matches `chain`;
+    /// `None` when the router is closed, and the boolean reports whether
+    /// this call created the lane (its request seeds the warm-up).
+    ///
+    /// Creation inserts only a **placeholder** — shape key, bounded queue,
+    /// metrics — so the router lock is held for O(layers) pattern clones,
+    /// never for planning: the symbolic planner and workspace pool are
+    /// built by the new lane's dispatcher thread ([`warm_up`]), and
+    /// submitters of other shapes route concurrently.
+    fn route(&self, chain: &JacobianChain<S>) -> Option<(Arc<Lane<S>>, bool)> {
         let config = self.shared.config;
         let mut router = lock(&self.shared.router);
         if !router.open {
             return None;
         }
-        if let Some(lane) = router.lanes.find(|lane| lane.batched.plan().matches(chain)) {
-            return Some(Arc::clone(lane));
+        // A lane whose warm-up failed (plan panic) closed itself but could
+        // not remove itself from the router. Evicted/shut-down lanes leave
+        // the store *before* they close, so an in-store Draining/Retired
+        // lane is exactly that failure case: drop it here, or matching
+        // requests would ping-pong between its Closed refusal and this
+        // router forever. Allocation-free when nothing matches (the
+        // overwhelmingly common case).
+        drop(router.lanes.extract(|lane| {
+            matches!(
+                lane.metrics.state(),
+                LaneState::Draining | LaneState::Retired
+            )
+        }));
+        if let Some(lane) = router.lanes.find(|lane| lane.shape.matches(chain)) {
+            return Some((Arc::clone(lane), false));
         }
-        // Miss: plan the new lane *before* touching the MRU store — a
-        // planner panic (invalid chain) must not evict (and orphan, with a
-        // forever-parked dispatcher) an existing lane.
-        let lane = Arc::new(Lane::new(chain, &config));
+        // Miss: extract the shape key *before* touching the MRU store — a
+        // panic on an invalid chain (this is where submits validate; a hit
+        // proves validity by construction) must not evict, and orphan with
+        // a forever-parked dispatcher, an existing lane. The submitter's
+        // `FlightGuard` returns its ticket to idle across the unwind.
+        let shape = LaneShape::of(chain);
+        let id = router.lanes_created;
+        let lane = Arc::new(Lane::placeholder(shape, &config, id));
         let (_, inserted, evicted) = router
             .lanes
             .find_or_insert_with_evicted(|_| false, || Arc::clone(&lane));
         debug_assert!(inserted, "fresh lane always inserts");
+        router.lanes_created += 1;
+        router.metrics.push(Arc::clone(&lane.metrics));
         {
-            let id = router.lanes_created;
-            router.lanes_created += 1;
             let worker = Arc::clone(&lane);
             let handle = std::thread::Builder::new()
                 .name(format!("bppsa-serve-lane-{id}"))
-                .spawn(move || dispatcher_loop(&worker))
+                .spawn(move || dispatcher_loop(&worker, &config))
                 .expect("spawn serve lane dispatcher");
             router.handles.push(handle);
         }
@@ -582,7 +915,7 @@ impl<S: Scalar> BppsaService<S> {
             // requests in the background and its dispatcher retires.
             evicted.close();
         }
-        Some(lane)
+        Some((lane, true))
     }
 }
 
@@ -653,6 +986,7 @@ mod tests {
             queue_cap: 16,
             max_lanes: 4,
             workspaces_per_lane: 0,
+            shed: ShedPolicy::disabled(),
         }
     }
 
@@ -730,6 +1064,7 @@ mod tests {
             queue_cap: 16,
             max_lanes: 2,
             workspaces_per_lane: 0,
+            shed: ShedPolicy::disabled(),
         });
         let template = sparse_chain(5, 6, 45);
         let long = Ticket::new();
@@ -752,12 +1087,13 @@ mod tests {
     }
 
     #[test]
-    fn planner_panic_does_not_orphan_existing_lanes() {
-        // Regression test: at lane capacity, a panic while planning a new
+    fn invalid_chain_panic_does_not_orphan_existing_lanes() {
+        // Regression test: at lane capacity, a panic while admitting a new
         // shape used to strike *inside* the MRU make-closure, after the LRU
         // lane had already been evicted — leaking a never-closed lane whose
-        // dispatcher parked forever and hung shutdown. Planning now happens
-        // before any eviction, and the submitting ticket stays idle.
+        // dispatcher parked forever and hung shutdown. Shape extraction now
+        // happens before any eviction, and the submitting ticket stays
+        // idle.
         let mut config = quick_config();
         config.max_lanes = 1;
         let service = BppsaService::<f64>::new(config);
@@ -811,6 +1147,18 @@ mod tests {
         ticket.wait().expect("served");
         assert_eq!(service.lanes(), 2);
         assert_eq!(service.lanes_created(), 4);
+        // The metrics registry observed all four lanes, in creation order.
+        let snaps = service.metrics();
+        assert_eq!(snaps.len(), 4);
+        for (k, snap) in snaps.iter().enumerate() {
+            assert_eq!(snap.lane_id, k);
+            assert!(snap.submitted >= 1);
+        }
+        assert_eq!(
+            snaps[0].state,
+            LaneState::Retired,
+            "evicted lane drained and retired"
+        );
     }
 
     #[test]
@@ -855,6 +1203,7 @@ mod tests {
             queue_cap: 1,
             max_lanes: 2,
             workspaces_per_lane: 1,
+            shed: ShedPolicy::disabled(),
         };
         let service = BppsaService::<f64>::new(config);
         let template = sparse_chain(4, 6, 40);
@@ -862,15 +1211,112 @@ mod tests {
         service
             .submit(revalue(&template, 41), &t1)
             .expect("accepting");
+        // The lane may still be warming; try_submit then refuses with
+        // LaneWarming instead — wait until it is live to isolate the
+        // backpressure refusal.
+        while service.metrics()[0].state == LaneState::Warming {
+            std::thread::yield_now();
+        }
         let t2 = Ticket::new();
         let refused = service.try_submit(revalue(&template, 42), &t2);
-        assert!(matches!(refused, Err(SubmitError::Backpressure(_))));
+        match refused {
+            Err(SubmitError::Backpressure(_)) => {}
+            // The queued request can flush between the state poll and the
+            // try_submit, leaving room; then the submit legitimately lands.
+            Ok(()) => {
+                t2.wait().expect("served");
+                let _ = t2.take_chain();
+            }
+            other => panic!("expected Backpressure or Ok, got {other:?}"),
+        }
         t1.wait().expect("queued request still served");
         // The refused ticket is reusable immediately.
         service
             .submit(revalue(&template, 43), &t2)
             .expect("accepting after refusal");
         t2.wait().expect("served");
+    }
+
+    #[test]
+    fn try_submit_while_warming_is_refused_with_lane_warming() {
+        // A heavy-to-plan shape holds its lane in Warming long enough for a
+        // second, non-creating try_submit to observe the warming refusal.
+        let service = BppsaService::<f64>::new(ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(100),
+            queue_cap: 16,
+            max_lanes: 2,
+            workspaces_per_lane: 1,
+            shed: ShedPolicy::disabled(),
+        });
+        let template = sparse_chain(60, 16, 70);
+        let creator = Ticket::new();
+        service
+            .submit(revalue(&template, 71), &creator)
+            .expect("the creating request seeds the lane");
+        let follower = Ticket::new();
+        let refused = service.try_submit(revalue(&template, 72), &follower);
+        match refused {
+            Err(SubmitError::LaneWarming(chain)) => {
+                assert_eq!(chain.num_layers(), 60, "chain handed back intact");
+                // The refusal left the ticket idle and the lane serving.
+                service
+                    .submit(chain, &follower)
+                    .expect("blocking submit queues behind the warm-up");
+                follower.wait().expect("served once live");
+            }
+            Ok(()) => {
+                // Raced a very fast warm-up — then it must simply serve.
+                follower.wait().expect("served");
+            }
+            other => panic!("expected LaneWarming or Ok, got {other:?}"),
+        }
+        creator.wait().expect("creator served");
+    }
+
+    #[test]
+    fn shed_policy_refuses_on_queue_depth() {
+        // queue_cap 8 but shed threshold 1: once one request is queued, the
+        // next submit is shed instead of queueing or blocking.
+        let service = BppsaService::<f64>::new(ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(200),
+            queue_cap: 8,
+            max_lanes: 2,
+            workspaces_per_lane: 1,
+            shed: ShedPolicy {
+                max_queue_depth: Some(1),
+                min_warming_delay: None,
+            },
+        });
+        let template = sparse_chain(4, 6, 80);
+        let t1 = Ticket::new();
+        service
+            .submit(revalue(&template, 81), &t1)
+            .expect("first request queues");
+        let t2 = Ticket::new();
+        let refused = service.submit(revalue(&template, 82), &t2);
+        match refused {
+            Err(SubmitError::Shed(chain)) => {
+                assert_eq!(chain.num_layers(), 4, "chain handed back intact");
+                let snap = &service.metrics()[0];
+                assert!(snap.shed >= 1, "shed counter records the refusal");
+                // Once the queued request drained, the shed ticket is
+                // reusable and the depth threshold no longer trips.
+                t1.wait().expect("first request still served");
+                service
+                    .submit(chain, &t2)
+                    .expect("accepting once the queue drained");
+                t2.wait().expect("served");
+            }
+            // The first request can flush before the second submit reads
+            // the queue depth; then nothing is shed.
+            Ok(()) => {
+                t1.wait().expect("first request still served");
+                t2.wait().expect("served");
+            }
+            other => panic!("expected Shed or Ok, got {other:?}"),
+        }
     }
 
     #[test]
@@ -885,7 +1331,11 @@ mod tests {
         // co-members and every lane-B request must succeed.
         let config = quick_config();
         let good_template = sparse_chain(6, 8, 50);
-        let lane_a = Arc::new(Lane::new(&good_template, &config));
+        let lane_a = Arc::new(Lane::<f64>::placeholder(
+            LaneShape::of(&good_template),
+            &config,
+            0,
+        ));
         // Wrong *length* for lane A's plan: `execute_with`'s chain check
         // panics deterministically inside the batch job. (Unreachable via
         // `submit` — routing always matches — hence the hand-built lane.)
@@ -898,26 +1348,31 @@ mod tests {
         let (good_outcomes, bad_outcome, bad_layers, after_outcome, b_outcomes) =
             std::thread::scope(|s| {
                 let lane = Arc::clone(&lane_a);
-                let dispatcher = s.spawn(move || dispatcher_loop(&lane));
+                let dispatcher = s.spawn(move || dispatcher_loop(&lane, &config));
 
-                // Lane A: 3 good requests + 1 poisoned, one coalesced batch.
+                // Lane A: 3 good requests + 1 poisoned, one coalesced
+                // batch. The first push seeds the warm-up, so the lane's
+                // plan is built from a *good* chain.
                 let good_tickets: Vec<Ticket<f64>> = (0..3).map(|_| Ticket::new()).collect();
                 let bad_ticket = Ticket::new();
-                let deadline = Instant::now() + Duration::from_millis(5);
+                let delay = Duration::from_millis(5);
+                let deadline = Instant::now() + delay;
                 for (k, ticket) in good_tickets.iter().enumerate() {
                     assert!(ticket.shared().begin_flight());
                     lane_a
                         .push(
                             revalue(&good_template, 60 + k as u64),
                             deadline,
+                            delay,
                             ticket.shared(),
                             true,
+                            k == 0,
                         )
                         .unwrap_or_else(|_| panic!("open lane refused"));
                 }
                 assert!(bad_ticket.shared().begin_flight());
                 lane_a
-                    .push(bad_chain, deadline, bad_ticket.shared(), true)
+                    .push(bad_chain, deadline, delay, bad_ticket.shared(), true, false)
                     .unwrap_or_else(|_| panic!("open lane refused"));
 
                 // Lane B (separate service): concurrent clean traffic racing
@@ -949,12 +1404,15 @@ mod tests {
                 // flushes cleanly before the dispatcher retires.
                 let after = Ticket::new();
                 assert!(after.shared().begin_flight());
+                let after_delay = Duration::from_millis(2);
                 lane_a
                     .push(
                         revalue(&good_template, 70),
-                        Instant::now() + Duration::from_millis(2),
+                        Instant::now() + after_delay,
+                        after_delay,
                         after.shared(),
                         true,
+                        false,
                     )
                     .unwrap_or_else(|_| panic!("open lane refused"));
                 let after_outcome = after.wait();
@@ -990,10 +1448,133 @@ mod tests {
     }
 
     #[test]
+    fn failed_warmup_lane_is_purged_and_recreated() {
+        // Regression: a lane whose warm-up failed (plan panic) closes
+        // itself but cannot remove itself from the router store — submits
+        // of its shape used to ping-pong forever between the closed lane's
+        // refusal and the router. `route()` must purge in-store
+        // Draining/Retired lanes and re-create the shape.
+        let service = BppsaService::<f64>::new(quick_config());
+        let template = sparse_chain(4, 6, 90);
+        // Fabricate the failure state: a placeholder lane of the
+        // template's shape, closed before it ever planned (exactly what
+        // `warm_up`'s panic branch leaves behind), force-inserted into the
+        // router.
+        let dead = Arc::new(Lane::<f64>::placeholder(
+            LaneShape::of(&template),
+            &quick_config(),
+            99,
+        ));
+        dead.close();
+        {
+            let mut router = lock(&service.shared.router);
+            let (_, inserted, _) = router
+                .lanes
+                .find_or_insert_with_evicted(|_| false, || Arc::clone(&dead));
+            assert!(inserted);
+        }
+        let ticket = Ticket::new();
+        service
+            .submit(revalue(&template, 91), &ticket)
+            .expect("route must purge the dead lane and re-create the shape");
+        ticket.wait().expect("served by the re-created lane");
+        assert_eq!(service.lanes(), 1, "dead lane purged from the router");
+    }
+
+    #[test]
+    fn ticket_in_flight_refusal_never_touches_the_router() {
+        // Regression: begin_flight used to be checked only *after* route()
+        // had created a placeholder lane, so a doomed submit (ticket
+        // already in flight) spawned a dispatcher for a lane nothing would
+        // seed — and, at max_lanes capacity, evicted a healthy serving
+        // lane to make room for it.
+        let mut config = quick_config();
+        config.max_delay = Duration::from_millis(100); // keep `busy` pending
+        config.max_lanes = 1; // an erroneous lane creation would evict
+        let service = BppsaService::<f64>::new(config);
+        let busy = Ticket::new();
+        service
+            .submit(sparse_chain(3, 5, 95), &busy)
+            .expect("accepting");
+        let new_shape = sparse_chain(6, 7, 96);
+        let refused = service.try_submit(revalue(&new_shape, 97), &busy);
+        assert!(matches!(refused, Err(SubmitError::TicketInFlight(_))));
+        assert_eq!(
+            service.lanes_created(),
+            1,
+            "a refused submit must not create a lane"
+        );
+        busy.wait().expect("live lane unaffected by the refusal");
+        // The shape (and the ticket) work fine once legitimately submitted.
+        service
+            .submit(revalue(&new_shape, 98), &busy)
+            .expect("accepting after refusal");
+        busy.wait().expect("served");
+    }
+
+    #[test]
+    fn empty_warming_lane_accepts_any_request_as_seed() {
+        // Defense-in-depth at the push layer: should an empty Warming lane
+        // ever exist (no request queued, dispatcher parked waiting for a
+        // template), a non-seed non-blocking push must be accepted as the
+        // warm-up's seed — refusing it with Warming would starve the lane
+        // forever, since the dispatcher plans from the first queued chain,
+        // whoever's it is.
+        let config = quick_config();
+        let template = sparse_chain(4, 6, 99);
+        let lane = Lane::<f64>::placeholder(LaneShape::of(&template), &config, 0);
+        let seed_delay = Duration::from_millis(50);
+        let first = Ticket::new();
+        assert!(first.shared().begin_flight());
+        lane.push(
+            revalue(&template, 100),
+            Instant::now() + seed_delay,
+            seed_delay,
+            first.shared(),
+            false, // non-blocking
+            false, // NOT the creator — still must seed the empty lane
+        )
+        .unwrap_or_else(|_| panic!("empty warming lane must accept its seeding request"));
+        // With the seed queued, further non-blocking pushes see the normal
+        // warming refusal.
+        let second = Ticket::new();
+        assert!(second.shared().begin_flight());
+        let refused = lane.push(
+            revalue(&template, 101),
+            Instant::now() + seed_delay,
+            seed_delay,
+            second.shared(),
+            false,
+            false,
+        );
+        assert!(
+            matches!(refused, Err((_, PushRefusal::Warming))),
+            "seeded warming lane refuses further non-blocking pushes"
+        );
+        // No dispatcher was spawned for this hand-built lane; complete the
+        // queued ticket manually so nothing dangles.
+        lane.close();
+        let mut q = lock(&lane.queue);
+        while let Some(req) = q.pending.pop_front() {
+            req.ticket.finish(req.chain, None);
+        }
+        drop(q);
+        assert_eq!(first.wait(), Ok(()));
+    }
+
+    #[test]
     #[should_panic(expected = "max_batch must be >= 1")]
     fn zero_max_batch_is_rejected() {
         let mut config = quick_config();
         config.max_batch = 0;
+        let _ = BppsaService::<f64>::new(config);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_queue_depth must be >= 1")]
+    fn zero_shed_depth_is_rejected() {
+        let mut config = quick_config();
+        config.shed.max_queue_depth = Some(0);
         let _ = BppsaService::<f64>::new(config);
     }
 }

@@ -22,6 +22,12 @@ pub enum ServeError {
     /// the panic is attributed per request, and other batches (other lanes,
     /// other flushes) are never affected.
     BatchPanicked,
+    /// The lane's warm-up (symbolic planning + workspace construction)
+    /// panicked before this request could execute; the lane retired and
+    /// every request it had accepted fails with this error (chains handed
+    /// back). Shape validity is checked at submit, so this indicates an
+    /// internal planning bug, not a malformed request.
+    PlanPanicked,
 }
 
 impl std::fmt::Display for ServeError {
@@ -29,6 +35,9 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::BatchPanicked => {
                 write!(f, "a job in this request's coalesced batch panicked")
+            }
+            ServeError::PlanPanicked => {
+                write!(f, "the lane's plan construction panicked during warm-up")
             }
         }
     }
@@ -92,16 +101,18 @@ impl<S> TicketShared<S> {
         inner.phase = Phase::Idle;
     }
 
-    /// Completes the flight: hands the chain back and wakes waiters. With
-    /// `batch_panicked`, requests whose execution finished (staged) still
-    /// complete successfully; only the unexecuted ones fail.
-    pub(crate) fn finish(&self, chain: JacobianChain<S>, batch_panicked: bool) {
+    /// Completes the flight: hands the chain back and wakes waiters. A
+    /// [`ServeError::BatchPanicked`] failure is attributed per request:
+    /// members whose execution finished (staged) still complete
+    /// successfully; only the unexecuted ones fail. Other failures (e.g.
+    /// [`ServeError::PlanPanicked`]) fail the flight unconditionally.
+    pub(crate) fn finish(&self, chain: JacobianChain<S>, failure: Option<ServeError>) {
         let mut inner = self.lock();
         debug_assert_eq!(inner.phase, Phase::Pending);
-        inner.outcome = Some(if !batch_panicked || inner.staged {
-            Ok(())
-        } else {
-            Err(ServeError::BatchPanicked)
+        inner.outcome = Some(match failure {
+            None => Ok(()),
+            Some(ServeError::BatchPanicked) if inner.staged => Ok(()),
+            Some(err) => Err(err),
         });
         inner.chain = Some(chain);
         inner.phase = Phase::Done;
@@ -297,7 +308,7 @@ mod tests {
         assert!(!shared.begin_flight(), "double begin must be refused");
         let result = BackwardResult::from_grads(vec![Vector::from_vec(vec![1.0, 2.0])]);
         shared.stage(&result);
-        shared.finish(tiny_chain(1.0), false);
+        shared.finish(tiny_chain(1.0), None);
         assert_eq!(ticket.wait(), Ok(()));
         assert_eq!(
             ticket.with_result(|r| r.grad_x(1).as_slice().to_vec()),
@@ -319,8 +330,12 @@ mod tests {
             .stage(&BackwardResult::from_grads(vec![Vector::from_vec(vec![
                 5.0,
             ])]));
-        staged.shared().finish(tiny_chain(1.0), true);
-        unstaged.shared().finish(tiny_chain(2.0), true);
+        staged
+            .shared()
+            .finish(tiny_chain(1.0), Some(ServeError::BatchPanicked));
+        unstaged
+            .shared()
+            .finish(tiny_chain(2.0), Some(ServeError::BatchPanicked));
         assert_eq!(staged.wait(), Ok(()));
         assert_eq!(unstaged.wait(), Err(ServeError::BatchPanicked));
         // Both get their chains back regardless of outcome.
@@ -347,8 +362,22 @@ mod tests {
     fn with_result_after_failure_panics() {
         let ticket = Ticket::<f64>::new();
         ticket.shared().begin_flight();
-        ticket.shared().finish(tiny_chain(1.0), true);
+        ticket
+            .shared()
+            .finish(tiny_chain(1.0), Some(ServeError::BatchPanicked));
         assert_eq!(ticket.wait(), Err(ServeError::BatchPanicked));
         ticket.with_result(|_| ());
+    }
+
+    #[test]
+    fn plan_panic_fails_even_staged_members() {
+        // PlanPanicked is not per-request-attributable: nothing executed.
+        let ticket = Ticket::<f64>::new();
+        assert!(ticket.shared().begin_flight());
+        ticket
+            .shared()
+            .finish(tiny_chain(1.0), Some(ServeError::PlanPanicked));
+        assert_eq!(ticket.wait(), Err(ServeError::PlanPanicked));
+        assert_eq!(ticket.take_chain().seed().as_slice(), &[1.0, -1.0]);
     }
 }

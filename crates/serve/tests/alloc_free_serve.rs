@@ -110,6 +110,7 @@ fn steady_state_served_requests_are_allocation_free() {
         queue_cap: 16,
         max_lanes: 2,
         workspaces_per_lane: 0,
+        shed: bppsa_serve::ShedPolicy::disabled(),
     });
 
     let template = sparse_chain(18, 10, 7);

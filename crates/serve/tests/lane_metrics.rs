@@ -1,0 +1,206 @@
+//! Flush-cause accounting: single-lane scenarios that deterministically
+//! force each of the three [`FlushCause`]s and assert the lane's
+//! [`LaneMetricsSnapshot`] counts them exactly — plus the batch-size
+//! histogram invariant (`requests_flushed() == submitted` on a quiescent
+//! lane) and the warm-up timing surface.
+//!
+//! Determinism notes: a flush can only be triggered by (a) `max_batch`
+//! pending requests, (b) an expired delay budget, or (c) a drain. Each test
+//! arranges for exactly one of those to be reachable — budgets of a minute
+//! make (b) unreachable, `max_batch` above the submitted count makes (a)
+//! unreachable — so the expected cause is not a race winner but the only
+//! possibility.
+
+use bppsa_core::JacobianChain;
+use bppsa_core::ScanElement;
+use bppsa_serve::{BppsaService, FlushCause, LaneState, ServeConfig, ShedPolicy, Ticket};
+use bppsa_sparse::Csr;
+use bppsa_tensor::init::{seeded_rng, uniform_vector};
+use bppsa_tensor::Matrix;
+use rand::Rng;
+use std::time::Duration;
+
+fn sparse_chain(n: usize, width: usize, seed: u64) -> JacobianChain<f64> {
+    let mut rng = seeded_rng(seed);
+    let mut chain = JacobianChain::new(uniform_vector(&mut rng, width, 1.0));
+    for _ in 0..n {
+        let dense = Matrix::from_fn(width, width, |_, _| {
+            if rng.random_range(0.0..1.0) < 0.4 {
+                rng.random_range(-1.0..1.0)
+            } else {
+                0.0
+            }
+        });
+        chain.push(ScanElement::Sparse(Csr::from_dense(&dense)));
+    }
+    chain
+}
+
+/// Same patterns as `template`, fresh values.
+fn revalue(template: &JacobianChain<f64>, seed: u64) -> JacobianChain<f64> {
+    let mut rng = seeded_rng(seed);
+    let mut chain = JacobianChain::new(uniform_vector(&mut rng, template.seed().len(), 1.0));
+    for jt in template.jacobians() {
+        let ScanElement::Sparse(m) = jt else {
+            unreachable!()
+        };
+        chain.push(ScanElement::Sparse(
+            m.map_values(|_| rng.random_range(-1.0..1.0)),
+        ));
+    }
+    chain
+}
+
+fn config(max_batch: usize) -> ServeConfig {
+    ServeConfig {
+        max_batch,
+        max_delay: Duration::from_secs(60),
+        queue_cap: 16,
+        max_lanes: 2,
+        workspaces_per_lane: 0,
+        shed: ShedPolicy::disabled(),
+    }
+}
+
+#[test]
+fn max_batch_flush_is_counted_exactly_once() {
+    // max_batch 4, one-minute budgets: only a full batch can flush.
+    let service = BppsaService::<f64>::new(config(4));
+    let template = sparse_chain(5, 6, 1);
+    let tickets: Vec<Ticket<f64>> = (0..4).map(|_| Ticket::new()).collect();
+    for (k, ticket) in tickets.iter().enumerate() {
+        service
+            .submit(revalue(&template, 10 + k as u64), ticket)
+            .expect("accepting");
+    }
+    for ticket in &tickets {
+        ticket.wait().expect("served by the full-batch flush");
+    }
+    let snap = &service.metrics()[0];
+    assert_eq!(snap.state, LaneState::Live);
+    assert_eq!(snap.submitted, 4);
+    assert_eq!(snap.shed, 0);
+    assert_eq!(snap.queue_depth, 0);
+    assert_eq!(snap.flushes_of(FlushCause::MaxBatch), 1);
+    assert_eq!(snap.flushes_of(FlushCause::Deadline), 0);
+    assert_eq!(snap.flushes_of(FlushCause::Drain), 0);
+    assert_eq!(snap.flushes(), 1);
+    assert_eq!(
+        snap.batch_size_counts,
+        vec![0, 0, 0, 1],
+        "one flush of exactly max_batch requests"
+    );
+    assert_eq!(snap.requests_flushed(), snap.submitted);
+}
+
+#[test]
+fn deadline_flushes_are_counted_exactly() {
+    // max_batch 8 but only single requests with short budgets: every flush
+    // is a deadline flush of size 1.
+    let mut cfg = config(8);
+    cfg.max_delay = Duration::from_millis(2);
+    let service = BppsaService::<f64>::new(cfg);
+    let template = sparse_chain(5, 6, 2);
+    let ticket = Ticket::new();
+    for round in 0..3 {
+        service
+            .submit(revalue(&template, 20 + round), &ticket)
+            .expect("accepting");
+        ticket.wait().expect("deadline flush serves the request");
+        let _ = ticket.take_chain();
+    }
+    let snap = &service.metrics()[0];
+    assert_eq!(snap.state, LaneState::Live);
+    assert_eq!(snap.submitted, 3);
+    assert_eq!(snap.flushes_of(FlushCause::MaxBatch), 0);
+    assert_eq!(snap.flushes_of(FlushCause::Deadline), 3);
+    assert_eq!(snap.flushes_of(FlushCause::Drain), 0);
+    assert_eq!(snap.batch_size_counts[0], 3, "three flushes of one request");
+    assert_eq!(snap.requests_flushed(), snap.submitted);
+    // The lane went through a real warm-up and reported its cost.
+    assert!(snap.plan_time > Duration::ZERO);
+    assert!(snap.warmup_time >= snap.plan_time);
+}
+
+#[test]
+fn drain_flush_on_shutdown_is_counted_exactly_once() {
+    // Two requests parked behind one-minute budgets, then shutdown: the
+    // only reachable flush is the drain, carrying both requests.
+    let service = BppsaService::<f64>::new(config(8));
+    let template = sparse_chain(5, 6, 3);
+    let t1 = Ticket::new();
+    let t2 = Ticket::new();
+    service
+        .submit(revalue(&template, 30), &t1)
+        .expect("accepting");
+    service
+        .submit(revalue(&template, 31), &t2)
+        .expect("accepting");
+    service.shutdown();
+    t1.wait().expect("drained request completes");
+    t2.wait().expect("drained request completes");
+    let snap = &service.metrics()[0];
+    assert_eq!(snap.state, LaneState::Retired);
+    assert_eq!(snap.submitted, 2);
+    assert_eq!(snap.flushes_of(FlushCause::MaxBatch), 0);
+    assert_eq!(snap.flushes_of(FlushCause::Deadline), 0);
+    assert_eq!(snap.flushes_of(FlushCause::Drain), 1);
+    assert_eq!(
+        snap.batch_size_counts,
+        vec![0, 1, 0, 0, 0, 0, 0, 0],
+        "one drain flush of both requests"
+    );
+    assert_eq!(snap.requests_flushed(), snap.submitted);
+}
+
+#[test]
+fn mixed_causes_accumulate_and_histogram_sums_to_submits() {
+    // One lane sees, in order: a full batch (MaxBatch), a short-budget
+    // single (Deadline), and a parked pair cut off by shutdown (Drain).
+    let service = BppsaService::<f64>::new(config(3));
+    let template = sparse_chain(5, 6, 4);
+
+    // Phase 1: exactly max_batch requests under one-minute budgets.
+    let tickets: Vec<Ticket<f64>> = (0..3).map(|_| Ticket::new()).collect();
+    for (k, ticket) in tickets.iter().enumerate() {
+        service
+            .submit(revalue(&template, 40 + k as u64), ticket)
+            .expect("accepting");
+    }
+    for ticket in &tickets {
+        ticket.wait().expect("full batch served");
+    }
+
+    // Phase 2: one short-budget request.
+    let lone = Ticket::new();
+    service
+        .submit_with_delay(revalue(&template, 50), Duration::from_millis(2), &lone)
+        .expect("accepting");
+    lone.wait().expect("deadline flush served");
+
+    // Phase 3: two parked requests drained by shutdown.
+    let parked: Vec<Ticket<f64>> = (0..2).map(|_| Ticket::new()).collect();
+    for (k, ticket) in parked.iter().enumerate() {
+        service
+            .submit(revalue(&template, 60 + k as u64), ticket)
+            .expect("accepting");
+    }
+    service.shutdown();
+    for ticket in &parked {
+        ticket.wait().expect("drained request completes");
+    }
+
+    let snap = &service.metrics()[0];
+    assert_eq!(snap.state, LaneState::Retired);
+    assert_eq!(snap.submitted, 6);
+    assert_eq!(snap.flushes_of(FlushCause::MaxBatch), 1);
+    assert_eq!(snap.flushes_of(FlushCause::Deadline), 1);
+    assert_eq!(snap.flushes_of(FlushCause::Drain), 1);
+    assert_eq!(snap.flushes(), 3);
+    assert_eq!(
+        snap.batch_size_counts,
+        vec![1, 1, 1],
+        "sizes 1 (deadline), 2 (drain), 3 (max batch) each seen once"
+    );
+    assert_eq!(snap.requests_flushed(), snap.submitted);
+}

@@ -10,7 +10,7 @@
 //!    and re-create lanes without losing any in-flight request.
 
 use bppsa_core::{BppsaOptions, JacobianChain, PlannedScan, ScanElement};
-use bppsa_serve::{BppsaService, ServeConfig, Ticket};
+use bppsa_serve::{BppsaService, ServeConfig, ShedPolicy, SubmitError, Ticket};
 use bppsa_sparse::Csr;
 use bppsa_tensor::init::{seeded_rng, uniform_vector};
 use bppsa_tensor::Matrix;
@@ -98,6 +98,7 @@ fn mixed_shape_multi_producer_traffic_is_exact_and_lossless() {
         queue_cap: 32,
         max_lanes: SHAPES - 1, // force MRU eviction under load
         workspaces_per_lane: 0,
+        shed: ShedPolicy::disabled(),
     });
 
     std::thread::scope(|s| {
@@ -150,6 +151,154 @@ fn mixed_shape_multi_producer_traffic_is_exact_and_lossless() {
 }
 
 #[test]
+fn shed_policy_stress_every_ticket_completes_or_sheds() {
+    // Shed-policy stress mode: tiny queues, aggressive deadlines, and both
+    // shed thresholds armed, hammered by concurrent producers. Invariants:
+    //
+    // 1. every submit attempt resolves as **exactly one** of
+    //    completed-through-the-ticket or shed-at-submit (chain handed
+    //    back) — nothing hangs, nothing double-resolves;
+    // 2. completed results stay bit-for-bit identical to serial
+    //    single-workspace execution — shedding must not perturb what does
+    //    flow through;
+    // 3. the lanes' shed/submit counters reconcile exactly with what the
+    //    producers observed.
+    const SHED_PRODUCERS: usize = 4;
+    const SHED_ROUNDS: usize = 50;
+    const SHED_SHAPES: usize = 2;
+
+    let templates: Vec<JacobianChain<f64>> = (0..SHED_SHAPES)
+        .map(|s| sparse_chain(4 + 2 * s, 6, 300 + s as u64))
+        .collect();
+    let chains: Vec<Vec<JacobianChain<f64>>> = templates
+        .iter()
+        .enumerate()
+        .map(|(s, t)| {
+            (0..VARIANTS)
+                .map(|v| revalue(t, 400 + (s * VARIANTS + v) as u64))
+                .collect()
+        })
+        .collect();
+    let references: Vec<Vec<Vec<Vec<f64>>>> = templates
+        .iter()
+        .zip(&chains)
+        .map(|(template, variants)| {
+            let plan = PlannedScan::plan(template, BppsaOptions::serial());
+            let mut ws = plan.workspace::<f64>();
+            variants
+                .iter()
+                .map(|chain| {
+                    plan.execute_with(chain, &mut ws)
+                        .grads()
+                        .iter()
+                        .map(|g| g.as_slice().to_vec())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let service = BppsaService::<f64>::new(ServeConfig {
+        max_batch: 3,
+        max_delay: Duration::from_micros(100),
+        queue_cap: 4,
+        max_lanes: SHED_SHAPES, // no eviction: the counters must reconcile
+        workspaces_per_lane: 0,
+        shed: ShedPolicy {
+            max_queue_depth: Some(2),
+            min_warming_delay: Some(Duration::from_micros(50)),
+        },
+    });
+
+    // (completed, shed) per producer.
+    let outcomes: Vec<(u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..SHED_PRODUCERS)
+            .map(|p| {
+                let service = &service;
+                let chains = &chains;
+                let references = &references;
+                let templates = &templates;
+                s.spawn(move || {
+                    let mut rng = seeded_rng(2000 + p as u64);
+                    let ticket = Ticket::new();
+                    let mut completed = 0u64;
+                    let mut shed = 0u64;
+                    for round in 0..SHED_ROUNDS {
+                        let shape = rng.random_range(0..SHED_SHAPES);
+                        let variant = rng.random_range(0..VARIANTS);
+                        let delay = Duration::from_micros(rng.random_range(0..200));
+                        let chain = chains[shape][variant].clone();
+                        match service.submit_with_delay(chain, delay, &ticket) {
+                            Ok(()) => {
+                                ticket.wait().unwrap_or_else(|e| {
+                                    panic!("producer {p} round {round}: accepted request failed: {e}")
+                                });
+                                ticket.with_result(|r| {
+                                    for (g, expect) in
+                                        r.grads().iter().zip(&references[shape][variant])
+                                    {
+                                        assert_eq!(
+                                            g.as_slice(),
+                                            expect.as_slice(),
+                                            "producer {p} round {round} shape {shape} variant {variant}"
+                                        );
+                                    }
+                                });
+                                let _ = ticket.take_chain();
+                                completed += 1;
+                            }
+                            Err(SubmitError::Shed(chain)) => {
+                                // The refusal hands the chain back intact and
+                                // leaves the ticket idle for the next round.
+                                assert_eq!(chain.num_layers(), templates[shape].num_layers());
+                                shed += 1;
+                            }
+                            Err(other) => {
+                                panic!("producer {p} round {round}: unexpected refusal: {other}")
+                            }
+                        }
+                    }
+                    (completed, shed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("producer panicked"))
+            .collect()
+    });
+
+    let completed_total: u64 = outcomes.iter().map(|(c, _)| c).sum();
+    let shed_total: u64 = outcomes.iter().map(|(_, s)| s).sum();
+    assert_eq!(
+        completed_total + shed_total,
+        (SHED_PRODUCERS * SHED_ROUNDS) as u64,
+        "every attempt resolves as exactly one of completed or shed"
+    );
+    assert!(
+        completed_total >= SHED_SHAPES as u64,
+        "at least the lane-seeding requests must flow through"
+    );
+
+    // Quiesce, then reconcile the lanes' counters with the producers'.
+    service.shutdown();
+    let snaps = service.metrics();
+    assert_eq!(snaps.len(), SHED_SHAPES, "no eviction under this config");
+    let submitted: u64 = snaps.iter().map(|l| l.submitted).sum();
+    let lane_shed: u64 = snaps.iter().map(|l| l.shed).sum();
+    let flushed: u64 = snaps.iter().map(|l| l.requests_flushed()).sum();
+    assert_eq!(submitted, completed_total, "accepted == completed");
+    assert_eq!(
+        lane_shed, shed_total,
+        "lane shed counters == producer sheds"
+    );
+    assert_eq!(
+        flushed, submitted,
+        "every accepted request left via a flush"
+    );
+}
+
+#[test]
 fn pipelined_producers_share_tickets_across_shapes() {
     // One producer keeps several tickets in flight at once (submit all,
     // then wait all), mixing shapes — exercises out-of-order completion
@@ -163,6 +312,7 @@ fn pipelined_producers_share_tickets_across_shapes() {
         queue_cap: 16,
         max_lanes: 3,
         workspaces_per_lane: 0,
+        shed: ShedPolicy::disabled(),
     });
     let tickets: Vec<Ticket<f64>> = (0..9).map(|_| Ticket::new()).collect();
     for wave in 0..5 {
