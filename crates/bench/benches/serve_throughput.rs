@@ -19,7 +19,10 @@
 //! `environment` record) so the two regimes cannot be confused.
 
 use bppsa_core::{JacobianChain, ScanElement};
-use bppsa_serve::{BppsaService, ServeConfig, ShedPolicy, SubmitError, Ticket};
+use bppsa_serve::{
+    BppsaService, BreakerPolicy, FaultInjector, FaultRates, FaultScript, ServeConfig, ShedPolicy,
+    SubmitError, Ticket,
+};
 use bppsa_sparse::Csr;
 use bppsa_tensor::init::{seeded_rng, uniform_vector};
 use bppsa_tensor::Matrix;
@@ -85,6 +88,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
                 max_lanes: lanes.max(2),
                 workspaces_per_lane: 0,
                 shed: ShedPolicy::disabled(),
+                ..ServeConfig::default()
             });
             let tickets: Vec<Ticket<f64>> = (0..WAVE).map(|_| Ticket::new()).collect();
             let mut slots: Vec<Option<JacobianChain<f64>>> = (0..WAVE)
@@ -141,6 +145,7 @@ fn bench_cold_shape_storm(c: &mut Criterion) {
                     max_lanes: shapes.max(2),
                     workspaces_per_lane: 1,
                     shed: ShedPolicy::disabled(),
+                    ..ServeConfig::default()
                 });
                 let tickets: Vec<Ticket<f64>> = (0..shapes).map(|_| Ticket::new()).collect();
                 for (template, ticket) in templates.iter().zip(&tickets) {
@@ -184,6 +189,7 @@ fn bench_shed_rate(c: &mut Criterion) {
                 max_queue_depth: Some(depth),
                 min_warming_delay: None,
             },
+            ..ServeConfig::default()
         });
         let tickets: Vec<Ticket<f64>> = (0..WAVE).map(|_| Ticket::new()).collect();
         let mut slots: Vec<Option<JacobianChain<f64>>> = (0..WAVE)
@@ -225,10 +231,146 @@ fn bench_shed_rate(c: &mut Criterion) {
     group.finish();
 }
 
+/// Recovery scenario: how long a circuit-breaker round trip costs, and how
+/// hard the quarantine gate actually refuses under a panic storm.
+///
+/// * `trip_to_live/cooldown_us_*` — each iteration builds a fresh service
+///   whose first batch is scripted to panic with a threshold-1 breaker
+///   armed, then rides the quarantine out with [`BppsaService::submit_retrying`]
+///   until the half-open probe serves the request. The measured time is the
+///   full trip → cool-down → probe-replan → Live cycle (including both lane
+///   bring-ups), i.e. the end-to-end unavailability a poisoned-then-healthy
+///   shape observes, as a function of the configured cool-down.
+/// * `refusal_rate/*` — a persistent service under a seeded 10%-batch-panic
+///   storm with a threshold-2 breaker. Submits never retry; a quarantine
+///   refusal hands the chain back and is counted. The measured cost is the
+///   storm wave itself (panicking flushes + cheap synchronous refusals +
+///   lane re-creation); the realized refusal rate — quarantine refusals
+///   over submit attempts — prints once per config from the service's own
+///   counters.
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_recovery");
+    // Injected panics are the scenario, not failures: silence the default
+    // hook's per-panic backtrace for the duration of this group.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    let mut rng = seeded_rng(505);
+    let template = chain(32, 10, &mut rng);
+    for cooldown_us in [200u64, 1000] {
+        group.bench_function(format!("trip_to_live/cooldown_us_{cooldown_us}"), |b| {
+            b.iter(|| {
+                let service = BppsaService::<f64>::new(ServeConfig {
+                    max_batch: 1,
+                    max_delay: Duration::ZERO,
+                    queue_cap: 8,
+                    max_lanes: 2,
+                    workspaces_per_lane: 0,
+                    breaker: BreakerPolicy {
+                        max_consecutive_panics: Some(1),
+                        cooldown: Duration::from_micros(cooldown_us),
+                    },
+                    faults: FaultInjector::scripted(FaultScript::new().batch_panic(0, 0)),
+                    ..ServeConfig::default()
+                });
+                // Trip: the scripted panic fails the seeding request's batch
+                // and the threshold-1 breaker quarantines the shape.
+                let ticket = Ticket::new();
+                service
+                    .submit(template.clone(), &ticket)
+                    .expect("seed accepted");
+                ticket
+                    .wait()
+                    .expect_err("scripted panic fails the first batch");
+                let mut chain = ticket.take_chain();
+                // Recover: retrying submits absorb the quarantine window;
+                // a request that raced into the dying lane is resubmitted.
+                loop {
+                    service
+                        .submit_retrying(chain, &ticket)
+                        .expect("retry budget outlasts the cool-down");
+                    match ticket.wait() {
+                        Ok(()) => break,
+                        Err(_) => chain = ticket.take_chain(),
+                    }
+                }
+                service.shutdown();
+            })
+        });
+    }
+
+    // Persistent service under a seeded panic storm; breaker armed.
+    let service = BppsaService::<f64>::new(ServeConfig {
+        max_batch: 2,
+        max_delay: Duration::from_micros(100),
+        queue_cap: 2 * WAVE,
+        max_lanes: 2,
+        workspaces_per_lane: 0,
+        breaker: BreakerPolicy {
+            max_consecutive_panics: Some(2),
+            cooldown: Duration::from_micros(200),
+        },
+        faults: FaultInjector::seeded(
+            0xBADC_0DE5,
+            FaultRates {
+                batch_panic: 0.10,
+                ..FaultRates::none()
+            },
+        ),
+        ..ServeConfig::default()
+    });
+    let tickets: Vec<Ticket<f64>> = (0..WAVE).map(|_| Ticket::new()).collect();
+    let mut slots: Vec<Option<JacobianChain<f64>>> = (0..WAVE)
+        .map(|_| Some(revalue(&template, &mut rng)))
+        .collect();
+    let mut accepted: Vec<bool> = vec![false; WAVE];
+    let mut attempts = 0u64;
+    let mut wave = || {
+        for ((slot, ticket), accepted) in slots.iter_mut().zip(&tickets).zip(&mut accepted) {
+            let chain = slot.take().expect("reclaimed");
+            attempts += 1;
+            match service.submit(chain, ticket) {
+                Ok(()) => *accepted = true,
+                Err(SubmitError::Quarantined(chain)) => {
+                    *accepted = false;
+                    *slot = Some(chain);
+                }
+                Err(other) => panic!("unexpected refusal: {other}"),
+            }
+        }
+        for ((slot, ticket), accepted) in slots.iter_mut().zip(&tickets).zip(&accepted) {
+            if *accepted {
+                // Under the storm an accepted request may still fail with
+                // BatchPanicked/LaneQuarantined; either way the chain comes
+                // back and the wave stays conserved.
+                let _ = ticket.wait();
+                *slot = Some(ticket.take_chain());
+            }
+        }
+    };
+    wave(); // warm: first lane planned, tickets sized
+    group.bench_function(format!("refusal_rate/panic_10pct/wave_{WAVE}"), |b| {
+        b.iter(&mut wave)
+    });
+    let refused = service.quarantine_refusals();
+    println!(
+        "serve_recovery/refusal_rate: attempts {attempts} quarantine-refused {refused} \
+         ({:.1}% refused)",
+        100.0 * refused as f64 / attempts.max(1) as f64,
+    );
+    std::panic::set_hook(prev_hook);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_serve_throughput,
     bench_cold_shape_storm,
-    bench_shed_rate
+    bench_shed_rate,
+    bench_recovery
 );
 criterion_main!(benches);

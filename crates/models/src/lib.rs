@@ -49,7 +49,7 @@ pub use lenet::{lenet5, lenet_tiny};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use pooled::PooledChainSet;
 pub use rnn::{FusedPlannedState, RnnBatchSample, RnnGrads, RnnStates, VanillaRnn};
-pub use served::ServedChainSet;
+pub use served::{ServedChainSet, ServedSubmitError};
 pub use vgg::{vgg11, vgg11_conv_geometry, vgg11_convs, VGG11_WIDTHS};
 
 #[cfg(test)]

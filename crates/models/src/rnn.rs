@@ -482,6 +482,13 @@ impl<S: Scalar> VanillaRnn<S> {
     /// batch-size-independent shape economy: remainder batches reuse the
     /// full batch's lane, so a steady run builds exactly one lane.
     ///
+    /// # Errors
+    ///
+    /// [`ServedSubmitError`](crate::ServedSubmitError) when the front door
+    /// refuses a request past the service's retry budget (see
+    /// [`ServedChainSet::execute`](crate::ServedChainSet::execute)); the
+    /// chains are back at rest, so the batch can be re-executed.
+    ///
     /// # Panics
     ///
     /// Panics if the batch is empty or sequences have unequal lengths.
@@ -489,7 +496,7 @@ impl<S: Scalar> VanillaRnn<S> {
         &self,
         batch: &[RnnBatchSample<'_, S>],
         state: &mut crate::ServedChainSet<S>,
-    ) -> RnnGrads<S> {
+    ) -> Result<RnnGrads<S>, crate::ServedSubmitError> {
         assert!(!batch.is_empty(), "batched backward: empty batch");
         let t_len = batch[0].1.len();
         assert!(
@@ -522,8 +529,8 @@ impl<S: Scalar> VanillaRnn<S> {
         state.execute(batch.len(), &mut |k, result| {
             let (bits, states, _, g_logits) = &batch[k];
             self.accumulate_sample_grads(bits, states, g_logits, result, 0, &mut grads);
-        });
-        grads
+        })?;
+        Ok(grads)
     }
 
     /// Mixed-shape inference-gradient serving: independent per-sample
@@ -536,27 +543,56 @@ impl<S: Scalar> VanillaRnn<S> {
     /// planned executor's deterministic rounding) to running
     /// [`VanillaRnn::backward_bppsa`] per sample.
     ///
+    /// # Errors
+    ///
+    /// [`ServedSubmitError`](crate::ServedSubmitError) when a request is
+    /// refused past the shared service's retry budget — a shared front
+    /// door may shed load or have quarantined this sequence length's
+    /// shape; requests accepted before the refusal are waited out first.
+    ///
     /// # Panics
     ///
-    /// Panics if any request's sequence is empty, or if the service is
-    /// shutting down.
+    /// Panics if any request's sequence is empty, or if an *accepted*
+    /// request fails (possible only when the shared service runs a
+    /// breaker, hard deadlines, or fault injection).
     pub fn serve_sample_gradients(
         &self,
         service: &bppsa_serve::BppsaService<S>,
         requests: &[RnnBatchSample<'_, S>],
-    ) -> Vec<RnnGrads<S>> {
+    ) -> Result<Vec<RnnGrads<S>>, crate::ServedSubmitError> {
         let tickets: Vec<bppsa_serve::Ticket<S>> = requests
             .iter()
             .map(|_| bppsa_serve::Ticket::new())
             .collect();
+        // A shared service may transiently refuse (load shedding, lane
+        // warming under try-semantics, a quarantined shape in half-open);
+        // `submit_retrying` absorbs those under the service's RetryPolicy
+        // instead of failing the whole request set on the first refusal.
+        let mut submitted = 0;
+        let mut failure = None;
         for (k, ticket) in tickets.iter().enumerate() {
             let chain = self.build_batched_chain(&requests[k..k + 1]);
-            // A shared service may transiently refuse (load shedding, and
-            // defensively lane warming); time-bounded retry instead of
-            // failing the whole batch.
-            crate::served::submit_with_retry(service, chain, ticket, "serve_sample_gradients");
+            match service.submit_retrying(chain, ticket) {
+                Ok(()) => submitted += 1,
+                Err(e) => {
+                    failure = Some(crate::ServedSubmitError {
+                        index: k,
+                        refusal: e.kind(),
+                    });
+                    break;
+                }
+            }
         }
-        requests
+        if let Some(err) = failure {
+            // Never return with requests still in flight: land everything
+            // accepted before the refusal, then surface the error.
+            for ticket in &tickets[..submitted] {
+                let _ = ticket.wait();
+                let _ = ticket.take_chain();
+            }
+            return Err(err);
+        }
+        Ok(requests
             .iter()
             .zip(&tickets)
             .enumerate()
@@ -571,7 +607,7 @@ impl<S: Scalar> VanillaRnn<S> {
                 });
                 grads
             })
-            .collect()
+            .collect())
     }
 
     /// The scan half of [`VanillaRnn::backward_bppsa_batched_planned`]:
@@ -962,7 +998,9 @@ mod tests {
             ..bppsa_serve::ServeConfig::default()
         });
         for round in 0..2 {
-            let served = rnn.serve_sample_gradients(&service, &requests);
+            let served = rnn
+                .serve_sample_gradients(&service, &requests)
+                .expect("service accepts all requests");
             assert_eq!(served.len(), requests.len());
             for (k, (got, expect)) in served.iter().zip(&expected).enumerate() {
                 let diff = got.max_abs_diff(expect);

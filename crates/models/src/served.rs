@@ -19,56 +19,43 @@
 //! run — remainder batches included — routes through **one** service lane.
 
 use bppsa_core::{BackwardResult, JacobianChain};
-use bppsa_serve::{BppsaService, ServeConfig, SubmitError, Ticket};
+use bppsa_serve::{BppsaService, ServeConfig, SubmitRefusal, Ticket};
 use bppsa_tensor::Scalar;
 use std::time::Duration;
 
-/// How long [`submit_with_retry`] keeps retrying transient refusals. The
-/// bound is time-based, not attempt-based: an overloaded lane's queue
-/// drains one *flush* at a time, so the retry window must comfortably
-/// cover many flush durations — a fixed spin count can elapse inside a
-/// single flush and refuse spuriously.
-const SUBMIT_RETRY_BUDGET: Duration = Duration::from_secs(5);
-/// Backoff between retry attempts: well below a lane's deadline budget,
-/// far above a busy spin.
-const SUBMIT_RETRY_BACKOFF: Duration = Duration::from_micros(100);
+/// Terminal submit failure of a served backward pass: one request's
+/// submission was refused and the refusal stuck — either it is not
+/// retryable at all ([`SubmitRefusal::is_transient`] is `false`), or the
+/// service's [`RetryPolicy`](bppsa_serve::RetryPolicy) budget (configured
+/// in [`ServeConfig::retry`]) was exhausted retrying it. Retry pacing is
+/// entirely the service's: this crate no longer hard-codes budgets or
+/// backoffs.
+///
+/// Surfaced as a typed error (instead of the panic this path used to
+/// raise) so callers sharing a service with foreign traffic can decide —
+/// skip the batch, re-route to an owned executor, or abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServedSubmitError {
+    /// Index (within the submitted batch/request slice) of the refused
+    /// request. Requests before it were submitted and have been waited
+    /// out; requests after it were never submitted.
+    pub index: usize,
+    /// What the service answered, chain-free (the chain was returned to
+    /// its slot).
+    pub refusal: SubmitRefusal,
+}
 
-/// Submits through a (possibly shared) service, absorbing the transient
-/// refusals a serving front door is allowed to answer with: a
-/// [`SubmitError::Shed`] (load shedding) hands the chain back, so the
-/// training/inference path retries — sleeping briefly between attempts —
-/// until [`SUBMIT_RETRY_BUDGET`] elapses, then treats the refusal as
-/// fatal. Lane warm-up needs no retry here at all: the blocking `submit`
-/// *queues* behind a warming lane (only `try_submit` answers
-/// [`SubmitError::LaneWarming`]), so tolerance of cold shapes is by
-/// construction; the `LaneWarming` match arm below exists for pattern
-/// completeness only and is unreachable today. Shutdown and
-/// in-flight-ticket refusals are programming errors here and panic
-/// immediately.
-pub(crate) fn submit_with_retry<S: Scalar>(
-    service: &BppsaService<S>,
-    chain: JacobianChain<S>,
-    ticket: &Ticket<S>,
-    what: &str,
-) {
-    let mut chain = chain;
-    let start = std::time::Instant::now();
-    loop {
-        match service.submit(chain, ticket) {
-            Ok(()) => return,
-            Err(SubmitError::LaneWarming(c)) | Err(SubmitError::Shed(c)) => {
-                assert!(
-                    start.elapsed() < SUBMIT_RETRY_BUDGET,
-                    "{what}: submit refused for {SUBMIT_RETRY_BUDGET:?} \
-                     (lane warming or load shedding never cleared)"
-                );
-                chain = c;
-                std::thread::sleep(SUBMIT_RETRY_BACKOFF);
-            }
-            Err(e) => panic!("{what}: submit refused: {e}"),
-        }
+impl std::fmt::Display for ServedSubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "served backward: request {} refused past the retry budget: {}",
+            self.index, self.refusal
+        )
     }
 }
+
+impl std::error::Error for ServedSubmitError {}
 
 /// A lazily-built set of structurally-identical per-sample chains plus the
 /// [`BppsaService`] front door they are submitted through — the served
@@ -188,30 +175,68 @@ impl<S: Scalar> ServedChainSet<S> {
         }
     }
 
-    /// Submits the first `n` chains as independent service requests, waits
-    /// for all of them, and streams each result to `consume(k, result)` on
-    /// the calling thread (requests complete concurrently inside the
-    /// service; consumption is sequential, so `consume` may freely mutate
-    /// captured state). The chains return to their slots afterwards.
+    /// Submits the first `n` chains as independent service requests
+    /// (through the service's [`RetryPolicy`](bppsa_serve::RetryPolicy) —
+    /// transient refusals like shedding or quarantine retry with backoff),
+    /// waits for all of them, and streams each result to
+    /// `consume(k, result)` on the calling thread (requests complete
+    /// concurrently inside the service; consumption is sequential, so
+    /// `consume` may freely mutate captured state). The chains return to
+    /// their slots afterwards — on success *and* on error, so a refused
+    /// batch can simply be re-executed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServedSubmitError`] when a submission is refused past the retry
+    /// budget. Requests submitted before the refusal are waited out (their
+    /// results are discarded — the batch is incomplete) and every chain is
+    /// back in its slot when this returns.
     ///
     /// # Panics
     ///
     /// Panics if [`ServedChainSet::ensure`] has not provided `n` chains, or
-    /// if the service refuses a request (it never does between `new` and
-    /// drop).
-    pub fn execute(&mut self, n: usize, consume: &mut dyn FnMut(usize, &BackwardResult<S>)) {
+    /// if an *accepted* request fails (the owned service's default config
+    /// has no breaker, no hard deadline, and no fault injection, so an
+    /// accepted request can only fail on an internal bug).
+    pub fn execute(
+        &mut self,
+        n: usize,
+        consume: &mut dyn FnMut(usize, &BackwardResult<S>),
+    ) -> Result<(), ServedSubmitError> {
         let entry = self.entry.as_mut().expect("ensure() not called");
         let service = self.service.as_ref().expect("service created by ensure");
-        for (slot, ticket) in entry.chains[..n].iter_mut().zip(&entry.tickets) {
-            let chain = slot.take().expect("chain at rest");
-            submit_with_retry(service, chain, ticket, "served backward");
-        }
+        let mut failure = None;
+        let mut submitted = 0;
         for (k, (slot, ticket)) in entry.chains[..n].iter_mut().zip(&entry.tickets).enumerate() {
+            let chain = slot.take().expect("chain at rest");
+            match service.submit_retrying(chain, ticket) {
+                Ok(()) => submitted += 1,
+                Err(e) => {
+                    failure = Some(ServedSubmitError {
+                        index: k,
+                        refusal: e.kind(),
+                    });
+                    *slot = Some(e.into_chain());
+                    break;
+                }
+            }
+        }
+        // Even on a refusal, everything already accepted must land (and
+        // hand its chain back) before the error surfaces — never leave
+        // requests in flight behind a returned error.
+        for (k, (slot, ticket)) in entry.chains[..submitted]
+            .iter_mut()
+            .zip(&entry.tickets)
+            .enumerate()
+        {
             ticket
                 .wait()
                 .unwrap_or_else(|e| panic!("served backward: request {k} failed: {e}"));
-            ticket.with_result(|r| consume(k, r));
+            if failure.is_none() {
+                ticket.with_result(|r| consume(k, r));
+            }
             *slot = Some(ticket.take_chain());
         }
+        failure.map_or(Ok(()), Err)
     }
 }

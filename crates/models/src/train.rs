@@ -349,7 +349,13 @@ pub fn rnn_batch_step_cached<S: Scalar>(
             BackwardMethod::BppsaPooled { opts } => {
                 rnn.backward_bppsa_pooled(&batch, opts, state.pooled_mut())
             }
-            BackwardMethod::BppsaServed => rnn.backward_bppsa_served(&batch, state.served_mut()),
+            // The training loop owns its service (default config: no
+            // shedding, no breaker), so a sticky refusal here is fatal —
+            // but the typed error lets shared-service callers of the same
+            // API decide differently.
+            BackwardMethod::BppsaServed => rnn
+                .backward_bppsa_served(&batch, state.served_mut())
+                .unwrap_or_else(|e| panic!("served training backward: {e}")),
             BackwardMethod::BppsaFused { opts } => rnn.backward_bppsa_batched(&batch, opts),
             _ => unreachable!("guarded by the matches! above"),
         };

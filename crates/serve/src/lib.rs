@@ -84,16 +84,38 @@
 //! assert!(lane.warmup_time >= lane.plan_time);
 //! ```
 //!
+//! ## Supervision, circuit breaking, and fault injection
+//!
+//! Every failure a lane can suffer is mapped to a terminal ticket outcome —
+//! no accepted request ever hangs (see the [`service`](BppsaService) docs'
+//! *failure domains* section). A [`BreakerPolicy`] quarantines a shape
+//! whose batches panic repeatedly ([`LaneState::Quarantined`], refusals as
+//! [`SubmitError::Quarantined`]) and re-admits it through a single
+//! half-open probe after a cool-down; a hard [`DeadlinePolicy`] fails
+//! requests whose budget expired while queued with
+//! [`ServeError::DeadlineExceeded`]; a [`RetryPolicy`] in [`ServeConfig`]
+//! drives [`BppsaService::submit_retrying`] for transient refusals. All of
+//! it is testable deterministically through the seeded, scriptable
+//! [`FaultInjector`] — a disabled injector (the default) is a single
+//! pointer check on the hot path.
+//!
 //! See the [`service`](BppsaService) docs for the lane lifecycle, deadline
 //! policy, backpressure/shedding, panic attribution, and shutdown
 //! semantics.
 
 #![warn(missing_docs)]
 
+mod fault;
 mod metrics;
+mod retry;
 mod service;
 mod ticket;
 
-pub use metrics::{FlushCause, LaneMetricsSnapshot, LaneState};
-pub use service::{BppsaService, ServeConfig, ShedPolicy, SubmitError};
+pub use fault::{FaultAction, FaultInjector, FaultRates, FaultScript, InjectionPoint};
+pub use metrics::{FlushCause, LaneMetricsSnapshot, LaneState, RetiredRollup};
+pub use retry::RetryPolicy;
+pub use service::{
+    flush_decision, BppsaService, BreakerPolicy, DeadlinePolicy, FlushDecision, ServeConfig,
+    ShedPolicy, SubmitError, SubmitRefusal,
+};
 pub use ticket::{ServeError, Ticket};

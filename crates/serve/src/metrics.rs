@@ -15,12 +15,13 @@
 //! refusal so an operator can see *where* doomed traffic is being turned
 //! away.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::Duration;
 
-/// Where a lane is in its lifecycle. The full state machine is
+/// Where a lane is in its lifecycle. The normal state machine is
 /// `Warming → Live → Draining → Retired` (a lane evicted or shut down
-/// before its plan finished skips `Live`):
+/// before its plan finished skips `Live`); a lane whose circuit breaker
+/// trips exits through `Quarantined` instead of `Retired`:
 ///
 /// * **Warming** — the placeholder lane exists (shape key + bounded queue)
 ///   and its dispatcher is building the compiled plan and workspace pool.
@@ -32,6 +33,13 @@ use std::time::Duration;
 ///   no new requests are accepted, everything already queued still flushes.
 /// * **Retired** — the dispatcher has exited; the lane's counters remain
 ///   readable through the service's metrics registry.
+/// * **Quarantined** — the lane hit
+///   [`BreakerPolicy::max_consecutive_panics`](crate::BreakerPolicy::max_consecutive_panics)
+///   and exited, taking its *shape* into cool-down: new submits of the
+///   shape are refused with
+///   [`SubmitError::Quarantined`](crate::SubmitError::Quarantined) until
+///   the cool-down elapses, then exactly one half-open probe lane tests
+///   recovery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LaneState {
     /// Placeholder inserted; the dispatcher is planning off the router lock.
@@ -42,6 +50,8 @@ pub enum LaneState {
     Draining,
     /// Dispatcher exited; counters remain readable.
     Retired,
+    /// Breaker tripped; the shape is cooling down and submits are refused.
+    Quarantined,
 }
 
 /// Why a lane's dispatcher flushed a batch.
@@ -84,10 +94,22 @@ pub(crate) struct LaneMetrics {
     batch_sizes: Vec<AtomicU64>,
     plan_nanos: AtomicU64,
     warmup_nanos: AtomicU64,
+    batch_panics: AtomicU64,
+    consecutive_panics: AtomicU32,
+    breaker_tripped: AtomicU8,
+    deadline_expired: AtomicU64,
+    died: AtomicU8,
+    probe: bool,
 }
 
 impl LaneMetrics {
-    pub(crate) fn new(lane_id: usize, layers: usize, seed_len: usize, max_batch: usize) -> Self {
+    pub(crate) fn new(
+        lane_id: usize,
+        layers: usize,
+        seed_len: usize,
+        max_batch: usize,
+        probe: bool,
+    ) -> Self {
         Self {
             lane_id,
             layers,
@@ -100,6 +122,12 @@ impl LaneMetrics {
             batch_sizes: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
             plan_nanos: AtomicU64::new(0),
             warmup_nanos: AtomicU64::new(0),
+            batch_panics: AtomicU64::new(0),
+            consecutive_panics: AtomicU32::new(0),
+            breaker_tripped: AtomicU8::new(0),
+            deadline_expired: AtomicU64::new(0),
+            died: AtomicU8::new(0),
+            probe,
         }
     }
 
@@ -108,6 +136,7 @@ impl LaneMetrics {
             s if s == LaneState::Warming as u8 => LaneState::Warming,
             s if s == LaneState::Live as u8 => LaneState::Live,
             s if s == LaneState::Draining as u8 => LaneState::Draining,
+            s if s == LaneState::Quarantined as u8 => LaneState::Quarantined,
             _ => LaneState::Retired,
         }
     }
@@ -134,10 +163,23 @@ impl LaneMetrics {
             });
     }
 
-    /// Terminal: the dispatcher exited.
+    /// Terminal: the dispatcher exited. Never overwrites `Quarantined` —
+    /// a breaker trip is the more specific terminal state and must stay
+    /// visible to the router's purge/metrics readers.
     pub(crate) fn mark_retired(&self) {
+        let _ = self
+            .state
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |s| {
+                (s != LaneState::Quarantined as u8).then_some(LaneState::Retired as u8)
+            });
+    }
+
+    /// Terminal: the breaker tripped and the lane exited with its shape in
+    /// cool-down.
+    pub(crate) fn mark_quarantined(&self) {
+        self.breaker_tripped.store(1, Ordering::Relaxed);
         self.state
-            .store(LaneState::Retired as u8, Ordering::Release);
+            .store(LaneState::Quarantined as u8, Ordering::Release);
     }
 
     /// One request accepted into the queue, which now holds `depth` entries.
@@ -160,12 +202,39 @@ impl LaneMetrics {
         self.queue_depth.store(depth, Ordering::Relaxed);
     }
 
-    /// The warm-up failed and the queue was drained *unserved*: reset the
-    /// depth gauge. The drained requests stay counted in `submitted` but
-    /// never reach the flush histogram — the one case where a retired
-    /// lane's `requests_flushed()` is below its `submitted`.
+    /// The warm-up failed (or the dispatcher died) and the queue was
+    /// drained *unserved*: reset the depth gauge. The drained requests stay
+    /// counted in `submitted` but never reach the flush histogram — the
+    /// cases where a terminal lane's `requests_flushed()` is below its
+    /// `submitted`.
     pub(crate) fn record_failed_drain(&self) {
         self.queue_depth.store(0, Ordering::Relaxed);
+    }
+
+    /// One flush's batch execution panicked. Returns the new
+    /// consecutive-panic count (the breaker's input).
+    pub(crate) fn record_batch_panic(&self) -> u32 {
+        self.batch_panics.fetch_add(1, Ordering::Relaxed);
+        self.consecutive_panics.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// One flush's batch execution succeeded: the consecutive-panic streak
+    /// resets (the breaker only counts *uninterrupted* failures).
+    pub(crate) fn record_batch_success(&self) {
+        self.consecutive_panics.store(0, Ordering::Relaxed);
+    }
+
+    /// `n` queued requests were failed at flush for being past their hard
+    /// deadline, leaving `depth` entries queued.
+    pub(crate) fn record_deadline_expired(&self, n: u64, depth: usize) {
+        self.deadline_expired.fetch_add(n, Ordering::Relaxed);
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// The dispatcher thread died outside its panic guards; supervision
+    /// failed the lane's remaining tickets.
+    pub(crate) fn record_died(&self) {
+        self.died.store(1, Ordering::Relaxed);
     }
 
     /// Records the cold-start cost: `plan` is the symbolic phase alone (from
@@ -200,6 +269,12 @@ impl LaneMetrics {
                 .collect(),
             plan_time: Duration::from_nanos(self.plan_nanos.load(Ordering::Relaxed)),
             warmup_time: Duration::from_nanos(self.warmup_nanos.load(Ordering::Relaxed)),
+            batch_panics: self.batch_panics.load(Ordering::Relaxed),
+            consecutive_panics: self.consecutive_panics.load(Ordering::Relaxed),
+            breaker_tripped: self.breaker_tripped.load(Ordering::Relaxed) != 0,
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            died: self.died.load(Ordering::Relaxed) != 0,
+            probe: self.probe,
         }
     }
 }
@@ -249,6 +324,28 @@ pub struct LaneMetricsSnapshot {
     /// still reads [`LaneState::Warming`] — key "still warming" off
     /// `state`, not off this field.
     pub warmup_time: Duration,
+    /// Flushes whose batch execution panicked (each failed its whole batch
+    /// with [`ServeError::BatchPanicked`](crate::ServeError::BatchPanicked)).
+    pub batch_panics: u64,
+    /// Current uninterrupted batch-panic streak (gauge; resets to 0 on any
+    /// successful flush). The breaker trips when this reaches
+    /// [`BreakerPolicy::max_consecutive_panics`](crate::BreakerPolicy::max_consecutive_panics).
+    pub consecutive_panics: u32,
+    /// Whether this lane tripped its circuit breaker (implies the lane
+    /// ended [`LaneState::Quarantined`]).
+    pub breaker_tripped: bool,
+    /// Requests failed at flush with
+    /// [`ServeError::DeadlineExceeded`](crate::ServeError::DeadlineExceeded)
+    /// under [`DeadlinePolicy::Hard`](crate::DeadlinePolicy::Hard).
+    pub deadline_expired: u64,
+    /// Whether the dispatcher thread died outside its panic guards and
+    /// supervision failed the lane's remaining tickets with
+    /// [`ServeError::LaneDied`](crate::ServeError::LaneDied).
+    pub died: bool,
+    /// Whether this lane was the half-open probe for a quarantined shape
+    /// (created after cool-down to test recovery; one clean flush restores
+    /// the shape to service, one panic re-trips the quarantine).
+    pub probe: bool,
 }
 
 impl LaneMetricsSnapshot {
@@ -270,10 +367,14 @@ impl LaneMetricsSnapshot {
     /// Requests that have left through a flush: `Σ (k+1) ·
     /// batch_size_counts[k]`. On a quiescent lane this equals
     /// [`LaneMetricsSnapshot::submitted`] minus what is still queued —
-    /// except after a warm-up plan panic, where accepted requests were
-    /// drained unserved (failed with
-    /// [`ServeError::PlanPanicked`](crate::ServeError::PlanPanicked)) and
-    /// never reach the histogram.
+    /// except after a warm-up plan panic (requests drained unserved, failed
+    /// with [`ServeError::PlanPanicked`](crate::ServeError::PlanPanicked)),
+    /// a dispatcher death
+    /// ([`ServeError::LaneDied`](crate::ServeError::LaneDied)), a breaker
+    /// trip ([`ServeError::LaneQuarantined`](crate::ServeError::LaneQuarantined)),
+    /// or hard-deadline expiry
+    /// ([`ServeError::DeadlineExceeded`](crate::ServeError::DeadlineExceeded))
+    /// — requests failed through those paths never reach the histogram.
     pub fn requests_flushed(&self) -> u64 {
         self.batch_size_counts
             .iter()
@@ -283,13 +384,69 @@ impl LaneMetricsSnapshot {
     }
 }
 
+/// Aggregate counters folded out of terminal (retired or quarantined)
+/// lanes' snapshots once the metrics registry outgrows
+/// [`ServeConfig::retired_metrics_cap`](crate::ServeConfig::retired_metrics_cap).
+/// Per-lane identity (ids, shapes, histograms, timings) is dropped; the
+/// totals keep reconciling — `submitted` here plus the live registry's
+/// `submitted` still equals everything the service ever accepted. Read via
+/// [`BppsaService::metrics_rollup`](crate::BppsaService::metrics_rollup).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetiredRollup {
+    /// Terminal lanes folded into this rollup (no longer individually
+    /// listed by [`BppsaService::metrics`](crate::BppsaService::metrics)).
+    pub lanes: u64,
+    /// Sum of the folded lanes' `submitted`.
+    pub submitted: u64,
+    /// Sum of the folded lanes' `shed`.
+    pub shed: u64,
+    /// Sum of the folded lanes' [`FlushCause::MaxBatch`] flushes.
+    pub max_batch_flushes: u64,
+    /// Sum of the folded lanes' [`FlushCause::Deadline`] flushes.
+    pub deadline_flushes: u64,
+    /// Sum of the folded lanes' [`FlushCause::Drain`] flushes.
+    pub drain_flushes: u64,
+    /// Sum of the folded lanes' [`LaneMetricsSnapshot::requests_flushed`].
+    pub requests_flushed: u64,
+    /// Sum of the folded lanes' `batch_panics`.
+    pub batch_panics: u64,
+    /// Folded lanes whose breaker tripped.
+    pub breaker_trips: u64,
+    /// Sum of the folded lanes' `deadline_expired`.
+    pub deadline_expired: u64,
+    /// Folded lanes whose dispatcher died outside its panic guards.
+    pub died: u64,
+}
+
+impl RetiredRollup {
+    /// Folds one terminal lane's snapshot into the rollup.
+    pub(crate) fn absorb(&mut self, snap: &LaneMetricsSnapshot) {
+        self.lanes += 1;
+        self.submitted += snap.submitted;
+        self.shed += snap.shed;
+        self.max_batch_flushes += snap.max_batch_flushes;
+        self.deadline_flushes += snap.deadline_flushes;
+        self.drain_flushes += snap.drain_flushes;
+        self.requests_flushed += snap.requests_flushed();
+        self.batch_panics += snap.batch_panics;
+        self.breaker_trips += u64::from(snap.breaker_tripped);
+        self.deadline_expired += snap.deadline_expired;
+        self.died += u64::from(snap.died);
+    }
+
+    /// Total flushes across all causes in the folded lanes.
+    pub fn flushes(&self) -> u64 {
+        self.max_batch_flushes + self.deadline_flushes + self.drain_flushes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn state_machine_transitions() {
-        let m = LaneMetrics::new(0, 3, 4, 8);
+        let m = LaneMetrics::new(0, 3, 4, 8, false);
         assert_eq!(m.state(), LaneState::Warming);
         m.mark_live();
         assert_eq!(m.state(), LaneState::Live);
@@ -305,7 +462,7 @@ mod tests {
 
     #[test]
     fn eviction_while_warming_skips_live() {
-        let m = LaneMetrics::new(1, 3, 4, 8);
+        let m = LaneMetrics::new(1, 3, 4, 8, false);
         m.mark_draining();
         assert_eq!(m.state(), LaneState::Draining);
         m.mark_live(); // the dispatcher finishing its plan after the evict
@@ -313,8 +470,61 @@ mod tests {
     }
 
     #[test]
+    fn quarantine_is_sticky_against_retire() {
+        let m = LaneMetrics::new(3, 3, 4, 8, false);
+        m.mark_live();
+        m.mark_quarantined();
+        assert_eq!(m.state(), LaneState::Quarantined);
+        m.mark_retired(); // a later generic exit path must not mask the trip
+        assert_eq!(m.state(), LaneState::Quarantined);
+        m.mark_draining();
+        assert_eq!(m.state(), LaneState::Quarantined);
+        assert!(m.snapshot().breaker_tripped);
+    }
+
+    #[test]
+    fn breaker_streak_counts_and_resets() {
+        let m = LaneMetrics::new(4, 3, 4, 8, true);
+        assert_eq!(m.record_batch_panic(), 1);
+        assert_eq!(m.record_batch_panic(), 2);
+        m.record_batch_success();
+        assert_eq!(m.record_batch_panic(), 1, "success resets the streak");
+        let snap = m.snapshot();
+        assert_eq!(snap.batch_panics, 3, "total count never resets");
+        assert_eq!(snap.consecutive_panics, 1);
+        assert!(snap.probe);
+        assert!(!snap.died);
+    }
+
+    #[test]
+    fn rollup_absorbs_terminal_snapshots() {
+        let a = LaneMetrics::new(0, 3, 4, 4, false);
+        a.record_submit(1);
+        a.record_submit(2);
+        a.record_flush(FlushCause::MaxBatch, 2, 0);
+        a.record_batch_panic();
+        a.mark_quarantined();
+        let b = LaneMetrics::new(1, 3, 4, 4, false);
+        b.record_submit(1);
+        b.record_deadline_expired(1, 0);
+        b.record_died();
+        b.mark_retired();
+        let mut rollup = RetiredRollup::default();
+        rollup.absorb(&a.snapshot());
+        rollup.absorb(&b.snapshot());
+        assert_eq!(rollup.lanes, 2);
+        assert_eq!(rollup.submitted, 3);
+        assert_eq!(rollup.requests_flushed, 2);
+        assert_eq!(rollup.flushes(), 1);
+        assert_eq!(rollup.batch_panics, 1);
+        assert_eq!(rollup.breaker_trips, 1);
+        assert_eq!(rollup.deadline_expired, 1);
+        assert_eq!(rollup.died, 1);
+    }
+
+    #[test]
     fn snapshot_reflects_counts_and_histogram() {
-        let m = LaneMetrics::new(2, 5, 6, 4);
+        let m = LaneMetrics::new(2, 5, 6, 4, false);
         for depth in 1..=6 {
             m.record_submit(depth.min(4));
         }

@@ -56,14 +56,42 @@
 //! completes and every waiter wakes; only *new* submissions are refused
 //! with [`SubmitError::Shutdown`], handing the chain back.
 //!
+//! # Failure domains & supervision
+//!
+//! Failure handling is layered by *blast radius*. A panic inside one batch
+//! job is caught per flush and attributed per request
+//! ([`ServeError::BatchPanicked`]); a panic inside warm-up planning fails
+//! the lane's accepted queue ([`ServeError::PlanPanicked`]); a dispatcher
+//! dying **outside** every guard is caught by a drop-guard supervisor that
+//! fails everything the lane still held ([`ServeError::LaneDied`]) instead
+//! of hanging waiters. A lane whose batches panic
+//! [`BreakerPolicy::max_consecutive_panics`] times in a row trips its
+//! circuit breaker: the lane exits [`LaneState::Quarantined`] and its
+//! *shape* enters cool-down — new submits are refused with
+//! [`SubmitError::Quarantined`] until the cool-down elapses, after which
+//! exactly one **half-open probe** lane tests recovery (one clean flush
+//! restores the shape; one panic re-trips it). Under
+//! [`DeadlinePolicy::Hard`], requests already past their deadline at
+//! batch-assembly time fail with [`ServeError::DeadlineExceeded`] instead
+//! of executing late. All of it is exercised on purpose through the
+//! seeded/scripted [`FaultInjector`](crate::FaultInjector)
+//! ([`ServeConfig::faults`]), and transient refusals are absorbed by the
+//! config's [`RetryPolicy`] via [`BppsaService::submit_retrying`].
+//!
 //! # Observability
 //!
 //! [`BppsaService::metrics`] snapshots every lane ever created (retired
 //! lanes included): submit/shed/flush counts, flush causes, batch-size
-//! histogram, queue depth, and plan/warm-up time. See
-//! [`LaneMetricsSnapshot`].
+//! histogram, queue depth, plan/warm-up time, and the failure counters
+//! (batch panics, breaker trips, deadline expiries, dispatcher deaths).
+//! Terminal lanes beyond [`ServeConfig::retired_metrics_cap`] fold into a
+//! [`RetiredRollup`](crate::RetiredRollup)
+//! ([`BppsaService::metrics_rollup`]) so unbounded shape churn cannot grow
+//! the registry forever. See [`LaneMetricsSnapshot`].
 
-use crate::metrics::{FlushCause, LaneMetrics, LaneMetricsSnapshot, LaneState};
+use crate::fault::{FaultInjector, InjectionPoint};
+use crate::metrics::{FlushCause, LaneMetrics, LaneMetricsSnapshot, LaneState, RetiredRollup};
+use crate::retry::RetryPolicy;
 use crate::ticket::{ServeError, Ticket, TicketShared};
 use bppsa_core::{
     chain_matches_shape, BatchedBackward, BppsaOptions, JacobianChain, Mru, PlannedScan,
@@ -74,6 +102,7 @@ use bppsa_sparse::SparsityPattern;
 use bppsa_tensor::Scalar;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -118,10 +147,116 @@ impl ShedPolicy {
             assert!(depth >= 1, "ShedPolicy: max_queue_depth must be >= 1");
         }
     }
+
+    /// Whether the depth threshold refuses a request seeing `queue_depth`
+    /// entries already queued. Pure; monotone in `queue_depth`.
+    pub fn sheds_on_depth(&self, queue_depth: usize) -> bool {
+        self.max_queue_depth.is_some_and(|max| queue_depth >= max)
+    }
+
+    /// Whether the warming-feasibility threshold refuses a blocking request
+    /// with delay budget `delay` submitted to a still-warming lane. Pure;
+    /// anti-monotone in `delay` (a shorter budget never un-sheds).
+    pub fn sheds_on_warming_delay(&self, delay: Duration) -> bool {
+        self.min_warming_delay.is_some_and(|min| delay < min)
+    }
+
+    /// The full shed decision for a blocking submit, as the lane's enqueue
+    /// path applies it: a request that seeds its lane's warm-up is never
+    /// shed; otherwise the depth threshold applies always and the
+    /// warming-delay threshold applies while the lane is warming. Pure —
+    /// this is the function the shed proptests pin down; the submit path
+    /// calls the same component predicates.
+    pub fn should_shed(
+        &self,
+        queue_depth: usize,
+        warming: bool,
+        delay: Duration,
+        seeds_warmup: bool,
+    ) -> bool {
+        !seeds_warmup
+            && (self.sheds_on_depth(queue_depth) || (warming && self.sheds_on_warming_delay(delay)))
+    }
+}
+
+/// Per-lane circuit breaker: after this many *consecutive* batch panics the
+/// lane stops serving and quarantines its shape. Disabled by default.
+///
+/// Breaking exists to stop a poisoned shape from thrashing
+/// evict → replan → panic forever: without it, a shape whose every batch
+/// panics keeps its lane live (each panic fails only its own batch) and
+/// keeps accepting traffic. With a breaker armed, the tripped lane exits
+/// [`LaneState::Quarantined`], its still-queued requests fail with
+/// [`ServeError::LaneQuarantined`], and new submits of the shape are
+/// refused up front with [`SubmitError::Quarantined`] until
+/// [`BreakerPolicy::cooldown`] elapses — then exactly one **half-open
+/// probe** lane is created for the shape (its breaker threshold is 1): one
+/// clean flush restores the shape to full service, one panic re-trips the
+/// quarantine for another cool-down. A warm-up plan panic on a
+/// breaker-armed lane trips the quarantine immediately (threshold 1 —
+/// nothing can execute without a plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Trip after this many uninterrupted batch panics (`None` disables the
+    /// breaker). Must be non-zero when set. Probe lanes always use an
+    /// effective threshold of 1, whatever is configured here.
+    pub max_consecutive_panics: Option<u32>,
+    /// How long a tripped shape is refused before the half-open probe.
+    pub cooldown: Duration,
+}
+
+impl BreakerPolicy {
+    /// Never trip (the default): a panicking lane keeps serving, each panic
+    /// failing only its own batch.
+    pub fn disabled() -> Self {
+        Self {
+            max_consecutive_panics: None,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+
+    fn validate(&self) {
+        if let Some(n) = self.max_consecutive_panics {
+            assert!(n >= 1, "BreakerPolicy: max_consecutive_panics must be >= 1");
+        }
+    }
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// What happens to a request that is already past its deadline when its
+/// batch is assembled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeadlinePolicy {
+    /// Execute late (the default): the deadline only *times the flush*; a
+    /// request whose budget expired still runs in the next batch.
+    #[default]
+    Soft,
+    /// Fail late requests at flush with [`ServeError::DeadlineExceeded`]
+    /// instead of executing them — for callers that cannot use a stale
+    /// gradient. A request is failed only when it is past its deadline by
+    /// **more than `grace`** at batch-assembly time: the request whose
+    /// deadline *triggered* the flush is, by construction, exactly at its
+    /// deadline when assembly starts, so a zero grace would fail every
+    /// deadline-flushed request. Pick a grace above scheduling jitter
+    /// (tens of microseconds to a few milliseconds) and below the
+    /// staleness the caller can tolerate.
+    Hard {
+        /// Lateness tolerated before a request is failed rather than run.
+        grace: Duration,
+    },
 }
 
 /// Tuning knobs of a [`BppsaService`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Not `Copy` (the [`FaultInjector`] shares its schedule by `Arc`); clone
+/// freely — a clone shares the same fault schedule and is otherwise a
+/// plain value.
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Flush a lane as soon as this many requests are pending (also the
     /// upper bound on one fan-out's width). Must be non-zero.
@@ -144,6 +279,26 @@ pub struct ServeConfig {
     pub workspaces_per_lane: usize,
     /// Load-shedding thresholds (disabled by default).
     pub shed: ShedPolicy,
+    /// Consecutive-batch-panic circuit breaker + shape quarantine
+    /// (disabled by default).
+    pub breaker: BreakerPolicy,
+    /// What to do with requests already past their deadline at flush
+    /// ([`DeadlinePolicy::Soft`] — execute late — by default).
+    pub deadline: DeadlinePolicy,
+    /// Budget/backoff/jitter for [`BppsaService::submit_retrying`] and for
+    /// `bppsa-models`' served training paths.
+    pub retry: RetryPolicy,
+    /// Metrics-registry bound: once more than this many lanes have ever
+    /// been created, terminal (retired/quarantined) lanes' metrics fold —
+    /// oldest first — into the [`RetiredRollup`](crate::RetiredRollup)
+    /// until the registry is back at the cap, and their dispatchers'
+    /// already-finished `JoinHandle`s are reaped. Live lanes are never
+    /// folded, so the registry can still exceed the cap transiently while
+    /// more than `retired_metrics_cap` lanes are actually serving.
+    pub retired_metrics_cap: usize,
+    /// Fault-injection schedule (the disabled no-op by default — a single
+    /// branch per injection point, nothing on the steady-state path).
+    pub faults: FaultInjector,
 }
 
 impl Default for ServeConfig {
@@ -155,6 +310,11 @@ impl Default for ServeConfig {
             max_lanes: bppsa_core::PLAN_CACHE_CAPACITY,
             workspaces_per_lane: 0,
             shed: ShedPolicy::disabled(),
+            breaker: BreakerPolicy::disabled(),
+            deadline: DeadlinePolicy::Soft,
+            retry: RetryPolicy::default(),
+            retired_metrics_cap: 256,
+            faults: FaultInjector::disabled(),
         }
     }
 }
@@ -165,6 +325,8 @@ impl ServeConfig {
         assert!(self.queue_cap >= 1, "ServeConfig: queue_cap must be >= 1");
         assert!(self.max_lanes >= 1, "ServeConfig: max_lanes must be >= 1");
         self.shed.validate();
+        self.breaker.validate();
+        self.retry.validate();
     }
 
     fn workspace_capacity(&self) -> usize {
@@ -195,7 +357,69 @@ pub enum SubmitError<S> {
     /// The [`ShedPolicy`] refused the request (queue too deep, or the delay
     /// budget is infeasible while the lane warms).
     Shed(JacobianChain<S>),
+    /// The chain's shape is quarantined: a lane of this shape tripped its
+    /// [`BreakerPolicy`] (or is mid-probe) and the cool-down has not
+    /// produced a successful half-open probe yet. Transient — retry after
+    /// the cool-down (e.g. via [`BppsaService::submit_retrying`]), or
+    /// route the work elsewhere.
+    Quarantined(JacobianChain<S>),
 }
+
+/// The chain-free identity of a [`SubmitError`] — `Copy`, comparable, and
+/// displayable, for surfacing a refusal through layers that must not carry
+/// the (potentially large) chain along, e.g. `bppsa-models`' typed
+/// retry-exhaustion errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitRefusal {
+    /// See [`SubmitError::Shutdown`].
+    Shutdown,
+    /// See [`SubmitError::Backpressure`].
+    Backpressure,
+    /// See [`SubmitError::TicketInFlight`].
+    TicketInFlight,
+    /// See [`SubmitError::LaneWarming`].
+    LaneWarming,
+    /// See [`SubmitError::Shed`].
+    Shed,
+    /// See [`SubmitError::Quarantined`].
+    Quarantined,
+}
+
+impl SubmitRefusal {
+    /// Whether retrying can ever help: `true` for the transient refusals
+    /// ([`Backpressure`](Self::Backpressure),
+    /// [`LaneWarming`](Self::LaneWarming), [`Shed`](Self::Shed),
+    /// [`Quarantined`](Self::Quarantined)); `false` for
+    /// [`Shutdown`](Self::Shutdown) (permanent) and
+    /// [`TicketInFlight`](Self::TicketInFlight) (a caller bug).
+    pub fn is_transient(self) -> bool {
+        !matches!(
+            self,
+            SubmitRefusal::Shutdown | SubmitRefusal::TicketInFlight
+        )
+    }
+}
+
+impl std::fmt::Display for SubmitRefusal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitRefusal::Shutdown => write!(f, "service is shutting down"),
+            SubmitRefusal::Backpressure => write!(f, "lane queue is full"),
+            SubmitRefusal::TicketInFlight => {
+                write!(f, "ticket already has a request in flight")
+            }
+            SubmitRefusal::LaneWarming => {
+                write!(f, "lane is still warming (plan being built)")
+            }
+            SubmitRefusal::Shed => write!(f, "request shed by load-shedding policy"),
+            SubmitRefusal::Quarantined => {
+                write!(f, "chain shape is quarantined by a tripped circuit breaker")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitRefusal {}
 
 impl<S> SubmitError<S> {
     /// Reclaims the refused chain.
@@ -205,24 +429,27 @@ impl<S> SubmitError<S> {
             | SubmitError::Backpressure(c)
             | SubmitError::TicketInFlight(c)
             | SubmitError::LaneWarming(c)
-            | SubmitError::Shed(c) => c,
+            | SubmitError::Shed(c)
+            | SubmitError::Quarantined(c) => c,
+        }
+    }
+
+    /// The refusal's chain-free identity (see [`SubmitRefusal`]).
+    pub fn kind(&self) -> SubmitRefusal {
+        match self {
+            SubmitError::Shutdown(_) => SubmitRefusal::Shutdown,
+            SubmitError::Backpressure(_) => SubmitRefusal::Backpressure,
+            SubmitError::TicketInFlight(_) => SubmitRefusal::TicketInFlight,
+            SubmitError::LaneWarming(_) => SubmitRefusal::LaneWarming,
+            SubmitError::Shed(_) => SubmitRefusal::Shed,
+            SubmitError::Quarantined(_) => SubmitRefusal::Quarantined,
         }
     }
 }
 
 impl<S> std::fmt::Display for SubmitError<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SubmitError::Shutdown(_) => write!(f, "service is shutting down"),
-            SubmitError::Backpressure(_) => write!(f, "lane queue is full"),
-            SubmitError::TicketInFlight(_) => {
-                write!(f, "ticket already has a request in flight")
-            }
-            SubmitError::LaneWarming(_) => {
-                write!(f, "lane is still warming (plan being built)")
-            }
-            SubmitError::Shed(_) => write!(f, "request shed by load-shedding policy"),
-        }
+        self.kind().fmt(f)
     }
 }
 
@@ -255,7 +482,9 @@ impl<S> Drop for FlightGuard<'_, S> {
 /// [`PlannedScan::matches`](bppsa_core::PlannedScan::matches)
 /// (allocation-free, `Arc`-pointer fast path) — a warming lane (no plan
 /// yet) routes identically to a live one, and routing cannot drift from
-/// plan compatibility.
+/// plan compatibility. Clones share the pattern `Arc`s (quarantine entries
+/// key on a cloned shape).
+#[derive(Clone)]
 struct LaneShape {
     seed_len: usize,
     patterns: Vec<Arc<SparsityPattern>>,
@@ -287,6 +516,117 @@ impl LaneShape {
 
     fn matches<S: Scalar>(&self, chain: &JacobianChain<S>) -> bool {
         chain_matches_shape(chain, self.seed_len, &self.patterns)
+    }
+
+    /// Shape-to-shape identity, mirroring [`LaneShape::matches`]'s chain
+    /// semantics: same seed width, same per-layer patterns (`Arc`-pointer
+    /// fast path, structural fallback — distinct chains of one shape
+    /// family carry distinct pattern `Arc`s).
+    fn same_as(&self, other: &LaneShape) -> bool {
+        self.seed_len == other.seed_len
+            && self.patterns.len() == other.patterns.len()
+            && self
+                .patterns
+                .iter()
+                .zip(&other.patterns)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || a == b)
+    }
+}
+
+/// How the quarantine book answers a routing request for a shape.
+enum Admission {
+    /// Not quarantined: route normally.
+    Clear,
+    /// Quarantined and cooling down (or a probe is already in flight):
+    /// refuse with [`SubmitError::Quarantined`].
+    Refuse,
+    /// Cool-down elapsed and this caller won the half-open slot: create
+    /// the lane as a **probe** (breaker threshold 1; its first clean flush
+    /// clears the quarantine).
+    Probe,
+}
+
+/// The per-service registry of quarantined shapes, shared (`Arc`) between
+/// the router and every lane so a dispatcher can trip/clear its shape
+/// without reaching back into the router (no router↔lane lock cycle: the
+/// book's lock is a leaf — taken with the router lock held on the routing
+/// miss path, but never the other way around).
+#[derive(Default)]
+struct QuarantineBook {
+    entries: Mutex<Vec<QuarantineEntry>>,
+    /// Submits refused because their shape was quarantined (the realized
+    /// refusal rate under a panicking shape — also what the
+    /// `serve_recovery` bench reports).
+    refused: AtomicU64,
+}
+
+struct QuarantineEntry {
+    shape: LaneShape,
+    /// End of the cool-down; admissions before it are refused.
+    until: Instant,
+    /// A half-open probe lane is in flight: further admissions are refused
+    /// until the probe proves (entry removed) or re-trips (cool-down
+    /// extended) — exactly one prober at a time keeps recovery
+    /// deterministic.
+    probing: bool,
+}
+
+impl QuarantineBook {
+    /// The routing decision for `chain` at `now`.
+    fn admit<S: Scalar>(&self, chain: &JacobianChain<S>, now: Instant) -> Admission {
+        let mut entries = lock(&self.entries);
+        let Some(entry) = entries.iter_mut().find(|e| e.shape.matches(chain)) else {
+            return Admission::Clear;
+        };
+        if entry.probing || now < entry.until {
+            self.refused.fetch_add(1, Ordering::Relaxed);
+            return Admission::Refuse;
+        }
+        entry.probing = true;
+        Admission::Probe
+    }
+
+    /// Trips (or re-trips) the quarantine for `shape`: refusals until
+    /// `now + cooldown`, then one probe.
+    fn trip(&self, shape: &LaneShape, cooldown: Duration, now: Instant) {
+        let mut entries = lock(&self.entries);
+        if let Some(entry) = entries.iter_mut().find(|e| e.shape.same_as(shape)) {
+            entry.until = now + cooldown;
+            entry.probing = false;
+        } else {
+            entries.push(QuarantineEntry {
+                shape: shape.clone(),
+                until: now + cooldown,
+                probing: false,
+            });
+        }
+    }
+
+    /// A probe lane flushed cleanly: the shape returns to full service.
+    fn clear(&self, shape: &LaneShape) {
+        let mut entries = lock(&self.entries);
+        entries.retain(|e| !e.shape.same_as(shape));
+    }
+
+    /// A probe lane exited without proving (evicted, shut down, drained
+    /// empty): release the half-open slot so the next submit of the shape
+    /// probes again instead of being refused forever. No-op unless a probe
+    /// is actually in flight for `shape` — after a re-trip (`probing`
+    /// already false) or a clear (entry gone) there is nothing to release.
+    fn abort_probe(&self, shape: &LaneShape) {
+        let mut entries = lock(&self.entries);
+        if let Some(entry) = entries.iter_mut().find(|e| e.shape.same_as(shape)) {
+            entry.probing = false;
+        }
+    }
+
+    fn refusals(&self) -> u64 {
+        self.refused.load(Ordering::Relaxed)
+    }
+
+    /// Shapes currently under quarantine (cooling down or mid-probe).
+    fn len(&self) -> usize {
+        lock(&self.entries).len()
     }
 }
 
@@ -326,9 +666,22 @@ struct Lane<S> {
     submitted: Condvar,
     /// Submitter wakeup: the dispatcher drained queue room.
     space: Condvar,
+    lane_id: usize,
     max_batch: usize,
     queue_cap: usize,
     shed: ShedPolicy,
+    /// Effective consecutive-panic trip threshold: `None` = breaker
+    /// disabled; probe lanes get `Some(1)` whatever the config says.
+    breaker_threshold: Option<u32>,
+    /// Cool-down applied when this lane trips.
+    cooldown: Duration,
+    deadline_policy: DeadlinePolicy,
+    faults: FaultInjector,
+    /// The service's quarantine registry (shared so the dispatcher can
+    /// trip/clear/abort its shape without the router).
+    book: Arc<QuarantineBook>,
+    /// Whether this lane is a half-open probe for a quarantined shape.
+    probe: bool,
     metrics: Arc<LaneMetrics>,
 }
 
@@ -337,13 +690,27 @@ impl<S: Scalar> Lane<S> {
     /// submitter needs to route and enqueue, and nothing that requires
     /// planning. Cheap enough to build under the router lock; the plan and
     /// workspace pool are late-bound by the dispatcher ([`warm_up`]).
-    fn placeholder(shape: LaneShape, config: &ServeConfig, lane_id: usize) -> Self {
+    fn placeholder(
+        shape: LaneShape,
+        config: &ServeConfig,
+        lane_id: usize,
+        probe: bool,
+        book: Arc<QuarantineBook>,
+    ) -> Self {
         let metrics = Arc::new(LaneMetrics::new(
             lane_id,
             shape.patterns.len(),
             shape.seed_len,
             config.max_batch,
+            probe,
         ));
+        // A probe must prove itself on its very first flush: any panic
+        // re-trips, whatever threshold full-service lanes get.
+        let breaker_threshold =
+            config
+                .breaker
+                .max_consecutive_panics
+                .map(|n| if probe { 1 } else { n });
         Self {
             shape,
             batched: OnceLock::new(),
@@ -353,9 +720,16 @@ impl<S: Scalar> Lane<S> {
             }),
             submitted: Condvar::new(),
             space: Condvar::new(),
+            lane_id,
             max_batch: config.max_batch,
             queue_cap: config.queue_cap,
             shed: config.shed,
+            breaker_threshold,
+            cooldown: config.breaker.cooldown,
+            deadline_policy: config.deadline,
+            faults: config.faults.clone(),
+            book,
+            probe,
             metrics,
         }
     }
@@ -392,27 +766,24 @@ impl<S> Lane<S> {
             let warming = self.metrics.state() == LaneState::Warming;
             let seeds_warmup = seed || (warming && q.pending.is_empty());
             if !seeds_warmup {
-                if let Some(depth) = self.shed.max_queue_depth {
-                    if q.pending.len() >= depth {
-                        self.metrics.record_shed();
-                        return Err((chain, PushRefusal::Shed));
-                    }
+                // Same arithmetic as the pure `ShedPolicy::should_shed`
+                // (pinned by proptest), applied in refusal-precedence
+                // order: the depth threshold sheds in both modes, then a
+                // warming lane refuses non-blocking callers (they can
+                // route traffic elsewhere), then a blocking request whose
+                // delay budget the warm-up would consume anyway is shed;
+                // everyone else queues (or parks below on a full queue).
+                if self.shed.sheds_on_depth(q.pending.len()) {
+                    self.metrics.record_shed();
+                    return Err((chain, PushRefusal::Shed));
                 }
                 if warming {
-                    // The plan is still being built on the dispatcher
-                    // thread. Non-blocking callers are told so (they can
-                    // route traffic elsewhere); a blocking request whose
-                    // delay budget the warm-up would consume anyway is shed
-                    // if the policy says so; everyone else queues (or parks
-                    // below on a full warming queue).
                     if !block {
                         return Err((chain, PushRefusal::Warming));
                     }
-                    if let Some(min) = self.shed.min_warming_delay {
-                        if delay < min {
-                            self.metrics.record_shed();
-                            return Err((chain, PushRefusal::Shed));
-                        }
+                    if self.shed.sheds_on_warming_delay(delay) {
+                        self.metrics.record_shed();
+                        return Err((chain, PushRefusal::Shed));
                     }
                 }
             }
@@ -445,6 +816,21 @@ impl<S> Lane<S> {
         self.submitted.notify_all();
         self.space.notify_all();
     }
+
+    /// Closes the lane and fails everything it accepted with `err` — the
+    /// drain used by every "this lane can never serve" exit (warm-up
+    /// panic, breaker trip, dispatcher death). Chains are handed back,
+    /// every waiter wakes, and parked submitters re-route.
+    fn fail_queue(&self, err: ServeError) {
+        self.close();
+        let mut q = lock(&self.queue);
+        while let Some(req) = q.pending.pop_front() {
+            req.ticket.finish(req.chain, Some(err));
+        }
+        drop(q);
+        self.metrics.record_failed_drain();
+        self.space.notify_all();
+    }
 }
 
 /// The warming phase of a lane's dispatcher: wait for the lane's first
@@ -473,6 +859,11 @@ fn warm_up<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) -> bool {
     };
     let warm_start = Instant::now();
     let built = catch_unwind(AssertUnwindSafe(|| {
+        // Injection point: a scripted/seeded plan panic exercises the
+        // PlanPanicked drain (and plan-panic quarantine); a stall extends
+        // the Warming window deterministically.
+        lane.faults
+            .fire(InjectionPoint::PlanBuild { lane: lane.lane_id });
         let plan = Arc::new(PlannedScan::plan(&template, BppsaOptions::serial()));
         let capacity = config.workspace_capacity();
         let batched = BatchedBackward::with_capacity(plan, capacity);
@@ -490,18 +881,126 @@ fn warm_up<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) -> bool {
         }
         Err(_) => {
             // Shape validity was checked at submit, so a planner panic here
-            // is an internal bug — but it must not hang tickets. Close the
-            // lane and fail everything it accepted.
-            lane.close();
-            let mut q = lock(&lane.queue);
-            while let Some(req) = q.pending.pop_front() {
-                req.ticket.finish(req.chain, Some(ServeError::PlanPanicked));
+            // is an internal bug — but it must not hang tickets. With a
+            // breaker armed, it also quarantines the shape immediately
+            // (nothing can execute without a plan, so the effective
+            // threshold is 1): without that, a plan-panicking shape would
+            // thrash evict → re-create → re-plan → panic on every submit.
+            if lane.breaker_threshold.is_some() {
+                lane.book.trip(&lane.shape, lane.cooldown, Instant::now());
+                lane.metrics.mark_quarantined();
             }
-            drop(q);
-            lane.metrics.record_failed_drain();
-            lane.space.notify_all();
+            lane.fail_queue(ServeError::PlanPanicked);
             false
         }
+    }
+}
+
+/// What a lane's dispatcher should do next, given the pending requests'
+/// deadlines, the queue's open flag, and the time. Pure — extracted from
+/// the dispatcher's wait loop so the deadline-ordering proptest can pin the
+/// timer arithmetic without threads; the dispatcher calls exactly this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushDecision {
+    /// Flush now, attributing the batch to this cause.
+    Flush(FlushCause),
+    /// Nothing is due yet: sleep until the **earliest** pending deadline
+    /// (re-deciding on any new arrival). Deadlines are submit-time +
+    /// per-request budget, so arrival order does not order them — a
+    /// short-budget request queued behind long-budget ones still bounds
+    /// the wait.
+    WaitUntil(Instant),
+    /// Queue empty and open: park until a request arrives.
+    Park,
+    /// Queue empty and closed: drained — the dispatcher retires.
+    Retire,
+}
+
+/// The dispatcher's flush-timing decision (see [`FlushDecision`]):
+/// `deadlines` are the pending requests' absolute deadlines (any order),
+/// `open` whether the lane still accepts work, `max_batch` the flush width
+/// cap, `now` the decision time. Allocation-free; O(pending).
+pub fn flush_decision(
+    deadlines: impl IntoIterator<Item = Instant>,
+    open: bool,
+    max_batch: usize,
+    now: Instant,
+) -> FlushDecision {
+    let mut pending = 0usize;
+    let mut earliest: Option<Instant> = None;
+    for deadline in deadlines {
+        pending += 1;
+        earliest = Some(earliest.map_or(deadline, |e| e.min(deadline)));
+    }
+    if pending >= max_batch {
+        return FlushDecision::Flush(FlushCause::MaxBatch); // full batch never waits
+    }
+    let Some(earliest) = earliest else {
+        return if open {
+            FlushDecision::Park
+        } else {
+            FlushDecision::Retire
+        };
+    };
+    if !open {
+        return FlushDecision::Flush(FlushCause::Drain); // flush the remainder immediately
+    }
+    if now >= earliest {
+        FlushDecision::Flush(FlushCause::Deadline)
+    } else {
+        FlushDecision::WaitUntil(earliest)
+    }
+}
+
+/// Drop-guard supervision for a dispatcher thread: owns the batch scratch
+/// (so an unwinding dispatcher still holds its assembled requests), and on
+/// a panic that escapes every `catch_unwind` — injected dispatcher kills,
+/// or an internal bug outside the guarded regions — fails everything the
+/// lane holds with [`ServeError::LaneDied`] instead of leaving waiters
+/// parked forever on tickets nothing will ever complete.
+///
+/// On *every* dispatcher exit (clean or not) the guard also releases the
+/// shape's half-open probe slot if this lane held one and never proved it
+/// (a probe evicted or shut down mid-flight must not wedge its shape in
+/// "probing" forever); the release is a no-op after a clear or a re-trip.
+struct Supervisor<'a, S: Scalar> {
+    lane: &'a Lane<S>,
+    chains: Vec<JacobianChain<S>>,
+    tickets: Vec<Arc<TicketShared<S>>>,
+    deadlines: Vec<Instant>,
+}
+
+impl<'a, S: Scalar> Supervisor<'a, S> {
+    fn new(lane: &'a Lane<S>) -> Self {
+        Self {
+            lane,
+            chains: Vec::with_capacity(lane.max_batch),
+            tickets: Vec::with_capacity(lane.max_batch),
+            deadlines: Vec::with_capacity(lane.max_batch),
+        }
+    }
+}
+
+impl<S: Scalar> Drop for Supervisor<'_, S> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Everything here must be panic-free: a panic in drop during
+            // unwind aborts the process. `finish`/`close`/`fail_queue`
+            // absorb mutex poison and take no foreign callbacks. Ordering
+            // matters: the death is recorded and the lane made unroutable
+            // (queue closed, state terminal) *before* any ticket fails, so
+            // a waiter woken by a `LaneDied` outcome already sees the death
+            // in the metrics and a resubmit routes to a fresh lane instead
+            // of racing into this one's queue.
+            self.lane.metrics.record_died();
+            self.lane.fail_queue(ServeError::LaneDied);
+            self.lane.metrics.mark_retired();
+            self.deadlines.clear();
+            for (chain, ticket) in self.chains.drain(..).zip(self.tickets.drain(..)) {
+                ticket.finish(chain, Some(ServeError::LaneDied));
+            }
+        }
+        self.lane.book.abort_probe(&self.lane.shape);
     }
 }
 
@@ -511,66 +1010,122 @@ fn warm_up<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) -> bool {
 /// batch scratch vectors are reused across flushes, so the dispatcher's
 /// steady state allocates nothing.
 fn dispatcher_loop<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) {
+    let mut sup = Supervisor::new(lane);
+    // Injection point: a scripted panic here escapes every catch_unwind —
+    // the supervisor's drop guard fails the lane with `LaneDied` (the
+    // "dispatcher dies outside any guarded region" failure domain).
+    lane.faults
+        .fire(InjectionPoint::DispatcherStart { lane: lane.lane_id });
     if !warm_up(lane, config) {
         lane.metrics.mark_retired();
         return;
     }
     let batched = lane.batched.get().expect("warm-up published the executor");
     let max_batch = lane.max_batch;
-    let mut chains: Vec<JacobianChain<S>> = Vec::with_capacity(max_batch);
-    let mut tickets: Vec<Arc<TicketShared<S>>> = Vec::with_capacity(max_batch);
+    // Counts assembled batches; scripted `BatchExecute`/`FlushTiming` rules
+    // index flushes by this (assembly order), not by executed batches.
+    let mut flush_idx: u64 = 0;
     loop {
+        let cause;
+        let depth_after;
         {
             let mut q = lock(&lane.queue);
-            let cause = loop {
-                if q.pending.len() >= max_batch {
-                    break FlushCause::MaxBatch; // a full batch never waits
-                }
-                if q.pending.is_empty() {
-                    if !q.open {
+            cause = loop {
+                // Deadlines are submit-time + per-request budget, so
+                // arrival order does not order them: a short-budget request
+                // queued behind long-budget ones must still flush within
+                // *its own* budget. O(pending) per wake, bounded by
+                // queue_cap, allocation-free.
+                match flush_decision(
+                    q.pending.iter().map(|r| r.deadline),
+                    q.open,
+                    max_batch,
+                    Instant::now(),
+                ) {
+                    FlushDecision::Flush(cause) => break cause,
+                    FlushDecision::Retire => {
                         lane.metrics.mark_retired();
-                        return; // closed and drained: retire
+                        return; // closed and drained
                     }
-                    q = lane
-                        .submitted
-                        .wait(q)
-                        .unwrap_or_else(PoisonError::into_inner);
-                    continue;
+                    FlushDecision::Park => {
+                        q = lane
+                            .submitted
+                            .wait(q)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    FlushDecision::WaitUntil(deadline) => {
+                        q = lane
+                            .submitted
+                            .wait_timeout(q, deadline.saturating_duration_since(Instant::now()))
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .0;
+                    }
                 }
-                if !q.open {
-                    break FlushCause::Drain; // flush the remainder immediately
-                }
-                // Earliest-deadline flush. Deadlines are submit-time +
-                // per-request budget, so arrival order does not order them:
-                // a short-budget request queued behind long-budget ones
-                // must still flush within *its own* budget. O(pending) per
-                // wake, bounded by queue_cap, allocation-free.
-                let deadline = q
-                    .pending
-                    .iter()
-                    .map(|r| r.deadline)
-                    .min()
-                    .expect("nonempty");
-                let now = Instant::now();
-                if now >= deadline {
-                    break FlushCause::Deadline;
-                }
-                q = lane
-                    .submitted
-                    .wait_timeout(q, deadline - now)
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .0;
             };
             for _ in 0..q.pending.len().min(max_batch) {
                 let req = q.pending.pop_front().expect("counted above");
-                chains.push(req.chain);
-                tickets.push(req.ticket);
+                sup.chains.push(req.chain);
+                sup.tickets.push(req.ticket);
+                sup.deadlines.push(req.deadline);
             }
-            lane.metrics
-                .record_flush(cause, chains.len(), q.pending.len());
+            depth_after = q.pending.len();
         }
         lane.space.notify_all();
-        flush(batched, &mut chains, &mut tickets);
+        // Injection point, deliberately *outside* any catch_unwind: a stall
+        // here ages the assembled batch (the hard-deadline test vector); a
+        // panic kills the dispatcher mid-flight with the batch scratch
+        // populated, exercising the supervisor's `LaneDied` drain.
+        lane.faults.fire(InjectionPoint::FlushTiming {
+            lane: lane.lane_id,
+            flush: flush_idx,
+        });
+        // Hard-deadline enforcement happens at assembly, after the flush
+        // timer and any injected stall: a request whose deadline passed
+        // more than `grace` ago fails with `DeadlineExceeded` instead of
+        // executing. Strictly-greater-than-grace, because on a
+        // deadline-cause flush the triggering request is *at* its deadline
+        // by construction — zero grace would still execute it unless the
+        // dispatcher overslept.
+        if let DeadlinePolicy::Hard { grace } = lane.deadline_policy {
+            let cutoff = Instant::now();
+            let mut keep = sup.chains.len();
+            let mut i = 0;
+            while i < keep {
+                if cutoff.saturating_duration_since(sup.deadlines[i]) > grace {
+                    keep -= 1;
+                    sup.chains.swap(i, keep);
+                    sup.tickets.swap(i, keep);
+                    sup.deadlines.swap(i, keep);
+                } else {
+                    i += 1;
+                }
+            }
+            let expired = sup.chains.len() - keep;
+            if expired > 0 {
+                lane.metrics
+                    .record_deadline_expired(expired as u64, depth_after);
+                for _ in 0..expired {
+                    let chain = sup.chains.pop().expect("counted above");
+                    let ticket = sup.tickets.pop().expect("counted above");
+                    sup.deadlines.pop();
+                    ticket.finish(chain, Some(ServeError::DeadlineExceeded));
+                }
+            }
+        }
+        sup.deadlines.clear();
+        if !sup.chains.is_empty() {
+            lane.metrics
+                .record_flush(cause, sup.chains.len(), depth_after);
+            let tripped = flush(batched, lane, flush_idx, &mut sup.chains, &mut sup.tickets);
+            if tripped {
+                // The breaker quarantined the shape: `flush` already failed
+                // the queue, and `Quarantined` is sticky against any later
+                // `mark_retired` (the state must outlive the lane so
+                // `metrics()` reports the trip).
+                return;
+            }
+        }
+        flush_idx += 1;
     }
 }
 
@@ -581,38 +1136,130 @@ fn dispatcher_loop<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) {
 /// batches — the worker pool's poison signal is generation-scoped (see
 /// `bppsa-scan`'s pool docs), and it is caught here before the dispatcher
 /// touches the next batch.
+///
+/// This is also where the circuit breaker observes outcomes: a success
+/// resets the consecutive-panic streak (and, on a half-open probe lane,
+/// proves the shape healthy — the quarantine lifts); a panic extends it,
+/// and when the streak reaches the [`BreakerPolicy`] threshold the shape is
+/// quarantined — pending requests fail with
+/// [`crate::ServeError::LaneQuarantined`] and the returned flag tells the
+/// dispatcher to exit.
 fn flush<S: Scalar>(
     batched: &BatchedBackward<S>,
+    lane: &Lane<S>,
+    flush_idx: u64,
     chains: &mut Vec<JacobianChain<S>>,
     tickets: &mut Vec<Arc<TicketShared<S>>>,
-) {
+) -> bool {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // Injection point: indistinguishable from a kernel panic to
+        // everything downstream — per-request attribution, breaker streaks.
+        lane.faults.fire(InjectionPoint::BatchExecute {
+            lane: lane.lane_id,
+            flush: flush_idx,
+        });
         batched.execute(chains, &|i, result| tickets[i].stage(result));
     }));
     let failure = outcome.is_err().then_some(ServeError::BatchPanicked);
     for (chain, ticket) in chains.drain(..).zip(tickets.drain(..)) {
         ticket.finish(chain, failure);
     }
+    if outcome.is_ok() {
+        lane.metrics.record_batch_success();
+        if lane.probe {
+            // Half-open probe proved the shape healthy: lift the
+            // quarantine (no-op after the first success). The probe lane
+            // itself keeps its threshold-1 breaker for its lifetime; the
+            // shape returns to the configured threshold when a fresh lane
+            // is created for it.
+            lane.book.clear(&lane.shape);
+        }
+        return false;
+    }
+    let streak = lane.metrics.record_batch_panic();
+    if lane.breaker_threshold.is_some_and(|t| streak >= t) {
+        lane.book.trip(&lane.shape, lane.cooldown, Instant::now());
+        lane.metrics.mark_quarantined();
+        lane.fail_queue(ServeError::LaneQuarantined);
+        return true;
+    }
+    false
 }
 
 struct Router<S> {
     lanes: Mru<Arc<Lane<S>>>,
-    /// Every dispatcher ever spawned (including retired lanes'), joined at
-    /// shutdown.
+    /// Dispatchers not yet reaped: joined opportunistically on the lane
+    /// creation path once finished (so a churning workload does not
+    /// accumulate one zombie `JoinHandle` per retired lane), and the
+    /// remainder at shutdown.
     handles: Vec<JoinHandle<()>>,
-    /// Metrics of every lane ever created, in creation (`lane_id`) order —
-    /// retained past eviction/retirement so [`BppsaService::metrics`] can
-    /// report drained lanes. A `LaneMetrics` is a fixed set of atomics, so
-    /// the registry's footprint is negligible next to a live lane's
-    /// workspaces.
+    /// Metrics of every lane not yet compacted, in creation (`lane_id`)
+    /// order — retained past eviction/retirement so
+    /// [`BppsaService::metrics`] can report drained lanes. A `LaneMetrics`
+    /// is a fixed set of atomics, so the registry's footprint is negligible
+    /// next to a live lane's workspaces; still, it is bounded by
+    /// [`ServeConfig::retired_metrics_cap`] — the oldest *terminal* lanes
+    /// beyond the cap fold into [`Router::rollup`].
     metrics: Vec<Arc<LaneMetrics>>,
+    /// Aggregate of every lane compacted out of [`Router::metrics`].
+    rollup: RetiredRollup,
     open: bool,
     lanes_created: usize,
 }
 
+impl<S> Router<S> {
+    /// Housekeeping on the lane-creation slow path (never on the
+    /// steady-state submit path): join dispatchers that have already
+    /// exited, and fold the oldest terminal (Retired/Quarantined) lanes'
+    /// metrics into the rollup once the registry exceeds `cap`. Live lanes
+    /// are never compacted, so the registry can transiently exceed `cap`
+    /// when more than `cap` lanes are live at once.
+    fn reap_and_compact(&mut self, cap: usize) {
+        for handle in std::mem::take(&mut self.handles) {
+            if handle.is_finished() {
+                // The dispatcher already exited; join cannot block. A
+                // panicked dispatcher was handled by its supervisor — the
+                // unwind payload itself is of no further interest.
+                let _ = handle.join();
+            } else {
+                self.handles.push(handle);
+            }
+        }
+        if self.metrics.len() > cap {
+            let mut rollup = self.rollup;
+            let mut excess = self.metrics.len() - cap;
+            self.metrics.retain(|m| {
+                let terminal = matches!(m.state(), LaneState::Retired | LaneState::Quarantined);
+                if excess > 0 && terminal {
+                    rollup.absorb(&m.snapshot());
+                    excess -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            self.rollup = rollup;
+        }
+    }
+}
+
 struct ServiceShared<S> {
     config: ServeConfig,
+    /// Shape-keyed quarantine, shared with every lane (lanes trip/clear it
+    /// from dispatcher threads; the router consults it on the miss path).
+    /// Its internal lock is a leaf: taken under the router lock on the
+    /// miss path, never the other way around.
+    book: Arc<QuarantineBook>,
     router: Mutex<Router<S>>,
+}
+
+/// Why [`BppsaService::route`] refused to produce a lane.
+enum RouteRefusal {
+    /// The service is shutting down.
+    Shutdown,
+    /// The chain's shape is quarantined and its cool-down has not elapsed
+    /// (or another request already holds the half-open probe slot).
+    Quarantined,
 }
 
 /// A deadline micro-batching front door over [`BatchedBackward`]: accepts
@@ -672,13 +1319,16 @@ impl<S> BppsaService<S> {
     /// `max_lanes`, or a zero shed `max_queue_depth`.
     pub fn new(config: ServeConfig) -> Self {
         config.validate();
+        let max_lanes = config.max_lanes;
         Self {
             shared: Arc::new(ServiceShared {
                 config,
+                book: Arc::new(QuarantineBook::default()),
                 router: Mutex::new(Router {
-                    lanes: Mru::new(config.max_lanes),
+                    lanes: Mru::new(max_lanes),
                     handles: Vec::new(),
                     metrics: Vec::new(),
+                    rollup: RetiredRollup::default(),
                     open: true,
                     lanes_created: 0,
                 }),
@@ -686,9 +1336,10 @@ impl<S> BppsaService<S> {
         }
     }
 
-    /// The service's configuration.
+    /// A clone of the service's configuration (the service itself keeps
+    /// the original — configuration is fixed at construction).
     pub fn config(&self) -> ServeConfig {
-        self.shared.config
+        self.shared.config.clone()
     }
 
     /// Number of currently live lanes (distinct shapes being served,
@@ -703,16 +1354,43 @@ impl<S> BppsaService<S> {
         lock(&self.shared.router).lanes_created
     }
 
-    /// Point-in-time metrics for every lane ever created (evicted and
-    /// retired lanes included), in creation order — so
-    /// `metrics()[k].lane_id == k`. See [`LaneMetricsSnapshot`] for the
-    /// fields and their consistency caveats.
+    /// Point-in-time metrics for every lane still in the registry (evicted
+    /// and retired lanes included), in creation (`lane_id`) order. The
+    /// registry is bounded by [`ServeConfig::retired_metrics_cap`]: once it
+    /// overflows, the oldest terminal lanes are folded into
+    /// [`BppsaService::metrics_rollup`] and no longer appear here — so
+    /// `lane_id`s are ascending but not necessarily contiguous from zero.
+    /// See [`LaneMetricsSnapshot`] for the fields and their consistency
+    /// caveats.
     pub fn metrics(&self) -> Vec<LaneMetricsSnapshot> {
         // Only the registry clone (a memcpy of `Arc`s) happens under the
         // router lock; the per-lane atomic loads and histogram copies run
         // lock-free, so a polling monitor never serializes request routing.
         let lanes: Vec<Arc<LaneMetrics>> = lock(&self.shared.router).metrics.clone();
         lanes.iter().map(|m| m.snapshot()).collect()
+    }
+
+    /// Aggregate counters of every lane compacted out of the
+    /// [`BppsaService::metrics`] registry (see
+    /// [`ServeConfig::retired_metrics_cap`]). Total traffic ever served is
+    /// the rollup plus the sum over current [`BppsaService::metrics`].
+    pub fn metrics_rollup(&self) -> RetiredRollup {
+        lock(&self.shared.router).rollup
+    }
+
+    /// How many submissions were refused at the door because their shape
+    /// was quarantined ([`SubmitError::Quarantined`]). Realized refusal
+    /// work is one shape comparison under a leaf lock — no lane, queue, or
+    /// planner is touched.
+    pub fn quarantine_refusals(&self) -> u64 {
+        self.shared.book.refusals()
+    }
+
+    /// Number of shapes currently tracked by the quarantine book (tripped
+    /// and not yet proven healthy by a half-open probe). Cool-down expiry
+    /// alone does not remove an entry — a successful probe does.
+    pub fn quarantined_shapes(&self) -> usize {
+        self.shared.book.len()
     }
 
     /// Gracefully shuts the service down: refuses new submissions, closes
@@ -829,9 +1507,16 @@ impl<S: Scalar> BppsaService<S> {
                 std::mem::forget(guard);
                 routed
             };
-            let Some((lane, created)) = routed else {
-                shared.abort_flight();
-                return Err(SubmitError::Shutdown(chain));
+            let (lane, created) = match routed {
+                Ok(pair) => pair,
+                Err(RouteRefusal::Shutdown) => {
+                    shared.abort_flight();
+                    return Err(SubmitError::Shutdown(chain));
+                }
+                Err(RouteRefusal::Quarantined) => {
+                    shared.abort_flight();
+                    return Err(SubmitError::Quarantined(chain));
+                }
             };
             match lane.push(chain, deadline, delay, Arc::clone(&shared), block, created) {
                 Ok(()) => return Ok(()),
@@ -857,35 +1542,36 @@ impl<S: Scalar> BppsaService<S> {
     }
 
     /// Finds (MRU) or creates the lane whose shape key matches `chain`;
-    /// `None` when the router is closed, and the boolean reports whether
-    /// this call created the lane (its request seeds the warm-up).
+    /// refuses when the router is closed or the shape is quarantined, and
+    /// the boolean reports whether this call created the lane (its request
+    /// seeds the warm-up).
     ///
     /// Creation inserts only a **placeholder** — shape key, bounded queue,
     /// metrics — so the router lock is held for O(layers) pattern clones,
     /// never for planning: the symbolic planner and workspace pool are
     /// built by the new lane's dispatcher thread ([`warm_up`]), and
     /// submitters of other shapes route concurrently.
-    fn route(&self, chain: &JacobianChain<S>) -> Option<(Arc<Lane<S>>, bool)> {
-        let config = self.shared.config;
+    fn route(&self, chain: &JacobianChain<S>) -> Result<(Arc<Lane<S>>, bool), RouteRefusal> {
         let mut router = lock(&self.shared.router);
         if !router.open {
-            return None;
+            return Err(RouteRefusal::Shutdown);
         }
-        // A lane whose warm-up failed (plan panic) closed itself but could
-        // not remove itself from the router. Evicted/shut-down lanes leave
-        // the store *before* they close, so an in-store Draining/Retired
-        // lane is exactly that failure case: drop it here, or matching
-        // requests would ping-pong between its Closed refusal and this
-        // router forever. Allocation-free when nothing matches (the
-        // overwhelmingly common case).
+        // A lane whose warm-up failed (plan panic), whose breaker tripped,
+        // or whose dispatcher died closed itself but could not remove
+        // itself from the router. Evicted/shut-down lanes leave the store
+        // *before* they close, so an in-store terminal lane is exactly one
+        // of those failure cases: drop it here, or matching requests would
+        // ping-pong between its Closed refusal and this router forever.
+        // Allocation-free when nothing matches (the overwhelmingly common
+        // case).
         drop(router.lanes.extract(|lane| {
             matches!(
                 lane.metrics.state(),
-                LaneState::Draining | LaneState::Retired
+                LaneState::Draining | LaneState::Retired | LaneState::Quarantined
             )
         }));
         if let Some(lane) = router.lanes.find(|lane| lane.shape.matches(chain)) {
-            return Some((Arc::clone(lane), false));
+            return Ok((Arc::clone(lane), false));
         }
         // Miss: extract the shape key *before* touching the MRU store — a
         // panic on an invalid chain (this is where submits validate; a hit
@@ -893,8 +1579,29 @@ impl<S: Scalar> BppsaService<S> {
         // a forever-parked dispatcher, an existing lane. The submitter's
         // `FlightGuard` returns its ticket to idle across the unwind.
         let shape = LaneShape::of(chain);
+        // Quarantine gate, also only on the miss path: a hit proves the
+        // shape is not quarantined (a trip marks its lane Quarantined, and
+        // the purge above removed any such lane before the find). A
+        // tripped shape is refused outright until its cool-down elapses,
+        // then exactly one request is admitted as the half-open probe.
+        let probe = match self.shared.book.admit(chain, Instant::now()) {
+            Admission::Refuse => return Err(RouteRefusal::Quarantined),
+            Admission::Probe => true,
+            Admission::Clear => false,
+        };
+        // Lane creation is the slow path already — amortize supervision
+        // housekeeping here (reap exited dispatchers, bound the metrics
+        // registry) instead of on the per-request fast path.
+        router.reap_and_compact(self.shared.config.retired_metrics_cap);
+        let config = self.shared.config.clone();
         let id = router.lanes_created;
-        let lane = Arc::new(Lane::placeholder(shape, &config, id));
+        let lane = Arc::new(Lane::placeholder(
+            shape,
+            &config,
+            id,
+            probe,
+            Arc::clone(&self.shared.book),
+        ));
         let (_, inserted, evicted) = router
             .lanes
             .find_or_insert_with_evicted(|_| false, || Arc::clone(&lane));
@@ -915,7 +1622,64 @@ impl<S: Scalar> BppsaService<S> {
             // requests in the background and its dispatcher retires.
             evicted.close();
         }
-        Some((lane, true))
+        Ok((lane, true))
+    }
+
+    /// [`BppsaService::submit`] wrapped in the configured
+    /// [`ServeConfig::retry`] policy: transient refusals
+    /// ([`SubmitRefusal::is_transient`]) are retried with exponential
+    /// backoff until the policy's budget is spent, then the last refusal is
+    /// returned. [`SubmitError::Shutdown`] and
+    /// [`SubmitError::TicketInFlight`] return immediately.
+    ///
+    /// # Errors
+    ///
+    /// As [`BppsaService::submit`], once the retry budget is exhausted.
+    pub fn submit_retrying(
+        &self,
+        chain: JacobianChain<S>,
+        ticket: &Ticket<S>,
+    ) -> Result<(), SubmitError<S>> {
+        self.submit_retrying_with_delay(chain, self.shared.config.max_delay, ticket)
+    }
+
+    /// [`BppsaService::submit_with_delay`] wrapped in the configured
+    /// [`ServeConfig::retry`] policy; see [`BppsaService::submit_retrying`].
+    ///
+    /// # Errors
+    ///
+    /// As [`BppsaService::submit_with_delay`], once the retry budget is
+    /// exhausted.
+    pub fn submit_retrying_with_delay(
+        &self,
+        chain: JacobianChain<S>,
+        delay: Duration,
+        ticket: &Ticket<S>,
+    ) -> Result<(), SubmitError<S>> {
+        let policy = self.shared.config.retry;
+        let start = Instant::now();
+        let mut attempt: u32 = 0;
+        let mut chain = chain;
+        loop {
+            match self.submit_with_delay(chain, delay, ticket) {
+                Ok(()) => return Ok(()),
+                Err(e) if !e.kind().is_transient() => return Err(e),
+                Err(e) => {
+                    let elapsed = start.elapsed();
+                    if elapsed >= policy.budget {
+                        return Err(e);
+                    }
+                    // Never sleep past the budget: the last wait is clipped
+                    // so retry exhaustion is observed promptly.
+                    let backoff = policy.backoff_for(attempt).min(policy.budget - elapsed);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    chain = e.into_chain();
+                    attempt += 1;
+                }
+            }
+        }
     }
 }
 
@@ -987,6 +1751,7 @@ mod tests {
             max_lanes: 4,
             workspaces_per_lane: 0,
             shed: ShedPolicy::disabled(),
+            ..ServeConfig::default()
         }
     }
 
@@ -1065,6 +1830,7 @@ mod tests {
             max_lanes: 2,
             workspaces_per_lane: 0,
             shed: ShedPolicy::disabled(),
+            ..ServeConfig::default()
         });
         let template = sparse_chain(5, 6, 45);
         let long = Ticket::new();
@@ -1204,6 +1970,7 @@ mod tests {
             max_lanes: 2,
             workspaces_per_lane: 1,
             shed: ShedPolicy::disabled(),
+            ..ServeConfig::default()
         };
         let service = BppsaService::<f64>::new(config);
         let template = sparse_chain(4, 6, 40);
@@ -1248,6 +2015,7 @@ mod tests {
             max_lanes: 2,
             workspaces_per_lane: 1,
             shed: ShedPolicy::disabled(),
+            ..ServeConfig::default()
         });
         let template = sparse_chain(60, 16, 70);
         let creator = Ticket::new();
@@ -1288,6 +2056,7 @@ mod tests {
                 max_queue_depth: Some(1),
                 min_warming_delay: None,
             },
+            ..ServeConfig::default()
         });
         let template = sparse_chain(4, 6, 80);
         let t1 = Ticket::new();
@@ -1335,6 +2104,8 @@ mod tests {
             LaneShape::of(&good_template),
             &config,
             0,
+            false,
+            Arc::new(QuarantineBook::default()),
         ));
         // Wrong *length* for lane A's plan: `execute_with`'s chain check
         // panics deterministically inside the batch job. (Unreachable via
@@ -1464,6 +2235,8 @@ mod tests {
             LaneShape::of(&template),
             &quick_config(),
             99,
+            false,
+            Arc::new(QuarantineBook::default()),
         ));
         dead.close();
         {
@@ -1522,7 +2295,13 @@ mod tests {
         // whoever's it is.
         let config = quick_config();
         let template = sparse_chain(4, 6, 99);
-        let lane = Lane::<f64>::placeholder(LaneShape::of(&template), &config, 0);
+        let lane = Lane::<f64>::placeholder(
+            LaneShape::of(&template),
+            &config,
+            0,
+            false,
+            Arc::new(QuarantineBook::default()),
+        );
         let seed_delay = Duration::from_millis(50);
         let first = Ticket::new();
         assert!(first.shared().begin_flight());

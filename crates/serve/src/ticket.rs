@@ -28,6 +28,30 @@ pub enum ServeError {
     /// back). Shape validity is checked at submit, so this indicates an
     /// internal planning bug, not a malformed request.
     PlanPanicked,
+    /// The lane's dispatcher thread died outside its panic guards (an
+    /// injected or internal fault escaping every `catch_unwind`).
+    /// Supervision failed every request the lane still held — queued or
+    /// mid-assembly — with this error instead of leaving their waiters
+    /// hung; chains are handed back. The lane is purged from the router on
+    /// the next routing of its shape, so later submits transparently
+    /// re-create it.
+    LaneDied,
+    /// The lane's circuit breaker tripped
+    /// ([`BreakerPolicy::max_consecutive_panics`](crate::BreakerPolicy::max_consecutive_panics)
+    /// uninterrupted batch panics) while this request was queued: the lane
+    /// exited [`LaneState::Quarantined`](crate::LaneState::Quarantined)
+    /// and failed its whole queue with this error (chains handed back).
+    /// Until the cool-down elapses, *new* submits of the shape are refused
+    /// up front with
+    /// [`SubmitError::Quarantined`](crate::SubmitError::Quarantined).
+    LaneQuarantined,
+    /// Under [`DeadlinePolicy::Hard`](crate::DeadlinePolicy::Hard), this
+    /// request was already past its deadline (by more than the configured
+    /// grace) when the dispatcher assembled its batch, so it was failed at
+    /// flush instead of executed late. The chain is handed back; resubmit
+    /// with a larger delay budget if late results are acceptable, or switch
+    /// to [`DeadlinePolicy::Soft`](crate::DeadlinePolicy::Soft).
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -38,6 +62,15 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::PlanPanicked => {
                 write!(f, "the lane's plan construction panicked during warm-up")
+            }
+            ServeError::LaneDied => {
+                write!(f, "the lane's dispatcher thread died; request not served")
+            }
+            ServeError::LaneQuarantined => {
+                write!(f, "the lane's circuit breaker tripped; shape quarantined")
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline expired before its batch flushed")
             }
         }
     }
@@ -227,6 +260,58 @@ impl<S> Ticket<S> {
         }
     }
 
+    /// Like [`Ticket::wait`], but gives up after `timeout`: returns
+    /// `Some(outcome)` if the request completed within the window, `None`
+    /// if it is still pending when the timeout elapses (the request stays
+    /// in flight — the ticket cannot be resubmitted until it completes, so
+    /// a `None` is a liveness probe, not a cancellation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no request was ever submitted on this ticket.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bppsa_core::{JacobianChain, ScanElement};
+    /// use bppsa_serve::{BppsaService, ServeConfig, Ticket};
+    /// use bppsa_sparse::Csr;
+    /// use bppsa_tensor::Vector;
+    /// use std::time::Duration;
+    ///
+    /// let service = BppsaService::<f64>::new(ServeConfig::default());
+    /// let ticket = Ticket::new();
+    /// let mut chain = JacobianChain::new(Vector::from_vec(vec![1.0, -2.0]));
+    /// chain.push(ScanElement::Sparse(Csr::from_diagonal(&[3.0, 0.5])));
+    /// service.submit(chain, &ticket).expect("service accepting");
+    ///
+    /// // A served request terminates; a generous timeout never trips.
+    /// let outcome = ticket.wait_timeout(Duration::from_secs(30));
+    /// assert_eq!(outcome, Some(Ok(())));
+    /// ```
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Option<Result<(), ServeError>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.shared.lock();
+        loop {
+            match inner.phase {
+                Phase::Done => return Some(inner.outcome.expect("Done implies outcome")),
+                Phase::Idle => panic!("Ticket::wait_timeout: no request in flight"),
+                Phase::Pending => {
+                    let now = std::time::Instant::now();
+                    let left = deadline
+                        .checked_duration_since(now)
+                        .filter(|d| !d.is_zero())?;
+                    inner = self
+                        .shared
+                        .done
+                        .wait_timeout(inner, left)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
+        }
+    }
+
     /// Whether the last submitted request has completed (never blocks).
     pub fn is_done(&self) -> bool {
         self.shared.lock().phase == Phase::Done
@@ -367,6 +452,51 @@ mod tests {
             .finish(tiny_chain(1.0), Some(ServeError::BatchPanicked));
         assert_eq!(ticket.wait(), Err(ServeError::BatchPanicked));
         ticket.with_result(|_| ());
+    }
+
+    #[test]
+    fn wait_timeout_probes_without_consuming_the_flight() {
+        let ticket = Ticket::<f64>::new();
+        let shared = ticket.shared();
+        assert!(shared.begin_flight());
+        // Still pending: the probe returns None and the flight stays live.
+        assert_eq!(
+            ticket.wait_timeout(std::time::Duration::from_millis(1)),
+            None
+        );
+        shared.finish(tiny_chain(1.0), Some(ServeError::LaneDied));
+        assert_eq!(
+            ticket.wait_timeout(std::time::Duration::from_secs(1)),
+            Some(Err(ServeError::LaneDied))
+        );
+        // Repeated probes after completion keep returning the outcome.
+        assert_eq!(
+            ticket.wait_timeout(std::time::Duration::ZERO),
+            Some(Err(ServeError::LaneDied))
+        );
+        assert_eq!(ticket.take_chain().seed().as_slice(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn supervision_errors_fail_even_staged_members() {
+        // Unlike BatchPanicked, LaneDied / LaneQuarantined / DeadlineExceeded
+        // carry no per-request execution attribution: the flight fails.
+        for err in [
+            ServeError::LaneDied,
+            ServeError::LaneQuarantined,
+            ServeError::DeadlineExceeded,
+        ] {
+            let ticket = Ticket::<f64>::new();
+            assert!(ticket.shared().begin_flight());
+            ticket
+                .shared()
+                .stage(&BackwardResult::from_grads(vec![Vector::from_vec(vec![
+                    5.0,
+                ])]));
+            ticket.shared().finish(tiny_chain(1.0), Some(err));
+            assert_eq!(ticket.wait(), Err(err));
+            let _ = ticket.take_chain();
+        }
     }
 
     #[test]

@@ -111,6 +111,7 @@ fn steady_state_served_requests_are_allocation_free() {
         max_lanes: 2,
         workspaces_per_lane: 0,
         shed: bppsa_serve::ShedPolicy::disabled(),
+        ..ServeConfig::default()
     });
 
     let template = sparse_chain(18, 10, 7);

@@ -76,6 +76,7 @@ fn hot_lane_unaffected_while_cold_shape_warms() {
         max_lanes: 4,
         workspaces_per_lane: 1,
         shed: ShedPolicy::disabled(),
+        ..ServeConfig::default()
     });
 
     // Hot lane up front: lane 0, Live before the cold storm starts.

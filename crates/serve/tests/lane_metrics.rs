@@ -59,6 +59,7 @@ fn config(max_batch: usize) -> ServeConfig {
         max_lanes: 2,
         workspaces_per_lane: 0,
         shed: ShedPolicy::disabled(),
+        ..ServeConfig::default()
     }
 }
 

@@ -1,0 +1,238 @@
+//! Property-based tests for the serving layer's pure policy arithmetic.
+//!
+//! Two decision functions gate every request's path through a lane, and
+//! both are deliberately pure so they can be pinned here without threads:
+//!
+//! * [`ShedPolicy`] — the submit-time refusal arithmetic. The properties
+//!   that make shedding *safe* are monotonicity (adding queue depth or
+//!   shrinking a delay budget never turns a refusal back into an accept —
+//!   otherwise shedding would oscillate under load) and the seeding
+//!   exemption (the request a lane's warm-up plan is built from is never
+//!   shed, or a cold shape could starve itself forever).
+//! * [`flush_decision`] — the dispatcher's wait-loop timer. The property
+//!   that makes deadline batching *correct* is that the timer follows the
+//!   **earliest** pending deadline whatever order requests arrived in:
+//!   the decision is a pure function of the deadline *multiset*, `Flush`
+//!   fires exactly when that minimum has passed, and `WaitUntil` targets
+//!   exactly that minimum (never a later deadline, which would let the
+//!   earliest request miss).
+
+use bppsa_serve::{flush_decision, FlushCause, FlushDecision, ShedPolicy};
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+/// An arbitrary shed policy: each threshold independently absent or set.
+fn shed_policy() -> impl Strategy<Value = ShedPolicy> {
+    (any::<bool>(), 1..64usize, any::<bool>(), 0..200_000u64).prop_map(
+        |(arm_depth, depth, arm_delay, min_us)| ShedPolicy {
+            max_queue_depth: arm_depth.then_some(depth),
+            min_warming_delay: arm_delay.then(|| Duration::from_micros(min_us)),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // More queued work never un-sheds: once the depth threshold refuses
+    // at depth `d`, it refuses at every depth above `d` too.
+    #[test]
+    fn shed_depth_is_monotone(
+        policy in shed_policy(),
+        depth in 0..96usize,
+        extra in 0..96usize,
+    ) {
+        if policy.sheds_on_depth(depth) {
+            prop_assert!(
+                policy.sheds_on_depth(depth + extra),
+                "shed at depth {} but accepted at deeper {}",
+                depth,
+                depth + extra
+            );
+        }
+    }
+
+    // A tighter budget never un-sheds: once the warming-feasibility
+    // threshold refuses a delay budget, it refuses every shorter budget.
+    #[test]
+    fn shed_warming_delay_is_anti_monotone(
+        policy in shed_policy(),
+        delay_us in 0..300_000u64,
+        cut_us in 0..300_000u64,
+    ) {
+        let delay = Duration::from_micros(delay_us);
+        let shorter = Duration::from_micros(delay_us.saturating_sub(cut_us));
+        if policy.sheds_on_warming_delay(delay) {
+            prop_assert!(
+                policy.sheds_on_warming_delay(shorter),
+                "shed at {:?} but accepted the shorter budget {:?}",
+                delay,
+                shorter
+            );
+        }
+    }
+
+    // The full decision inherits both monotonicities: raising the queue
+    // depth or cutting the delay budget never flips a shed back to an
+    // accept (with the other inputs held fixed).
+    #[test]
+    fn full_decision_is_monotone_under_load(
+        policy in shed_policy(),
+        depth in 0..96usize,
+        extra in 0..96usize,
+        delay_us in 0..300_000u64,
+        cut_us in 0..300_000u64,
+        warming in any::<bool>(),
+    ) {
+        let delay = Duration::from_micros(delay_us);
+        let worse = Duration::from_micros(delay_us.saturating_sub(cut_us));
+        if policy.should_shed(depth, warming, delay, false) {
+            prop_assert!(
+                policy.should_shed(depth + extra, warming, worse, false),
+                "shed at (depth {}, delay {:?}) but accepted the strictly \
+                 worse (depth {}, delay {:?})",
+                depth,
+                delay,
+                depth + extra,
+                worse
+            );
+        }
+    }
+
+    // The request that seeds a lane's warm-up is never shed, whatever the
+    // policy and however hopeless its budget looks — it *is* the template
+    // the plan gets built from, so refusing it would starve the shape.
+    #[test]
+    fn seeding_requests_are_never_shed(
+        policy in shed_policy(),
+        depth in 0..96usize,
+        delay_us in 0..300_000u64,
+        warming in any::<bool>(),
+    ) {
+        prop_assert!(
+            !policy.should_shed(depth, warming, Duration::from_micros(delay_us), true),
+            "a lane-seeding request was shed by {:?}",
+            policy
+        );
+    }
+
+    // The decision decomposes exactly into its published components, and
+    // a disabled policy never sheds. Warming-delay infeasibility only
+    // applies while the lane is actually warming.
+    #[test]
+    fn decision_decomposes_into_components(
+        policy in shed_policy(),
+        depth in 0..96usize,
+        delay_us in 0..300_000u64,
+        warming in any::<bool>(),
+        seeds in any::<bool>(),
+    ) {
+        let delay = Duration::from_micros(delay_us);
+        let expect = !seeds
+            && (policy.sheds_on_depth(depth)
+                || (warming && policy.sheds_on_warming_delay(delay)));
+        prop_assert_eq!(policy.should_shed(depth, warming, delay, seeds), expect);
+        prop_assert!(!ShedPolicy::disabled().should_shed(depth, warming, delay, seeds));
+        if !warming {
+            prop_assert_eq!(
+                policy.should_shed(depth, false, delay, seeds),
+                !seeds && policy.sheds_on_depth(depth),
+                "warming-delay threshold leaked into a live lane's decision"
+            );
+        }
+    }
+}
+
+/// Pending-request deadlines as offsets (in microseconds) around `now`:
+/// negative offsets are already expired, positive ones are still in the
+/// future. Offsets are deliberately allowed to collide (equal deadlines).
+fn deadline_offsets() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-50_000..50_000i64, 0..24)
+}
+
+fn materialize(base: Instant, offsets: &[i64]) -> Vec<Instant> {
+    offsets
+        .iter()
+        .map(|&us| {
+            if us >= 0 {
+                base + Duration::from_micros(us as u64)
+            } else {
+                base - Duration::from_micros(us.unsigned_abs())
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The flush timer follows the earliest pending deadline under
+    // arbitrary arrival orderings. Against the pending set's *sorted*
+    // model this pins, for every case the dispatcher can see:
+    //
+    // * `max_batch` reached → `Flush(MaxBatch)` regardless of deadlines;
+    // * empty queue → `Park` while open, `Retire` once closed;
+    // * non-empty closed queue → `Flush(Drain)` (shutdown never waits);
+    // * otherwise the earliest deadline decides: passed → it flushes
+    //   `Flush(Deadline)` *now*; still ahead → `WaitUntil` exactly that
+    //   minimum, never a later deadline.
+    #[test]
+    fn flush_decision_follows_earliest_deadline(
+        offsets in deadline_offsets(),
+        open in any::<bool>(),
+        max_batch in 1..12usize,
+    ) {
+        let now = Instant::now();
+        let deadlines = materialize(now, &offsets);
+        let decision = flush_decision(deadlines.iter().copied(), open, max_batch, now);
+
+        let earliest = deadlines.iter().copied().min();
+        let expect = if deadlines.len() >= max_batch {
+            FlushDecision::Flush(FlushCause::MaxBatch)
+        } else {
+            match earliest {
+                None if open => FlushDecision::Park,
+                None => FlushDecision::Retire,
+                Some(_) if !open => FlushDecision::Flush(FlushCause::Drain),
+                Some(e) if now >= e => FlushDecision::Flush(FlushCause::Deadline),
+                Some(e) => FlushDecision::WaitUntil(e),
+            }
+        };
+        prop_assert_eq!(decision, expect, "against the sorted model");
+
+        if let FlushDecision::WaitUntil(target) = decision {
+            let e = earliest.expect("WaitUntil implies a pending request");
+            prop_assert_eq!(target, e, "timer must target the minimum deadline");
+            prop_assert!(target > now, "WaitUntil in the past would stall a due flush");
+        }
+    }
+
+    // Arrival order is irrelevant: any permutation of the pending set
+    // (here: reversal and a deterministic rotation, two permutations that
+    // move every element for length > 1) produces the identical decision.
+    #[test]
+    fn flush_decision_is_order_invariant(
+        offsets in deadline_offsets(),
+        open in any::<bool>(),
+        max_batch in 1..12usize,
+        rot in 0..24usize,
+    ) {
+        let now = Instant::now();
+        let deadlines = materialize(now, &offsets);
+        let baseline = flush_decision(deadlines.iter().copied(), open, max_batch, now);
+
+        let reversed = flush_decision(deadlines.iter().rev().copied(), open, max_batch, now);
+        prop_assert_eq!(reversed, baseline, "reversal changed the decision");
+
+        if !deadlines.is_empty() {
+            let k = rot % deadlines.len();
+            let rotated = deadlines[k..].iter().chain(&deadlines[..k]).copied();
+            prop_assert_eq!(
+                flush_decision(rotated, open, max_batch, now),
+                baseline,
+                "rotation by {} changed the decision",
+                k
+            );
+        }
+    }
+}

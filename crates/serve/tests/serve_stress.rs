@@ -99,6 +99,7 @@ fn mixed_shape_multi_producer_traffic_is_exact_and_lossless() {
         max_lanes: SHAPES - 1, // force MRU eviction under load
         workspaces_per_lane: 0,
         shed: ShedPolicy::disabled(),
+        ..ServeConfig::default()
     });
 
     std::thread::scope(|s| {
@@ -208,6 +209,7 @@ fn shed_policy_stress_every_ticket_completes_or_sheds() {
             max_queue_depth: Some(2),
             min_warming_delay: Some(Duration::from_micros(50)),
         },
+        ..ServeConfig::default()
     });
 
     // (completed, shed) per producer.
@@ -313,6 +315,7 @@ fn pipelined_producers_share_tickets_across_shapes() {
         max_lanes: 3,
         workspaces_per_lane: 0,
         shed: ShedPolicy::disabled(),
+        ..ServeConfig::default()
     });
     let tickets: Vec<Ticket<f64>> = (0..9).map(|_| Ticket::new()).collect();
     for wave in 0..5 {
