@@ -1,0 +1,167 @@
+//! Criterion bench — the diagonal-Jacobian elementwise fast path.
+//!
+//! Three executors over all-diagonal chains (the SSM / linear-recurrence
+//! backward shape):
+//!
+//! * `sequential` — the Θ(n) [`linear_backward`] baseline (one spmv per
+//!   layer, no scan tree);
+//! * `generic_csr` — the planned scan with the fast path disabled
+//!   ([`DiagonalMode::Disabled`]): symbolic one-term products + gather
+//!   programs, the path every diagonal chain took before the plan-kind
+//!   split. Only benched at moderate lengths — its per-combine symbolic
+//!   plans make million-layer programs infeasible to even build;
+//! * `diagonal_linear` / `diagonal_log` — the compiled elementwise
+//!   program ([`DiagonalMode::Linear`] / [`DiagonalMode::LogSpace`]), the
+//!   same [`ScanSchedule`](bppsa_core) replayed lane-wise over a dense
+//!   value plane with `O(width)` combine state.
+//!
+//! Lengths run to 10⁶ (width 1 — the chunking regression shape) to show
+//! the fast path's headroom where the generic pipeline cannot follow.
+//! Plan-construction cost is benched separately: a diagonal plan is
+//! symbolic-product-free bookkeeping, so planning a chain is dramatically
+//! cheaper than the generic symbolic pipeline too.
+//!
+//! Set `CRITERION_JSON_DIR=<dir>` to emit `diagonal_scan.json` (committed
+//! as a group of `BENCH_planned_scan.json` at the workspace root).
+
+use bppsa_core::{linear_backward, BppsaOptions, DiagonalMode, JacobianChain, ScanElement};
+use bppsa_sparse::Csr;
+use bppsa_tensor::init::{seeded_rng, uniform_vector};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use std::time::Duration;
+
+/// An all-diagonal chain over one shared pattern, coefficients near ±1 so
+/// both kernels stay in range at every benched length.
+fn diagonal_chain(n: usize, width: usize, seed: u64) -> JacobianChain<f64> {
+    let mut rng = seeded_rng(seed);
+    let pattern = Csr::from_diagonal(&vec![1.0f64; width]).pattern();
+    let mut chain = JacobianChain::new(uniform_vector(&mut rng, width, 1.0));
+    for _ in 0..n {
+        let diag: Vec<f64> = (0..width)
+            .map(|_| {
+                let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+                sign * (1.0 + rng.random_range(-1e-3..1e-3))
+            })
+            .collect();
+        chain.push(ScanElement::Sparse(Csr::from_pattern_and_values(
+            pattern.clone(),
+            diag,
+        )));
+    }
+    chain
+}
+
+fn opts(mode: DiagonalMode) -> BppsaOptions {
+    BppsaOptions::serial().diagonal(mode)
+}
+
+fn bench_diagonal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diagonal_scan");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Moderate length: every executor can play, including the generic CSR
+    // program — the head-to-head the fast path must win.
+    for (n, width) in [(4096usize, 16usize), (32768, 16)] {
+        let chain = diagonal_chain(n, width, 51);
+        let tag = format!("{n}x{width}");
+
+        group.bench_function(format!("sequential/{tag}"), |b| {
+            b.iter(|| linear_backward(std::hint::black_box(&chain)))
+        });
+
+        // The generic symbolic pipeline is quadratic-ish in plan size for
+        // long chains; keep it to lengths where building it is sane.
+        if n <= 16384 {
+            let plan = bppsa_core::PlannedScan::plan(&chain, opts(DiagonalMode::Disabled));
+            assert!(plan.diagonal_kernel().is_none());
+            let mut ws = plan.workspace::<f64>();
+            let _ = plan.execute_with(&chain, &mut ws);
+            group.bench_function(format!("generic_csr/{tag}"), |b| {
+                b.iter(|| {
+                    plan.execute_with(std::hint::black_box(&chain), &mut ws)
+                        .grads()
+                        .len()
+                })
+            });
+        }
+
+        for (label, mode) in [
+            ("diagonal_linear", DiagonalMode::Linear),
+            ("diagonal_log", DiagonalMode::LogSpace),
+        ] {
+            let plan = bppsa_core::PlannedScan::plan(&chain, opts(mode));
+            assert!(plan.diagonal_kernel().is_some());
+            let mut ws = plan.workspace::<f64>();
+            let _ = plan.execute_with(&chain, &mut ws);
+            group.bench_function(format!("{label}/{tag}"), |b| {
+                b.iter(|| {
+                    plan.execute_with(std::hint::black_box(&chain), &mut ws)
+                        .grads()
+                        .len()
+                })
+            });
+        }
+    }
+
+    // The million-layer width-1 shape (the chunking regression's): only
+    // the sequential baseline and the fast path can run here — generic
+    // planning at this length is infeasible by design.
+    {
+        let (n, width) = (1_000_000usize, 1usize);
+        let chain = diagonal_chain(n, width, 52);
+        let tag = format!("{n}x{width}");
+
+        group.bench_function(format!("sequential/{tag}"), |b| {
+            b.iter(|| linear_backward(std::hint::black_box(&chain)))
+        });
+
+        for (label, mode) in [
+            ("diagonal_linear", DiagonalMode::Linear),
+            ("diagonal_log", DiagonalMode::LogSpace),
+        ] {
+            let plan = bppsa_core::PlannedScan::plan(&chain, opts(mode));
+            assert!(plan.diagonal_kernel().is_some());
+            let mut ws = plan.workspace::<f64>();
+            let _ = plan.execute_with(&chain, &mut ws);
+            group.bench_function(format!("{label}/{tag}"), |b| {
+                b.iter(|| {
+                    plan.execute_with(std::hint::black_box(&chain), &mut ws)
+                        .grads()
+                        .len()
+                })
+            });
+        }
+    }
+
+    // Plan construction: the diagonal planner replays the schedule into a
+    // few flat instruction vectors (no symbolic products at all), so it is
+    // not just the execution that gets cheaper.
+    {
+        let chain = diagonal_chain(4096, 16, 53);
+        group.bench_function("plan_construction_diagonal/4096x16", |b| {
+            b.iter(|| {
+                bppsa_core::PlannedScan::plan(
+                    std::hint::black_box(&chain),
+                    opts(DiagonalMode::Linear),
+                )
+            })
+        });
+        group.bench_function("plan_construction_generic/4096x16", |b| {
+            b.iter(|| {
+                bppsa_core::PlannedScan::plan(
+                    std::hint::black_box(&chain),
+                    opts(DiagonalMode::Disabled),
+                )
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_diagonal);
+criterion_main!(benches);

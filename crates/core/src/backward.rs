@@ -4,6 +4,7 @@
 //! gradient vector one at a time.
 
 use crate::chain::{gradients_from_scan_output, JacobianChain};
+use crate::diagonal::DiagonalMode;
 use crate::element::{JacobianScanOp, ScanElement};
 use bppsa_scan::{execute_in_place, Executor, ScanSchedule};
 use bppsa_tensor::{Scalar, Vector};
@@ -16,6 +17,12 @@ pub struct BppsaOptions {
     /// Number of up-sweep levels; `None` = full Blelloch (Algorithm 1),
     /// `Some(k)` = the §5.2 hybrid with `k` tree levels.
     pub up_levels: Option<usize>,
+    /// How [`PlannedScan`](crate::PlannedScan) treats all-diagonal chains
+    /// (the SSM/linear-recurrence family). The default
+    /// [`DiagonalMode::Auto`] takes the elementwise fast path whenever the
+    /// chain's patterns prove every layer diagonal; the unplanned
+    /// [`bppsa_backward`] ignores this field.
+    pub diagonal: DiagonalMode,
 }
 
 impl Default for BppsaOptions {
@@ -23,6 +30,7 @@ impl Default for BppsaOptions {
         Self {
             executor: Executor::Serial,
             up_levels: None,
+            diagonal: DiagonalMode::Auto,
         }
     }
 }
@@ -53,6 +61,13 @@ impl BppsaOptions {
     /// The §5.2 hybrid with `k` up-sweep levels.
     pub fn hybrid(mut self, k: usize) -> Self {
         self.up_levels = Some(k);
+        self
+    }
+
+    /// Sets how planned execution treats all-diagonal chains (see
+    /// [`DiagonalMode`]).
+    pub fn diagonal(mut self, mode: DiagonalMode) -> Self {
+        self.diagonal = mode;
         self
     }
 

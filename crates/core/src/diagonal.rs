@@ -1,0 +1,640 @@
+//! Diagonal-Jacobian elementwise scan fast path.
+//!
+//! The linear recurrence `h_t = a_t ⊙ h_{t−1} + b_t` — the whole
+//! SSM/linear-attention/GRU-diagonal family — produces transposed Jacobians
+//! that are *diagonal*. For such chains every scan combine `A ⊙ B = B·A`
+//! collapses to an elementwise multiply: diagonal × diagonal stays diagonal,
+//! and diagonal × vector is a lane-wise product. Paying CSR SpGEMM machinery
+//! (symbolic products, gather programs, indptr walks) for that is pure
+//! overhead, so [`PlannedScan`](crate::PlannedScan) detects the shape at plan
+//! time and compiles the *same schedule* into a dense elementwise program
+//! instead.
+//!
+//! # The program
+//!
+//! The plan replays the [`ScanSchedule`] once, symbolically, over a dense
+//! `(n + 2) × width` value plane: row `s ∈ 0..=n` is scan slot `s` (row 0
+//! the seed, row `s` the diagonal of `Jᵀ_{n+1−s}`), row `n + 1` is the
+//! scratch row holding the middle phase's running prefix. Identity slots are
+//! resolved at plan time, so the runtime program is a straight-line stream
+//! of three row-local instructions:
+//!
+//! * `Copy { src, dst }` — move a value into an identity slot;
+//! * `MulInto { src, dst }` — up-sweep combine, `dst[k] *= src[k]`;
+//! * `SwapMul { l, r }` — the down-sweep's reversed-operand exchange
+//!   (`t ← l; l ← r; r ← r·t`), also used for the middle running fold.
+//!
+//! Because a diagonal combine performs exactly **one** multiplication per
+//! lane (no accumulation), replaying the identical schedule makes the linear
+//! kernel **bit-for-bit equal** to the generic CSR planned path — IEEE
+//! multiplication is commutative, and the operand tree per output lane is
+//! the same. The differential suite in `tests/diagonal_differential.rs` pins
+//! this with `max_abs_diff == 0.0`.
+//!
+//! # Log-space kernel
+//!
+//! At sequence lengths in the 10⁵–10⁶ range, coefficient products drift out
+//! of the representable range even when every *output* is representable: a
+//! Blelloch block partial spans a contiguous coefficient range, and its
+//! magnitude is `exp(Lₚ − L_q)` for suffix-log-sums `L` — up to *twice* the
+//! largest output exponent. [`DiagonalKernel::LogSpace`] runs the same
+//! instruction stream over `(log|v|, sign)` planes (multiplication becomes
+//! addition; zeros are `(−∞, 0)`), materializing `sign · exp(log)` only at
+//! the output boundary, so intermediate partials cannot overflow. The
+//! selection heuristic is value-independent:
+//! [`DiagonalMode::Auto`] picks log-space iff
+//! `n ≥ `[`DIAGONAL_LOG_SPACE_MIN_LEN`]. `tests/diagonal_stability.rs` pins
+//! both the failure of the linear kernel and the accuracy of the log-space
+//! kernel at `n = 2¹⁷`.
+
+use bppsa_scan::{global_pool, Pair, ScanSchedule, SendPtr};
+use bppsa_sparse::SparsityPattern;
+use bppsa_tensor::Scalar;
+use std::sync::Arc;
+
+/// Minimum chain length at which [`DiagonalMode::Auto`] switches the
+/// diagonal fast path from the linear kernel to the log-space kernel.
+///
+/// Below this, products of well-scaled coefficients stay comfortably in
+/// range and the linear kernel's bit-for-bit agreement with the generic
+/// path is worth keeping; above it, a single Blelloch block partial spans
+/// enough coefficients that `exp`-range excursions become plausible (the
+/// stability suite demonstrates them at `n = 2¹⁷`).
+pub const DIAGONAL_LOG_SPACE_MIN_LEN: usize = 32_768;
+
+/// Minimum chain width before a diagonal level fans out to the worker pool.
+///
+/// Diagonal combines touch `width` contiguous scalars per instruction; for
+/// narrow chains (the degenerate `width = 1` case in particular) neighboring
+/// rows share cache lines and fan-out costs more in pool wakeup + false
+/// sharing than the elementwise work saves, *regardless* of how many
+/// instructions the level has. FLOP-based thresholds sized for gather
+/// programs get this wrong — a `width = 1 × 10⁶` chain passes them — so the
+/// diagonal kernel gates on width first. See [`diagonal_level_tasks`].
+pub const DIAGONAL_PARALLEL_MIN_WIDTH: usize = 8;
+
+/// Minimum elementwise multiplies in a level before it is worth a pool
+/// wakeup at all.
+const DIAGONAL_STAGE_PARALLEL_MIN_FLOPS: u64 = 32_768;
+
+/// Minimum elementwise multiplies per fanned-out task.
+const DIAGONAL_TASK_MIN_FLOPS: u64 = 8_192;
+
+/// How a [`PlannedScan`](crate::PlannedScan) treats all-diagonal chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DiagonalMode {
+    /// Use the diagonal fast path when the chain is all-diagonal, selecting
+    /// the kernel by the [`DIAGONAL_LOG_SPACE_MIN_LEN`] stability heuristic.
+    #[default]
+    Auto,
+    /// Force the linear (direct-product) kernel on all-diagonal chains.
+    Linear,
+    /// Force the log-space kernel on all-diagonal chains.
+    LogSpace,
+    /// Never use the diagonal fast path; plan the generic CSR program even
+    /// for all-diagonal chains (the differential suite's reference).
+    Disabled,
+}
+
+/// Which numeric kernel a planned diagonal program runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagonalKernel {
+    /// Direct elementwise products — bit-for-bit with the generic CSR path.
+    Linear,
+    /// `(log|v|, sign)` planes; products become sums, `sign·exp(log)` is
+    /// materialized only at the output boundary.
+    LogSpace,
+}
+
+impl DiagonalMode {
+    /// Selects the kernel for a chain of `n` layers whose seed is
+    /// `width`-long with the given per-layer patterns, or `None` when the
+    /// chain is not all-diagonal (or the mode is [`DiagonalMode::Disabled`],
+    /// or the chain is empty). A forced [`DiagonalMode::Linear`] /
+    /// [`DiagonalMode::LogSpace`] on a non-diagonal chain falls back to the
+    /// generic program — the mode forces a *kernel choice*, not a shape.
+    pub(crate) fn select(
+        self,
+        n: usize,
+        width: usize,
+        patterns: &[Arc<SparsityPattern>],
+    ) -> Option<DiagonalKernel> {
+        if self == DiagonalMode::Disabled || n == 0 {
+            return None;
+        }
+        let all_diagonal = patterns
+            .iter()
+            .all(|p| p.rows() == width && p.is_diagonal());
+        if !all_diagonal {
+            return None;
+        }
+        Some(match self {
+            DiagonalMode::Auto => {
+                if n >= DIAGONAL_LOG_SPACE_MIN_LEN {
+                    DiagonalKernel::LogSpace
+                } else {
+                    DiagonalKernel::Linear
+                }
+            }
+            DiagonalMode::Linear => DiagonalKernel::Linear,
+            DiagonalMode::LogSpace => DiagonalKernel::LogSpace,
+            DiagonalMode::Disabled => unreachable!("handled above"),
+        })
+    }
+}
+
+/// Number of pool tasks a diagonal level of `instrs` instructions over
+/// `width`-wide rows should fan out to, given `workers` pool workers.
+///
+/// Returns `1` (run inline, no pool wakeup) unless the width clears
+/// [`DIAGONAL_PARALLEL_MIN_WIDTH`] *and* the level's total elementwise work
+/// clears a wakeup threshold; otherwise splits so every task carries a
+/// meaningful slice. This is the single fan-out policy of the diagonal
+/// executor — the width-1 regression test and the executor share it, so the
+/// tested rule is the executed rule.
+pub fn diagonal_level_tasks(width: usize, instrs: usize, workers: usize) -> usize {
+    if width < DIAGONAL_PARALLEL_MIN_WIDTH || instrs < 2 || workers < 2 {
+        return 1;
+    }
+    let flops = width as u64 * instrs as u64;
+    if flops < DIAGONAL_STAGE_PARALLEL_MIN_FLOPS {
+        return 1;
+    }
+    let max_tasks = usize::try_from(flops / DIAGONAL_TASK_MIN_FLOPS).unwrap_or(usize::MAX);
+    workers.min(instrs).min(max_tasks.max(1))
+}
+
+/// One row-local instruction of the compiled diagonal program. Row indices
+/// are `u32` (a `10⁶`-layer plan stays ~24 MB of instructions).
+#[derive(Debug, Clone, Copy)]
+enum DiagInstr {
+    /// `row[dst] ← row[src]` (an identity slot receiving a value).
+    Copy { src: u32, dst: u32 },
+    /// `row[dst][k] *= row[src][k]` — the up-sweep combine.
+    MulInto { src: u32, dst: u32 },
+    /// `t ← row[l]; row[l] ← row[r]; row[r] ← row[r] · t` lane-wise — the
+    /// down-sweep's reversed-operand exchange and the middle running fold.
+    SwapMul { l: u32, r: u32 },
+}
+
+/// One barrier group of the diagonal program (a scan level, or the serial
+/// middle phase).
+#[derive(Debug, Clone)]
+struct DiagStage {
+    instrs: Vec<DiagInstr>,
+    parallel: bool,
+}
+
+/// The compiled diagonal elementwise program for one chain shape: the
+/// schedule replayed over dense `(n + 2) × width` planes with identities
+/// resolved at plan time. Built and executed by
+/// [`PlannedScan`](crate::PlannedScan) when
+/// [`DiagonalMode`] detection proves every layer diagonal.
+#[derive(Debug, Clone)]
+pub(crate) struct DiagonalScanPlan {
+    n: usize,
+    width: usize,
+    kernel: DiagonalKernel,
+    stages: Vec<DiagStage>,
+}
+
+/// Pre-sized dense planes for one diagonal execution: `vals` holds the
+/// value plane (linear kernel) or the log-magnitude plane (log-space);
+/// `signs` is populated only for log-space. `(n + 2) × width` each.
+#[derive(Debug)]
+pub(crate) struct DiagonalWorkspace<S> {
+    vals: Vec<S>,
+    signs: Vec<S>,
+}
+
+impl DiagonalScanPlan {
+    /// Replays `schedule` symbolically (each slot either Identity or a
+    /// value at its own row), emitting the in-place instruction stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replay does not end in the exclusive-scan postcondition
+    /// (identity at slot 0, a value in every other slot) — that would mean
+    /// the schedule is not an exclusive scan.
+    pub(crate) fn compile(
+        n: usize,
+        width: usize,
+        kernel: DiagonalKernel,
+        schedule: &ScanSchedule,
+    ) -> Self {
+        assert!(n >= 1, "diagonal plan requires at least one layer");
+        assert_eq!(schedule.len(), n + 1, "schedule length mismatch");
+        let scratch = u32::try_from(n + 1).expect("diagonal plan: chain too long for u32 rows");
+
+        // has_value[s]: whether slot s currently holds a value (at row s)
+        // rather than the identity. Everything starts loaded.
+        let mut has_value = vec![true; n + 1];
+        let mut stages: Vec<DiagStage> = Vec::new();
+        let mut push = |stage: DiagStage| {
+            if !stage.instrs.is_empty() {
+                stages.push(stage);
+            }
+        };
+
+        // Up-sweep: a[r] ← a[l] ⊙ a[r] (numerically r·l, lane-wise).
+        for level in schedule.up_levels() {
+            let mut instrs = Vec::new();
+            for &Pair { l, r } in level {
+                match (has_value[l], has_value[r]) {
+                    (false, _) => {} // identity left operand: a[r] unchanged
+                    (true, false) => {
+                        instrs.push(DiagInstr::Copy {
+                            src: l as u32,
+                            dst: r as u32,
+                        });
+                        has_value[r] = true;
+                    }
+                    (true, true) => instrs.push(DiagInstr::MulInto {
+                        src: l as u32,
+                        dst: r as u32,
+                    }),
+                }
+            }
+            push(DiagStage {
+                instrs,
+                parallel: true,
+            });
+        }
+
+        // Middle: serial exclusive scan over the block roots; the running
+        // prefix lives in the scratch row.
+        {
+            let mut instrs = Vec::new();
+            let mut running = false; // running prefix starts as the identity
+            for &root in schedule.block_roots() {
+                match (running, has_value[root]) {
+                    (false, false) => {}
+                    (false, true) => {
+                        // slot[root] ← identity; running ← old slot value.
+                        instrs.push(DiagInstr::Copy {
+                            src: root as u32,
+                            dst: scratch,
+                        });
+                        has_value[root] = false;
+                        running = true;
+                    }
+                    (true, false) => {
+                        // slot[root] ← running; running unchanged.
+                        instrs.push(DiagInstr::Copy {
+                            src: scratch,
+                            dst: root as u32,
+                        });
+                        has_value[root] = true;
+                    }
+                    (true, true) => {
+                        // slot[root] ← running; running ← running · old.
+                        instrs.push(DiagInstr::SwapMul {
+                            l: root as u32,
+                            r: scratch,
+                        });
+                    }
+                }
+            }
+            push(DiagStage {
+                instrs,
+                parallel: false,
+            });
+        }
+
+        // Down-sweep: t ← a[l]; a[l] ← a[r]; a[r] ← a[r] ⊙ t (r·t lane-wise).
+        for level in schedule.down_levels() {
+            let mut instrs = Vec::new();
+            for &Pair { l, r } in level {
+                match (has_value[l], has_value[r]) {
+                    (false, false) => {}
+                    (false, true) => {
+                        // l gets r's value; r ⊙ identity keeps r's value.
+                        instrs.push(DiagInstr::Copy {
+                            src: r as u32,
+                            dst: l as u32,
+                        });
+                        has_value[l] = true;
+                    }
+                    (true, false) => {
+                        // l becomes identity; r gets l's old value.
+                        instrs.push(DiagInstr::Copy {
+                            src: l as u32,
+                            dst: r as u32,
+                        });
+                        has_value[l] = false;
+                        has_value[r] = true;
+                    }
+                    (true, true) => instrs.push(DiagInstr::SwapMul {
+                        l: l as u32,
+                        r: r as u32,
+                    }),
+                }
+            }
+            push(DiagStage {
+                instrs,
+                parallel: true,
+            });
+        }
+
+        assert!(
+            !has_value[0] && has_value[1..].iter().all(|&v| v),
+            "diagonal plan: schedule replay is not an exclusive scan"
+        );
+
+        Self {
+            n,
+            width,
+            kernel,
+            stages,
+        }
+    }
+
+    /// The numeric kernel this program runs.
+    pub(crate) fn kernel(&self) -> DiagonalKernel {
+        self.kernel
+    }
+
+    /// Total elementwise multiplies per execution (`Copy` is free).
+    pub(crate) fn flops(&self) -> u64 {
+        let muls: u64 = self
+            .stages
+            .iter()
+            .flat_map(|s| &s.instrs)
+            .filter(|i| !matches!(i, DiagInstr::Copy { .. }))
+            .count() as u64;
+        muls * self.width as u64
+    }
+
+    /// Bytes of dense plane payload one workspace holds.
+    pub(crate) fn workspace_bytes<S: Scalar>(&self) -> usize {
+        let planes = match self.kernel {
+            DiagonalKernel::Linear => 1,
+            DiagonalKernel::LogSpace => 2,
+        };
+        planes * (self.n + 2) * self.width * std::mem::size_of::<S>()
+    }
+
+    /// Allocates the (fully pre-sized) planes for one execution.
+    pub(crate) fn workspace<S: Scalar>(&self) -> DiagonalWorkspace<S> {
+        let plane = (self.n + 2) * self.width;
+        DiagonalWorkspace {
+            vals: vec![S::ZERO; plane],
+            signs: match self.kernel {
+                DiagonalKernel::Linear => Vec::new(),
+                DiagonalKernel::LogSpace => vec![S::ZERO; plane],
+            },
+        }
+    }
+
+    /// Largest pool fan-out any stage of this plan would request from a
+    /// `workers`-wide pool — the plan-level view of
+    /// [`diagonal_level_tasks`], which the width-1 regression test asserts
+    /// stays `1` for degenerate widths no matter the chain length.
+    pub(crate) fn max_level_tasks(&self, workers: usize) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| s.parallel)
+            .map(|s| diagonal_level_tasks(self.width, s.instrs.len(), workers))
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Runs the compiled program: load rows from `seed` + per-layer
+    /// diagonals, execute the stages, materialize the outputs into
+    /// `grads[i]` (= slot row `n − i`). `diag_of(p)` must yield the diagonal
+    /// value slice of `jacobians()[p]`.
+    ///
+    /// Zero heap allocations in the steady state: the planes and `grads`
+    /// are pre-sized, and instructions are row-local.
+    pub(crate) fn execute<'a, S: Scalar>(
+        &self,
+        seed: &[S],
+        diag_of: impl Fn(usize) -> &'a [S],
+        ws: &mut DiagonalWorkspace<S>,
+        parallel: bool,
+        grads: &mut [bppsa_tensor::Vector<S>],
+    ) {
+        let w = self.width;
+        let n = self.n;
+        debug_assert_eq!(seed.len(), w);
+        debug_assert_eq!(grads.len(), n);
+
+        // Load the planes. Row s holds scan slot s: row 0 the seed, row s
+        // the diagonal of Jᵀ_{n+1−s} = jacobians()[n − s].
+        match self.kernel {
+            DiagonalKernel::Linear => {
+                ws.vals[..w].copy_from_slice(seed);
+                for s in 1..=n {
+                    ws.vals[s * w..(s + 1) * w].copy_from_slice(diag_of(n - s));
+                }
+            }
+            DiagonalKernel::LogSpace => {
+                load_log_row(&mut ws.vals[..w], &mut ws.signs[..w], seed);
+                for s in 1..=n {
+                    let (lo, hi) = (s * w, (s + 1) * w);
+                    load_log_row(&mut ws.vals[lo..hi], &mut ws.signs[lo..hi], diag_of(n - s));
+                }
+            }
+        }
+
+        self.run_stages(ws, parallel);
+
+        // Outputs: g[i] = slot n − i.
+        for (i, g) in grads.iter_mut().enumerate() {
+            let row = (n - i) * w;
+            let out = g.as_mut_slice();
+            match self.kernel {
+                DiagonalKernel::Linear => out.copy_from_slice(&ws.vals[row..row + w]),
+                DiagonalKernel::LogSpace => {
+                    for (k, o) in out.iter_mut().enumerate() {
+                        *o = ws.signs[row + k] * ws.vals[row + k].exp();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes every stage, fanning a level across the pool only when
+    /// [`diagonal_level_tasks`] says the width and volume justify it.
+    fn run_stages<S: Scalar>(&self, ws: &mut DiagonalWorkspace<S>, parallel: bool) {
+        let w = self.width;
+        let kernel = self.kernel;
+        let vals = SendPtr(ws.vals.as_mut_ptr());
+        let signs = SendPtr(if ws.signs.is_empty() {
+            std::ptr::null_mut()
+        } else {
+            ws.signs.as_mut_ptr()
+        });
+        for stage in &self.stages {
+            let tasks = if parallel && stage.parallel {
+                diagonal_level_tasks(w, stage.instrs.len(), global_pool().size())
+            } else {
+                1
+            };
+            if tasks > 1 {
+                let per = stage.instrs.len().div_ceil(tasks);
+                global_pool().run_indexed(tasks, &|t| {
+                    // Rebind the whole SendPtrs so the closure captures
+                    // them (not their raw-pointer fields, which are !Sync).
+                    let (vals, signs): (SendPtr<S>, SendPtr<S>) = (vals, signs);
+                    let lo = t * per;
+                    let hi = ((t + 1) * per).min(stage.instrs.len());
+                    for instr in &stage.instrs[lo..hi] {
+                        // SAFETY: pairs within one level are disjoint
+                        // (`assert_levels_disjoint`), each instruction
+                        // touches only its own two rows, and the pool
+                        // barrier orders levels; `signs` is non-null
+                        // whenever the kernel reads it.
+                        unsafe { run_instr(kernel, *instr, vals.0, signs.0, w) };
+                    }
+                });
+            } else {
+                for instr in &stage.instrs {
+                    // SAFETY: single-threaded here; row-local as above.
+                    unsafe { run_instr(kernel, *instr, vals.0, signs.0, w) };
+                }
+            }
+        }
+    }
+}
+
+/// Loads one row of the log-space planes: `logs = ln|v|` (`−∞` for zero)
+/// and `signs ∈ {1, 0, −1}`.
+fn load_log_row<S: Scalar>(logs: &mut [S], signs: &mut [S], values: &[S]) {
+    for ((lg, sg), &v) in logs.iter_mut().zip(signs.iter_mut()).zip(values) {
+        *lg = v.abs().ln();
+        *sg = if v == S::ZERO {
+            S::ZERO
+        } else if v < S::ZERO {
+            -S::ONE
+        } else {
+            S::ONE
+        };
+    }
+}
+
+/// Executes one instruction over the planes.
+///
+/// # Safety
+///
+/// `vals` (and `signs`, for the log-space kernel) must point to planes with
+/// at least `(max_row + 1) * width` elements, and no other thread may touch
+/// the instruction's two rows concurrently.
+unsafe fn run_instr<S: Scalar>(
+    kernel: DiagonalKernel,
+    instr: DiagInstr,
+    vals: *mut S,
+    signs: *mut S,
+    width: usize,
+) {
+    let row = |base: *mut S, r: u32| base.add(r as usize * width);
+    match (kernel, instr) {
+        (DiagonalKernel::Linear, DiagInstr::Copy { src, dst }) => {
+            std::ptr::copy_nonoverlapping(row(vals, src), row(vals, dst), width);
+        }
+        // The `+ S::ZERO` on every linear product is load-bearing for the
+        // bit-for-bit contract: the generic CSR program evaluates each lane
+        // as a one-term SpMV/SpGEMM row, i.e. `acc = 0; acc += a·b`, and
+        // that leading `+0.0` canonicalizes a `-0.0` product to `+0.0`
+        // (round-to-nearest: `+0 + -0 = +0`). A bare multiply would keep
+        // the negative zero and differ by one sign bit.
+        (DiagonalKernel::Linear, DiagInstr::MulInto { src, dst }) => {
+            let (s, d) = (row(vals, src), row(vals, dst));
+            for k in 0..width {
+                *d.add(k) = *d.add(k) * *s.add(k) + S::ZERO;
+            }
+        }
+        (DiagonalKernel::Linear, DiagInstr::SwapMul { l, r }) => {
+            let (lp, rp) = (row(vals, l), row(vals, r));
+            for k in 0..width {
+                let t = *lp.add(k);
+                *lp.add(k) = *rp.add(k);
+                *rp.add(k) = *rp.add(k) * t + S::ZERO;
+            }
+        }
+        (DiagonalKernel::LogSpace, DiagInstr::Copy { src, dst }) => {
+            std::ptr::copy_nonoverlapping(row(vals, src), row(vals, dst), width);
+            std::ptr::copy_nonoverlapping(row(signs, src), row(signs, dst), width);
+        }
+        (DiagonalKernel::LogSpace, DiagInstr::MulInto { src, dst }) => {
+            let (s, d) = (row(vals, src), row(vals, dst));
+            for k in 0..width {
+                *d.add(k) = *d.add(k) + *s.add(k);
+            }
+            let (s, d) = (row(signs, src), row(signs, dst));
+            for k in 0..width {
+                *d.add(k) = *d.add(k) * *s.add(k);
+            }
+        }
+        (DiagonalKernel::LogSpace, DiagInstr::SwapMul { l, r }) => {
+            let (lp, rp) = (row(vals, l), row(vals, r));
+            for k in 0..width {
+                let t = *lp.add(k);
+                *lp.add(k) = *rp.add(k);
+                *rp.add(k) = *rp.add(k) + t;
+            }
+            let (lp, rp) = (row(signs, l), row(signs, r));
+            for k in 0..width {
+                let t = *lp.add(k);
+                *lp.add(k) = *rp.add(k);
+                *rp.add(k) = *rp.add(k) * t;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_tasks_gate_on_width_first() {
+        // Width 1: never fans out, no matter how many instructions.
+        assert_eq!(diagonal_level_tasks(1, 1_000_000, 16), 1);
+        assert_eq!(diagonal_level_tasks(7, 1_000_000, 16), 1);
+        // Wide enough + heavy enough: splits, bounded by workers.
+        assert_eq!(diagonal_level_tasks(64, 100_000, 8), 8);
+        // Wide but tiny volume: stays inline.
+        assert_eq!(diagonal_level_tasks(64, 4, 8), 1);
+        // Task-size floor bounds the split for middling volumes.
+        let t = diagonal_level_tasks(8, 8_192, 64);
+        assert!((2..=8).contains(&t), "middling volume split {t}");
+        // Degenerate pools run inline.
+        assert_eq!(diagonal_level_tasks(256, 100_000, 1), 1);
+    }
+
+    #[test]
+    fn mode_selection_honors_heuristic_and_overrides() {
+        use std::sync::Arc;
+        let diag = |w: usize| {
+            Arc::new(SparsityPattern::new(
+                w,
+                w,
+                (0..=w).collect(),
+                (0..w as u32).collect(),
+            ))
+        };
+        let pats: Vec<_> = (0..3).map(|_| diag(4)).collect();
+        assert_eq!(
+            DiagonalMode::Auto.select(3, 4, &pats),
+            Some(DiagonalKernel::Linear)
+        );
+        assert_eq!(
+            DiagonalMode::LogSpace.select(3, 4, &pats),
+            Some(DiagonalKernel::LogSpace)
+        );
+        assert_eq!(DiagonalMode::Disabled.select(3, 4, &pats), None);
+        // Auto flips to log-space at the stability threshold (the pattern
+        // list is what matters; lengths are taken from `n`).
+        assert_eq!(
+            DiagonalMode::Auto.select(DIAGONAL_LOG_SPACE_MIN_LEN, 4, &pats),
+            Some(DiagonalKernel::LogSpace)
+        );
+        // Width mismatch or non-diagonal pattern: no fast path.
+        assert_eq!(DiagonalMode::Auto.select(3, 5, &pats), None);
+        let dense = Arc::new(SparsityPattern::new(2, 2, vec![0, 2, 4], vec![0, 1, 0, 1]));
+        assert_eq!(DiagonalMode::Linear.select(1, 2, &[dense]), None);
+        // Empty chains never take the fast path.
+        assert_eq!(DiagonalMode::Auto.select(0, 4, &[]), None);
+    }
+}

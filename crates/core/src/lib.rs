@@ -51,6 +51,7 @@
 
 mod backward;
 mod chain;
+mod diagonal;
 mod element;
 mod network;
 mod planned;
@@ -60,6 +61,10 @@ pub mod flops;
 
 pub use backward::{bppsa_backward, linear_backward, BackwardResult, BppsaOptions};
 pub use chain::{gradients_from_scan_output, JacobianChain};
+pub use diagonal::{
+    diagonal_level_tasks, DiagonalKernel, DiagonalMode, DIAGONAL_LOG_SPACE_MIN_LEN,
+    DIAGONAL_PARALLEL_MIN_WIDTH,
+};
 pub use element::{JacobianScanOp, ScanElement};
 pub use network::{Gradients, JacobianRepr, Network, Tape};
 pub use planned::{

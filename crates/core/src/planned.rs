@@ -65,6 +65,7 @@
 
 use crate::backward::{BackwardResult, BppsaOptions};
 use crate::chain::JacobianChain;
+use crate::diagonal::{DiagonalKernel, DiagonalScanPlan, DiagonalWorkspace};
 use crate::element::ScanElement;
 use bppsa_scan::{global_pool, Executor, Pair, PhaseKind, ScanSchedule, SendPtr};
 use bppsa_sparse::{Csr, SparsityPattern, SymbolicProduct};
@@ -166,6 +167,34 @@ pub struct PlannedScan {
     /// Expected operand patterns, layer order (`jacobians()[i]`).
     input_patterns: Vec<Arc<SparsityPattern>>,
     seed_len: usize,
+    /// The compiled numeric program (plan-kind selected at plan time).
+    program: Program,
+    parallel: bool,
+    /// Wall-clock cost of the symbolic phase that built this plan — the
+    /// observability hook serving-layer lane bring-up reports.
+    build_time: Duration,
+    /// Identity token tying workspaces to the plan they were built from.
+    token: Arc<()>,
+}
+
+/// The two program kinds a plan compiles to. Selection happens once, at
+/// plan time, from the chain's *patterns* (value-independent): all-diagonal
+/// chains get the dense elementwise program of [`crate::diagonal`] (unless
+/// [`crate::DiagonalMode::Disabled`]), everything else the generic CSR SSA
+/// program. Both run under the identical schedule, workspace lifecycle, and
+/// zero-allocation steady state.
+#[derive(Debug, Clone)]
+enum Program {
+    /// Generic sparse SSA program: hoisted symbolic products + SpMVs over
+    /// single-assignment CSR/vector buffers.
+    Csr(CsrProgram),
+    /// All-diagonal elementwise program over dense `(n + 2) × width` planes.
+    Diagonal(DiagonalScanPlan),
+}
+
+/// The generic sparse compiled program (the original `PlannedScan` body).
+#[derive(Debug, Clone)]
+struct CsrProgram {
     /// Single-assignment buffer shapes, indexed by `Loc::Buf`.
     buffers: Vec<BufferSpec>,
     /// Hoisted symbolic products, referenced by `Instr::Spgemm::plan`.
@@ -174,14 +203,8 @@ pub struct PlannedScan {
     stages: Vec<Stage>,
     /// Gradient sources: `outputs[i]` holds `∇x_{i+1}` after execution.
     outputs: Vec<Loc>,
-    parallel: bool,
     /// FLOPs of all planned matrix–matrix combines (numeric phase).
     spgemm_flops: u64,
-    /// Wall-clock cost of the symbolic phase that built this plan — the
-    /// observability hook serving-layer lane bring-up reports.
-    build_time: Duration,
-    /// Identity token tying workspaces to the plan they were built from.
-    token: Arc<()>,
 }
 
 /// Caller-owned buffers for [`PlannedScan::execute_with`]: every
@@ -190,9 +213,18 @@ pub struct PlannedScan {
 /// makes the steady-state backward pass allocation-free.
 #[derive(Debug)]
 pub struct ScanWorkspace<S> {
-    bufs: Vec<WorkBuf<S>>,
+    body: WsBody<S>,
     result: BackwardResult<S>,
     token: Arc<()>,
+}
+
+/// Kind-matched buffer storage: CSR programs use the SSA buffer list,
+/// diagonal programs the dense planes. The token check in
+/// [`PlannedScan::execute_with`] guarantees the body matches the program.
+#[derive(Debug)]
+enum WsBody<S> {
+    Csr(Vec<WorkBuf<S>>),
+    Diagonal(DiagonalWorkspace<S>),
 }
 
 #[derive(Debug)]
@@ -223,6 +255,297 @@ impl PlannedScan {
             })
             .collect();
         let seed_len = chain.seed().len();
+        let schedule = opts.schedule(n + 1);
+
+        // Plan-kind selection: all-diagonal chains take the elementwise
+        // fast path (same schedule, dense planes); everything else gets the
+        // generic CSR SSA program.
+        let program = match opts.diagonal.select(n, seed_len, &input_patterns) {
+            Some(kernel) => {
+                Program::Diagonal(DiagonalScanPlan::compile(n, seed_len, kernel, &schedule))
+            }
+            None => Program::Csr(CsrProgram::compile(&schedule, &input_patterns, seed_len)),
+        };
+
+        Self {
+            schedule,
+            input_patterns,
+            seed_len,
+            program,
+            parallel: !matches!(opts.executor, Executor::Serial),
+            build_time: build_start.elapsed(),
+            token: Arc::new(()),
+        }
+    }
+
+    /// Wall-clock time the symbolic phase took to build this plan.
+    ///
+    /// Planning is the one expensive, allocation-heavy step of the
+    /// plan→workspace→execute lifecycle; callers that build plans on demand
+    /// (the `bppsa-serve` lane bring-up, the [`PlannedBackwardCache`]) report
+    /// it for cold-start observability.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// The schedule this plan executes.
+    pub fn schedule(&self) -> &ScanSchedule {
+        &self.schedule
+    }
+
+    /// Total FLOPs of the planned numeric SpGEMM work per execution.
+    /// Diagonal programs plan no symbolic products and report `0`; their
+    /// elementwise work is [`PlannedScan::elementwise_flops`].
+    pub fn spgemm_flops(&self) -> u64 {
+        match &self.program {
+            Program::Csr(p) => p.spgemm_flops,
+            Program::Diagonal(_) => 0,
+        }
+    }
+
+    /// Total elementwise multiplies per execution of a diagonal program
+    /// (`0` for CSR programs, whose work is [`PlannedScan::spgemm_flops`]).
+    pub fn elementwise_flops(&self) -> u64 {
+        match &self.program {
+            Program::Csr(_) => 0,
+            Program::Diagonal(d) => d.flops(),
+        }
+    }
+
+    /// Which diagonal kernel this plan compiled to, or `None` when the
+    /// chain was not all-diagonal (or the fast path was
+    /// [`crate::DiagonalMode::Disabled`]).
+    pub fn diagonal_kernel(&self) -> Option<DiagonalKernel> {
+        match &self.program {
+            Program::Csr(_) => None,
+            Program::Diagonal(d) => Some(d.kernel()),
+        }
+    }
+
+    /// For diagonal plans: the largest pool fan-out any level would request
+    /// from a `workers`-wide pool (`None` for CSR plans). Exposes the
+    /// width-gated chunking policy ([`crate::diagonal_level_tasks`]) at the
+    /// plan level, so tests can pin that a `width = 1` chain of any length
+    /// never leaves the submitting thread.
+    pub fn diagonal_level_fanout(&self, workers: usize) -> Option<usize> {
+        match &self.program {
+            Program::Csr(_) => None,
+            Program::Diagonal(d) => Some(d.max_level_tasks(workers)),
+        }
+    }
+
+    /// Number of matrix–matrix combines that were symbolically planned
+    /// (`0` for diagonal programs — avoiding them is the point).
+    pub fn planned_products(&self) -> usize {
+        match &self.program {
+            Program::Csr(p) => p.spgemm_plans.len(),
+            Program::Diagonal(_) => 0,
+        }
+    }
+
+    /// Number of planned SpMV combines (`0` for diagonal programs).
+    pub fn planned_spmvs(&self) -> usize {
+        match &self.program {
+            Program::Csr(p) => p
+                .stages
+                .iter()
+                .flat_map(|s| &s.instrs)
+                .filter(|i| matches!(i, Instr::Spmv { .. }))
+                .count(),
+            Program::Diagonal(_) => 0,
+        }
+    }
+
+    /// Total bytes of workspace buffer payload an execution reuses.
+    pub fn workspace_bytes<S: Scalar>(&self) -> usize {
+        match &self.program {
+            Program::Csr(p) => p
+                .buffers
+                .iter()
+                .map(|spec| match spec {
+                    BufferSpec::Vector(len) => len * std::mem::size_of::<S>(),
+                    BufferSpec::Matrix(pat) => pat.nnz() * std::mem::size_of::<S>(),
+                })
+                .sum(),
+            Program::Diagonal(d) => d.workspace_bytes::<S>(),
+        }
+    }
+
+    /// Allocates the workspace this plan's program executes over: every
+    /// intermediate buffer plus the gradient outputs, fully pre-sized.
+    pub fn workspace<S: Scalar>(&self) -> ScanWorkspace<S> {
+        let (body, grads): (WsBody<S>, Vec<Vector<S>>) = match &self.program {
+            Program::Csr(p) => {
+                let bufs = p
+                    .buffers
+                    .iter()
+                    .map(|spec| match spec {
+                        BufferSpec::Vector(len) => WorkBuf::Vec(Vector::zeros(*len)),
+                        BufferSpec::Matrix(pat) => WorkBuf::Mat(Csr::from_pattern(Arc::clone(pat))),
+                    })
+                    .collect();
+                let grads = p
+                    .outputs
+                    .iter()
+                    .map(|loc| match loc {
+                        Loc::Seed => Vector::zeros(self.seed_len),
+                        Loc::Buf(j) => match &p.buffers[*j] {
+                            BufferSpec::Vector(len) => Vector::zeros(*len),
+                            BufferSpec::Matrix(_) => {
+                                unreachable!("gradient output is a matrix buffer")
+                            }
+                        },
+                        Loc::Jacobian(_) => unreachable!("gradient output is a Jacobian"),
+                    })
+                    .collect();
+                (WsBody::Csr(bufs), grads)
+            }
+            Program::Diagonal(d) => {
+                // Diagonal outputs are all seed-width vectors.
+                let grads = (0..self.input_patterns.len())
+                    .map(|_| Vector::zeros(self.seed_len))
+                    .collect();
+                (WsBody::Diagonal(d.workspace()), grads)
+            }
+        };
+        ScanWorkspace {
+            body,
+            result: BackwardResult::from_grads(grads),
+            token: Arc::clone(&self.token),
+        }
+    }
+
+    /// Executes the numeric-only backward pass over a chain with the same
+    /// patterns this plan was built from (convenience wrapper that allocates
+    /// a throwaway workspace; training loops should reuse one via
+    /// [`PlannedScan::execute_with`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`PlannedScan::execute_with`].
+    pub fn execute<S: Scalar>(&self, chain: &JacobianChain<S>) -> BackwardResult<S> {
+        let mut ws = self.workspace();
+        self.execute_with(chain, &mut ws).clone()
+    }
+
+    /// Executes the compiled numeric program over `chain` using the reused
+    /// `workspace`, returning the gradients stored in the workspace.
+    ///
+    /// After the first call warms the buffers, subsequent calls perform zero
+    /// heap allocations under the serial executor (and only the worker
+    /// pool's per-level batch header otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain's length or any operand's shape does not match
+    /// the plan, if the workspace was built from a different plan, or (in
+    /// debug builds) if any operand's *pattern* deviates from the planned
+    /// pattern.
+    pub fn execute_with<'w, S: Scalar>(
+        &self,
+        chain: &JacobianChain<S>,
+        workspace: &'w mut ScanWorkspace<S>,
+    ) -> &'w BackwardResult<S> {
+        self.check_chain(chain);
+        assert!(
+            Arc::ptr_eq(&self.token, &workspace.token),
+            "PlannedScan: workspace was built from a different plan"
+        );
+
+        match (&self.program, &mut workspace.body) {
+            (Program::Csr(p), WsBody::Csr(ws_bufs)) => {
+                let bufs: *mut WorkBuf<S> = ws_bufs.as_mut_ptr();
+                for stage in &p.stages {
+                    p.run_stage(stage, chain, bufs, ws_bufs.len(), self.parallel);
+                }
+
+                // Copy gradients into the workspace-owned result buffers.
+                for (i, loc) in p.outputs.iter().enumerate() {
+                    let src: &Vector<S> = match loc {
+                        Loc::Seed => chain.seed(),
+                        Loc::Buf(j) => match &ws_bufs[*j] {
+                            WorkBuf::Vec(v) => v,
+                            WorkBuf::Mat(_) => unreachable!("output buffer is a matrix"),
+                        },
+                        Loc::Jacobian(_) => unreachable!("output is a Jacobian"),
+                    };
+                    workspace.result.grads_mut()[i]
+                        .as_mut_slice()
+                        .copy_from_slice(src.as_slice());
+                }
+            }
+            (Program::Diagonal(d), WsBody::Diagonal(planes)) => {
+                let jacobians = chain.jacobians();
+                d.execute(
+                    chain.seed().as_slice(),
+                    |p| match &jacobians[p] {
+                        ScanElement::Sparse(m) => m.data(),
+                        other => unreachable!("diagonal plan operand is {other}"),
+                    },
+                    planes,
+                    self.parallel,
+                    workspace.result.grads_mut(),
+                );
+            }
+            // The token identity check above makes a kind mismatch
+            // impossible: a workspace's body is built from its plan's
+            // program.
+            _ => unreachable!("workspace body does not match the plan's program kind"),
+        }
+        &workspace.result
+    }
+
+    /// Whether `chain` has exactly the structure this plan was built from:
+    /// same length, seed width, and per-layer sparsity patterns (`Arc`
+    /// pointer fast path, content compare otherwise). Allocation-free.
+    pub fn matches<S: Scalar>(&self, chain: &JacobianChain<S>) -> bool {
+        chain_matches_shape(chain, self.seed_len, &self.input_patterns)
+    }
+
+    /// Validates chain length and operand shapes against the plan; debug
+    /// builds compare the full patterns (with an `Arc` pointer fast path),
+    /// so a wrong-pattern operand of the right shape cannot slip through.
+    fn check_chain<S: Scalar>(&self, chain: &JacobianChain<S>) {
+        assert_eq!(
+            chain.num_layers() + 1,
+            self.schedule.len(),
+            "PlannedScan: chain length does not match the plan"
+        );
+        assert_eq!(
+            chain.seed().len(),
+            self.seed_len,
+            "PlannedScan: seed length does not match the plan"
+        );
+        for (i, jt) in chain.jacobians().iter().enumerate() {
+            let expected = &self.input_patterns[i];
+            match jt {
+                ScanElement::Sparse(m) => {
+                    assert_eq!(
+                        m.shape(),
+                        expected.shape(),
+                        "PlannedScan: Jacobian {i} shape does not match the plan"
+                    );
+                    debug_assert!(
+                        Arc::ptr_eq(m.pattern_ref(), expected) || *m.pattern_ref() == *expected,
+                        "PlannedScan: Jacobian {i} pattern does not match the plan"
+                    );
+                }
+                other => panic!("PlannedScan: chain must be all-CSR, found {other}"),
+            }
+        }
+    }
+}
+
+impl CsrProgram {
+    /// The original whole-scan symbolic compilation: simulates the schedule
+    /// over the chain's patterns, hoisting every matrix–matrix combine into
+    /// a [`SymbolicProduct`] and resolving identities at plan time.
+    fn compile(
+        schedule: &ScanSchedule,
+        input_patterns: &[Arc<SparsityPattern>],
+        seed_len: usize,
+    ) -> Self {
+        let n = input_patterns.len();
 
         // Scan-array layout (Equation 5): [seed, J_n^T, …, J_1^T].
         let mut slots: Vec<Sim> = Vec::with_capacity(n + 1);
@@ -237,7 +560,6 @@ impl PlannedScan {
             });
         }
 
-        let schedule = opts.schedule(n + 1);
         let mut compiler = Compiler::default();
 
         // Up-sweep: a[r] ← a[l] ⊙ a[r] = a[r] · a[l].
@@ -289,191 +611,11 @@ impl PlannedScan {
             .collect();
 
         Self {
-            schedule,
-            input_patterns,
-            seed_len,
             buffers: compiler.buffers,
             spgemm_plans: compiler.plans,
             stages: compiler.stages,
             outputs,
-            parallel: !matches!(opts.executor, Executor::Serial),
             spgemm_flops: compiler.spgemm_flops,
-            build_time: build_start.elapsed(),
-            token: Arc::new(()),
-        }
-    }
-
-    /// Wall-clock time the symbolic phase took to build this plan.
-    ///
-    /// Planning is the one expensive, allocation-heavy step of the
-    /// plan→workspace→execute lifecycle; callers that build plans on demand
-    /// (the `bppsa-serve` lane bring-up, the [`PlannedBackwardCache`]) report
-    /// it for cold-start observability.
-    pub fn build_time(&self) -> Duration {
-        self.build_time
-    }
-
-    /// The schedule this plan executes.
-    pub fn schedule(&self) -> &ScanSchedule {
-        &self.schedule
-    }
-
-    /// Total FLOPs of the planned numeric SpGEMM work per execution.
-    pub fn spgemm_flops(&self) -> u64 {
-        self.spgemm_flops
-    }
-
-    /// Number of matrix–matrix combines that were symbolically planned.
-    pub fn planned_products(&self) -> usize {
-        self.spgemm_plans.len()
-    }
-
-    /// Number of planned SpMV combines.
-    pub fn planned_spmvs(&self) -> usize {
-        self.stages
-            .iter()
-            .flat_map(|s| &s.instrs)
-            .filter(|i| matches!(i, Instr::Spmv { .. }))
-            .count()
-    }
-
-    /// Total bytes of workspace buffer payload an execution reuses.
-    pub fn workspace_bytes<S: Scalar>(&self) -> usize {
-        self.buffers
-            .iter()
-            .map(|spec| match spec {
-                BufferSpec::Vector(len) => len * std::mem::size_of::<S>(),
-                BufferSpec::Matrix(pat) => pat.nnz() * std::mem::size_of::<S>(),
-            })
-            .sum()
-    }
-
-    /// Allocates the workspace this plan's program executes over: every
-    /// intermediate buffer plus the gradient outputs, fully pre-sized.
-    pub fn workspace<S: Scalar>(&self) -> ScanWorkspace<S> {
-        let bufs = self
-            .buffers
-            .iter()
-            .map(|spec| match spec {
-                BufferSpec::Vector(len) => WorkBuf::Vec(Vector::zeros(*len)),
-                BufferSpec::Matrix(pat) => WorkBuf::Mat(Csr::from_pattern(Arc::clone(pat))),
-            })
-            .collect();
-        let grads = self
-            .outputs
-            .iter()
-            .map(|loc| match loc {
-                Loc::Seed => Vector::zeros(self.seed_len),
-                Loc::Buf(j) => match &self.buffers[*j] {
-                    BufferSpec::Vector(len) => Vector::zeros(*len),
-                    BufferSpec::Matrix(_) => unreachable!("gradient output is a matrix buffer"),
-                },
-                Loc::Jacobian(_) => unreachable!("gradient output is a Jacobian"),
-            })
-            .collect();
-        ScanWorkspace {
-            bufs,
-            result: BackwardResult::from_grads(grads),
-            token: Arc::clone(&self.token),
-        }
-    }
-
-    /// Executes the numeric-only backward pass over a chain with the same
-    /// patterns this plan was built from (convenience wrapper that allocates
-    /// a throwaway workspace; training loops should reuse one via
-    /// [`PlannedScan::execute_with`]).
-    ///
-    /// # Panics
-    ///
-    /// As [`PlannedScan::execute_with`].
-    pub fn execute<S: Scalar>(&self, chain: &JacobianChain<S>) -> BackwardResult<S> {
-        let mut ws = self.workspace();
-        self.execute_with(chain, &mut ws).clone()
-    }
-
-    /// Executes the compiled numeric program over `chain` using the reused
-    /// `workspace`, returning the gradients stored in the workspace.
-    ///
-    /// After the first call warms the buffers, subsequent calls perform zero
-    /// heap allocations under the serial executor (and only the worker
-    /// pool's per-level batch header otherwise).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the chain's length or any operand's shape does not match
-    /// the plan, if the workspace was built from a different plan, or (in
-    /// debug builds) if any operand's *pattern* deviates from the planned
-    /// pattern.
-    pub fn execute_with<'w, S: Scalar>(
-        &self,
-        chain: &JacobianChain<S>,
-        workspace: &'w mut ScanWorkspace<S>,
-    ) -> &'w BackwardResult<S> {
-        self.check_chain(chain);
-        assert!(
-            Arc::ptr_eq(&self.token, &workspace.token),
-            "PlannedScan: workspace was built from a different plan"
-        );
-
-        let bufs: *mut WorkBuf<S> = workspace.bufs.as_mut_ptr();
-        for stage in &self.stages {
-            self.run_stage(stage, chain, bufs, workspace.bufs.len());
-        }
-
-        // Copy gradients into the workspace-owned result buffers.
-        for (i, loc) in self.outputs.iter().enumerate() {
-            let src: &Vector<S> = match loc {
-                Loc::Seed => chain.seed(),
-                Loc::Buf(j) => match &workspace.bufs[*j] {
-                    WorkBuf::Vec(v) => v,
-                    WorkBuf::Mat(_) => unreachable!("output buffer is a matrix"),
-                },
-                Loc::Jacobian(_) => unreachable!("output is a Jacobian"),
-            };
-            workspace.result.grads_mut()[i]
-                .as_mut_slice()
-                .copy_from_slice(src.as_slice());
-        }
-        &workspace.result
-    }
-
-    /// Whether `chain` has exactly the structure this plan was built from:
-    /// same length, seed width, and per-layer sparsity patterns (`Arc`
-    /// pointer fast path, content compare otherwise). Allocation-free.
-    pub fn matches<S: Scalar>(&self, chain: &JacobianChain<S>) -> bool {
-        chain_matches_shape(chain, self.seed_len, &self.input_patterns)
-    }
-
-    /// Validates chain length and operand shapes against the plan; debug
-    /// builds compare the full patterns (with an `Arc` pointer fast path),
-    /// so a wrong-pattern operand of the right shape cannot slip through.
-    fn check_chain<S: Scalar>(&self, chain: &JacobianChain<S>) {
-        assert_eq!(
-            chain.num_layers() + 1,
-            self.schedule.len(),
-            "PlannedScan: chain length does not match the plan"
-        );
-        assert_eq!(
-            chain.seed().len(),
-            self.seed_len,
-            "PlannedScan: seed length does not match the plan"
-        );
-        for (i, jt) in chain.jacobians().iter().enumerate() {
-            let expected = &self.input_patterns[i];
-            match jt {
-                ScanElement::Sparse(m) => {
-                    assert_eq!(
-                        m.shape(),
-                        expected.shape(),
-                        "PlannedScan: Jacobian {i} shape does not match the plan"
-                    );
-                    debug_assert!(
-                        Arc::ptr_eq(m.pattern_ref(), expected) || *m.pattern_ref() == *expected,
-                        "PlannedScan: Jacobian {i} pattern does not match the plan"
-                    );
-                }
-                other => panic!("PlannedScan: chain must be all-CSR, found {other}"),
-            }
         }
     }
 
@@ -485,6 +627,7 @@ impl PlannedScan {
         chain: &JacobianChain<S>,
         bufs: *mut WorkBuf<S>,
         bufs_len: usize,
+        parallel: bool,
     ) {
         // A stage dominated by one heavy combine gains more from
         // row-parallelism inside that combine (the serial branch below)
@@ -492,7 +635,7 @@ impl PlannedScan {
         // product on a single worker.
         let skewed = stage.max_instr_flops >= ROW_PARALLEL_MIN_FLOPS
             && 2 * stage.max_instr_flops >= stage.flops;
-        let instr_parallel = self.parallel
+        let instr_parallel = parallel
             && stage.parallel
             && !skewed
             && stage.instrs.len() >= 2
@@ -512,7 +655,7 @@ impl PlannedScan {
         } else {
             for instr in &stage.instrs {
                 // SAFETY: single-threaded here; aliasing argument as above.
-                unsafe { self.exec_instr(instr, chain, bufs, bufs_len, self.parallel) };
+                unsafe { self.exec_instr(instr, chain, bufs, bufs_len, parallel) };
             }
         }
     }
@@ -1040,22 +1183,31 @@ mod tests {
         assert!(diff < 1e-12);
     }
 
+    /// The generic program of a plan (these chains are never all-diagonal).
+    fn csr_program(plan: &PlannedScan) -> &CsrProgram {
+        match &plan.program {
+            Program::Csr(p) => p,
+            Program::Diagonal(_) => panic!("expected a CSR program"),
+        }
+    }
+
     #[test]
     fn plan_accounting_is_consistent() {
         let chain = sparse_chain(15, 13);
         let plan = PlannedScan::plan(&chain, BppsaOptions::serial());
         let schedule = plan.schedule();
+        let prog = csr_program(&plan);
         // Up-sweep: exactly one instruction per schedule pair (identities
         // never appear there), and matrix products occur *only* there.
         let up_pairs: usize = schedule.up_levels().iter().map(Vec::len).sum();
-        let up_instrs: usize = plan
+        let up_instrs: usize = prog
             .stages
             .iter()
             .filter(|st| matches!(st.phase, PhaseKind::UpSweep))
             .map(|st| st.instrs.len())
             .sum();
         assert_eq!(up_instrs, up_pairs);
-        let up_products: usize = plan
+        let up_products: usize = prog
             .stages
             .iter()
             .filter(|st| matches!(st.phase, PhaseKind::UpSweep))
@@ -1064,15 +1216,49 @@ mod tests {
             .count();
         assert_eq!(up_products, plan.planned_products());
         // Every instruction writes exactly one fresh buffer (SSA).
-        let total_instrs: usize = plan.stages.iter().map(|st| st.instrs.len()).sum();
-        assert_eq!(total_instrs, plan.buffers.len());
+        let total_instrs: usize = prog.stages.iter().map(|st| st.instrs.len()).sum();
+        assert_eq!(total_instrs, prog.buffers.len());
         assert_eq!(total_instrs, plan.planned_products() + plan.planned_spmvs());
         assert!(plan.spgemm_flops() > 0);
+        assert_eq!(plan.elementwise_flops(), 0);
+        assert!(plan.diagonal_kernel().is_none());
         assert!(plan.workspace_bytes::<f64>() > 0);
         assert!(
             plan.build_time() > Duration::ZERO,
             "symbolic planning must report its wall-clock cost"
         );
+    }
+
+    #[test]
+    fn diagonal_chain_takes_the_fast_path_and_matches_generic() {
+        use crate::diagonal::DiagonalMode;
+        let mut rng = seeded_rng(77);
+        for n in [1usize, 2, 3, 7, 8, 31, 64] {
+            let w = 5;
+            let mut chain = JacobianChain::new(uniform_vector(&mut rng, w, 1.0));
+            for _ in 0..n {
+                let diag: Vec<f64> = (0..w).map(|_| rng.random_range(-1.5..1.5)).collect();
+                chain.push(ScanElement::Sparse(Csr::from_diagonal(&diag)));
+            }
+            let fast = PlannedScan::plan(&chain, BppsaOptions::serial());
+            assert_eq!(
+                fast.diagonal_kernel(),
+                Some(crate::diagonal::DiagonalKernel::Linear),
+                "n={n}"
+            );
+            assert_eq!(fast.planned_products(), 0);
+            assert!(fast.elementwise_flops() > 0);
+            let generic = PlannedScan::plan(
+                &chain,
+                BppsaOptions::serial().diagonal(DiagonalMode::Disabled),
+            );
+            assert!(generic.diagonal_kernel().is_none());
+            let diff = fast
+                .execute(&chain)
+                .max_abs_diff(&generic.execute(&chain))
+                .abs();
+            assert_eq!(diff, 0.0, "n={n}: diagonal kernel must be bit-for-bit");
+        }
     }
 
     #[test]

@@ -83,6 +83,22 @@ fn sparse_chain(n: usize, width: usize, seed: u64) -> JacobianChain<f64> {
     chain
 }
 
+/// An all-diagonal chain (every layer a full-diagonal CSR sharing one
+/// pattern), so the plan compiles the elementwise fast path.
+fn diagonal_chain(n: usize, width: usize, seed: u64) -> JacobianChain<f64> {
+    let mut rng = seeded_rng(seed);
+    let pattern = Csr::from_diagonal(&vec![1.0f64; width]).pattern();
+    let mut chain = JacobianChain::new(uniform_vector(&mut rng, width, 1.0));
+    for _ in 0..n {
+        let diag: Vec<f64> = (0..width).map(|_| rng.random_range(-1.2..1.2)).collect();
+        chain.push(ScanElement::Sparse(Csr::from_pattern_and_values(
+            pattern.clone(),
+            diag,
+        )));
+    }
+    chain
+}
+
 /// Same sparsity patterns as `template` (so the same plan matches), fresh
 /// random values.
 fn sparse_chain_like(template: &JacobianChain<f64>, seed: u64) -> JacobianChain<f64> {
@@ -208,6 +224,70 @@ fn steady_state_planned_backward_is_allocation_free() {
         "steady-state BatchedBackward::execute must not touch the heap"
     );
     sink.verify(&batch_chains);
+
+    // --- Diagonal fast path: the elementwise program (linear and log-space
+    // kernels alike) is held to the same bar — serial, pooled, and batched
+    // over a workspace pool. The log kernel's sign plane and the dense
+    // `(n+2)×width` value plane are part of the prebuilt workspace, so the
+    // steady state is pure loads/multiplies/stores.
+    let diag_chain = diagonal_chain(48, 12, 11);
+    for mode in [
+        bppsa_core::DiagonalMode::Linear,
+        bppsa_core::DiagonalMode::LogSpace,
+    ] {
+        let reference = bppsa_core::bppsa_backward(&diag_chain, BppsaOptions::serial());
+        let tolerance = match mode {
+            bppsa_core::DiagonalMode::Linear => 0.0, // bit-for-bit contract
+            _ => 1e-9,
+        };
+        for opts in [BppsaOptions::serial(), BppsaOptions::pooled()] {
+            let plan = PlannedScan::plan(&diag_chain, opts.diagonal(mode));
+            assert!(plan.diagonal_kernel().is_some(), "must take the fast path");
+            let mut ws = plan.workspace::<f64>();
+            let _ = plan.execute_with(&diag_chain, &mut ws);
+            let _ = plan.execute_with(&diag_chain, &mut ws);
+            let (allocs, deallocs) = counted(|| {
+                let _ = plan.execute_with(&diag_chain, &mut ws);
+            });
+            assert_eq!(
+                (allocs, deallocs),
+                (0, 0),
+                "steady-state diagonal ({mode:?}, {:?}) must not touch the heap",
+                opts.executor
+            );
+            let diff = plan
+                .execute_with(&diag_chain, &mut ws)
+                .max_abs_diff(&reference);
+            assert!(diff <= tolerance, "diagonal {mode:?} diff {diff}");
+        }
+    }
+
+    // Batched diagonal: same-shape value-refreshed chains over the
+    // workspace pool, zero heap traffic after prewarm.
+    let diag_batch: Vec<JacobianChain<f64>> = (60..64)
+        .map(|s| sparse_chain_like(&diag_chain, s))
+        .collect();
+    let diag_batched = BatchedBackward::with_capacity(
+        std::sync::Arc::new(PlannedScan::plan(&diag_chain, BppsaOptions::serial())),
+        3,
+    );
+    assert!(
+        diag_batched.plan().diagonal_kernel().is_some(),
+        "batched diagonal plan must take the fast path"
+    );
+    diag_batched.prewarm(diag_batch.len());
+    let diag_sink = CountingSink::new(diag_batch.len());
+    diag_batched.execute(&diag_batch, &|i, result| diag_sink.record(i, result));
+    diag_batched.execute(&diag_batch, &|i, result| diag_sink.record(i, result));
+    let (dallocs, ddeallocs) = counted(|| {
+        diag_batched.execute(&diag_batch, &|i, result| diag_sink.record(i, result));
+    });
+    assert_eq!(
+        (dallocs, ddeallocs),
+        (0, 0),
+        "steady-state batched diagonal must not touch the heap"
+    );
+    diag_sink.verify(&diag_batch);
 
     // --- Contrast: the allocating execute() path heap-allocates every call
     // (that is exactly what the workspace API removes).

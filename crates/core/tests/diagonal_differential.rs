@@ -1,0 +1,292 @@
+//! Differential suite for the diagonal elementwise fast path.
+//!
+//! The contract under test (see `ARCHITECTURE.md`, "Diagonal fast path"):
+//! replaying the *same* `ScanSchedule` with elementwise multiplies produces
+//! the exact per-lane expression tree the generic CSR program evaluates, so
+//! the **linear kernel is bit-for-bit identical** to the generic plan — not
+//! merely "close". The **log-space kernel** reassociates through `ln`/`exp`
+//! and is held to a tight relative bound instead.
+//!
+//! Random cases sweep widths, lengths, hybrid schedules, and coefficient
+//! classes (signed, exact zeros, denormal-adjacent magnitudes, near-one);
+//! deterministic edges pin width-1 chains, wide-short and narrow-long
+//! shapes, and the width-gated fan-out policy at length 10⁶.
+
+use bppsa_core::{
+    bppsa_backward, BackwardResult, BppsaOptions, DiagonalKernel, DiagonalMode, JacobianChain,
+    PlannedScan, ScanElement,
+};
+use bppsa_sparse::Csr;
+use bppsa_tensor::init::seeded_rng;
+use bppsa_tensor::Vector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One diagonal coefficient, drawn from a mixture that stresses every
+/// numeric regime the kernels must agree on: plain signed values, exact
+/// zeros (annihilating lanes), denormal-adjacent magnitudes (underflow in
+/// the linear kernel, deep-negative logs in the log kernel), and near-one
+/// values (catastrophic cancellation in log space).
+fn coefficient(rng: &mut StdRng) -> f64 {
+    match rng.random_range(0..10usize) {
+        0 => 0.0,
+        1 => rng.random_range(-1e-300..1e-300),
+        2 => {
+            let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+            sign * (1.0 + rng.random_range(-1e-8..1e-8))
+        }
+        _ => rng.random_range(-2.0..2.0),
+    }
+}
+
+/// A length-`n` diagonal-Jacobian chain of the given width with mixed-class
+/// coefficients and a uniform seed gradient.
+fn diagonal_chain(rng: &mut StdRng, n: usize, width: usize) -> JacobianChain<f64> {
+    let seed = bppsa_tensor::init::uniform_vector(rng, width, 1.0);
+    let mut chain = JacobianChain::new(seed);
+    for _ in 0..n {
+        let diag: Vec<f64> = (0..width).map(|_| coefficient(rng)).collect();
+        chain.push(ScanElement::Sparse(Csr::from_diagonal(&diag)));
+    }
+    chain
+}
+
+/// Asserts two results are **bit-for-bit** equal — every lane of every
+/// gradient compares by `to_bits`, so infinities and signed zeros must match
+/// exactly too (a plain `max_abs_diff == 0` would treat `inf - inf = NaN`
+/// as a difference and `-0.0` vs `0.0` as equal for the wrong reason).
+fn assert_bit_for_bit(fast: &BackwardResult<f64>, reference: &BackwardResult<f64>, what: &str) {
+    assert_eq!(fast.grads().len(), reference.grads().len(), "{what}: arity");
+    for (i, (a, b)) in fast.grads().iter().zip(reference.grads()).enumerate() {
+        for (k, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{what}: grad {i} lane {k}: {x:e} vs {y:e}"
+            );
+        }
+    }
+}
+
+/// Log-space tolerance: `ln`/`exp` round once per combine, so after the
+/// schedule's `O(log n)` (or hybrid `O(n)`) combines the relative error is
+/// comfortably below 1e-6 for the sizes swept here. The absolute floor
+/// absorbs the subnormal zone, where the linear kernel's gradual underflow
+/// and the log kernel's `exp` of a deep-negative sum round differently.
+fn assert_log_close(fast: &BackwardResult<f64>, reference: &BackwardResult<f64>, what: &str) {
+    const REL: f64 = 1e-6;
+    const ABS_FLOOR: f64 = 1e-280;
+    assert_eq!(fast.grads().len(), reference.grads().len(), "{what}: arity");
+    for (i, (a, b)) in fast.grads().iter().zip(reference.grads()).enumerate() {
+        for (k, (&x, &y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            let tol = REL * x.abs().max(y.abs()) + ABS_FLOOR;
+            assert!(
+                (x - y).abs() <= tol,
+                "{what}: grad {i} lane {k}: {x:e} vs {y:e} (tol {tol:e})"
+            );
+        }
+    }
+}
+
+/// Plans `chain` under `mode`, asserting the plan actually took (or
+/// avoided) the diagonal program, and executes it.
+fn run_planned(
+    chain: &JacobianChain<f64>,
+    opts: BppsaOptions,
+    mode: DiagonalMode,
+    expect: Option<DiagonalKernel>,
+) -> BackwardResult<f64> {
+    let plan = PlannedScan::plan(chain, opts.diagonal(mode));
+    assert_eq!(plan.diagonal_kernel(), expect, "plan kind under {mode:?}");
+    plan.execute(chain)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Linear kernel ≡ generic CSR plan, bit for bit, across random widths,
+    // lengths, hybrid depths, and coefficient classes. The unplanned
+    // executor is held to the same standard: it walks the same schedule
+    // with one sparse product per combine.
+    #[test]
+    fn linear_kernel_is_bit_for_bit(
+        n in 1usize..257,
+        width in 1usize..33,
+        k in 0usize..6,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let chain = diagonal_chain(&mut seeded_rng(seed), n, width);
+        let opts = BppsaOptions::serial().hybrid(k);
+        let fast = run_planned(&chain, opts, DiagonalMode::Linear, Some(DiagonalKernel::Linear));
+        let generic = run_planned(&chain, opts, DiagonalMode::Disabled, None);
+        assert_bit_for_bit(&fast, &generic, "planned CSR");
+        let unplanned = bppsa_backward(&chain, opts.diagonal(DiagonalMode::Disabled));
+        assert_bit_for_bit(&fast, &unplanned, &format!("unplanned n={n} w={width} k={k} seed={seed}"));
+    }
+
+    // Log-space kernel stays within a tight relative bound of the generic
+    // plan on the same chains the linear sweep covers.
+    #[test]
+    fn log_space_kernel_matches_generic_tightly(
+        n in 1usize..257,
+        width in 1usize..33,
+        k in 0usize..6,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let chain = diagonal_chain(&mut seeded_rng(seed), n, width);
+        let opts = BppsaOptions::serial().hybrid(k);
+        let log = run_planned(&chain, opts, DiagonalMode::LogSpace, Some(DiagonalKernel::LogSpace));
+        let generic = run_planned(&chain, opts, DiagonalMode::Disabled, None);
+        assert_log_close(&log, &generic, "log-space vs CSR");
+    }
+
+    // Level fan-out never changes the math: a pooled plan is bit-for-bit
+    // identical to the serial generic plan (each instruction touches
+    // disjoint lane ranges, so splitting a stage reorders nothing).
+    #[test]
+    fn pooled_execution_is_bit_for_bit(
+        n in 1usize..129,
+        width in 8usize..65,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let chain = diagonal_chain(&mut seeded_rng(seed), n, width);
+        let pooled = run_planned(
+            &chain,
+            BppsaOptions::pooled(),
+            DiagonalMode::Linear,
+            Some(DiagonalKernel::Linear),
+        );
+        let generic = run_planned(&chain, BppsaOptions::serial(), DiagonalMode::Disabled, None);
+        assert_bit_for_bit(&pooled, &generic, "pooled");
+    }
+}
+
+/// Deterministic edge shapes the random sweep is unlikely to pin exactly:
+/// width 1 (never fans out), wide-and-short, narrow-and-long, and
+/// power-of-two ± 1 lengths around schedule phase boundaries.
+#[test]
+fn edge_shapes_are_bit_for_bit() {
+    let cases: &[(usize, usize)] = &[
+        (1, 1),
+        (2, 1),
+        (3, 1),
+        (1024, 1),
+        (33, 256),
+        (4096, 8),
+        (31, 7),
+        (32, 7),
+        (33, 7),
+        (255, 16),
+        (256, 16),
+        (257, 16),
+    ];
+    for &(n, width) in cases {
+        let chain = diagonal_chain(&mut seeded_rng(n as u64 ^ (width as u64) << 32), n, width);
+        for k in [0usize, 3] {
+            let opts = BppsaOptions::serial().hybrid(k);
+            let fast = run_planned(
+                &chain,
+                opts,
+                DiagonalMode::Linear,
+                Some(DiagonalKernel::Linear),
+            );
+            let generic = run_planned(&chain, opts, DiagonalMode::Disabled, None);
+            assert_bit_for_bit(&fast, &generic, &format!("n={n} w={width} k={k}"));
+            let log = run_planned(
+                &chain,
+                opts,
+                DiagonalMode::LogSpace,
+                Some(DiagonalKernel::LogSpace),
+            );
+            assert_log_close(&log, &generic, &format!("log n={n} w={width} k={k}"));
+        }
+    }
+}
+
+/// Exact zeros and denormal-adjacent coefficients: the linear kernel must
+/// reproduce the generic plan's signed zeros and gradual underflow bit for
+/// bit, and the log kernel must send annihilated lanes to exactly zero.
+#[test]
+fn zero_and_denormal_lanes_are_exact() {
+    let seed = Vector::from_vec(vec![1.0, -1.0, 0.5, -0.5, 2.0, -2.0]);
+    let mut chain = JacobianChain::new(seed);
+    let diags: &[[f64; 6]] = &[
+        [1.0, -1.0, 0.0, 1e-300, -1e-300, 5e-324],
+        [0.0, 2.0, -3.0, 1e-300, 1.0, -1.0],
+        [-1.0, -0.0, 1.5, -1e300, 1e-300, 0.0],
+        [0.25, 4.0, -0.5, 1e-300, -2.0, 1.0],
+    ];
+    for d in diags {
+        chain.push(ScanElement::Sparse(Csr::from_diagonal(d)));
+    }
+    let opts = BppsaOptions::serial();
+    let fast = run_planned(
+        &chain,
+        opts,
+        DiagonalMode::Linear,
+        Some(DiagonalKernel::Linear),
+    );
+    let generic = run_planned(&chain, opts, DiagonalMode::Disabled, None);
+    assert_bit_for_bit(&fast, &generic, "zero/denormal");
+
+    let log = run_planned(
+        &chain,
+        opts,
+        DiagonalMode::LogSpace,
+        Some(DiagonalKernel::LogSpace),
+    );
+    assert_log_close(&log, &generic, "log zero/denormal");
+    // Any lane that passed through a zero coefficient is exactly zero in
+    // both kernels (the log kernel carries a separate sign plane, so a zero
+    // is a hard 0, not exp(-inf) noise).
+    for (g_log, g_lin) in log.grads().iter().zip(fast.grads()) {
+        for (&x, &y) in g_log.as_slice().iter().zip(g_lin.as_slice()) {
+            if y == 0.0 {
+                assert_eq!(x, 0.0, "annihilated lane must be exactly zero");
+            }
+        }
+    }
+}
+
+/// Satellite: width-based chunking. A width-1 chain of one million layers
+/// plans in O(width) memory per combine and must never fan out — the plan
+/// reports a single level task even when offered 16 workers — while still
+/// producing exact results (coefficients are powers of two, so the linear
+/// kernel is exact against a sequentially-computed suffix product).
+#[test]
+fn width_one_by_one_million_runs_single_worker() {
+    const N: usize = 1_000_000;
+    let cycle = [1.0f64, -1.0, 0.5, 2.0];
+    let pattern = Csr::from_diagonal(&[1.0f64]).pattern();
+    let mut chain = JacobianChain::new(Vector::from_vec(vec![3.0f64]));
+    for i in 0..N {
+        chain.push(ScanElement::Sparse(Csr::from_pattern_and_values(
+            pattern.clone(),
+            vec![cycle[i % cycle.len()]],
+        )));
+    }
+
+    let plan = PlannedScan::plan(
+        &chain,
+        BppsaOptions::serial().diagonal(DiagonalMode::Linear),
+    );
+    assert_eq!(plan.diagonal_kernel(), Some(DiagonalKernel::Linear));
+    assert_eq!(
+        plan.diagonal_level_fanout(16),
+        Some(1),
+        "width-1 chains must never fan out"
+    );
+
+    let result = plan.execute(&chain);
+    // grads[i] = ∇x_{i+1} = (∏_{j=i+2..=N} c_j) · seed — exact in f64 for
+    // powers of two. With suffix[m] = ∏_{p=m..N-1} cycle[p % 4], that is
+    // suffix[i + 1] · seed.
+    let mut suffix = vec![1.0f64; N + 1];
+    for i in (0..N).rev() {
+        suffix[i] = suffix[i + 1] * cycle[i % cycle.len()];
+    }
+    assert_eq!(result.grads().len(), N);
+    for (i, g) in result.grads().iter().enumerate() {
+        assert_eq!(g.as_slice(), &[suffix[i + 1] * 3.0], "grad {i}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Numerical-stability regression for the log-space diagonal kernel.
+//!
+//! The failure mode this pins down: an exclusive scan's **tree partials**
+//! cover slot ranges that never start at the seed, so their magnitudes are
+//! *not* bounded by the outputs'. With per-layer coefficients `a_p = e^{c_p}`
+//! and prefix log-sums `L_q = Σ_{p≤q} c_p`, every output is `seed · e^{L}`
+//! — but an up-sweep partial over slots `[lo, hi]` is `e^{L_hi − L_{lo−1}}`,
+//! which for a V-shaped trajectory reaches `e^{2·depth}` even though
+//! `|L| ≤ depth` everywhere.
+//!
+//! The chains here descend to `L = −depth` over the first half and climb to
+//! `+depth` over the second (coefficients near `1 ± ε`, as in long SSM /
+//! linear-recurrence training). The right-half subtree partial is then
+//! `e^{2·depth}`: with `depth = 690` (f64) the linear kernel overflows to
+//! `inf` while the sequential Θ(n) baseline — whose running value is always
+//! a bounded prefix — stays finite; the mirrored trajectory underflows the
+//! partial to an exact `0.0`, silently zeroing a gradient whose true value
+//! is a perfectly normal `~e^{−690}`. The log-space kernel adds `c_p`
+//! instead of multiplying `a_p`, so `±2·depth` is just a number; it must
+//! stay finite and within 1e-6 relative of the f64 sequential reference.
+//!
+//! Also pinned: the `DiagonalMode::Auto` plan-time heuristic selects the
+//! log-space kernel at exactly [`DIAGONAL_LOG_SPACE_MIN_LEN`], so chains
+//! long enough to exhibit this failure get the stable kernel by default.
+
+use bppsa_core::{
+    linear_backward, BackwardResult, BppsaOptions, DiagonalKernel, DiagonalMode, JacobianChain,
+    PlannedScan, ScanElement, DIAGONAL_LOG_SPACE_MIN_LEN,
+};
+use bppsa_sparse::Csr;
+use bppsa_tensor::{Scalar, Vector};
+
+/// A two-lane diagonal chain of `n` layers whose log-magnitude trajectory
+/// descends linearly to `−depth` at the half-way slot and climbs to
+/// `+depth` at the end. Lane 1 carries the negated coefficients, so the
+/// log kernel's sign plane is exercised on every combine. `n` must be a
+/// power of two; the scan tree then covers slots `[0, n−1]` (seed plus the
+/// first `n−1` Jacobians) under the hybrid-`log2(n)` schedule, and the
+/// right-half subtree partial spans the whole `2·depth` climb.
+fn v_shaped_chain<S: Scalar>(n: usize, depth: f64) -> JacobianChain<S> {
+    assert!(n.is_power_of_two());
+    let h = n / 2;
+    let pattern = Csr::from_diagonal(&[S::ONE, S::ONE]).pattern();
+    let mut chain = JacobianChain::new(Vector::from_vec(vec![S::ONE, -S::ONE]));
+    // The trajectory lives in *slot* order (the scan array is reversed:
+    // push index i is slot n − i), so iterate slots descending. Slots
+    // 1..h−1 descend to −depth; slots h.. climb twice as fast (the climb
+    // has only half the tree's slots to recover 2·depth).
+    for s in (1..=n).rev() {
+        let c = if s < h {
+            -depth / (h - 1) as f64
+        } else {
+            2.0 * depth / h as f64
+        };
+        let a = S::from_f64(c.exp());
+        chain.push(ScanElement::Sparse(Csr::from_pattern_and_values(
+            pattern.clone(),
+            vec![a, -a],
+        )));
+    }
+    chain
+}
+
+/// Plans and executes `chain` under the given diagonal mode, asserting the
+/// expected kernel was chosen.
+fn run<S: Scalar>(
+    chain: &JacobianChain<S>,
+    mode: DiagonalMode,
+    expect: DiagonalKernel,
+) -> BackwardResult<S> {
+    let plan = PlannedScan::plan(chain, BppsaOptions::serial().diagonal(mode));
+    assert_eq!(plan.diagonal_kernel(), Some(expect));
+    plan.execute(chain)
+}
+
+/// Every gradient of `got` within `rel` relative error of `want` — no
+/// absolute floor, so a silent underflow to zero cannot hide behind the
+/// tolerance (the reference values here go down to `~1e-300` and must be
+/// matched, not waved through). The reference may be a wider type (the f32
+/// test checks against an f64 baseline); both sides compare as f64.
+fn assert_rel_close<S: Scalar, R: Scalar>(
+    got: &BackwardResult<S>,
+    want: &BackwardResult<R>,
+    rel: f64,
+) {
+    assert_eq!(got.grads().len(), want.grads().len());
+    for (i, (a, b)) in got.grads().iter().zip(want.grads()).enumerate() {
+        for (k, (&x, &y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            let (x, y) = (x.to_f64(), y.to_f64());
+            assert!(
+                (x - y).abs() <= rel * y.abs(),
+                "grad {i} lane {k}: {x:e} vs reference {y:e}"
+            );
+        }
+    }
+}
+
+/// `n = 2^17`, `depth = 690`: outputs span `e^{±690}` (representable), the
+/// right-half partial is `e^{1380}` (not). The linear kernel poisons the
+/// deepest gradient with `inf`; log-space matches the sequential baseline.
+#[test]
+fn overflowing_partials_demand_the_log_kernel_f64() {
+    let chain = v_shaped_chain::<f64>(1 << 17, 690.0);
+    // The sequential Θ(n) baseline only ever holds bounded prefixes: it is
+    // finite end to end, and is the accuracy reference below.
+    let reference = linear_backward(&chain);
+    assert!(
+        reference
+            .grads()
+            .iter()
+            .all(|g| g.as_slice().iter().all(|v| v.is_finite())),
+        "baseline must be finite: every true gradient is representable"
+    );
+
+    let linear = run(&chain, DiagonalMode::Linear, DiagonalKernel::Linear);
+    let deepest = &linear.grads()[0];
+    assert!(
+        deepest.as_slice().iter().any(|v| !v.is_finite()),
+        "linear kernel must overflow through the e^1380 partial (got {:?})",
+        deepest.as_slice()
+    );
+
+    let log = run(&chain, DiagonalMode::LogSpace, DiagonalKernel::LogSpace);
+    assert_rel_close(&log, &reference, 1e-6);
+}
+
+/// The mirrored trajectory: the right-half partial is `e^{−1380}`, which
+/// flushes to an exact `+0.0` — *silent* corruption (nothing non-finite to
+/// observe) of a gradient whose true value is a normal `~e^{−690}`.
+#[test]
+fn underflowing_partials_silently_zero_the_linear_kernel_f64() {
+    let chain = v_shaped_chain::<f64>(1 << 17, -690.0);
+    let reference = linear_backward(&chain);
+
+    let linear = run(&chain, DiagonalMode::Linear, DiagonalKernel::Linear);
+    let (got, want) = (
+        linear.grads()[0].as_slice()[0],
+        reference.grads()[0].as_slice()[0],
+    );
+    assert_eq!(got, 0.0, "the flushed partial must zero ∇x_1 exactly");
+    assert!(
+        want != 0.0 && want.is_normal(),
+        "the true ∇x_1 is a normal number ({want:e}) — the zero is silent corruption"
+    );
+
+    let log = run(&chain, DiagonalMode::LogSpace, DiagonalKernel::LogSpace);
+    assert_rel_close(&log, &reference, 1e-6);
+}
+
+/// f32 miniature of the same construction: `depth = 80` keeps outputs
+/// within f32 range (`ln MAX ≈ 88.7`) while the `e^{160}` partial
+/// overflows. Tolerance is wider — f32 carries ~7 digits through the
+/// `ln`/`exp` round trips.
+#[test]
+fn overflowing_partials_demand_the_log_kernel_f32() {
+    let chain = v_shaped_chain::<f32>(1 << 12, 80.0);
+    // The accuracy reference runs in f64 over the *same* stored f32
+    // coefficients, so it isolates the scan kernel's error from the
+    // chain-construction rounding.
+    let mut twin = JacobianChain::<f64>::new(Vector::from_vec(vec![1.0, -1.0]));
+    for jt in chain.jacobians() {
+        let ScanElement::Sparse(m) = jt else {
+            unreachable!("v_shaped_chain builds sparse elements")
+        };
+        let diag: Vec<f64> = m.data().iter().map(|&v| v as f64).collect();
+        twin.push(ScanElement::Sparse(Csr::from_diagonal(&diag)));
+    }
+    let reference = linear_backward(&twin);
+    assert!(
+        reference
+            .grads()
+            .iter()
+            .all(|g| g.as_slice().iter().all(|v| v.is_finite())),
+        "baseline must be finite"
+    );
+
+    let linear = run(&chain, DiagonalMode::Linear, DiagonalKernel::Linear);
+    assert!(
+        linear.grads()[0].as_slice().iter().any(|v| !v.is_finite()),
+        "f32 linear kernel must overflow through the e^160 partial"
+    );
+
+    let log = run(&chain, DiagonalMode::LogSpace, DiagonalKernel::LogSpace);
+    assert_rel_close(&log, &reference, 5e-3);
+}
+
+/// The plan-time heuristic: `Auto` switches to log-space at exactly
+/// [`DIAGONAL_LOG_SPACE_MIN_LEN`] layers, so the chains above — and any
+/// real workload long enough to build a `e^{2·depth}` partial — take the
+/// stable kernel without the caller opting in.
+#[test]
+fn auto_mode_selects_log_space_where_the_linear_kernel_breaks() {
+    let at = |n: usize| {
+        let pattern = Csr::from_diagonal(&[1.0f64]).pattern();
+        let mut chain = JacobianChain::new(Vector::from_vec(vec![1.0f64]));
+        for _ in 0..n {
+            chain.push(ScanElement::Sparse(Csr::from_pattern_and_values(
+                pattern.clone(),
+                vec![1.0f64],
+            )));
+        }
+        PlannedScan::plan(&chain, BppsaOptions::serial()).diagonal_kernel()
+    };
+    assert_eq!(
+        at(DIAGONAL_LOG_SPACE_MIN_LEN - 1),
+        Some(DiagonalKernel::Linear)
+    );
+    assert_eq!(
+        at(DIAGONAL_LOG_SPACE_MIN_LEN),
+        Some(DiagonalKernel::LogSpace)
+    );
+
+    // And the overflowing chain itself plans to log-space under Auto — the
+    // default configuration survives the adversarial trajectory.
+    let chain = v_shaped_chain::<f64>(1 << 17, 690.0);
+    let auto = run(&chain, DiagonalMode::Auto, DiagonalKernel::LogSpace);
+    assert_rel_close(&auto, &linear_backward(&chain), 1e-6);
+}

@@ -4,6 +4,8 @@
 //!
 //! * [`VanillaRnn`] — the Elman RNN of Equation 9 with both BPTT and BPPSA
 //!   backward paths (Figures 9/10's workload);
+//! * [`DiagonalSsm`] — a diagonal linear-recurrence (SSM) toy whose scan
+//!   chain the planner compiles into the elementwise diagonal fast path;
 //! * [`lenet5`] — LeNet-5 for the Figure 7 convergence experiment;
 //! * [`vgg11`] / [`vgg11_convs`] — VGG-11 for Table 1 and the §4.2 pruned
 //!   retraining micro-benchmark (Figure 11);
@@ -38,6 +40,7 @@ mod optim;
 mod pooled;
 mod rnn;
 mod served;
+mod ssm;
 mod vgg;
 
 pub mod prune;
@@ -50,6 +53,7 @@ pub use optim::{Adam, Optimizer, Sgd};
 pub use pooled::PooledChainSet;
 pub use rnn::{FusedPlannedState, RnnBatchSample, RnnGrads, RnnStates, VanillaRnn};
 pub use served::{ServedChainSet, ServedSubmitError};
+pub use ssm::{DiagonalSsm, SsmBatchSample, SsmGrads, SsmStates, SsmTrainState};
 pub use vgg::{vgg11, vgg11_conv_geometry, vgg11_convs, VGG11_WIDTHS};
 
 #[cfg(test)]

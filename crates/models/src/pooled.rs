@@ -15,7 +15,9 @@
 //! (§2.2 — BPPSA is "agnostic to the exact first-order optimizer"), and a
 //! sum is insensitive to which workspace computed which sample.
 
-use bppsa_core::{BackwardResult, BatchedBackward, BppsaOptions, JacobianChain, PlannedScan};
+use bppsa_core::{
+    BackwardResult, BatchedBackward, BppsaOptions, DiagonalMode, JacobianChain, PlannedScan,
+};
 use bppsa_tensor::Scalar;
 use std::sync::Arc;
 
@@ -38,9 +40,11 @@ pub struct PooledChainSet<S> {
 struct Entry<S> {
     /// `(chain length, element width)` of the per-sample chains.
     key: (usize, usize),
-    /// The only plan-relevant part of the caller's options: the schedule
-    /// shape. Executor choices must not force a re-plan.
+    /// The plan-relevant parts of the caller's options: the schedule shape
+    /// and the diagonal plan-kind mode. Executor choices must not force a
+    /// re-plan.
     up_levels: Option<usize>,
+    diagonal: DiagonalMode,
     /// One refreshable chain per batch slot; all clones of `chains[0]`, so
     /// every chain shares the template's `Arc` sparsity patterns and the
     /// plan's structural match is pointer equality.
@@ -73,13 +77,14 @@ impl<S: Scalar> PooledChainSet<S> {
         // Only the schedule shape is plan-relevant: re-planning on executor
         // changes would silently defeat the cache.
         let rebuild = match &self.entry {
-            Some(e) => e.key != key || e.up_levels != opts.up_levels,
+            Some(e) => e.key != key || e.up_levels != opts.up_levels || e.diagonal != opts.diagonal,
             None => true,
         };
         if rebuild {
             let template = build();
             let mut plan_opts = BppsaOptions::serial();
             plan_opts.up_levels = opts.up_levels;
+            plan_opts.diagonal = opts.diagonal;
             let plan = Arc::new(PlannedScan::plan(&template, plan_opts));
             let batched = BatchedBackward::new(plan);
             let mut chains = Vec::with_capacity(n);
@@ -87,6 +92,7 @@ impl<S: Scalar> PooledChainSet<S> {
             self.entry = Some(Entry {
                 key,
                 up_levels: opts.up_levels,
+                diagonal: opts.diagonal,
                 chains,
                 batched,
             });

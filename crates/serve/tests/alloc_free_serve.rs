@@ -86,6 +86,22 @@ fn sparse_chain(n: usize, width: usize, seed: u64) -> JacobianChain<f64> {
     chain
 }
 
+/// An all-diagonal chain (shared full-diagonal pattern), so the lane's
+/// warm-up plan compiles the elementwise fast path.
+fn diagonal_chain(n: usize, width: usize, seed: u64) -> JacobianChain<f64> {
+    let mut rng = seeded_rng(seed);
+    let pattern = Csr::from_diagonal(&vec![1.0f64; width]).pattern();
+    let mut chain = JacobianChain::new(uniform_vector(&mut rng, width, 1.0));
+    for _ in 0..n {
+        let diag: Vec<f64> = (0..width).map(|_| rng.random_range(-1.2..1.2)).collect();
+        chain.push(ScanElement::Sparse(Csr::from_pattern_and_values(
+            pattern.clone(),
+            diag,
+        )));
+    }
+    chain
+}
+
 /// Same patterns as `template`, fresh values.
 fn sparse_chain_like(template: &JacobianChain<f64>, seed: u64) -> JacobianChain<f64> {
     let mut rng = seeded_rng(seed);
@@ -181,5 +197,56 @@ fn steady_state_served_requests_are_allocation_free() {
         );
     }
     assert_eq!(service.lanes(), 1);
+
+    // --- Diagonal-shape lane: an all-diagonal chain routes to a second
+    // lane whose warm-up plan (BppsaOptions::serial() → DiagonalMode::Auto)
+    // compiles the elementwise fast path. The diagonal program's steady
+    // state — dense plane loads, elementwise stages, in-place gradient
+    // materialization — must clear the same zero-allocation bar through
+    // the whole service loop.
+    let diag_template = diagonal_chain(48, 10, 9);
+    assert!(
+        bppsa_core::PlannedScan::plan(&diag_template, BppsaOptions::serial())
+            .diagonal_kernel()
+            .is_some(),
+        "the lane's warm-up options must compile the diagonal program"
+    );
+    let diag_chains: Vec<JacobianChain<f64>> = (0..BATCH)
+        .map(|k| sparse_chain_like(&diag_template, 70 + k as u64))
+        .collect();
+    let diag_expected: Vec<f64> = diag_chains
+        .iter()
+        .map(|chain| {
+            bppsa_backward(chain, BppsaOptions::serial())
+                .grads()
+                .iter()
+                .flat_map(|g| g.as_slice())
+                .copied()
+                .sum()
+        })
+        .collect();
+    let mut diag_slots: Vec<Option<JacobianChain<f64>>> =
+        diag_chains.into_iter().map(Some).collect();
+    for _ in 0..3 {
+        round(&mut diag_slots);
+    }
+    let (dallocs, ddeallocs) = counted(|| {
+        for _ in 0..3 {
+            round(&mut diag_slots);
+        }
+    });
+    assert_eq!(
+        (dallocs, ddeallocs),
+        (0, 0),
+        "steady-state diagonal-lane request rounds must not touch the heap"
+    );
+    for (k, expect) in diag_expected.iter().enumerate() {
+        let got = *sums[k].lock().unwrap();
+        assert!(
+            (got - expect).abs() < 1e-10,
+            "diagonal request {k}: checksum {got} vs {expect}"
+        );
+    }
+    assert_eq!(service.lanes(), 2);
     service.shutdown();
 }

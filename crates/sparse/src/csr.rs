@@ -404,14 +404,14 @@ impl<S: Scalar> Csr<S> {
             x.len(),
             self.cols()
         );
-        let xs = x.as_slice();
-        Vector::from_fn(self.rows(), |i| {
-            self.row_indices(i)
-                .iter()
-                .zip(self.row_data(i))
-                .map(|(&j, &v)| v * xs[j as usize])
-                .sum()
-        })
+        // Delegates to `spmv_into` rather than an iterator `sum()`: float
+        // `Sum` folds from `-0.0` (preserving negative-zero sums), while
+        // the explicit `+0.0` accumulator canonicalizes a `-0.0` product to
+        // `+0.0`. All numeric kernels must agree on that sign bit for
+        // planned and unplanned executions to stay bit-identical.
+        let mut out = Vector::zeros(self.rows());
+        self.spmv_into(x, &mut out);
+        out
     }
 
     /// Sparse matrix–vector product into a caller-owned output vector

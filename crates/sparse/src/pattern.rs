@@ -126,6 +126,27 @@ impl SparsityPattern {
     pub fn contains(&self, i: usize, j: usize) -> bool {
         self.row_indices(i).binary_search(&(j as u32)).is_ok()
     }
+
+    /// Whether this is the *full* square diagonal pattern: `n × n` with
+    /// exactly one structural entry per row, at the diagonal position (the
+    /// pattern [`Csr::from_diagonal`](crate::Csr::from_diagonal) produces,
+    /// explicit zeros included). The guaranteed layout — `data()[i]` is the
+    /// `(i, i)` value — is what lets the diagonal scan fast path in
+    /// `bppsa-core` read a matrix's diagonal as a contiguous slice.
+    ///
+    /// Patterns that merely have *only* diagonal entries but are missing
+    /// some (e.g. built by a zero-dropping constructor) return `false`:
+    /// their products are not closed under the full-diagonal data layout.
+    pub fn is_diagonal(&self) -> bool {
+        self.rows == self.cols
+            && self.nnz() == self.rows
+            && self
+                .indices
+                .iter()
+                .enumerate()
+                .all(|(i, &j)| j as usize == i)
+            && self.indptr.iter().enumerate().all(|(i, &p)| p == i)
+    }
 }
 
 impl fmt::Display for SparsityPattern {
@@ -177,6 +198,25 @@ mod tests {
     #[should_panic(expected = "bad indptr length")]
     fn new_rejects_bad_indptr() {
         let _ = SparsityPattern::new(2, 2, vec![0, 1], vec![0]);
+    }
+
+    #[test]
+    fn is_diagonal_requires_the_full_diagonal() {
+        assert!(Csr::from_diagonal(&[1.0f64, 0.0, -2.0])
+            .pattern_ref()
+            .is_diagonal());
+        // A hole in the diagonal (as a zero-dropping constructor would
+        // leave): not full-diagonal.
+        let holey = SparsityPattern::new(2, 2, vec![0, 1, 1], vec![0]);
+        assert!(!holey.is_diagonal());
+        // Off-diagonal entry.
+        let off = SparsityPattern::new(2, 2, vec![0, 1, 2], vec![1, 0]);
+        assert!(!off.is_diagonal());
+        // Rectangular.
+        let rect = SparsityPattern::new(2, 3, vec![0, 1, 2], vec![0, 1]);
+        assert!(!rect.is_diagonal());
+        // Empty square (vacuously full-diagonal).
+        assert!(SparsityPattern::new(0, 0, vec![0], vec![]).is_diagonal());
     }
 
     #[test]

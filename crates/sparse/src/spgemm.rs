@@ -61,7 +61,13 @@ pub fn spgemm<S: Scalar>(a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
                 if !present[ju] {
                     present[ju] = true;
                     touched.push(j);
-                    values[ju] = av * bv;
+                    // `0 + av·bv`, not a bare product: every other numeric
+                    // kernel (spmv, the planned SymbolicProduct gather)
+                    // accumulates into a zeroed buffer, which canonicalizes
+                    // a `-0.0` product to `+0.0`. Matching that here keeps
+                    // planned and unplanned executions bit-identical even
+                    // on the sign of exact zeros.
+                    values[ju] = S::ZERO + av * bv;
                 } else {
                     values[ju] += av * bv;
                 }

@@ -39,7 +39,7 @@ proptest! {
         let reference = linear_backward(&chain);
         let opts = BppsaOptions {
             executor: if threads == 1 { Executor::Serial } else { Executor::Threaded(threads) },
-            up_levels: Some(k),
+            ..BppsaOptions::serial().hybrid(k)
         };
         let scanned = bppsa_backward(&chain, opts);
         let diff = reference.max_abs_diff(&scanned);
