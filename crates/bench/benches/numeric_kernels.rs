@@ -1,0 +1,69 @@
+//! Criterion bench — numeric-kernel density sweep: the same planned SpGEMM
+//! executed by each of the three [`NumericKernel`] modes (gather program,
+//! planned Gustavson, dense register-blocked panel), forced via
+//! [`SymbolicProduct::plan_with_mode`], across three density points:
+//!
+//! * `1024x1024/d0.01` — very sparse, the gather program's home turf;
+//! * `1024x1024/d0.08` — the `spgemm_row_parallel` acceptance point, where
+//!   the dense panel should overtake gather;
+//! * `512x512/d0.25`  — dense-ish, squarely inside the dense microkernel's
+//!   auto-selection window (`KERNEL_DENSE_MIN_DENSITY`).
+//!
+//! All measurements are steady-state [`SymbolicProduct::execute_into_with`]
+//! iterations over a pre-built [`KernelScratch`] — zero allocation in the
+//! timed region for every mode, so the sweep compares arithmetic schedules,
+//! not allocator behavior.
+//!
+//! Set `CRITERION_JSON_DIR=<dir>` to emit `numeric_kernels.json` (merged
+//! into `BENCH_planned_scan.json` at the workspace root; the JSON's
+//! `environment` record includes `available_parallelism`).
+
+use bppsa_bench::random_csr;
+use bppsa_sparse::{Csr, KernelMode, SymbolicProduct};
+use bppsa_tensor::init::seeded_rng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const MODES: [(KernelMode, &str); 3] = [
+    (KernelMode::Gather, "gather"),
+    (KernelMode::Gustavson, "gustavson"),
+    (KernelMode::Dense, "dense"),
+];
+
+fn bench_numeric_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numeric_kernels");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Threads matter for none of these (all serial execute_into_with), but
+    // the recorded baseline should say what machine produced it.
+    println!(
+        "bench numeric_kernels: available_parallelism = {}",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+
+    for (n, density) in [(1024usize, 0.01f64), (1024, 0.08), (512, 0.25)] {
+        let mut rng = seeded_rng(55);
+        let a = random_csr(&mut rng, n, n, density);
+        let b = random_csr(&mut rng, n, n, density);
+        for (mode, name) in MODES {
+            let plan = SymbolicProduct::plan_with_mode(&a.pattern(), &b.pattern(), mode);
+            assert_eq!(format!("{:?}", plan.kernel()).to_lowercase(), name);
+            let mut out = Csr::from_pattern(plan.out_pattern().clone());
+            let mut scratch = plan.scratch::<f64>(1);
+            plan.execute_into_with(&a, &b, &mut out, &mut scratch);
+            group.bench_function(format!("{n}x{n}/d{density}/{name}"), |bch| {
+                bch.iter(|| {
+                    plan.execute_into_with(std::hint::black_box(&a), &b, &mut out, &mut scratch)
+                })
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_numeric_kernels);
+criterion_main!(benches);

@@ -18,6 +18,7 @@
 //! `spgemm_row_parallel.json` / `workspace_pool.json` baselines (committed
 //! as `BENCH_planned_scan.json` at the workspace root).
 
+use bppsa_bench::random_csr;
 use bppsa_core::{
     bppsa_backward, BatchedBackward, BppsaOptions, JacobianChain, PlannedScan, ScanElement,
 };
@@ -25,9 +26,7 @@ use bppsa_models::prune::prune_operator;
 use bppsa_ops::{Conv2d, Conv2dConfig, Operator, Relu};
 use bppsa_sparse::{Csr, SymbolicProduct};
 use bppsa_tensor::init::{seeded_rng, uniform_tensor, uniform_vector};
-use bppsa_tensor::Matrix;
 use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
 use rand::Rng;
 use std::time::Duration;
 
@@ -67,16 +66,6 @@ fn large_random_chain() -> JacobianChain<f64> {
         chain.push(ScanElement::Sparse(random_csr(&mut rng, width, width, 0.3)));
     }
     chain
-}
-
-fn random_csr(rng: &mut StdRng, rows: usize, cols: usize, density: f64) -> Csr<f64> {
-    Csr::from_dense(&Matrix::from_fn(rows, cols, |_, _| {
-        if rng.random_range(0.0..1.0) < density {
-            rng.random_range(-1.0..1.0)
-        } else {
-            0.0
-        }
-    }))
 }
 
 fn bench_planned(c: &mut Criterion) {

@@ -18,14 +18,13 @@
 //! `available_parallelism` alongside the numbers (shim criterion's
 //! `environment` record) so the two regimes cannot be confused.
 
+use bppsa_bench::random_csr;
 use bppsa_core::{JacobianChain, ScanElement};
 use bppsa_serve::{
     BppsaService, BreakerPolicy, FaultInjector, FaultRates, FaultScript, ServeConfig, ShedPolicy,
     SubmitError, Ticket,
 };
-use bppsa_sparse::Csr;
 use bppsa_tensor::init::{seeded_rng, uniform_vector};
-use bppsa_tensor::Matrix;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -33,16 +32,6 @@ use std::time::Duration;
 
 /// Requests per measured wave.
 const WAVE: usize = 24;
-
-fn random_csr(rng: &mut StdRng, rows: usize, cols: usize, density: f64) -> Csr<f64> {
-    Csr::from_dense(&Matrix::from_fn(rows, cols, |_, _| {
-        if rng.random_range(0.0..1.0) < density {
-            rng.random_range(-1.0..1.0)
-        } else {
-            0.0
-        }
-    }))
-}
 
 /// An RNN-shaped chain: `n` timesteps of small square Jacobians.
 fn chain(n: usize, width: usize, rng: &mut StdRng) -> JacobianChain<f64> {

@@ -24,9 +24,28 @@
 
 #![warn(missing_docs)]
 
+use bppsa_sparse::Csr;
+use bppsa_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+
+/// Random `rows × cols` CSR matrix at the given density: each cell is
+/// nonzero with probability `density`, values uniform in `(-1, 1)` — the
+/// shared random-operand generator of the criterion benches
+/// (`planned_scan`, `serve_throughput`, `numeric_kernels`), so their
+/// workloads cannot drift apart.
+pub fn random_csr(rng: &mut StdRng, rows: usize, cols: usize, density: f64) -> Csr<f64> {
+    Csr::from_dense(&Matrix::from_fn(rows, cols, |_, _| {
+        if rng.random_range(0.0..1.0) < density {
+            rng.random_range(-1.0..1.0)
+        } else {
+            0.0
+        }
+    }))
+}
 
 /// Returns (and creates) the directory results CSVs are written to:
 /// `results/` under the workspace root (or the current directory).

@@ -7,6 +7,7 @@ use crate::chain::{gradients_from_scan_output, JacobianChain};
 use crate::diagonal::DiagonalMode;
 use crate::element::{JacobianScanOp, ScanElement};
 use bppsa_scan::{execute_in_place, Executor, ScanSchedule};
+use bppsa_sparse::KernelMode;
 use bppsa_tensor::{Scalar, Vector};
 
 /// Options for a BPPSA backward pass.
@@ -23,6 +24,13 @@ pub struct BppsaOptions {
     /// chain's patterns prove every layer diagonal; the unplanned
     /// [`bppsa_backward`] ignores this field.
     pub diagonal: DiagonalMode,
+    /// How [`PlannedScan`](crate::PlannedScan) picks the numeric SpGEMM
+    /// kernel of each planned matrix–matrix combine (see
+    /// [`KernelMode`]). The default [`KernelMode::Auto`] selects per combine
+    /// from the operands' pattern statistics; the forcing modes pin one
+    /// kernel for differential testing and ablation. The unplanned
+    /// [`bppsa_backward`] ignores this field.
+    pub kernel: KernelMode,
 }
 
 impl Default for BppsaOptions {
@@ -31,6 +39,7 @@ impl Default for BppsaOptions {
             executor: Executor::Serial,
             up_levels: None,
             diagonal: DiagonalMode::Auto,
+            kernel: KernelMode::Auto,
         }
     }
 }
@@ -68,6 +77,13 @@ impl BppsaOptions {
     /// [`DiagonalMode`]).
     pub fn diagonal(mut self, mode: DiagonalMode) -> Self {
         self.diagonal = mode;
+        self
+    }
+
+    /// Sets how planned execution picks each combine's numeric SpGEMM
+    /// kernel (see [`KernelMode`]).
+    pub fn kernel(mut self, mode: KernelMode) -> Self {
+        self.kernel = mode;
         self
     }
 

@@ -68,7 +68,9 @@ use crate::chain::JacobianChain;
 use crate::diagonal::{DiagonalKernel, DiagonalScanPlan, DiagonalWorkspace};
 use crate::element::ScanElement;
 use bppsa_scan::{global_pool, Executor, Pair, PhaseKind, ScanSchedule, SendPtr};
-use bppsa_sparse::{Csr, SparsityPattern, SymbolicProduct};
+use bppsa_sparse::{
+    Csr, KernelMode, KernelScratch, NumericKernel, SparsityPattern, SymbolicProduct,
+};
 use bppsa_tensor::{Scalar, Vector};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -192,6 +194,37 @@ enum Program {
     Diagonal(DiagonalScanPlan),
 }
 
+/// The program kind a [`PlannedScan`] compiled to — the public view of the
+/// plan-time selection (see [`PlannedScan::plan_kind`]). `bppsa-serve`
+/// surfaces it per lane through the lane metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanKind {
+    /// Generic sparse SSA program (hoisted symbolic products + SpMVs).
+    Csr,
+    /// All-diagonal elementwise fast path.
+    Diagonal,
+}
+
+/// Per-kernel counts over a plan's hoisted symbolic products — how many
+/// combines resolved to each [`NumericKernel`] (see
+/// [`PlannedScan::kernel_counts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelCounts {
+    /// Combines running the precomputed gather program.
+    pub gather: usize,
+    /// Combines running the planned row-by-row Gustavson kernel.
+    pub gustavson: usize,
+    /// Combines running the dense packed-panel microkernel.
+    pub dense: usize,
+}
+
+impl KernelCounts {
+    /// Total planned matrix–matrix combines.
+    pub fn total(&self) -> usize {
+        self.gather + self.gustavson + self.dense
+    }
+}
+
 /// The generic sparse compiled program (the original `PlannedScan` body).
 #[derive(Debug, Clone)]
 struct CsrProgram {
@@ -223,7 +256,13 @@ pub struct ScanWorkspace<S> {
 /// [`PlannedScan::execute_with`] guarantees the body matches the program.
 #[derive(Debug)]
 enum WsBody<S> {
-    Csr(Vec<WorkBuf<S>>),
+    Csr {
+        bufs: Vec<WorkBuf<S>>,
+        /// Per-product numeric scratch, indexed like the program's
+        /// `spgemm_plans` (each `Spgemm` instruction references a unique
+        /// plan, so instruction-parallel stages touch disjoint scratches).
+        scratches: Vec<KernelScratch<S>>,
+    },
     Diagonal(DiagonalWorkspace<S>),
 }
 
@@ -264,7 +303,12 @@ impl PlannedScan {
             Some(kernel) => {
                 Program::Diagonal(DiagonalScanPlan::compile(n, seed_len, kernel, &schedule))
             }
-            None => Program::Csr(CsrProgram::compile(&schedule, &input_patterns, seed_len)),
+            None => Program::Csr(CsrProgram::compile(
+                &schedule,
+                &input_patterns,
+                seed_len,
+                opts.kernel,
+            )),
         };
 
         Self {
@@ -322,6 +366,44 @@ impl PlannedScan {
         }
     }
 
+    /// Which program kind this plan compiled to — the public, serve-facing
+    /// view of the internal program enum (`bppsa-serve` lane metrics report
+    /// it per lane).
+    pub fn plan_kind(&self) -> PlanKind {
+        match &self.program {
+            Program::Csr(_) => PlanKind::Csr,
+            Program::Diagonal(_) => PlanKind::Diagonal,
+        }
+    }
+
+    /// Per-kernel counts over this plan's hoisted symbolic products — the
+    /// kernel-mode mix a [`KernelMode`] resolved to across the program's
+    /// combines. Diagonal programs plan no products and report all zeros.
+    pub fn kernel_counts(&self) -> KernelCounts {
+        let mut counts = KernelCounts::default();
+        if let Program::Csr(p) = &self.program {
+            for plan in &p.spgemm_plans {
+                match plan.kernel() {
+                    NumericKernel::Gather => counts.gather += 1,
+                    NumericKernel::Gustavson => counts.gustavson += 1,
+                    NumericKernel::Dense => counts.dense += 1,
+                }
+            }
+        }
+        counts
+    }
+
+    /// Accumulator lanes each combine's [`KernelScratch`] is sized for:
+    /// one per row chunk the parallel executor could fan out to, or a
+    /// single lane under the serial executor.
+    fn scratch_lanes(&self) -> usize {
+        if self.parallel {
+            global_pool().size() + 1
+        } else {
+            1
+        }
+    }
+
     /// For diagonal plans: the largest pool fan-out any level would request
     /// from a `workers`-wide pool (`None` for CSR plans). Exposes the
     /// width-gated chunking policy ([`crate::diagonal_level_tasks`]) at the
@@ -359,14 +441,20 @@ impl PlannedScan {
     /// Total bytes of workspace buffer payload an execution reuses.
     pub fn workspace_bytes<S: Scalar>(&self) -> usize {
         match &self.program {
-            Program::Csr(p) => p
-                .buffers
-                .iter()
-                .map(|spec| match spec {
-                    BufferSpec::Vector(len) => len * std::mem::size_of::<S>(),
-                    BufferSpec::Matrix(pat) => pat.nnz() * std::mem::size_of::<S>(),
-                })
-                .sum(),
+            Program::Csr(p) => {
+                let lanes = self.scratch_lanes();
+                p.buffers
+                    .iter()
+                    .map(|spec| match spec {
+                        BufferSpec::Vector(len) => len * std::mem::size_of::<S>(),
+                        BufferSpec::Matrix(pat) => pat.nnz() * std::mem::size_of::<S>(),
+                    })
+                    .sum::<usize>()
+                    + p.spgemm_plans
+                        .iter()
+                        .map(|plan| plan.scratch_bytes::<S>(lanes))
+                        .sum::<usize>()
+            }
             Program::Diagonal(d) => d.workspace_bytes::<S>(),
         }
     }
@@ -398,7 +486,17 @@ impl PlannedScan {
                         Loc::Jacobian(_) => unreachable!("gradient output is a Jacobian"),
                     })
                     .collect();
-                (WsBody::Csr(bufs), grads)
+                // One scratch per hoisted product, pre-sized for the widest
+                // row-chunk fan-out the executor could request — the dense
+                // panels and accumulator lanes are part of the workspace, so
+                // the steady state stays allocation-free for every kernel.
+                let lanes = self.scratch_lanes();
+                let scratches = p
+                    .spgemm_plans
+                    .iter()
+                    .map(|plan| plan.scratch::<S>(lanes))
+                    .collect();
+                (WsBody::Csr { bufs, scratches }, grads)
             }
             Program::Diagonal(d) => {
                 // Diagonal outputs are all seed-width vectors.
@@ -453,10 +551,18 @@ impl PlannedScan {
         );
 
         match (&self.program, &mut workspace.body) {
-            (Program::Csr(p), WsBody::Csr(ws_bufs)) => {
+            (
+                Program::Csr(p),
+                WsBody::Csr {
+                    bufs: ws_bufs,
+                    scratches,
+                },
+            ) => {
+                debug_assert_eq!(scratches.len(), p.spgemm_plans.len());
                 let bufs: *mut WorkBuf<S> = ws_bufs.as_mut_ptr();
+                let scratch: *mut KernelScratch<S> = scratches.as_mut_ptr();
                 for stage in &p.stages {
-                    p.run_stage(stage, chain, bufs, ws_bufs.len(), self.parallel);
+                    p.run_stage(stage, chain, bufs, ws_bufs.len(), scratch, self.parallel);
                 }
 
                 // Copy gradients into the workspace-owned result buffers.
@@ -544,6 +650,7 @@ impl CsrProgram {
         schedule: &ScanSchedule,
         input_patterns: &[Arc<SparsityPattern>],
         seed_len: usize,
+        kernel: KernelMode,
     ) -> Self {
         let n = input_patterns.len();
 
@@ -560,7 +667,10 @@ impl CsrProgram {
             });
         }
 
-        let mut compiler = Compiler::default();
+        let mut compiler = Compiler {
+            kernel,
+            ..Compiler::default()
+        };
 
         // Up-sweep: a[r] ← a[l] ⊙ a[r] = a[r] · a[l].
         for level in schedule.up_levels() {
@@ -627,6 +737,7 @@ impl CsrProgram {
         chain: &JacobianChain<S>,
         bufs: *mut WorkBuf<S>,
         bufs_len: usize,
+        scratch: *mut KernelScratch<S>,
         parallel: bool,
     ) {
         // A stage dominated by one heavy combine gains more from
@@ -643,19 +754,25 @@ impl CsrProgram {
             && stage.flops / stage.instrs.len() as u64 >= TASK_MIN_FLOPS;
         if instr_parallel {
             let bufs = SendPtr(bufs);
+            let scratch = SendPtr(scratch);
             global_pool().run_indexed(stage.instrs.len(), &|i| {
                 let bufs: SendPtr<WorkBuf<S>> = bufs;
+                let scratch: SendPtr<KernelScratch<S>> = scratch;
                 // SAFETY: instructions within a stage write pairwise-distinct
                 // single-assignment buffers and read only buffers written in
                 // earlier stages (schedule disjointness + SSA construction),
-                // so no two tasks alias a destination; the pool barrier
+                // so no two tasks alias a destination; every Spgemm
+                // instruction references a unique plan index, so per-plan
+                // scratches are exclusively owned too; the pool barrier
                 // orders the writes against later stages.
-                unsafe { self.exec_instr(&stage.instrs[i], chain, bufs.0, bufs_len, false) };
+                unsafe {
+                    self.exec_instr(&stage.instrs[i], chain, bufs.0, bufs_len, scratch.0, false)
+                };
             });
         } else {
             for instr in &stage.instrs {
                 // SAFETY: single-threaded here; aliasing argument as above.
-                unsafe { self.exec_instr(instr, chain, bufs, bufs_len, parallel) };
+                unsafe { self.exec_instr(instr, chain, bufs, bufs_len, scratch, parallel) };
             }
         }
     }
@@ -668,12 +785,17 @@ impl CsrProgram {
     /// `bufs` must point to `bufs_len` initialized buffers matching the
     /// plan's specs, the instruction's `dst` must not be concurrently
     /// accessed, and its source buffers must not be concurrently written.
+    /// `scratch` must point to one [`KernelScratch`] per entry of
+    /// `spgemm_plans` (in order), and no other instruction referencing the
+    /// same plan index may run concurrently (guaranteed: each `Spgemm`
+    /// instruction holds a unique plan index by construction).
     unsafe fn exec_instr<S: Scalar>(
         &self,
         instr: &Instr,
         chain: &JacobianChain<S>,
         bufs: *mut WorkBuf<S>,
         bufs_len: usize,
+        scratch: *mut KernelScratch<S>,
         row_parallel: bool,
     ) {
         match instr {
@@ -700,10 +822,13 @@ impl CsrProgram {
                     WorkBuf::Mat(out) => out,
                     WorkBuf::Vec(_) => unreachable!("spgemm destination is a vector buffer"),
                 };
-                if row_parallel && p.flops() >= ROW_PARALLEL_MIN_FLOPS {
-                    p.execute_into_parallel(a, b, out, global_pool());
+                // SAFETY (caller contract): `plan` indexes are unique per
+                // instruction, so this scratch is exclusively ours.
+                let scratch = &mut *scratch.add(*plan);
+                if row_parallel && p.execute_flops() >= ROW_PARALLEL_MIN_FLOPS {
+                    p.execute_into_parallel_with(a, b, out, global_pool(), scratch);
                 } else {
-                    p.execute_into(a, b, out);
+                    p.execute_into_with(a, b, out, scratch);
                 }
             }
         }
@@ -965,6 +1090,8 @@ struct Compiler {
     plans: Vec<SymbolicProduct>,
     stages: Vec<Stage>,
     spgemm_flops: u64,
+    /// How each matrix-fold combine resolves its numeric kernel.
+    kernel: KernelMode,
 }
 
 impl Compiler {
@@ -1015,10 +1142,14 @@ impl Compiler {
             }
             // Matrix fold: a ⊙ b = b·a through a hoisted symbolic product.
             (Sim::Mat { pat: pa, loc: la }, Sim::Mat { pat: pb, loc: lb }) => {
-                let product = SymbolicProduct::plan(pb, pa);
+                let product = SymbolicProduct::plan_with_mode(pb, pa, self.kernel);
                 let out_pat = Arc::clone(product.out_pattern());
-                let flops = product.flops();
-                self.spgemm_flops += flops;
+                // Accounting keeps the kernel-independent *structural* FLOPs
+                // (the mathematical work); stage pricing uses the FLOPs the
+                // resolved kernel actually executes, so fan-out decisions
+                // see the dense panel kernel's true cost.
+                self.spgemm_flops += product.flops();
+                let flops = product.execute_flops();
                 stage.flops += flops;
                 stage.max_instr_flops = stage.max_instr_flops.max(flops);
                 let plan = self.plans.len();

@@ -289,6 +289,46 @@ fn steady_state_planned_backward_is_allocation_free() {
     );
     diag_sink.verify(&diag_batch);
 
+    // --- Numeric kernel modes: the Gustavson and dense-panel kernels route
+    // every execution through workspace-owned KernelScratch (accumulator
+    // lanes + packed panels), so forced and Auto kernel selections hold the
+    // same zero-allocation bar as the gather program — serial and pooled.
+    // Width 16 at 0.3 density clears the dense kernel's width/density
+    // gates, so Auto genuinely compiles dense combines here.
+    let wide_chain = sparse_chain(12, 16, 9);
+    let kernel_reference = bppsa_core::bppsa_backward(&wide_chain, BppsaOptions::serial());
+    for kernel in [
+        bppsa_core::KernelMode::Auto,
+        bppsa_core::KernelMode::Gustavson,
+        bppsa_core::KernelMode::Dense,
+    ] {
+        for opts in [BppsaOptions::serial(), BppsaOptions::pooled()] {
+            let plan = PlannedScan::plan(&wide_chain, opts.kernel(kernel));
+            if kernel == bppsa_core::KernelMode::Auto {
+                assert!(
+                    plan.kernel_counts().dense > 0,
+                    "Auto must compile dense combines on this chain"
+                );
+            }
+            let mut ws = plan.workspace::<f64>();
+            let _ = plan.execute_with(&wide_chain, &mut ws);
+            let _ = plan.execute_with(&wide_chain, &mut ws);
+            let (allocs, deallocs) = counted(|| {
+                let _ = plan.execute_with(&wide_chain, &mut ws);
+            });
+            assert_eq!(
+                (allocs, deallocs),
+                (0, 0),
+                "steady-state {kernel:?} kernel ({:?}) must not touch the heap",
+                opts.executor
+            );
+            let diff = plan
+                .execute_with(&wide_chain, &mut ws)
+                .max_abs_diff(&kernel_reference);
+            assert!(diff < 1e-12, "kernel {kernel:?} diff {diff}");
+        }
+    }
+
     // --- Contrast: the allocating execute() path heap-allocates every call
     // (that is exactly what the workspace API removes).
     let (legacy_allocs, _) = counted(|| {

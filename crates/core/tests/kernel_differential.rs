@@ -1,0 +1,161 @@
+//! Differential suite for the numeric kernel modes: every forced
+//! [`KernelMode`] (and `Auto`'s per-combine mix) must produce **bit-for-bit
+//! identical** gradients — same signed-zero canonicalization contract the
+//! diagonal fast path pins — under both the serial and pooled executors,
+//! and stay within fp-reassociation distance of the unplanned reference.
+//!
+//! The contract being exercised (see `bppsa-sparse`'s `kernel` module): all
+//! three numeric kernels accumulate each output element's structural terms
+//! in the identical order with the identical leading `0 + av·bv`
+//! canonicalization, and the dense panel kernel's extra structural-zero
+//! terms are exact no-ops for finite operands. `Auto` therefore never
+//! changes results — only throughput.
+
+use bppsa_core::{
+    bppsa_backward, BackwardResult, BppsaOptions, JacobianChain, KernelMode, NumericKernel,
+    PlanKind, PlannedScan, ScanElement,
+};
+use bppsa_sparse::Csr;
+use bppsa_tensor::init::{seeded_rng, uniform_vector};
+use bppsa_tensor::Matrix;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Random CSR chain: `n` square layers of the given width and density.
+fn sparse_chain(n: usize, width: usize, density: f64, seed: u64) -> JacobianChain<f64> {
+    let mut rng = seeded_rng(seed);
+    let mut chain = JacobianChain::new(uniform_vector(&mut rng, width, 1.0));
+    for _ in 0..n {
+        let dense = Matrix::from_fn(width, width, |_, _| {
+            if rng.random_range(0.0..1.0) < density {
+                rng.random_range(-1.0..1.0)
+            } else {
+                0.0
+            }
+        });
+        chain.push(ScanElement::Sparse(Csr::from_dense(&dense)));
+    }
+    chain
+}
+
+/// Bit-level equality of two results, including the sign of exact zeros.
+fn assert_bits_eq(got: &BackwardResult<f64>, want: &BackwardResult<f64>, what: &str) {
+    assert_eq!(got.grads().len(), want.grads().len(), "{what}: layer count");
+    for (i, (g, w)) in got.grads().iter().zip(want.grads()).enumerate() {
+        for (j, (x, y)) in g.as_slice().iter().zip(w.as_slice()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: grads[{i}][{j}] = {x:?} vs {y:?}"
+            );
+        }
+    }
+}
+
+const MODES: [KernelMode; 4] = [
+    KernelMode::Auto,
+    KernelMode::Gather,
+    KernelMode::Gustavson,
+    KernelMode::Dense,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // All kernel modes, serial and pooled, produce bit-identical gradients
+    // (reference: the forced gather program — the pre-refactor numeric
+    // path) and agree with the unplanned backward to fp tolerance.
+    #[test]
+    fn kernel_modes_are_bit_for_bit_identical(
+        n in 1usize..20,
+        width in 2usize..14,
+        density in 0.05f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let chain = sparse_chain(n, width, density, seed);
+        let reference = PlannedScan::plan(&chain, BppsaOptions::serial().kernel(KernelMode::Gather))
+            .execute(&chain);
+        let unplanned = bppsa_backward(&chain, BppsaOptions::serial());
+        prop_assert!(reference.max_abs_diff(&unplanned) < 1e-12);
+        for mode in MODES {
+            for opts in [BppsaOptions::serial(), BppsaOptions::pooled()] {
+                let plan = PlannedScan::plan(&chain, opts.kernel(mode));
+                prop_assert_eq!(plan.plan_kind(), PlanKind::Csr);
+                let mut ws = plan.workspace::<f64>();
+                // Twice through the same workspace: first pass from pristine
+                // buffers, second from dirty ones (the steady state).
+                for round in 0..2 {
+                    let result = plan.execute_with(&chain, &mut ws).clone();
+                    assert_bits_eq(
+                        &result,
+                        &reference,
+                        &format!("{mode:?}/{:?} round {round}", opts.executor),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `Auto`'s per-combine selection actually mixes kernels on a densifying
+/// chain (the selection is observable, not vacuous), and the recorded
+/// counts reconcile with the planned product count.
+#[test]
+fn auto_mode_mixes_kernels_and_counts_reconcile() {
+    // 0.15-density 16-wide layers: raw Jacobians sit below the 0.25 dense
+    // threshold, but up-sweep products densify past it, so Auto picks
+    // different kernels at different tree levels.
+    let chain = sparse_chain(12, 16, 0.15, 42);
+    let auto = PlannedScan::plan(&chain, BppsaOptions::serial());
+    let counts = auto.kernel_counts();
+    assert_eq!(counts.total(), auto.planned_products());
+    assert!(counts.total() > 0, "chain must hoist products");
+    assert!(
+        counts.dense > 0,
+        "densified products must resolve to the dense kernel: {counts:?}"
+    );
+    assert!(
+        counts.dense < counts.total(),
+        "raw-Jacobian combines must stay on a sparse kernel: {counts:?}"
+    );
+
+    // Forced modes pin every combine, and the counts say so.
+    for (mode, expect) in [
+        (KernelMode::Gather, NumericKernel::Gather),
+        (KernelMode::Gustavson, NumericKernel::Gustavson),
+        (KernelMode::Dense, NumericKernel::Dense),
+    ] {
+        let plan = PlannedScan::plan(&chain, BppsaOptions::serial().kernel(mode));
+        let counts = plan.kernel_counts();
+        let forced = match expect {
+            NumericKernel::Gather => counts.gather,
+            NumericKernel::Gustavson => counts.gustavson,
+            NumericKernel::Dense => counts.dense,
+        };
+        assert_eq!(forced, counts.total(), "{mode:?} must pin every combine");
+        assert_eq!(counts.total(), auto.planned_products());
+    }
+}
+
+/// The dense panel kernel's workspace really is pre-sized: its scratch
+/// bytes show up in the plan's workspace accounting, and a narrow chain
+/// (below `KERNEL_DENSE_MIN_COLS`) never selects it under `Auto`.
+#[test]
+fn dense_selection_respects_width_gate_and_sizes_workspace() {
+    let narrow = sparse_chain(10, 4, 0.9, 7);
+    let counts = PlannedScan::plan(&narrow, BppsaOptions::serial()).kernel_counts();
+    assert_eq!(
+        counts.dense, 0,
+        "4-wide operands are below the dense width gate: {counts:?}"
+    );
+
+    let wide = sparse_chain(10, 16, 0.5, 8);
+    let gather_bytes = PlannedScan::plan(&wide, BppsaOptions::serial().kernel(KernelMode::Gather))
+        .workspace_bytes::<f64>();
+    let dense_bytes = PlannedScan::plan(&wide, BppsaOptions::serial().kernel(KernelMode::Dense))
+        .workspace_bytes::<f64>();
+    assert!(
+        dense_bytes > gather_bytes,
+        "dense plans carry panel + accumulator scratch ({dense_bytes} vs {gather_bytes} bytes)"
+    );
+}

@@ -113,6 +113,9 @@ mod ticket;
 
 pub use fault::{FaultAction, FaultInjector, FaultRates, FaultScript, InjectionPoint};
 pub use metrics::{FlushCause, LaneMetricsSnapshot, LaneState, RetiredRollup};
+// Re-exported so metrics consumers can name the snapshot's plan-profile
+// fields without a direct `bppsa-core` dependency.
+pub use bppsa_core::{KernelCounts, PlanKind};
 pub use retry::RetryPolicy;
 pub use service::{
     flush_decision, BppsaService, BreakerPolicy, DeadlinePolicy, FlushDecision, ServeConfig,

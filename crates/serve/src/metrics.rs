@@ -15,6 +15,7 @@
 //! refusal so an operator can see *where* doomed traffic is being turned
 //! away.
 
+use bppsa_core::{KernelCounts, PlanKind};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::Duration;
 
@@ -94,6 +95,12 @@ pub(crate) struct LaneMetrics {
     batch_sizes: Vec<AtomicU64>,
     plan_nanos: AtomicU64,
     warmup_nanos: AtomicU64,
+    /// Which program kind the lane's plan compiled to: `0` = not yet
+    /// planned, `1` = CSR, `2` = diagonal. Written once at warm-up.
+    plan_kind: AtomicU8,
+    kernels_gather: AtomicU64,
+    kernels_gustavson: AtomicU64,
+    kernels_dense: AtomicU64,
     batch_panics: AtomicU64,
     consecutive_panics: AtomicU32,
     breaker_tripped: AtomicU8,
@@ -122,6 +129,10 @@ impl LaneMetrics {
             batch_sizes: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
             plan_nanos: AtomicU64::new(0),
             warmup_nanos: AtomicU64::new(0),
+            plan_kind: AtomicU8::new(0),
+            kernels_gather: AtomicU64::new(0),
+            kernels_gustavson: AtomicU64::new(0),
+            kernels_dense: AtomicU64::new(0),
             batch_panics: AtomicU64::new(0),
             consecutive_panics: AtomicU32::new(0),
             breaker_tripped: AtomicU8::new(0),
@@ -248,6 +259,25 @@ impl LaneMetrics {
             .store(warmup.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Records what the lane's plan compiled to: the program kind
+    /// ([`PlannedScan::plan_kind`](bppsa_core::PlannedScan::plan_kind)) and
+    /// the kernel-mode mix across its combines
+    /// ([`PlannedScan::kernel_counts`](bppsa_core::PlannedScan::kernel_counts)).
+    /// Written once at warm-up, alongside [`LaneMetrics::record_warmup`].
+    pub(crate) fn record_plan_profile(&self, kind: PlanKind, counts: KernelCounts) {
+        self.kernels_gather
+            .store(counts.gather as u64, Ordering::Relaxed);
+        self.kernels_gustavson
+            .store(counts.gustavson as u64, Ordering::Relaxed);
+        self.kernels_dense
+            .store(counts.dense as u64, Ordering::Relaxed);
+        let tag = match kind {
+            PlanKind::Csr => 1,
+            PlanKind::Diagonal => 2,
+        };
+        self.plan_kind.store(tag, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> LaneMetricsSnapshot {
         LaneMetricsSnapshot {
             lane_id: self.lane_id,
@@ -269,6 +299,16 @@ impl LaneMetrics {
                 .collect(),
             plan_time: Duration::from_nanos(self.plan_nanos.load(Ordering::Relaxed)),
             warmup_time: Duration::from_nanos(self.warmup_nanos.load(Ordering::Relaxed)),
+            plan_kind: match self.plan_kind.load(Ordering::Relaxed) {
+                1 => Some(PlanKind::Csr),
+                2 => Some(PlanKind::Diagonal),
+                _ => None,
+            },
+            kernel_counts: KernelCounts {
+                gather: self.kernels_gather.load(Ordering::Relaxed) as usize,
+                gustavson: self.kernels_gustavson.load(Ordering::Relaxed) as usize,
+                dense: self.kernels_dense.load(Ordering::Relaxed) as usize,
+            },
             batch_panics: self.batch_panics.load(Ordering::Relaxed),
             consecutive_panics: self.consecutive_panics.load(Ordering::Relaxed),
             breaker_tripped: self.breaker_tripped.load(Ordering::Relaxed) != 0,
@@ -324,6 +364,15 @@ pub struct LaneMetricsSnapshot {
     /// still reads [`LaneState::Warming`] — key "still warming" off
     /// `state`, not off this field.
     pub warmup_time: Duration,
+    /// Which program kind the lane's plan compiled to (`None` until the
+    /// warm-up records it — a lane that never finished planning stays
+    /// `None`). Recorded alongside `warmup_time`, with the same racing-
+    /// snapshot caveat.
+    pub plan_kind: Option<PlanKind>,
+    /// The kernel-mode mix across the plan's matrix–matrix combines: how
+    /// many resolved to each numeric SpGEMM kernel. All zeros for diagonal
+    /// plans (they hoist no products) and for lanes that never planned.
+    pub kernel_counts: KernelCounts,
     /// Flushes whose batch execution panicked (each failed its whole batch
     /// with [`ServeError::BatchPanicked`](crate::ServeError::BatchPanicked)).
     pub batch_panics: u64,

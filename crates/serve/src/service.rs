@@ -874,6 +874,8 @@ fn warm_up<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) -> bool {
         Ok(batched) => {
             lane.metrics
                 .record_warmup(batched.plan().build_time(), warm_start.elapsed());
+            lane.metrics
+                .record_plan_profile(batched.plan().plan_kind(), batched.plan().kernel_counts());
             let stored = lane.batched.set(batched);
             debug_assert!(stored.is_ok(), "warm-up runs exactly once per lane");
             lane.metrics.mark_live();

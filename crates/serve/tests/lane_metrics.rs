@@ -13,7 +13,7 @@
 
 use bppsa_core::JacobianChain;
 use bppsa_core::ScanElement;
-use bppsa_serve::{BppsaService, FlushCause, LaneState, ServeConfig, ShedPolicy, Ticket};
+use bppsa_serve::{BppsaService, FlushCause, LaneState, PlanKind, ServeConfig, ShedPolicy, Ticket};
 use bppsa_sparse::Csr;
 use bppsa_tensor::init::{seeded_rng, uniform_vector};
 use bppsa_tensor::Matrix;
@@ -204,4 +204,57 @@ fn mixed_causes_accumulate_and_histogram_sums_to_submits() {
         "sizes 1 (deadline), 2 (drain), 3 (max batch) each seen once"
     );
     assert_eq!(snap.requests_flushed(), snap.submitted);
+}
+
+#[test]
+fn plan_profile_reports_kind_and_kernel_mix() {
+    // Two lanes with observably different compiled programs: a mid-density
+    // 10-wide CSR chain (whose densifying products exercise the dense panel
+    // kernel under KernelMode::Auto) and an all-diagonal chain (which takes
+    // the elementwise fast path and plans no products at all).
+    let mut cfg = config(8);
+    cfg.max_delay = Duration::from_millis(2);
+    let service = BppsaService::<f64>::new(cfg);
+
+    let csr_template = sparse_chain(6, 10, 5);
+    let csr_ticket = Ticket::new();
+    service
+        .submit(revalue(&csr_template, 70), &csr_ticket)
+        .expect("accepting");
+    csr_ticket.wait().expect("csr lane serves");
+
+    let mut rng = seeded_rng(6);
+    let mut diag_template = JacobianChain::new(uniform_vector(&mut rng, 6, 1.0));
+    for _ in 0..5 {
+        let diag: Vec<f64> = (0..6).map(|_| rng.random_range(-1.2..1.2)).collect();
+        diag_template.push(ScanElement::Sparse(Csr::from_diagonal(&diag)));
+    }
+    let diag_ticket = Ticket::new();
+    service
+        .submit(revalue(&diag_template, 71), &diag_ticket)
+        .expect("accepting");
+    diag_ticket.wait().expect("diagonal lane serves");
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.len(), 2);
+    let csr_snap = &metrics[0];
+    assert_eq!(csr_snap.plan_kind, Some(PlanKind::Csr));
+    assert!(
+        csr_snap.kernel_counts.total() > 0,
+        "a CSR plan hoists products: {:?}",
+        csr_snap.kernel_counts
+    );
+    assert!(
+        csr_snap.kernel_counts.dense > 0,
+        "0.4-density 10-wide operands must resolve some combines to the \
+         dense panel kernel: {:?}",
+        csr_snap.kernel_counts
+    );
+    let diag_snap = &metrics[1];
+    assert_eq!(diag_snap.plan_kind, Some(PlanKind::Diagonal));
+    assert_eq!(
+        diag_snap.kernel_counts.total(),
+        0,
+        "diagonal plans hoist no products"
+    );
 }

@@ -1,0 +1,286 @@
+//! Density-adaptive numeric kernels for [`SymbolicProduct`].
+//!
+//! A symbolic SpGEMM plan fixes *what* gets computed (the output pattern and
+//! the structural multiply–adds); this module is about *how*. Three numeric
+//! kernels cover the density spectrum the scan's up-sweep walks through as
+//! Jacobian products densify level by level:
+//!
+//! * [`NumericKernel::Gather`] — the original precomputed gather program:
+//!   one `(a_off, b_off, slot)` triplet per structural multiply–add. Ideal
+//!   when products-per-output is tiny (diagonal-ish, permutation-ish
+//!   operands); the table costs 12 bytes of bandwidth per MAC, which loses
+//!   badly once rows get dense.
+//! * [`NumericKernel::Gustavson`] — a planned row-by-row Gustavson kernel
+//!   over a pre-sized dense accumulator. No per-MAC table: the operands'
+//!   own CSR arrays drive the loops, and the known output pattern replaces
+//!   the symbolic sort/merge. The mid-density workhorse.
+//! * [`NumericKernel::Dense`] — a cache-blocked microkernel over a packed
+//!   row-major panel of the right operand: each output row is a sum of
+//!   contiguous SIMD `axpy`s ([`Scalar::slice_axpy`], AVX on `x86_64`),
+//!   tiled [`KERNEL_DENSE_ROW_BLOCK`] output rows ×
+//!   [`KERNEL_DENSE_K_BLOCK`] panel rows at a time so panel traffic comes
+//!   from cache instead of re-streaming DRAM per row. Worth the extra
+//!   (structural-zero) multiplies once the right operand is dense-ish.
+//!
+//! Selection happens per product at plan time ([`KernelMode::Auto`]) from
+//! pattern-level statistics only — never values — so the choice is as
+//! deterministic as the patterns themselves (§3.3 of the paper). All three
+//! kernels produce **bit-for-bit identical** results for finite operands:
+//! they accumulate each output element's structural terms in the same order
+//! and canonicalize the leading `-0.0` the same way the generic
+//! [`spgemm`](crate::spgemm) does. (The dense kernel additionally multiplies
+//! structural zeros, which is exact for finite operands but can turn an
+//! `inf`/`NaN` operand into extra `NaN`s — non-finite Jacobians are outside
+//! the contract.)
+//!
+//! [`SymbolicProduct`]: crate::SymbolicProduct
+
+use crate::SparsityPattern;
+use bppsa_tensor::Scalar;
+
+/// Right-operand density at or above which [`KernelMode::Auto`] picks the
+/// dense panel microkernel. At density `d` the panel kernel performs `1/d`×
+/// the structural multiplies; `0.25` caps that overwork at 4×, which the
+/// contiguous autovectorized loops amortize.
+pub const KERNEL_DENSE_MIN_DENSITY: f64 = 0.25;
+
+/// Minimum right-operand column count before the dense panel kernel is
+/// considered: below this the panel rows are too short for vectorization to
+/// beat the sparse kernels' exact-work loops.
+pub const KERNEL_DENSE_MIN_COLS: usize = 8;
+
+/// Maximum structural multiply–adds per output element for which
+/// [`KernelMode::Auto`] keeps the gather program. At ≤ 2 MACs per output the
+/// gather table is barely larger than the output itself and streams
+/// perfectly; beyond that the 12-byte-per-MAC table is pure overhead next to
+/// Gustavson's table-free loops.
+pub const KERNEL_GATHER_MAX_MACS_PER_OUT: u64 = 2;
+
+/// Output rows the dense kernel processes per cache block (one accumulator
+/// row each, revisited once per k-block). Without row blocking every output
+/// row re-streams its panel rows from DRAM — at 8% density no two adjacent
+/// rows share panel rows, so reuse only emerges across ~`1/density` rows. A
+/// big block amortizes each k-block's panel slice over many consumers: 512
+/// rows drop per-call panel traffic to `⌈rows/512⌉` panel sweeps, and an
+/// empirical sweep (128/256/512 × 64/128/256 k-rows, interleaved against
+/// the gather kernel on the 1k × 1k 8%-density point) picked 512 over the
+/// smaller blocks by ~10% despite the accumulator block (4 MiB for 1k-wide
+/// `f64`) spilling past L2 — the stacked-axpy passes touch each accumulator
+/// row only a handful of times per k-block, so panel locality dominates.
+pub const KERNEL_DENSE_ROW_BLOCK: usize = 512;
+
+/// Panel rows per inner k-block of the dense kernel: the slice of the
+/// packed panel (`KERNEL_DENSE_K_BLOCK · cols` elements) that stays
+/// cache-resident while all rows of the current row block consume their
+/// `a`-entries falling in it. 128 rows of a 1k-wide `f64` panel is 1 MiB —
+/// the empirical sweet spot on the same sweep: 64-row blocks re-enter the
+/// per-row cursor loop too often (each visit re-touches the row's
+/// accumulator), 256-row blocks thrash the cache shared with the
+/// accumulator rows in flight.
+pub const KERNEL_DENSE_K_BLOCK: usize = 128;
+
+/// How a [`SymbolicProduct`](crate::SymbolicProduct) chooses its numeric
+/// kernel — the SpGEMM analogue of `bppsa-core`'s `DiagonalMode`.
+///
+/// [`KernelMode::Auto`] selects per product from pattern statistics (see
+/// [`KernelMode::resolve`]); the three forcing variants pin one kernel, for
+/// differential testing and ablation. All modes are bit-for-bit identical
+/// on finite operands, so `Auto` never changes results — only throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelMode {
+    /// Pick per product from the operands' pattern statistics.
+    #[default]
+    Auto,
+    /// Always run the precomputed gather program (the pre-refactor path).
+    Gather,
+    /// Always run the planned row-by-row Gustavson kernel.
+    Gustavson,
+    /// Always run the dense packed-panel microkernel.
+    Dense,
+}
+
+/// The numeric kernel a [`SymbolicProduct`](crate::SymbolicProduct) resolved
+/// to at plan time (a [`KernelMode`] with `Auto` already decided).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NumericKernel {
+    /// Precomputed `(a_off, b_off, slot)` gather program.
+    Gather,
+    /// Planned Gustavson row-by-row kernel over a dense accumulator.
+    Gustavson,
+    /// Register-blocked microkernel over a packed row-major panel.
+    Dense,
+}
+
+impl KernelMode {
+    /// Resolves the mode for one product from pattern-level statistics:
+    /// `b` is the right operand, `out_nnz` the structural output count, and
+    /// `macs` the structural multiply–adds a numeric execution performs.
+    ///
+    /// `Auto` picks [`NumericKernel::Dense`] when `b`'s density reaches
+    /// [`KERNEL_DENSE_MIN_DENSITY`] (and it is at least
+    /// [`KERNEL_DENSE_MIN_COLS`] wide), [`NumericKernel::Gather`] when the
+    /// product averages at most [`KERNEL_GATHER_MAX_MACS_PER_OUT`] MACs per
+    /// output element, and [`NumericKernel::Gustavson`] otherwise.
+    pub fn resolve(self, b: &SparsityPattern, out_nnz: usize, macs: u64) -> NumericKernel {
+        match self {
+            KernelMode::Gather => NumericKernel::Gather,
+            KernelMode::Gustavson => NumericKernel::Gustavson,
+            KernelMode::Dense => NumericKernel::Dense,
+            KernelMode::Auto => {
+                let cells = (b.rows() * b.cols()) as f64;
+                let density = if cells > 0.0 {
+                    b.nnz() as f64 / cells
+                } else {
+                    0.0
+                };
+                if density >= KERNEL_DENSE_MIN_DENSITY && b.cols() >= KERNEL_DENSE_MIN_COLS {
+                    NumericKernel::Dense
+                } else if macs <= KERNEL_GATHER_MAX_MACS_PER_OUT * out_nnz as u64 {
+                    NumericKernel::Gather
+                } else {
+                    NumericKernel::Gustavson
+                }
+            }
+        }
+    }
+}
+
+/// Reusable numeric scratch for one [`SymbolicProduct`](crate::SymbolicProduct):
+/// dense accumulator lanes (Gustavson and Dense kernels) plus the packed
+/// right-operand panel (Dense kernel only). Built once via
+/// [`SymbolicProduct::scratch`](crate::SymbolicProduct::scratch) and reused
+/// every execution, so the steady state stays allocation-free; the gather
+/// kernel needs no scratch and gets an empty one.
+///
+/// One accumulator *lane* (a `cols`-wide row) is needed per concurrent row
+/// chunk: serial execution uses lane 0, the row-chunk-parallel path uses one
+/// lane per chunk. A scratch with fewer lanes than the pool would fan out to
+/// simply caps the chunk count — never unsoundness, just less parallelism.
+#[derive(Debug, Clone)]
+pub struct KernelScratch<S> {
+    /// `lanes × acc_rows × acc_cols` dense accumulator rows. Gustavson
+    /// lanes (`acc_rows == 1`) are all-zero between executions (each row
+    /// gathers *and re-zeroes* its touched entries); Dense lanes hold one
+    /// [`KERNEL_DENSE_ROW_BLOCK`]-row cache block per lane, fully
+    /// overwritten block by block.
+    pub(crate) acc: Vec<S>,
+    pub(crate) acc_rows: usize,
+    pub(crate) acc_cols: usize,
+    pub(crate) lanes: usize,
+    /// `b.rows() × b.cols()` packed row-major right-operand panel (Dense
+    /// only). Structural positions are refreshed by every pack; positions
+    /// outside the pattern stay exactly `+0.0` forever.
+    pub(crate) panel: Vec<S>,
+}
+
+impl<S: Scalar> KernelScratch<S> {
+    /// An empty scratch (what the gather kernel uses).
+    pub(crate) fn empty() -> Self {
+        Self {
+            acc: Vec::new(),
+            acc_rows: 0,
+            acc_cols: 0,
+            lanes: 0,
+            panel: Vec::new(),
+        }
+    }
+
+    pub(crate) fn with_dims(
+        lanes: usize,
+        acc_rows: usize,
+        acc_cols: usize,
+        panel_len: usize,
+    ) -> Self {
+        Self {
+            acc: vec![S::ZERO; lanes * acc_rows * acc_cols],
+            acc_rows,
+            acc_cols,
+            lanes,
+            panel: vec![S::ZERO; panel_len],
+        }
+    }
+
+    /// Number of accumulator lanes (the row-parallel chunk-count cap).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Total heap bytes this scratch holds.
+    pub fn bytes(&self) -> usize {
+        (self.acc.len() + self.panel.len()) * std::mem::size_of::<S>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(rows: usize, cols: usize, nnz_rows: &[Vec<u32>]) -> SparsityPattern {
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        for r in nnz_rows {
+            indices.extend_from_slice(r);
+            indptr.push(indices.len());
+        }
+        assert_eq!(indptr.len(), rows + 1);
+        SparsityPattern::new(rows, cols, indptr, indices)
+    }
+
+    #[test]
+    fn forced_modes_resolve_to_themselves() {
+        let b = pattern(1, 1, &[vec![0]]);
+        assert_eq!(
+            KernelMode::Gather.resolve(&b, 1, 100),
+            NumericKernel::Gather
+        );
+        assert_eq!(
+            KernelMode::Gustavson.resolve(&b, 1, 100),
+            NumericKernel::Gustavson
+        );
+        assert_eq!(KernelMode::Dense.resolve(&b, 1, 100), NumericKernel::Dense);
+    }
+
+    #[test]
+    fn auto_picks_gather_for_diagonal_like_products() {
+        // Diagonal b: 1 MAC per output element.
+        let b = pattern(4, 4, &[vec![0], vec![1], vec![2], vec![3]]);
+        assert_eq!(KernelMode::Auto.resolve(&b, 4, 4), NumericKernel::Gather);
+    }
+
+    #[test]
+    fn auto_picks_gustavson_for_mid_density() {
+        // 16 cols, density 2/16 = 0.125 < 0.25, and 8 MACs per output.
+        let rows: Vec<Vec<u32>> = (0..16).map(|k| vec![k, (k + 1) % 16]).collect();
+        let b = pattern(16, 16, &rows);
+        assert_eq!(
+            KernelMode::Auto.resolve(&b, 16, 128),
+            NumericKernel::Gustavson
+        );
+    }
+
+    #[test]
+    fn auto_picks_dense_above_the_density_threshold() {
+        // 8 cols, every row half-full: density 0.5 ≥ 0.25 and cols ≥ 8.
+        let rows: Vec<Vec<u32>> = (0..8).map(|_| vec![0, 2, 4, 6]).collect();
+        let b = pattern(8, 8, &rows);
+        assert_eq!(KernelMode::Auto.resolve(&b, 64, 256), NumericKernel::Dense);
+    }
+
+    #[test]
+    fn auto_never_picks_dense_for_narrow_operands() {
+        // Fully dense but only 4 columns wide: stays on the sparse kernels.
+        let rows: Vec<Vec<u32>> = (0..4).map(|_| vec![0, 1, 2, 3]).collect();
+        let b = pattern(4, 4, &rows);
+        assert_ne!(KernelMode::Auto.resolve(&b, 16, 64), NumericKernel::Dense);
+    }
+
+    #[test]
+    fn scratch_reports_lanes_and_bytes() {
+        let s = KernelScratch::<f64>::with_dims(3, 2, 16, 64);
+        assert_eq!(s.lanes(), 3);
+        assert_eq!(s.bytes(), (3 * 2 * 16 + 64) * 8);
+        let e = KernelScratch::<f64>::empty();
+        assert_eq!(e.lanes(), 0);
+        assert_eq!(e.bytes(), 0);
+    }
+}

@@ -8,7 +8,10 @@
 //! optimization generic libraries (cuSPARSE) cannot apply: running SpGEMM's
 //! symbolic phase once ahead of time and re-executing only the numeric phase
 //! every iteration. [`SymbolicProduct`] implements exactly that split;
-//! [`spgemm`] is the generic baseline it is ablated against.
+//! [`spgemm`] is the generic baseline it is ablated against. The numeric
+//! phase itself is density-adaptive: plan time resolves a [`KernelMode`] to
+//! one of three [`NumericKernel`]s (gather program, planned Gustavson, dense
+//! packed-panel microkernel — see [`kernel`]).
 //!
 //! ## Quick example
 //!
@@ -35,10 +38,15 @@ mod pattern;
 mod spgemm;
 
 pub mod flops;
+pub mod kernel;
 
 pub use coo::Coo;
 pub use csr::Csr;
 pub use error::CsrError;
+pub use kernel::{
+    KernelMode, KernelScratch, NumericKernel, KERNEL_DENSE_MIN_COLS, KERNEL_DENSE_MIN_DENSITY,
+    KERNEL_GATHER_MAX_MACS_PER_OUT,
+};
 pub use pattern::SparsityPattern;
 pub use spgemm::{spgemm, SymbolicProduct};
 
@@ -54,5 +62,8 @@ mod tests {
         assert_send_sync::<SparsityPattern>();
         assert_send_sync::<SymbolicProduct>();
         assert_send_sync::<CsrError>();
+        assert_send_sync::<KernelMode>();
+        assert_send_sync::<NumericKernel>();
+        assert_send_sync::<KernelScratch<f32>>();
     }
 }

@@ -11,13 +11,20 @@
 //!   phase can run **once, ahead of training**, and every later call performs
 //!   only the FLOPs. `spgemm_symbolic` in the bench crate ablates the two.
 //!
-//! The numeric phase comes in three flavors, all sharing the same gather
-//! program: [`SymbolicProduct::execute`] (allocates a fresh output),
-//! [`SymbolicProduct::execute_into`] (writes a caller-owned buffer —
-//! allocation-free in the steady state), and
-//! [`SymbolicProduct::execute_into_parallel`] (row-chunk parallel over a
-//! [`WorkerPool`], chunks balanced by per-row FLOPs).
+//! The numeric phase runs one of three density-adaptive kernels (see
+//! [`crate::kernel`]), resolved at plan time by [`SymbolicProduct::plan_with_mode`]:
+//! the precomputed **gather** program (very sparse), a planned **Gustavson**
+//! row-by-row kernel (mid density), or a **dense** packed-panel microkernel
+//! (dense-ish right operands). [`SymbolicProduct::plan`] keeps the historical
+//! behavior and always compiles the gather program. Steady-state entry points:
+//! [`SymbolicProduct::execute_into_with`] (serial, allocation-free given a
+//! prebuilt [`KernelScratch`]) and
+//! [`SymbolicProduct::execute_into_parallel_with`] (row-chunk parallel over a
+//! [`WorkerPool`], chunks balanced by per-row work).
 
+use crate::kernel::{
+    KernelMode, KernelScratch, NumericKernel, KERNEL_DENSE_K_BLOCK, KERNEL_DENSE_ROW_BLOCK,
+};
 use crate::{Csr, SparsityPattern};
 use bppsa_scan::{SendPtr, WorkerPool};
 use bppsa_tensor::Scalar;
@@ -62,7 +69,7 @@ pub fn spgemm<S: Scalar>(a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
                     present[ju] = true;
                     touched.push(j);
                     // `0 + av·bv`, not a bare product: every other numeric
-                    // kernel (spmv, the planned SymbolicProduct gather)
+                    // kernel (spmv, the planned SymbolicProduct kernels)
                     // accumulates into a zeroed buffer, which canonicalizes
                     // a `-0.0` product to `+0.0`. Matching that here keeps
                     // planned and unplanned executions bit-identical even
@@ -85,7 +92,8 @@ pub fn spgemm<S: Scalar>(a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
 }
 
 /// A precomputed symbolic SpGEMM plan: the output pattern of `A · B` for
-/// fixed input patterns, enabling numeric-only execution.
+/// fixed input patterns, enabling numeric-only execution through the
+/// plan-time-resolved [`NumericKernel`].
 ///
 /// All three patterns (both operands' and the output's) are held behind
 /// [`Arc`]s, so distributing them into per-combine plans and workspace
@@ -94,7 +102,7 @@ pub fn spgemm<S: Scalar>(a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
 /// # Examples
 ///
 /// ```
-/// use bppsa_sparse::{Csr, SymbolicProduct};
+/// use bppsa_sparse::{Csr, KernelMode, SymbolicProduct};
 ///
 /// let a = Csr::from_diagonal(&[2.0_f64, 3.0]);
 /// let b = Csr::from_diagonal(&[4.0_f64, 5.0]);
@@ -103,9 +111,12 @@ pub fn spgemm<S: Scalar>(a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
 /// assert_eq!(c.get(0, 0), 8.0);
 /// assert_eq!(c.get(1, 1), 15.0);
 ///
-/// // Steady-state path: numeric phase into a reusable buffer.
-/// let mut out = Csr::from_pattern(plan.out_pattern().clone());
-/// plan.execute_into(&a, &b, &mut out);
+/// // Steady-state path: numeric phase into a reusable buffer, through a
+/// // reusable scratch (empty for the gather kernel, pre-sized otherwise).
+/// let auto = SymbolicProduct::plan_with_mode(&a.pattern(), &b.pattern(), KernelMode::Auto);
+/// let mut scratch = auto.scratch::<f64>(1);
+/// let mut out = Csr::from_pattern(auto.out_pattern().clone());
+/// auto.execute_into_with(&a, &b, &mut out, &mut scratch);
 /// assert_eq!(out, c);
 /// ```
 #[derive(Debug, Clone)]
@@ -113,83 +124,136 @@ pub struct SymbolicProduct {
     a_pattern: Arc<SparsityPattern>,
     b_pattern: Arc<SparsityPattern>,
     out_pattern: Arc<SparsityPattern>,
-    /// Dense-accumulator scatter positions: for each output row, for each
-    /// structural (k, j) product contribution, the slot in the row's output
-    /// segment. Stored flat; rows delimited by `gather_ptr`.
+    kernel: NumericKernel,
+    /// Gather kernel only: for each output row, for each structural (k, j)
+    /// product contribution, the operand offsets and the slot in the row's
+    /// output segment. Stored flat; rows delimited by `work_ptr`. Empty for
+    /// the Gustavson/Dense kernels (whose loops are driven by the operands'
+    /// own CSR arrays — skipping this table is most of their win).
     gather: Vec<(u32, u32, u32)>,
-    /// Per-row delimiters into `gather` (length `rows + 1`). Doubles as the
-    /// prefix-FLOP table the row-parallel executor balances chunks with
-    /// (each gather entry is one multiply–add).
-    gather_ptr: Vec<usize>,
+    /// Per-row prefix work table (length `rows + 1`): the cumulative cost a
+    /// numeric execution pays up to each row, in the resolved kernel's own
+    /// currency — structural multiply–adds for Gather/Gustavson (where it
+    /// doubles as the `gather` row delimiters), `a_row_nnz × cols` panel
+    /// multiplies for Dense. The row-parallel executor balances chunks
+    /// against it.
+    work_ptr: Vec<usize>,
     flops: u64,
 }
 
 impl SymbolicProduct {
-    /// Runs the symbolic phase once for the given input patterns. The
-    /// pattern handles are retained (refcount bump) for operand checking.
+    /// Runs the symbolic phase once for the given input patterns, compiling
+    /// the gather program (the historical single-kernel behavior —
+    /// equivalent to [`SymbolicProduct::plan_with_mode`] with
+    /// [`KernelMode::Gather`]). The pattern handles are retained (refcount
+    /// bump) for operand checking.
     ///
     /// # Panics
     ///
     /// Panics if the inner dimensions differ.
     pub fn plan(a: &Arc<SparsityPattern>, b: &Arc<SparsityPattern>) -> Self {
+        Self::plan_with_mode(a, b, KernelMode::Gather)
+    }
+
+    /// Runs the symbolic phase once, resolving `mode` to a concrete
+    /// [`NumericKernel`] from the patterns' statistics ([`KernelMode::Auto`]
+    /// selects per product; the other modes force one kernel). The gather
+    /// table is only materialized when the gather kernel is chosen, so
+    /// dense-ish products skip its 12-bytes-per-MAC footprint entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions differ.
+    pub fn plan_with_mode(
+        a: &Arc<SparsityPattern>,
+        b: &Arc<SparsityPattern>,
+        mode: KernelMode,
+    ) -> Self {
         assert_eq!(
             a.cols(),
             b.rows(),
             "SymbolicProduct::plan: inner dimensions differ"
         );
         let n = b.cols();
-        let mut slot_of = vec![u32::MAX; n];
+        let mut marked = vec![false; n];
         let mut touched: Vec<u32> = Vec::new();
 
+        // Pass 1 — symbolic discovery: the output pattern plus the per-row
+        // structural-MAC prefix (needed for kernel selection and chunking
+        // regardless of the kernel chosen).
         let mut indptr = Vec::with_capacity(a.rows() + 1);
         let mut indices: Vec<u32> = Vec::new();
-        let mut gather: Vec<(u32, u32, u32)> = Vec::new();
-        let mut gather_ptr = Vec::with_capacity(a.rows() + 1);
-        let mut flops = 0u64;
+        let mut macs_ptr = Vec::with_capacity(a.rows() + 1);
+        let mut macs = 0usize;
         indptr.push(0);
-        gather_ptr.push(0);
+        macs_ptr.push(0);
 
         for i in 0..a.rows() {
             touched.clear();
-            // Discover the output row's column set.
             for &k in a.row_indices(i) {
-                for &j in b.row_indices(k as usize) {
-                    if slot_of[j as usize] == u32::MAX {
-                        slot_of[j as usize] = 0; // mark
+                let k = k as usize;
+                macs += b.row_nnz(k);
+                for &j in b.row_indices(k) {
+                    if !marked[j as usize] {
+                        marked[j as usize] = true;
                         touched.push(j);
                     }
                 }
             }
             touched.sort_unstable();
-            for (slot, &j) in touched.iter().enumerate() {
-                slot_of[j as usize] = slot as u32;
-                indices.push(j);
-            }
-            // Record the multiply-accumulate program for this row.
-            for (apos, &k) in a.row_indices(i).iter().enumerate() {
-                let a_off = (a.indptr()[i] + apos) as u32;
-                let k = k as usize;
-                for bpos in 0..b.row_nnz(k) {
-                    let b_off = (b.indptr()[k] + bpos) as u32;
-                    let j = b.row_indices(k)[bpos];
-                    gather.push((a_off, b_off, slot_of[j as usize]));
-                    flops += 2;
-                }
-            }
             for &j in &touched {
-                slot_of[j as usize] = u32::MAX;
+                indices.push(j);
+                marked[j as usize] = false;
             }
             indptr.push(indices.len());
-            gather_ptr.push(gather.len());
+            macs_ptr.push(macs);
         }
+
+        let out_nnz = indices.len();
+        let kernel = mode.resolve(b, out_nnz, macs as u64);
+        let out_pattern = Arc::new(SparsityPattern::new(a.rows(), n, indptr, indices));
+
+        // Pass 2 — kernel-specific program/work tables.
+        let (gather, work_ptr) = match kernel {
+            NumericKernel::Gather => {
+                let mut slot_of = vec![u32::MAX; n];
+                let mut gather = Vec::with_capacity(macs);
+                for i in 0..a.rows() {
+                    for (slot, &j) in out_pattern.row_indices(i).iter().enumerate() {
+                        slot_of[j as usize] = slot as u32;
+                    }
+                    for (apos, &k) in a.row_indices(i).iter().enumerate() {
+                        let a_off = (a.indptr()[i] + apos) as u32;
+                        let k = k as usize;
+                        for bpos in 0..b.row_nnz(k) {
+                            let b_off = (b.indptr()[k] + bpos) as u32;
+                            let j = b.row_indices(k)[bpos];
+                            gather.push((a_off, b_off, slot_of[j as usize]));
+                        }
+                    }
+                    for &j in out_pattern.row_indices(i) {
+                        slot_of[j as usize] = u32::MAX;
+                    }
+                }
+                (gather, macs_ptr)
+            }
+            NumericKernel::Gustavson => (Vec::new(), macs_ptr),
+            NumericKernel::Dense => {
+                // Dense work per row is `a_row_nnz × cols` regardless of the
+                // structural MAC count.
+                let work = a.indptr().iter().map(|&p| p * n).collect();
+                (Vec::new(), work)
+            }
+        };
 
         Self {
             a_pattern: Arc::clone(a),
             b_pattern: Arc::clone(b),
-            out_pattern: Arc::new(SparsityPattern::new(a.rows(), n, indptr, indices)),
+            out_pattern,
+            kernel,
             gather,
-            gather_ptr,
-            flops,
+            work_ptr,
+            flops: 2 * macs as u64,
         }
     }
 
@@ -208,10 +272,74 @@ impl SymbolicProduct {
         &self.b_pattern
     }
 
-    /// Total multiply–add FLOPs (counting 2 per multiply–add) a numeric
-    /// execution performs.
+    /// The numeric kernel this plan resolved to.
+    pub fn kernel(&self) -> NumericKernel {
+        self.kernel
+    }
+
+    /// *Structural* multiply–add FLOPs of the product (counting 2 per
+    /// multiply–add) — a kernel-independent measure of the mathematical
+    /// work. The FLOPs an execution actually performs are
+    /// [`SymbolicProduct::execute_flops`].
     pub fn flops(&self) -> u64 {
         self.flops
+    }
+
+    /// FLOPs a numeric execution actually performs under the resolved
+    /// kernel: the structural count for Gather/Gustavson, and
+    /// `2 · a.nnz() · cols` for the dense panel kernel (which multiplies
+    /// structural zeros in exchange for contiguous vectorizable loops).
+    /// This is the number executors should price pool fan-out against.
+    pub fn execute_flops(&self) -> u64 {
+        match self.kernel {
+            NumericKernel::Dense => 2 * self.a_pattern.nnz() as u64 * self.b_pattern.cols() as u64,
+            _ => self.flops,
+        }
+    }
+
+    /// Builds the reusable numeric scratch this plan's kernel needs, with
+    /// `lanes` accumulator lanes (one per concurrent row chunk; serial
+    /// callers pass 1). The gather kernel needs none and gets an empty
+    /// scratch. Building the scratch once and reusing it via
+    /// [`SymbolicProduct::execute_into_with`] keeps the steady state
+    /// allocation-free; the scratch must only be used with the plan that
+    /// built it.
+    pub fn scratch<S: Scalar>(&self, lanes: usize) -> KernelScratch<S> {
+        let lanes = lanes.max(1);
+        match self.kernel {
+            NumericKernel::Gather => KernelScratch::empty(),
+            NumericKernel::Gustavson => {
+                KernelScratch::with_dims(lanes, 1, self.out_pattern.cols(), 0)
+            }
+            NumericKernel::Dense => KernelScratch::with_dims(
+                lanes,
+                self.dense_block_rows(),
+                self.out_pattern.cols(),
+                self.b_pattern.rows() * self.b_pattern.cols(),
+            ),
+        }
+    }
+
+    /// Accumulator rows per scratch lane for the dense kernel: one cache
+    /// block of [`KERNEL_DENSE_ROW_BLOCK`] output rows (fewer when the
+    /// product has fewer rows).
+    fn dense_block_rows(&self) -> usize {
+        KERNEL_DENSE_ROW_BLOCK.min(self.out_pattern.rows().max(1))
+    }
+
+    /// Heap bytes [`SymbolicProduct::scratch`] would allocate for `lanes`
+    /// accumulator lanes (workspace-accounting hook).
+    pub fn scratch_bytes<S: Scalar>(&self, lanes: usize) -> usize {
+        let lanes = lanes.max(1);
+        let elems = match self.kernel {
+            NumericKernel::Gather => 0,
+            NumericKernel::Gustavson => lanes * self.out_pattern.cols(),
+            NumericKernel::Dense => {
+                lanes * self.dense_block_rows() * self.out_pattern.cols()
+                    + self.b_pattern.rows() * self.b_pattern.cols()
+            }
+        };
+        elems * std::mem::size_of::<S>()
     }
 
     /// Whether `a` and `b` carry exactly the patterns this plan was built
@@ -236,42 +364,197 @@ impl SymbolicProduct {
 
     /// Numeric phase without the pattern equality check (debug-checked).
     /// This is the hot path measured by the `spgemm_symbolic` ablation. The
-    /// returned matrix *shares* the plan's output pattern — the only heap
-    /// allocation is the value array.
+    /// returned matrix *shares* the plan's output pattern — for the gather
+    /// kernel the only heap allocation is the value array (the other
+    /// kernels also build a throwaway scratch; steady-state callers should
+    /// hold one via [`SymbolicProduct::scratch`]).
     pub fn execute_unchecked<S: Scalar>(&self, a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
         debug_assert!(self.operands_match(a, b));
-        let mut data = vec![S::ZERO; self.out_pattern.nnz()];
-        self.numeric_rows(a.data(), b.data(), &mut data, 0..self.out_pattern.rows());
-        Csr::from_pattern_and_values(Arc::clone(&self.out_pattern), data)
+        let mut out = Csr::from_pattern(Arc::clone(&self.out_pattern));
+        match self.kernel {
+            NumericKernel::Gather => {
+                self.numeric_rows(
+                    a.data(),
+                    b.data(),
+                    out.data_mut(),
+                    0..self.out_pattern.rows(),
+                );
+            }
+            _ => {
+                let mut scratch = self.scratch::<S>(1);
+                self.execute_into_with(a, b, &mut out, &mut scratch);
+            }
+        }
+        out
     }
 
     /// Numeric phase into a caller-owned output buffer. Rebinds `out` to the
-    /// plan's output pattern (refcount bump) and overwrites its values:
-    /// performs **zero heap allocations** once `out`'s value buffer has
-    /// reached steady-state capacity.
+    /// plan's output pattern (refcount bump) and overwrites its values. For
+    /// the gather kernel this performs **zero heap allocations** once `out`
+    /// has reached steady-state capacity; the Gustavson/Dense kernels build
+    /// a throwaway scratch here — allocation-free steady state for them goes
+    /// through [`SymbolicProduct::execute_into_with`].
     ///
     /// # Panics
     ///
     /// Panics in debug builds if the operand patterns do not match.
     pub fn execute_into<S: Scalar>(&self, a: &Csr<S>, b: &Csr<S>, out: &mut Csr<S>) {
+        match self.kernel {
+            NumericKernel::Gather => {
+                debug_assert!(self.operands_match(a, b));
+                out.reset_to_pattern(&self.out_pattern);
+                self.numeric_rows(
+                    a.data(),
+                    b.data(),
+                    out.data_mut(),
+                    0..self.out_pattern.rows(),
+                );
+            }
+            _ => {
+                let mut scratch = self.scratch::<S>(1);
+                self.execute_into_with(a, b, out, &mut scratch);
+            }
+        }
+    }
+
+    /// Numeric phase into a caller-owned output buffer through a caller-held
+    /// [`KernelScratch`] (built by [`SymbolicProduct::scratch`] from this
+    /// plan): **zero heap allocations** in the steady state for every
+    /// kernel. Serial; the row-parallel variant is
+    /// [`SymbolicProduct::execute_into_parallel_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch does not match this plan's kernel dimensions,
+    /// and in debug builds if the operand patterns do not match.
+    pub fn execute_into_with<S: Scalar>(
+        &self,
+        a: &Csr<S>,
+        b: &Csr<S>,
+        out: &mut Csr<S>,
+        scratch: &mut KernelScratch<S>,
+    ) {
         debug_assert!(self.operands_match(a, b));
+        self.check_scratch(scratch);
         out.reset_to_pattern(&self.out_pattern);
-        self.numeric_rows(
-            a.data(),
-            b.data(),
-            out.data_mut(),
-            0..self.out_pattern.rows(),
-        );
+        let rows = self.out_pattern.rows();
+        match self.kernel {
+            NumericKernel::Gather => {
+                self.numeric_rows(a.data(), b.data(), out.data_mut(), 0..rows);
+            }
+            NumericKernel::Gustavson => {
+                let cols = self.out_pattern.cols();
+                let out_ptr = SendPtr(out.data_mut().as_mut_ptr());
+                // SAFETY: `out` and lane 0 of `scratch` are exclusively
+                // borrowed; no concurrency.
+                unsafe { self.gustavson_rows(a, b, out_ptr, &mut scratch.acc[..cols], 0..rows) };
+            }
+            NumericKernel::Dense => {
+                let lane = scratch.acc_rows * self.out_pattern.cols();
+                self.pack_panel(b, &mut scratch.panel);
+                let out_ptr = SendPtr(out.data_mut().as_mut_ptr());
+                // SAFETY: as above; the panel is only read after packing.
+                unsafe {
+                    self.dense_rows(
+                        a,
+                        &scratch.panel,
+                        out_ptr,
+                        &mut scratch.acc[..lane],
+                        0..rows,
+                    )
+                };
+            }
+        }
     }
 
     /// Row-chunk-parallel numeric phase into a caller-owned buffer: output
     /// rows are split into `pool.size() + 1` chunks of approximately equal
-    /// planned FLOPs (via the prefix-FLOP table) and executed on the shared
-    /// worker pool. Allocation-free in the steady state, like
-    /// [`SymbolicProduct::execute_into`].
+    /// planned work (via the per-row prefix work table) and executed on the
+    /// shared worker pool; each chunk accumulates through its own scratch
+    /// lane, so the chunk count is additionally capped by
+    /// [`KernelScratch::lanes`]. Allocation-free in the steady state, like
+    /// [`SymbolicProduct::execute_into_with`].
     ///
-    /// Worth the pool wakeup only when [`SymbolicProduct::flops`] is large;
-    /// callers decide (see `PlannedScan`'s cost model in `bppsa-core`).
+    /// Worth the pool wakeup only when [`SymbolicProduct::execute_flops`] is
+    /// large; callers decide (see `PlannedScan`'s cost model in `bppsa-core`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch does not match this plan's kernel dimensions,
+    /// and in debug builds if the operand patterns do not match.
+    pub fn execute_into_parallel_with<S: Scalar>(
+        &self,
+        a: &Csr<S>,
+        b: &Csr<S>,
+        out: &mut Csr<S>,
+        pool: &WorkerPool,
+        scratch: &mut KernelScratch<S>,
+    ) {
+        debug_assert!(self.operands_match(a, b));
+        self.check_scratch(scratch);
+        out.reset_to_pattern(&self.out_pattern);
+        let rows = self.out_pattern.rows();
+        if matches!(self.kernel, NumericKernel::Gather) {
+            self.parallel_gather(a, b, out, pool);
+            return;
+        }
+        let cols = self.out_pattern.cols();
+        if matches!(self.kernel, NumericKernel::Dense) {
+            self.pack_panel(b, &mut scratch.panel);
+        }
+        let chunks = (pool.size() + 1).min(rows.max(1)).min(scratch.lanes);
+        let lane = scratch.acc_rows * cols;
+        if chunks <= 1 {
+            let out_ptr = SendPtr(out.data_mut().as_mut_ptr());
+            // SAFETY: exclusive borrows, no concurrency.
+            unsafe {
+                match self.kernel {
+                    NumericKernel::Gustavson => {
+                        self.gustavson_rows(a, b, out_ptr, &mut scratch.acc[..lane], 0..rows)
+                    }
+                    NumericKernel::Dense => self.dense_rows(
+                        a,
+                        &scratch.panel,
+                        out_ptr,
+                        &mut scratch.acc[..lane],
+                        0..rows,
+                    ),
+                    NumericKernel::Gather => unreachable!(),
+                }
+            }
+            return;
+        }
+        let total = self.work_total();
+        let out_ptr = SendPtr(out.data_mut().as_mut_ptr());
+        let acc_ptr = SendPtr(scratch.acc.as_mut_ptr());
+        let panel: &[S] = &scratch.panel;
+        pool.run_indexed(chunks, &|c| {
+            let out_ptr: SendPtr<S> = out_ptr;
+            let acc_ptr: SendPtr<S> = acc_ptr;
+            let r0 = self.chunk_boundary_row(c, chunks, total, rows);
+            let r1 = self.chunk_boundary_row(c + 1, chunks, total, rows);
+            // SAFETY: `chunks <= scratch.lanes`, so lane `c` is an
+            // `acc_rows × cols` accumulator block no other task touches;
+            // chunk row ranges partition `0..rows`, and each row's output
+            // segment is disjoint from every other row's — no two pool
+            // tasks write the same element; the panel is read-only during
+            // the fan-out; the pool's barrier orders all writes before
+            // `run_indexed` returns.
+            let acc = unsafe { std::slice::from_raw_parts_mut(acc_ptr.0.add(c * lane), lane) };
+            unsafe {
+                match self.kernel {
+                    NumericKernel::Gustavson => self.gustavson_rows(a, b, out_ptr, acc, r0..r1),
+                    NumericKernel::Dense => self.dense_rows(a, panel, out_ptr, acc, r0..r1),
+                    NumericKernel::Gather => unreachable!(),
+                }
+            }
+        });
+    }
+
+    /// Row-chunk-parallel numeric phase without a caller-held scratch: the
+    /// gather kernel runs as before (it needs none); the other kernels build
+    /// a throwaway scratch — steady-state callers should hold one and use
+    /// [`SymbolicProduct::execute_into_parallel_with`].
     ///
     /// # Panics
     ///
@@ -283,8 +566,25 @@ impl SymbolicProduct {
         out: &mut Csr<S>,
         pool: &WorkerPool,
     ) {
-        debug_assert!(self.operands_match(a, b));
-        out.reset_to_pattern(&self.out_pattern);
+        if matches!(self.kernel, NumericKernel::Gather) {
+            debug_assert!(self.operands_match(a, b));
+            out.reset_to_pattern(&self.out_pattern);
+            self.parallel_gather(a, b, out, pool);
+        } else {
+            let mut scratch = self.scratch::<S>(pool.size() + 1);
+            self.execute_into_parallel_with(a, b, out, pool, &mut scratch);
+        }
+    }
+
+    /// The gather kernel's row-chunk fan-out (operands already checked,
+    /// `out` already rebound to the plan's pattern).
+    fn parallel_gather<S: Scalar>(
+        &self,
+        a: &Csr<S>,
+        b: &Csr<S>,
+        out: &mut Csr<S>,
+        pool: &WorkerPool,
+    ) {
         let rows = self.out_pattern.rows();
         let chunks = (pool.size() + 1).min(rows.max(1));
         if chunks <= 1 {
@@ -294,16 +594,14 @@ impl SymbolicProduct {
         let ad = a.data();
         let bd = b.data();
         let out_data = SendPtr(out.data_mut().as_mut_ptr());
-        let total = self.gather.len();
+        let total = self.work_total();
         pool.run_indexed(chunks, &|c| {
             let out_data: SendPtr<S> = out_data;
             let r0 = self.chunk_boundary_row(c, chunks, total, rows);
             let r1 = self.chunk_boundary_row(c + 1, chunks, total, rows);
             for i in r0..r1 {
                 let out_base = self.out_pattern.indptr()[i];
-                for &(a_off, b_off, slot) in
-                    &self.gather[self.gather_ptr[i]..self.gather_ptr[i + 1]]
-                {
+                for &(a_off, b_off, slot) in &self.gather[self.work_ptr[i]..self.work_ptr[i + 1]] {
                     // SAFETY: chunk row ranges partition 0..rows, and each
                     // row's output segment [indptr[i], indptr[i+1]) is
                     // disjoint from every other row's — no two pool tasks
@@ -318,15 +616,49 @@ impl SymbolicProduct {
         });
     }
 
+    /// Total planned per-row work (the last prefix entry) — what
+    /// [`SymbolicProduct::chunk_boundary_row`] balances against.
+    fn work_total(&self) -> usize {
+        self.work_ptr.last().copied().unwrap_or(0)
+    }
+
+    /// Validates a caller-held scratch against this plan's kernel.
+    fn check_scratch<S: Scalar>(&self, scratch: &KernelScratch<S>) {
+        match self.kernel {
+            NumericKernel::Gather => {}
+            NumericKernel::Gustavson | NumericKernel::Dense => {
+                let want_rows = match self.kernel {
+                    NumericKernel::Dense => self.dense_block_rows(),
+                    _ => 1,
+                };
+                assert!(
+                    scratch.lanes >= 1
+                        && scratch.acc_rows == want_rows
+                        && scratch.acc_cols == self.out_pattern.cols(),
+                    "SymbolicProduct: scratch does not match this plan \
+                     (build it with SymbolicProduct::scratch)"
+                );
+                if matches!(self.kernel, NumericKernel::Dense) {
+                    assert_eq!(
+                        scratch.panel.len(),
+                        self.b_pattern.rows() * self.b_pattern.cols(),
+                        "SymbolicProduct: scratch panel does not match this plan \
+                         (build it with SymbolicProduct::scratch)"
+                    );
+                }
+            }
+        }
+    }
+
     /// First row of chunk `c` when `0..rows` is split into `chunks` pieces
-    /// of roughly `total / chunks` gather entries each.
+    /// of roughly `total / chunks` planned work units each.
     ///
     /// Boundaries are **strictly monotone** for `chunks <= rows`: every
     /// chunk owns at least one row, `boundary(0) == 0`, and
     /// `boundary(chunks) == rows`, so the per-chunk row ranges partition
-    /// `0..rows` exactly with no empty chunks. The raw FLOP-balanced
-    /// targets alone do not guarantee that — leading rows with empty gather
-    /// ranges or one row dominating `total` collapse several targets onto
+    /// `0..rows` exactly with no empty chunks. The raw work-balanced
+    /// targets alone do not guarantee that — leading rows with zero planned
+    /// work or one row dominating `total` collapse several targets onto
     /// the same row — so the raw boundaries are repaired by the strictly
     /// increasing envelope `max_k≤c (raw(k) + (c − k))`, clamped so every
     /// later chunk keeps a row too.
@@ -344,14 +676,14 @@ impl SymbolicProduct {
         let mut repaired = c; // k == 0 term: raw(0) == 0, shifted by c.
         for k in 1..=c {
             let target = k * total / chunks;
-            let raw = self.gather_ptr.partition_point(|&g| g < target).min(rows);
+            let raw = self.work_ptr.partition_point(|&g| g < target).min(rows);
             repaired = repaired.max(raw + (c - k));
         }
         // Leave at least one row for each of the `chunks - c` later chunks.
         repaired.min(rows - (chunks - c))
     }
 
-    /// The shared serial gather kernel over a row range.
+    /// The serial gather kernel over a row range.
     fn numeric_rows<S: Scalar>(
         &self,
         ad: &[S],
@@ -361,8 +693,203 @@ impl SymbolicProduct {
     ) {
         for i in rows {
             let out_base = self.out_pattern.indptr()[i];
-            for &(a_off, b_off, slot) in &self.gather[self.gather_ptr[i]..self.gather_ptr[i + 1]] {
+            for &(a_off, b_off, slot) in &self.gather[self.work_ptr[i]..self.work_ptr[i + 1]] {
                 out[out_base + slot as usize] += ad[a_off as usize] * bd[b_off as usize];
+            }
+        }
+    }
+
+    /// The planned Gustavson kernel over a row range: accumulate each output
+    /// row's structural products into the dense accumulator lane (driven by
+    /// the operands' own CSR arrays — no gather table), then scatter the
+    /// known output columns out and re-zero exactly what was touched.
+    ///
+    /// Bit-for-bit with [`spgemm`]: the terms of each output element are
+    /// accumulated in the identical (a-row-major, then b-row) order, and the
+    /// first touch lands on a `+0.0` accumulator entry — the same
+    /// `0 + av·bv` signed-zero canonicalization.
+    ///
+    /// # Safety
+    ///
+    /// `out` must point to the output value array (rebound to the plan's
+    /// pattern); concurrent calls must receive disjoint `rows` ranges and
+    /// exclusive `acc` lanes. `acc` must be `cols` wide and **all-zero** on
+    /// entry; it is all-zero again on return.
+    unsafe fn gustavson_rows<S: Scalar>(
+        &self,
+        a: &Csr<S>,
+        b: &Csr<S>,
+        out: SendPtr<S>,
+        acc: &mut [S],
+        rows: std::ops::Range<usize>,
+    ) {
+        for i in rows {
+            for (&k, &av) in a.row_indices(i).iter().zip(a.row_data(i)) {
+                let k = k as usize;
+                for (&j, &bv) in b.row_indices(k).iter().zip(b.row_data(k)) {
+                    acc[j as usize] += av * bv;
+                }
+            }
+            let out_base = self.out_pattern.indptr()[i];
+            for (slot, &j) in self.out_pattern.row_indices(i).iter().enumerate() {
+                let j = j as usize;
+                // SAFETY: each row's output segment is disjoint from every
+                // other row's (caller guarantees disjoint row ranges).
+                unsafe { *out.0.add(out_base + slot) = acc[j] };
+                // The touched set of row `i` is exactly its structural
+                // output columns, so this restores the all-zero invariant.
+                acc[j] = S::ZERO;
+            }
+        }
+    }
+
+    /// The dense panel microkernel over a row range: each output row is
+    /// `Σ_k a[i,k] · panel[k, ·]` — one contiguous SIMD `axpy`
+    /// ([`Scalar::slice_axpy`]) per stored entry of `a`'s row — then the
+    /// known output columns are gathered out of the accumulator.
+    ///
+    /// The loop nest is cache-blocked: [`KERNEL_DENSE_ROW_BLOCK`] output
+    /// rows at a time (one accumulator row each, resident across the whole
+    /// sweep), consuming the panel [`KERNEL_DENSE_K_BLOCK`] rows at a time
+    /// so each panel k-block is read from memory once per row block and
+    /// served from cache to every accumulator row that needs it. Without
+    /// the blocking, each output row re-streams its panel rows from DRAM
+    /// and the kernel is bandwidth-bound at any interesting size. Per-row
+    /// entry order is unchanged — `a`'s column indices are sorted, so
+    /// walking them k-block by k-block visits them in exactly the original
+    /// ascending-`k` order.
+    ///
+    /// Bit-for-bit with [`spgemm`] for **finite** operands: the structural
+    /// terms of each output element arrive in the identical order; the extra
+    /// structural-zero terms contribute exact `±0.0`s, which round-to-
+    /// nearest addition absorbs without perturbing the sum, and the leading
+    /// `S::ZERO +` ([`Scalar::slice_scale_canonical`] on the row's first
+    /// entry) canonicalizes any `-0.0` first product to `+0.0` exactly as
+    /// the generic path does. (Non-finite operands can differ: a structural
+    /// zero times `inf` is `NaN` here but absent there.)
+    ///
+    /// # Safety
+    ///
+    /// As [`SymbolicProduct::gustavson_rows`], except `acc` is a full
+    /// `dense_block_rows() × cols` lane block which need not be zeroed
+    /// (every non-empty row fully overwrites its accumulator row before
+    /// reading it) and is left dirty.
+    unsafe fn dense_rows<S: Scalar>(
+        &self,
+        a: &Csr<S>,
+        panel: &[S],
+        out: SendPtr<S>,
+        acc: &mut [S],
+        rows: std::ops::Range<usize>,
+    ) {
+        let cols = self.out_pattern.cols();
+        let block = self.dense_block_rows();
+        debug_assert!(acc.len() >= block * cols);
+        let indptr = a.indptr();
+        let aidx = a.indices();
+        let adata = a.data();
+        let k_rows = self.b_pattern.rows();
+        let mut i0 = rows.start;
+        while i0 < rows.end {
+            let i1 = (i0 + block).min(rows.end);
+            // Per-row cursor into `a`'s entry arrays (stack-allocated: the
+            // steady state performs no heap allocation).
+            let mut cur = [0usize; KERNEL_DENSE_ROW_BLOCK];
+            for (j, c) in cur[..i1 - i0].iter_mut().enumerate() {
+                *c = indptr[i0 + j];
+            }
+            // Sweep the panel one k-block at a time: every row of this row
+            // block consumes its entries falling inside the k-block while
+            // the block's panel rows are cache-hot.
+            let mut k0 = 0usize;
+            while k0 < k_rows {
+                let k1 = (k0 + KERNEL_DENSE_K_BLOCK).min(k_rows) as u32;
+                for (j, c) in cur[..i1 - i0].iter_mut().enumerate() {
+                    let i = i0 + j;
+                    let row_start = indptr[i];
+                    let row_end = indptr[i + 1];
+                    let acc_row = &mut acc[j * cols..j * cols + cols];
+                    if *c == row_start && *c < row_end && aidx[*c] < k1 {
+                        // First stored entry initializes the accumulator
+                        // row (with the same `0 + av·bv` canonicalization
+                        // as the generic path)…
+                        let kc = aidx[*c] as usize * cols;
+                        S::slice_scale_canonical(acc_row, adata[*c], &panel[kc..kc + cols]);
+                        *c += 1;
+                    }
+                    // …the rest accumulate, four panel rows per pass where
+                    // possible: `slice_axpy4` keeps the exact stacked-axpy
+                    // association while quartering accumulator load/store
+                    // traffic (the port-bound resource of the axpy loop).
+                    // Sorted column indices make `aidx[*c + 3] < k1` imply
+                    // the whole quad lies in this k-block; stragglers fall
+                    // through to the pair and single tails.
+                    while *c + 3 < row_end && aidx[*c + 3] < k1 {
+                        let kc1 = aidx[*c] as usize * cols;
+                        let kc2 = aidx[*c + 1] as usize * cols;
+                        let kc3 = aidx[*c + 2] as usize * cols;
+                        let kc4 = aidx[*c + 3] as usize * cols;
+                        S::slice_axpy4(
+                            acc_row,
+                            adata[*c],
+                            &panel[kc1..kc1 + cols],
+                            adata[*c + 1],
+                            &panel[kc2..kc2 + cols],
+                            adata[*c + 2],
+                            &panel[kc3..kc3 + cols],
+                            adata[*c + 3],
+                            &panel[kc4..kc4 + cols],
+                        );
+                        *c += 4;
+                    }
+                    while *c + 1 < row_end && aidx[*c + 1] < k1 {
+                        let kc1 = aidx[*c] as usize * cols;
+                        let kc2 = aidx[*c + 1] as usize * cols;
+                        S::slice_axpy2(
+                            acc_row,
+                            adata[*c],
+                            &panel[kc1..kc1 + cols],
+                            adata[*c + 1],
+                            &panel[kc2..kc2 + cols],
+                        );
+                        *c += 2;
+                    }
+                    if *c < row_end && aidx[*c] < k1 {
+                        let kc = aidx[*c] as usize * cols;
+                        S::slice_axpy(acc_row, adata[*c], &panel[kc..kc + cols]);
+                        *c += 1;
+                    }
+                }
+                k0 = k1 as usize;
+            }
+            for (j, i) in (i0..i1).enumerate() {
+                if indptr[i] == indptr[i + 1] {
+                    // No structural products ⇒ the output row is empty too
+                    // (and its accumulator row was never initialized).
+                    continue;
+                }
+                let acc_row = &acc[j * cols..j * cols + cols];
+                let out_base = self.out_pattern.indptr()[i];
+                for (slot, &jj) in self.out_pattern.row_indices(i).iter().enumerate() {
+                    // SAFETY: disjoint output segments per row, as in
+                    // `gustavson_rows`.
+                    unsafe { *out.0.add(out_base + slot) = acc_row[jj as usize] };
+                }
+            }
+            i0 = i1;
+        }
+    }
+
+    /// Scatters `b`'s values into the packed row-major panel. Positions
+    /// outside `b`'s pattern were zeroed at scratch construction and are
+    /// never written again (the pattern is fixed), so a pack refreshes
+    /// exactly the structural entries.
+    fn pack_panel<S: Scalar>(&self, b: &Csr<S>, panel: &mut [S]) {
+        let cols = self.b_pattern.cols();
+        for k in 0..self.b_pattern.rows() {
+            let row = &mut panel[k * cols..(k + 1) * cols];
+            for (&j, &bv) in b.row_indices(k).iter().zip(b.row_data(k)) {
+                row[j as usize] = bv;
             }
         }
     }
@@ -429,9 +956,119 @@ mod tests {
         let a = sample_a();
         let b = sample_b();
         let plan = SymbolicProduct::plan(&a.pattern(), &b.pattern());
+        assert_eq!(plan.kernel(), NumericKernel::Gather);
         let via_plan = plan.execute(&a, &b);
         let generic = spgemm(&a, &b);
         assert_eq!(via_plan, generic);
+    }
+
+    #[test]
+    fn every_kernel_mode_matches_generic_bit_for_bit() {
+        let a = sample_a();
+        let b = sample_b();
+        let generic = spgemm(&a, &b);
+        for mode in [
+            KernelMode::Auto,
+            KernelMode::Gather,
+            KernelMode::Gustavson,
+            KernelMode::Dense,
+        ] {
+            let plan = SymbolicProduct::plan_with_mode(&a.pattern(), &b.pattern(), mode);
+            assert_eq!(plan.execute(&a, &b), generic, "mode {mode:?}");
+            let mut scratch = plan.scratch::<f64>(2);
+            let mut out = Csr::from_pattern(plan.out_pattern().clone());
+            plan.execute_into_with(&a, &b, &mut out, &mut scratch);
+            assert_eq!(out, generic, "mode {mode:?} via scratch");
+            // Steady state: same buffers again.
+            plan.execute_into_with(&a, &b, &mut out, &mut scratch);
+            assert_eq!(out, generic, "mode {mode:?} via scratch, reused");
+            let pool = bppsa_scan::WorkerPool::new(3);
+            plan.execute_into_parallel_with(&a, &b, &mut out, &pool, &mut scratch);
+            assert_eq!(out, generic, "mode {mode:?} parallel");
+        }
+    }
+
+    #[test]
+    fn forced_kernels_are_recorded_and_gather_table_is_mode_gated() {
+        let a = sample_a();
+        let b = sample_b();
+        let gather =
+            SymbolicProduct::plan_with_mode(&a.pattern(), &b.pattern(), KernelMode::Gather);
+        assert_eq!(gather.kernel(), NumericKernel::Gather);
+        assert!(!gather.gather.is_empty());
+        let gustavson =
+            SymbolicProduct::plan_with_mode(&a.pattern(), &b.pattern(), KernelMode::Gustavson);
+        assert_eq!(gustavson.kernel(), NumericKernel::Gustavson);
+        assert!(gustavson.gather.is_empty(), "no table off the gather path");
+        assert_eq!(gustavson.execute_flops(), gustavson.flops());
+        let dense = SymbolicProduct::plan_with_mode(&a.pattern(), &b.pattern(), KernelMode::Dense);
+        assert_eq!(dense.kernel(), NumericKernel::Dense);
+        assert!(dense.gather.is_empty());
+        // Dense executes a.nnz()·cols MACs, structural or not.
+        assert_eq!(dense.execute_flops(), 2 * a.nnz() as u64 * b.cols() as u64);
+        // All modes agree on the symbolic outputs.
+        assert_eq!(gather.out_pattern(), gustavson.out_pattern());
+        assert_eq!(gather.out_pattern(), dense.out_pattern());
+        assert_eq!(gather.flops(), gustavson.flops());
+        assert_eq!(gather.flops(), dense.flops());
+    }
+
+    #[test]
+    fn dense_kernel_canonicalizes_signed_zeros_like_generic() {
+        // Rows of `a` whose first entry is negative and whose product rows
+        // pass through structural zeros of `b`: the `av·(+0.0) = -0.0` trap
+        // the leading `0 +` canonicalization must absorb. Cancelling pairs
+        // in `b` additionally force exact-zero *sums*, whose sign must come
+        // out `+0.0` on every kernel.
+        let a = Csr::from_dense(&Matrix::from_fn(
+            3,
+            2,
+            |_, c| if c == 0 { -2.0 } else { 0.5 },
+        ));
+        let b = Csr::from_dense(&Matrix::from_fn(2, 9, |r, c| match (r + c) % 3 {
+            0 => 0.0,
+            1 => 1.5 - c as f64,
+            _ => c as f64 - 1.5,
+        }));
+        let generic = spgemm(&a, &b);
+        let plan = SymbolicProduct::plan_with_mode(&a.pattern(), &b.pattern(), KernelMode::Dense);
+        let out = plan.execute(&a, &b);
+        assert_eq!(out, generic);
+        for (x, y) in out.data().iter().zip(generic.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "sign-of-zero must match");
+        }
+    }
+
+    #[test]
+    fn undersized_scratch_caps_parallel_chunks() {
+        // A 1-lane scratch on a multi-worker pool must degrade to fewer
+        // chunks, not race on the accumulator.
+        let a = sample_a();
+        let b = sample_b();
+        let plan =
+            SymbolicProduct::plan_with_mode(&a.pattern(), &b.pattern(), KernelMode::Gustavson);
+        let mut scratch = plan.scratch::<f64>(1);
+        let pool = bppsa_scan::WorkerPool::new(3);
+        let mut out = Csr::from_pattern(plan.out_pattern().clone());
+        plan.execute_into_parallel_with(&a, &b, &mut out, &pool, &mut scratch);
+        assert_eq!(out, spgemm(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch does not match")]
+    fn mismatched_scratch_is_rejected() {
+        let a = sample_a();
+        let b = sample_b();
+        let plan =
+            SymbolicProduct::plan_with_mode(&a.pattern(), &b.pattern(), KernelMode::Gustavson);
+        let other = SymbolicProduct::plan_with_mode(
+            &Csr::<f64>::identity(5).pattern(),
+            &Csr::<f64>::identity(5).pattern(),
+            KernelMode::Gustavson,
+        );
+        let mut scratch = other.scratch::<f64>(1);
+        let mut out = Csr::from_pattern(plan.out_pattern().clone());
+        plan.execute_into_with(&a, &b, &mut out, &mut scratch);
     }
 
     #[test]
@@ -488,11 +1125,13 @@ mod tests {
                 0.0
             }
         }));
-        let plan = SymbolicProduct::plan(&a.pattern(), &b.pattern());
-        let reference = plan.execute(&a, &b);
-        let mut out = Csr::from_pattern(plan.out_pattern().clone());
-        plan.execute_into_parallel(&a, &b, &mut out, &pool);
-        assert_eq!(out, reference);
+        let reference = spgemm(&a, &b);
+        for mode in [KernelMode::Gather, KernelMode::Gustavson, KernelMode::Dense] {
+            let plan = SymbolicProduct::plan_with_mode(&a.pattern(), &b.pattern(), mode);
+            let mut out = Csr::from_pattern(plan.out_pattern().clone());
+            plan.execute_into_parallel(&a, &b, &mut out, &pool);
+            assert_eq!(out, reference, "mode {mode:?}");
+        }
     }
 
     #[test]
@@ -515,6 +1154,7 @@ mod tests {
         // Row 0 of A hits rows 0 (1 entry) and 2 (1 entry) of B → 2 products;
         // row 1 hits row 1 (1 entry) → 1 product. Total 3 MACs = 6 FLOPs.
         assert_eq!(plan.flops(), 6);
+        assert_eq!(plan.execute_flops(), 6);
     }
 
     #[test]
@@ -573,13 +1213,20 @@ mod tests {
                 0.0f64..1.0,
             ),
             cells in proptest::collection::vec(-5.0f64..5.0, 64),
+            mode_pick in 0usize..4,
         ) {
+            let mode = [
+                KernelMode::Auto,
+                KernelMode::Gather,
+                KernelMode::Gustavson,
+                KernelMode::Dense,
+            ][mode_pick];
             let a = Csr::from_dense(&skewed_dense(
                 rows, k, empty_lead, heavy_row, tail_density, &cells,
             ));
             let b = Csr::from_dense(&skewed_dense(k, cols, 0, heavy_row, 0.6, &cells));
-            let plan = SymbolicProduct::plan(&a.pattern(), &b.pattern());
-            let total = plan.gather.len();
+            let plan = SymbolicProduct::plan_with_mode(&a.pattern(), &b.pattern(), mode);
+            let total = plan.work_total();
             for chunks in 2..=rows.min(9) {
                 let boundaries: Vec<usize> = (0..=chunks)
                     .map(|c| plan.chunk_boundary_row(c, chunks, total, rows))
@@ -591,19 +1238,21 @@ mod tests {
                     // so the ranges partition 0..rows exactly.
                     proptest::prop_assert!(
                         boundaries[c] < boundaries[c + 1],
-                        "chunks={} boundaries={:?} (gather_ptr={:?})",
+                        "chunks={} boundaries={:?} (work_ptr={:?})",
                         chunks,
                         &boundaries,
-                        &plan.gather_ptr
+                        &plan.work_ptr
                     );
                 }
             }
             // And the row-parallel executor built on those boundaries stays
-            // numerically identical to the serial gather.
-            let reference = plan.execute(&a, &b);
+            // numerically identical to the serial generic path, whatever
+            // kernel the mode resolved to.
+            let reference = spgemm(&a, &b);
             let pool = WorkerPool::new(3);
+            let mut scratch = plan.scratch::<f64>(4);
             let mut out = Csr::from_pattern(plan.out_pattern().clone());
-            plan.execute_into_parallel(&a, &b, &mut out, &pool);
+            plan.execute_into_parallel_with(&a, &b, &mut out, &pool, &mut scratch);
             proptest::prop_assert_eq!(out, reference);
         }
     }
