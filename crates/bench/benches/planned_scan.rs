@@ -7,6 +7,12 @@
 //! group ablates the row-parallel numeric SpGEMM against single-thread
 //! numeric on a large product.
 //!
+//! A `segmented_scan` group sweeps segment-parallel deep chains — K ∈
+//! {1, 2, 4} over depths 4096 and 32768 — isolating what exact interface
+//! stitching buys (or costs) at each worker-group width; the emitted JSON's
+//! environment record carries `available_parallelism` so single-core
+//! overhead readings are never mistaken for multi-core scaling.
+//!
 //! A third group measures [`BatchedBackward`] throughput — 8 same-shape
 //! mini-batches fanned over a [`WorkspacePool`](bppsa_core::WorkspacePool)
 //! — as a function of the pool's workspace capacity (1/2/4/8). On
@@ -125,6 +131,51 @@ fn bench_planned(c: &mut Criterion) {
     group.finish();
 }
 
+/// A deep narrow chain (the segment-parallel target shape): `n` timesteps
+/// of small sparse Jacobians, where the scan's critical path — not any one
+/// combine — is the cost.
+fn deep_chain(n: usize) -> JacobianChain<f64> {
+    let mut rng = seeded_rng(44);
+    let width = 8usize;
+    let mut chain = JacobianChain::new(uniform_vector(&mut rng, width, 1.0));
+    for _ in 0..n {
+        chain.push(ScanElement::Sparse(random_csr(&mut rng, width, width, 0.3)));
+    }
+    chain
+}
+
+fn bench_segmented(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segmented_scan");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // K = 1 is the status-quo pooled plan; K ∈ {2, 4} split the same
+    // instruction stream across carved worker groups. On a multi-core host
+    // the segmented variants should win on deep chains; on one core they
+    // measure pure stitching overhead (the JSON environment record carries
+    // available_parallelism so the two readings are never confused).
+    for depth in [4096usize, 32768] {
+        let chain = deep_chain(depth);
+        for k in [1usize, 2, 4] {
+            let plan = PlannedScan::plan(&chain, BppsaOptions::pooled().segmented(k));
+            assert_eq!(plan.segments(), k, "deep chains segment fully");
+            let mut ws = plan.workspace::<f64>();
+            let _ = plan.execute_with(&chain, &mut ws); // warm buffers + pool
+            group.bench_function(format!("depth_{depth}/k{k}"), |b| {
+                b.iter(|| {
+                    plan.execute_with(std::hint::black_box(&chain), &mut ws)
+                        .grads()
+                        .len()
+                })
+            });
+        }
+    }
+
+    group.finish();
+}
+
 fn bench_row_parallel(c: &mut Criterion) {
     let mut group = c.benchmark_group("spgemm_row_parallel");
     group
@@ -226,6 +277,7 @@ fn bench_workspace_pool(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_planned,
+    bench_segmented,
     bench_row_parallel,
     bench_workspace_pool
 );

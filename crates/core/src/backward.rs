@@ -6,7 +6,7 @@
 use crate::chain::{gradients_from_scan_output, JacobianChain};
 use crate::diagonal::DiagonalMode;
 use crate::element::{JacobianScanOp, ScanElement};
-use bppsa_scan::{execute_in_place, Executor, ScanSchedule};
+use bppsa_scan::{ceil_log2, execute_in_place, Executor, ScanSchedule};
 use bppsa_sparse::KernelMode;
 use bppsa_tensor::{Scalar, Vector};
 
@@ -31,6 +31,14 @@ pub struct BppsaOptions {
     /// kernel for differential testing and ablation. The unplanned
     /// [`bppsa_backward`] ignores this field.
     pub kernel: KernelMode,
+    /// How many chain segments [`PlannedScan`](crate::PlannedScan) scans
+    /// concurrently (`1` = unsegmented). Segmentation partitions the
+    /// schedule's blocks into contiguous runs executed on separate worker
+    /// groups and stitches them through the serial middle phase — an exact,
+    /// associativity-preserving split that is bit-for-bit identical to the
+    /// unsegmented execution of the same schedule. The unplanned
+    /// [`bppsa_backward`] ignores this field.
+    pub segments: usize,
 }
 
 impl Default for BppsaOptions {
@@ -40,6 +48,7 @@ impl Default for BppsaOptions {
             up_levels: None,
             diagonal: DiagonalMode::Auto,
             kernel: KernelMode::Auto,
+            segments: 1,
         }
     }
 }
@@ -87,11 +96,47 @@ impl BppsaOptions {
         self
     }
 
+    /// Requests `k` concurrently-scanned chain segments from planned
+    /// execution (`k ≤ 1` means unsegmented; the plan clamps `k` to the
+    /// schedule's block count).
+    pub fn segmented(mut self, k: usize) -> Self {
+        self.segments = k.max(1);
+        self
+    }
+
     /// The schedule these options induce for a scan of length `len`.
+    ///
+    /// Segmentation requires multiple schedule blocks (the full Blelloch
+    /// schedule has exactly one, its single root), so when `segments > 1`
+    /// and no explicit hybrid depth was set, the depth is derived to yield
+    /// at least ~4 blocks per requested segment — giving the partition
+    /// heuristic room to prefer narrow interfaces. The derivation is part
+    /// of the options, not the plan: the bit-for-bit unsegmented reference
+    /// for `opts.segmented(k)` is `opts.segmented(1).hybrid(d)` with the
+    /// same derived depth `d` (see [`BppsaOptions::segmented_up_levels`]).
     pub fn schedule(&self, len: usize) -> ScanSchedule {
         match self.up_levels {
+            None if self.segments > 1 => {
+                ScanSchedule::with_up_levels(len, self.segmented_up_levels(len))
+            }
             None => ScanSchedule::full(len),
             Some(k) => ScanSchedule::with_up_levels(len, k),
+        }
+    }
+
+    /// The hybrid depth [`BppsaOptions::schedule`] derives when
+    /// `segments > 1` and `up_levels` is `None`: the deepest `k` whose
+    /// `2^k`-sized blocks still leave at least `4 × segments` of them, so
+    /// segment cuts can chase naturally narrow interfaces instead of being
+    /// forced onto block boundaries.
+    pub fn segmented_up_levels(&self, len: usize) -> usize {
+        let n = len.saturating_sub(1).max(1);
+        let target_blocks = 4 * self.segments.max(1);
+        if n <= target_blocks {
+            0
+        } else {
+            // Largest k with n / 2^k ≥ target_blocks.
+            ceil_log2(n / target_blocks + 1).saturating_sub(1) as usize
         }
     }
 }

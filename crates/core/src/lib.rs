@@ -56,6 +56,7 @@ mod element;
 mod network;
 mod planned;
 mod pool;
+mod segmented;
 
 pub mod flops;
 
@@ -75,6 +76,7 @@ pub use planned::{
 // so consumers of the planned API don't need a direct `bppsa-sparse` dep.
 pub use bppsa_sparse::{KernelMode, NumericKernel};
 pub use pool::{BatchedBackward, PooledWorkspace, WorkspacePool};
+pub use segmented::{balanced_cuts, segments_from_cuts, SegmentedPlan};
 
 #[cfg(test)]
 mod tests {

@@ -67,7 +67,8 @@ use crate::backward::{BackwardResult, BppsaOptions};
 use crate::chain::JacobianChain;
 use crate::diagonal::{DiagonalKernel, DiagonalScanPlan, DiagonalWorkspace};
 use crate::element::ScanElement;
-use bppsa_scan::{global_pool, Executor, Pair, PhaseKind, ScanSchedule, SendPtr};
+use crate::segmented::{balanced_cuts, segments_from_cuts, SegmentSlice, SegmentedPlan};
+use bppsa_scan::{global_pool, Executor, Pair, PhaseKind, ScanSchedule, SendPtr, WorkerGroup};
 use bppsa_sparse::{
     Csr, KernelMode, KernelScratch, NumericKernel, SparsityPattern, SymbolicProduct,
 };
@@ -129,8 +130,17 @@ struct Stage {
     /// by one combine is better served by row-parallelism inside that
     /// combine than by fanning the instruction list out.
     max_instr_flops: u64,
-    /// Which scan phase the stage came from (for accounting/debugging).
-    #[allow(dead_code)]
+    /// Planned FLOPs of each instruction, parallel to `instrs` (segment
+    /// slices price their share of a stage from these).
+    instr_flops: Vec<u64>,
+    /// Schedule block each instruction belongs to, parallel to `instrs` and
+    /// nondecreasing (instructions ascend by written scan position), so a
+    /// segment's share of a stage is a contiguous slice found by
+    /// `partition_point`. Middle-stage instructions carry the block of the
+    /// root they fold — informational only; the middle always runs serially.
+    blocks: Vec<usize>,
+    /// Which scan phase the stage came from: segmentation partitions
+    /// up/down stages per segment and pins the middle to the caller.
     phase: PhaseKind,
 }
 
@@ -171,6 +181,11 @@ pub struct PlannedScan {
     seed_len: usize,
     /// The compiled numeric program (plan-kind selected at plan time).
     program: Program,
+    /// Plan-time chain segmentation (`None` = unsegmented): contiguous
+    /// block runs whose up/down instruction slices execute concurrently on
+    /// carved worker groups, stitched through the serial middle. Exact —
+    /// same instruction multiset, same buffers, bit-for-bit results.
+    segmented: Option<SegmentedPlan>,
     parallel: bool,
     /// Wall-clock cost of the symbolic phase that built this plan — the
     /// observability hook serving-layer lane bring-up reports.
@@ -311,11 +326,22 @@ impl PlannedScan {
             )),
         };
 
+        // Segmentation slices the compiled CSR program at block boundaries
+        // (diagonal programs stay unsegmented: their levels are elementwise
+        // over dense planes and already fan out width-wise).
+        let segmented = match &program {
+            Program::Csr(p) if opts.segments > 1 => {
+                build_segmentation(p, &schedule, &input_patterns, seed_len, opts.segments)
+            }
+            _ => None,
+        };
+
         Self {
             schedule,
             input_patterns,
             seed_len,
             program,
+            segmented,
             parallel: !matches!(opts.executor, Executor::Serial),
             build_time: build_start.elapsed(),
             token: Arc::new(()),
@@ -395,13 +421,29 @@ impl PlannedScan {
 
     /// Accumulator lanes each combine's [`KernelScratch`] is sized for:
     /// one per row chunk the parallel executor could fan out to, or a
-    /// single lane under the serial executor.
+    /// single lane under the serial executor. Segmented plans never
+    /// row-parallelize a single combine (the pool's workers are carved
+    /// into per-segment groups instead), so one lane suffices — the
+    /// workspace shrinks accordingly.
     fn scratch_lanes(&self) -> usize {
-        if self.parallel {
+        if self.parallel && self.segmented.is_none() {
             global_pool().size() + 1
         } else {
             1
         }
+    }
+
+    /// Number of concurrently-scanned chain segments this plan executes
+    /// (`1` = unsegmented).
+    pub fn segments(&self) -> usize {
+        self.segmented.as_ref().map_or(1, SegmentedPlan::segments)
+    }
+
+    /// The plan's segmentation — block ownership, interface widths — or
+    /// `None` when the plan is unsegmented (a one-segment request, a
+    /// diagonal program, or a schedule with too few blocks).
+    pub fn segmentation(&self) -> Option<&SegmentedPlan> {
+        self.segmented.as_ref()
     }
 
     /// For diagonal plans: the largest pool fan-out any level would request
@@ -561,8 +603,12 @@ impl PlannedScan {
                 debug_assert_eq!(scratches.len(), p.spgemm_plans.len());
                 let bufs: *mut WorkBuf<S> = ws_bufs.as_mut_ptr();
                 let scratch: *mut KernelScratch<S> = scratches.as_mut_ptr();
-                for stage in &p.stages {
-                    p.run_stage(stage, chain, bufs, ws_bufs.len(), scratch, self.parallel);
+                if let Some(seg) = &self.segmented {
+                    p.run_segmented(seg, chain, bufs, ws_bufs.len(), scratch, self.parallel);
+                } else {
+                    for stage in &p.stages {
+                        p.run_stage(stage, chain, bufs, ws_bufs.len(), scratch, self.parallel);
+                    }
                 }
 
                 // Copy gradients into the workspace-owned result buffers.
@@ -672,12 +718,19 @@ impl CsrProgram {
             ..Compiler::default()
         };
 
-        // Up-sweep: a[r] ← a[l] ⊙ a[r] = a[r] · a[l].
+        // Up-sweep: a[r] ← a[l] ⊙ a[r] = a[r] · a[l]. Every pair lies
+        // within one schedule block (pinned in `bppsa-scan`), so the
+        // emitted instruction is attributed to the block of its written
+        // position `r` — the basis for segment slicing.
         for level in schedule.up_levels() {
             let mut stage = compiler.open_stage(true, PhaseKind::UpSweep);
             for &Pair { l, r } in level {
+                let before = stage.instrs.len();
                 let folded = compiler.combine(&mut stage, &slots[l], &slots[r]);
                 slots[r] = folded;
+                if stage.instrs.len() > before {
+                    stage.blocks.push(schedule.block_of(r));
+                }
             }
             compiler.push_stage(stage);
         }
@@ -687,22 +740,32 @@ impl CsrProgram {
             let mut stage = compiler.open_stage(false, PhaseKind::Middle);
             let mut running = Sim::Identity;
             for &root in schedule.block_roots() {
+                let before = stage.instrs.len();
                 let old = std::mem::replace(&mut slots[root], Sim::Identity);
                 let next = compiler.combine(&mut stage, &running, &old);
                 slots[root] = std::mem::replace(&mut running, next);
+                if stage.instrs.len() > before {
+                    stage.blocks.push(schedule.block_of(root));
+                }
             }
             compiler.push_stage(stage);
         }
 
-        // Down-sweep: t ← a[l]; a[l] ← a[r]; a[r] ← a[r] ⊙ t.
+        // Down-sweep: t ← a[l]; a[l] ← a[r]; a[r] ← a[r] ⊙ t. Identity
+        // combines emit nothing; emitted instructions again belong to the
+        // block of the written position `r` (same-block invariant).
         for level in schedule.down_levels() {
             let mut stage = compiler.open_stage(true, PhaseKind::DownSweep);
             for &Pair { l, r } in level {
+                let before = stage.instrs.len();
                 let t = std::mem::replace(&mut slots[l], Sim::Identity);
                 let r_val = std::mem::replace(&mut slots[r], Sim::Identity);
                 let folded = compiler.combine(&mut stage, &r_val, &t);
                 slots[l] = r_val;
                 slots[r] = folded;
+                if stage.instrs.len() > before {
+                    stage.blocks.push(schedule.block_of(r));
+                }
             }
             compiler.push_stage(stage);
         }
@@ -777,6 +840,156 @@ impl CsrProgram {
         }
     }
 
+    /// Runs the compiled program segment-parallel: each segment's up-sweep
+    /// slices execute concurrently on the pool (one driver task per
+    /// segment, heavy slices fanning out further across that segment's
+    /// carved worker group), the middle runs serially on the caller, then
+    /// the down-sweep slices execute concurrently again.
+    ///
+    /// Exactness: this runs the *same instruction multiset* as the
+    /// unsegmented stage loop. Up/down pairs never cross block boundaries
+    /// (pinned in `bppsa-scan`), segments own disjoint contiguous block
+    /// runs, every instruction writes a fresh single-assignment buffer, and
+    /// the two `run_indexed` barriers order each phase against the serial
+    /// middle — so no instruction can observe an operand in a different
+    /// state than under the serial order, and results are bit-for-bit
+    /// identical.
+    fn run_segmented<S: Scalar>(
+        &self,
+        seg: &SegmentedPlan,
+        chain: &JacobianChain<S>,
+        bufs: *mut WorkBuf<S>,
+        bufs_len: usize,
+        scratch: *mut KernelScratch<S>,
+        parallel: bool,
+    ) {
+        let k = seg.up.len();
+        if parallel {
+            let pool = global_pool();
+            let size = pool.size();
+            let bufs = SendPtr(bufs);
+            let scratch = SendPtr(scratch);
+            let run_phase = |slices_per_seg: &[Vec<SegmentSlice>]| {
+                pool.run_indexed(k, &|g| {
+                    let bufs: SendPtr<WorkBuf<S>> = bufs;
+                    let scratch: SendPtr<KernelScratch<S>> = scratch;
+                    // Contiguous worker carve, computed arithmetically so
+                    // the steady state allocates nothing. Empty groups
+                    // (more segments than workers) degrade to driver-only
+                    // inline execution.
+                    let group = pool.group(g * size / k, (g + 1) * size / k);
+                    // SAFETY: segments own disjoint blocks; see the method
+                    // docs for the aliasing argument. The per-plan scratch
+                    // exclusivity of `exec_instr` carries over unchanged
+                    // (plan indices stay unique per instruction).
+                    unsafe {
+                        self.run_slices(
+                            &slices_per_seg[g],
+                            group,
+                            chain,
+                            bufs.0,
+                            bufs_len,
+                            scratch.0,
+                        )
+                    };
+                });
+            };
+            run_phase(&seg.up);
+            if let Some(mid) = seg.middle {
+                // The middle is the one inherently serial stitch: a short
+                // chain of SpMVs threading the running prefix through every
+                // block root, cross-segment by construction.
+                self.run_stage(&self.stages[mid], chain, bufs.0, bufs_len, scratch.0, false);
+            }
+            run_phase(&seg.down);
+        } else {
+            // Serial executor: loop the segments in order. Exercises the
+            // identical slice decomposition (same instruction multiset,
+            // same per-instruction arguments), deterministically.
+            for g in 0..k {
+                for slice in &seg.up[g] {
+                    let stage = &self.stages[slice.stage];
+                    for instr in &stage.instrs[slice.lo..slice.hi] {
+                        // SAFETY: single-threaded; SSA aliasing argument as
+                        // in `run_stage`.
+                        unsafe { self.exec_instr(instr, chain, bufs, bufs_len, scratch, false) };
+                    }
+                }
+            }
+            if let Some(mid) = seg.middle {
+                self.run_stage(&self.stages[mid], chain, bufs, bufs_len, scratch, false);
+            }
+            for g in 0..k {
+                for slice in &seg.down[g] {
+                    let stage = &self.stages[slice.stage];
+                    for instr in &stage.instrs[slice.lo..slice.hi] {
+                        // SAFETY: as above.
+                        unsafe { self.exec_instr(instr, chain, bufs, bufs_len, scratch, false) };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one segment's slices in stage order on the segment's driver
+    /// task, fanning a heavy slice out across the segment's worker group
+    /// (instruction-level, priced like `run_stage`; row-parallelism stays
+    /// off — the pool is already carved).
+    ///
+    /// # Safety
+    ///
+    /// As `exec_instr`, plus: no other segment may concurrently touch this
+    /// segment's blocks (guaranteed by the disjoint block partition and the
+    /// same-block pair invariant).
+    unsafe fn run_slices<S: Scalar>(
+        &self,
+        slices: &[SegmentSlice],
+        group: WorkerGroup<'_>,
+        chain: &JacobianChain<S>,
+        bufs: *mut WorkBuf<S>,
+        bufs_len: usize,
+        scratch: *mut KernelScratch<S>,
+    ) {
+        for slice in slices {
+            let stage = &self.stages[slice.stage];
+            let count = slice.hi - slice.lo;
+            let flops: u64 = stage.instr_flops[slice.lo..slice.hi].iter().sum();
+            let fan_out = stage.parallel
+                && group.workers() > 0
+                && count >= 2
+                && flops >= STAGE_PARALLEL_MIN_FLOPS
+                && flops / count as u64 >= TASK_MIN_FLOPS;
+            if fan_out {
+                let bufs = SendPtr(bufs);
+                let scratch = SendPtr(scratch);
+                group.run_indexed(count, &|i| {
+                    let bufs: SendPtr<WorkBuf<S>> = bufs;
+                    let scratch: SendPtr<KernelScratch<S>> = scratch;
+                    // SAFETY: within-stage instructions write distinct SSA
+                    // buffers (as in `run_stage`); the nested publish lands
+                    // on a free pool header (or runs inline), and the group
+                    // barrier orders the writes against the next slice.
+                    unsafe {
+                        self.exec_instr(
+                            &stage.instrs[slice.lo + i],
+                            chain,
+                            bufs.0,
+                            bufs_len,
+                            scratch.0,
+                            false,
+                        )
+                    };
+                });
+            } else {
+                for instr in &stage.instrs[slice.lo..slice.hi] {
+                    // SAFETY: caller contract; instructions of one segment
+                    // run here sequentially.
+                    unsafe { self.exec_instr(instr, chain, bufs, bufs_len, scratch, false) };
+                }
+            }
+        }
+    }
+
     /// Executes one instruction. `row_parallel` permits a heavy SpGEMM to
     /// fan its numeric phase out across the pool by row chunks.
     ///
@@ -833,6 +1046,89 @@ impl CsrProgram {
             }
         }
     }
+}
+
+/// Builds the segmentation of a compiled CSR program: clamps `k` to the
+/// schedule's block count, places the cuts with
+/// [`balanced_cuts`] (planned per-block FLOPs as weights, preferring
+/// naturally narrow interfaces), and slices every up/down stage's
+/// instruction list per segment by `partition_point` over the recorded
+/// block attribution. Returns `None` when fewer than two segments survive
+/// the clamp (single-block schedules — e.g. full Blelloch — cannot split).
+fn build_segmentation(
+    p: &CsrProgram,
+    schedule: &ScanSchedule,
+    input_patterns: &[Arc<SparsityPattern>],
+    seed_len: usize,
+    k: usize,
+) -> Option<SegmentedPlan> {
+    let roots = schedule.block_roots();
+    let num_blocks = roots.len();
+    let k = k.min(num_blocks);
+    if k < 2 {
+        return None;
+    }
+
+    // Per-block planned cost over the parallel phases (the middle is
+    // caller-serial regardless of where the cuts land).
+    let mut weights = vec![0u64; num_blocks];
+    for stage in &p.stages {
+        if matches!(stage.phase, PhaseKind::Middle) {
+            continue;
+        }
+        for (block, flops) in stage.blocks.iter().zip(&stage.instr_flops) {
+            weights[*block] += flops;
+        }
+    }
+
+    // Interface width at the boundary after block `b`: the row count of the
+    // fold block `b` hands the middle — the rows of its root slot's operand
+    // (slot `j ≥ 1` holds `J_{n−j+1}ᵀ`, i.e. `input_patterns[n − j]`).
+    let n = input_patterns.len();
+    let interfaces: Vec<usize> = roots[..num_blocks - 1]
+        .iter()
+        .map(|&root| {
+            if root == 0 {
+                seed_len
+            } else {
+                input_patterns[n - root].rows()
+            }
+        })
+        .collect();
+
+    let cuts = balanced_cuts(&weights, &interfaces, k);
+    let segment_blocks = segments_from_cuts(&cuts, num_blocks);
+    let interface_widths: Vec<usize> = cuts.iter().map(|&c| interfaces[c - 1]).collect();
+
+    let mut up: Vec<Vec<SegmentSlice>> = vec![Vec::new(); k];
+    let mut down: Vec<Vec<SegmentSlice>> = vec![Vec::new(); k];
+    let mut middle = None;
+    for (s, stage) in p.stages.iter().enumerate() {
+        let per_segment = match stage.phase {
+            PhaseKind::UpSweep => &mut up,
+            PhaseKind::DownSweep => &mut down,
+            PhaseKind::Middle => {
+                middle = Some(s);
+                continue;
+            }
+        };
+        debug_assert_eq!(stage.blocks.len(), stage.instrs.len());
+        for (g, blocks) in segment_blocks.iter().enumerate() {
+            let lo = stage.blocks.partition_point(|&b| b < blocks.start);
+            let hi = stage.blocks.partition_point(|&b| b < blocks.end);
+            if hi > lo {
+                per_segment[g].push(SegmentSlice { stage: s, lo, hi });
+            }
+        }
+    }
+
+    Some(SegmentedPlan::new(
+        up,
+        down,
+        middle,
+        segment_blocks,
+        interface_widths,
+    ))
 }
 
 /// Whether `chain` has exactly the given structure: a `seed_len`-wide seed
@@ -1101,6 +1397,8 @@ impl Compiler {
             parallel,
             flops: 0,
             max_instr_flops: 0,
+            instr_flops: Vec::new(),
+            blocks: Vec::new(),
             phase,
         }
     }
@@ -1130,6 +1428,7 @@ impl Compiler {
                 let flops = 2 * pat.nnz() as u64;
                 stage.flops += flops;
                 stage.max_instr_flops = stage.max_instr_flops.max(flops);
+                stage.instr_flops.push(flops);
                 stage.instrs.push(Instr::Spmv {
                     mat: *mat_loc,
                     vec: *vec_loc,
@@ -1152,6 +1451,7 @@ impl Compiler {
                 let flops = product.execute_flops();
                 stage.flops += flops;
                 stage.max_instr_flops = stage.max_instr_flops.max(flops);
+                stage.instr_flops.push(flops);
                 let plan = self.plans.len();
                 self.plans.push(product);
                 let dst = self.alloc(BufferSpec::Matrix(Arc::clone(&out_pat)));
@@ -1469,6 +1769,175 @@ mod tests {
         let plan_b = PlannedScan::plan(&chain, BppsaOptions::serial());
         let mut ws = plan_b.workspace::<f64>();
         let _ = plan_a.execute_with(&chain, &mut ws);
+    }
+
+    #[test]
+    fn segmented_serial_is_bit_identical_to_unsegmented() {
+        for (n, up, k) in [
+            (40usize, 3usize, 2usize),
+            (40, 3, 4),
+            (64, 2, 4),
+            (33, 0, 3),
+        ] {
+            let chain = sparse_chain(n, n as u64 + 7);
+            let base = BppsaOptions::serial().hybrid(up);
+            let seg_plan = PlannedScan::plan(&chain, base.segmented(k));
+            let ref_plan = PlannedScan::plan(&chain, base);
+            assert!(
+                seg_plan.segments() >= 2,
+                "n={n} up={up} k={k}: expected a real segmentation"
+            );
+            let diff = seg_plan
+                .execute(&chain)
+                .max_abs_diff(&ref_plan.execute(&chain));
+            assert_eq!(diff, 0.0, "n={n} up={up} k={k}: must be bit-for-bit");
+        }
+    }
+
+    #[test]
+    fn segmented_pooled_is_bit_identical_to_unsegmented_serial() {
+        for k in [2usize, 4] {
+            let chain = sparse_chain(48, 91);
+            let base = BppsaOptions::serial().hybrid(3);
+            let seg = PlannedScan::plan(&chain, BppsaOptions::pooled().hybrid(3).segmented(k));
+            let reference = PlannedScan::plan(&chain, base);
+            let mut ws = seg.workspace::<f64>();
+            for round in 0..3 {
+                let diff = seg
+                    .execute_with(&chain, &mut ws)
+                    .max_abs_diff(&reference.execute(&chain));
+                assert_eq!(diff, 0.0, "k={k} round={round}: must be bit-for-bit");
+            }
+        }
+    }
+
+    #[test]
+    fn segmentation_structure_is_consistent() {
+        let chain = sparse_chain(64, 5);
+        let plan = PlannedScan::plan(&chain, BppsaOptions::serial().hybrid(3).segmented(4));
+        let seg = plan.segmentation().expect("segmented");
+        let num_blocks = plan.schedule().block_roots().len();
+        assert_eq!(seg.segments(), 4);
+        assert_eq!(seg.interface_widths().len(), 3);
+        // Block ranges are contiguous, disjoint, non-empty, and cover.
+        let blocks = seg.segment_blocks();
+        assert_eq!(blocks.first().unwrap().start, 0);
+        assert_eq!(blocks.last().unwrap().end, num_blocks);
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            assert!(!w[0].is_empty() && !w[1].is_empty());
+        }
+        // The slices partition every up/down stage's instruction list.
+        let prog = csr_program(&plan);
+        for (s, st) in prog.stages.iter().enumerate() {
+            assert_eq!(st.blocks.len(), st.instrs.len(), "stage {s}");
+            assert_eq!(st.instr_flops.len(), st.instrs.len(), "stage {s}");
+            assert!(st.blocks.windows(2).all(|w| w[0] <= w[1]), "stage {s}");
+            let sliced: usize = match st.phase {
+                PhaseKind::Middle => continue,
+                PhaseKind::UpSweep => &seg.up,
+                PhaseKind::DownSweep => &seg.down,
+            }
+            .iter()
+            .flatten()
+            .filter(|sl| sl.stage == s)
+            .map(|sl| sl.hi - sl.lo)
+            .sum();
+            assert_eq!(sliced, st.instrs.len(), "stage {s} not fully sliced");
+        }
+    }
+
+    #[test]
+    fn segmentation_derives_a_hybrid_schedule_when_unspecified() {
+        let chain = sparse_chain(64, 3);
+        let opts = BppsaOptions::serial().segmented(4);
+        let plan = PlannedScan::plan(&chain, opts);
+        let derived = opts.segmented_up_levels(65);
+        assert_eq!(
+            *plan.schedule(),
+            bppsa_scan::ScanSchedule::with_up_levels(65, derived)
+        );
+        assert!(
+            plan.schedule().block_roots().len() >= 16,
+            "need ≥ 4 blocks per segment, got {}",
+            plan.schedule().block_roots().len()
+        );
+        assert_eq!(plan.segments(), 4);
+        // The equivalent unsegmented reference pins the same depth.
+        let reference = PlannedScan::plan(&chain, BppsaOptions::serial().hybrid(derived));
+        let diff = plan
+            .execute(&chain)
+            .max_abs_diff(&reference.execute(&chain));
+        assert_eq!(diff, 0.0);
+    }
+
+    #[test]
+    fn segmentation_clamps_to_available_blocks() {
+        // An over-deep hybrid clamps to the 2-block ceiling of
+        // `with_up_levels` (`ceil_log2(len) − 1`), so a 4-segment request
+        // clamps down to 2 segments — and stays exact.
+        let chain = sparse_chain(16, 41);
+        let plan = PlannedScan::plan(&chain, BppsaOptions::serial().hybrid(64).segmented(4));
+        let num_blocks = plan.schedule().block_roots().len();
+        assert_eq!(num_blocks, 2);
+        assert_eq!(plan.segments(), 2);
+        let reference = PlannedScan::plan(&chain, BppsaOptions::serial().hybrid(64));
+        let diff = plan
+            .execute(&chain)
+            .max_abs_diff(&reference.execute(&chain));
+        assert_eq!(diff, 0.0);
+
+        // More segments than blocks: clamp to the block count, still exact.
+        let plan = PlannedScan::plan(&chain, BppsaOptions::serial().hybrid(2).segmented(64));
+        let num_blocks = plan.schedule().block_roots().len();
+        assert_eq!(plan.segments(), num_blocks.min(64));
+        let reference = PlannedScan::plan(&chain, BppsaOptions::serial().hybrid(2));
+        let diff = plan
+            .execute(&chain)
+            .max_abs_diff(&reference.execute(&chain));
+        assert_eq!(diff, 0.0);
+
+        // Diagonal programs never segment (the fast path fans out
+        // width-wise already).
+        let mut diag = JacobianChain::new(Vector::from_vec(vec![1.0f64, 2.0]));
+        for _ in 0..8 {
+            diag.push(ScanElement::Sparse(Csr::from_diagonal(&[0.5, -0.25])));
+        }
+        let plan = PlannedScan::plan(&diag, BppsaOptions::serial().segmented(4));
+        assert_eq!(plan.plan_kind(), PlanKind::Diagonal);
+        assert_eq!(plan.segments(), 1);
+    }
+
+    #[test]
+    fn degenerate_lengths_survive_segmentation() {
+        // len=1 and len=2 scans (0 or 1 combines) are routine short tails
+        // for the stitcher; every executor × segment request must agree.
+        for n in [1usize, 2] {
+            let chain = sparse_chain(n, 100 + n as u64);
+            let reference = bppsa_backward(&chain, BppsaOptions::serial());
+            for k in [1usize, 2, 4, 64] {
+                for opts in [
+                    BppsaOptions::serial().segmented(k),
+                    BppsaOptions::pooled().segmented(k),
+                    BppsaOptions::serial().hybrid(0).segmented(k),
+                ] {
+                    let plan = PlannedScan::plan(&chain, opts);
+                    let diff = plan.execute(&chain).max_abs_diff(&reference);
+                    assert!(diff < 1e-12, "n={n} k={k}: diff {diff}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_workspace_is_single_lane() {
+        let chain = sparse_chain(48, 77);
+        let seg = PlannedScan::plan(&chain, BppsaOptions::pooled().hybrid(3).segmented(2));
+        let unseg = PlannedScan::plan(&chain, BppsaOptions::pooled().hybrid(3));
+        // Segments never row-parallelize a combine, so the segmented
+        // workspace must not pay for per-lane scratch accumulators.
+        assert!(seg.workspace_bytes::<f64>() <= unseg.workspace_bytes::<f64>());
+        assert_eq!(seg.scratch_lanes(), 1);
     }
 
     #[test]

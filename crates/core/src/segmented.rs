@@ -1,0 +1,272 @@
+//! Plan-time chain segmentation — the scale-out story beyond one pool.
+//!
+//! BPPSA parallelizes *within* one chain: every scan level fans out across
+//! one worker pool. Segmentation cuts the chain itself into `K` contiguous
+//! runs of schedule blocks that scan **concurrently** on separate worker
+//! groups (LBI's bounded-width interfaces, Huo et al.'s decoupled backprop —
+//! see PAPERS.md), stitched through the schedule's serial middle phase.
+//!
+//! # Exactness
+//!
+//! The split is *not* an approximation. In
+//! [`ScanSchedule::with_up_levels`](bppsa_scan::ScanSchedule::with_up_levels),
+//! every up-sweep and down-sweep pair lies entirely within one `2^k` block
+//! (pinned by `pairs_never_cross_block_boundaries` in `bppsa-scan`): all
+//! cross-block dataflow happens in the serial middle scan over block roots.
+//! A segment is a contiguous run of blocks, so partitioning the compiled
+//! program's **instruction stream** at block boundaries — never recompiling
+//! sub-chains — and running the per-segment up-sweep slices concurrently,
+//! then the middle serially, then the per-segment down-sweep slices
+//! concurrently, executes the *same instruction multiset over the same
+//! single-assignment buffers in a dataflow-equivalent order*. The result is
+//! bit-for-bit identical to the unsegmented execution of the same schedule
+//! (proptest-pinned in `tests/segmented_differential.rs`).
+//!
+//! # Partitioning
+//!
+//! [`balanced_cuts`] places the `K − 1` cuts by planned per-block FLOPs
+//! (balance) while preferring naturally narrow interfaces: within a window
+//! around each ideal cut, the block boundary with the smallest interface
+//! width (the row count flowing across the cut) wins, with load imbalance
+//! as the tie-break. A narrow interface means the segments' root folds stay
+//! small — exactly LBI's bounded-width-interface observation.
+
+use std::ops::Range;
+
+/// One contiguous run of a compiled stage's instructions belonging to a
+/// single segment: `instrs[lo..hi]` of `stages[stage]`. Within a stage,
+/// instructions ascend by written scan position, so a segment's share of
+/// any stage is a contiguous slice.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SegmentSlice {
+    pub(crate) stage: usize,
+    pub(crate) lo: usize,
+    pub(crate) hi: usize,
+}
+
+/// The segmentation of one [`PlannedScan`](crate::PlannedScan): which
+/// schedule blocks each segment owns, the per-segment instruction slices of
+/// every up/down stage, and the interface widths at the chosen cuts.
+///
+/// Built at plan time by [`PlannedScan::plan`](crate::PlannedScan::plan)
+/// when [`BppsaOptions::segmented`](crate::BppsaOptions::segmented)
+/// requests more than one segment (and the schedule has enough blocks);
+/// exposed read-only via
+/// [`PlannedScan::segmentation`](crate::PlannedScan::segmentation).
+#[derive(Debug, Clone)]
+pub struct SegmentedPlan {
+    /// Per segment, the up-sweep instruction slices in stage order.
+    pub(crate) up: Vec<Vec<SegmentSlice>>,
+    /// Per segment, the down-sweep instruction slices in stage order.
+    pub(crate) down: Vec<Vec<SegmentSlice>>,
+    /// Index of the serial middle stage in the compiled stage list, if the
+    /// middle emitted any instructions.
+    pub(crate) middle: Option<usize>,
+    /// Which schedule blocks each segment owns (contiguous, disjoint,
+    /// covering all blocks).
+    segment_blocks: Vec<Range<usize>>,
+    /// Row count flowing across each of the `K − 1` cuts.
+    interface_widths: Vec<usize>,
+}
+
+impl SegmentedPlan {
+    pub(crate) fn new(
+        up: Vec<Vec<SegmentSlice>>,
+        down: Vec<Vec<SegmentSlice>>,
+        middle: Option<usize>,
+        segment_blocks: Vec<Range<usize>>,
+        interface_widths: Vec<usize>,
+    ) -> Self {
+        debug_assert_eq!(up.len(), segment_blocks.len());
+        debug_assert_eq!(down.len(), segment_blocks.len());
+        debug_assert_eq!(interface_widths.len() + 1, segment_blocks.len());
+        Self {
+            up,
+            down,
+            middle,
+            segment_blocks,
+            interface_widths,
+        }
+    }
+
+    /// Number of concurrently-scanned segments (≥ 2 by construction — a
+    /// one-segment "segmentation" is just the unsegmented plan).
+    pub fn segments(&self) -> usize {
+        self.segment_blocks.len()
+    }
+
+    /// The contiguous schedule-block range each segment owns.
+    pub fn segment_blocks(&self) -> &[Range<usize>] {
+        &self.segment_blocks
+    }
+
+    /// Row count flowing across each cut (`segments() − 1` entries): the
+    /// width of the fold the left segment hands the serial middle at that
+    /// boundary. The partition heuristic prefers cuts where this is small.
+    pub fn interface_widths(&self) -> &[usize] {
+        &self.interface_widths
+    }
+}
+
+/// Places `k − 1` strictly-increasing cut positions over `weights.len()`
+/// blocks, balancing cumulative weight while preferring narrow interfaces.
+///
+/// `weights[b]` is the planned cost of block `b`; `interfaces[b]` is the
+/// width of the boundary between blocks `b` and `b + 1` (so
+/// `interfaces.len() == weights.len() − 1`). A returned cut `c` means a
+/// segment boundary *before* block `c`. Within a window of
+/// `max(1, B / (4k))` blocks around each ideal (weight-balanced) cut, the
+/// narrowest interface wins; ties fall to the smaller weight imbalance.
+///
+/// # Panics
+///
+/// Panics if `k < 2`, `k > weights.len()`, or the slice lengths disagree.
+pub fn balanced_cuts(weights: &[u64], interfaces: &[usize], k: usize) -> Vec<usize> {
+    let b = weights.len();
+    assert!(k >= 2, "balanced_cuts: need at least 2 segments, got {k}");
+    assert!(k <= b, "balanced_cuts: {k} segments over {b} blocks");
+    assert_eq!(
+        interfaces.len(),
+        b - 1,
+        "balanced_cuts: need one interface width per block boundary"
+    );
+
+    // prefix[i] = total weight of blocks 0..i.
+    let mut prefix = Vec::with_capacity(b + 1);
+    let mut acc = 0u64;
+    prefix.push(0u64);
+    for &w in weights {
+        acc += w;
+        prefix.push(acc);
+    }
+    let total = acc;
+
+    let window = (b / (4 * k)).max(1);
+    let mut cuts = Vec::with_capacity(k - 1);
+    let mut prev = 0usize; // last chosen cut (0 = chain start)
+    for j in 1..k {
+        // Ideal cut: cumulative weight j/k of the total. `partition_point`
+        // finds the first prefix ≥ target; candidates around it compete.
+        let target = total / k as u64 * j as u64 + (total % k as u64) * j as u64 / k as u64;
+        let ideal = prefix.partition_point(|&p| p < target).clamp(1, b - 1);
+        // Every remaining segment needs at least one block.
+        let lo = ideal.saturating_sub(window).max(prev + 1);
+        let hi = (ideal + window).min(b - (k - j));
+        let (lo, hi) = if lo > hi {
+            // The window collapsed (tight tail); fall back to the single
+            // feasible position closest to ideal.
+            let c = ideal.clamp(prev + 1, b - (k - j));
+            (c, c)
+        } else {
+            (lo, hi)
+        };
+        let best = (lo..=hi)
+            .min_by_key(|&c| {
+                let imbalance = prefix[c].abs_diff(target);
+                (interfaces[c - 1], imbalance)
+            })
+            .expect("balanced_cuts: candidate window is non-empty");
+        cuts.push(best);
+        prev = best;
+    }
+    cuts
+}
+
+/// Expands `cuts` (as returned by [`balanced_cuts`]) over `num_blocks`
+/// blocks into per-segment block ranges.
+pub fn segments_from_cuts(cuts: &[usize], num_blocks: usize) -> Vec<Range<usize>> {
+    let mut ranges = Vec::with_capacity(cuts.len() + 1);
+    let mut start = 0usize;
+    for &c in cuts {
+        ranges.push(start..c);
+        start = c;
+    }
+    ranges.push(start..num_blocks);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_cut_evenly() {
+        let weights = vec![10u64; 16];
+        let interfaces = vec![4usize; 15];
+        let cuts = balanced_cuts(&weights, &interfaces, 4);
+        assert_eq!(cuts, vec![4, 8, 12]);
+        let segs = segments_from_cuts(&cuts, 16);
+        assert_eq!(segs, vec![0..4, 4..8, 8..12, 12..16]);
+    }
+
+    #[test]
+    fn narrow_interface_near_ideal_cut_wins() {
+        // 16 uniform blocks, window = 16/(4·2) = 2 around the ideal cut at
+        // 8; the width-1 bottleneck at boundary 6→7 (interfaces[6]) is
+        // inside the window and must win over perfect balance.
+        let weights = vec![10u64; 16];
+        let mut interfaces = vec![8usize; 15];
+        interfaces[6] = 1; // boundary before block 7
+        let cuts = balanced_cuts(&weights, &interfaces, 2);
+        assert_eq!(cuts, vec![7]);
+    }
+
+    #[test]
+    fn skewed_weights_shift_cuts() {
+        // All weight up front: the balance target pulls the cut left.
+        let mut weights = vec![1u64; 12];
+        for w in weights.iter_mut().take(3) {
+            *w = 100;
+        }
+        let interfaces = vec![4usize; 11];
+        let cuts = balanced_cuts(&weights, &interfaces, 2);
+        assert!(cuts[0] <= 3, "cut {cuts:?} should land in the heavy head");
+    }
+
+    #[test]
+    fn every_segment_gets_at_least_one_block() {
+        // k close to B with all weight in one block: cuts must still be
+        // strictly increasing and feasible.
+        let mut weights = vec![0u64; 5];
+        weights[0] = 1000;
+        let interfaces = vec![3usize; 4];
+        let cuts = balanced_cuts(&weights, &interfaces, 5);
+        assert_eq!(cuts, vec![1, 2, 3, 4]);
+        let segs = segments_from_cuts(&cuts, 5);
+        assert!(segs.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn cuts_are_strictly_increasing_and_cover() {
+        for b in 2..40usize {
+            for k in 2..=b.min(8) {
+                let weights: Vec<u64> = (0..b).map(|i| 1 + (i as u64 * 7) % 13).collect();
+                let interfaces: Vec<usize> = (0..b - 1).map(|i| 1 + (i * 3) % 5).collect();
+                let cuts = balanced_cuts(&weights, &interfaces, k);
+                assert_eq!(cuts.len(), k - 1, "b={b} k={k}");
+                for w in cuts.windows(2) {
+                    assert!(w[0] < w[1], "b={b} k={k}: cuts {cuts:?}");
+                }
+                assert!(*cuts.first().unwrap() >= 1);
+                assert!(*cuts.last().unwrap() < b);
+                let segs = segments_from_cuts(&cuts, b);
+                assert_eq!(segs.len(), k);
+                assert!(segs.iter().all(|r| !r.is_empty()), "b={b} k={k}: {segs:?}");
+                assert_eq!(segs.first().unwrap().start, 0);
+                assert_eq!(segs.last().unwrap().end, b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 segments")]
+    fn one_segment_is_rejected() {
+        let _ = balanced_cuts(&[1, 2], &[1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "segments over")]
+    fn more_segments_than_blocks_is_rejected() {
+        let _ = balanced_cuts(&[1, 2], &[1], 3);
+    }
+}

@@ -329,6 +329,39 @@ fn steady_state_planned_backward_is_allocation_free() {
         }
     }
 
+    // --- Segment-parallel execution: per-segment drivers publish into the
+    // pool's preallocated headers, worker groups are computed
+    // arithmetically (no carve Vec on the hot path), and every segment's
+    // slice walk reuses the same SSA buffers — so segmented plans hold the
+    // identical zero-allocation bar, serial and pooled, K=2 and K=4.
+    let deep_chain = sparse_chain(64, 12, 13);
+    let seg_reference = bppsa_core::bppsa_backward(&deep_chain, BppsaOptions::serial());
+    for k in [2usize, 4] {
+        for opts in [BppsaOptions::serial(), BppsaOptions::pooled()] {
+            let plan = PlannedScan::plan(&deep_chain, opts.segmented(k));
+            assert!(
+                plan.segments() >= 2,
+                "segmentation must engage on a 64-layer chain (k={k})"
+            );
+            let mut ws = plan.workspace::<f64>();
+            let _ = plan.execute_with(&deep_chain, &mut ws);
+            let _ = plan.execute_with(&deep_chain, &mut ws);
+            let (allocs, deallocs) = counted(|| {
+                let _ = plan.execute_with(&deep_chain, &mut ws);
+            });
+            assert_eq!(
+                (allocs, deallocs),
+                (0, 0),
+                "steady-state segmented (k={k}, {:?}) must not touch the heap",
+                opts.executor
+            );
+            let diff = plan
+                .execute_with(&deep_chain, &mut ws)
+                .max_abs_diff(&seg_reference);
+            assert!(diff < 1e-12, "segmented k={k} diff {diff}");
+        }
+    }
+
     // --- Contrast: the allocating execute() path heap-allocates every call
     // (that is exactly what the workspace API removes).
     let (legacy_allocs, _) = counted(|| {

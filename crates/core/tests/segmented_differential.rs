@@ -1,0 +1,236 @@
+//! Differential suite for segment-parallel execution: a segmented
+//! [`PlannedScan`] must produce **bit-for-bit identical** gradients to the
+//! unsegmented plan over the same schedule — for every segment count, both
+//! executors, all numeric kernel modes, diagonal-mode routings, and
+//! interface-width extremes (widths down to 1 between wide layers).
+//!
+//! The contract being exercised (see `bppsa-core`'s `segmented` module):
+//! segmentation partitions the compiled program's *instruction stream* at
+//! schedule-block boundaries — it never recompiles sub-chains — so the
+//! segmented execution runs the same instruction multiset over the same
+//! single-assignment buffers. Up/down pairs never cross block boundaries
+//! (pinned in `bppsa-scan`), making the reordering dataflow-equivalent and
+//! the results exactly equal, not merely close.
+//!
+//! CI runs this suite under `RUST_TEST_THREADS=1` so the pool-concurrency
+//! cases interleave deterministically with nothing else on the pool.
+
+use bppsa_core::{
+    bppsa_backward, BackwardResult, BppsaOptions, DiagonalMode, JacobianChain, KernelMode,
+    PlanKind, PlannedScan, ScanElement,
+};
+use bppsa_sparse::Csr;
+use bppsa_tensor::init::{seeded_rng, uniform_vector};
+use bppsa_tensor::Matrix;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Random rectangular CSR chain with varying layer widths drawn from
+/// `widths` — adjacent picks create narrow/wide interfaces for the cut
+/// heuristic to chase.
+fn varied_chain(n: usize, widths: &[usize], density: f64, seed: u64) -> JacobianChain<f64> {
+    let mut rng = seeded_rng(seed);
+    let dims: Vec<usize> = (0..=n)
+        .map(|i| widths[(i * 7 + seed as usize) % widths.len()])
+        .collect();
+    let mut chain = JacobianChain::new(uniform_vector(&mut rng, dims[n], 1.0));
+    for i in 0..n {
+        let dense = Matrix::from_fn(dims[i], dims[i + 1], |_, _| {
+            if rng.random_range(0.0..1.0) < density {
+                rng.random_range(-1.0..1.0)
+            } else {
+                0.0
+            }
+        });
+        chain.push(ScanElement::Sparse(Csr::from_dense(&dense)));
+    }
+    chain
+}
+
+/// All-diagonal chain (stays on the elementwise fast path).
+fn diagonal_chain(n: usize, width: usize, seed: u64) -> JacobianChain<f64> {
+    let mut rng = seeded_rng(seed);
+    let pattern = Csr::from_diagonal(&vec![1.0f64; width]).pattern();
+    let mut chain = JacobianChain::new(uniform_vector(&mut rng, width, 1.0));
+    for _ in 0..n {
+        let diag: Vec<f64> = (0..width).map(|_| rng.random_range(-1.2..1.2)).collect();
+        chain.push(ScanElement::Sparse(Csr::from_pattern_and_values(
+            pattern.clone(),
+            diag,
+        )));
+    }
+    chain
+}
+
+/// Bit-level equality of two results, including the sign of exact zeros.
+fn assert_bits_eq(got: &BackwardResult<f64>, want: &BackwardResult<f64>, what: &str) {
+    assert_eq!(got.grads().len(), want.grads().len(), "{what}: layer count");
+    for (i, (g, w)) in got.grads().iter().zip(want.grads()).enumerate() {
+        for (j, (x, y)) in g.as_slice().iter().zip(w.as_slice()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: grads[{i}][{j}] = {x:?} vs {y:?}"
+            );
+        }
+    }
+}
+
+const MODES: [KernelMode; 4] = [
+    KernelMode::Auto,
+    KernelMode::Gather,
+    KernelMode::Gustavson,
+    KernelMode::Dense,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Random chains × K sweep × executors: the segmented plan must match
+    // the unsegmented plan over the same (derived) schedule exactly, and
+    // stay within fp-reassociation distance of the unplanned backward.
+    #[test]
+    fn segmented_is_bit_for_bit_identical(
+        n in 2usize..48,
+        width_class in 0usize..3,
+        density in 0.1f64..0.9,
+        k in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let widths: &[usize] = match width_class {
+            0 => &[3, 4, 5],
+            1 => &[1, 8, 12],   // interface-width extremes
+            _ => &[2, 2, 9],
+        };
+        let chain = varied_chain(n, widths, density, seed);
+        let opts = BppsaOptions::serial().segmented(k);
+        // The unsegmented reference pins the depth segmentation derived.
+        let depth = opts.segmented_up_levels(n + 1);
+        let reference = PlannedScan::plan(&chain, BppsaOptions::serial().hybrid(depth))
+            .execute(&chain);
+        let unplanned = bppsa_backward(&chain, BppsaOptions::serial().hybrid(depth));
+        prop_assert!(reference.max_abs_diff(&unplanned) < 1e-10);
+        for exec in [BppsaOptions::serial(), BppsaOptions::pooled()] {
+            let plan = PlannedScan::plan(&chain, exec.segmented(k));
+            prop_assert_eq!(plan.plan_kind(), PlanKind::Csr);
+            let mut ws = plan.workspace::<f64>();
+            // Twice through the same workspace: pristine then dirty buffers.
+            for round in 0..2 {
+                let result = plan.execute_with(&chain, &mut ws).clone();
+                assert_bits_eq(
+                    &result,
+                    &reference,
+                    &format!("k={k}/{:?} round {round}", exec.executor),
+                );
+            }
+        }
+    }
+
+    // Segmentation composes with every numeric kernel mode: forcing the
+    // kernel never breaks the exact-stitch contract.
+    #[test]
+    fn segmented_kernel_modes_are_bit_for_bit_identical(
+        n in 8usize..32,
+        density in 0.1f64..0.8,
+        k in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let chain = varied_chain(n, &[6, 8, 10], density, seed);
+        for mode in MODES {
+            let base = BppsaOptions::serial().kernel(mode).segmented(k);
+            let depth = base.segmented_up_levels(n + 1);
+            let reference =
+                PlannedScan::plan(&chain, BppsaOptions::serial().kernel(mode).hybrid(depth))
+                    .execute(&chain);
+            for exec in [BppsaOptions::serial(), BppsaOptions::pooled()] {
+                let plan = PlannedScan::plan(&chain, exec.kernel(mode).segmented(k));
+                let result = plan.execute(&chain);
+                assert_bits_eq(
+                    &result,
+                    &reference,
+                    &format!("{mode:?}/k={k}/{:?}", exec.executor),
+                );
+            }
+        }
+    }
+
+    // Diagonal chains: segmentation requests must route through the
+    // elementwise fast path untouched (segments() == 1) and stay exact in
+    // every DiagonalMode, including Disabled — which falls back to the CSR
+    // program and *does* segment.
+    #[test]
+    fn segmented_respects_diagonal_modes(
+        n in 4usize..64,
+        width in 2usize..10,
+        k in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let chain = diagonal_chain(n, width, seed);
+        for mode in [DiagonalMode::Auto, DiagonalMode::Linear, DiagonalMode::Disabled] {
+            let opts = BppsaOptions::serial().diagonal(mode).segmented(k);
+            let depth = opts.segmented_up_levels(n + 1);
+            let reference = PlannedScan::plan(
+                &chain,
+                BppsaOptions::serial().diagonal(mode).hybrid(depth),
+            )
+            .execute(&chain);
+            for exec in [BppsaOptions::serial(), BppsaOptions::pooled()] {
+                let plan = PlannedScan::plan(&chain, exec.diagonal(mode).segmented(k));
+                match plan.plan_kind() {
+                    PlanKind::Diagonal => prop_assert_eq!(plan.segments(), 1),
+                    PlanKind::Csr => prop_assert!(plan.segments() >= 1),
+                }
+                let result = plan.execute(&chain);
+                assert_bits_eq(
+                    &result,
+                    &reference,
+                    &format!("{mode:?}/k={k}/{:?}", exec.executor),
+                );
+            }
+        }
+    }
+}
+
+/// Short tails are routine for the stitcher: every (len, k) pair in the
+/// degenerate corner — including k far beyond the block count — must agree
+/// with the unplanned reference.
+#[test]
+fn degenerate_and_tail_lengths_are_exact() {
+    for n in [1usize, 2, 3, 4, 5] {
+        let chain = varied_chain(n, &[2, 3, 4], 0.6, 7 + n as u64);
+        let reference = bppsa_backward(&chain, BppsaOptions::serial());
+        for k in [2usize, 3, 8, 64] {
+            for exec in [BppsaOptions::serial(), BppsaOptions::pooled()] {
+                let plan = PlannedScan::plan(&chain, exec.segmented(k));
+                let diff = plan.execute(&chain).max_abs_diff(&reference);
+                assert!(diff < 1e-12, "n={n} k={k}: diff {diff}");
+            }
+        }
+    }
+}
+
+/// A segmentation that actually engaged reports consistent observability:
+/// block coverage, interface widths, and a narrow interface preferred when
+/// one sits near the balanced cut.
+#[test]
+fn segmentation_observability_is_consistent() {
+    // Alternating 1-wide bottlenecks between 12-wide layers: cuts should
+    // land on width-1 interfaces (never width-12) wherever feasible.
+    let chain = varied_chain(96, &[1, 12, 12, 12], 0.7, 3);
+    let plan = PlannedScan::plan(&chain, BppsaOptions::pooled().segmented(4));
+    let seg = plan.segmentation().expect("96-layer chain must segment");
+    assert_eq!(seg.segments(), plan.segments());
+    assert_eq!(seg.interface_widths().len(), seg.segments() - 1);
+    let blocks = seg.segment_blocks();
+    assert_eq!(blocks.first().unwrap().start, 0);
+    assert_eq!(
+        blocks.last().unwrap().end,
+        plan.schedule().block_roots().len()
+    );
+    for w in seg.interface_widths() {
+        assert!(
+            *w <= 12,
+            "interface width {w} exceeds the chain's widest layer"
+        );
+    }
+}

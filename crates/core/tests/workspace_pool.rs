@@ -124,3 +124,49 @@ fn pool_checkouts_are_exclusive_and_bitwise_deterministic() {
     // not guaranteed on a 1-core box, but creation ≥ 1 is).
     assert!(pool.created() >= 1);
 }
+
+/// Batched execution over a *segmented* plan: every batch item's driver is
+/// itself a pool task whose segment fan-outs publish nested batches — the
+/// multi-header pool must compose them without deadlock, the pooled
+/// workspaces must carry the segmented plan's (single-lane) scratch sizing,
+/// and the results must stay bit-for-bit with the serial single-workspace
+/// path.
+#[test]
+fn batched_backward_composes_with_segmented_plans() {
+    use bppsa_core::BatchedBackward;
+
+    let template = sparse_chain(64, 10, 19);
+    let plan = Arc::new(PlannedScan::plan(
+        &template,
+        BppsaOptions::pooled().segmented(2),
+    ));
+    assert!(plan.segments() >= 2, "64-layer chain must segment");
+
+    let chains: Vec<JacobianChain<f64>> = (0..6).map(|s| revalue(&template, 70 + s)).collect();
+    let references: Vec<Vec<Vec<f64>>> = chains
+        .iter()
+        .map(|chain| {
+            let serial = PlannedScan::plan(&template, BppsaOptions::serial().segmented(2));
+            let mut ws = serial.workspace::<f64>();
+            serial
+                .execute_with(chain, &mut ws)
+                .grads()
+                .iter()
+                .map(|g| g.as_slice().to_vec())
+                .collect()
+        })
+        .collect();
+
+    let batched = BatchedBackward::with_capacity(Arc::clone(&plan), 3);
+    batched.prewarm(chains.len());
+    for _round in 0..3 {
+        let seen = AtomicUsize::new(0);
+        batched.execute(&chains, &|i, result| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            for (g, expect) in result.grads().iter().zip(&references[i]) {
+                assert_eq!(g.as_slice(), expect.as_slice(), "chain {i}");
+            }
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), chains.len());
+    }
+}

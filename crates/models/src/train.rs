@@ -107,6 +107,17 @@ impl BackwardMethod {
     pub fn bppsa_served() -> Self {
         BackwardMethod::BppsaServed
     }
+
+    /// Segment-parallel fused planned BPPSA for deep chains (RNN loops
+    /// only): the compiled plan is split into `k` exact segments executed
+    /// concurrently on worker groups carved from the pool, stitched at
+    /// schedule-block interfaces — bit-for-bit identical to the
+    /// unsegmented plan.
+    pub fn bppsa_segmented(k: usize) -> Self {
+        BackwardMethod::BppsaFusedPlanned {
+            opts: BppsaOptions::pooled().segmented(k),
+        }
+    }
 }
 
 /// One training iteration's record.
@@ -716,6 +727,28 @@ mod tests {
             );
         }
         assert_eq!(state.plans_built(), 1);
+    }
+
+    #[test]
+    fn segmented_training_matches_bptt_on_deep_chains() {
+        // A longer unroll hands the segment stitcher real schedule blocks
+        // to split; the trajectory must still track BPTT exactly as
+        // closely as the unsegmented planned path does.
+        let data = BitstreamDataset::<f32>::generate(12, 48, 83);
+        let run = |method: BackwardMethod| {
+            let mut rnn = VanillaRnn::<f32>::new(1, 6, 10, &mut seeded_rng(84));
+            let mut opt = Adam::new(0.005);
+            train_rnn(&mut rnn, &data, &mut opt, method, 6, 3, None)
+        };
+        let bptt = run(BackwardMethod::Bp);
+        let segmented = run(BackwardMethod::bppsa_segmented(2));
+        assert!(bptt.max_loss_gap(&segmented) < 1e-3);
+
+        // The deep-chain route really requests a segmented pooled plan.
+        let BackwardMethod::BppsaFusedPlanned { opts } = BackwardMethod::bppsa_segmented(4) else {
+            unreachable!()
+        };
+        assert_eq!(opts.segments, 4);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub use hillis_steele::{
     hillis_steele_exclusive, hillis_steele_inclusive, hillis_steele_steps, hillis_steele_work,
 };
 pub use op::ScanOp;
-pub use pool::{global_pool, SendPtr, Slot, WorkerPool};
+pub use pool::{global_pool, SendPtr, Slot, WorkerGroup, WorkerPool};
 pub use schedule::{ceil_log2, Pair, PhaseInfo, PhaseKind, ScanSchedule};
 
 #[cfg(test)]

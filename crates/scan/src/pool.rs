@@ -6,42 +6,58 @@
 //! persist across kernel launches. [`WorkerPool`] is the CPU analogue — a
 //! fixed set of threads that stay parked between levels.
 //!
-//! Design: one condvar broadcast publishes a *batch* (a `Fn(usize)` task and
-//! an index count) into a **reused, generation-stamped header**; workers
-//! claim indices from a shared atomic counter until the batch drains; the
-//! caller participates too and the last finisher signals completion.
-//! Per-batch overhead is two futex transitions, not one per job, and the
-//! steady state performs **zero heap allocations per level** — the header is
-//! pool-owned state, not a per-call `Arc`.
+//! Design: a small fixed array of **reused, generation-stamped batch
+//! headers** lets several batches be in flight at once. A publisher claims a
+//! free header, publishes a *batch* (a `Fn(usize)` task, an index count, and
+//! a worker-index mask) into it, and bumps a global epoch to broadcast one
+//! condvar wakeup; workers scan the headers for batches whose mask covers
+//! them and claim indices from the header's atomic counter until the batch
+//! drains; the caller participates too and the last finisher signals the
+//! header's completion condvar. Per-batch overhead is a few futex
+//! transitions, not one per job, and the steady state performs **zero heap
+//! allocations per batch** — headers are pool-owned state, not per-call
+//! `Arc`s.
+//!
+//! Multiple headers are what make fan-outs *compose*: a pooled task that
+//! fans out again (a segment driver running a row-parallel product, a
+//! batched backward whose chains are themselves segmented) publishes to
+//! another free header instead of collapsing to inline execution. Only when
+//! every header is busy does a publisher run its batch inline — same
+//! semantics, no deadlock.
+//!
+//! [`WorkerPool::carve`] partitions the worker indices into disjoint
+//! contiguous [`WorkerGroup`]s; a group's `run_indexed` publishes with the
+//! group's mask so only its workers participate — concurrent groups never
+//! steal each other's CPUs, which is how segmented scans keep K segments on
+//! K disjoint worker sets (see `bppsa-core`'s segmented executor).
 //!
 //! # The stale-worker story
 //!
-//! Reusing one header means a slow worker can wake up holding state from a
+//! Reusing headers means a slow worker can wake up holding state from a
 //! batch that already completed, while the header has been republished for a
 //! newer batch. Two defenses make that safe:
 //!
-//! 1. **Generation-validated claims.** The claim counter packs
+//! 1. **Generation-validated claims.** Each header's claim counter packs
 //!    `(generation, next index)` into a single atomic word, and indices are
 //!    claimed by compare-and-swap. A stale worker's CAS carries the old
 //!    generation and can never claim (or skip) an index of a newer batch; it
-//!    observes the mismatch and goes back to sleep.
+//!    observes the mismatch and moves on.
 //! 2. **Barrier-bounded task lifetime.** A successful claim of index `i`
 //!    proves batch `remaining > 0` at the claim instant, which pins the
 //!    publishing `run_indexed` call (and therefore the task borrow) until
 //!    the claimer finishes `task(i)` and decrements `remaining`.
 //!
-//! A header is only republished by the thread that owns the `busy` flag, and
-//! only after it observed `remaining == 0` — so `remaining` decrements can
-//! never cross generations either. Nested or concurrent `run_indexed` calls
-//! (the flag is already taken) fall back to inline serial execution, which
-//! keeps the pool deadlock-free when a pooled task itself fans out.
+//! A header is only republished by a thread that owns its `busy` flag, and
+//! only after the previous owner observed `remaining == 0` — so `remaining`
+//! decrements can never cross generations either.
 //!
-//! Panic signals follow the same discipline: a job panic is recorded as a
-//! **generation-tagged** poison word, and the publisher consumes (and
-//! re-raises) only a poison carrying its own batch's generation, *before*
-//! releasing the header. An unscoped flag checked after the release used to
-//! let a subsequent publisher's batch consume the previous batch's panic —
-//! repanicking the wrong caller and losing the original signal.
+//! Panic signals follow the same discipline per header: a job panic is
+//! recorded as a **generation-tagged** poison word, and the publisher
+//! consumes (and re-raises) only a poison carrying its own batch's
+//! generation, *before* releasing the header. An unscoped flag checked after
+//! the release used to let a subsequent publisher's batch consume the
+//! previous batch's panic — repanicking the wrong caller and losing the
+//! original signal.
 
 use parking_lot::{Condvar, Mutex};
 use std::cell::UnsafeCell;
@@ -60,9 +76,9 @@ unsafe impl Sync for TaskPtr {}
 
 /// Packs a batch generation and a claim index into one atomic word.
 ///
-/// 32 bits each: a stale worker would have to sleep across 2^32 batch
-/// publications *while holding a loaded claim word* for the generation tag
-/// to alias (the classic ABA window) — not reachable in practice.
+/// 32 bits each: a stale worker would have to sleep across 2^32 publications
+/// *of the same header* while holding a loaded claim word for the generation
+/// tag to alias (the classic ABA window) — not reachable in practice.
 #[inline]
 fn pack(generation: u32, index: u32) -> u64 {
     (u64::from(generation) << 32) | u64::from(index)
@@ -73,49 +89,81 @@ fn unpack(word: u64) -> (u32, u32) {
     ((word >> 32) as u32, word as u32)
 }
 
-struct Shared {
+/// One reusable batch header. The pool owns a small fixed array of these;
+/// each in-flight batch occupies exactly one.
+struct Header {
     slot: Mutex<BatchSlot>,
-    work_cv: Condvar,
     done_cv: Condvar,
-    /// Panic signal of the *current published batch*, scoped to its
-    /// generation: `0` when clean, else `pack(generation, 1)` of the batch
-    /// whose job panicked. Generation scoping (plus the publisher clearing
-    /// it *before* releasing `busy`) ensures one batch's panic can never be
-    /// consumed by — or re-raised at — a different batch's caller.
+    /// Panic signal of this header's *current published batch*, scoped to
+    /// its generation: `0` when clean, else `pack(generation, 1)` of the
+    /// batch whose job panicked. Generation scoping (plus the publisher
+    /// clearing it *before* releasing `busy`) ensures one batch's panic can
+    /// never be consumed by — or re-raised at — a different batch's caller.
     poisoned: AtomicU64,
-    shutdown: AtomicBool,
-    /// Exclusive right to publish into the reused header. Taken for the
-    /// whole duration of a pooled `run_indexed`; contenders run inline.
+    /// Exclusive right to publish into this header. Taken for the whole
+    /// duration of a pooled `run_indexed`; when every header is taken,
+    /// contenders run inline.
     busy: AtomicBool,
     /// `(generation, next claim index)` — the generation-validated claim
-    /// counter of the current batch (see module docs).
+    /// counter of the header's current batch (see module docs).
     next: AtomicU64,
     /// Unfinished jobs of the current batch. Never crosses generations:
     /// republication requires observing zero first.
     remaining: AtomicUsize,
 }
 
-/// Mutex-guarded half of the reused batch header: what a worker must read
-/// consistently with the generation it wakes up for.
+impl Header {
+    fn new() -> Self {
+        Header {
+            slot: Mutex::new(BatchSlot {
+                generation: 0,
+                task: None,
+                count: 0,
+                lo: 0,
+                hi: 0,
+            }),
+            done_cv: Condvar::new(),
+            poisoned: AtomicU64::new(0),
+            busy: AtomicBool::new(false),
+            next: AtomicU64::new(0),
+            remaining: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Mutex-guarded half of a batch header: what a worker must read
+/// consistently with the generation it acts on.
 struct BatchSlot {
     generation: u32,
     task: Option<TaskPtr>,
     count: usize,
+    /// Worker-index mask `lo..hi`: only workers in the range participate.
+    lo: usize,
+    hi: usize,
 }
 
-/// Claims and runs indices of batch `generation` until none remain (or the
-/// header moved on to a newer batch). Safe for stale callers: every claim
-/// re-validates the generation via CAS.
-fn drain(shared: &Shared, generation: u32, task: TaskPtr, count: usize) {
+struct Shared {
+    headers: Vec<Header>,
+    /// Global publication counter: bumped (under the lock) after every
+    /// header publication so parked workers wake and rescan the headers.
+    epoch: Mutex<u64>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Claims and runs indices of batch `generation` in `header` until none
+/// remain (or the header moved on to a newer batch). Safe for stale
+/// callers: every claim re-validates the generation via CAS.
+fn drain(header: &Header, generation: u32, task: TaskPtr, count: usize) {
     loop {
-        let word = shared.next.load(Ordering::Relaxed);
+        let word = header.next.load(Ordering::Relaxed);
         let (gen, index) = unpack(word);
         if gen != generation || index as usize >= count {
             return;
         }
         // Acquire on success pairs with the publisher's release store of
         // `next`, making the task/count/remaining writes visible.
-        if shared
+        if header
             .next
             .compare_exchange_weak(
                 word,
@@ -138,9 +186,9 @@ fn drain(shared: &Shared, generation: u32, task: TaskPtr, count: usize) {
             // reads the flag after observing `remaining == 0`) is guaranteed
             // to see it — and a claim of a *newer* batch can never have run
             // this line for an older generation.
-            shared.poisoned.store(pack(generation, 1), Ordering::SeqCst);
+            header.poisoned.store(pack(generation, 1), Ordering::SeqCst);
         }
-        shared.remaining.fetch_sub(1, Ordering::AcqRel);
+        header.remaining.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -171,26 +219,22 @@ impl WorkerPool {
     /// Spawns a pool with `threads` workers (clamped to at least 1).
     pub fn new(threads: usize) -> Self {
         let size = threads.max(1);
+        // Enough headers for a segment fan-out publishing nested row-chunk
+        // batches on every driver, with headroom for concurrent callers;
+        // publishers beyond this run inline, which is always correct.
+        let headers = (size + 1).clamp(2, 8);
         let shared = Arc::new(Shared {
-            slot: Mutex::new(BatchSlot {
-                generation: 0,
-                task: None,
-                count: 0,
-            }),
+            headers: (0..headers).map(|_| Header::new()).collect(),
+            epoch: Mutex::new(0),
             work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
-            poisoned: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
-            busy: AtomicBool::new(false),
-            next: AtomicU64::new(0),
-            remaining: AtomicUsize::new(0),
         });
         let workers = (0..size)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("bppsa-scan-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn scan worker")
             })
             .collect();
@@ -215,15 +259,55 @@ impl WorkerPool {
     /// generation-stamped header owned by the pool, so the steady state of
     /// a planned scan performs **zero** heap allocations per level.
     ///
-    /// Single-index batches, nested calls (a pooled task fanning out
-    /// again), and calls racing another thread's in-flight batch run the
-    /// task inline on the calling thread instead — same semantics, no
-    /// deadlock, no corrupted header.
+    /// Fan-outs compose: a pooled task fanning out again (or a call racing
+    /// another thread's in-flight batch) publishes to a *different* free
+    /// header, so nested parallelism — segment drivers running row-parallel
+    /// products, batched backwards over segmented plans — actually runs
+    /// concurrently. Single-index batches and calls finding every header
+    /// busy run the task inline on the calling thread instead — same
+    /// semantics, no deadlock, no corrupted header.
     ///
     /// # Panics
     ///
     /// Panics if any task invocation panicked.
     pub fn run_indexed<'scope>(&self, count: usize, task: &(dyn Fn(usize) + Sync + 'scope)) {
+        self.run_masked(0, self.size, count, task);
+    }
+
+    /// Splits the workers into `groups` disjoint contiguous [`WorkerGroup`]s
+    /// covering all worker indices (sizes differ by at most one; with more
+    /// groups than workers the trailing groups are empty and their batches
+    /// run entirely on their callers — correct, just unaccelerated).
+    pub fn carve(&self, groups: usize) -> Vec<WorkerGroup<'_>> {
+        let groups = groups.max(1);
+        (0..groups)
+            .map(|g| {
+                let lo = g * self.size / groups;
+                let hi = (g + 1) * self.size / groups;
+                WorkerGroup { pool: self, lo, hi }
+            })
+            .collect()
+    }
+
+    /// A [`WorkerGroup`] over the worker-index range `lo..hi` (both clamped
+    /// to the pool size). Ranges handed to concurrently-publishing groups
+    /// should be disjoint — that is the point of carving — but overlap is
+    /// safe (workers just serve both batches).
+    pub fn group(&self, lo: usize, hi: usize) -> WorkerGroup<'_> {
+        let lo = lo.min(self.size);
+        let hi = hi.min(self.size).max(lo);
+        WorkerGroup { pool: self, lo, hi }
+    }
+
+    /// Publishes a batch restricted to workers `lo..hi` (the caller always
+    /// participates). See [`WorkerPool::run_indexed`].
+    fn run_masked<'scope>(
+        &self,
+        lo: usize,
+        hi: usize,
+        count: usize,
+        task: &(dyn Fn(usize) + Sync + 'scope),
+    ) {
         if count == 0 {
             return;
         }
@@ -231,59 +315,67 @@ impl WorkerPool {
         // SAFETY: only erases the `'scope` lifetime; the barrier below keeps
         // the reference alive for exactly as long as workers may call it.
         let task: &(dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
-        if count == 1
-            || self
-                .shared
-                .busy
-                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-                .is_err()
-        {
-            // Trivial, nested, or concurrent batch: run inline. Panics
-            // propagate directly from the job.
+        // Trivial batches and empty worker masks gain nothing from a
+        // header round-trip: run inline. Panics propagate directly.
+        if count == 1 || hi <= lo {
             for i in 0..count {
                 task(i);
             }
             return;
         }
+        // Claim a free header; with every header in flight, run inline.
+        let Some(header) = self.shared.headers.iter().find(|h| {
+            h.busy
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        }) else {
+            for i in 0..count {
+                task(i);
+            }
+            return;
+        };
         let generation = {
-            let mut slot = self.shared.slot.lock();
+            let mut slot = header.slot.lock();
             let generation = slot.generation.wrapping_add(1);
             slot.generation = generation;
             slot.task = Some(TaskPtr(task as *const _));
             slot.count = count;
+            slot.lo = lo;
+            slot.hi = hi;
             // `remaining` before `next`: the release store of `next` (and
             // the mutex) publish both to claimers.
-            self.shared.remaining.store(count, Ordering::Relaxed);
-            self.shared
-                .next
-                .store(pack(generation, 0), Ordering::Release);
-            self.shared.work_cv.notify_all();
+            header.remaining.store(count, Ordering::Relaxed);
+            header.next.store(pack(generation, 0), Ordering::Release);
             generation
         };
+        {
+            let mut epoch = self.shared.epoch.lock();
+            *epoch = epoch.wrapping_add(1);
+            self.shared.work_cv.notify_all();
+        }
         // The caller works too — for small batches it often drains
         // everything before a worker even wakes.
-        drain(&self.shared, generation, TaskPtr(task as *const _), count);
-        if self.shared.remaining.load(Ordering::Acquire) > 0 {
-            let mut slot = self.shared.slot.lock();
-            while self.shared.remaining.load(Ordering::Acquire) > 0 {
-                self.shared.done_cv.wait(&mut slot);
+        drain(header, generation, TaskPtr(task as *const _), count);
+        if header.remaining.load(Ordering::Acquire) > 0 {
+            let mut slot = header.slot.lock();
+            while header.remaining.load(Ordering::Acquire) > 0 {
+                header.done_cv.wait(&mut slot);
             }
         }
         // Consume this batch's panic signal *before* releasing the header:
         // once `busy` drops, another publisher may start (and finish) a new
-        // batch, and an unscoped flag read after that point could consume
-        // the newer batch's signal — repanicking the wrong caller or losing
-        // the panic entirely. The compare-exchange only clears a poison
-        // carrying *our* generation, so even a reordered reader could never
-        // eat another batch's mark.
-        let poisoned = self
-            .shared
+        // batch here, and an unscoped flag read after that point could
+        // consume the newer batch's signal — repanicking the wrong caller
+        // or losing the panic entirely. The compare-exchange only clears a
+        // poison carrying *our* generation, so even a reordered reader
+        // could never eat another batch's mark.
+        let poisoned = header
             .poisoned
             .compare_exchange(pack(generation, 1), 0, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok();
         // Release the header only after `remaining == 0`: no stale claim or
         // cross-generation decrement is possible past this point.
-        self.shared.busy.store(false, Ordering::Release);
+        header.busy.store(false, Ordering::Release);
         if poisoned {
             panic!("a scan worker job panicked");
         }
@@ -306,6 +398,66 @@ impl WorkerPool {
             // happens-before via the batch publication.
             unsafe { slots[i].take()() };
         });
+    }
+}
+
+/// A disjoint slice of a [`WorkerPool`]'s workers, from
+/// [`WorkerPool::carve`] / [`WorkerPool::group`].
+///
+/// `run_indexed` through a group publishes batches that only the group's
+/// workers (plus the caller) serve — concurrent groups never contend for
+/// each other's CPUs. An empty group (more groups than workers) degrades to
+/// caller-only inline execution, which keeps short tail segments correct on
+/// narrow hosts.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_scan::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = WorkerPool::new(4);
+/// let groups = pool.carve(2);
+/// let counter = AtomicUsize::new(0);
+/// groups[0].run_indexed(16, &|_| {
+///     counter.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(counter.load(Ordering::Relaxed), 16);
+/// ```
+#[derive(Clone, Copy)]
+pub struct WorkerGroup<'p> {
+    pool: &'p WorkerPool,
+    lo: usize,
+    hi: usize,
+}
+
+impl WorkerGroup<'_> {
+    /// Number of pool workers in this group (the caller participates too,
+    /// so up to `workers() + 1` indices run concurrently).
+    pub fn workers(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// The worker-index range `lo..hi` this group covers.
+    pub fn bounds(&self) -> (usize, usize) {
+        (self.lo, self.hi)
+    }
+
+    /// Runs `task(0..count)` across this group's workers and the calling
+    /// thread, blocking until every index completed — the group-masked
+    /// [`WorkerPool::run_indexed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task invocation panicked.
+    pub fn run_indexed<'scope>(&self, count: usize, task: &(dyn Fn(usize) + Sync + 'scope)) {
+        self.pool.run_masked(self.lo, self.hi, count, task);
+    }
+}
+
+impl std::fmt::Debug for WorkerGroup<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WorkerGroup({}..{})", self.lo, self.hi)
     }
 }
 
@@ -439,31 +591,59 @@ impl<T> std::fmt::Debug for Slot<T> {
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    let mut seen_generation = 0u32;
+fn worker_loop(shared: &Shared, worker_index: usize) {
+    let mut seen_epoch = 0u64;
     loop {
-        let (generation, task, count) = {
-            let mut slot = shared.slot.lock();
-            while slot.generation == seen_generation && !shared.shutdown.load(Ordering::SeqCst) {
-                shared.work_cv.wait(&mut slot);
+        {
+            let mut epoch = shared.epoch.lock();
+            while *epoch == seen_epoch && !shared.shutdown.load(Ordering::SeqCst) {
+                shared.work_cv.wait(&mut epoch);
             }
             if shared.shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            seen_generation = slot.generation;
-            (slot.generation, slot.task, slot.count)
-        };
-        if let Some(task) = task {
-            drain(shared, generation, task, count);
-            // Whoever observes the drained batch wakes the publisher; the
-            // lock round-trip avoids a missed-wakeup race with `done_cv`.
-            // If the header was already republished, `remaining` belongs to
-            // the newer batch — then this batch's publisher has long
-            // returned and needs no wakeup.
-            if shared.remaining.load(Ordering::Acquire) == 0 {
-                let _guard = shared.slot.lock();
-                shared.done_cv.notify_all();
+            seen_epoch = *epoch;
+        }
+        // Scan every header for batches whose mask covers this worker, and
+        // keep rescanning while publications keep landing: a batch
+        // published mid-scan into a header we already passed bumps the
+        // epoch, so the re-check below catches it before we park.
+        loop {
+            for header in &shared.headers {
+                let (generation, task, count, covered) = {
+                    let slot = header.slot.lock();
+                    (
+                        slot.generation,
+                        slot.task,
+                        slot.count,
+                        slot.lo <= worker_index && worker_index < slot.hi,
+                    )
+                };
+                if !covered {
+                    continue;
+                }
+                if let Some(task) = task {
+                    // Drained or republished batches are screened out inside
+                    // `drain` by the generation-validated claim — a stale
+                    // task pointer is never dereferenced.
+                    drain(header, generation, task, count);
+                    // Whoever observes the drained batch wakes the
+                    // publisher; the lock round-trip avoids a missed-wakeup
+                    // race with `done_cv`. If the header was already
+                    // republished, `remaining` belongs to the newer batch —
+                    // then this batch's publisher has long returned and
+                    // needs no wakeup.
+                    if header.remaining.load(Ordering::Acquire) == 0 {
+                        let _guard = header.slot.lock();
+                        header.done_cv.notify_all();
+                    }
+                }
             }
+            let epoch = *shared.epoch.lock();
+            if epoch == seen_epoch {
+                break;
+            }
+            seen_epoch = epoch;
         }
     }
 }
@@ -471,7 +651,7 @@ fn worker_loop(shared: &Shared) {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let _guard = self.shared.slot.lock();
+            let _guard = self.shared.epoch.lock();
             self.shared.shutdown.store(true, Ordering::SeqCst);
             self.shared.work_cv.notify_all();
         }
@@ -594,9 +774,11 @@ mod tests {
         // used to be a single batch-global bool checked *after* the header
         // was released, so a concurrent caller's clean batch could consume
         // a panicking batch's signal — panicking the wrong caller and
-        // silently absolving the right one. With generation-scoped
-        // poisoning, across many racing rounds the panicking caller must
-        // observe its panic every single time and the clean caller never.
+        // silently absolving the right one. With per-header
+        // generation-scoped poisoning, across many racing rounds the
+        // panicking caller must observe its panic every single time and the
+        // clean caller never — whether the two batches share a header in
+        // sequence or occupy different headers concurrently.
         let pool = WorkerPool::new(2);
         let rounds = 300;
         std::thread::scope(|s| {
@@ -619,7 +801,7 @@ mod tests {
                 let counter = AtomicUsize::new(0);
                 for round in 0..rounds {
                     // A clean batch must never observe another batch's
-                    // panic, whether it wins the header or runs inline.
+                    // panic, whichever header it lands on (or inline).
                     pool.run_indexed(4, &|_| {
                         counter.fetch_add(1, Ordering::Relaxed);
                     });
@@ -675,9 +857,11 @@ mod tests {
     }
 
     #[test]
-    fn nested_run_indexed_falls_back_inline() {
-        // A pooled task fanning out again must not deadlock on the reused
-        // header: the inner call detects the busy header and runs inline.
+    fn nested_run_indexed_composes_or_falls_back_inline() {
+        // A pooled task fanning out again must not deadlock: the inner call
+        // publishes to a free header (composing the fan-outs) or, with
+        // every header busy, runs inline. Either way every index runs
+        // exactly once.
         let pool = WorkerPool::new(3);
         let total = AtomicUsize::new(0);
         pool.run_indexed(4, &|_| {
@@ -689,9 +873,27 @@ mod tests {
     }
 
     #[test]
+    fn deeply_nested_fanouts_exhaust_headers_without_deadlock() {
+        // Nesting deeper than the header array forces the innermost levels
+        // through the all-headers-busy inline path; counts stay exact.
+        let pool = WorkerPool::new(2);
+        let total = AtomicUsize::new(0);
+        fn fan(pool: &WorkerPool, depth: usize, total: &AtomicUsize) {
+            if depth == 0 {
+                total.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            pool.run_indexed(2, &|_| fan(pool, depth - 1, total));
+        }
+        fan(&pool, 12, &total);
+        assert_eq!(total.load(Ordering::Relaxed), 1 << 12);
+    }
+
+    #[test]
     fn concurrent_run_indexed_from_many_threads_is_exact() {
-        // Racing publishers: one wins the header, the rest run inline —
-        // every index of every batch still runs exactly once.
+        // Racing publishers spread across the header array (and fall back
+        // inline past it) — every index of every batch still runs exactly
+        // once.
         let pool = WorkerPool::new(4);
         let hits: Vec<Vec<AtomicUsize>> = (0..8)
             .map(|_| (0..100).map(|_| AtomicUsize::new(0)).collect())
@@ -728,5 +930,106 @@ mod tests {
         }
         let expect: usize = (0..200).map(|r| 1 + r % 17).sum();
         assert_eq!(total.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn carve_partitions_workers_exactly() {
+        let pool = WorkerPool::new(5);
+        let groups = pool.carve(3);
+        assert_eq!(groups.len(), 3);
+        let mut covered = 0usize;
+        let mut prev_hi = 0usize;
+        for g in &groups {
+            let (lo, hi) = g.bounds();
+            assert_eq!(lo, prev_hi, "groups must be contiguous and disjoint");
+            assert!(hi >= lo);
+            covered += g.workers();
+            prev_hi = hi;
+        }
+        assert_eq!(prev_hi, pool.size());
+        assert_eq!(covered, pool.size());
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = groups.iter().map(|g| g.workers()).collect();
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "unbalanced carve: {sizes:?}");
+    }
+
+    #[test]
+    fn empty_group_runs_inline_on_the_caller() {
+        // More groups than workers: the tail groups are empty and their
+        // batches must run entirely (and correctly) on the caller.
+        let pool = WorkerPool::new(1);
+        let groups = pool.carve(4);
+        assert_eq!(groups[0].workers(), 0, "leading groups are the empty ones");
+        let caller = std::thread::current().id();
+        let counter = AtomicUsize::new(0);
+        groups[0].run_indexed(16, &|_| {
+            assert_eq!(std::thread::current().id(), caller);
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn disjoint_groups_run_batches_concurrently_and_exactly() {
+        // Two carved groups publishing from two caller threads: all indices
+        // of both batches run exactly once, across many rounds, without the
+        // groups interfering with each other's headers.
+        let pool = WorkerPool::new(4);
+        let groups = pool.carve(2);
+        let hits: Vec<Vec<AtomicUsize>> = (0..2)
+            .map(|_| (0..64).map(|_| AtomicUsize::new(0)).collect())
+            .collect();
+        std::thread::scope(|s| {
+            for (which, group) in groups.iter().enumerate() {
+                let hits = &hits;
+                let group = *group;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        group.run_indexed(64, &|i| {
+                            hits[which][i].fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        for row in &hits {
+            assert!(row.iter().all(|h| h.load(Ordering::Relaxed) == 50));
+        }
+    }
+
+    #[test]
+    fn group_panic_attribution_is_exact() {
+        // A panic inside one group's batch re-raises at that group's
+        // publisher and never leaks to a concurrent clean group.
+        let pool = WorkerPool::new(4);
+        let groups = pool.carve(2);
+        std::thread::scope(|s| {
+            let g0 = groups[0];
+            let g1 = groups[1];
+            let dirty = s.spawn(move || {
+                for _ in 0..100 {
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        g0.run_indexed(4, &|i| {
+                            if i == 1 {
+                                panic!("group batch panic");
+                            }
+                        });
+                    }));
+                    assert!(result.is_err());
+                }
+            });
+            let clean = s.spawn(move || {
+                let counter = AtomicUsize::new(0);
+                for round in 0..100 {
+                    g1.run_indexed(4, &|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                    assert_eq!(counter.load(Ordering::Relaxed), (round + 1) * 4);
+                }
+            });
+            dirty.join().expect("dirty group lost its panic");
+            clean.join().expect("clean group caught a foreign panic");
+        });
     }
 }

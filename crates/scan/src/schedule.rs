@@ -177,6 +177,26 @@ impl ScanSchedule {
         &self.block_roots
     }
 
+    /// The index of the up-sweep block containing scan position `pos`
+    /// (blocks are the `2^k`-sized tiles whose roots are
+    /// [`ScanSchedule::block_roots`]; block `b` covers the positions up to
+    /// and including `block_roots[b]`).
+    ///
+    /// Every up- and down-sweep pair of the schedule has both of its
+    /// positions inside a single block — cross-block dataflow happens only
+    /// through the serial middle scan. That containment (pinned by the
+    /// `pairs_never_cross_block_boundaries` test) is what lets a segmented
+    /// executor run disjoint block ranges concurrently and still be
+    /// bit-for-bit with the sequential order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len` (such a position is on no block).
+    pub fn block_of(&self, pos: usize) -> usize {
+        assert!(pos < self.len, "block_of: position {pos} out of range");
+        self.block_roots.partition_point(|&r| r < pos)
+    }
+
     /// Down-sweep levels in execution order (`d = k−1, …, 0`).
     pub fn down_levels(&self) -> &[Vec<Pair>] {
         &self.down_levels
@@ -385,5 +405,64 @@ mod tests {
     #[test]
     fn display_mentions_len() {
         assert!(format!("{}", ScanSchedule::full(8)).contains("len=8"));
+    }
+
+    #[test]
+    fn pairs_never_cross_block_boundaries() {
+        // The segmentation exactness invariant: every up/down pair lies
+        // entirely within one 2^k block, so partitioning the instruction
+        // stream at block boundaries reorders only independent work. The
+        // `.min(n)` clamp in level_pairs stays inside the last block.
+        for len in 1..130usize {
+            for k in 0..9 {
+                let s = ScanSchedule::with_up_levels(len, k);
+                for level in s.up_levels().iter().chain(s.down_levels()) {
+                    for p in level {
+                        assert_eq!(
+                            s.block_of(p.l),
+                            s.block_of(p.r),
+                            "len={len} k={k} pair {p:?} crosses blocks"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_of_matches_roots() {
+        let s = ScanSchedule::with_up_levels(11, 2); // blocks of 4: roots 3,7,10
+        assert_eq!(s.block_roots(), &[3, 7, 10]);
+        for (pos, want) in [(0, 0), (3, 0), (4, 1), (7, 1), (8, 2), (10, 2)] {
+            assert_eq!(s.block_of(pos), want, "pos={pos}");
+        }
+    }
+
+    #[test]
+    fn degenerate_lengths_are_pure_linear() {
+        // len=1: ceil_log2(1)=0 → k clamps to 0 whatever was asked; one
+        // block root at position 0 and no tree levels.
+        for k in [0usize, 1, 4, 64] {
+            let s = ScanSchedule::with_up_levels(1, k);
+            assert!(s.up_levels().is_empty() && s.down_levels().is_empty());
+            assert_eq!(s.block_roots(), &[0]);
+            assert_eq!(s.combine_count(), 1);
+            assert_eq!(s.block_of(0), 0);
+        }
+        // len=2: ceil_log2(2)−1 = 0 clamps every k to 0, so even "full" is
+        // the two-root linear middle with no tree levels.
+        for k in [0usize, 1, 4, 64] {
+            let s = ScanSchedule::with_up_levels(2, k);
+            assert!(s.up_levels().is_empty() && s.down_levels().is_empty());
+            assert_eq!(s.block_roots(), &[0, 1]);
+            assert_eq!(s.combine_count(), 2);
+        }
+        assert_eq!(ScanSchedule::full(2), ScanSchedule::linear(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_of_past_len_panics() {
+        let _ = ScanSchedule::full(4).block_of(4);
     }
 }

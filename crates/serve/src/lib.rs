@@ -118,7 +118,7 @@ pub use metrics::{FlushCause, LaneMetricsSnapshot, LaneState, RetiredRollup};
 pub use bppsa_core::{KernelCounts, PlanKind};
 pub use retry::RetryPolicy;
 pub use service::{
-    flush_decision, BppsaService, BreakerPolicy, DeadlinePolicy, FlushDecision, ServeConfig,
-    ShedPolicy, SubmitError, SubmitRefusal,
+    flush_decision, lane_plan_options, BppsaService, BreakerPolicy, DeadlinePolicy, FlushDecision,
+    ServeConfig, ShedPolicy, SubmitError, SubmitRefusal, LANE_SEGMENTS, LANE_SEGMENT_MIN_LAYERS,
 };
 pub use ticket::{ServeError, Ticket};

@@ -98,6 +98,9 @@ pub(crate) struct LaneMetrics {
     /// Which program kind the lane's plan compiled to: `0` = not yet
     /// planned, `1` = CSR, `2` = diagonal. Written once at warm-up.
     plan_kind: AtomicU8,
+    /// How many chain segments the lane's plan scans concurrently (`0` =
+    /// not yet planned, `1` = unsegmented). Written once at warm-up.
+    plan_segments: AtomicU64,
     kernels_gather: AtomicU64,
     kernels_gustavson: AtomicU64,
     kernels_dense: AtomicU64,
@@ -130,6 +133,7 @@ impl LaneMetrics {
             plan_nanos: AtomicU64::new(0),
             warmup_nanos: AtomicU64::new(0),
             plan_kind: AtomicU8::new(0),
+            plan_segments: AtomicU64::new(0),
             kernels_gather: AtomicU64::new(0),
             kernels_gustavson: AtomicU64::new(0),
             kernels_dense: AtomicU64::new(0),
@@ -260,11 +264,19 @@ impl LaneMetrics {
     }
 
     /// Records what the lane's plan compiled to: the program kind
-    /// ([`PlannedScan::plan_kind`](bppsa_core::PlannedScan::plan_kind)) and
+    /// ([`PlannedScan::plan_kind`](bppsa_core::PlannedScan::plan_kind)),
     /// the kernel-mode mix across its combines
-    /// ([`PlannedScan::kernel_counts`](bppsa_core::PlannedScan::kernel_counts)).
+    /// ([`PlannedScan::kernel_counts`](bppsa_core::PlannedScan::kernel_counts)),
+    /// and the segment count
+    /// ([`PlannedScan::segments`](bppsa_core::PlannedScan::segments)).
     /// Written once at warm-up, alongside [`LaneMetrics::record_warmup`].
-    pub(crate) fn record_plan_profile(&self, kind: PlanKind, counts: KernelCounts) {
+    pub(crate) fn record_plan_profile(
+        &self,
+        kind: PlanKind,
+        counts: KernelCounts,
+        segments: usize,
+    ) {
+        self.plan_segments.store(segments as u64, Ordering::Relaxed);
         self.kernels_gather
             .store(counts.gather as u64, Ordering::Relaxed);
         self.kernels_gustavson
@@ -304,6 +316,7 @@ impl LaneMetrics {
                 2 => Some(PlanKind::Diagonal),
                 _ => None,
             },
+            plan_segments: self.plan_segments.load(Ordering::Relaxed) as usize,
             kernel_counts: KernelCounts {
                 gather: self.kernels_gather.load(Ordering::Relaxed) as usize,
                 gustavson: self.kernels_gustavson.load(Ordering::Relaxed) as usize,
@@ -369,6 +382,11 @@ pub struct LaneMetricsSnapshot {
     /// `None`). Recorded alongside `warmup_time`, with the same racing-
     /// snapshot caveat.
     pub plan_kind: Option<PlanKind>,
+    /// How many chain segments the lane's plan scans concurrently: `0`
+    /// until the warm-up records it, `1` for unsegmented plans, `≥ 2` when
+    /// the lane transparently picked segment-parallel execution for a deep
+    /// chain. Recorded alongside `plan_kind`.
+    pub plan_segments: usize,
     /// The kernel-mode mix across the plan's matrix–matrix combines: how
     /// many resolved to each numeric SpGEMM kernel. All zeros for diagonal
     /// plans (they hoist no products) and for lanes that never planned.

@@ -110,9 +110,11 @@ impl RetryPolicy {
     /// to [`max_backoff`](Self::max_backoff), scaled by the deterministic
     /// jitter draw for `(jitter_seed, attempt)`.
     pub fn backoff_for(&self, attempt: u32) -> Duration {
+        // `attempt.min(31)` keeps the shift in range (attempts past 31 all
+        // price as 2^31); saturating_mul absorbs the Duration overflow.
         let base = self
             .initial_backoff
-            .saturating_mul(1u32.checked_shl(attempt.min(31)).unwrap_or(u32::MAX))
+            .saturating_mul(1u32 << attempt.min(31))
             .min(self.max_backoff);
         if self.jitter == 0.0 {
             return base;
@@ -169,6 +171,44 @@ mod tests {
         let p = RetryPolicy::none();
         p.validate();
         assert_eq!(p.budget, Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_shift_cap_prices_every_attempt_past_31_identically() {
+        // A cap far above initial * 2^31 makes the shift clamp — not the
+        // max_backoff clamp — the active boundary: attempt 31 reaches
+        // 2^31 * initial exactly, and every later attempt (32, 33, the
+        // extreme u32::MAX) prices identically with no overflow or wrap.
+        let p = RetryPolicy {
+            jitter: 0.0,
+            initial_backoff: Duration::from_nanos(1),
+            max_backoff: Duration::MAX,
+            ..RetryPolicy::default()
+        };
+        p.validate();
+        let capped = p.backoff_for(31);
+        assert_eq!(capped, Duration::from_nanos(1u64 << 31));
+        for attempt in [32u32, 33, 64, u32::MAX] {
+            assert_eq!(p.backoff_for(attempt), capped, "attempt {attempt}");
+        }
+        // With jitter on, the same attempts stay bounded by the jitter
+        // envelope around that capped base.
+        let jittered = RetryPolicy {
+            initial_backoff: Duration::from_nanos(1),
+            max_backoff: Duration::MAX,
+            ..RetryPolicy::default()
+        };
+        for attempt in [31u32, 32, u32::MAX] {
+            let d = jittered.backoff_for(attempt);
+            assert!(
+                d >= capped.mul_f64(1.0 - jittered.jitter),
+                "attempt {attempt}"
+            );
+            assert!(
+                d <= capped.mul_f64(1.0 + jittered.jitter),
+                "attempt {attempt}"
+            );
+        }
     }
 
     #[test]

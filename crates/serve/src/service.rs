@@ -833,6 +833,31 @@ impl<S> Lane<S> {
     }
 }
 
+/// Chains at least this deep plan segment-parallel execution
+/// ([`BppsaOptions::segmented`]) when their lane warms up. Below it, the
+/// batch-level fan-out of [`BatchedBackward`] is parallelism enough and
+/// segmentation would only add stitch overhead per request.
+pub const LANE_SEGMENT_MIN_LAYERS: usize = 1024;
+
+/// Segments a deep-chain lane requests at warm-up. Two keeps every segment
+/// heavy (half the chain each) and maps onto small worker pools without
+/// idle groups; genuinely wide hosts can revisit this alongside the
+/// multi-core re-baselining (see ROADMAP).
+pub const LANE_SEGMENTS: usize = 2;
+
+/// The plan options a lane's warm-up uses for a `layers`-deep chain: deep
+/// chains (≥ [`LANE_SEGMENT_MIN_LAYERS`]) transparently pick
+/// segment-parallel pooled execution; everything else plans serial and
+/// relies on the batch-level fan-out. Pure — pinned by unit test, surfaced
+/// per lane via [`LaneMetricsSnapshot::plan_segments`](crate::LaneMetricsSnapshot::plan_segments).
+pub fn lane_plan_options(layers: usize) -> BppsaOptions {
+    if layers >= LANE_SEGMENT_MIN_LAYERS {
+        BppsaOptions::pooled().segmented(LANE_SEGMENTS)
+    } else {
+        BppsaOptions::serial()
+    }
+}
+
 /// The warming phase of a lane's dispatcher: wait for the lane's first
 /// request, build the compiled plan and workspace pool from it **off the
 /// router lock**, and publish them (`Warming → Live`). Returns `false` when
@@ -864,7 +889,10 @@ fn warm_up<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) -> bool {
         // the Warming window deterministically.
         lane.faults
             .fire(InjectionPoint::PlanBuild { lane: lane.lane_id });
-        let plan = Arc::new(PlannedScan::plan(&template, BppsaOptions::serial()));
+        let plan = Arc::new(PlannedScan::plan(
+            &template,
+            lane_plan_options(template.num_layers()),
+        ));
         let capacity = config.workspace_capacity();
         let batched = BatchedBackward::with_capacity(plan, capacity);
         batched.prewarm(config.max_batch.min(capacity));
@@ -874,8 +902,11 @@ fn warm_up<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) -> bool {
         Ok(batched) => {
             lane.metrics
                 .record_warmup(batched.plan().build_time(), warm_start.elapsed());
-            lane.metrics
-                .record_plan_profile(batched.plan().plan_kind(), batched.plan().kernel_counts());
+            lane.metrics.record_plan_profile(
+                batched.plan().plan_kind(),
+                batched.plan().kernel_counts(),
+                batched.plan().segments(),
+            );
             let stored = lane.batched.set(batched);
             debug_assert!(stored.is_ok(), "warm-up runs exactly once per lane");
             lane.metrics.mark_live();
@@ -2218,6 +2249,44 @@ mod tests {
                 "concurrent clean lane caught a foreign panic (round {round})"
             );
         }
+    }
+
+    #[test]
+    fn zero_retry_budget_returns_the_first_refusal_without_spinning() {
+        // RetryPolicy::none() (budget == Duration::ZERO): a transient
+        // refusal must come back after exactly one attempt — no backoff
+        // sleep, no spin loop — because any elapsed time satisfies
+        // `elapsed >= budget`. A shed-armed lane with one parked request
+        // makes the refusal deterministic.
+        let mut config = quick_config();
+        config.max_delay = Duration::from_secs(60);
+        config.max_batch = 8;
+        config.retry = RetryPolicy::none();
+        config.shed = ShedPolicy {
+            max_queue_depth: Some(1),
+            min_warming_delay: None,
+        };
+        let service = BppsaService::<f64>::new(config);
+        let template = sparse_chain(4, 6, 120);
+        let parked = Ticket::new();
+        service
+            .submit(revalue(&template, 121), &parked)
+            .expect("first request parks under the minute budget");
+
+        let doomed = Ticket::new();
+        let start = Instant::now();
+        let refused = service.submit_retrying(revalue(&template, 122), &doomed);
+        let elapsed = start.elapsed();
+        let Err(SubmitError::Shed(chain)) = refused else {
+            panic!("expected a shed refusal, got {refused:?}");
+        };
+        assert_eq!(chain.num_layers(), template.num_layers(), "chain returned");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "zero budget must not spin through backoff sleeps: {elapsed:?}"
+        );
+        service.shutdown();
+        parked.wait().expect("parked request drains on shutdown");
     }
 
     #[test]

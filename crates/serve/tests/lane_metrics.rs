@@ -13,7 +13,10 @@
 
 use bppsa_core::JacobianChain;
 use bppsa_core::ScanElement;
-use bppsa_serve::{BppsaService, FlushCause, LaneState, PlanKind, ServeConfig, ShedPolicy, Ticket};
+use bppsa_serve::{
+    lane_plan_options, BppsaService, FlushCause, LaneState, PlanKind, ServeConfig, ShedPolicy,
+    Ticket, LANE_SEGMENTS, LANE_SEGMENT_MIN_LAYERS,
+};
 use bppsa_sparse::Csr;
 use bppsa_tensor::init::{seeded_rng, uniform_vector};
 use bppsa_tensor::Matrix;
@@ -256,5 +259,62 @@ fn plan_profile_reports_kind_and_kernel_mix() {
         diag_snap.kernel_counts.total(),
         0,
         "diagonal plans hoist no products"
+    );
+}
+
+#[test]
+fn lane_plan_options_segments_at_the_layer_threshold() {
+    // The routing function is pure: one layer below the threshold stays on
+    // the unsegmented serial plan, at the threshold it switches to the
+    // pooled segmented plan.
+    assert_eq!(lane_plan_options(0).segments, 1);
+    assert_eq!(lane_plan_options(LANE_SEGMENT_MIN_LAYERS - 1).segments, 1);
+    assert_eq!(
+        lane_plan_options(LANE_SEGMENT_MIN_LAYERS).segments,
+        LANE_SEGMENTS
+    );
+    assert_eq!(
+        lane_plan_options(4 * LANE_SEGMENT_MIN_LAYERS).segments,
+        LANE_SEGMENTS
+    );
+}
+
+#[test]
+fn deep_chain_lanes_segment_transparently() {
+    // A shallow lane and a deep (>= LANE_SEGMENT_MIN_LAYERS) lane through
+    // the same service: the deep lane's plan must segment without the
+    // caller asking, and both must report it through `plan_segments`.
+    let mut cfg = config(8);
+    cfg.max_delay = Duration::from_millis(2);
+    let service = BppsaService::<f64>::new(cfg);
+
+    let shallow = sparse_chain(5, 6, 8);
+    let ticket = Ticket::new();
+    service
+        .submit(revalue(&shallow, 80), &ticket)
+        .expect("accepting");
+    ticket.wait().expect("shallow lane serves");
+
+    // Narrow layers keep the symbolic plan for 1024 products cheap.
+    let deep = sparse_chain(LANE_SEGMENT_MIN_LAYERS, 3, 9);
+    let deep_ticket = Ticket::new();
+    service
+        .submit(revalue(&deep, 81), &deep_ticket)
+        .expect("accepting");
+    deep_ticket.wait().expect("deep lane serves");
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.len(), 2);
+    let shallow_snap = &metrics[0];
+    assert_eq!(shallow_snap.plan_kind, Some(PlanKind::Csr));
+    assert_eq!(
+        shallow_snap.plan_segments, 1,
+        "shallow lanes plan unsegmented"
+    );
+    let deep_snap = &metrics[1];
+    assert_eq!(deep_snap.plan_kind, Some(PlanKind::Csr));
+    assert_eq!(
+        deep_snap.plan_segments, LANE_SEGMENTS,
+        "deep lanes segment transparently"
     );
 }

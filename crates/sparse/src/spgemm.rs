@@ -1258,6 +1258,61 @@ mod tests {
     }
 
     #[test]
+    fn chunk_pricing_follows_the_resolved_kernels_currency() {
+        // A shape where the two work currencies disagree: A's row 0 carries
+        // 8 nonzeros but only B's row 0 is populated, so every A row costs
+        // the same 6 structural MACs, while the dense panel kernel pays
+        // `a_row_nnz × cols` — 48 for row 0 vs 6 for the single-nonzero
+        // rows. The balanced 2-way split must therefore differ by kernel:
+        // MAC-priced plans cut the uniform work in half (rows 0..2 | 2..4),
+        // the dense-priced plan isolates the wide row (rows 0..1 | 1..4).
+        let a = Csr::<f64>::from_dense(&Matrix::from_fn(4, 8, |i, j| {
+            if i == 0 || j == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        }));
+        let b = Csr::<f64>::from_dense(&Matrix::from_fn(
+            8,
+            6,
+            |i, _| {
+                if i == 0 {
+                    0.5
+                } else {
+                    0.0
+                }
+            },
+        ));
+        let reference = spgemm(&a, &b);
+        let mut cuts = std::collections::HashMap::new();
+        for mode in [KernelMode::Gather, KernelMode::Gustavson, KernelMode::Dense] {
+            let plan = SymbolicProduct::plan_with_mode(&a.pattern(), &b.pattern(), mode);
+            let total = plan.work_total();
+            let boundaries: Vec<usize> = (0..=2)
+                .map(|c| plan.chunk_boundary_row(c, 2, total, 4))
+                .collect();
+            assert_eq!(boundaries[0], 0);
+            assert_eq!(boundaries[2], 4);
+            assert!(boundaries[1] > 0 && boundaries[1] < 4);
+            cuts.insert(mode, boundaries[1]);
+            // Whatever the currency, the split executes exactly.
+            let pool = WorkerPool::new(3);
+            let mut scratch = plan.scratch::<f64>(4);
+            let mut out = Csr::from_pattern(plan.out_pattern().clone());
+            plan.execute_into_parallel_with(&a, &b, &mut out, &pool, &mut scratch);
+            assert_eq!(out, reference);
+        }
+        assert_eq!(cuts[&KernelMode::Gather], 2, "uniform MAC pricing");
+        assert_eq!(cuts[&KernelMode::Gustavson], 2, "uniform MAC pricing");
+        assert_eq!(
+            cuts[&KernelMode::Dense],
+            1,
+            "dense pricing charges row 0 its full a_row_nnz × cols panel"
+        );
+    }
+
+    #[test]
     fn chained_products_stay_valid() {
         // Products of products (as in the scan's up-sweep) remain valid CSR.
         let a = sample_a();
