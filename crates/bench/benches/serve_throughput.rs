@@ -177,6 +177,7 @@ fn bench_shed_rate(c: &mut Criterion) {
             shed: ShedPolicy {
                 max_queue_depth: Some(depth),
                 min_warming_delay: None,
+                feasibility: None,
             },
             ..ServeConfig::default()
         });

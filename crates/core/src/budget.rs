@@ -1,0 +1,280 @@
+//! Global memory budget for workspace-backed execution.
+//!
+//! Per-lane [`WorkspacePool`](crate::WorkspacePool)s each bound their own
+//! growth, but nothing bounded the *sum*: a storm of distinct chain shapes
+//! creates a lane (and a pool) per shape, and wide chains make each pool
+//! large — the process could allocate itself to death while every
+//! individual pool stayed within its cap. [`MemoryBudget`] is the shared
+//! ledger that closes that hole: every workspace a pool creates first
+//! *reserves* its byte footprint here (computed from
+//! [`PlannedScan::workspace_bytes`](crate::PlannedScan::workspace_bytes)),
+//! and releases it when the pool drops. Reservation is a lock-free CAS on
+//! an atomic counter; blocking waiters park on a condvar that releases
+//! notify, so the hot path (checkout of an already-created workspace)
+//! never touches the budget at all.
+//!
+//! The ledger tracks *reserved* bytes — the accounting model is
+//! charge-before-allocate, so the high-water mark
+//! ([`MemoryBudget::peak_reserved`]) is provably `<= limit` at all times,
+//! which is exactly the invariant the serve-layer shape-storm tests pin.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A shared byte-granular memory budget that workspace pools reserve
+/// against before allocating.
+///
+/// Cheap to share (`Arc<MemoryBudget>`), cheap to check (one atomic CAS
+/// per reservation, zero cost when not configured). Exhaustion never
+/// fails an *existing* workload: pools that already own workspaces fall
+/// back to blocking checkout (reusing what they have) instead of growing.
+///
+/// # Examples
+///
+/// ```
+/// use bppsa_core::MemoryBudget;
+///
+/// let budget = MemoryBudget::new(1024);
+/// assert!(budget.try_reserve(1000));
+/// assert!(!budget.try_reserve(100)); // would exceed the limit
+/// budget.release(1000);
+/// assert!(budget.try_reserve(100));
+/// assert_eq!(budget.peak_reserved(), 1000);
+/// ```
+#[derive(Debug)]
+pub struct MemoryBudget {
+    limit: usize,
+    reserved: AtomicUsize,
+    peak: AtomicUsize,
+    /// Companion lock for `released`; holds no data — the atomics are the
+    /// source of truth — but waiters must re-check `reserved` under it to
+    /// avoid missing a release-side notify.
+    gate: Mutex<()>,
+    released: Condvar,
+}
+
+impl MemoryBudget {
+    /// A budget allowing at most `limit_bytes` reserved at once.
+    ///
+    /// A limit of `0` refuses every non-zero reservation — useful in tests
+    /// that must prove the refusal paths.
+    pub fn new(limit_bytes: usize) -> Self {
+        Self {
+            limit: limit_bytes,
+            reserved: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            released: Condvar::new(),
+        }
+    }
+
+    /// The configured limit in bytes.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Bytes currently reserved.
+    pub fn reserved(&self) -> usize {
+        self.reserved.load(Ordering::Acquire)
+    }
+
+    /// Bytes still available (`limit - reserved`).
+    pub fn remaining(&self) -> usize {
+        self.limit.saturating_sub(self.reserved())
+    }
+
+    /// High-water mark of [`reserved`](Self::reserved) over the budget's
+    /// lifetime. Never exceeds [`limit`](Self::limit): reservation happens
+    /// *before* allocation, so this pins the worst case a storm reached.
+    pub fn peak_reserved(&self) -> usize {
+        self.peak.load(Ordering::Acquire)
+    }
+
+    /// Whether the budget has no headroom left at this instant.
+    pub fn exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Attempts to reserve `bytes`; returns `false` (reserving nothing)
+    /// when the reservation would push the total past the limit.
+    pub fn try_reserve(&self, bytes: usize) -> bool {
+        let mut current = self.reserved.load(Ordering::Relaxed);
+        loop {
+            let Some(next) = current.checked_add(bytes) else {
+                return false;
+            };
+            if next > self.limit {
+                return false;
+            }
+            match self.reserved.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::AcqRel);
+                    return true;
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Blocks until `bytes` can be reserved or `timeout` elapses; returns
+    /// whether the reservation was made. A `bytes` larger than the whole
+    /// limit can never succeed and returns `false` immediately.
+    pub fn reserve_timeout(&self, bytes: usize, timeout: Duration) -> bool {
+        if bytes > self.limit {
+            return false;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.gate.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            // Check under the gate: a concurrent `release` takes the gate
+            // before notifying, so a failed try here cannot park past it.
+            if self.try_reserve(bytes) {
+                return true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, _) = self
+                .released
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            guard = g;
+        }
+    }
+
+    /// Returns `bytes` to the budget and wakes blocked reservers.
+    ///
+    /// Releasing more than is reserved saturates at zero (defensive: a
+    /// double-release bug should starve no one).
+    pub fn release(&self, bytes: usize) {
+        let mut current = self.reserved.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(bytes);
+            match self.reserved.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+        // Take the gate so a reserver that just failed its check cannot
+        // park between our subtraction and this notify.
+        drop(self.gate.lock().unwrap_or_else(|p| p.into_inner()));
+        self.released.notify_all();
+    }
+
+    /// Waits up to `timeout` for *any* release, without reserving. Used by
+    /// pools whose growth is budget-blocked and that own no workspace yet
+    /// (so no checkin can ever wake them).
+    pub fn wait_for_release(&self, timeout: Duration) {
+        let guard = self.gate.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = self
+            .released
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(|p| p.into_inner());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn reserve_respects_limit_and_tracks_peak() {
+        let b = MemoryBudget::new(100);
+        assert!(b.try_reserve(60));
+        assert!(b.try_reserve(40));
+        assert!(b.exhausted());
+        assert!(!b.try_reserve(1));
+        assert_eq!(b.reserved(), 100);
+        b.release(40);
+        assert_eq!(b.reserved(), 60);
+        assert_eq!(b.remaining(), 40);
+        // Peak remembers the high-water mark, not the current level.
+        assert_eq!(b.peak_reserved(), 100);
+        assert!(b.peak_reserved() <= b.limit());
+    }
+
+    #[test]
+    fn zero_byte_reservations_always_succeed() {
+        let b = MemoryBudget::new(0);
+        assert!(b.try_reserve(0));
+        assert!(!b.try_reserve(1));
+    }
+
+    #[test]
+    fn release_saturates_at_zero() {
+        let b = MemoryBudget::new(10);
+        assert!(b.try_reserve(5));
+        b.release(100);
+        assert_eq!(b.reserved(), 0);
+        assert!(b.try_reserve(10));
+    }
+
+    #[test]
+    fn oversized_reservation_fails_fast() {
+        let b = MemoryBudget::new(8);
+        assert!(!b.reserve_timeout(9, Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn blocked_reserver_wakes_on_release() {
+        let b = Arc::new(MemoryBudget::new(10));
+        assert!(b.try_reserve(10));
+        let waiter = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || b.reserve_timeout(10, Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        b.release(10);
+        assert!(waiter.join().expect("waiter panicked"));
+        assert_eq!(b.reserved(), 10);
+    }
+
+    #[test]
+    fn reserve_timeout_gives_up() {
+        let b = MemoryBudget::new(4);
+        assert!(b.try_reserve(4));
+        let start = std::time::Instant::now();
+        assert!(!b.reserve_timeout(1, Duration::from_millis(20)));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn concurrent_reservers_never_exceed_limit() {
+        let b = Arc::new(MemoryBudget::new(64));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let mut held = 0usize;
+                    for _ in 0..200 {
+                        if b.try_reserve(8) {
+                            held += 8;
+                            assert!(b.reserved() <= b.limit());
+                            b.release(8);
+                            held -= 8;
+                        }
+                    }
+                    held
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().expect("reserver panicked"), 0);
+        }
+        assert_eq!(b.reserved(), 0);
+        assert!(b.peak_reserved() <= b.limit());
+    }
+}

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod backward;
+mod budget;
 mod chain;
 mod diagonal;
 mod element;
@@ -61,6 +62,7 @@ mod segmented;
 pub mod flops;
 
 pub use backward::{bppsa_backward, linear_backward, BackwardResult, BppsaOptions};
+pub use budget::MemoryBudget;
 pub use chain::{gradients_from_scan_output, JacobianChain};
 pub use diagonal::{
     diagonal_level_tasks, DiagonalKernel, DiagonalMode, DIAGONAL_LOG_SPACE_MIN_LEN,

@@ -1295,6 +1295,23 @@ impl<T> Mru<T> {
         removed
     }
 
+    /// Iterates the entries, least recently used first, without touching
+    /// recency order (for observers — supervisors, metrics scrapers — that
+    /// must not perturb eviction behavior).
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.entries.iter()
+    }
+
+    /// Removes and returns the least recently used entry matching `pred`
+    /// (`None` when nothing matches), preserving the recency order of the
+    /// survivors. This is the voluntary-eviction entry point: callers
+    /// under resource pressure shed the coldest evictable entry instead
+    /// of overcommitting.
+    pub fn pop_lru(&mut self, pred: impl Fn(&T) -> bool) -> Option<T> {
+        let hit = self.entries.iter().position(pred)?;
+        Some(self.entries.remove(hit))
+    }
+
     /// Number of stored entries.
     pub fn len(&self) -> usize {
         self.entries.len()

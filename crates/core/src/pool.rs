@@ -46,12 +46,19 @@
 //! ```
 
 use crate::backward::BackwardResult;
+use crate::budget::MemoryBudget;
 use crate::chain::JacobianChain;
 use crate::planned::{PlannedScan, ScanWorkspace};
 use bppsa_scan::{global_pool, Slot};
 use bppsa_tensor::Scalar;
 use std::ops::{Deref, DerefMut};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How often a budget-blocked checkout re-polls for headroom. Only reached
+/// under budget exhaustion with zero owned workspaces — never on the
+/// steady-state path.
+const BUDGET_RETRY: Duration = Duration::from_millis(5);
 
 /// An [`Arc<PlannedScan>`]-shared pool of [`ScanWorkspace`]s with exclusive
 /// checkout/checkin, growing on demand up to a fixed cap.
@@ -90,6 +97,11 @@ pub struct WorkspacePool<S> {
     state: Mutex<PoolState<S>>,
     returned: Condvar,
     capacity: usize,
+    /// Optional global ledger every workspace creation reserves against;
+    /// `None` preserves the pre-budget unbounded-by-others behavior.
+    budget: Option<Arc<MemoryBudget>>,
+    /// Byte footprint of one workspace of this plan, charged per creation.
+    ws_bytes: usize,
 }
 
 #[derive(Debug)]
@@ -108,7 +120,26 @@ impl<S: Scalar> WorkspacePool<S> {
     ///
     /// Panics if `capacity == 0`.
     pub fn new(plan: Arc<PlannedScan>, capacity: usize) -> Self {
+        Self::with_budget(plan, capacity, None)
+    }
+
+    /// [`WorkspacePool::new`] charging every workspace creation against a
+    /// shared [`MemoryBudget`]. Each created workspace reserves
+    /// [`PlannedScan::workspace_bytes`] up front; growth that the budget
+    /// refuses falls back to blocking checkout (reusing owned workspaces)
+    /// and [`WorkspacePool::try_checkout`] returns `None`. The whole
+    /// reservation is released when the pool drops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_budget(
+        plan: Arc<PlannedScan>,
+        capacity: usize,
+        budget: Option<Arc<MemoryBudget>>,
+    ) -> Self {
         assert!(capacity > 0, "WorkspacePool: capacity must be non-zero");
+        let ws_bytes = plan.workspace_bytes::<S>();
         Self {
             plan,
             state: Mutex::new(PoolState {
@@ -117,6 +148,8 @@ impl<S: Scalar> WorkspacePool<S> {
             }),
             returned: Condvar::new(),
             capacity,
+            budget,
+            ws_bytes,
         }
     }
 
@@ -140,8 +173,30 @@ impl<S: Scalar> WorkspacePool<S> {
         self.lock().free.len()
     }
 
+    /// The budget this pool charges, if any.
+    pub fn budget(&self) -> Option<&Arc<MemoryBudget>> {
+        self.budget.as_ref()
+    }
+
+    /// Byte footprint one workspace of this plan reserves when created.
+    pub fn workspace_bytes(&self) -> usize {
+        self.ws_bytes
+    }
+
+    /// Charges the budget for one workspace creation; vacuously true when
+    /// no budget is configured.
+    fn reserve_workspace(&self) -> bool {
+        match &self.budget {
+            Some(b) => b.try_reserve(self.ws_bytes),
+            None => true,
+        }
+    }
+
     /// Allocates workspaces up front so that steady-state checkouts never
-    /// allocate: afterwards at least `min(count, capacity)` exist.
+    /// allocate: afterwards at least `min(count, capacity)` exist — unless
+    /// the budget runs out first, in which case prewarm stops early
+    /// (best-effort: warm-up must degrade, not fail, under memory
+    /// pressure).
     pub fn prewarm(&self, count: usize) {
         loop {
             // Allocate outside the lock; `created` is bumped first so
@@ -149,6 +204,9 @@ impl<S: Scalar> WorkspacePool<S> {
             let id = {
                 let mut st = self.lock();
                 if st.created >= count.min(self.capacity) {
+                    return;
+                }
+                if !self.reserve_workspace() {
                     return;
                 }
                 st.created += 1;
@@ -162,9 +220,15 @@ impl<S: Scalar> WorkspacePool<S> {
         }
     }
 
-    /// Checks a workspace out, growing the pool if under the cap and
-    /// blocking until a checkin otherwise. The returned guard checks the
-    /// workspace back in on drop.
+    /// Checks a workspace out, growing the pool if under the cap (and
+    /// within the budget) and blocking until a checkin otherwise. The
+    /// returned guard checks the workspace back in on drop.
+    ///
+    /// With a budget configured, refused growth degrades to the same
+    /// blocking path as a pool at capacity: existing workspaces are reused
+    /// as they return. Only a pool that owns *no* workspace yet (nothing
+    /// can ever be checked in) parks on the budget instead, re-attempting
+    /// the reservation as other pools release.
     pub fn checkout(&self) -> PooledWorkspace<'_, S> {
         let mut st = self.lock();
         loop {
@@ -175,13 +239,35 @@ impl<S: Scalar> WorkspacePool<S> {
                 };
             }
             if st.created < self.capacity {
-                let id = st.created;
-                st.created += 1;
-                drop(st); // allocate the new workspace outside the lock
-                return PooledWorkspace {
-                    pool: self,
-                    slot: Some((id, self.plan.workspace::<S>())),
-                };
+                if self.reserve_workspace() {
+                    let id = st.created;
+                    st.created += 1;
+                    drop(st); // allocate the new workspace outside the lock
+                    return PooledWorkspace {
+                        pool: self,
+                        slot: Some((id, self.plan.workspace::<S>())),
+                    };
+                }
+                if st.created == 0 {
+                    // No workspace exists and the budget refused the
+                    // first: a checkin can never wake us, so wait for a
+                    // budget release and retry.
+                    drop(st);
+                    if let Some(b) = &self.budget {
+                        b.wait_for_release(BUDGET_RETRY);
+                    }
+                    st = self.lock();
+                    continue;
+                }
+                // Budget-refused growth with owned workspaces in flight:
+                // fall through and block on a checkin, re-polling so a
+                // budget release can still unblock growth.
+                let (g, _) = self
+                    .returned
+                    .wait_timeout(st, BUDGET_RETRY)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st = g;
+                continue;
             }
             st = self
                 .returned
@@ -191,7 +277,8 @@ impl<S: Scalar> WorkspacePool<S> {
     }
 
     /// Non-blocking [`WorkspacePool::checkout`]: `None` when every
-    /// workspace is in flight and the pool is at capacity.
+    /// workspace is in flight and the pool is at capacity (or the budget
+    /// refuses the growth).
     pub fn try_checkout(&self) -> Option<PooledWorkspace<'_, S>> {
         let mut st = self.lock();
         if let Some((id, ws)) = st.free.pop() {
@@ -200,7 +287,7 @@ impl<S: Scalar> WorkspacePool<S> {
                 slot: Some((id, ws)),
             });
         }
-        if st.created < self.capacity {
+        if st.created < self.capacity && self.reserve_workspace() {
             let id = st.created;
             st.created += 1;
             drop(st);
@@ -226,6 +313,19 @@ impl<S: Scalar> WorkspacePool<S> {
         st.free.push((id, ws));
         drop(st);
         self.returned.notify_one();
+    }
+}
+
+impl<S> Drop for WorkspacePool<S> {
+    fn drop(&mut self) {
+        if let Some(budget) = &self.budget {
+            let created = self
+                .state
+                .get_mut()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .created;
+            budget.release(created * self.ws_bytes);
+        }
     }
 }
 
@@ -322,8 +422,23 @@ impl<S: Scalar> BatchedBackward<S> {
     ///
     /// Panics if `capacity == 0`.
     pub fn with_capacity(plan: Arc<PlannedScan>, capacity: usize) -> Self {
+        Self::with_capacity_budgeted(plan, capacity, None)
+    }
+
+    /// [`BatchedBackward::with_capacity`] whose pool charges workspace
+    /// creations against a shared [`MemoryBudget`] (see
+    /// [`WorkspacePool::with_budget`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity_budgeted(
+        plan: Arc<PlannedScan>,
+        capacity: usize,
+        budget: Option<Arc<MemoryBudget>>,
+    ) -> Self {
         Self {
-            pool: WorkspacePool::new(plan, capacity),
+            pool: WorkspacePool::with_budget(plan, capacity, budget),
         }
     }
 
@@ -529,5 +644,82 @@ mod tests {
         let chain = sparse_chain(2, 4, 7);
         let plan = Arc::new(PlannedScan::plan(&chain, BppsaOptions::serial()));
         let _ = WorkspacePool::<f64>::new(plan, 0);
+    }
+
+    #[test]
+    fn budget_bounds_growth_and_try_checkout_refuses() {
+        let chain = sparse_chain(4, 6, 8);
+        let plan = Arc::new(PlannedScan::plan(&chain, BppsaOptions::serial()));
+        let ws_bytes = plan.workspace_bytes::<f64>();
+        // Room for exactly one workspace, capacity for four.
+        let budget = Arc::new(MemoryBudget::new(ws_bytes));
+        let pool = WorkspacePool::<f64>::with_budget(plan, 4, Some(Arc::clone(&budget)));
+        assert_eq!(pool.workspace_bytes(), ws_bytes);
+
+        let held = pool.checkout();
+        assert_eq!(pool.created(), 1);
+        assert_eq!(budget.reserved(), ws_bytes);
+        // The budget (not the capacity) now refuses further growth.
+        assert!(pool.try_checkout().is_none());
+        assert_eq!(pool.created(), 1);
+
+        // Blocking checkout falls back to reusing the owned workspace.
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| pool.checkout().id());
+            std::thread::sleep(Duration::from_millis(20));
+            drop(held);
+            assert_eq!(waiter.join().expect("no panic"), 0);
+        });
+        assert!(budget.peak_reserved() <= budget.limit());
+    }
+
+    #[test]
+    fn prewarm_stops_at_the_budget() {
+        let chain = sparse_chain(4, 6, 9);
+        let plan = Arc::new(PlannedScan::plan(&chain, BppsaOptions::serial()));
+        let ws_bytes = plan.workspace_bytes::<f64>();
+        let budget = Arc::new(MemoryBudget::new(2 * ws_bytes));
+        let pool = WorkspacePool::<f64>::with_budget(plan, 8, Some(Arc::clone(&budget)));
+        pool.prewarm(8); // best-effort: budget admits only two
+        assert_eq!(pool.created(), 2);
+        assert_eq!(pool.available(), 2);
+        assert_eq!(budget.reserved(), 2 * ws_bytes);
+    }
+
+    #[test]
+    fn dropping_the_pool_releases_its_reservation() {
+        let chain = sparse_chain(3, 5, 10);
+        let plan = Arc::new(PlannedScan::plan(&chain, BppsaOptions::serial()));
+        let ws_bytes = plan.workspace_bytes::<f64>();
+        let budget = Arc::new(MemoryBudget::new(4 * ws_bytes));
+        {
+            let pool =
+                WorkspacePool::<f64>::with_budget(Arc::clone(&plan), 4, Some(Arc::clone(&budget)));
+            pool.prewarm(3);
+            assert_eq!(budget.reserved(), 3 * ws_bytes);
+        }
+        assert_eq!(budget.reserved(), 0, "drop returns the whole reservation");
+        assert_eq!(budget.peak_reserved(), 3 * ws_bytes);
+    }
+
+    #[test]
+    fn zero_workspace_pool_parks_on_the_budget_until_released() {
+        let chain = sparse_chain(3, 5, 11);
+        let plan = Arc::new(PlannedScan::plan(&chain, BppsaOptions::serial()));
+        let ws_bytes = plan.workspace_bytes::<f64>();
+        let budget = Arc::new(MemoryBudget::new(ws_bytes));
+        // A sibling pool holds the whole budget; this pool owns nothing,
+        // so its first checkout can only proceed once the sibling drops.
+        let sibling =
+            WorkspacePool::<f64>::with_budget(Arc::clone(&plan), 1, Some(Arc::clone(&budget)));
+        sibling.prewarm(1);
+        let starved = WorkspacePool::<f64>::with_budget(plan, 1, Some(Arc::clone(&budget)));
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| starved.checkout().id());
+            std::thread::sleep(Duration::from_millis(20));
+            drop(sibling); // releases the budget → starved pool can grow
+            assert_eq!(waiter.join().expect("no panic"), 0);
+        });
+        assert!(budget.peak_reserved() <= budget.limit());
     }
 }

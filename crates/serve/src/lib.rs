@@ -107,15 +107,21 @@
 
 mod fault;
 mod metrics;
+mod overload;
 mod retry;
 mod service;
 mod ticket;
 
 pub use fault::{FaultAction, FaultInjector, FaultRates, FaultScript, InjectionPoint};
 pub use metrics::{FlushCause, LaneMetricsSnapshot, LaneState, RetiredRollup};
+pub use overload::{
+    ewma_update, predicted_wait, BrownoutLevel, BrownoutPolicy, BrownoutSignal, BrownoutState,
+    FeasibilityPolicy, WatchdogPolicy, EWMA_SHIFT,
+};
 // Re-exported so metrics consumers can name the snapshot's plan-profile
-// fields without a direct `bppsa-core` dependency.
-pub use bppsa_core::{KernelCounts, PlanKind};
+// fields without a direct `bppsa-core` dependency, and so the memory
+// budget a `ServeConfig` carries can be built without one either.
+pub use bppsa_core::{KernelCounts, MemoryBudget, PlanKind};
 pub use retry::RetryPolicy;
 pub use service::{
     flush_decision, lane_plan_options, BppsaService, BreakerPolicy, DeadlinePolicy, FlushDecision,

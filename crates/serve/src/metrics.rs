@@ -15,6 +15,7 @@
 //! refusal so an operator can see *where* doomed traffic is being turned
 //! away.
 
+use crate::overload::{ewma_update, BrownoutLevel};
 use bppsa_core::{KernelCounts, PlanKind};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::Duration;
@@ -109,6 +110,25 @@ pub(crate) struct LaneMetrics {
     breaker_tripped: AtomicU8,
     deadline_expired: AtomicU64,
     died: AtomicU8,
+    /// Requests refused up front because their predicted wait exceeded
+    /// their deadline ([`SubmitError::Infeasible`](crate::SubmitError::Infeasible)).
+    infeasible: AtomicU64,
+    /// EWMA of observed flush latencies in nanoseconds (the feasibility
+    /// estimator's state; single writer — the dispatcher — so plain
+    /// load/store suffice). `0` = no observation yet.
+    ewma_flush_nanos: AtomicU64,
+    /// Timed flushes folded into the EWMA (the cold-start gate's input).
+    flush_samples: AtomicU64,
+    /// Monotonic flush-progress heartbeat: bumped when a flush enters
+    /// execution and again when it leaves, so odd = executing right now.
+    /// The watchdog's liveness signal is the published in-flight batch;
+    /// this gauge is the cheap observable mirror.
+    heartbeat: AtomicU64,
+    /// Whether the stall watchdog condemned this lane
+    /// ([`ServeError::FlushStalled`](crate::ServeError::FlushStalled)).
+    stalled: AtomicU8,
+    /// The service [`BrownoutLevel`] as last mirrored into this lane.
+    brownout: AtomicU8,
     probe: bool,
 }
 
@@ -142,6 +162,12 @@ impl LaneMetrics {
             breaker_tripped: AtomicU8::new(0),
             deadline_expired: AtomicU64::new(0),
             died: AtomicU8::new(0),
+            infeasible: AtomicU64::new(0),
+            ewma_flush_nanos: AtomicU64::new(0),
+            flush_samples: AtomicU64::new(0),
+            heartbeat: AtomicU64::new(0),
+            stalled: AtomicU8::new(0),
+            brownout: AtomicU8::new(0),
             probe,
         }
     }
@@ -252,6 +278,67 @@ impl LaneMetrics {
         self.died.store(1, Ordering::Relaxed);
     }
 
+    /// One request refused up front as infeasible (predicted wait past its
+    /// deadline).
+    pub(crate) fn record_infeasible(&self) {
+        self.infeasible.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one timed flush into the EWMA estimator. Single writer (the
+    /// lane's dispatcher); readers go through
+    /// [`LaneMetrics::flush_estimate`].
+    pub(crate) fn record_flush_latency(&self, elapsed: Duration) {
+        let prev = self.ewma_flush_nanos.load(Ordering::Relaxed);
+        let next = ewma_update(prev, elapsed.as_nanos().min(u64::MAX as u128) as u64);
+        self.ewma_flush_nanos.store(next, Ordering::Relaxed);
+        self.flush_samples.fetch_add(1, Ordering::Release);
+    }
+
+    /// The lane's flush-latency estimate, or `None` while fewer than
+    /// `min_samples.max(1)` flushes have been timed (the feasibility
+    /// cold-start gate: never shed on an untrained estimator).
+    pub(crate) fn flush_estimate(&self, min_samples: u64) -> Option<Duration> {
+        if self.flush_samples.load(Ordering::Acquire) < min_samples.max(1) {
+            return None;
+        }
+        Some(Duration::from_nanos(
+            self.ewma_flush_nanos.load(Ordering::Relaxed),
+        ))
+    }
+
+    /// Advances the flush-progress heartbeat (entering or leaving
+    /// execution).
+    pub(crate) fn tick_heartbeat(&self) {
+        self.heartbeat.fetch_add(1, Ordering::Release);
+    }
+
+    /// The stall watchdog condemned this lane's flush.
+    pub(crate) fn record_stalled(&self) {
+        self.stalled.store(1, Ordering::Relaxed);
+    }
+
+    /// Overload refusals this lane has issued (shed + infeasible) — the
+    /// numerator of the brownout controller's refusal rate.
+    pub(crate) fn overload_refusals(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed) + self.infeasible.load(Ordering::Relaxed)
+    }
+
+    /// Submission attempts this lane has seen (accepted + shed +
+    /// infeasible) — the denominator of the brownout refusal rate.
+    pub(crate) fn overload_attempts(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed) + self.overload_refusals()
+    }
+
+    /// Mirrors the service brownout level into this lane for snapshots.
+    pub(crate) fn set_brownout(&self, level: BrownoutLevel) {
+        self.brownout.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// The brownout level as last mirrored into this lane.
+    pub(crate) fn brownout(&self) -> BrownoutLevel {
+        BrownoutLevel::from_u8(self.brownout.load(Ordering::Relaxed))
+    }
+
     /// Records the cold-start cost: `plan` is the symbolic phase alone (from
     /// [`PlannedScan::build_time`](bppsa_core::PlannedScan::build_time)),
     /// `warmup` the whole bring-up (plan + workspace-pool construction and
@@ -327,6 +414,12 @@ impl LaneMetrics {
             breaker_tripped: self.breaker_tripped.load(Ordering::Relaxed) != 0,
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             died: self.died.load(Ordering::Relaxed) != 0,
+            infeasible: self.infeasible.load(Ordering::Relaxed),
+            ewma_flush_latency: Duration::from_nanos(self.ewma_flush_nanos.load(Ordering::Relaxed)),
+            flush_samples: self.flush_samples.load(Ordering::Relaxed),
+            flush_progress: self.heartbeat.load(Ordering::Relaxed),
+            stalled: self.stalled.load(Ordering::Relaxed) != 0,
+            brownout_level: self.brownout(),
             probe: self.probe,
         }
     }
@@ -409,6 +502,33 @@ pub struct LaneMetricsSnapshot {
     /// supervision failed the lane's remaining tickets with
     /// [`ServeError::LaneDied`](crate::ServeError::LaneDied).
     pub died: bool,
+    /// Requests refused up front with
+    /// [`SubmitError::Infeasible`](crate::SubmitError::Infeasible): their
+    /// predicted queue wait already exceeded their deadline. Counted
+    /// separately from [`shed`](Self::shed) (static depth/warming
+    /// refusals) so operators can see *measured-latency* shedding.
+    pub infeasible: u64,
+    /// The lane's current EWMA flush-latency estimate (zero until the
+    /// first timed flush). This is the feasibility estimator's state; it
+    /// is only *acted* on after
+    /// [`FeasibilityPolicy::min_flushes`](crate::FeasibilityPolicy::min_flushes)
+    /// samples.
+    pub ewma_flush_latency: Duration,
+    /// Timed flushes folded into
+    /// [`ewma_flush_latency`](Self::ewma_flush_latency).
+    pub flush_samples: u64,
+    /// Monotonic flush-progress heartbeat (odd while a flush is inside
+    /// execution). Stuck-odd past the watchdog's stall budget is exactly
+    /// the condition the supervisor condemns.
+    pub flush_progress: u64,
+    /// Whether the stall watchdog condemned this lane
+    /// ([`ServeError::FlushStalled`](crate::ServeError::FlushStalled);
+    /// implies the lane ended [`LaneState::Quarantined`]).
+    pub stalled: bool,
+    /// The service-wide [`BrownoutLevel`](crate::BrownoutLevel) as last
+    /// mirrored into this lane by the supervisor (or by the lane's own
+    /// dispatcher at flush time).
+    pub brownout_level: BrownoutLevel,
     /// Whether this lane was the half-open probe for a quarantined shape
     /// (created after cool-down to test recovery; one clean flush restores
     /// the shape to service, one panic re-trips the quarantine).
@@ -483,6 +603,16 @@ pub struct RetiredRollup {
     pub deadline_expired: u64,
     /// Folded lanes whose dispatcher died outside its panic guards.
     pub died: u64,
+    /// Sum of the folded lanes' `infeasible` refusals — kept so terminal-
+    /// lane history stays reconcilable: `completed + failed + refused`
+    /// accounting must survive lane compaction, and feasibility refusals
+    /// are part of `refused`. (`MemoryPressure` refusals have no lane —
+    /// they are refused at routing — and live in
+    /// [`BppsaService::memory_refusals`](crate::BppsaService::memory_refusals),
+    /// which compaction never touches.)
+    pub infeasible: u64,
+    /// Folded lanes condemned by the stall watchdog.
+    pub stalled: u64,
 }
 
 impl RetiredRollup {
@@ -499,6 +629,8 @@ impl RetiredRollup {
         self.breaker_trips += u64::from(snap.breaker_tripped);
         self.deadline_expired += snap.deadline_expired;
         self.died += u64::from(snap.died);
+        self.infeasible += snap.infeasible;
+        self.stalled += u64::from(snap.stalled);
     }
 
     /// Total flushes across all causes in the folded lanes.
@@ -587,6 +719,59 @@ mod tests {
         assert_eq!(rollup.breaker_trips, 1);
         assert_eq!(rollup.deadline_expired, 1);
         assert_eq!(rollup.died, 1);
+    }
+
+    #[test]
+    fn flush_estimate_gates_on_samples_then_tracks_ewma() {
+        let m = LaneMetrics::new(5, 3, 4, 8, false);
+        assert_eq!(m.flush_estimate(3), None, "no observations yet");
+        m.record_flush_latency(Duration::from_micros(800));
+        m.record_flush_latency(Duration::from_micros(800));
+        assert_eq!(m.flush_estimate(3), None, "below the cold-start gate");
+        m.record_flush_latency(Duration::from_micros(800));
+        let est = m.flush_estimate(3).expect("gate passed");
+        assert_eq!(est, Duration::from_micros(800), "constant stream adopted");
+        // min_samples == 0 still requires at least one observation.
+        let cold = LaneMetrics::new(6, 3, 4, 8, false);
+        assert_eq!(cold.flush_estimate(0), None);
+        let snap = m.snapshot();
+        assert_eq!(snap.flush_samples, 3);
+        assert_eq!(snap.ewma_flush_latency, Duration::from_micros(800));
+    }
+
+    #[test]
+    fn rollup_folds_infeasible_and_stalled() {
+        let m = LaneMetrics::new(7, 3, 4, 4, false);
+        m.record_infeasible();
+        m.record_infeasible();
+        m.record_stalled();
+        m.mark_quarantined();
+        let snap = m.snapshot();
+        assert_eq!(snap.infeasible, 2);
+        assert!(snap.stalled);
+        let mut rollup = RetiredRollup::default();
+        rollup.absorb(&snap);
+        assert_eq!(rollup.infeasible, 2);
+        assert_eq!(rollup.stalled, 1);
+    }
+
+    #[test]
+    fn heartbeat_parity_marks_in_flight_execution() {
+        let m = LaneMetrics::new(8, 3, 4, 4, false);
+        assert_eq!(m.snapshot().flush_progress, 0);
+        m.tick_heartbeat(); // entering execution
+        assert_eq!(m.snapshot().flush_progress % 2, 1);
+        m.tick_heartbeat(); // leaving execution
+        assert_eq!(m.snapshot().flush_progress, 2);
+    }
+
+    #[test]
+    fn brownout_level_mirrors_into_snapshot() {
+        let m = LaneMetrics::new(9, 3, 4, 4, false);
+        assert_eq!(m.snapshot().brownout_level, BrownoutLevel::Normal);
+        m.set_brownout(BrownoutLevel::HalfBatch);
+        assert_eq!(m.brownout(), BrownoutLevel::HalfBatch);
+        assert_eq!(m.snapshot().brownout_level, BrownoutLevel::HalfBatch);
     }
 
     #[test]

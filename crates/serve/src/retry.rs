@@ -8,11 +8,17 @@
 //! deterministic jitter — covering every *transient* refusal
 //! ([`LaneWarming`](crate::SubmitError::LaneWarming),
 //! [`Shed`](crate::SubmitError::Shed),
-//! [`Backpressure`](crate::SubmitError::Backpressure), and
-//! [`Quarantined`](crate::SubmitError::Quarantined)).
-//! [`Shutdown`](crate::SubmitError::Shutdown) and
-//! [`TicketInFlight`](crate::SubmitError::TicketInFlight) are never
-//! retried: the first is permanent, the second is a caller bug.
+//! [`Backpressure`](crate::SubmitError::Backpressure),
+//! [`Quarantined`](crate::SubmitError::Quarantined), and
+//! [`MemoryPressure`](crate::SubmitError::MemoryPressure) — memory
+//! pressure subsides as lanes drain and release their reservations).
+//! [`Shutdown`](crate::SubmitError::Shutdown),
+//! [`TicketInFlight`](crate::SubmitError::TicketInFlight), and
+//! [`Infeasible`](crate::SubmitError::Infeasible) are never retried: the
+//! first is permanent, the second is a caller bug, and the third would
+//! face the same queue and the same latency estimate on the very next
+//! attempt — retrying an infeasible request only deepens the overload
+//! that refused it (see [`SubmitRefusal::is_transient`](crate::SubmitRefusal::is_transient)).
 //!
 //! Jitter is a pure function of `(jitter_seed, attempt)` — retries are
 //! de-synchronized across callers (different seeds) yet every run of the

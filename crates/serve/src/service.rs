@@ -91,18 +91,21 @@
 
 use crate::fault::{FaultInjector, InjectionPoint};
 use crate::metrics::{FlushCause, LaneMetrics, LaneMetricsSnapshot, LaneState, RetiredRollup};
+use crate::overload::{
+    BrownoutLevel, BrownoutPolicy, BrownoutState, FeasibilityPolicy, WatchdogPolicy,
+};
 use crate::retry::RetryPolicy;
 use crate::ticket::{ServeError, Ticket, TicketShared};
 use bppsa_core::{
-    chain_matches_shape, BatchedBackward, BppsaOptions, JacobianChain, Mru, PlannedScan,
-    ScanElement,
+    chain_matches_shape, BatchedBackward, BppsaOptions, JacobianChain, MemoryBudget, Mru,
+    PlannedScan, ScanElement,
 };
 use bppsa_scan::global_pool;
 use bppsa_sparse::SparsityPattern;
 use bppsa_tensor::Scalar;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -133,6 +136,16 @@ pub struct ShedPolicy {
     /// refused earlier with [`SubmitError::LaneWarming`], which is not
     /// counted as a shed.
     pub min_warming_delay: Option<Duration>,
+    /// Deadline feasibility in steady state: refuse a request whose delay
+    /// budget the lane's own measured flush latency says cannot be met —
+    /// predicted wait (queue depth, batch width, EWMA flush latency, see
+    /// [`predicted_wait`](crate::predicted_wait)) strictly exceeding the
+    /// budget refuses with [`SubmitError::Infeasible`] (not counted as a
+    /// shed — [`LaneMetricsSnapshot::infeasible`] records it separately).
+    /// Inert until the lane has served
+    /// [`FeasibilityPolicy::min_flushes`] flushes, so a cold estimator
+    /// never refuses anything.
+    pub feasibility: Option<FeasibilityPolicy>,
 }
 
 impl ShedPolicy {
@@ -159,6 +172,21 @@ impl ShedPolicy {
     /// anti-monotone in `delay` (a shorter budget never un-sheds).
     pub fn sheds_on_warming_delay(&self, delay: Duration) -> bool {
         self.min_warming_delay.is_some_and(|min| delay < min)
+    }
+
+    /// Whether the feasibility threshold refuses a request with delay
+    /// budget `delay`, given the lane's flush-latency `estimate` (already
+    /// gated on the cold-start sample count — `None` never refuses). Pure;
+    /// delegates to [`FeasibilityPolicy::sheds`], exclusive boundary.
+    pub fn sheds_on_infeasibility(
+        &self,
+        queued: usize,
+        max_batch: usize,
+        estimate: Option<Duration>,
+        delay: Duration,
+    ) -> bool {
+        self.feasibility
+            .is_some_and(|p| p.sheds(queued, max_batch, estimate, delay))
     }
 
     /// The full shed decision for a blocking submit, as the lane's enqueue
@@ -299,6 +327,35 @@ pub struct ServeConfig {
     /// Fault-injection schedule (the disabled no-op by default — a single
     /// branch per injection point, nothing on the steady-state path).
     pub faults: FaultInjector,
+    /// Global memory budget shared by every lane's workspace pool (`None`
+    /// — the default — is unbudgeted). With a budget armed, pool growth
+    /// and warm-up prewarming reserve bytes against it: exhaustion makes
+    /// checkout fall back to blocking on already-owned workspaces instead
+    /// of allocating, and lane creation under exhaustion evicts the
+    /// least-recently-used lane (or refuses with
+    /// [`SubmitError::MemoryPressure`] when nothing is evictable) — a
+    /// shape storm can never allocate past the budget. Share one `Arc`
+    /// across services to bound a whole process.
+    pub memory: Option<Arc<MemoryBudget>>,
+    /// Flush-stall watchdog (`None` — the default — disables it). When
+    /// armed, a per-service supervisor thread polls every lane's published
+    /// in-flight flush and condemns any lane stuck in execution past the
+    /// stall budget: its assembled requests fail with
+    /// [`ServeError::FlushStalled`], its queue drains with
+    /// [`ServeError::LaneQuarantined`] (chains handed back), and the shape
+    /// quarantines for the breaker cool-down — no ticket ever hangs on a
+    /// wedged kernel. Off the hot path: the dispatcher's extra cost is one
+    /// mutex update per *flush*, not per request.
+    pub watchdog: Option<WatchdogPolicy>,
+    /// Brownout controller (`None` — the default — disables it). When
+    /// armed (the supervisor thread runs if either this or
+    /// [`watchdog`](Self::watchdog) is set), sustained overload — shed +
+    /// infeasible refusal rate, memory-budget utilization — steps each
+    /// lane down through [`BrownoutLevel`]s (skip segmentation, halve
+    /// batch width, decline cold shapes) with hysteresis, and back up on
+    /// recovery. The level is visible in
+    /// [`LaneMetricsSnapshot::brownout_level`].
+    pub brownout: Option<BrownoutPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -315,6 +372,9 @@ impl Default for ServeConfig {
             retry: RetryPolicy::default(),
             retired_metrics_cap: 256,
             faults: FaultInjector::disabled(),
+            memory: None,
+            watchdog: None,
+            brownout: None,
         }
     }
 }
@@ -327,6 +387,12 @@ impl ServeConfig {
         self.shed.validate();
         self.breaker.validate();
         self.retry.validate();
+        if let Some(watchdog) = self.watchdog {
+            watchdog.validate();
+        }
+        if let Some(brownout) = self.brownout {
+            brownout.validate();
+        }
     }
 
     fn workspace_capacity(&self) -> usize {
@@ -363,6 +429,19 @@ pub enum SubmitError<S> {
     /// the cool-down (e.g. via [`BppsaService::submit_retrying`]), or
     /// route the work elsewhere.
     Quarantined(JacobianChain<S>),
+    /// The lane's own measured flush latency says the request cannot meet
+    /// its delay budget (see [`ShedPolicy::feasibility`]): the predicted
+    /// queue wait already exceeds the deadline, so queueing it would only
+    /// burn a batch slot on a guaranteed miss. **Not transient** — an
+    /// immediate retry faces the same queue and the same estimate; retry
+    /// with a larger budget, or route elsewhere.
+    Infeasible(JacobianChain<S>),
+    /// The service is under memory pressure: the configured
+    /// [`MemoryBudget`] is exhausted and creating a lane for this (cold)
+    /// shape was refused — either nothing was evictable, or the brownout
+    /// controller is at [`BrownoutLevel::DeclineColdShapes`]. Transient —
+    /// pressure subsides as lanes retire and release their workspaces.
+    MemoryPressure(JacobianChain<S>),
 }
 
 /// The chain-free identity of a [`SubmitError`] — `Copy`, comparable, and
@@ -383,19 +462,28 @@ pub enum SubmitRefusal {
     Shed,
     /// See [`SubmitError::Quarantined`].
     Quarantined,
+    /// See [`SubmitError::Infeasible`].
+    Infeasible,
+    /// See [`SubmitError::MemoryPressure`].
+    MemoryPressure,
 }
 
 impl SubmitRefusal {
     /// Whether retrying can ever help: `true` for the transient refusals
     /// ([`Backpressure`](Self::Backpressure),
     /// [`LaneWarming`](Self::LaneWarming), [`Shed`](Self::Shed),
-    /// [`Quarantined`](Self::Quarantined)); `false` for
-    /// [`Shutdown`](Self::Shutdown) (permanent) and
-    /// [`TicketInFlight`](Self::TicketInFlight) (a caller bug).
+    /// [`Quarantined`](Self::Quarantined),
+    /// [`MemoryPressure`](Self::MemoryPressure)); `false` for
+    /// [`Shutdown`](Self::Shutdown) (permanent),
+    /// [`TicketInFlight`](Self::TicketInFlight) (a caller bug), and
+    /// [`Infeasible`](Self::Infeasible) — an immediate retry of an
+    /// infeasible request faces the same queue and the same latency
+    /// estimate, so backing off and resubmitting only deepens the
+    /// overload the refusal exists to relieve.
     pub fn is_transient(self) -> bool {
         !matches!(
             self,
-            SubmitRefusal::Shutdown | SubmitRefusal::TicketInFlight
+            SubmitRefusal::Shutdown | SubmitRefusal::TicketInFlight | SubmitRefusal::Infeasible
         )
     }
 }
@@ -415,6 +503,12 @@ impl std::fmt::Display for SubmitRefusal {
             SubmitRefusal::Quarantined => {
                 write!(f, "chain shape is quarantined by a tripped circuit breaker")
             }
+            SubmitRefusal::Infeasible => {
+                write!(f, "predicted queue wait exceeds the request's delay budget")
+            }
+            SubmitRefusal::MemoryPressure => {
+                write!(f, "memory budget exhausted; cold-shape lane refused")
+            }
         }
     }
 }
@@ -430,7 +524,9 @@ impl<S> SubmitError<S> {
             | SubmitError::TicketInFlight(c)
             | SubmitError::LaneWarming(c)
             | SubmitError::Shed(c)
-            | SubmitError::Quarantined(c) => c,
+            | SubmitError::Quarantined(c)
+            | SubmitError::Infeasible(c)
+            | SubmitError::MemoryPressure(c) => c,
         }
     }
 
@@ -443,6 +539,8 @@ impl<S> SubmitError<S> {
             SubmitError::LaneWarming(_) => SubmitRefusal::LaneWarming,
             SubmitError::Shed(_) => SubmitRefusal::Shed,
             SubmitError::Quarantined(_) => SubmitRefusal::Quarantined,
+            SubmitError::Infeasible(_) => SubmitRefusal::Infeasible,
+            SubmitError::MemoryPressure(_) => SubmitRefusal::MemoryPressure,
         }
     }
 }
@@ -654,6 +752,24 @@ enum PushRefusal {
     Warming,
     /// The shed policy refused the request.
     Shed,
+    /// The feasibility estimator refused the request (predicted wait
+    /// exceeds the delay budget).
+    Infeasible,
+}
+
+/// The flush currently inside [`BatchedBackward::execute`], published by
+/// the dispatcher for the stall watchdog. `active` is armed after batch
+/// assembly (before the `FlushTiming` injection point, so scripted stalls
+/// are watchdog-visible) and disarmed when the flush returns; the tickets
+/// travel with their flight tokens so a condemnation races safely against
+/// a late-waking dispatcher (exactly one side completes each ticket — see
+/// `TicketShared::finish_if`). The vector's capacity is reserved once at
+/// lane creation: arming is a truncate-and-extend into owned storage,
+/// allocation-free in the steady state.
+struct InFlight<S> {
+    tickets: Vec<(Arc<TicketShared<S>>, u64)>,
+    started: Instant,
+    active: bool,
 }
 
 struct Lane<S> {
@@ -683,6 +799,12 @@ struct Lane<S> {
     /// Whether this lane is a half-open probe for a quarantined shape.
     probe: bool,
     metrics: Arc<LaneMetrics>,
+    /// The watchdog declared this lane stalled and took its tickets over:
+    /// the dispatcher, should its wedged flush ever return, must exit
+    /// without completing tickets or clearing the quarantine.
+    condemned: AtomicBool,
+    /// The flush currently executing, for the watchdog (see [`InFlight`]).
+    inflight: Mutex<InFlight<S>>,
 }
 
 impl<S: Scalar> Lane<S> {
@@ -731,6 +853,12 @@ impl<S: Scalar> Lane<S> {
             book,
             probe,
             metrics,
+            condemned: AtomicBool::new(false),
+            inflight: Mutex::new(InFlight {
+                tickets: Vec::with_capacity(config.max_batch),
+                started: Instant::now(),
+                active: false,
+            }),
         }
     }
 }
@@ -786,6 +914,22 @@ impl<S> Lane<S> {
                         return Err((chain, PushRefusal::Shed));
                     }
                 }
+                // Feasibility last (it is the most speculative refusal):
+                // the lane's own EWMA flush latency predicts this request's
+                // queue wait; a predicted miss is refused up front instead
+                // of burning a batch slot on a guaranteed deadline miss.
+                // The estimate is `None` until the estimator has
+                // `min_flushes` samples — a cold lane never refuses on
+                // feasibility — so this costs one armed-policy branch plus
+                // two relaxed atomic loads, and nothing at all when the
+                // policy is off.
+                if let Some(policy) = self.shed.feasibility {
+                    let estimate = self.metrics.flush_estimate(policy.min_flushes);
+                    if policy.sheds(q.pending.len(), self.max_batch, estimate, delay) {
+                        self.metrics.record_infeasible();
+                        return Err((chain, PushRefusal::Infeasible));
+                    }
+                }
             }
             if q.pending.len() < self.queue_cap {
                 break;
@@ -830,6 +974,32 @@ impl<S> Lane<S> {
         drop(q);
         self.metrics.record_failed_drain();
         self.space.notify_all();
+    }
+
+    /// Watchdog takeover of a stalled lane (supervisor thread only): fails
+    /// the published in-flight tickets with [`ServeError::FlushStalled`]
+    /// (no chain handed back — the chains are captive in the wedged
+    /// execution), drains the queue with [`ServeError::LaneQuarantined`]
+    /// (those chains *are* handed back), and quarantines the shape for the
+    /// breaker cool-down so recovery goes through the usual half-open
+    /// probe. The token-guarded `finish_if` makes the race against a
+    /// late-waking dispatcher safe: exactly one side completes each
+    /// ticket, and the condemned flag stops the dispatcher from clearing
+    /// the quarantine its wedged flush never earned.
+    fn condemn_stalled(&self, now: Instant) {
+        self.condemned.store(true, Ordering::Release);
+        let mut inflight = lock(&self.inflight);
+        if inflight.active {
+            inflight.active = false;
+            for (ticket, token) in inflight.tickets.drain(..) {
+                ticket.finish_if(token, None, Some(ServeError::FlushStalled));
+            }
+        }
+        drop(inflight);
+        self.book.trip(&self.shape, self.cooldown, now);
+        self.metrics.record_stalled();
+        self.metrics.mark_quarantined();
+        self.fail_queue(ServeError::LaneQuarantined);
     }
 }
 
@@ -889,12 +1059,26 @@ fn warm_up<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) -> bool {
         // the Warming window deterministically.
         lane.faults
             .fire(InjectionPoint::PlanBuild { lane: lane.lane_id });
-        let plan = Arc::new(PlannedScan::plan(
-            &template,
-            lane_plan_options(template.num_layers()),
-        ));
+        // Brownout at `NoSegmentation` or deeper plans this lane serial:
+        // segment-parallel execution multiplies per-workspace footprint
+        // and worker-pool contention — exactly what a pressured service
+        // wants less of. (The level was seeded from the service-wide
+        // brownout at lane creation; a lane created calm keeps its
+        // segmented plan even if pressure arrives later — replanning is
+        // the costlier evil.)
+        let options = if lane.metrics.brownout() >= BrownoutLevel::NoSegmentation {
+            BppsaOptions::serial()
+        } else {
+            lane_plan_options(template.num_layers())
+        };
+        let plan = Arc::new(PlannedScan::plan(&template, options));
         let capacity = config.workspace_capacity();
-        let batched = BatchedBackward::with_capacity(plan, capacity);
+        // A configured memory budget makes pool growth a *reservation*:
+        // prewarming stops at the budget (best effort) and steady-state
+        // checkout falls back to blocking on already-owned workspaces
+        // instead of allocating past it.
+        let batched =
+            BatchedBackward::with_capacity_budgeted(plan, capacity, config.memory.clone());
         batched.prewarm(config.max_batch.min(capacity));
         batched
     }));
@@ -1000,6 +1184,12 @@ struct Supervisor<'a, S: Scalar> {
     lane: &'a Lane<S>,
     chains: Vec<JacobianChain<S>>,
     tickets: Vec<Arc<TicketShared<S>>>,
+    /// Flight tokens captured at assembly, parallel to `tickets`: every
+    /// completion below goes through the token-guarded
+    /// `finish_if`/`stage_if` so a watchdog takeover of a stalled flush
+    /// can never double-complete (or cross-complete a newer flight of) a
+    /// ticket this scratch still holds.
+    tokens: Vec<u64>,
     deadlines: Vec<Instant>,
 }
 
@@ -1009,6 +1199,7 @@ impl<'a, S: Scalar> Supervisor<'a, S> {
             lane,
             chains: Vec::with_capacity(lane.max_batch),
             tickets: Vec::with_capacity(lane.max_batch),
+            tokens: Vec::with_capacity(lane.max_batch),
             deadlines: Vec::with_capacity(lane.max_batch),
         }
     }
@@ -1029,8 +1220,17 @@ impl<S: Scalar> Drop for Supervisor<'_, S> {
             self.lane.fail_queue(ServeError::LaneDied);
             self.lane.metrics.mark_retired();
             self.deadlines.clear();
-            for (chain, ticket) in self.chains.drain(..).zip(self.tickets.drain(..)) {
-                ticket.finish(chain, Some(ServeError::LaneDied));
+            for ((chain, ticket), token) in self
+                .chains
+                .drain(..)
+                .zip(self.tickets.drain(..))
+                .zip(self.tokens.drain(..))
+            {
+                // Token-guarded: if the watchdog already condemned this
+                // flush (stall, then the injected panic killed the woken
+                // dispatcher), its tickets are complete and must not be
+                // re-finished.
+                ticket.finish_if(token, Some(chain), Some(ServeError::LaneDied));
             }
         }
         self.lane.book.abort_probe(&self.lane.shape);
@@ -1054,11 +1254,15 @@ fn dispatcher_loop<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) {
         return;
     }
     let batched = lane.batched.get().expect("warm-up published the executor");
-    let max_batch = lane.max_batch;
     // Counts assembled batches; scripted `BatchExecute`/`FlushTiming` rules
     // index flushes by this (assembly order), not by executed batches.
     let mut flush_idx: u64 = 0;
     loop {
+        // One relaxed load per *flush cycle*, not per request: under
+        // brownout the effective batch width halves (min 1) at
+        // `HalfBatch` and above, trading throughput for queue drain —
+        // smaller flushes return workspaces and queue room sooner.
+        let max_batch = lane.metrics.brownout().effective_max_batch(lane.max_batch);
         let cause;
         let depth_after;
         {
@@ -1097,6 +1301,7 @@ fn dispatcher_loop<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) {
             };
             for _ in 0..q.pending.len().min(max_batch) {
                 let req = q.pending.pop_front().expect("counted above");
+                sup.tokens.push(req.ticket.flight_token());
                 sup.chains.push(req.chain);
                 sup.tickets.push(req.ticket);
                 sup.deadlines.push(req.deadline);
@@ -1104,10 +1309,28 @@ fn dispatcher_loop<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) {
             depth_after = q.pending.len();
         }
         lane.space.notify_all();
+        // Publish the assembled flush for the stall watchdog *before* the
+        // FlushTiming injection point: a scripted stall below is exactly
+        // the wedged-execution failure the watchdog exists to catch, so it
+        // must already be visible. One short mutex section per flush, into
+        // capacity reserved at lane creation — nothing per request, no
+        // allocation.
+        {
+            let mut inflight = lock(&lane.inflight);
+            inflight.tickets.clear();
+            inflight
+                .tickets
+                .extend(sup.tickets.iter().cloned().zip(sup.tokens.iter().copied()));
+            inflight.started = Instant::now();
+            inflight.active = true;
+        }
+        lane.metrics.tick_heartbeat();
+        let flush_started = Instant::now();
         // Injection point, deliberately *outside* any catch_unwind: a stall
-        // here ages the assembled batch (the hard-deadline test vector); a
-        // panic kills the dispatcher mid-flight with the batch scratch
-        // populated, exercising the supervisor's `LaneDied` drain.
+        // here ages the assembled batch (the hard-deadline test vector, and
+        // the watchdog's scripted-stall vector); a panic kills the
+        // dispatcher mid-flight with the batch scratch populated,
+        // exercising the supervisor's `LaneDied` drain.
         lane.faults.fire(InjectionPoint::FlushTiming {
             lane: lane.lane_id,
             flush: flush_idx,
@@ -1128,6 +1351,7 @@ fn dispatcher_loop<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) {
                     keep -= 1;
                     sup.chains.swap(i, keep);
                     sup.tickets.swap(i, keep);
+                    sup.tokens.swap(i, keep);
                     sup.deadlines.swap(i, keep);
                 } else {
                     i += 1;
@@ -1140,23 +1364,48 @@ fn dispatcher_loop<S: Scalar>(lane: &Lane<S>, config: &ServeConfig) {
                 for _ in 0..expired {
                     let chain = sup.chains.pop().expect("counted above");
                     let ticket = sup.tickets.pop().expect("counted above");
+                    let token = sup.tokens.pop().expect("counted above");
                     sup.deadlines.pop();
-                    ticket.finish(chain, Some(ServeError::DeadlineExceeded));
+                    ticket.finish_if(token, Some(chain), Some(ServeError::DeadlineExceeded));
                 }
             }
         }
         sup.deadlines.clear();
-        if !sup.chains.is_empty() {
+        let executed = !sup.chains.is_empty();
+        if executed {
             lane.metrics
                 .record_flush(cause, sup.chains.len(), depth_after);
-            let tripped = flush(batched, lane, flush_idx, &mut sup.chains, &mut sup.tickets);
+            let tripped = flush(
+                batched,
+                lane,
+                flush_idx,
+                &mut sup.chains,
+                &mut sup.tickets,
+                &mut sup.tokens,
+            );
             if tripped {
-                // The breaker quarantined the shape: `flush` already failed
-                // the queue, and `Quarantined` is sticky against any later
-                // `mark_retired` (the state must outlive the lane so
-                // `metrics()` reports the trip).
+                // The breaker (or the stall watchdog, mid-flush) already
+                // quarantined the shape and failed the queue; `Quarantined`
+                // is sticky against any later `mark_retired` (the state
+                // must outlive the lane so `metrics()` reports the trip).
+                // Disarm before exiting so the watchdog never re-condemns
+                // a flush that already resolved.
+                lock(&lane.inflight).active = false;
                 return;
             }
+        }
+        // Disarm the watchdog publication and feed the feasibility
+        // estimator. The latency sample spans injection + deadline pruning
+        // + execution — everything between "batch assembled" and "tickets
+        // complete", which is exactly what a queued request waits behind.
+        {
+            let mut inflight = lock(&lane.inflight);
+            inflight.active = false;
+            inflight.tickets.clear();
+        }
+        lane.metrics.tick_heartbeat();
+        if executed {
+            lane.metrics.record_flush_latency(flush_started.elapsed());
         }
         flush_idx += 1;
     }
@@ -1183,6 +1432,7 @@ fn flush<S: Scalar>(
     flush_idx: u64,
     chains: &mut Vec<JacobianChain<S>>,
     tickets: &mut Vec<Arc<TicketShared<S>>>,
+    tokens: &mut Vec<u64>,
 ) -> bool {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         // Injection point: indistinguishable from a kernel panic to
@@ -1191,11 +1441,25 @@ fn flush<S: Scalar>(
             lane: lane.lane_id,
             flush: flush_idx,
         });
-        batched.execute(chains, &|i, result| tickets[i].stage(result));
+        batched.execute(chains, &|i, result| tickets[i].stage_if(tokens[i], result));
     }));
     let failure = outcome.is_err().then_some(ServeError::BatchPanicked);
-    for (chain, ticket) in chains.drain(..).zip(tickets.drain(..)) {
-        ticket.finish(chain, failure);
+    for ((chain, ticket), token) in chains
+        .drain(..)
+        .zip(tickets.drain(..))
+        .zip(tokens.drain(..))
+    {
+        // Token-guarded: no-ops on tickets a watchdog condemnation already
+        // failed while this flush sat stalled.
+        ticket.finish_if(token, Some(chain), failure);
+    }
+    if lane.condemned.load(Ordering::Acquire) {
+        // The stall watchdog took this lane over while the flush above sat
+        // wedged: its tickets are already failed, its queue drained, its
+        // shape quarantined. Exit without recording a success and — above
+        // all — without letting a probe lane's late success clear the
+        // quarantine its stall just earned.
+        return true;
     }
     if outcome.is_ok() {
         lane.metrics.record_batch_success();
@@ -1217,6 +1481,133 @@ fn flush<S: Scalar>(
         return true;
     }
     false
+}
+
+/// Supervisor poll cadence when only the brownout controller is armed
+/// (with a watchdog, its [`WatchdogPolicy::poll_interval`] wins — the
+/// stall budget needs the tighter clock).
+const BROWNOUT_POLL: Duration = Duration::from_millis(100);
+
+/// Per-lane brownout bookkeeping held by the supervisor thread: the
+/// hysteresis state machine plus the counter values at the previous poll
+/// (the controller works on *deltas* — pressure is a rate, not a total).
+struct LanePressure {
+    lane_id: usize,
+    state: BrownoutState,
+    last_refused: u64,
+    last_attempts: u64,
+}
+
+/// The overload supervisor: one thread per service (spawned lazily with
+/// the first lane, only when [`ServeConfig::watchdog`] or
+/// [`ServeConfig::brownout`] is armed), entirely off the submit/flush hot
+/// path. Each poll it snapshots the live lanes under the router lock (an
+/// `Arc` copy into scratch whose capacity is reserved once — the
+/// steady-state poll allocates nothing), then:
+///
+/// - **watchdog**: any lane whose published in-flight flush has been
+///   executing past the stall budget is condemned ([`Lane::condemn_stalled`]
+///   — tickets fail typed, queue drains, shape quarantines);
+/// - **brownout**: each lane's refusal-rate delta plus the memory budget's
+///   utilization feed the [`BrownoutState`] hysteresis machine; the
+///   resulting level is mirrored into the lane's metrics (where the
+///   dispatcher reads it) and the maximum across lanes is published
+///   service-wide (where the cold-shape decline reads it).
+fn supervisor_loop<S: Scalar>(shared: &ServiceShared<S>) {
+    let poll = shared
+        .config
+        .watchdog
+        .map(|w| w.poll_interval)
+        .unwrap_or(BROWNOUT_POLL);
+    let max_lanes = shared.config.max_lanes;
+    let mut lanes: Vec<Arc<Lane<S>>> = Vec::with_capacity(max_lanes);
+    // Live lanes never exceed `max_lanes`, and stale trackers are pruned
+    // every poll, so neither scratch ever outgrows its capacity.
+    let mut trackers: Vec<LanePressure> = Vec::with_capacity(max_lanes);
+    loop {
+        {
+            let (stopped, wake) = &*shared.stop;
+            let mut guard = stopped.lock().unwrap_or_else(PoisonError::into_inner);
+            if !*guard {
+                guard = wake
+                    .wait_timeout(guard, poll)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+            if *guard {
+                return;
+            }
+        }
+        lanes.clear();
+        {
+            let router = lock(&shared.router);
+            // `iter` (not `find`) so supervision never perturbs MRU order.
+            for lane in router.lanes.iter() {
+                lanes.push(Arc::clone(lane));
+            }
+        }
+        let now = Instant::now();
+        if let Some(watchdog) = shared.config.watchdog {
+            for lane in &lanes {
+                if lane.condemned.load(Ordering::Acquire) {
+                    continue;
+                }
+                let stalled = {
+                    let inflight = lock(&lane.inflight);
+                    inflight.active
+                        && watchdog.is_stalled(now.saturating_duration_since(inflight.started))
+                };
+                if stalled {
+                    lane.condemn_stalled(now);
+                }
+            }
+        }
+        if let Some(policy) = shared.config.brownout {
+            let utilization = shared.config.memory.as_ref().map(|budget| {
+                if budget.limit() == 0 {
+                    1.0
+                } else {
+                    budget.reserved() as f64 / budget.limit() as f64
+                }
+            });
+            trackers.retain(|t| lanes.iter().any(|l| l.lane_id == t.lane_id));
+            let mut service_level = BrownoutLevel::Normal;
+            for lane in &lanes {
+                let tracker = match trackers.iter_mut().find(|t| t.lane_id == lane.lane_id) {
+                    Some(t) => t,
+                    None => {
+                        // Seed the delta baseline at the lane's *current*
+                        // counters: traffic before supervision started
+                        // (or before this lane was first seen) is not a
+                        // rate this poll observed.
+                        trackers.push(LanePressure {
+                            lane_id: lane.lane_id,
+                            state: BrownoutState::default(),
+                            last_refused: lane.metrics.overload_refusals(),
+                            last_attempts: lane.metrics.overload_attempts(),
+                        });
+                        trackers.last_mut().expect("just pushed")
+                    }
+                };
+                let refused = lane.metrics.overload_refusals();
+                let attempts = lane.metrics.overload_attempts();
+                let signal = policy.signal(
+                    refused.saturating_sub(tracker.last_refused),
+                    attempts.saturating_sub(tracker.last_attempts),
+                    utilization,
+                );
+                tracker.last_refused = refused;
+                tracker.last_attempts = attempts;
+                let level = tracker.state.observe(signal, &policy);
+                lane.metrics.set_brownout(level);
+                service_level = service_level.max(level);
+            }
+            shared
+                .pressure
+                .brownout
+                .store(service_level as u8, Ordering::Relaxed);
+        }
+    }
 }
 
 struct Router<S> {
@@ -1276,6 +1667,19 @@ impl<S> Router<S> {
     }
 }
 
+/// Service-wide overload state: written by the supervisor thread, read on
+/// the cold-shape routing path and by the observability accessors. All
+/// relaxed — these are pressure signals, not synchronization.
+struct PressureShared {
+    /// Maximum [`BrownoutLevel`] across live lanes, as `u8`.
+    brownout: AtomicU8,
+    /// Submits refused with [`SubmitError::MemoryPressure`]. Laneless by
+    /// nature (the refusal happens *instead of* creating a lane), so it is
+    /// counted here, not in any lane's metrics, and never folds into the
+    /// [`RetiredRollup`].
+    memory_refused: AtomicU64,
+}
+
 struct ServiceShared<S> {
     config: ServeConfig,
     /// Shape-keyed quarantine, shared with every lane (lanes trip/clear it
@@ -1284,6 +1688,14 @@ struct ServiceShared<S> {
     /// miss path, never the other way around.
     book: Arc<QuarantineBook>,
     router: Mutex<Router<S>>,
+    pressure: PressureShared,
+    /// The overload supervisor thread (watchdog + brownout controller),
+    /// spawned lazily on the first lane creation when either policy is
+    /// armed; `None` forever otherwise. Joined at shutdown.
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+    /// Stop signal for the supervisor: flag + condvar so shutdown
+    /// interrupts a sleeping poll immediately instead of waiting it out.
+    stop: Arc<(Mutex<bool>, Condvar)>,
 }
 
 /// Why [`BppsaService::route`] refused to produce a lane.
@@ -1293,6 +1705,9 @@ enum RouteRefusal {
     /// The chain's shape is quarantined and its cool-down has not elapsed
     /// (or another request already holds the half-open probe slot).
     Quarantined,
+    /// The memory budget is exhausted with nothing evictable, or the
+    /// brownout controller is declining cold shapes.
+    MemoryPressure,
 }
 
 /// A deadline micro-batching front door over [`BatchedBackward`]: accepts
@@ -1365,6 +1780,12 @@ impl<S> BppsaService<S> {
                     open: true,
                     lanes_created: 0,
                 }),
+                pressure: PressureShared {
+                    brownout: AtomicU8::new(BrownoutLevel::Normal as u8),
+                    memory_refused: AtomicU64::new(0),
+                },
+                supervisor: Mutex::new(None),
+                stop: Arc::new((Mutex::new(false), Condvar::new())),
             }),
         }
     }
@@ -1426,6 +1847,23 @@ impl<S> BppsaService<S> {
         self.shared.book.len()
     }
 
+    /// How many submissions were refused with
+    /// [`SubmitError::MemoryPressure`] (memory budget exhausted with
+    /// nothing evictable, or brownout declining cold shapes). Laneless —
+    /// these refusals happen *instead of* creating a lane, so they appear
+    /// here rather than in any lane's metrics or the retired rollup.
+    pub fn memory_refusals(&self) -> u64 {
+        self.shared.pressure.memory_refused.load(Ordering::Relaxed)
+    }
+
+    /// The service-wide brownout level: the maximum across live lanes, as
+    /// last published by the supervisor thread.
+    /// [`BrownoutLevel::Normal`] whenever [`ServeConfig::brownout`] is
+    /// disabled.
+    pub fn brownout_level(&self) -> BrownoutLevel {
+        BrownoutLevel::from_u8(self.shared.pressure.brownout.load(Ordering::Relaxed))
+    }
+
     /// Gracefully shuts the service down: refuses new submissions, closes
     /// every lane, and joins the dispatchers — each drains its pending
     /// queue first, so **every accepted request completes** and every
@@ -1443,6 +1881,15 @@ impl<S> BppsaService<S> {
         for handle in handles {
             // A dispatcher can only terminate by draining; a panic would be
             // a bug, but shutdown must still reap the remaining threads.
+            let _ = handle.join();
+        }
+        // Stop the overload supervisor last: it must be able to condemn a
+        // stalled lane right up until that lane's dispatcher is joined.
+        let supervisor = lock(&self.shared.supervisor).take();
+        if let Some(handle) = supervisor {
+            let (stopped, wake) = &*self.shared.stop;
+            *stopped.lock().unwrap_or_else(PoisonError::into_inner) = true;
+            wake.notify_all();
             let _ = handle.join();
         }
     }
@@ -1550,6 +1997,10 @@ impl<S: Scalar> BppsaService<S> {
                     shared.abort_flight();
                     return Err(SubmitError::Quarantined(chain));
                 }
+                Err(RouteRefusal::MemoryPressure) => {
+                    shared.abort_flight();
+                    return Err(SubmitError::MemoryPressure(chain));
+                }
             };
             match lane.push(chain, deadline, delay, Arc::clone(&shared), block, created) {
                 Ok(()) => return Ok(()),
@@ -1569,6 +2020,10 @@ impl<S: Scalar> BppsaService<S> {
                 Err((c, PushRefusal::Shed)) => {
                     shared.abort_flight();
                     return Err(SubmitError::Shed(c));
+                }
+                Err((c, PushRefusal::Infeasible)) => {
+                    shared.abort_flight();
+                    return Err(SubmitError::Infeasible(c));
                 }
             }
         }
@@ -1612,6 +2067,19 @@ impl<S: Scalar> BppsaService<S> {
         // a forever-parked dispatcher, an existing lane. The submitter's
         // `FlightGuard` returns its ticket to idle across the unwind.
         let shape = LaneShape::of(chain);
+        // Deepest brownout level: a browned-out service serves the shapes
+        // it already has plans and workspaces for, and declines to pay a
+        // cold shape's planning + pool cost. Checked before the quarantine
+        // gate so a refusal can never leak a half-open probe slot.
+        let service_level =
+            BrownoutLevel::from_u8(self.shared.pressure.brownout.load(Ordering::Relaxed));
+        if service_level >= BrownoutLevel::DeclineColdShapes {
+            self.shared
+                .pressure
+                .memory_refused
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(RouteRefusal::MemoryPressure);
+        }
         // Quarantine gate, also only on the miss path: a hit proves the
         // shape is not quarantined (a trip marks its lane Quarantined, and
         // the purge above removed any such lane before the find). A
@@ -1626,6 +2094,37 @@ impl<S: Scalar> BppsaService<S> {
         // housekeeping here (reap exited dispatchers, bound the metrics
         // registry) instead of on the per-request fast path.
         router.reap_and_compact(self.shared.config.retired_metrics_cap);
+        // Memory-budget admission: with the budget exhausted, a new lane's
+        // warm-up could not prewarm a single workspace — it would park on
+        // the budget while holding the shape's traffic. Evict the
+        // least-recently-used lane instead (its drain returns its pool's
+        // reservation), and refuse outright only when there is nothing to
+        // evict: the budget is consumed outside this service's lanes, and
+        // admitting the shape would just move the stall into warm-up.
+        let mut budget_evicted = None;
+        if self
+            .shared
+            .config
+            .memory
+            .as_ref()
+            .is_some_and(|budget| budget.exhausted())
+        {
+            match router.lanes.pop_lru(|_| true) {
+                Some(coldest) => budget_evicted = Some(coldest),
+                None => {
+                    if probe {
+                        // Hand the half-open slot back: this refusal said
+                        // nothing about the shape's health.
+                        self.shared.book.abort_probe(&shape);
+                    }
+                    self.shared
+                        .pressure
+                        .memory_refused
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(RouteRefusal::MemoryPressure);
+                }
+            }
+        }
         let config = self.shared.config.clone();
         let id = router.lanes_created;
         let lane = Arc::new(Lane::placeholder(
@@ -1635,6 +2134,10 @@ impl<S: Scalar> BppsaService<S> {
             probe,
             Arc::clone(&self.shared.book),
         ));
+        // Seed the new lane's brownout level from the service-wide one so
+        // its warm-up plans under the pressure that exists *now* (a calm
+        // supervisor poll later steps it back up).
+        lane.metrics.set_brownout(service_level);
         let (_, inserted, evicted) = router
             .lanes
             .find_or_insert_with_evicted(|_| false, || Arc::clone(&lane));
@@ -1650,12 +2153,45 @@ impl<S: Scalar> BppsaService<S> {
             router.handles.push(handle);
         }
         drop(router);
+        self.ensure_supervisor();
         if let Some(evicted) = evicted {
             // Outside the router lock: the evicted lane drains its pending
             // requests in the background and its dispatcher retires.
             evicted.close();
         }
+        if let Some(evicted) = budget_evicted {
+            evicted.close();
+        }
         Ok((lane, true))
+    }
+
+    /// Spawns the overload supervisor thread on the first lane creation,
+    /// if (and only if) a watchdog or brownout policy is armed. Lane
+    /// creation is already the slow path, and lazy spawning keeps a
+    /// never-submitted-to service thread-free.
+    fn ensure_supervisor(&self) {
+        if self.shared.config.watchdog.is_none() && self.shared.config.brownout.is_none() {
+            return;
+        }
+        let mut slot = lock(&self.shared.supervisor);
+        if slot.is_some() {
+            return;
+        }
+        if *self
+            .shared
+            .stop
+            .0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            return; // shut down already; never resurrect the thread
+        }
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name("bppsa-serve-supervisor".into())
+            .spawn(move || supervisor_loop(&shared))
+            .expect("spawn serve overload supervisor");
+        *slot = Some(handle);
     }
 
     /// [`BppsaService::submit`] wrapped in the configured
@@ -2088,6 +2624,7 @@ mod tests {
             shed: ShedPolicy {
                 max_queue_depth: Some(1),
                 min_warming_delay: None,
+                feasibility: None,
             },
             ..ServeConfig::default()
         });
@@ -2265,6 +2802,7 @@ mod tests {
         config.shed = ShedPolicy {
             max_queue_depth: Some(1),
             min_warming_delay: None,
+            feasibility: None,
         };
         let service = BppsaService::<f64>::new(config);
         let template = sparse_chain(4, 6, 120);

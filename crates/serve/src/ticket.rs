@@ -52,6 +52,18 @@ pub enum ServeError {
     /// with a larger delay budget if late results are acceptable, or switch
     /// to [`DeadlinePolicy::Soft`](crate::DeadlinePolicy::Soft).
     DeadlineExceeded,
+    /// The stall watchdog
+    /// ([`WatchdogPolicy`](crate::WatchdogPolicy)) found the lane's flush
+    /// stuck inside execution past its stall budget and failed the lane:
+    /// requests already assembled into the stalled flush resolve with this
+    /// error **without their chain handed back** (the chain is captive
+    /// inside the stuck execution — do not call
+    /// [`Ticket::take_chain`] after it; rebuild the chain instead), while
+    /// requests still queued fail with chains returned. The lane is
+    /// quarantined exactly as a circuit-breaker trip would
+    /// ([`LaneState::Quarantined`](crate::LaneState::Quarantined)) and
+    /// recovers through the same half-open probe.
+    FlushStalled,
 }
 
 impl std::fmt::Display for ServeError {
@@ -71,6 +83,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::DeadlineExceeded => {
                 write!(f, "request deadline expired before its batch flushed")
+            }
+            ServeError::FlushStalled => {
+                write!(f, "the lane's flush stalled past its watchdog budget")
             }
         }
     }
@@ -96,6 +111,13 @@ pub(crate) struct TicketShared<S> {
 
 struct TicketInner<S> {
     phase: Phase,
+    /// Monotonic flight generation, bumped by every `begin_flight`. Guarded
+    /// completion (`finish_if` / `stage_if`) carries the generation it was
+    /// assembled under and no-ops when it no longer matches — so a stalled
+    /// dispatcher waking up after the watchdog already failed (and the
+    /// client possibly resubmitted) its tickets cannot corrupt a newer
+    /// flight.
+    flight: u64,
     /// `Some` exactly when `phase == Done`.
     outcome: Option<Result<(), ServeError>>,
     /// Whether the in-flight request's execution completed (its result was
@@ -122,9 +144,17 @@ impl<S> TicketShared<S> {
             return false;
         }
         inner.phase = Phase::Pending;
+        inner.flight = inner.flight.wrapping_add(1);
         inner.outcome = None;
         inner.staged = false;
         true
+    }
+
+    /// The current flight generation — captured at batch assembly and
+    /// passed back through [`TicketShared::finish_if`] /
+    /// [`TicketShared::stage_if`].
+    pub(crate) fn flight_token(&self) -> u64 {
+        self.lock().flight
     }
 
     /// Rolls a [`TicketShared::begin_flight`] back after a refused submit.
@@ -142,15 +172,47 @@ impl<S> TicketShared<S> {
     pub(crate) fn finish(&self, chain: JacobianChain<S>, failure: Option<ServeError>) {
         let mut inner = self.lock();
         debug_assert_eq!(inner.phase, Phase::Pending);
+        Self::complete(&mut inner, Some(chain), failure);
+        drop(inner);
+        self.done.notify_all();
+    }
+
+    /// Guarded [`TicketShared::finish`]: completes the flight only if it is
+    /// still pending *and* still generation `token`; returns whether it
+    /// did. `chain: None` completes without handing a chain back (the
+    /// watchdog takeover path — the chain is captive in a stalled
+    /// execution). Safe to race: exactly one of the competing completers
+    /// (watchdog vs. woken dispatcher) observes the matching generation.
+    pub(crate) fn finish_if(
+        &self,
+        token: u64,
+        chain: Option<JacobianChain<S>>,
+        failure: Option<ServeError>,
+    ) -> bool {
+        let mut inner = self.lock();
+        if inner.phase != Phase::Pending || inner.flight != token {
+            return false;
+        }
+        Self::complete(&mut inner, chain, failure);
+        drop(inner);
+        self.done.notify_all();
+        true
+    }
+
+    fn complete(
+        inner: &mut TicketInner<S>,
+        chain: Option<JacobianChain<S>>,
+        failure: Option<ServeError>,
+    ) {
         inner.outcome = Some(match failure {
             None => Ok(()),
             Some(ServeError::BatchPanicked) if inner.staged => Ok(()),
             Some(err) => Err(err),
         });
-        inner.chain = Some(chain);
+        if let Some(chain) = chain {
+            inner.chain = Some(chain);
+        }
         inner.phase = Phase::Done;
-        drop(inner);
-        self.done.notify_all();
     }
 }
 
@@ -159,8 +221,24 @@ impl<S: Scalar> TicketShared<S> {
     /// the executing workspace is still checked out). Reuses the ticket's
     /// result buffer when shapes match — allocation-free in the steady
     /// state.
+    #[cfg(test)]
     pub(crate) fn stage(&self, result: &BackwardResult<S>) {
         let mut inner = self.lock();
+        Self::stage_inner(&mut inner, result);
+    }
+
+    /// Guarded [`TicketShared::stage`]: stages only while the flight is
+    /// still pending generation `token` — a stalled execution waking after
+    /// watchdog takeover must not overwrite a newer flight's result.
+    pub(crate) fn stage_if(&self, token: u64, result: &BackwardResult<S>) {
+        let mut inner = self.lock();
+        if inner.phase != Phase::Pending || inner.flight != token {
+            return;
+        }
+        Self::stage_inner(&mut inner, result);
+    }
+
+    fn stage_inner(inner: &mut TicketInner<S>, result: &BackwardResult<S>) {
         match &mut inner.result {
             Some(dst)
                 if dst.grads().len() == result.grads().len()
@@ -223,6 +301,7 @@ impl<S> Ticket<S> {
             shared: Arc::new(TicketShared {
                 inner: Mutex::new(TicketInner {
                     phase: Phase::Idle,
+                    flight: 0,
                     outcome: None,
                     staged: false,
                     result: None,
@@ -497,6 +576,69 @@ mod tests {
             assert_eq!(ticket.wait(), Err(err));
             let _ = ticket.take_chain();
         }
+    }
+
+    #[test]
+    fn guarded_finish_races_resolve_to_exactly_one_winner() {
+        let ticket = Ticket::<f64>::new();
+        let shared = ticket.shared();
+        assert!(shared.begin_flight());
+        let token = shared.flight_token();
+        // Watchdog takeover: completes without a chain.
+        assert!(shared.finish_if(token, None, Some(ServeError::FlushStalled)));
+        // The stalled dispatcher waking up loses the race cleanly.
+        assert!(!shared.finish_if(token, Some(tiny_chain(1.0)), None));
+        assert_eq!(ticket.wait(), Err(ServeError::FlushStalled));
+    }
+
+    #[test]
+    fn stale_generation_cannot_touch_a_newer_flight() {
+        let ticket = Ticket::<f64>::new();
+        let shared = ticket.shared();
+        assert!(shared.begin_flight());
+        let stale = shared.flight_token();
+        shared.finish_if(stale, None, Some(ServeError::FlushStalled));
+        assert_eq!(ticket.wait(), Err(ServeError::FlushStalled));
+
+        // Client resubmits: a new generation begins.
+        assert!(shared.begin_flight());
+        let fresh = shared.flight_token();
+        assert_ne!(stale, fresh);
+
+        // The old execution finally completes — and must be ignored.
+        shared.stage_if(
+            stale,
+            &BackwardResult::from_grads(vec![Vector::from_vec(vec![9.0])]),
+        );
+        assert!(!shared.finish_if(stale, Some(tiny_chain(7.0)), None));
+        assert!(!ticket.is_done(), "stale completion must not finish fresh");
+
+        // The fresh flight completes normally.
+        shared.stage_if(
+            fresh,
+            &BackwardResult::from_grads(vec![Vector::from_vec(vec![1.0, 2.0])]),
+        );
+        assert!(shared.finish_if(fresh, Some(tiny_chain(3.0)), None));
+        assert_eq!(ticket.wait(), Ok(()));
+        assert_eq!(
+            ticket.with_result(|r| r.grad_x(1).as_slice().to_vec()),
+            vec![1.0, 2.0],
+            "stale stage must not have leaked into the fresh result"
+        );
+        assert_eq!(ticket.take_chain().seed().as_slice(), &[3.0, -3.0]);
+    }
+
+    #[test]
+    fn stalled_takeover_leaves_no_chain_behind() {
+        let ticket = Ticket::<f64>::new();
+        let shared = ticket.shared();
+        assert!(shared.begin_flight());
+        let token = shared.flight_token();
+        assert!(shared.finish_if(token, None, Some(ServeError::FlushStalled)));
+        assert_eq!(ticket.wait(), Err(ServeError::FlushStalled));
+        // Documented: the chain is captive in the stalled execution.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.take_chain()));
+        assert!(result.is_err(), "take_chain after FlushStalled must panic");
     }
 
     #[test]

@@ -120,13 +120,34 @@ fn sparse_chain_like(template: &JacobianChain<f64>, seed: u64) -> JacobianChain<
 #[test]
 fn steady_state_served_requests_are_allocation_free() {
     const BATCH: usize = 4;
+    // The entire overload-robustness stack is armed — feasibility gate,
+    // global memory budget, stall watchdog, brownout supervision — and the
+    // steady state must *still* be allocation-free: the gate is two atomic
+    // loads per push, budget accounting only charges on pool growth (all
+    // during warm-up), and the supervisor thread polls into scratch whose
+    // capacity is reserved at spawn. The policies are sized to never
+    // actually fire here (µs flushes against ms budgets); what's counted
+    // is their always-on bookkeeping cost.
+    let budget = std::sync::Arc::new(bppsa_serve::MemoryBudget::new(1 << 30));
     let service = BppsaService::<f64>::new(ServeConfig {
         max_batch: BATCH,
-        max_delay: Duration::from_micros(200),
+        // Generous delay budget: full batches still flush immediately at
+        // max_batch; the slack only keeps the (armed) feasibility gate
+        // from refusing µs-scale flushes on a slow machine.
+        max_delay: Duration::from_millis(10),
         queue_cap: 16,
         max_lanes: 2,
         workspaces_per_lane: 0,
-        shed: bppsa_serve::ShedPolicy::disabled(),
+        shed: bppsa_serve::ShedPolicy {
+            feasibility: Some(bppsa_serve::FeasibilityPolicy { min_flushes: 2 }),
+            ..bppsa_serve::ShedPolicy::disabled()
+        },
+        memory: Some(std::sync::Arc::clone(&budget)),
+        watchdog: Some(bppsa_serve::WatchdogPolicy {
+            stall_budget: Duration::from_secs(5),
+            poll_interval: Duration::from_millis(25),
+        }),
+        brownout: Some(bppsa_serve::BrownoutPolicy::default()),
         ..ServeConfig::default()
     });
 
@@ -248,5 +269,16 @@ fn steady_state_served_requests_are_allocation_free() {
         );
     }
     assert_eq!(service.lanes(), 2);
+
+    // The armed machinery really was live — the budget was charged by the
+    // lanes' pools (and never overrun), the estimator trained past its
+    // gate, and the supervisor held the service at Normal throughout.
+    assert!(budget.peak_reserved() > 0, "pools charged the budget");
+    assert!(budget.peak_reserved() <= budget.limit());
+    assert!(service
+        .metrics()
+        .iter()
+        .all(|l| l.flush_samples >= 2 && l.infeasible == 0));
+    assert_eq!(service.brownout_level(), bppsa_serve::BrownoutLevel::Normal);
     service.shutdown();
 }

@@ -27,6 +27,7 @@ fn shed_policy() -> impl Strategy<Value = ShedPolicy> {
         |(arm_depth, depth, arm_delay, min_us)| ShedPolicy {
             max_queue_depth: arm_depth.then_some(depth),
             min_warming_delay: arm_delay.then(|| Duration::from_micros(min_us)),
+            feasibility: None,
         },
     )
 }
@@ -233,6 +234,177 @@ proptest! {
                 "rotation by {} changed the decision",
                 k
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Overload-policy arithmetic: the EWMA flush estimator, the feasibility
+// predicate it feeds, and the brownout hysteresis machine. All pure, so the
+// properties that make overload shedding safe pin down here without threads:
+// the estimator always lands between its inputs (no overshoot that could
+// shed a healthy lane), the predicate is monotone in queue depth and
+// anti-monotone in the delay budget (no oscillation under load), a cold
+// estimator never sheds anything, and the brownout level moves at most one
+// step per poll inside its fixed range (no cliff-edge degradation).
+// ---------------------------------------------------------------------------
+
+use bppsa_serve::{
+    ewma_update, predicted_wait, BrownoutLevel, BrownoutPolicy, BrownoutSignal, BrownoutState,
+    FeasibilityPolicy,
+};
+
+fn feasibility() -> impl Strategy<Value = FeasibilityPolicy> {
+    (0..32u64).prop_map(|min_flushes| FeasibilityPolicy { min_flushes })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The estimator is a convex combination: the update always lands in
+    // the closed interval between the previous estimate and the sample.
+    // (With the cold-start adoption rule, prev == 0 jumps straight to the
+    // sample — also inside the interval.)
+    #[test]
+    fn ewma_stays_between_previous_and_sample(
+        prev in 0..u64::MAX / 2,
+        sample in 0..u64::MAX / 2,
+    ) {
+        let next = ewma_update(prev, sample);
+        let (lo, hi) = (prev.min(sample), prev.max(sample));
+        if prev == 0 {
+            prop_assert_eq!(next, sample, "cold estimator adopts the first sample");
+        } else {
+            prop_assert!(next >= lo && next <= hi, "{} outside [{}, {}]", next, lo, hi);
+        }
+    }
+
+    // Folding the same sample twice in either interleaving with another
+    // produces the same *decision inputs* the predicate sees: the
+    // predicate itself is a pure function of (queued, max_batch,
+    // estimate, deadline) — same inputs, same answer, every time.
+    #[test]
+    fn feasibility_predicate_is_pure(
+        policy in feasibility(),
+        queued in 0..256usize,
+        max_batch in 1..32usize,
+        ewma_us in 0..1_000_000u64,
+        deadline_us in 0..1_000_000u64,
+    ) {
+        let estimate = Some(Duration::from_micros(ewma_us));
+        let deadline = Duration::from_micros(deadline_us);
+        let first = policy.sheds(queued, max_batch, estimate, deadline);
+        for _ in 0..4 {
+            prop_assert_eq!(first, policy.sheds(queued, max_batch, estimate, deadline));
+        }
+        // And the decision matches the arithmetic it claims to apply:
+        // refuse exactly when the predicted wait strictly exceeds the
+        // budget (a wait equal to the budget is still feasible).
+        let wait = predicted_wait(queued, max_batch, Duration::from_micros(ewma_us));
+        prop_assert_eq!(first, wait > deadline);
+    }
+
+    // Deeper queues never un-shed, and a *longer* delay budget never
+    // turns an accept into a refusal — the monotonicities that stop
+    // feasibility shedding from oscillating under steady load.
+    #[test]
+    fn feasibility_is_monotone_in_depth_and_anti_monotone_in_budget(
+        policy in feasibility(),
+        queued in 0..128usize,
+        extra in 0..128usize,
+        max_batch in 1..32usize,
+        ewma_us in 1..500_000u64,
+        deadline_us in 0..1_000_000u64,
+        slack_us in 0..1_000_000u64,
+    ) {
+        let estimate = Some(Duration::from_micros(ewma_us));
+        let deadline = Duration::from_micros(deadline_us);
+        if policy.sheds(queued, max_batch, estimate, deadline) {
+            prop_assert!(
+                policy.sheds(queued + extra, max_batch, estimate, deadline),
+                "shed at depth {} but accepted at deeper {}", queued, queued + extra
+            );
+        } else {
+            prop_assert!(
+                !policy.sheds(
+                    queued,
+                    max_batch,
+                    estimate,
+                    deadline + Duration::from_micros(slack_us)
+                ),
+                "accepted with budget {:?} but shed with more slack", deadline
+            );
+        }
+    }
+
+    // The cold-start gate: with no estimate (fewer than `min_flushes`
+    // samples recorded), nothing is ever shed, whatever the queue looks
+    // like — an untrained estimator must not refuse traffic.
+    #[test]
+    fn cold_estimator_never_sheds(
+        policy in feasibility(),
+        queued in 0..4096usize,
+        max_batch in 1..64usize,
+        deadline_us in 0..1_000_000u64,
+    ) {
+        prop_assert!(!policy.sheds(
+            queued,
+            max_batch,
+            None,
+            Duration::from_micros(deadline_us)
+        ));
+    }
+
+    // Predicted wait is `ceil(queued / max_batch)` flushes' worth of the
+    // estimate: monotone in depth, anti-monotone in batch width, and an
+    // empty queue predicts zero wait.
+    #[test]
+    fn predicted_wait_counts_whole_flushes(
+        queued in 0..1024usize,
+        max_batch in 1..64usize,
+        ewma_us in 0..100_000u64,
+    ) {
+        let ewma = Duration::from_micros(ewma_us);
+        let wait = predicted_wait(queued, max_batch, ewma);
+        prop_assert_eq!(wait, ewma * (queued.div_ceil(max_batch) as u32));
+        prop_assert!(predicted_wait(queued + 1, max_batch, ewma) >= wait);
+        prop_assert!(predicted_wait(queued, max_batch + 1, ewma) <= wait);
+        prop_assert_eq!(predicted_wait(0, max_batch, ewma), Duration::ZERO);
+    }
+
+    // Whatever signal sequence the supervisor feeds it, the brownout
+    // level stays inside [Normal, DeclineColdShapes] and moves at most
+    // one step per poll — degradation and recovery are both gradual.
+    #[test]
+    fn brownout_level_moves_one_step_at_a_time(
+        signals in proptest::collection::vec(0..3u8, 0..64),
+        hot_polls in 1..5u32,
+        calm_polls in 1..5u32,
+    ) {
+        let policy = BrownoutPolicy {
+            hot_polls,
+            calm_polls,
+            ..BrownoutPolicy::default()
+        };
+        policy.validate();
+        let mut state = BrownoutState::default();
+        let mut prev = state.level();
+        prop_assert_eq!(prev, BrownoutLevel::Normal);
+        for s in signals {
+            let signal = match s {
+                0 => BrownoutSignal::Hot,
+                1 => BrownoutSignal::Calm,
+                _ => BrownoutSignal::Neutral,
+            };
+            let level = state.observe(signal, &policy);
+            let (lo, hi) = (prev.min(level), prev.max(level));
+            prop_assert!(
+                (lo as u8) + 1 >= hi as u8,
+                "level jumped {:?} -> {:?}", prev, level
+            );
+            prop_assert!(level >= BrownoutLevel::Normal);
+            prop_assert!(level <= BrownoutLevel::DeclineColdShapes);
+            prev = level;
         }
     }
 }

@@ -208,6 +208,7 @@ fn shed_policy_stress_every_ticket_completes_or_sheds() {
         shed: ShedPolicy {
             max_queue_depth: Some(2),
             min_warming_delay: Some(Duration::from_micros(50)),
+            feasibility: None,
         },
         ..ServeConfig::default()
     });
